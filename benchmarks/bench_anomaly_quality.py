@@ -1,0 +1,33 @@
+"""Section I motivation: anomaly-detection quality under deletions.
+
+Plants butterfly bombs in a sparse fully dynamic background and scores
+burst-detection precision/recall/F1 for ABACUS against the insert-only
+baselines.  With deletions present, ABACUS must not be worse than the
+baselines; the baselines' stale counts typically flood the detector
+with false alarms.
+"""
+
+from conftest import emit
+
+from repro.experiments.extensions import run_anomaly_quality
+
+
+def test_anomaly_quality(benchmark, results_dir):
+    result = benchmark.pedantic(
+        run_anomaly_quality,
+        kwargs={"alphas": (0.0, 0.2, 0.3)},
+        rounds=1,
+        iterations=1,
+    )
+    emit(results_dir, "anomaly_quality", result["text"])
+    results = result["results"]
+    for alpha, qualities in results.items():
+        # ABACUS keeps finding the planted bombs...
+        assert qualities["Abacus"].recall >= 0.5, (alpha, qualities)
+        if alpha > 0:
+            # ...and under deletions is at least as good end-to-end as
+            # the insert-only baselines.
+            assert (
+                qualities["Abacus"].f1
+                >= min(qualities["FLEET"].f1, qualities["CAS"].f1)
+            ), (alpha, qualities)

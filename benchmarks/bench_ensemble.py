@@ -1,0 +1,28 @@
+"""Ablation: ensemble averaging vs a single instance.
+
+Quantifies the two memory accountings described in
+``repro/core/ensemble.py``: extra-memory replicas should cut RMSE by
+about ``sqrt(r)``, while splitting one budget across replicas should
+*lose* to the single instance (Theorem 2's variance is superlinear in
+``1/k``).
+"""
+
+from conftest import emit
+
+from repro.experiments.extensions import run_ensemble
+
+
+def test_ensemble_ablation(benchmark, results_dir):
+    result = benchmark.pedantic(
+        run_ensemble,
+        kwargs={"replicas": 4, "budget": 80, "trials": 60},
+        rounds=1,
+        iterations=1,
+    )
+    emit(results_dir, "ensemble", result["text"])
+    r = result["results"]
+    # More memory -> lower error.
+    assert r["ensemble-extra"]["rmse"] < r["single"]["rmse"]
+    # Same memory split across replicas -> not better than one big
+    # sample (allow 10% noise slack).
+    assert r["ensemble-shared"]["rmse"] > 0.9 * r["single"]["rmse"]

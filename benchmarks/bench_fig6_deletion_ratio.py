@@ -1,0 +1,32 @@
+"""Figure 6: impact of the deletion ratio alpha on ABACUS.
+
+(a) relative error across alpha in {5, 10, 20, 30}% — the paper finds
+ABACUS consistently accurate (< 8%) and *unaffected* by alpha;
+(b) throughput across alpha — steady per dataset.
+"""
+
+from conftest import emit
+
+from repro.experiments.figures import run_deletion_ratio_impact
+
+
+def test_fig6_deletion_ratio_impact(benchmark, ctx, results_dir):
+    result = benchmark.pedantic(
+        run_deletion_ratio_impact,
+        kwargs={"trials": 2, "context": ctx},
+        rounds=1,
+        iterations=1,
+    )
+    emit(results_dir, "fig6_deletion_ratio", result["text"])
+    for dataset, errors in result["errors_pct"].items():
+        # Accurate at every deletion ratio (generous scaled-down bound).
+        assert all(e < 25.0 for e in errors), (dataset, errors)
+        # "Unaffected by alpha": no error explosion from 5% to 30%.
+        assert max(errors) < max(4.0 * min(errors), min(errors) + 10.0), (
+            dataset,
+            errors,
+        )
+    for dataset, rates in result["throughput_keps"].items():
+        assert all(r > 0 for r in rates)
+        # Throughput steady: spread within ~2.5x across alphas.
+        assert max(rates) / min(rates) < 2.5, (dataset, rates)

@@ -1,0 +1,39 @@
+"""Figure 7: ABACUS scales linearly with the stream size.
+
+Replays the Trackers- and Orkut-like streams (as in the paper) with
+three budgets, recording elapsed time after every 10% of the elements.
+Checks linearity: the per-checkpoint elapsed times grow monotonically
+and the last-half slope stays within 2.5x of the first-half slope
+(Theorem 3's O(k^2 t) at fixed k).
+"""
+
+from conftest import emit
+
+from repro.experiments.figures import run_scalability
+
+
+def test_fig7_scalability(benchmark, ctx, results_dir):
+    result = benchmark.pedantic(
+        run_scalability,
+        kwargs={"context": ctx, "parts": 10},
+        rounds=1,
+        iterations=1,
+    )
+    emit(results_dir, "fig7_scalability", result["text"])
+    for name, data in result["results"].items():
+        for label, elapsed in data["elapsed_s"].items():
+            assert elapsed == sorted(elapsed), (name, label)
+            half = len(elapsed) // 2
+            first_half_slope = elapsed[half - 1] / half
+            second_half_slope = (elapsed[-1] - elapsed[half - 1]) / (
+                len(elapsed) - half
+            )
+            assert second_half_slope < 2.5 * first_half_slope + 1e-3, (
+                name,
+                label,
+                elapsed,
+            )
+        # Larger budgets cost more total time (monotone in k), with
+        # slack for timer noise on the cheap runs.
+        finals = [series[-1] for series in data["elapsed_s"].values()]
+        assert finals[0] <= finals[-1] * 1.25, (name, finals)

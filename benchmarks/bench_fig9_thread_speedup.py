@@ -1,0 +1,28 @@
+"""Figure 9: PARABACUS speedup vs number of threads (M = 10K).
+
+Work-model speedup for p in {8, 16, 24, 32, 40}.  Expected shape:
+speedup grows with the thread count and with the sample size (bigger
+neighbourhoods -> more intersection work to parallelise).
+"""
+
+from conftest import emit
+
+from repro.experiments.figures import run_thread_speedup
+
+
+def test_fig9_thread_speedup(benchmark, ctx, results_dir):
+    result = benchmark.pedantic(
+        run_thread_speedup,
+        kwargs={"batch_size": 10_000, "context": ctx},
+        rounds=1,
+        iterations=1,
+    )
+    emit(results_dir, "fig9_thread_speedup", result["text"])
+    for name, data in result["results"].items():
+        for label, speedups in data["speedup"].items():
+            assert all(s >= 1.0 for s in speedups), (name, label)
+            # More threads never hurt meaningfully.
+            assert speedups[-1] >= speedups[0] * 0.95, (name, label, speedups)
+        # At p=40 and the largest budget, parallelism pays off.
+        largest = list(data["speedup"].values())[-1]
+        assert largest[-1] > 2.0, (name, largest)

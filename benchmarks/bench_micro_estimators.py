@@ -1,0 +1,43 @@
+"""Micro-benchmarks: per-element processing cost of every estimator.
+
+These use pytest-benchmark's normal multi-round timing (unlike the
+figure benches, which run once) on a fixed 5K-element prefix of the
+LiveJournal-like stream, so regressions in the hot paths show up as
+wall-clock changes in the benchmark table.
+"""
+
+import pytest
+
+from repro.experiments.datasets import get_dataset
+from repro.experiments.runner import make_estimator
+
+BUDGET = 1500
+PREFIX = 5000
+
+
+@pytest.fixture(scope="module")
+def stream_prefix():
+    spec = get_dataset("livejournal_like")
+    return list(spec.stream(alpha=0.2, trial=0).prefix(PREFIX))
+
+
+def _run(method, stream):
+    estimator = make_estimator(method, BUDGET, seed=1)
+    for element in stream:
+        estimator.process(element)
+    if method == "parabacus":
+        estimator.flush()
+    return estimator.estimate
+
+
+@pytest.mark.parametrize(
+    "method", ["abacus", "parabacus", "fleet", "cas", "exact"]
+)
+def test_estimator_throughput(benchmark, stream_prefix, method):
+    benchmark.pedantic(
+        _run,
+        args=(method, stream_prefix),
+        rounds=3,
+        iterations=1,
+        warmup_rounds=1,
+    )

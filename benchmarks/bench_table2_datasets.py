@@ -1,0 +1,22 @@
+"""Table II: dataset statistics of the four scaled analogues.
+
+Regenerates |E|, |L|, |R|, the exact butterfly count, and the butterfly
+density for each dataset, and asserts the paper's density ordering
+(MovieLens >> Trackers > LiveJournal > Orkut).
+"""
+
+from conftest import emit
+
+from repro.experiments.figures import run_table2
+
+
+def test_table2_dataset_statistics(benchmark, results_dir):
+    result = benchmark.pedantic(run_table2, rounds=1, iterations=1)
+    emit(results_dir, "table2", result["text"])
+    stats = result["stats"]
+    densities = {name: s["density"] for name, s in stats.items()}
+    assert densities["movielens_like"] > 10 * densities["trackers_like"]
+    assert densities["trackers_like"] > densities["livejournal_like"]
+    assert densities["livejournal_like"] > densities["orkut_like"]
+    for s in stats.values():
+        assert s["butterflies"] > 0

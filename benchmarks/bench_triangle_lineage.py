@@ -1,0 +1,26 @@
+"""Section VII-A lineage: ThinkD (eager) vs TRIEST-FD (lazy).
+
+The design choice ABACUS inherits — count against the sample for every
+element, not just sampled ones — measured on triangles: eager counting
+must deliver lower variance; lazy counting must do less intersection
+work.
+"""
+
+from conftest import emit
+
+from repro.experiments.extensions import run_triangle_lineage
+
+
+def test_triangle_lineage(benchmark, results_dir):
+    result = benchmark.pedantic(
+        run_triangle_lineage,
+        kwargs={"trials": 100},
+        rounds=1,
+        iterations=1,
+    )
+    emit(results_dir, "triangle_lineage", result["text"])
+    r = result["results"]
+    assert r["ThinkD"]["variance"] < r["TriestFD"]["variance"]
+    assert r["TriestFD"]["mean_work"] < r["ThinkD"]["mean_work"]
+    # Eager counting stays accurate in the mean.
+    assert r["ThinkD"]["mean_error"] < 0.1

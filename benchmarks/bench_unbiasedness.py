@@ -1,0 +1,23 @@
+"""Extra: empirical verification of Theorem 1 (unbiasedness).
+
+Averages 200 independent ABACUS runs on a small fully dynamic workload;
+the sample mean must land within a few standard errors of the exact
+count.  This is the evaluation-level counterpart of the statistical
+tests in tests/core/test_unbiasedness.py.
+"""
+
+from conftest import emit
+
+from repro.experiments.figures import run_unbiasedness
+
+
+def test_unbiasedness_empirical(benchmark, results_dir):
+    result = benchmark.pedantic(
+        run_unbiasedness,
+        kwargs={"trials": 200},
+        rounds=1,
+        iterations=1,
+    )
+    emit(results_dir, "unbiasedness", result["text"])
+    assert result["truth"] > 0
+    assert abs(result["z"]) < 4.0, result

@@ -1,0 +1,28 @@
+"""Extra: empirical variance vs the Theorem 2 upper bound.
+
+Runs ABACUS many times per memory budget on a fixed insert-only
+workload; the sample variance must stay below the closed-form bound
+(with sampling slack), and shrink as the budget grows.
+"""
+
+from conftest import emit
+
+from repro.experiments.extensions import run_variance_bound
+
+
+def test_variance_bound(benchmark, results_dir):
+    result = benchmark.pedantic(
+        run_variance_bound,
+        kwargs={"trials": 150},
+        rounds=1,
+        iterations=1,
+    )
+    emit(results_dir, "variance_bound", result["text"])
+    series = result["series"]
+    # Theorem 2: empirical variance below the bound (50% slack for the
+    # finite-trial estimate of the variance itself).
+    for budget, info in series.items():
+        assert info["ratio"] < 1.5, (budget, info)
+    # Variance decreases with the budget.
+    budgets = sorted(series)
+    assert series[budgets[-1]]["empirical"] < series[budgets[0]]["empirical"]

@@ -1,0 +1,39 @@
+"""Shared fixtures for the benchmark suite.
+
+The benchmarks regenerate every table and figure of the paper's
+evaluation on the scaled synthetic analogues (see DESIGN.md).  Each
+bench uses ``benchmark.pedantic(..., rounds=1)`` so the experiment runs
+exactly once while still being timed, writes its rendered report to
+``benchmarks/results/``, and echoes it to stdout (visible with ``-s``).
+
+A single session-scoped :class:`ExperimentContext` is shared by all
+benches so streams and ground truths are computed once.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.experiments.runner import ExperimentContext
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def ctx() -> ExperimentContext:
+    return ExperimentContext()
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def emit(results_dir: pathlib.Path, name: str, text: str) -> None:
+    """Write a report file and echo it."""
+    (results_dir / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
+    print()
+    print(text)

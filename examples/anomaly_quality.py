@@ -1,0 +1,81 @@
+"""Why deletions matter: anomaly-detection quality, measured.
+
+The paper's introduction argues that ignoring edge deletions wrecks
+the precision/recall of butterfly-based anomaly detectors.  This
+example makes that claim concrete: it plants fraud-ring "butterfly
+bombs" into a fully dynamic transaction stream and scores a burst
+detector backed by ABACUS (deletion-aware) against the same detector
+backed by FLEET and CAS (insert-only).
+
+Run:
+    python examples/anomaly_quality.py
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.apps.anomaly_quality import (
+    compare_estimators,
+    planted_anomaly_stream,
+)
+from repro.baselines.cas import CoAffiliationSampling
+from repro.baselines.fleet import Fleet
+from repro.core.abacus import Abacus
+from repro.graph.generators import bipartite_chung_lu
+
+
+def main() -> None:
+    window = 500
+    budget = 3000
+    bombs = [5, 9, 13]
+
+    print("Building a sparse account-merchant stream with 3 planted")
+    print("fraud rings (14x14 bicliques) and 25% deletions ...")
+    background = bipartite_chung_lu(
+        3000, 3000, 8000, rng=random.Random(3)
+    )
+    stream, truths = planted_anomaly_stream(
+        background,
+        bomb_windows=bombs,
+        window=window,
+        bomb_size=(14, 14),
+        alpha=0.25,
+        rng=random.Random(13),
+    )
+    print(
+        f"Stream: {len(stream)} elements, planted anomalies in "
+        f"windows {truths}"
+    )
+
+    results = compare_estimators(
+        stream,
+        truths,
+        {
+            "ABACUS (ins+del)": lambda: Abacus(budget, seed=23),
+            "FLEET  (ins-only)": lambda: Fleet(budget, seed=23),
+            "CAS    (ins-only)": lambda: CoAffiliationSampling(
+                budget, seed=23
+            ),
+        },
+        window=window,
+    )
+
+    print()
+    print(f"{'detector backend':<20} {'precision':>9} {'recall':>7} "
+          f"{'F1':>6} {'alerts':>7}")
+    for name, quality in results.items():
+        print(
+            f"{name:<20} {quality.precision:>9.2f} "
+            f"{quality.recall:>7.2f} {quality.f1:>6.2f} "
+            f"{quality.num_alerts:>7}"
+        )
+    print()
+    print("Insert-only backends never see retractions, so their counts")
+    print("drift upward and the detector either floods with false")
+    print("alarms (low precision) or misses real bursts hidden by the")
+    print("inflated baseline.")
+
+
+if __name__ == "__main__":
+    main()

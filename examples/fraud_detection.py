@@ -1,0 +1,125 @@
+"""Fraud detection on a fully dynamic review stream.
+
+Scenario (Section I of the paper): in a user-product review graph,
+fraud rings register clusters of fake accounts that all review the same
+products — a dense biclique that injects a burst of butterflies.  The
+platform later *takes the ring down*, deleting all of its edges at
+once.  Review streams also churn organically (retracted reviews).
+
+Two anomaly classes matter:
+
+  * **registration bursts** — sudden butterfly creation (positive
+    spike).  Any butterfly estimator can see these.
+  * **takedowns / community collapse** — sudden butterfly deletion
+    (negative spike).  Only a *deletion-aware* estimator can ever see
+    these; insert-only estimators (FLEET, CAS) are structurally blind.
+
+The example additionally shows the count-level drift that deletions
+inflict on insert-only estimators — the root cause of the paper's
+accuracy gap (Figure 3) and of degraded threshold-based alerting.
+
+Run:
+    python examples/fraud_detection.py
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from repro import Abacus, ExactStreamingCounter, Fleet, make_fully_dynamic
+from repro.apps.anomaly import ButterflyBurstDetector
+from repro.graph.generators import bipartite_erdos_renyi
+from repro.types import StreamElement, deletion, insertion
+
+WINDOW = 400
+N_WINDOWS = 60
+RING_WINDOW = 12      # fraud ring registers here (positive burst)
+TAKEDOWN_WINDOW = 38  # platform deletes the whole ring here
+CLIQUE = (8, 8)
+
+
+def build_stream(seed: int = 5) -> List[StreamElement]:
+    """Organic churn + one fraud ring + its later takedown."""
+    rng = random.Random(seed)
+    background = bipartite_erdos_renyi(
+        20_000, 20_000, round(N_WINDOWS * WINDOW / 1.2), rng
+    )
+    elements = list(
+        make_fully_dynamic(background, alpha=0.2, rng=random.Random(seed + 1))
+    )
+    a, b = CLIQUE
+    fake_users = [50_000_000 + i for i in range(a)]
+    products = [60_000_000 + j for j in range(b)]
+    ring_edges = [(u, v) for u in fake_users for v in products]
+    registration = [insertion(u, v) for u, v in ring_edges]
+    takedown = [deletion(u, v) for u, v in ring_edges]
+    elements[RING_WINDOW * WINDOW:RING_WINDOW * WINDOW] = registration
+    # Insert the takedown at its window, accounting for the shift the
+    # registration insert introduced.
+    offset = TAKEDOWN_WINDOW * WINDOW + len(registration)
+    elements[offset:offset] = takedown
+    return elements
+
+
+def detect(name: str, estimator, elements) -> None:
+    detector = ButterflyBurstDetector(
+        estimator, window=WINDOW, z_threshold=4.0, two_sided=True
+    )
+    alerts = detector.process_stream(elements)
+    windows = sorted({a.window_index for a in alerts})
+    burst_seen = any(abs(w - RING_WINDOW) <= 1 for w in windows)
+    takedown_seen = any(
+        abs(w - TAKEDOWN_WINDOW) <= 1 for w in windows
+    )
+    print(
+        f"  {name:<24} registration burst: "
+        f"{'DETECTED' if burst_seen else 'missed  '}   "
+        f"takedown: {'DETECTED' if takedown_seen else 'MISSED'}   "
+        f"(alert windows {windows})"
+    )
+
+
+def drift_report(elements: List[StreamElement]) -> None:
+    """Count-level drift of insert-only estimators under deletions."""
+    exact = ExactStreamingCounter()
+    abacus = Abacus(6000, seed=3)
+    fleet = Fleet(6000, seed=3)
+    checkpoints = {len(elements) // 4, len(elements) // 2,
+                   3 * len(elements) // 4, len(elements)}
+    print("\nCount-level drift (butterfly count estimates):")
+    print(f"  {'elements':>10} {'truth':>8} {'ABACUS':>8} {'FLEET':>8}")
+    for i, element in enumerate(elements, start=1):
+        exact.process(element)
+        abacus.process(element)
+        fleet.process(element)
+        if i in checkpoints:
+            print(
+                f"  {i:>10} {exact.exact_count:>8.0f} "
+                f"{abacus.estimate:>8.0f} {fleet.estimate:>8.0f}"
+            )
+
+
+def main() -> None:
+    print(
+        f"Stream: ring registers at window {RING_WINDOW}, "
+        f"takedown at window {TAKEDOWN_WINDOW}, 20% organic churn\n"
+    )
+    elements = build_stream()
+
+    print("Two-sided butterfly-burst detection:")
+    detect("Exact oracle", ExactStreamingCounter(), elements)
+    detect("ABACUS (fully dynamic)", Abacus(6000, seed=11), elements)
+    detect("FLEET (insert-only)", Fleet(6000, seed=11), elements)
+
+    drift_report(elements)
+
+    print(
+        "\nThe takedown is invisible to the insert-only baseline: FLEET\n"
+        "never processes deletions, so the ring's butterflies stay in\n"
+        "its count forever — and its level estimate drifts accordingly."
+    )
+
+
+if __name__ == "__main__":
+    main()

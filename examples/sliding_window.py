@@ -1,0 +1,75 @@
+"""Sliding-window butterfly counting via the fully dynamic model.
+
+The paper counts butterflies under infinite-window semantics, but the
+fully dynamic model buys more: a sliding window is just a deterministic
+deletion policy (every insertion expires W arrivals later), so ABACUS
+computes windowed butterfly counts with no algorithmic change — while
+insert-only estimators cannot express expiry at all.
+
+This example replays a user-item stream whose butterfly density shifts
+half-way through (a "trend change"), tracking the windowed count with
+ABACUS against the exact windowed count.  The window forgets the old
+regime; the infinite-window count cannot.
+
+Run:
+    python examples/sliding_window.py
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro import Abacus, ExactStreamingCounter
+from repro.graph.generators import bipartite_chung_lu, bipartite_erdos_renyi
+from repro.streams.window import sliding_window_stream, window_deletion_ratio
+
+WINDOW = 4000
+
+
+def main() -> None:
+    rng = random.Random(6)
+    # Regime 1: sparse uniform traffic (few butterflies).
+    sparse = bipartite_erdos_renyi(4000, 4000, 8000, rng)
+    # Regime 2: skewed, butterfly-dense traffic (vertex ids offset so
+    # the two regimes do not collide).
+    dense = [
+        (20_000 + u, 30_000 + v)
+        for u, v in bipartite_chung_lu(1500, 250, 8000, rng=rng)
+    ]
+    edges = sparse + dense
+    print(
+        f"16K-edge stream, window W={WINDOW} "
+        f"({window_deletion_ratio(len(edges), WINDOW):.0%} of elements "
+        "are expiry deletions)\n"
+    )
+
+    abacus = Abacus(budget=2500, seed=8)
+    exact_window = ExactStreamingCounter()
+    exact_infinite = ExactStreamingCounter()
+
+    print(f"{'insertions':>10} {'windowed truth':>15} "
+          f"{'windowed ABACUS':>16} {'infinite truth':>15}")
+    insertions = 0
+    for element in sliding_window_stream(edges, WINDOW):
+        abacus.process(element)
+        exact_window.process(element)
+        if element.is_insertion:
+            exact_infinite.process(element)
+            insertions += 1
+            if insertions % 2000 == 0:
+                print(
+                    f"{insertions:>10} {exact_window.exact_count:>15,} "
+                    f"{abacus.estimate:>16,.0f} "
+                    f"{exact_infinite.exact_count:>15,}"
+                )
+
+    print(
+        "\nThe windowed count collapses once the sparse regime slides\n"
+        "out and explodes when the dense regime enters — ABACUS tracks\n"
+        "it with a quarter of the window in memory.  The infinite-window\n"
+        "count only ever grows and hides the regime change."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,133 @@
+"""Production stream hygiene: guard, profile, and adapt.
+
+The estimators assume the clean stream contract of the paper's
+Definition 1; real feeds are dirty, skewed, and bursty.  This example
+shows the operational layer a deployment puts in front of ABACUS:
+
+1. **Sanitise** a dirty feed (duplicate insertions, deletions of absent
+   edges) exactly, and cross-check with the bounded-memory Bloom guard.
+2. **Profile** the clean stream one-pass: distinct vertices/edges via
+   HyperLogLog, hub vertices via Count-Min heavy hitters.
+3. **Monitor** the recent deletion ratio with a DGIM sliding window
+   (catching the storm at the tail of the feed), and **adapt** to
+   memory pressure by shrinking ABACUS's budget mid-stream — legal at
+   a clean sampler point (``can_resize``), where estimates provably
+   stay unbiased.
+
+Run:
+    python examples/stream_hygiene.py
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core.abacus import Abacus
+from repro.core.exact import ExactStreamingCounter
+from repro.graph.generators import bipartite_chung_lu
+from repro.sketch.dgim import DeletionRateMonitor
+from repro.streams.adversarial import deletion_storm
+from repro.streams.profile import StreamProfiler
+from repro.streams.stream import EdgeStream
+from repro.streams.transform import sanitized, suspicious_elements
+from repro.types import insertion
+
+
+def dirty_feed(rng: random.Random) -> EdgeStream:
+    """A realistic dirty feed: valid core + duplicate/ghost elements."""
+    edges = bipartite_chung_lu(1500, 400, 12_000, rng=rng)
+    base = deletion_storm(edges, storm_fraction=0.35, rng=rng)
+    elements = list(base)
+    # Inject 300 duplicate insertions of random live-ish edges and 100
+    # deletions of edges that never existed.
+    for _ in range(300):
+        u, v = edges[rng.randrange(len(edges))]
+        elements.insert(rng.randrange(len(elements)), insertion(u, v))
+    for i in range(100):
+        elements.insert(
+            rng.randrange(len(elements)),
+            insertion(f"ghost{i}", "nowhere").inverted(),
+        )
+    return EdgeStream(elements)
+
+
+def main() -> None:
+    rng = random.Random(21)
+    feed = dirty_feed(rng)
+    print(f"Dirty feed: {len(feed)} elements")
+
+    # ------------------------------------------------------------------
+    # 1. Sanitise
+    # ------------------------------------------------------------------
+    clean, report = sanitized(feed)
+    print()
+    print("Exact sanitiser:")
+    print(f"  duplicate insertions dropped : {report.duplicate_insertions}")
+    print(f"  ghost deletions dropped      : {report.absent_deletions}")
+    print(f"  kept                         : {report.kept}")
+
+    flagged = suspicious_elements(
+        feed, capacity=20_000, fp_rate=0.001, rng=random.Random(22)
+    )
+    caught = set(flagged) & set(report.dropped_indices)
+    print("Bloom guard (bounded memory):")
+    print(f"  elements flagged             : {len(flagged)}")
+    print(
+        f"  true violations caught       : {len(caught)}"
+        f"/{report.dropped} (guaranteed: all)"
+    )
+
+    # ------------------------------------------------------------------
+    # 2. Profile
+    # ------------------------------------------------------------------
+    profile = StreamProfiler(rng=random.Random(23)).observe_stream(clean)
+    print()
+    print("One-pass profile (bounded memory):")
+    print("  " + profile.render().replace("\n", "\n  "))
+
+    # ------------------------------------------------------------------
+    # 3. Monitor the deletion ratio; adapt the budget at a clean point
+    # ------------------------------------------------------------------
+    monitor = DeletionRateMonitor(window=1000, buckets_per_size=16)
+    abacus = Abacus(budget=3000, seed=25)
+    oracle = ExactStreamingCounter()
+    shrink_requested_at = 6000  # ops reclaim memory mid-stream
+    shrunk_at = None
+    storm_seen_at = None
+    for index, element in enumerate(clean):
+        monitor.observe(element)
+        abacus.process(element)
+        oracle.process(element)
+        # Budget shrinking is only sound at a clean sampler point
+        # (no deletions pending compensation) — poll can_resize.
+        if (
+            shrunk_at is None
+            and index >= shrink_requested_at
+            and abacus.can_resize
+        ):
+            evicted = abacus.shrink_budget(2000)
+            shrunk_at = index
+            print()
+            print(
+                f"Memory pressure at element {index}: shrank budget "
+                f"3000 -> 2000 at a clean point, evicted "
+                f"{evicted} edges"
+            )
+        if storm_seen_at is None and monitor.deletion_ratio() > 0.6:
+            storm_seen_at = index
+            print(
+                f"Deletion storm detected at element {index} "
+                f"(recent deletion ratio "
+                f"{monitor.deletion_ratio():.0%})"
+            )
+    truth = oracle.estimate
+    error = abs(truth - abacus.estimate) / truth if truth else 0.0
+    print()
+    print(f"  exact final count  : {truth:,.0f}")
+    print(f"  ABACUS estimate    : {abacus.estimate:,.0f}")
+    print(f"  relative error     : {error:.2%}")
+    print(f"  final sample size  : {abacus.memory_edges} edges")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+"""Bonus: fully dynamic TRIANGLE counting with the same machinery.
+
+Section VII-A of the paper traces ABACUS to fully dynamic triangle
+counting (TRIEST-FD, ThinkD).  This library implements that lineage on
+the *same* Random Pairing sampler, so the technique can be sanity-checked
+on a second motif: triangles need two sampled edges per discovery,
+butterflies three.
+
+The example streams a preferential-attachment (triangle-rich) graph
+with 25% deletions and compares ThinkD's bounded-memory estimate with
+the exact count, then shows the accuracy/budget trade.
+
+Run:
+    python examples/triangle_counting.py
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.streams.dynamic import make_fully_dynamic
+from repro.triangles import ExactTriangleCounter, ThinkD
+from repro.triangles.generators import barabasi_albert_graph
+
+
+def main() -> None:
+    rng = random.Random(2)
+    edges = barabasi_albert_graph(1500, 10, rng)
+    stream = make_fully_dynamic(edges, alpha=0.25, rng=random.Random(3))
+    print(
+        f"Unipartite stream: {len(stream)} elements "
+        f"({stream.num_deletions} deletions)\n"
+    )
+
+    oracle = ExactTriangleCounter()
+    truth = oracle.process_stream(stream)
+    print(f"Exact triangle count: {truth:,.0f} "
+          f"(oracle stores {oracle.memory_edges:,} edges)\n")
+
+    print(f"{'budget k':>9} {'estimate':>12} {'rel. error':>11} "
+          f"{'memory saved':>13}")
+    for budget in (500, 1000, 2000, 4000):
+        errors = []
+        last = 0.0
+        for seed in range(5):
+            estimator = ThinkD(budget, seed=seed)
+            last = estimator.process_stream(stream)
+            errors.append(abs(truth - last) / truth)
+        mean_error = sum(errors) / len(errors)
+        saved = 1 - min(budget, oracle.memory_edges) / oracle.memory_edges
+        print(f"{budget:>9} {last:>12,.0f} {mean_error:>10.2%} "
+              f"{saved:>12.0%}")
+
+    print(
+        "\nSame Random Pairing sampler, same unbiasedness argument —\n"
+        "only the discovery probability changes (two sampled edges per\n"
+        "triangle instead of three per butterfly)."
+    )
+
+
+if __name__ == "__main__":
+    main()

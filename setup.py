@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The environment has no ``wheel`` package available offline, so PEP 517
+editable installs (which require ``bdist_wheel``) fail.  This shim lets
+``pip install -e . --no-use-pep517`` perform a legacy develop install;
+all metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

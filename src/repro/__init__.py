@@ -1,0 +1,54 @@
+"""repro — ABACUS / PARABACUS butterfly counting reproduction.
+
+A from-scratch Python implementation of "Counting Butterflies in Fully
+Dynamic Bipartite Graph Streams" (ICDE 2024): approximate butterfly
+counting over bipartite edge streams with both insertions and deletions,
+plus every substrate the paper depends on (bipartite graphs, exact
+counting, Random Pairing sampling, AMS sketches, the FLEET and CAS
+insert-only baselines, applications, and the full experiment harness).
+
+Quickstart::
+
+    from repro import Abacus, insertion, deletion
+
+    counter = Abacus(budget=1000, seed=42)
+    counter.process(insertion("alice", "matrix"))
+    counter.process(deletion("alice", "matrix"))
+    print(counter.estimate)
+"""
+
+from repro.baselines import CoAffiliationSampling, Fleet
+from repro.core import (
+    Abacus,
+    AbacusSupport,
+    ButterflyEstimator,
+    EnsembleEstimator,
+    ExactStreamingCounter,
+    Parabacus,
+)
+from repro.graph import BipartiteGraph, count_butterflies
+from repro.streams import EdgeStream, make_fully_dynamic, stream_from_edges
+from repro.types import Op, StreamElement, deletion, insertion
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Abacus",
+    "AbacusSupport",
+    "EnsembleEstimator",
+    "Parabacus",
+    "Fleet",
+    "CoAffiliationSampling",
+    "ExactStreamingCounter",
+    "ButterflyEstimator",
+    "BipartiteGraph",
+    "count_butterflies",
+    "EdgeStream",
+    "make_fully_dynamic",
+    "stream_from_edges",
+    "StreamElement",
+    "Op",
+    "insertion",
+    "deletion",
+    "__version__",
+]

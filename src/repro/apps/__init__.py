@@ -1,0 +1,42 @@
+"""Applications built on streaming butterfly counts.
+
+The paper motivates fully dynamic butterfly counting through anomaly
+detection (butterfly bursts above a threshold, Section I) and cohesion
+metrics such as the butterfly clustering coefficient.  These modules
+implement both on top of any :class:`~repro.core.base.ButterflyEstimator`.
+"""
+
+from repro.apps.anomaly import Alert, ButterflyBurstDetector
+from repro.apps.anomaly_quality import (
+    DetectionQuality,
+    compare_estimators,
+    evaluate_detector,
+    planted_anomaly_stream,
+)
+from repro.apps.clustering import StreamingClusteringCoefficient
+from repro.apps.similarity import (
+    SampleSimilarity,
+    butterfly_affinity,
+    common_neighbors,
+    cosine_similarity,
+    jaccard_similarity,
+    similarity_matrix,
+    top_k_similar,
+)
+
+__all__ = [
+    "Alert",
+    "ButterflyBurstDetector",
+    "StreamingClusteringCoefficient",
+    "DetectionQuality",
+    "planted_anomaly_stream",
+    "evaluate_detector",
+    "compare_estimators",
+    "SampleSimilarity",
+    "common_neighbors",
+    "jaccard_similarity",
+    "cosine_similarity",
+    "butterfly_affinity",
+    "top_k_similar",
+    "similarity_matrix",
+]

@@ -1,0 +1,169 @@
+"""Butterfly-burst anomaly detection on fully dynamic streams.
+
+"An anomaly in bipartite graph streams appears when a certain number of
+butterflies that are formed is above some threshold" (Section I).  The
+detector below windows the stream, tracks the estimated butterfly-count
+change per window, and raises an alert when a window's change exceeds a
+robust z-score threshold over the recent history.
+
+Because the detector consumes *estimates*, its precision/recall directly
+inherit the estimator's accuracy — run the fraud-detection example with
+ABACUS versus FLEET on a stream with deletions to see the paper's
+motivating quality gap.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Iterable, List, Optional
+
+from repro.core.base import ButterflyEstimator
+from repro.errors import ExperimentError
+from repro.types import StreamElement
+
+
+@dataclass(frozen=True, slots=True)
+class Alert:
+    """One raised anomaly.
+
+    Attributes:
+        window_index: which window (0-based) triggered.
+        element_index: stream position of the window's last element.
+        delta: estimated butterfly-count change within the window.
+        score: the z-score that exceeded the threshold.
+    """
+
+    window_index: int
+    element_index: int
+    delta: float
+    score: float
+
+
+class ButterflyBurstDetector:
+    """Windowed z-score detector over butterfly-count deltas.
+
+    Args:
+        estimator: any streaming butterfly estimator; the detector owns
+            driving it.
+        window: elements per detection window.
+        z_threshold: alert when a window's delta exceeds
+            ``mean + z * stdev`` of the trailing history.
+        history: number of past windows kept for the baseline; alerts
+            are suppressed until at least ``min_history`` windows exist.
+        min_history: warm-up length.
+        min_stdev: floor on the baseline deviation, preventing a single
+            stray butterfly from alerting against an all-quiet history.
+        two_sided: also alert on *negative* spikes (mass deletions such
+            as fraud-ring takedowns or community collapse).  Only
+            deletion-aware estimators can ever raise these.
+    """
+
+    def __init__(
+        self,
+        estimator: ButterflyEstimator,
+        window: int = 500,
+        z_threshold: float = 3.0,
+        history: int = 50,
+        min_history: int = 5,
+        min_stdev: float = 1.0,
+        two_sided: bool = False,
+    ) -> None:
+        if window <= 0:
+            raise ExperimentError(f"window must be positive, got {window}")
+        if history < min_history or min_history < 1:
+            raise ExperimentError(
+                f"need history >= min_history >= 1, got {history}/{min_history}"
+            )
+        self.estimator = estimator
+        self.window = window
+        self.z_threshold = z_threshold
+        self.min_history = min_history
+        self.min_stdev = min_stdev
+        self.two_sided = two_sided
+        self._history: Deque[float] = deque(maxlen=history)
+        self._in_window = 0
+        self._window_start_estimate = estimator.estimate
+        self._window_index = 0
+        self._element_index = 0
+        self.alerts: List[Alert] = []
+
+    def process(self, element: StreamElement) -> Optional[Alert]:
+        """Feed one element; returns an Alert when a window closes hot."""
+        self.estimator.process(element)
+        self._element_index += 1
+        self._in_window += 1
+        if self._in_window < self.window:
+            return None
+        return self._close_window()
+
+    def process_stream(self, stream: Iterable[StreamElement]) -> List[Alert]:
+        """Drive a whole stream; returns all alerts raised."""
+        for element in stream:
+            self.process(element)
+        return self.alerts
+
+    def _close_window(self) -> Optional[Alert]:
+        delta = self.estimator.estimate - self._window_start_estimate
+        alert: Optional[Alert] = None
+        if len(self._history) >= self.min_history:
+            baseline = sum(self._history) / len(self._history)
+            variance = sum(
+                (d - baseline) ** 2 for d in self._history
+            ) / len(self._history)
+            # Floor the deviation so a flat warm-up cannot divide by ~0.
+            stdev = max(
+                math.sqrt(variance), self.min_stdev, 0.05 * abs(baseline)
+            )
+            score = (delta - baseline) / stdev
+            triggered = (
+                abs(score) > self.z_threshold
+                if self.two_sided
+                else score > self.z_threshold
+            )
+            if triggered:
+                alert = Alert(
+                    window_index=self._window_index,
+                    element_index=self._element_index,
+                    delta=delta,
+                    score=score,
+                )
+                self.alerts.append(alert)
+        # Bursts are excluded from the baseline so one anomaly does not
+        # mask the next.
+        if alert is None:
+            self._history.append(delta)
+        self._window_start_estimate = self.estimator.estimate
+        self._in_window = 0
+        self._window_index += 1
+        return alert
+
+
+def precision_recall(
+    alerts: Iterable[Alert],
+    true_windows: Iterable[int],
+    tolerance: int = 1,
+) -> tuple[float, float]:
+    """Score alerts against known anomalous window indices.
+
+    An alert matches a true window when their indices differ by at most
+    ``tolerance``.  Returns ``(precision, recall)``; with no alerts
+    precision is defined as 1.0 (nothing claimed, nothing wrong).
+    """
+    alert_windows = [a.window_index for a in alerts]
+    truths = list(true_windows)
+    matched_truths = set()
+    true_positives = 0
+    for aw in alert_windows:
+        hit = None
+        for i, tw in enumerate(truths):
+            if i not in matched_truths and abs(aw - tw) <= tolerance:
+                hit = i
+                break
+        if hit is not None:
+            matched_truths.add(hit)
+            true_positives += 1
+    precision = true_positives / len(alert_windows) if alert_windows else 1.0
+    recall = true_positives / len(truths) if truths else 1.0
+    return precision, recall

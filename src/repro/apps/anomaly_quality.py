@@ -1,0 +1,180 @@
+"""Anomaly-detection quality under deletions: the paper's motivation.
+
+Section I argues that "precision and recall will degrade significantly
+if the butterfly counts are maintained inaccurately, which will happen
+if edge deletions are ignored".  This module turns that claim into a
+measurable experiment:
+
+1. :func:`planted_anomaly_stream` builds a fully dynamic background
+   stream and injects butterfly bombs (complete bicliques) into known
+   windows.
+2. :func:`evaluate_detector` runs a
+   :class:`~repro.apps.anomaly.ButterflyBurstDetector` over the stream
+   with a caller-chosen estimator and scores the raised alerts against
+   the planted windows.
+
+Comparing the resulting :class:`DetectionQuality` for ABACUS versus an
+insert-only baseline on the same stream quantifies exactly the quality
+gap the paper motivates (the ``bench_anomaly_quality`` benchmark prints
+it).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.apps.anomaly import ButterflyBurstDetector, precision_recall
+from repro.core.base import ButterflyEstimator
+from repro.errors import ExperimentError
+from repro.streams.dynamic import make_fully_dynamic
+from repro.streams.stream import EdgeStream
+from repro.types import StreamElement, insertion
+
+
+@dataclass(frozen=True)
+class DetectionQuality:
+    """Precision/recall/F1 of one detector run."""
+
+    precision: float
+    recall: float
+    num_alerts: int
+    num_planted: int
+
+    @property
+    def f1(self) -> float:
+        """Harmonic mean of precision and recall (0 when both are 0)."""
+        if self.precision + self.recall == 0:
+            return 0.0
+        return (
+            2 * self.precision * self.recall
+            / (self.precision + self.recall)
+        )
+
+
+def planted_anomaly_stream(
+    background_edges: Sequence,
+    bomb_windows: Sequence[int],
+    window: int = 500,
+    bomb_size: Tuple[int, int] = (6, 6),
+    alpha: float = 0.2,
+    rng: Optional[random.Random] = None,
+) -> Tuple[EdgeStream, List[int]]:
+    """A fully dynamic stream with butterfly bombs in known windows.
+
+    Args:
+        background_edges: distinct benign edges, in arrival order.
+        bomb_windows: 0-based window indices (w.r.t. ``window``) at
+            whose start a complete biclique bursts in.
+        window: elements per detection window (must match the detector).
+        bomb_size: ``(left, right)`` dimensions of each biclique.
+        alpha: deletion ratio applied to the *background* (bombs are
+            insert-only bursts, as in the fraud scenario).
+        rng: randomness for deletion placement.
+
+    Returns:
+        ``(stream, true_windows)`` — the stream and the window indices
+        a perfect detector should flag (recomputed against the final
+        element layout, so they are exact even after deletions shift
+        positions).
+    """
+    if min(bomb_size) < 2:
+        raise ExperimentError(
+            f"bombs must be at least 2x2 bicliques, got {bomb_size}"
+        )
+    rng = rng or random.Random()
+    background = make_fully_dynamic(list(background_edges), alpha, rng)
+    num_left, num_right = bomb_size
+    elements: List[StreamElement] = list(background)
+    # Insert bombs back-to-front so earlier offsets stay valid.
+    true_windows = sorted(set(bomb_windows), reverse=True)
+    for order, window_index in enumerate(true_windows):
+        offset = window_index * window
+        if offset > len(elements):
+            raise ExperimentError(
+                f"bomb window {window_index} starts beyond the stream "
+                f"({offset} > {len(elements)})"
+            )
+        bomb = [
+            insertion(f"bomb{order}_l{i}", f"bomb{order}_r{j}")
+            for i in range(num_left)
+            for j in range(num_right)
+        ]
+        elements[offset:offset] = bomb
+    stream = EdgeStream(elements)
+    return stream, sorted(set(bomb_windows))
+
+
+def evaluate_detector(
+    stream: EdgeStream,
+    true_windows: Sequence[int],
+    estimator: ButterflyEstimator,
+    window: int = 500,
+    z_threshold: float = 3.0,
+    tolerance: int = 1,
+    detector_factory: Optional[
+        Callable[[ButterflyEstimator], ButterflyBurstDetector]
+    ] = None,
+) -> DetectionQuality:
+    """Run a burst detector over ``stream`` and score it.
+
+    Args:
+        stream: the workload (usually from
+            :func:`planted_anomaly_stream`).
+        true_windows: planted anomalous window indices.
+        estimator: the butterfly estimator under test.
+        window / z_threshold: detector configuration.
+        tolerance: window-index slack when matching alerts to truths.
+        detector_factory: override to customise the detector; receives
+            the estimator and must return a ready detector.
+
+    Returns:
+        The detector's :class:`DetectionQuality` on this stream.
+    """
+    if detector_factory is None:
+        detector = ButterflyBurstDetector(
+            estimator, window=window, z_threshold=z_threshold
+        )
+    else:
+        detector = detector_factory(estimator)
+    alerts = detector.process_stream(stream)
+    precision, recall = precision_recall(
+        alerts, true_windows, tolerance=tolerance
+    )
+    return DetectionQuality(
+        precision=precision,
+        recall=recall,
+        num_alerts=len(alerts),
+        num_planted=len(list(true_windows)),
+    )
+
+
+def compare_estimators(
+    stream: EdgeStream,
+    true_windows: Sequence[int],
+    factories: dict,
+    window: int = 500,
+    z_threshold: float = 3.0,
+    tolerance: int = 1,
+) -> dict:
+    """Evaluate several estimators on the same planted stream.
+
+    Args:
+        factories: mapping from display name to a zero-argument callable
+            building a fresh estimator.
+
+    Returns:
+        dict mapping each name to its :class:`DetectionQuality`.
+    """
+    results = {}
+    for name, factory in factories.items():
+        results[name] = evaluate_detector(
+            stream,
+            true_windows,
+            factory(),
+            window=window,
+            z_threshold=z_threshold,
+            tolerance=tolerance,
+        )
+    return results

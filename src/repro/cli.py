@@ -1,0 +1,213 @@
+"""Command-line entry point: ``python -m repro`` or the ``repro`` script.
+
+Subcommands map 1:1 onto the paper's tables/figures plus the extras::
+
+    repro table2                      # dataset statistics
+    repro fig3 [--trials N] [--datasets a,b]
+    repro fig4 | fig5 | fig6 | fig7 | fig8 | fig9 | fig10
+    repro unbiasedness | ablation
+    repro variance | ensemble | anomaly | lineage   # extensions
+    repro all                         # everything, in order
+
+Use ``--datasets`` with a comma-separated subset of
+``movielens_like,livejournal_like,trackers_like,orkut_like`` to trim
+runtime.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.experiments import extensions, figures
+from repro.experiments.plotting import line_chart
+from repro.experiments.runner import ExperimentContext
+
+
+def _split_datasets(value: Optional[str]) -> Optional[List[str]]:
+    if not value:
+        return None
+    return [name.strip() for name in value.split(",") if name.strip()]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduce the ABACUS/PARABACUS evaluation (ICDE 2024).",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=[
+            "table2",
+            "fig3",
+            "fig4",
+            "fig5",
+            "fig6",
+            "fig7",
+            "fig8",
+            "fig9",
+            "fig10",
+            "unbiasedness",
+            "ablation",
+            "variance",
+            "ensemble",
+            "anomaly",
+            "lineage",
+            "all",
+        ],
+        help="which experiment to run",
+    )
+    parser.add_argument(
+        "--trials",
+        type=int,
+        default=5,
+        help="independent repetitions for accuracy experiments (paper: 10)",
+    )
+    parser.add_argument(
+        "--datasets",
+        type=str,
+        default=None,
+        help="comma-separated dataset subset (default: all four)",
+    )
+    parser.add_argument(
+        "--threads",
+        type=int,
+        default=40,
+        help="PARABACUS thread count for figs 4/8",
+    )
+    parser.add_argument(
+        "--chart",
+        action="store_true",
+        help="additionally draw ASCII charts (fig3/fig5)",
+    )
+    return parser
+
+
+def _accuracy_charts(result: dict, alpha: float) -> str:
+    """ASCII error-vs-k charts for a fig3/fig5 result dict."""
+    blocks = []
+    for dataset, info in result["results"].items():
+        series = {
+            method.upper(): (
+                info["sample_sizes"],
+                [e * 100.0 for e in errors],
+            )
+            for method, errors in info["errors"].items()
+        }
+        blocks.append(
+            line_chart(
+                series,
+                title=(
+                    f"{dataset}: relative error (%) vs k "
+                    f"(alpha={alpha:.0%})"
+                ),
+                x_label="k",
+                y_label="error %",
+                y_min=0.0,
+            )
+        )
+    return "\n\n".join(blocks)
+
+
+def run_experiment(
+    name: str,
+    trials: int,
+    datasets: Optional[List[str]],
+    threads: int,
+    context: Optional[ExperimentContext] = None,
+    chart: bool = False,
+) -> str:
+    """Execute one experiment; return its rendered report."""
+    ctx = context or ExperimentContext()
+    if name == "table2":
+        return figures.run_table2(datasets=datasets)["text"]
+    if name == "fig3":
+        result = figures.run_accuracy_vs_sample_size(
+            alpha=0.2, trials=trials, datasets=datasets, context=ctx
+        )
+        if chart:
+            return result["text"] + "\n\n" + _accuracy_charts(result, 0.2)
+        return result["text"]
+    if name == "fig4":
+        return figures.run_throughput_vs_sample_size(
+            datasets=datasets, num_threads=threads, context=ctx
+        )["text"]
+    if name == "fig5":
+        result = figures.run_accuracy_vs_sample_size(
+            alpha=0.0, trials=trials, datasets=datasets, context=ctx
+        )
+        if chart:
+            return result["text"] + "\n\n" + _accuracy_charts(result, 0.0)
+        return result["text"]
+    if name == "fig6":
+        return figures.run_deletion_ratio_impact(
+            trials=max(1, trials // 2), datasets=datasets, context=ctx
+        )["text"]
+    if name == "fig7":
+        return figures.run_scalability(datasets=datasets, context=ctx)["text"]
+    if name == "fig8":
+        return figures.run_minibatch_speedup(
+            datasets=datasets, num_threads=threads, context=ctx
+        )["text"]
+    if name == "fig9":
+        return figures.run_thread_speedup(datasets=datasets, context=ctx)["text"]
+    if name == "fig10":
+        return figures.run_load_balance(datasets=datasets, context=ctx)["text"]
+    if name == "unbiasedness":
+        return figures.run_unbiasedness(trials=max(trials, 50))["text"]
+    if name == "ablation":
+        return figures.run_ablation_heuristics(
+            datasets=datasets, trials=max(1, trials // 2), context=ctx
+        )["text"]
+    if name == "variance":
+        return extensions.run_variance_bound(
+            trials=max(trials * 10, 100)
+        )["text"]
+    if name == "ensemble":
+        return extensions.run_ensemble(trials=max(trials * 5, 30))["text"]
+    if name == "anomaly":
+        return extensions.run_anomaly_quality()["text"]
+    if name == "lineage":
+        return extensions.run_triangle_lineage(
+            trials=max(trials * 10, 50)
+        )["text"]
+    raise SystemExit(f"unknown experiment: {name}")
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    datasets = _split_datasets(args.datasets)
+    context = ExperimentContext()
+    if args.experiment == "all":
+        names = [
+            "table2",
+            "fig3",
+            "fig4",
+            "fig5",
+            "fig6",
+            "fig7",
+            "fig8",
+            "fig9",
+            "fig10",
+            "unbiasedness",
+            "ablation",
+            "variance",
+            "ensemble",
+            "anomaly",
+            "lineage",
+        ]
+    else:
+        names = [args.experiment]
+    for name in names:
+        report = run_experiment(
+            name, args.trials, datasets, args.threads, context,
+            chart=args.chart,
+        )
+        print(report)
+        print()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

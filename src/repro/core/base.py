@@ -1,0 +1,74 @@
+"""The estimator interface shared by ABACUS, PARABACUS, and baselines.
+
+Every estimator ingests a fully dynamic stream element-by-element and
+maintains a running butterfly-count estimate.  The common driver,
+:meth:`ButterflyEstimator.process_stream`, also supports checkpoint
+callbacks, which the experiment harness uses to record error/throughput
+trajectories without re-running streams.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Callable, Iterable, List, Optional
+
+from repro.types import StreamElement
+
+# Invoked as callback(elements_processed, estimator) at each checkpoint.
+CheckpointCallback = Callable[[int, "ButterflyEstimator"], None]
+
+
+class ButterflyEstimator(abc.ABC):
+    """Abstract streaming butterfly-count estimator."""
+
+    #: Human-readable name used in benchmark tables.
+    name: str = "estimator"
+
+    @abc.abstractmethod
+    def process(self, element: StreamElement) -> float:
+        """Ingest one stream element.
+
+        Returns:
+            The signed change applied to the estimate by this element
+            (0.0 when the estimator discovered nothing or, for
+            insert-only baselines, when it skipped a deletion).
+        """
+
+    @property
+    @abc.abstractmethod
+    def estimate(self) -> float:
+        """The current butterfly count estimate ``c``."""
+
+    @property
+    @abc.abstractmethod
+    def memory_edges(self) -> int:
+        """Number of edges currently held in memory (sample size)."""
+
+    def process_stream(
+        self,
+        stream: Iterable[StreamElement],
+        checkpoints: Optional[List[int]] = None,
+        on_checkpoint: Optional[CheckpointCallback] = None,
+    ) -> float:
+        """Ingest a whole stream; return the final estimate.
+
+        Args:
+            stream: stream elements in arrival order.
+            checkpoints: sorted element counts at which to invoke
+                ``on_checkpoint`` (e.g. every 10% for Fig. 7).
+            on_checkpoint: callback receiving (elements_processed, self).
+        """
+        pending = list(checkpoints) if checkpoints else []
+        pending.reverse()  # pop from the end
+        processed = 0
+        for element in stream:
+            self.process(element)
+            processed += 1
+            while pending and processed >= pending[-1]:
+                mark = pending.pop()
+                if on_checkpoint is not None:
+                    on_checkpoint(mark, self)
+        return self.estimate
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(estimate={self.estimate:.1f})"

@@ -1,0 +1,103 @@
+"""Checkpoint/restore of ABACUS estimator state.
+
+Long-running streaming jobs need to survive restarts without replaying
+the whole stream.  ABACUS's entire state is small — the sampled edges,
+the compensation counters, the live-edge count, the estimate, and the
+RNG state — so it serialises to a compact JSON document.  Restoring
+reproduces the estimator *exactly*: continuing a restored instance
+yields bit-identical results to the uninterrupted run (tested).
+
+Vertex identifiers must be JSON-representable (int or str); the integer
+vertices produced by the library's generators and loaders always are.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict
+
+from repro.core.abacus import Abacus
+from repro.errors import EstimatorError
+
+_FORMAT_VERSION = 1
+
+
+def abacus_to_dict(estimator: Abacus) -> Dict[str, Any]:
+    """Capture the complete state of an :class:`Abacus` instance."""
+    sampler = estimator.sampler
+    rng_state = sampler._rng.getstate()
+    return {
+        "format_version": _FORMAT_VERSION,
+        "budget": sampler.budget,
+        "estimate": estimator.estimate,
+        "num_live_edges": sampler.num_live_edges,
+        "cb": sampler.cb,
+        "cg": sampler.cg,
+        "sample_edges": [list(edge) for edge in sampler.sample.edges()],
+        "total_work": estimator.total_work,
+        "elements_processed": estimator.elements_processed,
+        "cheapest_side": estimator._cheapest_side,
+        "naive_increment": estimator._naive_increment,
+        # random.Random.getstate() -> (version, tuple-of-ints, gauss).
+        "rng_state": [
+            rng_state[0],
+            list(rng_state[1]),
+            rng_state[2],
+        ],
+    }
+
+
+def abacus_from_dict(state: Dict[str, Any]) -> Abacus:
+    """Rebuild an :class:`Abacus` from :func:`abacus_to_dict` output."""
+    version = state.get("format_version")
+    if version != _FORMAT_VERSION:
+        raise EstimatorError(
+            f"unsupported checkpoint format version: {version!r}"
+        )
+    estimator = Abacus(
+        state["budget"],
+        cheapest_side=state["cheapest_side"],
+        naive_increment=state["naive_increment"],
+    )
+    sampler = estimator.sampler
+    raw_version, raw_internal, raw_gauss = state["rng_state"]
+    sampler._rng.setstate(
+        (raw_version, tuple(raw_internal), raw_gauss)
+    )
+    sampler.num_live_edges = state["num_live_edges"]
+    sampler.cb = state["cb"]
+    sampler.cg = state["cg"]
+    for u, v in state["sample_edges"]:
+        sampler.sample.add_edge(u, v)
+    estimator._estimate = state["estimate"]
+    estimator.total_work = state["total_work"]
+    estimator.elements_processed = state["elements_processed"]
+    return estimator
+
+
+def save_checkpoint(estimator: Abacus, path: str | os.PathLike) -> None:
+    """Write an ABACUS checkpoint as JSON."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(abacus_to_dict(estimator), handle)
+
+
+def load_checkpoint(path: str | os.PathLike) -> Abacus:
+    """Read an ABACUS checkpoint written by :func:`save_checkpoint`.
+
+    Raises:
+        EstimatorError: on a malformed or version-incompatible file.
+    """
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            state = json.load(handle)
+    except json.JSONDecodeError as exc:
+        raise EstimatorError(f"malformed checkpoint file {path}") from exc
+    if not isinstance(state, dict):
+        raise EstimatorError(f"malformed checkpoint file {path}")
+    try:
+        return abacus_from_dict(state)
+    except (KeyError, TypeError, ValueError) as exc:
+        raise EstimatorError(
+            f"checkpoint file {path} is missing or corrupts fields"
+        ) from exc

@@ -1,0 +1,139 @@
+"""The paper's probability and variance formulas (Section IV).
+
+Everything here is a pure function of the sampler state, kept separate
+from the estimators so the theory can be unit-tested against brute-force
+enumeration and reused by the benchmark harness.
+
+Key quantities:
+
+* Equation 1 — the probability that the three *other* edges of a
+  butterfly are all in the Random Pairing sample:
+
+      Pr(|E|, cb, cg) = y/T * (y-1)/(T-1) * (y-2)/(T-2)
+
+  with ``T = |E| + cb + cg`` and ``y = min(k, T)``.
+
+* Theorem 2 — the closed-form variance of the ABACUS estimate and its
+  tight upper bound, both expressed through hypergeometric inclusion
+  probabilities ``C(|E|-j, k-j) / C(|E|, k)``.
+
+* Corollary 1 — Chebyshev concentration.
+"""
+
+from __future__ import annotations
+
+from repro.errors import EstimatorError
+
+
+def subset_inclusion_probability(population: int, sample_size: int, j: int) -> float:
+    """P(j specific items are all in a uniform size-``sample_size`` sample.
+
+    Equals ``C(population - j, sample_size - j) / C(population,
+    sample_size)``, computed as the stable telescoping product
+    ``prod_{i<j} (sample_size - i) / (population - i)`` to avoid huge
+    binomials.
+
+    Returns 0.0 when ``sample_size < j`` and 1.0 when ``j == 0``.
+    """
+    if j < 0:
+        raise EstimatorError(f"j must be >= 0, got {j}")
+    if j == 0:
+        return 1.0
+    if sample_size < j or population < j:
+        return 0.0
+    probability = 1.0
+    for i in range(j):
+        probability *= (sample_size - i) / (population - i)
+    return probability
+
+
+def discovery_probability(
+    num_live_edges: int, cb: int, cg: int, budget: int
+) -> float:
+    """Equation 1: probability of discovering a butterfly via the sample.
+
+    A butterfly affected by the incoming edge ``{u, v}`` is discovered
+    iff its three other edges are all sampled; under Random Pairing the
+    sample is a uniform ``y``-subset of a ``T``-item population with
+    ``T = |E| + cb + cg`` and ``y = min(k, T)``.
+
+    Args:
+        num_live_edges: ``|E|`` — stream edges not yet deleted, *before*
+            the incoming element's sample update.
+        cb: uncompensated sampled ("bad") deletions.
+        cg: uncompensated unsampled ("good") deletions.
+        budget: the memory budget ``k``.
+
+    Returns:
+        The discovery probability; 0.0 whenever fewer than three edges
+        can be sampled (no butterfly is then discoverable).
+    """
+    t = num_live_edges + cb + cg
+    y = min(budget, t)
+    return subset_inclusion_probability(t, y, 3)
+
+
+def extrapolation_factor(num_edges: int, budget: int) -> float:
+    """``gamma = C(|E|, k) / C(|E|-4, k-4)`` from Theorem 2.
+
+    The reciprocal of the probability that all four edges of a butterfly
+    are simultaneously sampled; ``E[c] = gamma * E[#butterflies in S]``.
+    """
+    p4 = subset_inclusion_probability(num_edges, min(budget, num_edges), 4)
+    if p4 == 0.0:
+        raise EstimatorError(
+            f"gamma undefined: cannot sample 4 edges with |E|={num_edges}, "
+            f"k={budget}"
+        )
+    return 1.0 / p4
+
+
+def variance_closed_form(
+    expected: float,
+    num_edges: int,
+    budget: int,
+    pairs_sharing_0: int,
+    pairs_sharing_1: int,
+    pairs_sharing_2: int,
+) -> float:
+    """Theorem 2's closed-form variance of the ABACUS estimate.
+
+    Args:
+        expected: ``E[c]`` — the true butterfly count (unbiasedness).
+        num_edges: ``|E|`` live edges.
+        budget: sample budget ``k``.
+        pairs_sharing_0: ``y1`` — butterfly pairs sharing no edge
+            (8 distinct edges).
+        pairs_sharing_1: ``y2`` — pairs sharing one edge (7 edges).
+        pairs_sharing_2: ``y3`` — pairs sharing two edges (6 edges).
+    """
+    k = min(budget, num_edges)
+    gamma = extrapolation_factor(num_edges, budget)
+    p8 = subset_inclusion_probability(num_edges, k, 8)
+    p7 = subset_inclusion_probability(num_edges, k, 7)
+    p6 = subset_inclusion_probability(num_edges, k, 6)
+    cross = (
+        pairs_sharing_0 * p8 + pairs_sharing_1 * p7 + pairs_sharing_2 * p6
+    )
+    return gamma * expected - expected**2 + 2.0 * gamma**2 * cross
+
+
+def variance_upper_bound(expected: float, num_edges: int, budget: int) -> float:
+    """Theorem 2's tight upper bound on the variance.
+
+        Var[c] <= gamma*E[c] + 2*gamma^2 * C(E[c],2) * p6 - E[c]^2
+
+    where ``p6`` is the inclusion probability of six specific edges.
+    """
+    k = min(budget, num_edges)
+    gamma = extrapolation_factor(num_edges, budget)
+    p6 = subset_inclusion_probability(num_edges, k, 6)
+    pair_count = expected * (expected - 1.0) / 2.0
+    return gamma * expected + 2.0 * gamma**2 * pair_count * p6 - expected**2
+
+
+def chebyshev_bound(lam: float) -> float:
+    """Corollary 1: P(|c - E[c]| >= lam * sqrt(Var[c])) <= 1 / lam^2."""
+    if lam <= 0:
+        raise EstimatorError(f"lambda must be positive, got {lam}")
+    return min(1.0, 1.0 / (lam * lam))

@@ -1,0 +1,58 @@
+"""Typed exceptions used across the library.
+
+Every error raised by ``repro`` derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still being able to distinguish the individual failure modes.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class GraphError(ReproError):
+    """Base class for errors raised by the bipartite-graph substrate."""
+
+
+class PartitionError(GraphError):
+    """A vertex was used on the wrong side of the bipartition.
+
+    Bipartite graphs keep two disjoint vertex partitions (left and
+    right).  Attempting to insert an edge whose endpoint already lives in
+    the opposite partition raises this error instead of silently
+    corrupting the bipartition.
+    """
+
+
+class DuplicateEdgeError(GraphError):
+    """An edge insertion targeted an edge that already exists.
+
+    The paper's stream model (Definition 1) explicitly excludes
+    multigraphs: only edges that are currently absent may be inserted.
+    """
+
+
+class MissingEdgeError(GraphError):
+    """An edge deletion targeted an edge that does not exist.
+
+    The stream model only allows deleting edges that are currently
+    present in the graph.
+    """
+
+
+class StreamError(ReproError):
+    """A stream was malformed or violated the fully-dynamic contract."""
+
+
+class SamplingError(ReproError):
+    """A sampling scheme was misused (e.g. non-positive budget)."""
+
+
+class EstimatorError(ReproError):
+    """An estimator was configured or driven incorrectly."""
+
+
+class ExperimentError(ReproError):
+    """The experiment harness was asked for an unknown dataset/figure."""

@@ -1,0 +1,30 @@
+"""Experiment harness reproducing the paper's evaluation (Section VI)."""
+
+from repro.experiments.datasets import (
+    DATASETS,
+    DatasetSpec,
+    get_dataset,
+    list_datasets,
+)
+from repro.experiments.runner import (
+    ExperimentContext,
+    ground_truth_final_count,
+    make_estimator,
+)
+from repro.experiments.plotting import bar_chart, histogram, line_chart
+from repro.experiments.report import render_series, render_table
+
+__all__ = [
+    "bar_chart",
+    "histogram",
+    "line_chart",
+    "DATASETS",
+    "DatasetSpec",
+    "get_dataset",
+    "list_datasets",
+    "ExperimentContext",
+    "ground_truth_final_count",
+    "make_estimator",
+    "render_table",
+    "render_series",
+]

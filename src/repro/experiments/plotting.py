@@ -1,0 +1,204 @@
+"""Dependency-free ASCII charts for the experiment harness.
+
+The benchmarks print the rows/series behind every figure in the paper;
+for quick visual inspection in a terminal the CLI can additionally
+*draw* them.  Two chart types cover all of the paper's figures:
+
+* :func:`line_chart` — multi-series line/scatter plots (Figs. 3-9):
+  each series is plotted with its own glyph on a shared canvas with
+  axis labels and a legend.
+* :func:`bar_chart` — horizontal bars (Fig. 10's per-thread workload).
+
+Everything renders to a plain ``str``; no terminal control codes, so
+output is safe to pipe into files and diffs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ExperimentError
+
+#: Glyph cycle for up to six overlaid series.
+_GLYPHS = "*o+x#@"
+
+
+def _format_number(value: float) -> str:
+    """Compact axis-label formatting (trims trailing zeros)."""
+    if value == 0:
+        return "0"
+    magnitude = abs(value)
+    if magnitude >= 1_000_000:
+        return f"{value / 1_000_000:.3g}M"
+    if magnitude >= 10_000:
+        return f"{value / 1_000:.3g}K"
+    if magnitude >= 1:
+        return f"{value:.4g}"
+    return f"{value:.3g}"
+
+
+def _scale(
+    value: float, low: float, high: float, cells: int
+) -> int:
+    """Map ``value`` in ``[low, high]`` to a cell index ``[0, cells-1]``."""
+    if high <= low:
+        return 0
+    ratio = (value - low) / (high - low)
+    return min(cells - 1, max(0, round(ratio * (cells - 1))))
+
+
+def line_chart(
+    series: Dict[str, Tuple[Sequence[float], Sequence[float]]],
+    width: int = 64,
+    height: int = 16,
+    title: Optional[str] = None,
+    x_label: str = "x",
+    y_label: str = "y",
+    y_min: Optional[float] = None,
+) -> str:
+    """Render named ``(xs, ys)`` series onto one ASCII canvas.
+
+    Args:
+        series: mapping from series name to its x and y vectors (equal
+            lengths, at least one point overall).
+        width / height: canvas size in characters (excluding axes).
+        title: optional heading line.
+        x_label / y_label: axis captions.
+        y_min: force the y-axis floor (default: data minimum; pass 0.0
+            for error/throughput plots so bars are comparable).
+
+    Returns:
+        The chart as a multi-line string.
+    """
+    if not series:
+        raise ExperimentError("line_chart needs at least one series")
+    if len(series) > len(_GLYPHS):
+        raise ExperimentError(
+            f"at most {len(_GLYPHS)} series supported, got {len(series)}"
+        )
+    if width < 8 or height < 4:
+        raise ExperimentError("canvas too small (min 8x4)")
+    all_x: List[float] = []
+    all_y: List[float] = []
+    for name, (xs, ys) in series.items():
+        if len(xs) != len(ys):
+            raise ExperimentError(
+                f"series {name!r}: x and y lengths differ "
+                f"({len(xs)} vs {len(ys)})"
+            )
+        all_x.extend(xs)
+        all_y.extend(ys)
+    if not all_x:
+        raise ExperimentError("line_chart needs at least one point")
+    x_low, x_high = min(all_x), max(all_x)
+    y_low = min(all_y) if y_min is None else y_min
+    y_high = max(max(all_y), y_low)
+
+    canvas = [[" "] * width for _ in range(height)]
+    for glyph, (name, (xs, ys)) in zip(_GLYPHS, series.items()):
+        for x, y in zip(xs, ys):
+            col = _scale(x, x_low, x_high, width)
+            row = height - 1 - _scale(y, y_low, y_high, height)
+            canvas[row][col] = glyph
+
+    margin = max(
+        len(_format_number(y_high)), len(_format_number(y_low))
+    )
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    for i, row in enumerate(canvas):
+        if i == 0:
+            label = _format_number(y_high)
+        elif i == height - 1:
+            label = _format_number(y_low)
+        else:
+            label = ""
+        lines.append(f"{label.rjust(margin)} |{''.join(row)}")
+    lines.append(f"{' ' * margin} +{'-' * width}")
+    x_left = _format_number(x_low)
+    x_right = _format_number(x_high)
+    gap = width - len(x_left) - len(x_right)
+    lines.append(
+        f"{' ' * margin}  {x_left}{' ' * max(1, gap)}{x_right}"
+    )
+    legend = "   ".join(
+        f"{glyph}={name}" for glyph, name in zip(_GLYPHS, series)
+    )
+    lines.append(f"{' ' * margin}  {x_label}  [{y_label}]  {legend}")
+    return "\n".join(lines)
+
+
+def bar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    width: int = 48,
+    title: Optional[str] = None,
+    unit: str = "",
+) -> str:
+    """Horizontal bar chart (one row per label).
+
+    Bars are scaled to the maximum value; each row shows the label, the
+    bar, and the numeric value.
+
+    Example:
+        >>> print(bar_chart(["t0", "t1"], [10, 5], width=10))
+        t0 | ########## 10
+        t1 | #####      5
+    """
+    if len(labels) != len(values):
+        raise ExperimentError(
+            f"labels and values lengths differ "
+            f"({len(labels)} vs {len(values)})"
+        )
+    if not labels:
+        raise ExperimentError("bar_chart needs at least one bar")
+    if any(v < 0 for v in values):
+        raise ExperimentError("bar_chart values must be non-negative")
+    peak = max(values)
+    label_width = max(len(label) for label in labels)
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    for label, value in zip(labels, values):
+        cells = 0 if peak == 0 else round(width * value / peak)
+        bar = "#" * cells
+        rendered = _format_number(value)
+        if unit:
+            rendered = f"{rendered} {unit}"
+        lines.append(
+            f"{label.ljust(label_width)} | {bar.ljust(width)} {rendered}"
+        )
+    return "\n".join(lines)
+
+
+def histogram(
+    values: Sequence[float],
+    bins: int = 10,
+    width: int = 48,
+    title: Optional[str] = None,
+) -> str:
+    """Equal-width histogram rendered with :func:`bar_chart`.
+
+    Useful for eyeballing estimate distributions across trials (the
+    unbiasedness benchmarks print one).
+    """
+    if not values:
+        raise ExperimentError("histogram needs at least one value")
+    if bins < 1:
+        raise ExperimentError(f"bins must be positive, got {bins}")
+    low, high = min(values), max(values)
+    if high == low:
+        return bar_chart([_format_number(low)], [len(values)],
+                         width=width, title=title)
+    span = (high - low) / bins
+    counts = [0] * bins
+    for value in values:
+        index = min(bins - 1, int((value - low) / span))
+        counts[index] += 1
+    labels = [
+        f"[{_format_number(low + i * span)}, "
+        f"{_format_number(low + (i + 1) * span)})"
+        for i in range(bins)
+    ]
+    return bar_chart(labels, counts, width=width, title=title)

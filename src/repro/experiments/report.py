@@ -1,0 +1,64 @@
+"""Plain-text rendering of experiment results.
+
+Benchmarks print the same rows/series the paper's tables and figures
+report; these helpers keep the formatting consistent and dependency-free.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Monospace table with column auto-sizing.
+
+    Floats are rendered with 4 significant digits; everything else via
+    ``str``.
+    """
+    materialized: List[List[str]] = [
+        [_cell(value) for value in row] for row in rows
+    ]
+    widths = [len(h) for h in headers]
+    for row in materialized:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header_line = " | ".join(h.ljust(w) for h, w in zip(headers, widths))
+    lines.append(header_line)
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in materialized:
+        lines.append(
+            " | ".join(cell.ljust(w) for cell, w in zip(row, widths))
+        )
+    return "\n".join(lines)
+
+
+def render_series(
+    x_label: str,
+    xs: Sequence[object],
+    series: dict[str, Sequence[float]],
+    title: str | None = None,
+    y_format: str = "{:.4g}",
+) -> str:
+    """One row per x value, one column per named series (figure data)."""
+    headers = [x_label] + list(series)
+    rows = []
+    for i, x in enumerate(xs):
+        row: List[object] = [x]
+        for name in series:
+            values = series[name]
+            row.append(y_format.format(values[i]) if i < len(values) else "-")
+        rows.append(row)
+    return render_table(headers, rows, title=title)
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)

@@ -1,0 +1,172 @@
+"""Shared machinery for running the paper's experiments.
+
+Provides estimator factories keyed by method name, ground-truth
+computation, and an :class:`ExperimentContext` that caches the expensive
+artifacts (streams, final-graph truths) across experiments in one
+process.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Tuple
+
+from repro.baselines.cas import CoAffiliationSampling
+from repro.baselines.fleet import Fleet
+from repro.baselines.sgrapp import SGrapp
+from repro.core.abacus import Abacus
+from repro.core.base import ButterflyEstimator
+from repro.core.exact import ExactStreamingCounter
+from repro.core.parabacus import Parabacus
+from repro.errors import ExperimentError
+from repro.graph.bipartite import BipartiteGraph
+from repro.graph.butterflies import count_butterflies
+from repro.metrics.accuracy import relative_error, summarize_errors
+from repro.metrics.throughput import Stopwatch, throughput_eps
+from repro.experiments.datasets import DatasetSpec
+from repro.streams.stream import EdgeStream
+from repro.types import Op, StreamElement
+
+#: Methods available to experiments and the CLI.
+METHOD_NAMES = ("abacus", "parabacus", "fleet", "cas", "sgrapp", "exact")
+
+
+def make_estimator(
+    method: str,
+    budget: int,
+    seed: Optional[int] = None,
+    batch_size: int = 500,
+    num_threads: int = 4,
+) -> ButterflyEstimator:
+    """Instantiate an estimator by method name.
+
+    Args:
+        method: one of :data:`METHOD_NAMES`.
+        budget: memory budget ``k`` (ignored by ``exact``).
+        seed: RNG seed for sampling decisions.
+        batch_size / num_threads: PARABACUS parameters.
+    """
+    if method == "abacus":
+        return Abacus(budget, seed=seed)
+    if method == "parabacus":
+        return Parabacus(
+            budget, batch_size=batch_size, num_threads=num_threads, seed=seed
+        )
+    if method == "fleet":
+        return Fleet(budget, seed=seed)
+    if method == "cas":
+        return CoAffiliationSampling(budget, seed=seed)
+    if method == "sgrapp":
+        # sGrapp's working set is its window; map the budget onto it.
+        return SGrapp(window=max(1, budget))
+    if method == "exact":
+        return ExactStreamingCounter()
+    raise ExperimentError(
+        f"unknown method {method!r}; available: {METHOD_NAMES}"
+    )
+
+
+def ground_truth_final_count(stream: Iterable[StreamElement]) -> int:
+    """Exact ``|B|`` of the graph remaining after the whole stream.
+
+    Applies all insertions/deletions to a graph and counts once at the
+    end — far cheaper than streaming-exact and sufficient for the
+    end-of-stream relative errors the paper reports.
+    """
+    graph = BipartiteGraph()
+    for element in stream:
+        if element.op is Op.INSERT:
+            graph.add_edge(element.u, element.v)
+        else:
+            graph.remove_edge(element.u, element.v)
+    return count_butterflies(graph)
+
+
+class ExperimentContext:
+    """Caches streams and ground truths across experiment calls.
+
+    Keyed by ``(dataset name, alpha, trial)`` — dataset edge lists are
+    already memoised by the dataset registry.
+    """
+
+    def __init__(self) -> None:
+        self._streams: Dict[Tuple[str, float, int], EdgeStream] = {}
+        self._truths: Dict[Tuple[str, float, int], int] = {}
+
+    def stream(
+        self, spec: DatasetSpec, alpha: float, trial: int
+    ) -> EdgeStream:
+        key = (spec.name, alpha, trial)
+        cached = self._streams.get(key)
+        if cached is None:
+            cached = spec.stream(alpha=alpha, trial=trial)
+            self._streams[key] = cached
+        return cached
+
+    def truth(self, spec: DatasetSpec, alpha: float, trial: int) -> int:
+        key = (spec.name, alpha, trial)
+        cached = self._truths.get(key)
+        if cached is None:
+            cached = ground_truth_final_count(self.stream(spec, alpha, trial))
+            self._truths[key] = cached
+        return cached
+
+    # ------------------------------------------------------------------
+    # Measurements
+    # ------------------------------------------------------------------
+    def accuracy(
+        self,
+        spec: DatasetSpec,
+        method: str,
+        budget: int,
+        alpha: float,
+        trials: int,
+        batch_size: int = 500,
+        num_threads: int = 4,
+    ):
+        """Mean relative error over ``trials`` independent runs."""
+        errors = []
+        for trial in range(trials):
+            stream = self.stream(spec, alpha, trial)
+            truth = self.truth(spec, alpha, trial)
+            estimator = make_estimator(
+                method,
+                budget,
+                seed=spec.base_seed + 104729 * (trial + 1),
+                batch_size=batch_size,
+                num_threads=num_threads,
+            )
+            estimate = estimator.process_stream(stream)
+            if isinstance(estimator, Parabacus):
+                estimator.flush()
+                estimate = estimator.estimate
+            errors.append(relative_error(truth, estimate))
+        return summarize_errors(errors)
+
+    def throughput(
+        self,
+        spec: DatasetSpec,
+        method: str,
+        budget: int,
+        alpha: float,
+        trial: int = 0,
+        insertions_only: bool = False,
+        batch_size: int = 500,
+        num_threads: int = 4,
+    ) -> float:
+        """Elements per second of pure processing time."""
+        stream = self.stream(spec, alpha, trial)
+        if insertions_only:
+            stream = stream.insertions_only()
+        estimator = make_estimator(
+            method,
+            budget,
+            seed=spec.base_seed + 15485863,
+            batch_size=batch_size,
+            num_threads=num_threads,
+        )
+        watch = Stopwatch()
+        with watch:
+            estimator.process_stream(stream)
+            if isinstance(estimator, Parabacus):
+                estimator.flush()
+        return throughput_eps(len(stream), watch.elapsed)

@@ -1,0 +1,243 @@
+"""A dynamic, undirected, unweighted bipartite graph.
+
+The graph matches the paper's model (Section II): two disjoint vertex
+partitions ``L`` and ``R``, no parallel edges, no self-loops (impossible
+by construction since both endpoints live on different sides), and
+vertices whose degree drops to zero are removed from the vertex set.
+
+Adjacency is stored as ``dict[Vertex, set[Vertex]]`` per side, which
+gives O(1) expected edge insertion/deletion/membership and lets the
+butterfly-counting code run set intersections directly on neighbour
+sets — the operation at the heart of ABACUS.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, Optional, Set, Tuple
+
+from repro.errors import DuplicateEdgeError, MissingEdgeError, PartitionError
+from repro.types import Edge, Side, Vertex
+
+
+class BipartiteGraph:
+    """Mutable bipartite graph with set-based adjacency.
+
+    Vertices are created implicitly when the first incident edge is
+    inserted and removed implicitly when their last incident edge is
+    deleted, mirroring the paper's "no zero-degree vertices" convention.
+
+    Example:
+        >>> g = BipartiteGraph()
+        >>> g.add_edge("user1", "item1")
+        >>> g.add_edge("user2", "item1")
+        >>> g.degree("item1")
+        2
+    """
+
+    __slots__ = ("_left", "_right", "_num_edges")
+
+    def __init__(self, edges: Optional[Iterable[Edge]] = None) -> None:
+        self._left: Dict[Vertex, Set[Vertex]] = {}
+        self._right: Dict[Vertex, Set[Vertex]] = {}
+        self._num_edges = 0
+        if edges is not None:
+            for u, v in edges:
+                self.add_edge(u, v)
+
+    # ------------------------------------------------------------------
+    # Basic properties
+    # ------------------------------------------------------------------
+    @property
+    def num_edges(self) -> int:
+        """Number of edges currently in the graph (``|E(t)|``)."""
+        return self._num_edges
+
+    @property
+    def num_left(self) -> int:
+        """Number of left-partition vertices with non-zero degree."""
+        return len(self._left)
+
+    @property
+    def num_right(self) -> int:
+        """Number of right-partition vertices with non-zero degree."""
+        return len(self._right)
+
+    @property
+    def num_vertices(self) -> int:
+        return len(self._left) + len(self._right)
+
+    def left_vertices(self) -> Iterator[Vertex]:
+        """Iterate over the left partition ``L(t)``."""
+        return iter(self._left)
+
+    def right_vertices(self) -> Iterator[Vertex]:
+        """Iterate over the right partition ``R(t)``."""
+        return iter(self._right)
+
+    def edges(self) -> Iterator[Edge]:
+        """Iterate over all edges as ``(left, right)`` tuples."""
+        for u, neighbours in self._left.items():
+            for v in neighbours:
+                yield (u, v)
+
+    def __len__(self) -> int:
+        return self._num_edges
+
+    def __contains__(self, edge: Edge) -> bool:
+        u, v = edge
+        neighbours = self._left.get(u)
+        return neighbours is not None and v in neighbours
+
+    # ------------------------------------------------------------------
+    # Vertex queries
+    # ------------------------------------------------------------------
+    def side_of(self, vertex: Vertex) -> Optional[Side]:
+        """Which partition ``vertex`` belongs to, or None if absent."""
+        if vertex in self._left:
+            return Side.LEFT
+        if vertex in self._right:
+            return Side.RIGHT
+        return None
+
+    def has_vertex(self, vertex: Vertex) -> bool:
+        return vertex in self._left or vertex in self._right
+
+    def neighbors(self, vertex: Vertex) -> Set[Vertex]:
+        """The neighbour set ``N(v)``.
+
+        The returned set is the live internal set (not a copy) for
+        speed; callers must not mutate it.  Absent vertices have an
+        empty neighbourhood.
+        """
+        neighbours = self._left.get(vertex)
+        if neighbours is not None:
+            return neighbours
+        return self._right.get(vertex, _EMPTY_SET)
+
+    def degree(self, vertex: Vertex) -> int:
+        """The degree ``d(v)``; 0 for absent vertices."""
+        return len(self.neighbors(vertex))
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def add_edge(self, u: Vertex, v: Vertex) -> None:
+        """Insert edge ``{u, v}`` with ``u`` on the left, ``v`` right.
+
+        Raises:
+            DuplicateEdgeError: if the edge already exists.
+            PartitionError: if ``u`` is already a right vertex or ``v``
+                is already a left vertex.
+        """
+        if u in self._right:
+            raise PartitionError(f"vertex {u!r} is in the right partition")
+        if v in self._left:
+            raise PartitionError(f"vertex {v!r} is in the left partition")
+        left_neighbours = self._left.get(u)
+        if left_neighbours is None:
+            left_neighbours = set()
+            self._left[u] = left_neighbours
+        elif v in left_neighbours:
+            raise DuplicateEdgeError(f"edge ({u!r}, {v!r}) already exists")
+        right_neighbours = self._right.get(v)
+        if right_neighbours is None:
+            right_neighbours = set()
+            self._right[v] = right_neighbours
+        left_neighbours.add(v)
+        right_neighbours.add(u)
+        self._num_edges += 1
+
+    def remove_edge(self, u: Vertex, v: Vertex) -> None:
+        """Delete edge ``{u, v}``; drops zero-degree endpoints.
+
+        Raises:
+            MissingEdgeError: if the edge does not exist.
+        """
+        left_neighbours = self._left.get(u)
+        if left_neighbours is None or v not in left_neighbours:
+            raise MissingEdgeError(f"edge ({u!r}, {v!r}) does not exist")
+        left_neighbours.discard(v)
+        if not left_neighbours:
+            del self._left[u]
+        right_neighbours = self._right[v]
+        right_neighbours.discard(u)
+        if not right_neighbours:
+            del self._right[v]
+        self._num_edges -= 1
+
+    def has_edge(self, u: Vertex, v: Vertex) -> bool:
+        neighbours = self._left.get(u)
+        return neighbours is not None and v in neighbours
+
+    def clear(self) -> None:
+        """Remove every edge and vertex."""
+        self._left.clear()
+        self._right.clear()
+        self._num_edges = 0
+
+    def copy(self) -> "BipartiteGraph":
+        """A deep copy sharing no adjacency state with this graph."""
+        clone = BipartiteGraph()
+        clone._left = {u: set(ns) for u, ns in self._left.items()}
+        clone._right = {v: set(ns) for v, ns in self._right.items()}
+        clone._num_edges = self._num_edges
+        return clone
+
+    # ------------------------------------------------------------------
+    # Aggregates
+    # ------------------------------------------------------------------
+    def degree_sum(self, vertices: Iterable[Vertex]) -> int:
+        """Cumulative degree of a set of vertices (cheapest-side test)."""
+        return sum(self.degree(v) for v in vertices)
+
+    def max_degree(self) -> int:
+        """Largest degree over all vertices (0 for an empty graph)."""
+        degrees = [len(ns) for ns in self._left.values()]
+        degrees.extend(len(ns) for ns in self._right.values())
+        return max(degrees, default=0)
+
+    def density(self) -> float:
+        """Edge density ``|E| / (|L| * |R|)`` (0.0 for empty sides)."""
+        cells = self.num_left * self.num_right
+        if cells == 0:
+            return 0.0
+        return self._num_edges / cells
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"BipartiteGraph(|L|={self.num_left}, |R|={self.num_right}, "
+            f"|E|={self._num_edges})"
+        )
+
+
+_EMPTY_SET: Set[Vertex] = frozenset()  # type: ignore[assignment]
+
+
+def validate_bipartite(graph: BipartiteGraph) -> Tuple[bool, str]:
+    """Check internal consistency of a graph's adjacency structures.
+
+    Returns ``(True, "")`` when consistent, otherwise ``(False, reason)``.
+    Intended for tests and debugging rather than hot paths.
+    """
+    edge_count = 0
+    for u, neighbours in graph._left.items():
+        if not neighbours:
+            return False, f"left vertex {u!r} has zero degree"
+        for v in neighbours:
+            mirrored = graph._right.get(v)
+            if mirrored is None or u not in mirrored:
+                return False, f"edge ({u!r}, {v!r}) missing right mirror"
+            edge_count += 1
+    for v, neighbours in graph._right.items():
+        if not neighbours:
+            return False, f"right vertex {v!r} has zero degree"
+        for u in neighbours:
+            mirrored = graph._left.get(u)
+            if mirrored is None or v not in mirrored:
+                return False, f"edge ({u!r}, {v!r}) missing left mirror"
+    if edge_count != graph.num_edges:
+        return False, (
+            f"edge count mismatch: counted {edge_count}, "
+            f"recorded {graph.num_edges}"
+        )
+    return True, ""

@@ -1,0 +1,130 @@
+"""(alpha, beta)-core decomposition of bipartite graphs.
+
+The (alpha, beta)-core is the bipartite analogue of the k-core: the
+maximal subgraph in which every left vertex has degree at least
+``alpha`` and every right vertex degree at least ``beta``.  Community
+search on bipartite graphs (one of the applications the paper cites in
+Section I) is usually posed as finding dense (alpha, beta)-cores, and
+cores are also the cheap pre-filter static butterfly counters use:
+vertices outside the (2, 2)-core can join no butterfly at all.
+
+Provided operations:
+
+* :func:`ab_core` — the (alpha, beta)-core itself by cascading peeling.
+* :func:`alpha_beta_core_numbers` — for a fixed ``alpha``, each right
+  vertex's maximum ``beta`` (and vice versa via ``from_side``).
+* :func:`butterfly_core_prefilter` — the (2, 2)-core, with the
+  guarantee (asserted in tests) that butterfly counts are preserved.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict
+
+from repro.errors import GraphError
+from repro.graph.bipartite import BipartiteGraph
+from repro.types import Side, Vertex
+
+
+def ab_core(
+    graph: BipartiteGraph, alpha: int, beta: int
+) -> BipartiteGraph:
+    """The (alpha, beta)-core of ``graph``.
+
+    Repeatedly deletes left vertices with degree < ``alpha`` and right
+    vertices with degree < ``beta`` until none remain.  The result is
+    the unique maximal subgraph satisfying both constraints (possibly
+    empty).  The input graph is not modified.
+
+    Raises:
+        GraphError: if ``alpha`` or ``beta`` is not positive (a zero
+            threshold would keep zero-degree vertices, which the graph
+            model forbids).
+    """
+    if alpha <= 0 or beta <= 0:
+        raise GraphError(
+            f"core thresholds must be positive, got ({alpha}, {beta})"
+        )
+    work = graph.copy()
+    pending = deque()
+    for u in list(work.left_vertices()):
+        if work.degree(u) < alpha:
+            pending.append((u, Side.LEFT))
+    for v in list(work.right_vertices()):
+        if work.degree(v) < beta:
+            pending.append((v, Side.RIGHT))
+    queued = {vertex for vertex, _ in pending}
+    while pending:
+        vertex, side = pending.popleft()
+        queued.discard(vertex)
+        if not work.has_vertex(vertex):
+            continue
+        neighbours = list(work.neighbors(vertex))
+        for other in neighbours:
+            if side is Side.LEFT:
+                work.remove_edge(vertex, other)
+            else:
+                work.remove_edge(other, vertex)
+        for other in neighbours:
+            if not work.has_vertex(other) or other in queued:
+                continue
+            threshold = beta if side is Side.LEFT else alpha
+            if work.degree(other) < threshold:
+                pending.append((other, side.other()))
+                queued.add(other)
+    return work
+
+
+def alpha_beta_core_numbers(
+    graph: BipartiteGraph, alpha: int, from_side: Side = Side.RIGHT
+) -> Dict[Vertex, int]:
+    """For fixed ``alpha``, the max ``beta`` placing each vertex in core.
+
+    With ``from_side=RIGHT`` (default) returns, for every right vertex
+    ``v``, the largest ``beta`` such that ``v`` survives in the
+    (alpha, beta)-core; symmetric for LEFT (then ``alpha`` constrains
+    the right side).  Vertices that leave the core even at threshold 1
+    get 0.
+
+    Computed by peeling with increasing ``beta``; overall cost is the
+    classic O(sum of degrees) per level.
+    """
+    if alpha <= 0:
+        raise GraphError(f"alpha must be positive, got {alpha}")
+    numbers: Dict[Vertex, int] = {}
+    if from_side is Side.RIGHT:
+        targets = list(graph.right_vertices())
+    else:
+        targets = list(graph.left_vertices())
+    for vertex in targets:
+        numbers[vertex] = 0
+
+    def core_at(base: BipartiteGraph, beta: int) -> BipartiteGraph:
+        if from_side is Side.RIGHT:
+            return ab_core(base, alpha, beta)
+        return ab_core(base, beta, alpha)
+
+    beta = 1
+    core = core_at(graph, beta) if targets else BipartiteGraph()
+    while core.num_edges:
+        survivors = (
+            core.right_vertices()
+            if from_side is Side.RIGHT
+            else core.left_vertices()
+        )
+        for vertex in survivors:
+            numbers[vertex] = beta
+        beta += 1
+        core = core_at(core, beta)
+    return numbers
+
+
+def butterfly_core_prefilter(graph: BipartiteGraph) -> BipartiteGraph:
+    """The (2, 2)-core — the smallest subgraph containing all butterflies.
+
+    Every butterfly vertex has two neighbours inside the butterfly, so
+    cascading removal of degree-<2 vertices can never break one.  Static
+    exact counters run on this core to skip pendant structure.
+    """
+    return ab_core(graph, 2, 2)

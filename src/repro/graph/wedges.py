@@ -1,0 +1,76 @@
+"""Wedge (2-path) utilities for bipartite graphs.
+
+A *wedge* is a path of length two ``w - v - x`` whose endpoints ``w``
+and ``x`` lie on the same side of the bipartition and whose centre ``v``
+lies on the other side.  Butterflies and wedges are tightly linked: a
+pair of same-side vertices with ``c`` common neighbours closes
+``C(c, 2)`` butterflies, and a butterfly is exactly a pair of wedges
+sharing both endpoints.  The exact counters in
+:mod:`repro.graph.butterflies` are built on these helpers.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, Iterable, Tuple
+
+from repro.graph.bipartite import BipartiteGraph
+from repro.types import Side, Vertex
+
+
+def count_wedges(graph: BipartiteGraph, centre_side: Side = Side.RIGHT) -> int:
+    """Total number of wedges whose centre is on ``centre_side``.
+
+    Each centre vertex ``v`` of degree ``d`` contributes ``C(d, 2)``
+    wedges.
+    """
+    if centre_side is Side.RIGHT:
+        centres = graph.right_vertices()
+    else:
+        centres = graph.left_vertices()
+    total = 0
+    for v in centres:
+        d = graph.degree(v)
+        total += d * (d - 1) // 2
+    return total
+
+
+def wedge_counts_per_pair(
+    graph: BipartiteGraph, endpoint_side: Side = Side.LEFT
+) -> Dict[Tuple[Vertex, Vertex], int]:
+    """Number of common neighbours for every connected same-side pair.
+
+    Returns a dict keyed by an ordered pair ``(w, x)`` (ordered by
+    ``repr`` to make the key canonical for arbitrary hashables) of
+    vertices on ``endpoint_side`` mapping to ``|N(w) ∩ N(x)|``.  Pairs
+    with no common neighbour are omitted.
+    """
+    if endpoint_side is Side.LEFT:
+        centres = list(graph.right_vertices())
+    else:
+        centres = list(graph.left_vertices())
+    counts: Counter = Counter()
+    for v in centres:
+        endpoints = sorted(graph.neighbors(v), key=repr)
+        for i, w in enumerate(endpoints):
+            for x in endpoints[i + 1:]:
+                counts[(w, x)] += 1
+    return dict(counts)
+
+
+def common_neighbor_count(graph: BipartiteGraph, w: Vertex, x: Vertex) -> int:
+    """``|N(w) ∩ N(x)|`` computed by intersecting the smaller set."""
+    nw = graph.neighbors(w)
+    nx = graph.neighbors(x)
+    if len(nw) > len(nx):
+        nw, nx = nx, nw
+    return sum(1 for y in nw if y in nx)
+
+
+def wedge_participation(graph: BipartiteGraph, vertices: Iterable[Vertex]) -> int:
+    """Number of wedges centred at each vertex of ``vertices``, summed."""
+    total = 0
+    for v in vertices:
+        d = graph.degree(v)
+        total += d * (d - 1) // 2
+    return total

@@ -1,0 +1,28 @@
+"""Evaluation metrics: accuracy, throughput, and workload balance."""
+
+from repro.metrics.accuracy import (
+    mean,
+    percentile,
+    relative_error,
+    summarize_errors,
+)
+from repro.metrics.throughput import Stopwatch, throughput_eps
+from repro.metrics.timeseries import (
+    TrajectoryPoint,
+    TrajectoryTracker,
+    track_against_oracle,
+)
+from repro.metrics.workload import workload_balance
+
+__all__ = [
+    "TrajectoryPoint",
+    "TrajectoryTracker",
+    "track_against_oracle",
+    "relative_error",
+    "mean",
+    "percentile",
+    "summarize_errors",
+    "Stopwatch",
+    "throughput_eps",
+    "workload_balance",
+]

@@ -1,0 +1,84 @@
+"""Accuracy metrics.
+
+The paper's accuracy metric (Section VI-A) is the relative error
+``|x - x_hat| / x`` for a true count ``x > 0``; experiments report the
+mean over 10 independent trials.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.errors import ExperimentError
+
+
+def relative_error(truth: float, estimate: float) -> float:
+    """``|truth - estimate| / truth``; requires ``truth > 0``."""
+    if truth <= 0:
+        raise ExperimentError(
+            f"relative error undefined for non-positive truth {truth}"
+        )
+    return abs(truth - estimate) / truth
+
+
+def mean(values: Sequence[float]) -> float:
+    """Arithmetic mean; raises on empty input rather than returning NaN."""
+    if not values:
+        raise ExperimentError("mean of empty sequence")
+    return sum(values) / len(values)
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Linear-interpolation percentile, ``q`` in [0, 100]."""
+    if not values:
+        raise ExperimentError("percentile of empty sequence")
+    if not 0.0 <= q <= 100.0:
+        raise ExperimentError(f"percentile q must be in [0, 100], got {q}")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (len(ordered) - 1) * q / 100.0
+    low = math.floor(rank)
+    high = math.ceil(rank)
+    if low == high:
+        return ordered[low]
+    frac = rank - low
+    return ordered[low] * (1.0 - frac) + ordered[high] * frac
+
+
+@dataclass(frozen=True, slots=True)
+class ErrorSummary:
+    """Aggregate of per-trial relative errors."""
+
+    mean: float
+    stdev: float
+    minimum: float
+    maximum: float
+    trials: int
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"{self.mean * 100:.2f}% ± {self.stdev * 100:.2f}% "
+            f"(min {self.minimum * 100:.2f}%, max {self.maximum * 100:.2f}%, "
+            f"n={self.trials})"
+        )
+
+
+def summarize_errors(errors: Sequence[float]) -> ErrorSummary:
+    """Mean/stdev/min/max summary of a sequence of relative errors."""
+    if not errors:
+        raise ExperimentError("cannot summarize an empty error sequence")
+    m = mean(errors)
+    if len(errors) > 1:
+        variance = sum((e - m) ** 2 for e in errors) / (len(errors) - 1)
+    else:
+        variance = 0.0
+    return ErrorSummary(
+        mean=m,
+        stdev=math.sqrt(variance),
+        minimum=min(errors),
+        maximum=max(errors),
+        trials=len(errors),
+    )

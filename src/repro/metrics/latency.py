@@ -1,0 +1,126 @@
+"""Per-element processing latency distribution.
+
+Throughput (elements/second) hides tail behaviour: a streaming system
+cares whether the occasional element stalls the pipeline.  ABACUS's
+per-element cost is data-dependent (hub endpoints mean larger
+neighbourhood intersections), so the tail matters.
+:class:`LatencyRecorder` wraps any estimator and records per-element
+wall-clock latencies into a fixed set of histogram buckets (constant
+memory, no per-element allocation), from which percentiles are
+interpolated.
+"""
+
+from __future__ import annotations
+
+import time
+from bisect import bisect_left
+from typing import Iterable, List, Optional, Sequence
+
+from repro.core.base import ButterflyEstimator
+from repro.errors import ExperimentError
+from repro.types import StreamElement
+
+# Default bucket boundaries in seconds: 1us .. 1s, log-spaced (factor ~2).
+_DEFAULT_BOUNDARIES = tuple(
+    1e-6 * (2.0**i) for i in range(21)
+)
+
+
+class LatencyRecorder:
+    """Wraps an estimator; records per-element latency into a histogram.
+
+    Args:
+        estimator: the estimator to drive and time.
+        boundaries: ascending bucket upper bounds in seconds; latencies
+            above the last boundary land in an overflow bucket.
+
+    Example:
+        >>> from repro.core.exact import ExactStreamingCounter
+        >>> from repro.types import insertion
+        >>> recorder = LatencyRecorder(ExactStreamingCounter())
+        >>> recorder.process(insertion(1, 2))
+        0.0
+        >>> recorder.count
+        1
+    """
+
+    def __init__(
+        self,
+        estimator: ButterflyEstimator,
+        boundaries: Sequence[float] = _DEFAULT_BOUNDARIES,
+    ) -> None:
+        if not boundaries or list(boundaries) != sorted(boundaries):
+            raise ExperimentError("boundaries must be ascending and non-empty")
+        self.estimator = estimator
+        self._boundaries: List[float] = list(boundaries)
+        # One bucket per boundary plus an overflow bucket.
+        self._counts: List[int] = [0] * (len(self._boundaries) + 1)
+        self.count = 0
+        self.total_seconds = 0.0
+        self.max_seconds = 0.0
+
+    def process(self, element: StreamElement) -> float:
+        """Time one ``estimator.process`` call; return its delta."""
+        start = time.perf_counter()
+        delta = self.estimator.process(element)
+        elapsed = time.perf_counter() - start
+        self._record(elapsed)
+        return delta
+
+    def process_stream(self, stream: Iterable[StreamElement]) -> float:
+        for element in stream:
+            self.process(element)
+        return self.estimator.estimate
+
+    def _record(self, elapsed: float) -> None:
+        self.count += 1
+        self.total_seconds += elapsed
+        if elapsed > self.max_seconds:
+            self.max_seconds = elapsed
+        self._counts[bisect_left(self._boundaries, elapsed)] += 1
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def mean_seconds(self) -> float:
+        if self.count == 0:
+            return 0.0
+        return self.total_seconds / self.count
+
+    def percentile(self, q: float) -> float:
+        """Approximate latency percentile (upper bucket boundary).
+
+        Args:
+            q: percentile in [0, 100].
+
+        Returns:
+            The upper boundary of the bucket containing the q-th
+            percentile observation (``max_seconds`` for the overflow
+            bucket) — a conservative estimate.
+        """
+        if not 0.0 <= q <= 100.0:
+            raise ExperimentError(f"q must be in [0, 100], got {q}")
+        if self.count == 0:
+            raise ExperimentError("no latencies recorded")
+        rank = q / 100.0 * self.count
+        cumulative = 0
+        for i, bucket_count in enumerate(self._counts):
+            cumulative += bucket_count
+            if cumulative >= rank:
+                if i < len(self._boundaries):
+                    return self._boundaries[i]
+                return self.max_seconds
+        return self.max_seconds
+
+    def summary(self) -> dict:
+        """p50/p90/p99/max/mean, in microseconds for readability."""
+        to_us = 1e6
+        return {
+            "count": self.count,
+            "mean_us": self.mean_seconds * to_us,
+            "p50_us": self.percentile(50) * to_us,
+            "p90_us": self.percentile(90) * to_us,
+            "p99_us": self.percentile(99) * to_us,
+            "max_us": self.max_seconds * to_us,
+        }

@@ -1,0 +1,76 @@
+"""Throughput measurement helpers.
+
+Throughput is defined as in Section VI-C: elements processed per second
+of pure processing time, ignoring any inter-arrival waiting (streams are
+replayed from memory).
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.errors import ExperimentError
+
+
+class Stopwatch:
+    """Accumulating wall-clock timer with pause/resume semantics.
+
+    Example:
+        >>> watch = Stopwatch()
+        >>> watch.start()
+        >>> # ... work ...
+        >>> watch.stop()  # doctest: +SKIP
+        >>> watch.elapsed > 0
+        True
+    """
+
+    __slots__ = ("_accumulated", "_started_at")
+
+    def __init__(self) -> None:
+        self._accumulated = 0.0
+        self._started_at: float | None = None
+
+    def start(self) -> None:
+        if self._started_at is not None:
+            raise ExperimentError("stopwatch already running")
+        self._started_at = time.perf_counter()
+
+    def stop(self) -> float:
+        """Pause; return the total accumulated seconds."""
+        if self._started_at is None:
+            raise ExperimentError("stopwatch is not running")
+        self._accumulated += time.perf_counter() - self._started_at
+        self._started_at = None
+        return self._accumulated
+
+    @property
+    def running(self) -> bool:
+        return self._started_at is not None
+
+    @property
+    def elapsed(self) -> float:
+        """Total seconds, including the in-flight segment if running."""
+        extra = 0.0
+        if self._started_at is not None:
+            extra = time.perf_counter() - self._started_at
+        return self._accumulated + extra
+
+    def reset(self) -> None:
+        self._accumulated = 0.0
+        self._started_at = None
+
+    def __enter__(self) -> "Stopwatch":
+        self.start()
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.stop()
+
+
+def throughput_eps(elements: int, seconds: float) -> float:
+    """Elements per second; guards against zero/negative durations."""
+    if elements < 0:
+        raise ExperimentError(f"element count must be >= 0, got {elements}")
+    if seconds <= 0.0:
+        raise ExperimentError(f"duration must be positive, got {seconds}")
+    return elements / seconds

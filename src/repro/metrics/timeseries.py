@@ -1,0 +1,197 @@
+"""Error trajectories: estimate-vs-truth over the course of a stream.
+
+Final-count accuracy (Figs. 3, 5) summarises a whole run in one number;
+streaming deployments care how the error *evolves* — an estimator that
+is accurate at the end but wild in the middle is useless for the
+anomaly-detection applications the paper motivates.  This module
+records synchronised (elements_processed, truth, estimate) checkpoints
+and derives trajectory-level metrics (mean/max relative error, error at
+each checkpoint, MAPE).
+
+Typical use::
+
+    tracker = TrajectoryTracker()
+    oracle = ExactStreamingCounter()
+    estimator = Abacus(budget=1500, seed=7)
+    for t, element in enumerate(stream, start=1):
+        oracle.process(element)
+        estimator.process(element)
+        if t % 1000 == 0:
+            tracker.record(t, oracle.estimate, estimator.estimate)
+    print(tracker.mean_relative_error())
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Tuple
+
+from repro.errors import ExperimentError
+from repro.metrics.accuracy import relative_error
+
+
+@dataclass(frozen=True)
+class TrajectoryPoint:
+    """One synchronised checkpoint along a stream."""
+
+    elements_processed: int
+    truth: float
+    estimate: float
+
+    @property
+    def error(self) -> float:
+        """Relative error at this checkpoint (0 when truth is 0 and the
+        estimate agrees; infinite when only the truth is 0)."""
+        if self.truth == 0:
+            return 0.0 if self.estimate == 0 else float("inf")
+        return relative_error(self.truth, self.estimate)
+
+    @property
+    def signed_deviation(self) -> float:
+        """``estimate - truth`` (positive = overestimate)."""
+        return self.estimate - self.truth
+
+
+class TrajectoryTracker:
+    """Accumulates checkpoints and summarises the error trajectory."""
+
+    __slots__ = ("_points",)
+
+    def __init__(self) -> None:
+        self._points: List[TrajectoryPoint] = []
+
+    def record(
+        self, elements_processed: int, truth: float, estimate: float
+    ) -> TrajectoryPoint:
+        """Append a checkpoint; checkpoints must arrive in stream order."""
+        if (
+            self._points
+            and elements_processed <= self._points[-1].elements_processed
+        ):
+            raise ExperimentError(
+                "checkpoints must be recorded in increasing stream order "
+                f"(got {elements_processed} after "
+                f"{self._points[-1].elements_processed})"
+            )
+        point = TrajectoryPoint(elements_processed, truth, estimate)
+        self._points.append(point)
+        return point
+
+    # ------------------------------------------------------------------
+    # Access
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._points)
+
+    def __iter__(self) -> Iterator[TrajectoryPoint]:
+        return iter(self._points)
+
+    @property
+    def points(self) -> List[TrajectoryPoint]:
+        return list(self._points)
+
+    def errors(self) -> List[float]:
+        """Relative error at every checkpoint with non-zero truth."""
+        return [p.error for p in self._points if p.truth != 0]
+
+    # ------------------------------------------------------------------
+    # Summaries
+    # ------------------------------------------------------------------
+    def mean_relative_error(self) -> float:
+        """MAPE over checkpoints with non-zero truth (nan if none)."""
+        errors = self.errors()
+        if not errors:
+            return float("nan")
+        return sum(errors) / len(errors)
+
+    def max_relative_error(self) -> float:
+        """Worst checkpoint error (nan if no checkpoint had truth)."""
+        errors = self.errors()
+        if not errors:
+            return float("nan")
+        return max(errors)
+
+    def final_relative_error(self) -> float:
+        """Error at the last checkpoint (the Figs. 3/5 quantity)."""
+        if not self._points:
+            raise ExperimentError("no checkpoints recorded")
+        return self._points[-1].error
+
+    def mean_signed_deviation(self) -> float:
+        """Average of ``estimate - truth`` — a drift/bias indicator."""
+        if not self._points:
+            raise ExperimentError("no checkpoints recorded")
+        deviations = [p.signed_deviation for p in self._points]
+        return sum(deviations) / len(deviations)
+
+    def series(self) -> Tuple[List[int], List[float], List[float]]:
+        """``(xs, truths, estimates)`` for plotting."""
+        xs = [p.elements_processed for p in self._points]
+        truths = [p.truth for p in self._points]
+        estimates = [p.estimate for p in self._points]
+        return xs, truths, estimates
+
+    def worst_window(
+        self, width: int = 5
+    ) -> Optional[Tuple[int, int, float]]:
+        """The contiguous checkpoint window with the largest mean error.
+
+        Returns ``(start_elements, end_elements, mean_error)`` or None
+        when fewer than ``width`` checkpoints carry non-zero truth.
+        """
+        scored = [
+            (p.elements_processed, p.error)
+            for p in self._points
+            if p.truth != 0
+        ]
+        if len(scored) < width:
+            return None
+        best: Optional[Tuple[int, int, float]] = None
+        for i in range(len(scored) - width + 1):
+            window = scored[i: i + width]
+            mean_error = sum(e for _, e in window) / width
+            if best is None or mean_error > best[2]:
+                best = (window[0][0], window[-1][0], mean_error)
+        return best
+
+
+def track_against_oracle(
+    stream,
+    estimator,
+    oracle,
+    checkpoints: Optional[List[int]] = None,
+    every: Optional[int] = None,
+) -> TrajectoryTracker:
+    """Drive ``estimator`` and ``oracle`` over ``stream``, recording
+    synchronised checkpoints.
+
+    Args:
+        stream: the stream to replay (consumed once).
+        estimator: any :class:`~repro.core.base.ButterflyEstimator`.
+        oracle: the ground-truth estimator (usually
+            :class:`~repro.core.exact.ExactStreamingCounter`).
+        checkpoints: explicit sorted element counts to record at; or
+        every: record every ``every`` elements (mutually exclusive).
+
+    Returns:
+        The populated :class:`TrajectoryTracker`.
+    """
+    if (checkpoints is None) == (every is None):
+        raise ExperimentError(
+            "pass exactly one of 'checkpoints' or 'every'"
+        )
+    marks = set(checkpoints or [])
+    tracker = TrajectoryTracker()
+    processed = 0
+    for element in stream:
+        oracle.process(element)
+        estimator.process(element)
+        processed += 1
+        hit = (
+            processed in marks
+            if every is None
+            else processed % every == 0
+        )
+        if hit:
+            tracker.record(processed, oracle.estimate, estimator.estimate)
+    return tracker

@@ -1,0 +1,61 @@
+"""Workload-balance statistics for PARABACUS (Figure 10).
+
+The paper measures per-thread workload as the number of element checks
+performed inside set intersections during butterfly counting and shows
+that PARABACUS assigns near-equal workloads to all threads.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.errors import ExperimentError
+
+
+@dataclass(frozen=True, slots=True)
+class WorkloadBalance:
+    """Summary of a per-thread workload vector."""
+
+    workloads: tuple
+    total: int
+    mean: float
+    maximum: int
+    minimum: int
+    imbalance: float
+    """``max / mean`` — 1.0 is perfect balance."""
+    coefficient_of_variation: float
+    """stdev / mean — 0.0 is perfect balance."""
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"threads={len(self.workloads)} total={self.total} "
+            f"mean={self.mean:.0f} max={self.maximum} "
+            f"imbalance={self.imbalance:.3f} cv={self.coefficient_of_variation:.3f}"
+        )
+
+
+def workload_balance(workloads: Sequence[int]) -> WorkloadBalance:
+    """Compute balance statistics of a per-thread workload vector."""
+    if not workloads:
+        raise ExperimentError("workload vector is empty")
+    total = sum(workloads)
+    n = len(workloads)
+    average = total / n
+    if average > 0:
+        variance = sum((w - average) ** 2 for w in workloads) / n
+        cv = math.sqrt(variance) / average
+        imbalance = max(workloads) / average
+    else:
+        cv = 0.0
+        imbalance = 1.0
+    return WorkloadBalance(
+        workloads=tuple(workloads),
+        total=total,
+        mean=average,
+        maximum=max(workloads),
+        minimum=min(workloads),
+        imbalance=imbalance,
+        coefficient_of_variation=cv,
+    )

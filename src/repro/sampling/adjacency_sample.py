@@ -1,0 +1,150 @@
+"""Adjacency-list storage for sampled edges.
+
+ABACUS stores its sampled edges "using the adjacency list format"
+(Section VI-A) because per-edge butterfly counting is a sequence of set
+intersections over sampled neighbourhoods.  :class:`GraphSample` keeps:
+
+* per-vertex neighbour sets (``N^S_v``) for O(1) membership and fast
+  intersection,
+* a flat edge list plus an index map so Random Pairing can evict a
+  uniformly random edge in O(1),
+* an optional *recorder* callback fired on every mutation, which is how
+  :class:`~repro.sampling.versioned.VersionedGraphSample` captures
+  per-version deltas without the sample knowing about versions.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.errors import SamplingError
+from repro.types import Edge, Vertex
+
+# Recorder signature: (op, u, v) with op "+" for add and "-" for remove.
+Recorder = Callable[[str, Vertex, Vertex], None]
+
+_EMPTY_SET: Set[Vertex] = frozenset()  # type: ignore[assignment]
+
+
+class GraphSample:
+    """The sampled subgraph ``S``: adjacency sets + O(1) random eviction."""
+
+    __slots__ = ("_adj", "_edges", "_index", "recorder")
+
+    def __init__(self, recorder: Optional[Recorder] = None) -> None:
+        self._adj: Dict[Vertex, Set[Vertex]] = {}
+        self._edges: List[Edge] = []
+        self._index: Dict[Edge, int] = {}
+        self.recorder = recorder
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def num_edges(self) -> int:
+        """``|S|`` — number of sampled edges."""
+        return len(self._edges)
+
+    def __len__(self) -> int:
+        return len(self._edges)
+
+    def __contains__(self, edge: Edge) -> bool:
+        return edge in self._index
+
+    def contains(self, u: Vertex, v: Vertex) -> bool:
+        return (u, v) in self._index
+
+    def neighbors(self, vertex: Vertex) -> Set[Vertex]:
+        """``N^S_v`` (live internal set; callers must not mutate)."""
+        return self._adj.get(vertex, _EMPTY_SET)
+
+    def degree(self, vertex: Vertex) -> int:
+        """``d^S_v`` — degree within the sample."""
+        return len(self._adj.get(vertex, _EMPTY_SET))
+
+    def degree_sum(self, vertices: Iterable[Vertex]) -> int:
+        """Cumulative sample degree of ``vertices`` (cheapest-side test)."""
+        adj = self._adj
+        return sum(len(adj.get(v, _EMPTY_SET)) for v in vertices)
+
+    def edges(self) -> Tuple[Edge, ...]:
+        """Snapshot of the sampled edges."""
+        return tuple(self._edges)
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def add_edge(self, u: Vertex, v: Vertex) -> None:
+        """Insert edge ``(u, v)`` into the sample.
+
+        Raises:
+            SamplingError: if the edge is already sampled (a uniform
+                sample of a simple graph never holds duplicates).
+        """
+        edge = (u, v)
+        if edge in self._index:
+            raise SamplingError(f"edge {edge} already in sample")
+        self._index[edge] = len(self._edges)
+        self._edges.append(edge)
+        self._adj.setdefault(u, set()).add(v)
+        self._adj.setdefault(v, set()).add(u)
+        if self.recorder is not None:
+            self.recorder("+", u, v)
+
+    def remove_edge(self, u: Vertex, v: Vertex) -> bool:
+        """Remove edge ``(u, v)`` if present; report whether it was.
+
+        Random Pairing needs the "was it sampled?" answer to decide
+        which compensation counter to bump, so absence is not an error.
+        """
+        edge = (u, v)
+        position = self._index.pop(edge, None)
+        if position is None:
+            return False
+        # O(1) deletion from the edge list: swap in the last edge.
+        last = self._edges.pop()
+        if last != edge:
+            self._edges[position] = last
+            self._index[last] = position
+        self._discard_adjacency(u, v)
+        if self.recorder is not None:
+            self.recorder("-", u, v)
+        return True
+
+    def evict_random_edge(self, rng: random.Random) -> Edge:
+        """Remove and return a uniformly random sampled edge."""
+        if not self._edges:
+            raise SamplingError("cannot evict from an empty sample")
+        position = rng.randrange(len(self._edges))
+        edge = self._edges[position]
+        last = self._edges.pop()
+        del self._index[edge]
+        if last != edge:
+            self._edges[position] = last
+            self._index[last] = position
+        u, v = edge
+        self._discard_adjacency(u, v)
+        if self.recorder is not None:
+            self.recorder("-", u, v)
+        return edge
+
+    def clear(self) -> None:
+        self._adj.clear()
+        self._edges.clear()
+        self._index.clear()
+
+    def _discard_adjacency(self, u: Vertex, v: Vertex) -> None:
+        bucket = self._adj.get(u)
+        if bucket is not None:
+            bucket.discard(v)
+            if not bucket:
+                del self._adj[u]
+        bucket = self._adj.get(v)
+        if bucket is not None:
+            bucket.discard(u)
+            if not bucket:
+                del self._adj[v]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"GraphSample(|S|={len(self._edges)})"

@@ -1,0 +1,82 @@
+"""Classic reservoir sampling (Vitter, 1985).
+
+Maintains a uniform random sample of fixed maximum size over an
+*insert-only* stream.  This is the scheme ABACUS degenerates to when the
+compensation counters are zero, and the building block of the insert-only
+baselines.  Under deletions it loses uniformity — which is precisely the
+failure mode the paper's accuracy experiments expose.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Generic, List, Optional, TypeVar
+
+from repro.errors import SamplingError
+
+T = TypeVar("T")
+
+
+class ReservoirSampler(Generic[T]):
+    """Uniform fixed-capacity sample of an insert-only item stream.
+
+    Attributes:
+        capacity: maximum number of retained items (``k``).
+        num_seen: number of items offered so far (``n``).
+    """
+
+    __slots__ = ("capacity", "num_seen", "_items", "_rng")
+
+    def __init__(self, capacity: int, rng: Optional[random.Random] = None) -> None:
+        if capacity <= 0:
+            raise SamplingError(f"capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self.num_seen = 0
+        self._items: List[T] = []
+        self._rng = rng or random.Random()
+
+    @property
+    def items(self) -> List[T]:
+        """The current sample (live list; treat as read-only)."""
+        return self._items
+
+    @property
+    def size(self) -> int:
+        return len(self._items)
+
+    @property
+    def inclusion_probability(self) -> float:
+        """Probability that any given seen item is currently sampled."""
+        if self.num_seen == 0:
+            return 0.0
+        return min(1.0, self.capacity / self.num_seen)
+
+    def offer(self, item: T) -> Optional[T]:
+        """Present one stream item; return the evicted item, if any.
+
+        Returns None when the item was simply appended or rejected;
+        returns the replaced item when the reservoir was full and the
+        new item displaced it.
+        """
+        self.num_seen += 1
+        if len(self._items) < self.capacity:
+            self._items.append(item)
+            return None
+        j = self._rng.randrange(self.num_seen)
+        if j < self.capacity:
+            evicted = self._items[j]
+            self._items[j] = item
+            return evicted
+        return None
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __iter__(self):
+        return iter(self._items)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ReservoirSampler(size={len(self._items)}/{self.capacity}, "
+            f"seen={self.num_seen})"
+        )

@@ -1,0 +1,226 @@
+"""Bloom filters: approximate set membership for stream sanitising.
+
+The paper's stream model (Definition 1) requires that only absent edges
+are inserted and only present edges are deleted.  Real feeds violate
+this; a production deployment therefore wants a cheap *guard* in front
+of the estimator.  Exact deduplication needs memory linear in the
+number of live edges, while a Bloom filter gives a no-false-negative
+membership test in a fixed bit budget — the right trade when the guard
+only needs to *flag* suspicious elements for a slow path.
+
+Two variants are provided:
+
+* :class:`BloomFilter` — the classic insert-only bit array.
+* :class:`CountingBloomFilter` — 4-bit-style counters instead of bits,
+  supporting deletions, which matches the fully dynamic setting of the
+  paper (an edge that is deleted must become insertable again).
+
+Both size themselves from ``(capacity, fp_rate)`` using the standard
+optimal formulas ``bits = -n ln(p) / ln(2)^2`` and
+``hashes = (bits / n) ln(2)``.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Hashable, List, Optional
+
+from repro.errors import SamplingError
+from repro.sketch.hashing import as_int_key, mix64
+
+
+def optimal_parameters(capacity: int, fp_rate: float) -> tuple:
+    """Optimal ``(num_bits, num_hashes)`` for the given design point."""
+    if capacity <= 0:
+        raise SamplingError(f"capacity must be positive, got {capacity}")
+    if not 0.0 < fp_rate < 1.0:
+        raise SamplingError(f"fp_rate must be in (0, 1), got {fp_rate}")
+    num_bits = math.ceil(-capacity * math.log(fp_rate) / (math.log(2) ** 2))
+    num_hashes = max(1, round((num_bits / capacity) * math.log(2)))
+    return num_bits, num_hashes
+
+
+class BloomFilter:
+    """Insert-only Bloom filter with no false negatives.
+
+    Args:
+        capacity: the number of distinct keys the filter is sized for.
+        fp_rate: target false-positive probability at ``capacity`` keys.
+        rng: randomness for the hash salts (seed for reproducibility).
+
+    Example:
+        >>> bloom = BloomFilter(capacity=1000, fp_rate=0.01,
+        ...                     rng=random.Random(5))
+        >>> bloom.add(("user", "item"))
+        >>> ("user", "item") in bloom
+        True
+    """
+
+    __slots__ = ("num_bits", "num_hashes", "_bits", "_salts", "_num_added")
+
+    def __init__(
+        self,
+        capacity: int,
+        fp_rate: float = 0.01,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        self.num_bits, self.num_hashes = optimal_parameters(
+            capacity, fp_rate
+        )
+        rng = rng or random.Random()
+        self._bits = 0  # arbitrary-precision int as a bit array
+        self._salts: List[int] = [
+            rng.getrandbits(64) for _ in range(self.num_hashes)
+        ]
+        self._num_added = 0
+
+    @property
+    def num_added(self) -> int:
+        """How many ``add`` calls have been applied (with multiplicity)."""
+        return self._num_added
+
+    def _positions(self, key: Hashable) -> List[int]:
+        ikey = as_int_key(key)
+        return [mix64(salt, ikey) % self.num_bits for salt in self._salts]
+
+    def add(self, key: Hashable) -> None:
+        """Insert ``key`` into the filter."""
+        for position in self._positions(key):
+            self._bits |= 1 << position
+        self._num_added += 1
+
+    def __contains__(self, key: Hashable) -> bool:
+        return all(
+            (self._bits >> position) & 1
+            for position in self._positions(key)
+        )
+
+    def might_contain(self, key: Hashable) -> bool:
+        """Alias of ``in`` making the approximate semantics explicit."""
+        return key in self
+
+    def fill_ratio(self) -> float:
+        """Fraction of bits set — drives the live false-positive rate."""
+        return bin(self._bits).count("1") / self.num_bits
+
+    def current_fp_rate(self) -> float:
+        """Estimated false-positive probability at the current fill."""
+        return self.fill_ratio() ** self.num_hashes
+
+    def approximate_cardinality(self) -> float:
+        """Estimate of distinct keys added (bit-count inversion).
+
+        Uses ``-m/k * ln(1 - X/m)`` where ``X`` is the number of set
+        bits; exact for small fills, degrades as the filter saturates.
+        """
+        set_bits = bin(self._bits).count("1")
+        if set_bits >= self.num_bits:
+            return float("inf")
+        return (
+            -self.num_bits
+            / self.num_hashes
+            * math.log(1.0 - set_bits / self.num_bits)
+        )
+
+    def union(self, other: "BloomFilter") -> "BloomFilter":
+        """Filter containing every key added to either operand."""
+        self._require_compatible(other)
+        merged = BloomFilter.__new__(BloomFilter)
+        merged.num_bits = self.num_bits
+        merged.num_hashes = self.num_hashes
+        merged._bits = self._bits | other._bits
+        merged._salts = list(self._salts)
+        merged._num_added = self._num_added + other._num_added
+        return merged
+
+    def _require_compatible(self, other: "BloomFilter") -> None:
+        if (
+            self.num_bits != other.num_bits
+            or self.num_hashes != other.num_hashes
+            or self._salts != other._salts
+        ):
+            raise SamplingError(
+                "Bloom filters must share size and hash salts"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"BloomFilter(bits={self.num_bits}, hashes={self.num_hashes}, "
+            f"fill={self.fill_ratio():.3f})"
+        )
+
+
+class CountingBloomFilter:
+    """Bloom filter over counters, supporting deletions.
+
+    Each position holds a small counter instead of a bit; ``remove``
+    decrements.  As long as every ``remove`` matches an earlier ``add``
+    (the fully dynamic stream contract), the filter never produces a
+    false negative.
+
+    Example:
+        >>> cbf = CountingBloomFilter(capacity=100, rng=random.Random(2))
+        >>> cbf.add("edge")
+        >>> cbf.remove("edge")
+        >>> "edge" in cbf
+        False
+    """
+
+    __slots__ = ("num_counters", "num_hashes", "_counters", "_salts")
+
+    def __init__(
+        self,
+        capacity: int,
+        fp_rate: float = 0.01,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        self.num_counters, self.num_hashes = optimal_parameters(
+            capacity, fp_rate
+        )
+        rng = rng or random.Random()
+        self._counters: List[int] = [0] * self.num_counters
+        self._salts: List[int] = [
+            rng.getrandbits(64) for _ in range(self.num_hashes)
+        ]
+
+    def _positions(self, key: Hashable) -> List[int]:
+        ikey = as_int_key(key)
+        return [
+            mix64(salt, ikey) % self.num_counters for salt in self._salts
+        ]
+
+    def add(self, key: Hashable) -> None:
+        """Insert ``key`` (counters saturate only at Python int range)."""
+        for position in self._positions(key):
+            self._counters[position] += 1
+
+    def remove(self, key: Hashable) -> None:
+        """Delete one earlier insertion of ``key``.
+
+        Raises:
+            SamplingError: when the filter can prove ``key`` was never
+                added (some counter is already zero) — removing it would
+                corrupt the no-false-negative invariant for other keys.
+        """
+        positions = self._positions(key)
+        if any(self._counters[p] == 0 for p in positions):
+            raise SamplingError(
+                f"cannot remove key {key!r}: definitely not present"
+            )
+        for position in positions:
+            self._counters[position] -= 1
+
+    def __contains__(self, key: Hashable) -> bool:
+        return all(self._counters[p] > 0 for p in self._positions(key))
+
+    def might_contain(self, key: Hashable) -> bool:
+        """Alias of ``in`` making the approximate semantics explicit."""
+        return key in self
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        live = sum(1 for c in self._counters if c)
+        return (
+            f"CountingBloomFilter(counters={self.num_counters}, "
+            f"hashes={self.num_hashes}, live={live})"
+        )

@@ -1,0 +1,184 @@
+"""DGIM: counting events in a sliding window with logarithmic memory.
+
+The estimators in this library use *infinite window* semantics
+(Section II); operators monitoring a live deployment usually also ask
+windowed questions — "how many deletions arrived in the last million
+elements?" — whose exact answer needs O(window) memory.  The classic
+Datar-Gionis-Indyk-Motwani (DGIM) algorithm answers them within a
+bounded relative error using O(log^2 window) bits: it keeps buckets of
+exponentially growing sizes and merges the oldest pair whenever more
+than ``buckets_per_size`` buckets share a size.
+
+Guarantee: with ``r = buckets_per_size`` the estimate is within a
+``1 / r`` relative error of the true in-window count (50% at the
+minimum r=2 — the textbook DGIM bound — and 10% at r=10).  The worst
+case is an oldest bucket of size 2 straddling the window boundary;
+for large buckets the error approaches the asymptotic
+``1 / (2 * (r - 1))``.
+
+:class:`DeletionRateMonitor` wires a DGIM counter pair to a fully
+dynamic stream to expose the recent deletion ratio — the live estimate
+of the paper's α, useful for alerting when a feed turns unexpectedly
+deletion-heavy.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Tuple
+
+from repro.errors import SamplingError
+from repro.types import StreamElement
+
+# A bucket is (timestamp_of_newest_event, size); sizes are powers of 2.
+_Bucket = Tuple[int, int]
+
+
+class DgimCounter:
+    """Approximate count of events in the trailing ``window`` ticks.
+
+    Args:
+        window: sliding-window length in ticks (stream elements).
+        buckets_per_size: ``r >= 2``; memory grows linearly and the
+            error bound shrinks as ``1 / (2 * (r - 1))``.
+
+    Example:
+        >>> counter = DgimCounter(window=100)
+        >>> for i in range(200):
+        ...     counter.update(True)
+        >>> 50 <= counter.estimate() <= 150
+        True
+    """
+
+    __slots__ = ("window", "buckets_per_size", "_buckets", "_clock")
+
+    def __init__(self, window: int, buckets_per_size: int = 2) -> None:
+        if window <= 0:
+            raise SamplingError(f"window must be positive, got {window}")
+        if buckets_per_size < 2:
+            raise SamplingError(
+                f"buckets_per_size must be >= 2, got {buckets_per_size}"
+            )
+        self.window = window
+        self.buckets_per_size = buckets_per_size
+        # Newest bucket at the left; sizes non-decreasing rightwards.
+        self._buckets: Deque[_Bucket] = deque()
+        self._clock = 0
+
+    @property
+    def ticks(self) -> int:
+        """Stream positions observed so far."""
+        return self._clock
+
+    @property
+    def num_buckets(self) -> int:
+        """Current memory use in buckets (O(r log window))."""
+        return len(self._buckets)
+
+    def update(self, event: bool) -> None:
+        """Advance one tick; record whether the event of interest fired."""
+        self._clock += 1
+        self._expire()
+        if not event:
+            return
+        self._buckets.appendleft((self._clock, 1))
+        self._merge()
+
+    def estimate(self) -> float:
+        """Estimated events within the last ``window`` ticks.
+
+        Counts every in-window bucket fully except the oldest, which
+        contributes half its size (the DGIM rule: only its newest event
+        is known to be inside the window).  Two cases are exact and
+        skip the halving: while the stream is shorter than the window
+        nothing can have expired, and a size-1 oldest bucket pins its
+        single event's timestamp exactly.
+        """
+        self._expire()
+        if not self._buckets:
+            return 0.0
+        total = sum(size for _, size in self._buckets)
+        oldest_size = self._buckets[-1][1]
+        if self._clock <= self.window or oldest_size == 1:
+            return float(total)
+        return total - oldest_size / 2.0
+
+    def error_bound(self) -> float:
+        """The worst-case relative error of :meth:`estimate`.
+
+        With at least ``r - 1`` buckets of every smaller size (the
+        merge rule's invariant), an oldest bucket of size ``2^j``
+        contributes at most ``2^(j-1)`` uncertainty against a true
+        count of at least ``1 + (r - 1)(2^j - 1)``; the ratio is
+        maximised at ``j = 1``, giving ``1 / r``.
+        """
+        return 1.0 / self.buckets_per_size
+
+    def _expire(self) -> None:
+        cutoff = self._clock - self.window
+        while self._buckets and self._buckets[-1][0] <= cutoff:
+            self._buckets.pop()
+
+    def _merge(self) -> None:
+        """Restore the <= r buckets-per-size invariant, cascading."""
+        buckets = self._buckets
+        size = 1
+        start = 0
+        while True:
+            # Count consecutive buckets of the current size.
+            count = 0
+            index = start
+            while index < len(buckets) and buckets[index][1] == size:
+                count += 1
+                index += 1
+            if count <= self.buckets_per_size:
+                if index >= len(buckets):
+                    return
+                start = index
+                size = buckets[index][1]
+                continue
+            # Merge the two *oldest* buckets of this size.
+            newer_ts, _ = buckets[index - 2]
+            del buckets[index - 2]
+            buckets[index - 2] = (newer_ts, size * 2)
+            # The merged bucket heads the size-2s run; it may now
+            # violate the invariant at that level, so rescan from it.
+            size *= 2
+            start = index - 2
+
+
+class DeletionRateMonitor:
+    """Live estimate of the deletion ratio over a trailing window.
+
+    Feeds two DGIM counters — one per operation type would be
+    redundant since every tick is an element, so only deletions are
+    counted and the window length itself is the denominator.
+
+    Example:
+        >>> from repro.types import insertion
+        >>> monitor = DeletionRateMonitor(window=1000)
+        >>> monitor.observe(insertion("u", "v"))
+        >>> monitor.deletion_ratio() == 0.0
+        True
+    """
+
+    __slots__ = ("_deletions", "window")
+
+    def __init__(self, window: int, buckets_per_size: int = 8) -> None:
+        self.window = window
+        self._deletions = DgimCounter(window, buckets_per_size)
+
+    def observe(self, element: StreamElement) -> None:
+        """Feed one stream element."""
+        self._deletions.update(element.is_deletion)
+
+    def recent_deletions(self) -> float:
+        """Estimated deletions within the trailing window."""
+        return self._deletions.estimate()
+
+    def deletion_ratio(self) -> float:
+        """Estimated fraction of recent elements that were deletions."""
+        seen = min(self._deletions.ticks, self.window)
+        if seen == 0:
+            return 0.0
+        return self._deletions.estimate() / seen

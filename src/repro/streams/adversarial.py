@@ -1,0 +1,172 @@
+"""Adversarial and stress workload generators.
+
+The paper evaluates on organic KONECT graphs with uniformly placed
+deletions; a robust library also needs the workloads that make
+estimators fail.  Each generator here targets a specific weakness:
+
+* :func:`deletion_storm` — a long insert phase followed by a burst of
+  deletions.  Stresses Random Pairing's compensation counters (``cb``,
+  ``cg`` grow large before any insertion can compensate) — the regime
+  where insert-only samplers are maximally biased.
+* :func:`churn_stream` — the same edge set inserted and deleted over
+  and over.  The true count returns to zero after every cycle; any
+  estimator whose deletions are ignored drifts upward without bound.
+* :func:`butterfly_bomb` — a planted complete biclique arriving in one
+  burst, the canonical anomaly signature (Section I's anomaly
+  detection motivation).
+* :func:`hub_stream` — a high-degree star.  Contains *zero*
+  butterflies but maximal wedge counts, stressing the cheapest-side
+  heuristic's work bound.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence, Tuple
+
+from repro.errors import StreamError
+from repro.streams.stream import EdgeStream
+from repro.types import Edge, StreamElement, deletion, insertion
+
+
+def deletion_storm(
+    edges: Sequence[Edge],
+    storm_fraction: float = 0.5,
+    rng: Optional[random.Random] = None,
+) -> EdgeStream:
+    """Insert all edges, then delete a random fraction in one burst.
+
+    Args:
+        edges: distinct edges, inserted in the given order.
+        storm_fraction: fraction deleted in the trailing burst.
+        rng: randomness for victim choice and burst order.
+
+    Returns:
+        A contract-valid stream of ``len(edges) * (1 + storm_fraction)``
+        elements (rounded) whose deletions are all at the end.
+    """
+    if not 0.0 <= storm_fraction <= 1.0:
+        raise StreamError(
+            f"storm_fraction must be within [0, 1], got {storm_fraction}"
+        )
+    if len(set(edges)) != len(edges):
+        raise StreamError("input edge list contains duplicate edges")
+    rng = rng or random.Random()
+    victims = rng.sample(
+        list(edges), round(len(edges) * storm_fraction)
+    )
+    elements: List[StreamElement] = [insertion(u, v) for u, v in edges]
+    elements.extend(deletion(u, v) for u, v in victims)
+    return EdgeStream(elements)
+
+
+def churn_stream(
+    edges: Sequence[Edge],
+    cycles: int = 3,
+    rng: Optional[random.Random] = None,
+) -> EdgeStream:
+    """Insert and fully delete the same edge set ``cycles`` times.
+
+    After every complete cycle the live graph — and hence the true
+    butterfly count — is exactly zero, while the *stream* keeps
+    growing: `2 * cycles * len(edges)` elements total.  Insert-only
+    estimators accumulate a bias proportional to ``cycles``.
+
+    Deletion order within each cycle is randomised when ``rng`` is
+    given, otherwise reverse-insertion order.
+    """
+    if cycles <= 0:
+        raise StreamError(f"cycles must be positive, got {cycles}")
+    if len(set(edges)) != len(edges):
+        raise StreamError("input edge list contains duplicate edges")
+    elements: List[StreamElement] = []
+    for _ in range(cycles):
+        elements.extend(insertion(u, v) for u, v in edges)
+        order = list(edges)
+        if rng is not None:
+            rng.shuffle(order)
+        else:
+            order.reverse()
+        elements.extend(deletion(u, v) for u, v in order)
+    return EdgeStream(elements)
+
+
+def butterfly_bomb(
+    num_left: int,
+    num_right: int,
+    background: Sequence[Edge] = (),
+    bomb_position: Optional[int] = None,
+    rng: Optional[random.Random] = None,
+    left_prefix: str = "bomb_l",
+    right_prefix: str = "bomb_r",
+) -> Tuple[EdgeStream, int]:
+    """Plant a complete ``num_left x num_right`` biclique in a stream.
+
+    The biclique's ``num_left * num_right`` insertions arrive
+    back-to-back at ``bomb_position`` (default: the middle) inside the
+    ``background`` insertions, modelling the sudden dense-subgraph
+    burst that anomaly detectors look for.
+
+    Returns:
+        ``(stream, planted_butterflies)`` where the second component is
+        ``C(num_left, 2) * C(num_right, 2)`` — the butterflies the bomb
+        alone contributes.
+    """
+    if num_left < 2 or num_right < 2:
+        raise StreamError(
+            "a butterfly bomb needs at least a 2x2 biclique, got "
+            f"{num_left}x{num_right}"
+        )
+    bomb_edges = [
+        (f"{left_prefix}{i}", f"{right_prefix}{j}")
+        for i in range(num_left)
+        for j in range(num_right)
+    ]
+    if rng is not None:
+        rng.shuffle(bomb_edges)
+    background_elements = [insertion(u, v) for u, v in background]
+    if bomb_position is None:
+        bomb_position = len(background_elements) // 2
+    if not 0 <= bomb_position <= len(background_elements):
+        raise StreamError(
+            f"bomb_position {bomb_position} outside "
+            f"[0, {len(background_elements)}]"
+        )
+    elements = (
+        background_elements[:bomb_position]
+        + [insertion(u, v) for u, v in bomb_edges]
+        + background_elements[bomb_position:]
+    )
+    planted = (
+        num_left * (num_left - 1) // 2 * (num_right * (num_right - 1) // 2)
+    )
+    return EdgeStream(elements), planted
+
+
+def hub_stream(
+    num_leaves: int,
+    hub: str = "hub",
+    two_sided: bool = False,
+) -> EdgeStream:
+    """A star: one left hub connected to ``num_leaves`` right leaves.
+
+    Contains no butterfly (a butterfly needs two vertices per side with
+    two common neighbours) yet the hub's degree is maximal, so every
+    arriving edge triggers the largest possible neighbour sets — a
+    worst case for naive per-edge counting and the workload where the
+    cheapest-side heuristic saves the most work.
+
+    With ``two_sided`` a mirrored right-hub star over fresh vertices is
+    appended, exercising both sides of the heuristic.
+    """
+    if num_leaves <= 0:
+        raise StreamError(f"num_leaves must be positive, got {num_leaves}")
+    elements = [
+        insertion(hub, f"leaf_{i}") for i in range(num_leaves)
+    ]
+    if two_sided:
+        elements.extend(
+            insertion(f"spoke_{i}", f"{hub}_mirror")
+            for i in range(num_leaves)
+        )
+    return EdgeStream(elements)

@@ -1,0 +1,137 @@
+"""Synthesis and validation of fully dynamic streams.
+
+The paper's datasets are insertion-only; Section VI-A describes how
+fully dynamic workloads are produced:
+
+    (a) create the insertions of each edge in their natural order,
+    (b) create deletions by selecting α% of the edges,
+    (c) place each deletion at a random position after its insertion.
+
+:func:`make_fully_dynamic` implements exactly that protocol.
+:func:`validate_stream` checks the fully-dynamic contract (no duplicate
+live insertions, deletions only of live edges) that every estimator in
+this library assumes.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.errors import StreamError
+from repro.streams.stream import EdgeStream
+from repro.types import Edge, Op, StreamElement, deletion, insertion
+
+
+def stream_from_edges(edges: Iterable[Edge]) -> EdgeStream:
+    """Wrap an insertion-only edge list into an :class:`EdgeStream`."""
+    return EdgeStream(insertion(u, v) for u, v in edges)
+
+
+def make_fully_dynamic(
+    edges: Sequence[Edge],
+    alpha: float = 0.2,
+    rng: Optional[random.Random] = None,
+) -> EdgeStream:
+    """Inject deletions into an insertion-only edge list.
+
+    Args:
+        edges: edges in natural (arrival) order; must be distinct.
+        alpha: fraction of edges that additionally receive a deletion
+            (paper default 20%, varied 5%–30% in Fig. 6).
+        rng: randomness source for selecting deleted edges and deletion
+            positions; pass a seeded ``random.Random`` for
+            reproducibility.
+
+    Returns:
+        A stream of ``len(edges) * (1 + alpha)`` elements (rounded) in
+        which every deletion appears strictly after its insertion.
+
+    Raises:
+        StreamError: if ``alpha`` is outside ``[0, 1]`` or ``edges``
+            contains duplicates.
+    """
+    if not 0.0 <= alpha <= 1.0:
+        raise StreamError(f"alpha must be within [0, 1], got {alpha}")
+    if len(set(edges)) != len(edges):
+        raise StreamError("input edge list contains duplicate edges")
+    rng = rng or random.Random()
+    n = len(edges)
+    num_deletions = round(n * alpha)
+    victims = rng.sample(range(n), num_deletions) if num_deletions else []
+
+    # Build the element list incrementally.  For each victim insertion at
+    # index i we must place a deletion at a uniformly random later slot.
+    # We do this with the classic two-pass trick: first assign each
+    # deletion a target position among the final positions, then merge.
+    elements: List[StreamElement] = [insertion(u, v) for u, v in edges]
+    # Process victims from the *end* of the stream backwards so that
+    # insertion positions recorded earlier stay valid while we insert
+    # deletion elements.
+    for i in sorted(victims, reverse=True):
+        u, v = edges[i]
+        slot = rng.randrange(i + 1, len(elements) + 1)
+        elements.insert(slot, deletion(u, v))
+    return EdgeStream(elements)
+
+
+def validate_stream(stream: Iterable[StreamElement]) -> Tuple[int, int]:
+    """Check the fully-dynamic contract; return (max_edges, final_edges).
+
+    Contract (Definition 1): an insertion requires the edge to be
+    currently absent; a deletion requires it to be currently present.
+
+    Raises:
+        StreamError: on the first violating element, with its index.
+    """
+    live: Set[Edge] = set()
+    max_edges = 0
+    for t, element in enumerate(stream):
+        edge = element.edge
+        if element.op is Op.INSERT:
+            if edge in live:
+                raise StreamError(
+                    f"element {t}: insertion of live edge {edge}"
+                )
+            live.add(edge)
+            max_edges = max(max_edges, len(live))
+        else:
+            if edge not in live:
+                raise StreamError(
+                    f"element {t}: deletion of absent edge {edge}"
+                )
+            live.remove(edge)
+    return max_edges, len(live)
+
+
+def interleave_reinsertions(
+    edges: Sequence[Edge],
+    alpha: float,
+    reinsert_fraction: float = 0.5,
+    rng: Optional[random.Random] = None,
+) -> EdgeStream:
+    """A stress variant: some deleted edges get re-inserted later.
+
+    The paper's protocol never reuses a deleted edge; this generator
+    produces a harder, still-contract-valid workload in which
+    ``reinsert_fraction`` of the deleted edges are inserted again after
+    their deletion (and stay live).  Used by robustness tests.
+    """
+    if not 0.0 <= reinsert_fraction <= 1.0:
+        raise StreamError(
+            f"reinsert_fraction must be within [0, 1], got {reinsert_fraction}"
+        )
+    rng = rng or random.Random()
+    base = make_fully_dynamic(edges, alpha, rng)
+    elements = list(base)
+    deletions = [
+        (idx, e) for idx, e in enumerate(elements) if e.op is Op.DELETE
+    ]
+    chosen = rng.sample(
+        deletions, round(len(deletions) * reinsert_fraction)
+    ) if deletions else []
+    # Insert re-insertions back-to-front to keep earlier indices valid.
+    for idx, element in sorted(chosen, key=lambda p: p[0], reverse=True):
+        slot = rng.randrange(idx + 1, len(elements) + 1)
+        elements.insert(slot, element.inverted())
+    return EdgeStream(elements)

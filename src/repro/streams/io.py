@@ -1,0 +1,128 @@
+"""Stream and graph file I/O.
+
+Two formats are supported:
+
+* **Stream format** (this library's native format): one element per
+  line, ``<op> <u> <v>`` where ``op`` is ``+`` or ``-`` and the vertex
+  ids are integers.  Lines starting with ``%`` or ``#`` are comments.
+* **KONECT format**: the Koblenz Network Collection's ``out.*`` files
+  (used by the paper's four datasets): whitespace-separated
+  ``<left> <right> [weight [timestamp]]`` with ``%`` comment lines.
+  Left and right ids share a numeric namespace in some KONECT dumps, so
+  the loader re-maps right ids by an offset to keep the partitions
+  disjoint.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterable, List, Optional
+
+from repro.errors import StreamError
+from repro.streams.stream import EdgeStream
+from repro.types import Edge, Op, StreamElement
+
+
+def write_stream(stream: Iterable[StreamElement], path: str | os.PathLike) -> None:
+    """Write a stream in the native ``<op> <u> <v>`` format."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write("# repro stream format: <op> <u> <v>\n")
+        for element in stream:
+            handle.write(
+                f"{element.op.value} {element.u} {element.v}\n"
+            )
+
+
+def read_stream(path: str | os.PathLike) -> EdgeStream:
+    """Read a stream written by :func:`write_stream`.
+
+    Vertex ids are parsed as integers when possible and kept as strings
+    otherwise.
+
+    Raises:
+        StreamError: on malformed lines.
+    """
+    elements: List[StreamElement] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line or line.startswith(("#", "%")):
+                continue
+            parts = line.split()
+            if len(parts) != 3:
+                raise StreamError(
+                    f"{path}:{lineno}: expected '<op> <u> <v>', got {line!r}"
+                )
+            op_symbol, raw_u, raw_v = parts
+            try:
+                op = Op.from_symbol(op_symbol)
+            except ValueError as exc:
+                raise StreamError(f"{path}:{lineno}: {exc}") from exc
+            elements.append(
+                StreamElement(_parse_vertex(raw_u), _parse_vertex(raw_v), op)
+            )
+    return EdgeStream(elements)
+
+
+def load_konect(
+    path: str | os.PathLike,
+    right_offset: Optional[int] = None,
+    deduplicate: bool = True,
+    limit: Optional[int] = None,
+) -> List[Edge]:
+    """Load a KONECT ``out.*`` edge list as an insertion-order edge list.
+
+    Args:
+        path: path to the KONECT file.
+        right_offset: value added to right-side ids to keep partitions
+            disjoint.  Defaults to ``1 + max left id`` (two passes).
+        deduplicate: drop repeated edges, keeping first occurrence (the
+            paper removes duplicate edges during preprocessing).
+        limit: optionally keep only the first ``limit`` distinct edges.
+
+    Returns:
+        Edges in file order — the "natural order" used for stream
+        arrival in the experiments.
+    """
+    rows: List[tuple[int, int]] = []
+    max_left = -1
+    with open(path, "r", encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line or line.startswith(("%", "#")):
+                continue
+            parts = line.split()
+            if len(parts) < 2:
+                raise StreamError(
+                    f"{path}:{lineno}: expected at least two columns"
+                )
+            try:
+                u = int(parts[0])
+                v = int(parts[1])
+            except ValueError as exc:
+                raise StreamError(
+                    f"{path}:{lineno}: non-integer vertex id"
+                ) from exc
+            rows.append((u, v))
+            max_left = max(max_left, u)
+    offset = right_offset if right_offset is not None else max_left + 1
+    edges: List[Edge] = []
+    seen: set[Edge] = set()
+    for u, v in rows:
+        edge = (u, v + offset)
+        if deduplicate:
+            if edge in seen:
+                continue
+            seen.add(edge)
+        edges.append(edge)
+        if limit is not None and len(edges) >= limit:
+            break
+    return edges
+
+
+def _parse_vertex(token: str):
+    """Integers stay integers; anything else is kept verbatim."""
+    try:
+        return int(token)
+    except ValueError:
+        return token

@@ -1,0 +1,95 @@
+"""The :class:`EdgeStream` container.
+
+An :class:`EdgeStream` is an ordered sequence of
+:class:`~repro.types.StreamElement` values together with a few cheap
+summary statistics.  It supports iteration (the only access pattern the
+data-stream model allows an *algorithm*), plus indexing and slicing for
+the convenience of the experiment harness, which is allowed to replay
+prefixes to compute ground truth at checkpoints.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Optional, Sequence, overload
+
+from repro.errors import StreamError
+from repro.types import Op, StreamElement
+
+
+class EdgeStream(Sequence[StreamElement]):
+    """An in-memory fully dynamic bipartite graph stream.
+
+    Attributes are computed once at construction:
+
+    * ``num_insertions`` / ``num_deletions`` — element counts by type.
+    * ``deletion_ratio`` — fraction of elements that are deletions
+      (the paper's α when the stream was built with
+      :func:`repro.streams.make_fully_dynamic`).
+    """
+
+    __slots__ = ("_elements", "num_insertions", "num_deletions")
+
+    def __init__(self, elements: Iterable[StreamElement]) -> None:
+        self._elements: List[StreamElement] = list(elements)
+        self.num_insertions = sum(
+            1 for e in self._elements if e.op is Op.INSERT
+        )
+        self.num_deletions = len(self._elements) - self.num_insertions
+
+    # -- Sequence protocol -------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._elements)
+
+    @overload
+    def __getitem__(self, index: int) -> StreamElement: ...
+
+    @overload
+    def __getitem__(self, index: slice) -> "EdgeStream": ...
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return EdgeStream(self._elements[index])
+        return self._elements[index]
+
+    def __iter__(self) -> Iterator[StreamElement]:
+        return iter(self._elements)
+
+    # -- Summary -----------------------------------------------------------
+    @property
+    def deletion_ratio(self) -> float:
+        """Fraction of stream elements that are deletions."""
+        if not self._elements:
+            return 0.0
+        return self.num_deletions / len(self._elements)
+
+    @property
+    def final_num_edges(self) -> int:
+        """Edges remaining after the whole stream is applied."""
+        return self.num_insertions - self.num_deletions
+
+    def prefix(self, n: int) -> "EdgeStream":
+        """The first ``n`` elements as a new stream."""
+        if n < 0:
+            raise StreamError(f"prefix length must be >= 0, got {n}")
+        return self[:n]
+
+    def insertions_only(self) -> "EdgeStream":
+        """Drop all deletion elements (what FLEET/CAS effectively see)."""
+        return EdgeStream(e for e in self._elements if e.op is Op.INSERT)
+
+    def checkpoints(self, parts: int = 10) -> List[int]:
+        """Element indices splitting the stream into ``parts`` chunks.
+
+        Used by the scalability experiment (Fig. 7), which records the
+        elapsed time after each 10% of the stream.
+        """
+        if parts <= 0:
+            raise StreamError(f"parts must be positive, got {parts}")
+        n = len(self._elements)
+        return [max(1, round(n * (i + 1) / parts)) for i in range(parts)]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"EdgeStream(len={len(self)}, ins={self.num_insertions}, "
+            f"del={self.num_deletions})"
+        )

@@ -1,0 +1,245 @@
+"""Composable stream transformations.
+
+Real deployments rarely feed an estimator the pristine streams of the
+paper's model; these helpers bridge the gap:
+
+* :func:`sanitized` — exact guard enforcing the fully-dynamic contract
+  (Definition 1): duplicate insertions and deletions of absent edges
+  are dropped and reported instead of corrupting the estimator state.
+* :func:`suspicious_elements` — the same check in bounded memory using
+  a counting Bloom filter; flags (never drops) possibly-violating
+  elements for a slow path.
+* :func:`relabeled` — map arbitrary vertex identifiers to dense
+  integers per side, the representation the generators use for speed.
+* :func:`merged` — interleave several streams into one, optionally
+  namespacing vertices so the merge cannot collide partitions.
+* :func:`inverse` — the stream that exactly undoes another one; running
+  a stream followed by its inverse must return every estimator to an
+  empty graph (used heavily by the property tests).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.errors import StreamError
+from repro.sketch.bloom import CountingBloomFilter
+from repro.streams.stream import EdgeStream
+from repro.types import Edge, Op, StreamElement, Vertex
+
+
+@dataclass
+class SanitizeReport:
+    """What :func:`sanitized` removed from a dirty stream.
+
+    Attributes:
+        duplicate_insertions: elements inserting an already-live edge.
+        absent_deletions: elements deleting an edge that was not live.
+        kept: number of elements that passed the guard.
+    """
+
+    duplicate_insertions: int = 0
+    absent_deletions: int = 0
+    kept: int = 0
+    dropped_indices: List[int] = field(default_factory=list)
+
+    @property
+    def dropped(self) -> int:
+        """Total elements removed."""
+        return self.duplicate_insertions + self.absent_deletions
+
+
+def sanitized(
+    stream: Iterable[StreamElement],
+) -> Tuple[EdgeStream, SanitizeReport]:
+    """Drop contract-violating elements from a possibly dirty stream.
+
+    Exact: keeps the live edge set in memory, so the output always
+    satisfies :func:`repro.streams.validate_stream`.
+
+    Returns:
+        ``(clean_stream, report)``.
+    """
+    live: Set[Edge] = set()
+    kept: List[StreamElement] = []
+    report = SanitizeReport()
+    for index, element in enumerate(stream):
+        edge = element.edge
+        if element.op is Op.INSERT:
+            if edge in live:
+                report.duplicate_insertions += 1
+                report.dropped_indices.append(index)
+                continue
+            live.add(edge)
+        else:
+            if edge not in live:
+                report.absent_deletions += 1
+                report.dropped_indices.append(index)
+                continue
+            live.remove(edge)
+        kept.append(element)
+    report.kept = len(kept)
+    return EdgeStream(kept), report
+
+
+def suspicious_elements(
+    stream: Iterable[StreamElement],
+    capacity: int,
+    fp_rate: float = 0.01,
+    rng: Optional[random.Random] = None,
+) -> List[int]:
+    """Indices of elements that *may* violate the stream contract.
+
+    Uses a counting Bloom filter over the live edge set, so memory is
+    ``O(capacity)`` bits regardless of stream length.  Guarantees:
+
+    * every actual violation is flagged (no false negatives, from the
+      Bloom no-false-negative property);
+    * a valid element is flagged only with roughly the filter's
+      false-positive probability.
+
+    Flagged elements are *not* removed — an exact slow path (or
+    :func:`sanitized` on the flagged region) should decide.
+    """
+    guard = CountingBloomFilter(capacity, fp_rate, rng=rng)
+    flagged: List[int] = []
+    # Flagged elements do not update the guard: the filter tracks the
+    # stream *as sanitised*, so a duplicate insertion cannot mask the
+    # invalid deletion of its extra copy later on.
+    for index, element in enumerate(stream):
+        edge = element.edge
+        if element.op is Op.INSERT:
+            if edge in guard:
+                flagged.append(index)
+            else:
+                guard.add(edge)
+        else:
+            if edge in guard:
+                guard.remove(edge)
+            else:
+                flagged.append(index)
+    return flagged
+
+
+def relabeled(
+    stream: Iterable[StreamElement],
+) -> Tuple[EdgeStream, Dict[Vertex, int], Dict[Vertex, int]]:
+    """Rewrite vertices as dense integers, separately per side.
+
+    Left vertices are numbered 0, 1, ... in first-appearance order;
+    right vertices likewise (the two numberings are independent, so the
+    same integer may appear on both sides — sides are disjoint
+    namespaces in the bipartite model).
+
+    Returns:
+        ``(stream, left_map, right_map)`` where the maps send original
+        identifiers to their dense labels.
+    """
+    left_map: Dict[Vertex, int] = {}
+    right_map: Dict[Vertex, int] = {}
+    elements: List[StreamElement] = []
+    for element in stream:
+        u = left_map.setdefault(element.u, len(left_map))
+        v = right_map.setdefault(element.v, len(right_map))
+        elements.append(StreamElement(u, v, element.op))
+    return EdgeStream(elements), left_map, right_map
+
+
+def merged(
+    streams: Sequence[Iterable[StreamElement]],
+    rng: Optional[random.Random] = None,
+    namespace: bool = True,
+) -> EdgeStream:
+    """Interleave several streams into one, preserving per-stream order.
+
+    Args:
+        streams: the input streams (consumed eagerly).
+        rng: if given, the interleaving is a uniformly random merge;
+            otherwise round-robin.
+        namespace: prefix every vertex with its stream index (as a
+            tuple ``(stream_index, vertex)``) so edges from different
+            streams can never collide.  Disable only when the caller
+            guarantees the streams touch disjoint edges.
+
+    Returns:
+        The merged stream; contract-valid whenever every input is and
+        either ``namespace`` is set or the inputs are edge-disjoint.
+    """
+    queues: List[List[StreamElement]] = []
+    for index, stream in enumerate(streams):
+        elements = list(stream)
+        if namespace:
+            elements = [
+                StreamElement((index, e.u), (index, e.v), e.op)
+                for e in elements
+            ]
+        queues.append(elements)
+    positions = [0] * len(queues)
+    remaining = sum(len(q) for q in queues)
+    out: List[StreamElement] = []
+    cursor = 0
+    while remaining:
+        if rng is not None:
+            # Draw a source weighted by elements left, which yields a
+            # uniformly random merge of the sequences.
+            pick = rng.randrange(remaining)
+            source = 0
+            while True:
+                left_here = len(queues[source]) - positions[source]
+                if pick < left_here:
+                    break
+                pick -= left_here
+                source += 1
+        else:
+            source = cursor
+            while positions[source] >= len(queues[source]):
+                source = (source + 1) % len(queues)
+            cursor = (source + 1) % len(queues)
+        out.append(queues[source][positions[source]])
+        positions[source] += 1
+        remaining -= 1
+    return EdgeStream(out)
+
+
+def inverse(stream: Iterable[StreamElement]) -> EdgeStream:
+    """The stream that undoes ``stream``, element by element.
+
+    Reverses the order and flips every operation; applying ``stream``
+    then ``inverse(stream)`` leaves the graph empty whenever ``stream``
+    itself is contract-valid starting from an empty graph.
+    """
+    elements = list(stream)
+    return EdgeStream(e.inverted() for e in reversed(elements))
+
+
+def deletion_tail(stream: Iterable[StreamElement]) -> EdgeStream:
+    """Extend a stream so it ends with an empty graph.
+
+    Appends one deletion for every edge still live after ``stream``.
+    Useful for drain-down tests: any unbiased estimator must end near
+    zero.
+
+    Raises:
+        StreamError: if the input itself violates the contract.
+    """
+    elements = list(stream)
+    live: Set[Edge] = set()
+    for t, element in enumerate(elements):
+        if element.op is Op.INSERT:
+            if element.edge in live:
+                raise StreamError(
+                    f"element {t}: insertion of live edge {element.edge}"
+                )
+            live.add(element.edge)
+        else:
+            if element.edge not in live:
+                raise StreamError(
+                    f"element {t}: deletion of absent edge {element.edge}"
+                )
+            live.remove(element.edge)
+    # Deterministic order keeps tests reproducible.
+    for u, v in sorted(live, key=repr):
+        elements.append(StreamElement(u, v, Op.DELETE))
+    return EdgeStream(elements)

@@ -1,0 +1,33 @@
+"""Fully dynamic triangle counting (the technique ABACUS generalises).
+
+Section VII-A of the paper traces ABACUS's lineage to fully dynamic
+*triangle* counting on unipartite streams: TRIEST-FD maintains a uniform
+sample under deletions, and ThinkD additionally "leverages the
+non-sampled edges to update its triangle estimates before discarding
+them" — exactly the count-every-edge design ABACUS ports to butterflies.
+
+This subpackage implements that lineage on the same Random Pairing
+machinery: an undirected-graph substrate, exact triangle counting, and a
+ThinkD-style estimator.  Besides being useful in its own right, it
+cross-validates the shared sampling code on a second motif whose
+discovery needs *two* sampled edges instead of three.
+"""
+
+from repro.triangles.exact import (
+    count_triangles,
+    count_triangles_brute_force,
+    triangles_containing_edge,
+)
+from repro.triangles.graph import UndirectedGraph
+from repro.triangles.thinkd import ExactTriangleCounter, ThinkD
+from repro.triangles.triest import TriestFD
+
+__all__ = [
+    "UndirectedGraph",
+    "count_triangles",
+    "count_triangles_brute_force",
+    "triangles_containing_edge",
+    "ThinkD",
+    "TriestFD",
+    "ExactTriangleCounter",
+]

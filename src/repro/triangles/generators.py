@@ -1,0 +1,69 @@
+"""Synthetic undirected graph generators for the triangle subsystem."""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Tuple
+
+from repro.errors import GraphError
+from repro.triangles.graph import canonical_edge
+from repro.types import Vertex
+
+Edge = Tuple[Vertex, Vertex]
+
+
+def erdos_renyi_graph(
+    n_vertices: int,
+    n_edges: int,
+    rng: Optional[random.Random] = None,
+) -> List[Edge]:
+    """Uniform simple undirected graph with exactly ``n_edges`` edges."""
+    rng = rng or random.Random()
+    max_edges = n_vertices * (n_vertices - 1) // 2
+    if n_edges > max_edges:
+        raise GraphError(
+            f"cannot place {n_edges} edges among {n_vertices} vertices"
+        )
+    edges: set[Edge] = set()
+    while len(edges) < n_edges:
+        u = rng.randrange(n_vertices)
+        v = rng.randrange(n_vertices)
+        if u == v:
+            continue
+        edges.add(canonical_edge(u, v))
+    ordered = list(edges)
+    rng.shuffle(ordered)
+    return ordered
+
+
+def barabasi_albert_graph(
+    n_vertices: int,
+    attachments: int,
+    rng: Optional[random.Random] = None,
+) -> List[Edge]:
+    """Preferential-attachment graph (triangle-rich, heavy-tailed).
+
+    Each new vertex attaches to ``attachments`` existing vertices chosen
+    proportionally to degree (by sampling the endpoint multiset).
+    """
+    if attachments < 1 or n_vertices <= attachments:
+        raise GraphError(
+            f"need 1 <= attachments < n_vertices, got "
+            f"{attachments}/{n_vertices}"
+        )
+    rng = rng or random.Random()
+    edges: List[Edge] = []
+    endpoint_pool: List[int] = list(range(attachments + 1))
+    # Seed clique over the first (attachments + 1) vertices.
+    for i in range(attachments + 1):
+        for j in range(i + 1, attachments + 1):
+            edges.append(canonical_edge(i, j))
+            endpoint_pool.extend((i, j))
+    for new in range(attachments + 1, n_vertices):
+        chosen: set[int] = set()
+        while len(chosen) < attachments:
+            chosen.add(endpoint_pool[rng.randrange(len(endpoint_pool))])
+        for target in chosen:
+            edges.append(canonical_edge(new, target))
+            endpoint_pool.extend((new, target))
+    return edges

@@ -1,0 +1,111 @@
+"""A dynamic, undirected, simple (unipartite) graph.
+
+The unipartite counterpart of :class:`repro.graph.bipartite
+.BipartiteGraph`: adjacency sets, implicit vertex lifecycle, no
+self-loops, no parallel edges.  Edges are canonicalised by sorted
+``repr`` so ``(u, v)`` and ``(v, u)`` denote the same edge.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, Optional, Set, Tuple
+
+from repro.errors import DuplicateEdgeError, GraphError, MissingEdgeError
+from repro.types import Vertex
+
+Edge = Tuple[Vertex, Vertex]
+
+_EMPTY_SET: Set[Vertex] = frozenset()  # type: ignore[assignment]
+
+
+def canonical_edge(u: Vertex, v: Vertex) -> Edge:
+    """Order-insensitive representation of an undirected edge."""
+    if repr(u) <= repr(v):
+        return (u, v)
+    return (v, u)
+
+
+class UndirectedGraph:
+    """Mutable undirected simple graph with set-based adjacency."""
+
+    __slots__ = ("_adj", "_num_edges")
+
+    def __init__(self, edges: Optional[Iterable[Edge]] = None) -> None:
+        self._adj: Dict[Vertex, Set[Vertex]] = {}
+        self._num_edges = 0
+        if edges is not None:
+            for u, v in edges:
+                self.add_edge(u, v)
+
+    @property
+    def num_edges(self) -> int:
+        return self._num_edges
+
+    @property
+    def num_vertices(self) -> int:
+        return len(self._adj)
+
+    def vertices(self) -> Iterator[Vertex]:
+        return iter(self._adj)
+
+    def edges(self) -> Iterator[Edge]:
+        """Each edge yielded once, in canonical orientation."""
+        for u, neighbours in self._adj.items():
+            for v in neighbours:
+                edge = canonical_edge(u, v)
+                if edge[0] == u:
+                    yield edge
+
+    def __len__(self) -> int:
+        return self._num_edges
+
+    def has_edge(self, u: Vertex, v: Vertex) -> bool:
+        neighbours = self._adj.get(u)
+        return neighbours is not None and v in neighbours
+
+    def neighbors(self, vertex: Vertex) -> Set[Vertex]:
+        """Live internal set; callers must not mutate."""
+        return self._adj.get(vertex, _EMPTY_SET)
+
+    def degree(self, vertex: Vertex) -> int:
+        return len(self._adj.get(vertex, _EMPTY_SET))
+
+    def add_edge(self, u: Vertex, v: Vertex) -> None:
+        """Insert edge {u, v}.
+
+        Raises:
+            GraphError: on a self-loop.
+            DuplicateEdgeError: if the edge exists.
+        """
+        if u == v:
+            raise GraphError(f"self-loop on vertex {u!r} is not allowed")
+        bucket = self._adj.get(u)
+        if bucket is not None and v in bucket:
+            raise DuplicateEdgeError(f"edge ({u!r}, {v!r}) already exists")
+        self._adj.setdefault(u, set()).add(v)
+        self._adj.setdefault(v, set()).add(u)
+        self._num_edges += 1
+
+    def remove_edge(self, u: Vertex, v: Vertex) -> None:
+        """Delete edge {u, v}; drops zero-degree endpoints.
+
+        Raises:
+            MissingEdgeError: if the edge does not exist.
+        """
+        bucket = self._adj.get(u)
+        if bucket is None or v not in bucket:
+            raise MissingEdgeError(f"edge ({u!r}, {v!r}) does not exist")
+        bucket.discard(v)
+        if not bucket:
+            del self._adj[u]
+        other = self._adj[v]
+        other.discard(u)
+        if not other:
+            del self._adj[v]
+        self._num_edges -= 1
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"UndirectedGraph(|V|={self.num_vertices}, "
+            f"|E|={self._num_edges})"
+        )

@@ -1,0 +1,100 @@
+"""Core value types shared by the whole library.
+
+The stream model follows Definition 1 of the paper: a fully dynamic
+bipartite graph stream is a sequence of elements ``({u, v}, delta)``
+where ``delta`` is ``+`` (insertion) or ``-`` (deletion).  Vertices are
+plain hashable identifiers; by convention the generators and loaders in
+this repository produce integers for speed, but nothing below requires
+that.
+
+An (undirected) edge is canonicalised as a tuple ``(left_vertex,
+right_vertex)`` so that the same physical edge always hashes equally no
+matter which endpoint the caller mentions first.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Hashable, Tuple
+
+Vertex = Hashable
+Edge = Tuple[Vertex, Vertex]
+
+
+class Side(enum.Enum):
+    """Which bipartition a vertex belongs to."""
+
+    LEFT = "left"
+    RIGHT = "right"
+
+    def other(self) -> "Side":
+        """Return the opposite side of the bipartition."""
+        return Side.RIGHT if self is Side.LEFT else Side.LEFT
+
+
+class Op(enum.Enum):
+    """Stream operation: edge insertion (``+``) or deletion (``-``)."""
+
+    INSERT = "+"
+    DELETE = "-"
+
+    @property
+    def sign(self) -> int:
+        """``sgn(delta)`` from Algorithm 1: +1 for insert, -1 for delete."""
+        return 1 if self is Op.INSERT else -1
+
+    @classmethod
+    def from_symbol(cls, symbol: str) -> "Op":
+        """Parse ``'+'`` / ``'-'`` (as used in stream files) into an Op."""
+        if symbol == "+":
+            return cls.INSERT
+        if symbol == "-":
+            return cls.DELETE
+        raise ValueError(f"unknown stream operation symbol: {symbol!r}")
+
+
+@dataclass(frozen=True, slots=True)
+class StreamElement:
+    """One element ``e(t) = ({u, v}, delta)`` of a fully dynamic stream.
+
+    Attributes:
+        u: the left-partition endpoint of the edge.
+        v: the right-partition endpoint of the edge.
+        op: whether the edge is being inserted or deleted.
+    """
+
+    u: Vertex
+    v: Vertex
+    op: Op = Op.INSERT
+
+    @property
+    def edge(self) -> Edge:
+        """The edge as a canonical ``(left, right)`` tuple."""
+        return (self.u, self.v)
+
+    @property
+    def is_insertion(self) -> bool:
+        return self.op is Op.INSERT
+
+    @property
+    def is_deletion(self) -> bool:
+        return self.op is Op.DELETE
+
+    def inverted(self) -> "StreamElement":
+        """The element that undoes this one (insert <-> delete)."""
+        flipped = Op.DELETE if self.op is Op.INSERT else Op.INSERT
+        return StreamElement(self.u, self.v, flipped)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"({self.u}, {self.v}, {self.op.value})"
+
+
+def insertion(u: Vertex, v: Vertex) -> StreamElement:
+    """Convenience constructor for an insertion element."""
+    return StreamElement(u, v, Op.INSERT)
+
+
+def deletion(u: Vertex, v: Vertex) -> StreamElement:
+    """Convenience constructor for a deletion element."""
+    return StreamElement(u, v, Op.DELETE)

@@ -1,0 +1,151 @@
+"""Unit tests for butterfly-burst anomaly detection."""
+
+import random
+
+import pytest
+
+from repro.apps.anomaly import Alert, ButterflyBurstDetector, precision_recall
+from repro.core.exact import ExactStreamingCounter
+from repro.core.abacus import Abacus
+from repro.errors import ExperimentError
+from repro.graph.generators import bipartite_erdos_renyi
+from repro.streams.dynamic import stream_from_edges
+from repro.types import insertion
+
+
+def _burst_stream(n_windows=30, window=200, burst_window=20, seed=1):
+    """Sparse background with one dense biclique inside one window."""
+    rng = random.Random(seed)
+    background = bipartite_erdos_renyi(
+        4000, 4000, n_windows * window, rng
+    )
+    elements = [insertion(u, v) for u, v in background]
+    # Build a 6x6 biclique from fresh vertices inside the burst window.
+    lefts = [9_000_000 + i for i in range(6)]
+    rights = [9_500_000 + i for i in range(6)]
+    clique = [insertion(u, v) for u in lefts for v in rights]
+    offset = burst_window * window + window // 4
+    elements[offset:offset] = clique
+    return elements, burst_window
+
+
+class TestDetector:
+    def test_validation(self):
+        with pytest.raises(ExperimentError):
+            ButterflyBurstDetector(ExactStreamingCounter(), window=0)
+        with pytest.raises(ExperimentError):
+            ButterflyBurstDetector(
+                ExactStreamingCounter(), history=2, min_history=5
+            )
+
+    def test_no_alerts_on_flat_background(self):
+        rng = random.Random(2)
+        edges = bipartite_erdos_renyi(5000, 5000, 6000, rng)
+        detector = ButterflyBurstDetector(
+            ExactStreamingCounter(), window=200, z_threshold=6.0
+        )
+        alerts = detector.process_stream(
+            insertion(u, v) for u, v in edges
+        )
+        assert alerts == []
+
+    def test_detects_planted_burst_with_exact_counts(self):
+        elements, burst_window = _burst_stream()
+        detector = ButterflyBurstDetector(
+            ExactStreamingCounter(), window=200, z_threshold=4.0
+        )
+        alerts = detector.process_stream(elements)
+        assert alerts, "the planted 6x6 biclique burst was missed"
+        assert any(
+            abs(a.window_index - burst_window) <= 1 for a in alerts
+        )
+
+    def test_detects_burst_with_abacus_estimates(self):
+        elements, burst_window = _burst_stream(seed=3)
+        detector = ButterflyBurstDetector(
+            Abacus(3000, seed=5), window=200, z_threshold=4.0
+        )
+        alerts = detector.process_stream(elements)
+        assert any(
+            abs(a.window_index - burst_window) <= 1 for a in alerts
+        )
+
+    def test_alert_fields(self):
+        elements, _ = _burst_stream(seed=4)
+        detector = ButterflyBurstDetector(
+            ExactStreamingCounter(), window=200, z_threshold=4.0
+        )
+        alerts = detector.process_stream(elements)
+        alert = alerts[0]
+        assert isinstance(alert, Alert)
+        assert alert.delta > 0
+        assert alert.score > 4.0
+        assert alert.element_index > 0
+
+
+class TestTwoSided:
+    def test_mass_deletion_alerts_only_when_two_sided(self):
+        """A takedown (pure deletion burst) triggers a two-sided
+        detector on exact counts, and never a one-sided one."""
+        from repro.types import deletion
+
+        background = [
+            insertion(i, 1_000_000 + i) for i in range(12 * 200)
+        ]
+        clique = [
+            (u, 2_000_000 + v) for u in range(8) for v in range(8)
+        ]
+        elements = list(background)
+        # Both events land after the detector's 5-window warm-up so the
+        # registration alert is excluded from the baseline.
+        elements[1400:1400] = [insertion(u, v) for u, v in clique]
+        elements[2100:2100] = [deletion(u, v) for u, v in clique]
+
+        two_sided = ButterflyBurstDetector(
+            ExactStreamingCounter(),
+            window=200,
+            z_threshold=4.0,
+            two_sided=True,
+        )
+        alerts = two_sided.process_stream(elements)
+        assert any(a.delta < 0 for a in alerts), "takedown missed"
+
+        one_sided = ButterflyBurstDetector(
+            ExactStreamingCounter(),
+            window=200,
+            z_threshold=4.0,
+            two_sided=False,
+        )
+        alerts = one_sided.process_stream(elements)
+        assert all(a.delta > 0 for a in alerts)
+
+
+class TestPrecisionRecall:
+    def test_perfect(self):
+        alerts = [Alert(5, 1000, 10.0, 6.0)]
+        p, r = precision_recall(alerts, [5])
+        assert (p, r) == (1.0, 1.0)
+
+    def test_tolerance(self):
+        alerts = [Alert(6, 1200, 10.0, 6.0)]
+        p, r = precision_recall(alerts, [5], tolerance=1)
+        assert (p, r) == (1.0, 1.0)
+        p, r = precision_recall(alerts, [5], tolerance=0)
+        assert (p, r) == (0.0, 0.0)
+
+    def test_false_positive_hurts_precision(self):
+        alerts = [Alert(5, 0, 1.0, 5.0), Alert(20, 0, 1.0, 5.0)]
+        p, r = precision_recall(alerts, [5])
+        assert p == pytest.approx(0.5)
+        assert r == 1.0
+
+    def test_missed_burst_hurts_recall(self):
+        p, r = precision_recall([], [5, 9])
+        assert p == 1.0
+        assert r == 0.0
+
+    def test_one_alert_matches_one_truth_only(self):
+        alerts = [Alert(5, 0, 1.0, 5.0), Alert(5, 0, 1.0, 5.0)]
+        p, r = precision_recall(alerts, [5])
+        assert p == pytest.approx(0.5)
+        assert r == 1.0

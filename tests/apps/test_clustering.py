@@ -1,0 +1,95 @@
+"""Unit tests for the streaming clustering coefficient."""
+
+import pytest
+
+from repro.apps.clustering import StreamingClusteringCoefficient
+from repro.core.exact import ExactStreamingCounter
+from repro.errors import StreamError
+from repro.graph.bipartite import BipartiteGraph
+from repro.graph.wedges import count_wedges
+from repro.types import Side, deletion, insertion
+
+
+def _feed(cc, elements):
+    value = 0.0
+    for el in elements:
+        value = cc.process(el)
+    return value
+
+
+class TestWedgeMaintenance:
+    def test_wedges_match_static_count(self, dynamic_stream):
+        cc = StreamingClusteringCoefficient(ExactStreamingCounter())
+        graph = BipartiteGraph()
+        for element in dynamic_stream.prefix(800):
+            cc.process(element)
+            if element.is_insertion:
+                graph.add_edge(element.u, element.v)
+            else:
+                graph.remove_edge(element.u, element.v)
+        expected = count_wedges(graph, Side.LEFT) + count_wedges(
+            graph, Side.RIGHT
+        )
+        assert cc.wedges == expected
+
+    def test_empty_graph_after_deletions(self):
+        cc = StreamingClusteringCoefficient(ExactStreamingCounter())
+        _feed(cc, [insertion(1, 10), deletion(1, 10)])
+        assert cc.wedges == 0
+        assert cc.coefficient == 0.0
+
+    def test_delete_unknown_edge_raises(self):
+        # The wrapped exact estimator rejects the bogus deletion first;
+        # with a sampling estimator the wedge bookkeeping would raise
+        # StreamError.  Either way, a typed library error surfaces.
+        from repro.errors import ReproError
+
+        cc = StreamingClusteringCoefficient(ExactStreamingCounter())
+        with pytest.raises(ReproError):
+            cc.process(deletion(1, 10))
+
+    def test_delete_unknown_edge_raises_with_sampling_estimator(self):
+        from repro.core.abacus import Abacus
+
+        cc = StreamingClusteringCoefficient(Abacus(10, seed=0))
+        cc.process(insertion(1, 10))
+        with pytest.raises(StreamError):
+            cc.process(deletion(2, 11))
+
+
+class TestCoefficient:
+    def test_single_butterfly_value(self):
+        cc = StreamingClusteringCoefficient(ExactStreamingCounter())
+        value = _feed(
+            cc,
+            [
+                insertion(1, 10),
+                insertion(1, 11),
+                insertion(2, 10),
+                insertion(2, 11),
+            ],
+        )
+        # K_{2,2}: B = 1, W = 4 -> coefficient = 4*1/4 = 1.
+        assert value == pytest.approx(1.0)
+
+    def test_wedge_without_butterfly_is_zero(self):
+        cc = StreamingClusteringCoefficient(ExactStreamingCounter())
+        value = _feed(cc, [insertion(1, 10), insertion(2, 10)])
+        assert value == 0.0
+        assert cc.wedges == 1
+
+    def test_negative_estimates_clamped(self):
+        class NegativeEstimator(ExactStreamingCounter):
+            @property
+            def estimate(self):
+                return -5.0
+
+        cc = StreamingClusteringCoefficient(NegativeEstimator())
+        _feed(cc, [insertion(1, 10), insertion(2, 10)])
+        assert cc.coefficient == 0.0
+
+    def test_trajectory_sampling(self, insert_only_stream):
+        cc = StreamingClusteringCoefficient(ExactStreamingCounter())
+        points = cc.trajectory(insert_only_stream.prefix(600), every=200)
+        assert [n for n, _ in points] == [200, 400, 600]
+        assert all(v >= 0.0 for _, v in points)

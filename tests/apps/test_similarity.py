@@ -1,0 +1,177 @@
+"""Unit tests for bipartite similarity utilities."""
+
+import random
+
+import pytest
+
+from repro.apps.similarity import (
+    SampleSimilarity,
+    butterfly_affinity,
+    common_neighbors,
+    cosine_similarity,
+    jaccard_similarity,
+    similarity_matrix,
+    top_k_similar,
+)
+from repro.errors import GraphError
+from repro.graph.bipartite import BipartiteGraph
+from repro.sampling.adjacency_sample import GraphSample
+
+
+@pytest.fixture
+def ratings() -> BipartiteGraph:
+    """Users u1/u2 agree on two items; u3 overlaps u1 on one."""
+    g = BipartiteGraph()
+    g.add_edge("u1", "matrix")
+    g.add_edge("u1", "inception")
+    g.add_edge("u1", "alien")
+    g.add_edge("u2", "matrix")
+    g.add_edge("u2", "inception")
+    g.add_edge("u3", "alien")
+    g.add_edge("u3", "casablanca")
+    return g
+
+
+class TestPairwiseMetrics:
+    def test_common_neighbors(self, ratings):
+        assert common_neighbors(ratings, "u1", "u2") == 2
+        assert common_neighbors(ratings, "u1", "u3") == 1
+        assert common_neighbors(ratings, "u2", "u3") == 0
+
+    def test_jaccard(self, ratings):
+        assert jaccard_similarity(ratings, "u1", "u2") == pytest.approx(
+            2 / 3
+        )
+        assert jaccard_similarity(ratings, "u2", "u3") == 0.0
+
+    def test_jaccard_isolated_pair(self, ratings):
+        assert jaccard_similarity(ratings, "ghost1", "ghost2") == 0.0
+
+    def test_cosine(self, ratings):
+        assert cosine_similarity(ratings, "u1", "u2") == pytest.approx(
+            2 / (3 * 2) ** 0.5
+        )
+        assert cosine_similarity(ratings, "u1", "ghost") == 0.0
+
+    def test_butterfly_affinity(self, ratings):
+        assert butterfly_affinity(ratings, "u1", "u2") == 1
+        assert butterfly_affinity(ratings, "u1", "u3") == 0
+
+    def test_affinity_matches_global_count(self, ratings):
+        from repro.graph.butterflies import count_butterflies
+
+        users = ["u1", "u2", "u3"]
+        total = sum(
+            butterfly_affinity(ratings, a, b)
+            for i, a in enumerate(users)
+            for b in users[i + 1:]
+        )
+        assert total == count_butterflies(ratings)
+
+    def test_right_side_queries_work(self, ratings):
+        assert common_neighbors(ratings, "matrix", "inception") == 2
+        assert butterfly_affinity(ratings, "matrix", "inception") == 1
+
+
+class TestTopK:
+    def test_ranking(self, ratings):
+        result = top_k_similar(ratings, "u1", k=5, metric="jaccard")
+        assert result[0][0] == "u2"
+        assert [v for v, _ in result] == ["u2", "u3"]
+
+    def test_zero_scores_omitted(self, ratings):
+        result = top_k_similar(ratings, "u2", k=5)
+        assert all(v != "u3" for v, _ in result)
+
+    def test_k_truncates(self, ratings):
+        assert len(top_k_similar(ratings, "u1", k=1)) == 1
+
+    def test_absent_vertex_empty(self, ratings):
+        assert top_k_similar(ratings, "nobody") == []
+
+    def test_unknown_metric_raises(self, ratings):
+        with pytest.raises(GraphError):
+            top_k_similar(ratings, "u1", metric="euclidean")
+
+    @pytest.mark.parametrize(
+        "metric", ["jaccard", "cosine", "common", "butterfly"]
+    )
+    def test_all_metrics_run(self, ratings, metric):
+        result = top_k_similar(ratings, "u1", metric=metric)
+        assert isinstance(result, list)
+
+
+class TestSimilarityMatrix:
+    def test_upper_triangle_only(self, ratings):
+        matrix = similarity_matrix(ratings, ["u1", "u2", "u3"])
+        assert set(matrix) == {("u1", "u2"), ("u1", "u3"), ("u2", "u3")}
+
+    def test_values_match_pairwise(self, ratings):
+        matrix = similarity_matrix(
+            ratings, ["u1", "u2"], metric="cosine"
+        )
+        assert matrix[("u1", "u2")] == pytest.approx(
+            cosine_similarity(ratings, "u1", "u2")
+        )
+
+    def test_unknown_metric_raises(self, ratings):
+        with pytest.raises(GraphError):
+            similarity_matrix(ratings, ["u1"], metric="nope")
+
+
+class TestSampleSimilarity:
+    def _full_sample(self, graph: BipartiteGraph) -> GraphSample:
+        sample = GraphSample()
+        for u, v in graph.edges():
+            sample.add_edge(u, v)
+        return sample
+
+    def test_full_sample_matches_exact(self, ratings):
+        sim = SampleSimilarity(self._full_sample(ratings))
+        assert sim.common_neighbors("u1", "u2") == 2
+        assert sim.jaccard("u1", "u2") == pytest.approx(2 / 3)
+
+    def test_scaled_common_neighbors_debiases(self, ratings):
+        sim = SampleSimilarity(
+            self._full_sample(ratings), inclusion_probability=1.0
+        )
+        assert sim.scaled_common_neighbors("u1", "u2") == pytest.approx(
+            2.0
+        )
+
+    def test_scaled_requires_rate(self, ratings):
+        sim = SampleSimilarity(self._full_sample(ratings))
+        with pytest.raises(GraphError):
+            sim.scaled_common_neighbors("u1", "u2")
+
+    def test_rejects_bad_rate(self, ratings):
+        with pytest.raises(GraphError):
+            SampleSimilarity(
+                self._full_sample(ratings), inclusion_probability=1.5
+            )
+
+    def test_top_k_on_sample(self, ratings):
+        sim = SampleSimilarity(self._full_sample(ratings))
+        result = sim.top_k_similar("u1", k=3)
+        assert result[0][0] == "u2"
+
+    def test_scaled_overlap_statistically_unbiased(self):
+        """Downsampled overlap, rescaled by rate^2, averages to truth."""
+        g = BipartiteGraph()
+        items = [f"i{j}" for j in range(30)]
+        for item in items:
+            g.add_edge("a", item)
+            g.add_edge("b", item)
+        truth = common_neighbors(g, "a", "b")
+        rate = 0.5
+        rng = random.Random(7)
+        estimates = []
+        for _ in range(400):
+            sample = GraphSample()
+            for u, v in g.edges():
+                if rng.random() < rate:
+                    sample.add_edge(u, v)
+            sim = SampleSimilarity(sample, inclusion_probability=rate)
+            estimates.append(sim.scaled_common_neighbors("a", "b"))
+        mean = sum(estimates) / len(estimates)
+        assert mean == pytest.approx(truth, rel=0.1)

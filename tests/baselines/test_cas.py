@@ -1,0 +1,99 @@
+"""Unit tests for the CAS baseline."""
+
+import random
+
+import pytest
+
+from repro.baselines.cas import CoAffiliationSampling, _pair_key
+from repro.errors import EstimatorError
+from repro.experiments.runner import ground_truth_final_count
+from repro.graph.generators import bipartite_chung_lu
+from repro.streams.dynamic import make_fully_dynamic, stream_from_edges
+from repro.types import deletion, insertion
+
+
+class TestConstruction:
+    def test_budget_validation(self):
+        with pytest.raises(EstimatorError):
+            CoAffiliationSampling(3)
+
+    def test_lambda_validation(self):
+        with pytest.raises(EstimatorError):
+            CoAffiliationSampling(100, sketch_fraction=0.0)
+        with pytest.raises(EstimatorError):
+            CoAffiliationSampling(100, sketch_fraction=1.0)
+
+    def test_memory_split(self):
+        cas = CoAffiliationSampling(300, sketch_fraction=0.33, seed=0)
+        assert cas.reservoir_capacity == round(300 * 0.67)
+
+
+class TestPairKey:
+    def test_symmetric(self):
+        assert _pair_key(3, 17) == _pair_key(17, 3)
+        assert _pair_key("a", "b") == _pair_key("b", "a")
+
+    def test_distinct_pairs_usually_differ(self):
+        keys = {_pair_key(i, j) for i in range(30) for j in range(i)}
+        assert len(keys) == 30 * 29 // 2  # no collisions on a tiny set
+
+
+class TestMechanics:
+    def test_deletions_ignored(self):
+        cas = CoAffiliationSampling(100, seed=0)
+        cas.process(insertion(1, 10))
+        delta = cas.process(deletion(1, 10))
+        assert delta == 0.0
+        assert cas.memory_edges == 1
+
+    def test_memory_bounded_by_reservoir(self):
+        cas = CoAffiliationSampling(60, seed=1)
+        for i in range(500):
+            cas.process(insertion(i, 9000 + (i % 40)))
+        assert cas.memory_edges <= cas.reservoir_capacity
+
+    def test_sketch_updates_happen(self):
+        cas = CoAffiliationSampling(100, seed=2)
+        # A star: every new edge wedge-pairs with earlier neighbours.
+        for i in range(10):
+            cas.process(insertion(i, 777))
+        assert cas.sketch_updates > 0
+
+    def test_exact_while_everything_sampled(self):
+        # Reservoir large enough to hold all edges -> p = 1 and point
+        # queries are exact on this collision-free workload.
+        cas = CoAffiliationSampling(1000, seed=3)
+        for el in (
+            insertion(1, 10),
+            insertion(1, 11),
+            insertion(2, 10),
+            insertion(2, 11),
+        ):
+            cas.process(el)
+        assert cas.estimate == pytest.approx(1.0)
+
+
+class TestAccuracyShape:
+    def test_plausible_on_insert_only(self):
+        rng = random.Random(62)
+        edges = bipartite_chung_lu(400, 120, 4000, rng=rng)
+        stream = stream_from_edges(edges)
+        truth = ground_truth_final_count(stream)
+        errors = []
+        for seed in range(5):
+            cas = CoAffiliationSampling(800, seed=seed)
+            errors.append(abs(truth - cas.process_stream(stream)) / truth)
+        assert sum(errors) / len(errors) < 0.6  # noisy but in the ballpark
+
+    def test_biased_under_deletions(self):
+        rng = random.Random(63)
+        edges = bipartite_chung_lu(400, 120, 4000, rng=rng)
+        stream = make_fully_dynamic(edges, 0.3, random.Random(4))
+        truth = ground_truth_final_count(stream)
+        overshoots = 0
+        for seed in range(5):
+            cas = CoAffiliationSampling(800, seed=seed)
+            estimate = cas.process_stream(stream)
+            if estimate > truth * 1.3:
+                overshoots += 1
+        assert overshoots >= 4

@@ -1,0 +1,92 @@
+"""Unit tests for the FLEET baseline."""
+
+import random
+
+import pytest
+
+from repro.baselines.fleet import Fleet
+from repro.errors import EstimatorError
+from repro.experiments.runner import ground_truth_final_count
+from repro.graph.generators import bipartite_chung_lu
+from repro.streams.dynamic import make_fully_dynamic, stream_from_edges
+from repro.types import deletion, insertion
+
+
+class TestConstruction:
+    def test_budget_validation(self):
+        with pytest.raises(EstimatorError):
+            Fleet(1)
+
+    def test_gamma_validation(self):
+        with pytest.raises(EstimatorError):
+            Fleet(10, gamma=1.0)
+        with pytest.raises(EstimatorError):
+            Fleet(10, gamma=0.0)
+
+
+class TestMechanics:
+    def test_deletions_ignored(self):
+        f = Fleet(100, seed=0)
+        f.process(insertion(1, 10))
+        before = f.memory_edges
+        delta = f.process(deletion(1, 10))
+        assert delta == 0.0
+        assert f.memory_edges == before  # the deleted edge stays sampled
+
+    def test_exact_before_first_resize(self):
+        # With p = 1 and no resize, FLEET counts exactly.
+        f = Fleet(1000, seed=0)
+        for el in (
+            insertion(1, 10),
+            insertion(1, 11),
+            insertion(2, 10),
+            insertion(2, 11),
+        ):
+            f.process(el)
+        assert f.estimate == pytest.approx(1.0)
+        assert f.sampling_probability == 1.0
+
+    def test_resize_shrinks_reservoir_and_p(self):
+        f = Fleet(50, gamma=0.75, seed=1)
+        for i in range(200):
+            f.process(insertion(i, 10_000 + i))
+        assert f.num_resizes >= 1
+        assert f.sampling_probability == pytest.approx(
+            0.75**f.num_resizes
+        )
+        assert f.memory_edges < 50
+
+    def test_memory_never_exceeds_budget(self):
+        f = Fleet(40, seed=2)
+        for i in range(2000):
+            f.process(insertion(i % 100, 10_000 + i // 100))
+        assert f.memory_edges <= 40
+
+
+class TestAccuracyShape:
+    def test_reasonable_on_insert_only(self):
+        rng = random.Random(60)
+        edges = bipartite_chung_lu(400, 120, 4000, rng=rng)
+        stream = stream_from_edges(edges)
+        truth = ground_truth_final_count(stream)
+        errors = []
+        for seed in range(5):
+            f = Fleet(800, seed=seed)
+            errors.append(abs(truth - f.process_stream(stream)) / truth)
+        assert sum(errors) / len(errors) < 0.3
+
+    def test_overestimates_under_deletions(self):
+        """FLEET ignores deletions, so on a heavy-deletion stream its
+        estimate vastly exceeds the surviving butterfly count — the
+        failure mode Figure 3 quantifies."""
+        rng = random.Random(61)
+        edges = bipartite_chung_lu(400, 120, 4000, rng=rng)
+        stream = make_fully_dynamic(edges, 0.3, random.Random(3))
+        truth = ground_truth_final_count(stream)
+        overshoots = 0
+        for seed in range(5):
+            f = Fleet(800, seed=seed)
+            estimate = f.process_stream(stream)
+            if estimate > truth * 1.5:
+                overshoots += 1
+        assert overshoots >= 4

@@ -1,0 +1,86 @@
+"""Unit tests for the sGrapp window-based baseline."""
+
+import random
+
+import pytest
+
+from repro.baselines.sgrapp import SGrapp
+from repro.errors import EstimatorError
+from repro.experiments.runner import ground_truth_final_count
+from repro.graph.generators import bipartite_chung_lu
+from repro.streams.dynamic import make_fully_dynamic, stream_from_edges
+from repro.types import deletion, insertion
+
+
+@pytest.fixture(scope="module")
+def powerlaw_stream():
+    rng = random.Random(101)
+    edges = bipartite_chung_lu(1200, 250, 12000, rng=rng)
+    return stream_from_edges(edges)
+
+
+class TestConstruction:
+    def test_window_validation(self):
+        with pytest.raises(EstimatorError):
+            SGrapp(window=0)
+
+    def test_learning_windows_validation(self):
+        with pytest.raises(EstimatorError):
+            SGrapp(learning_windows=1)
+
+
+class TestMechanics:
+    def test_exact_during_learning(self, powerlaw_stream):
+        est = SGrapp(window=1000, learning_windows=4)
+        truth = 0.0
+        from repro.core.exact import ExactStreamingCounter
+
+        oracle = ExactStreamingCounter()
+        for element in powerlaw_stream.prefix(3000):  # inside learning
+            est.process(element)
+            truth = oracle.process(element) or truth
+        assert est.learning
+        assert est.estimate == oracle.estimate
+
+    def test_learning_graph_dropped_after_fit(self, powerlaw_stream):
+        est = SGrapp(window=1000, learning_windows=3)
+        est.process_stream(powerlaw_stream.prefix(5000))
+        assert not est.learning
+        # Memory now bounded by the current window.
+        assert est.memory_edges <= 1000
+
+    def test_deletions_ignored(self):
+        est = SGrapp(window=10, learning_windows=2)
+        est.process(insertion(1, 10))
+        delta = est.process(deletion(1, 10))
+        assert delta == 0.0
+
+    def test_bdpl_exponent_available_after_learning(self, powerlaw_stream):
+        est = SGrapp(window=1000, learning_windows=4)
+        est.process_stream(powerlaw_stream)
+        assert not est.learning
+        assert est.bdpl_exponent != 0.0
+
+
+class TestAccuracyShape:
+    def test_reasonable_on_insert_only(self, powerlaw_stream):
+        truth = ground_truth_final_count(powerlaw_stream)
+        est = SGrapp(window=1500, learning_windows=4)
+        estimate = est.process_stream(powerlaw_stream)
+        assert abs(truth - estimate) / truth < 0.6
+
+    def test_breaks_under_deletions(self):
+        rng = random.Random(103)
+        edges = bipartite_chung_lu(1200, 250, 12000, rng=rng)
+        stream = make_fully_dynamic(edges, 0.3, random.Random(7))
+        truth = ground_truth_final_count(stream)
+        est = SGrapp(window=1500, learning_windows=4)
+        estimate = est.process_stream(stream)
+        # Ignoring 30% deletions leaves a large overestimate.
+        assert estimate > truth * 1.3
+
+    def test_no_butterflies_stream_estimates_zero(self):
+        # Degree-1 star forest: no butterflies anywhere.
+        stream = stream_from_edges([(i, 10_000 + i) for i in range(5000)])
+        est = SGrapp(window=500, learning_windows=2)
+        assert est.process_stream(stream) == 0.0

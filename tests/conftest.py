@@ -1,0 +1,62 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.graph.bipartite import BipartiteGraph
+from repro.graph.generators import bipartite_chung_lu, bipartite_erdos_renyi
+from repro.streams.dynamic import make_fully_dynamic, stream_from_edges
+
+
+@pytest.fixture
+def butterfly_graph() -> BipartiteGraph:
+    """The minimal butterfly: u, x on the left; v, w on the right."""
+    g = BipartiteGraph()
+    g.add_edge("u", "v")
+    g.add_edge("u", "w")
+    g.add_edge("x", "v")
+    g.add_edge("x", "w")
+    return g
+
+
+@pytest.fixture
+def biclique_3x3() -> BipartiteGraph:
+    """K_{3,3}: contains C(3,2)^2 = 9 butterflies."""
+    g = BipartiteGraph()
+    for u in ("a", "b", "c"):
+        for v in ("x", "y", "z"):
+            g.add_edge(u, v)
+    return g
+
+
+@pytest.fixture
+def small_random_edges():
+    """A small random bipartite edge list (deterministic)."""
+    rng = random.Random(1234)
+    return bipartite_erdos_renyi(30, 20, 150, rng)
+
+
+@pytest.fixture
+def small_random_graph(small_random_edges) -> BipartiteGraph:
+    return BipartiteGraph(small_random_edges)
+
+
+@pytest.fixture
+def powerlaw_edges():
+    """A medium power-law edge list rich in butterflies."""
+    rng = random.Random(42)
+    return bipartite_chung_lu(300, 80, 2500, rng=rng)
+
+
+@pytest.fixture
+def dynamic_stream(powerlaw_edges):
+    """A fully dynamic stream with 20% deletions."""
+    return make_fully_dynamic(powerlaw_edges, 0.2, random.Random(99))
+
+
+@pytest.fixture
+def insert_only_stream(powerlaw_edges):
+    return stream_from_edges(powerlaw_edges)

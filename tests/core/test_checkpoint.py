@@ -1,0 +1,87 @@
+"""Unit tests for ABACUS checkpoint/restore."""
+
+import json
+
+import pytest
+
+from repro.core.abacus import Abacus
+from repro.core.checkpoint import (
+    abacus_from_dict,
+    abacus_to_dict,
+    load_checkpoint,
+    save_checkpoint,
+)
+from repro.errors import EstimatorError
+
+
+class TestRoundTrip:
+    def test_restored_state_fields(self, dynamic_stream):
+        est = Abacus(200, seed=5)
+        est.process_stream(dynamic_stream.prefix(1000))
+        restored = abacus_from_dict(abacus_to_dict(est))
+        assert restored.estimate == est.estimate
+        assert restored.total_work == est.total_work
+        assert restored.elements_processed == est.elements_processed
+        assert restored.sampler.cb == est.sampler.cb
+        assert restored.sampler.cg == est.sampler.cg
+        assert restored.sampler.num_live_edges == est.sampler.num_live_edges
+        assert set(restored.sampler.sample.edges()) == set(
+            est.sampler.sample.edges()
+        )
+
+    def test_continuation_is_bit_identical(self, dynamic_stream):
+        """Checkpoint at the midpoint, continue both copies: identical."""
+        half = len(dynamic_stream) // 2
+        uninterrupted = Abacus(200, seed=7)
+        uninterrupted.process_stream(dynamic_stream)
+
+        first_half = Abacus(200, seed=7)
+        first_half.process_stream(dynamic_stream.prefix(half))
+        resumed = abacus_from_dict(abacus_to_dict(first_half))
+        resumed.process_stream(dynamic_stream[half:])
+
+        assert resumed.estimate == uninterrupted.estimate
+        assert set(resumed.sampler.sample.edges()) == set(
+            uninterrupted.sampler.sample.edges()
+        )
+
+    def test_file_round_trip(self, tmp_path, dynamic_stream):
+        est = Abacus(150, seed=3)
+        est.process_stream(dynamic_stream.prefix(500))
+        path = tmp_path / "abacus.ckpt.json"
+        save_checkpoint(est, path)
+        restored = load_checkpoint(path)
+        assert restored.estimate == est.estimate
+
+    def test_flags_preserved(self):
+        est = Abacus(100, seed=1, cheapest_side=False, naive_increment=True)
+        restored = abacus_from_dict(abacus_to_dict(est))
+        assert restored._cheapest_side is False
+        assert restored._naive_increment is True
+
+
+class TestFailureModes:
+    def test_wrong_format_version(self):
+        est = Abacus(100, seed=0)
+        state = abacus_to_dict(est)
+        state["format_version"] = 99
+        with pytest.raises(EstimatorError):
+            abacus_from_dict(state)
+
+    def test_malformed_json_file(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{not json")
+        with pytest.raises(EstimatorError):
+            load_checkpoint(path)
+
+    def test_non_dict_payload(self, tmp_path):
+        path = tmp_path / "list.json"
+        path.write_text(json.dumps([1, 2, 3]))
+        with pytest.raises(EstimatorError):
+            load_checkpoint(path)
+
+    def test_missing_fields(self, tmp_path):
+        path = tmp_path / "partial.json"
+        path.write_text(json.dumps({"format_version": 1, "budget": 10}))
+        with pytest.raises(EstimatorError):
+            load_checkpoint(path)

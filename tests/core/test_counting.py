@@ -1,0 +1,125 @@
+"""Unit tests for per-edge counting against samples.
+
+The key invariant: when the sample contains the *whole* graph, the
+per-edge count must equal the exact number of butterflies the incoming
+edge would close — which we verify against the exact per-edge counter.
+"""
+
+import random
+
+from repro.core.counting import count_with_sample, count_with_versioned_sample
+from repro.graph.bipartite import BipartiteGraph
+from repro.graph.butterflies import butterflies_containing_edge
+from repro.graph.generators import bipartite_erdos_renyi
+from repro.sampling.adjacency_sample import GraphSample
+from repro.sampling.random_pairing import RandomPairing
+from repro.sampling.versioned import VersionedGraphSample
+from repro.types import insertion
+
+
+def _sample_from_edges(edges):
+    sample = GraphSample()
+    for u, v in edges:
+        sample.add_edge(u, v)
+    return sample
+
+
+class TestAgainstExact:
+    def test_single_butterfly_completion(self):
+        sample = _sample_from_edges([(1, 10), (2, 10), (2, 11)])
+        count, work = count_with_sample(sample, 1, 11)
+        assert count == 1
+        assert work > 0
+
+    def test_no_completion(self):
+        sample = _sample_from_edges([(1, 10), (2, 11)])
+        count, _ = count_with_sample(sample, 1, 11)
+        assert count == 0
+
+    def test_full_sample_matches_exact_per_edge(self):
+        rng = random.Random(8)
+        edges = bipartite_erdos_renyi(20, 15, 120, rng)
+        graph = BipartiteGraph(edges)
+        sample = _sample_from_edges(edges)
+        # For each edge: remove it everywhere, then the count of the
+        # incoming edge against the full sample equals the exact count.
+        for u, v in edges[:40]:
+            graph.remove_edge(u, v)
+            sample.remove_edge(u, v)
+            expected = butterflies_containing_edge(graph, u, v)
+            got, _ = count_with_sample(sample, u, v)
+            assert got == expected
+            graph.add_edge(u, v)
+            sample.add_edge(u, v)
+
+    def test_heuristic_does_not_change_count(self):
+        rng = random.Random(9)
+        edges = bipartite_erdos_renyi(15, 12, 90, rng)
+        sample = _sample_from_edges(edges[:-10])
+        for u, v in edges[-10:]:
+            with_heuristic, _ = count_with_sample(
+                sample, u, v, cheapest_side=True
+            )
+            without, _ = count_with_sample(
+                sample, u, v, cheapest_side=False
+            )
+            assert with_heuristic == without
+
+    def test_deletion_edge_in_sample_not_miscounted(self):
+        # Edge (1,10) is in the sample AND being processed (deletion
+        # case): the degenerate "butterfly" through x == u must not be
+        # counted.
+        sample = _sample_from_edges([(1, 10), (1, 11), (2, 10), (2, 11)])
+        count, _ = count_with_sample(sample, 1, 10)
+        assert count == 1  # exactly the true butterfly {1,2,10,11}
+
+    def test_empty_sample(self):
+        count, work = count_with_sample(GraphSample(), 1, 10)
+        assert (count, work) == (0, 0)
+
+    def test_work_accounts_intersections(self):
+        # Star around right vertex 10 plus one far edge: intersections
+        # iterate the smaller set each time.
+        sample = _sample_from_edges([(1, 10), (2, 10), (2, 11)])
+        _, work = count_with_sample(sample, 1, 11)
+        assert work >= 1
+
+
+class TestVersionedCounting:
+    def test_matches_live_counting_at_final_version(self):
+        rng = random.Random(10)
+        edges = bipartite_erdos_renyi(15, 12, 80, rng)
+        sample = GraphSample()
+        versioned = VersionedGraphSample(sample)
+        rp = RandomPairing(1000, random.Random(0), sample=sample)
+        versioned.begin_batch()
+        for u, v in edges:
+            versioned.note_element_state(rp.num_live_edges, rp.cb, rp.cg)
+            rp.process(insertion(u, v))
+        versioned.end_batch()
+        # Counting at the last version equals counting against the live
+        # sample state just before the final element.
+        last = len(edges) - 1
+        u, v = edges[-1]
+        sample.remove_edge(u, v)
+        live_count, _ = count_with_sample(sample, u, v)
+        sample.add_edge(u, v)
+        versioned_count, _ = count_with_versioned_sample(
+            versioned, last, u, v
+        )
+        assert versioned_count == live_count
+
+    def test_version_zero_sees_nothing(self):
+        sample = GraphSample()
+        versioned = VersionedGraphSample(sample)
+        rp = RandomPairing(100, random.Random(0), sample=sample)
+        versioned.begin_batch()
+        for u, v in [(1, 10), (2, 10), (2, 11), (1, 11)]:
+            versioned.note_element_state(rp.num_live_edges, rp.cb, rp.cg)
+            rp.process(insertion(u, v))
+        versioned.end_batch()
+        count, _ = count_with_versioned_sample(versioned, 0, 1, 11)
+        assert count == 0
+        # But at version 3 the three other edges exist.
+        count3, _ = count_with_versioned_sample(versioned, 3, 1, 11)
+        assert count3 == 1

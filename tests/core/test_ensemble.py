@@ -1,0 +1,166 @@
+"""Unit and statistical tests for the ensemble estimator."""
+
+import math
+import random
+
+import pytest
+
+from repro.core.abacus import Abacus
+from repro.core.ensemble import EnsembleEstimator
+from repro.errors import EstimatorError
+from repro.experiments.runner import ground_truth_final_count
+from repro.graph.generators import bipartite_erdos_renyi
+from repro.streams.dynamic import make_fully_dynamic, stream_from_edges
+from repro.types import insertion
+
+
+def _workload(seed=0, alpha=0.2):
+    rng = random.Random(seed)
+    edges = bipartite_erdos_renyi(30, 30, 260, rng)
+    return make_fully_dynamic(edges, alpha, random.Random(seed + 1))
+
+
+class TestConstruction:
+    def test_rejects_zero_replicas(self):
+        with pytest.raises(EstimatorError):
+            EnsembleEstimator(replicas=0, budget=10)
+
+    def test_rejects_unknown_combiner(self):
+        with pytest.raises(EstimatorError):
+            EnsembleEstimator(replicas=2, budget=10, combiner="mode")
+
+    def test_requires_budget_or_factory(self):
+        with pytest.raises(EstimatorError):
+            EnsembleEstimator(replicas=2)
+
+    def test_rejects_bad_groups(self):
+        with pytest.raises(EstimatorError):
+            EnsembleEstimator(replicas=4, budget=10, groups=9)
+
+    def test_custom_factory(self):
+        ensemble = EnsembleEstimator(
+            replicas=3,
+            factory=lambda i, rng: Abacus(10 + i, rng=rng),
+            seed=1,
+        )
+        assert ensemble.replicas == 3
+        budgets = [m.budget for m in ensemble.members]
+        assert budgets == [10, 11, 12]
+
+    def test_share_budget_splits_memory(self):
+        ensemble = EnsembleEstimator(
+            replicas=4, budget=100, share_budget=True, seed=2
+        )
+        assert all(m.budget == 25 for m in ensemble.members)
+
+    def test_replicas_use_independent_rngs(self):
+        ensemble = EnsembleEstimator(replicas=2, budget=40, seed=3)
+        stream = _workload(seed=4)
+        ensemble.process_stream(stream)
+        a, b = ensemble.member_estimates()
+        assert a != b  # astronomically unlikely to collide
+
+
+class TestCombiners:
+    def _fed(self, combiner, seed=5, replicas=5):
+        ensemble = EnsembleEstimator(
+            replicas=replicas, budget=60, combiner=combiner, seed=seed
+        )
+        ensemble.process_stream(_workload(seed=6))
+        return ensemble
+
+    def test_mean_is_average_of_members(self):
+        ensemble = self._fed("mean")
+        values = ensemble.member_estimates()
+        assert ensemble.estimate == pytest.approx(sum(values) / len(values))
+
+    def test_median_is_member_median(self):
+        ensemble = self._fed("median")
+        values = sorted(ensemble.member_estimates())
+        assert ensemble.estimate == pytest.approx(values[2])
+
+    def test_median_of_means_between_extremes(self):
+        ensemble = self._fed("median_of_means", replicas=9)
+        values = ensemble.member_estimates()
+        assert min(values) <= ensemble.estimate <= max(values)
+
+    def test_single_replica_equals_member(self):
+        ensemble = EnsembleEstimator(replicas=1, budget=60, seed=7)
+        stream = _workload(seed=8)
+        ensemble.process_stream(stream)
+        assert ensemble.estimate == ensemble.member_estimates()[0]
+
+
+class TestStatistics:
+    def test_exact_regime_zero_spread(self):
+        ensemble = EnsembleEstimator(replicas=3, budget=10_000, seed=9)
+        ensemble.process_stream(_workload(seed=10, alpha=0.0))
+        assert ensemble.spread() == pytest.approx(0.0)
+
+    def test_confidence_interval_brackets_mean(self):
+        ensemble = EnsembleEstimator(replicas=6, budget=60, seed=11)
+        ensemble.process_stream(_workload(seed=12))
+        low, high = ensemble.confidence_interval()
+        values = ensemble.member_estimates()
+        mean = sum(values) / len(values)
+        assert low <= mean <= high
+
+    def test_memory_edges_sums_members(self):
+        ensemble = EnsembleEstimator(replicas=3, budget=5, seed=13)
+        for i in range(10):
+            ensemble.process(insertion(i, 100 + i))
+        assert ensemble.memory_edges == sum(
+            m.memory_edges for m in ensemble.members
+        )
+
+    def test_process_returns_combined_delta(self):
+        ensemble = EnsembleEstimator(replicas=2, budget=1000, seed=14)
+        total = 0.0
+        for element in [
+            insertion("u", "v"),
+            insertion("u", "w"),
+            insertion("x", "v"),
+            insertion("x", "w"),
+        ]:
+            total += ensemble.process(element)
+        assert total == pytest.approx(ensemble.estimate) == pytest.approx(1.0)
+
+
+class TestVarianceReduction:
+    def test_ensemble_mean_reduces_error(self):
+        """Averaging r replicas should shrink the spread of the final
+        estimate by about sqrt(r)."""
+        stream = _workload(seed=15)
+        truth = ground_truth_final_count(stream)
+        assert truth > 0
+        singles, ensembles = [], []
+        for trial in range(40):
+            single = Abacus(50, seed=2000 + trial)
+            singles.append(single.process_stream(stream))
+            ensemble = EnsembleEstimator(
+                replicas=4, budget=50, seed=3000 + trial
+            )
+            ensembles.append(ensemble.process_stream(stream))
+
+        def rmse(values):
+            return math.sqrt(
+                sum((v - truth) ** 2 for v in values) / len(values)
+            )
+
+        # Expected reduction is 2x; allow generous slack for 40 trials.
+        assert rmse(ensembles) < 0.75 * rmse(singles)
+
+    def test_ensemble_mean_unbiased(self):
+        stream = _workload(seed=16)
+        truth = ground_truth_final_count(stream)
+        estimates = []
+        for trial in range(120):
+            ensemble = EnsembleEstimator(
+                replicas=3, budget=60, seed=4000 + trial
+            )
+            estimates.append(ensemble.process_stream(stream))
+        n = len(estimates)
+        mean = sum(estimates) / n
+        variance = sum((v - mean) ** 2 for v in estimates) / (n - 1)
+        se = math.sqrt(variance / n)
+        assert abs(mean - truth) < 4 * max(se, 1e-12), (mean, truth, se)

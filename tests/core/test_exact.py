@@ -1,0 +1,77 @@
+"""Unit tests for the exact streaming oracle."""
+
+import random
+
+from repro.core.exact import ExactStreamingCounter
+from repro.graph.bipartite import BipartiteGraph
+from repro.graph.butterflies import count_butterflies
+from repro.streams.dynamic import make_fully_dynamic
+from repro.types import deletion, insertion
+
+
+class TestExactCounter:
+    def test_single_butterfly_lifecycle(self):
+        counter = ExactStreamingCounter()
+        deltas = [
+            counter.process(insertion(1, 10)),
+            counter.process(insertion(1, 11)),
+            counter.process(insertion(2, 10)),
+            counter.process(insertion(2, 11)),
+        ]
+        assert deltas == [0.0, 0.0, 0.0, 1.0]
+        assert counter.exact_count == 1
+        assert counter.process(deletion(2, 11)) == -1.0
+        assert counter.exact_count == 0
+
+    def test_matches_static_count_at_every_step(self, dynamic_stream):
+        counter = ExactStreamingCounter()
+        shadow = BipartiteGraph()
+        rng = random.Random(0)
+        for i, element in enumerate(dynamic_stream):
+            counter.process(element)
+            if element.is_insertion:
+                shadow.add_edge(element.u, element.v)
+            else:
+                shadow.remove_edge(element.u, element.v)
+            # Static recount is expensive; check a random 2% of steps.
+            if rng.random() < 0.02:
+                assert counter.exact_count == count_butterflies(shadow), i
+        assert counter.exact_count == count_butterflies(shadow)
+
+    def test_memory_tracks_graph(self):
+        counter = ExactStreamingCounter()
+        counter.process(insertion(1, 10))
+        assert counter.memory_edges == 1
+        counter.process(deletion(1, 10))
+        assert counter.memory_edges == 0
+
+    def test_estimate_equals_exact(self, insert_only_stream):
+        counter = ExactStreamingCounter()
+        final = counter.process_stream(insert_only_stream.prefix(500))
+        assert final == counter.exact_count
+
+    def test_stream_then_reverse_returns_to_zero(self):
+        edges = [(i % 6, 100 + i // 6) for i in range(30)]  # K_{6,5}
+        counter = ExactStreamingCounter()
+        for u, v in edges:
+            counter.process(insertion(u, v))
+        peak = counter.exact_count
+        assert peak > 0
+        for u, v in reversed(edges):
+            counter.process(deletion(u, v))
+        assert counter.exact_count == 0
+        assert counter.graph.num_edges == 0
+
+    def test_deletions_respect_symmetry(self):
+        """Deleting an edge then re-inserting restores the count."""
+        stream = make_fully_dynamic(
+            [(i % 8, 200 + i // 8) for i in range(56)],  # K_{8,7}
+            0.0,
+        )
+        counter = ExactStreamingCounter()
+        counter.process_stream(stream)
+        before = counter.exact_count
+        assert before > 0
+        counter.process(deletion(0, 200))
+        counter.process(insertion(0, 200))
+        assert counter.exact_count == before

@@ -1,0 +1,89 @@
+"""Failure injection: malformed input must raise typed errors, and
+estimator state must stay usable after rejected operations."""
+
+import pytest
+
+from repro.core.abacus import Abacus
+from repro.core.ensemble import EnsembleEstimator
+from repro.core.exact import ExactStreamingCounter
+from repro.core.support import AbacusSupport
+from repro.errors import ReproError, SamplingError, StreamError
+from repro.types import deletion, insertion
+
+
+class TestDeletionOfNothing:
+    def test_abacus_rejects_impossible_deletion(self):
+        est = Abacus(budget=10, seed=0)
+        with pytest.raises(StreamError):
+            est.process(deletion("ghost", "edge"))
+
+    def test_support_rejects_impossible_deletion(self):
+        est = AbacusSupport(budget=10, seed=1)
+        with pytest.raises(StreamError):
+            est.process(deletion("ghost", "edge"))
+
+    def test_ensemble_propagates_member_errors(self):
+        est = EnsembleEstimator(replicas=2, budget=10, seed=2)
+        with pytest.raises(ReproError):
+            est.process(deletion("ghost", "edge"))
+
+    def test_exact_oracle_rejects_impossible_deletion(self):
+        oracle = ExactStreamingCounter()
+        with pytest.raises(ReproError):
+            oracle.process(deletion("ghost", "edge"))
+
+
+class TestRecoveryAfterRejection:
+    def test_abacus_usable_after_failed_shrink(self):
+        est = Abacus(budget=10, seed=3)
+        est.process(insertion("a", "x"))
+        est.process(deletion("a", "x"))
+        assert not est.can_resize
+        with pytest.raises(SamplingError):
+            est.shrink_budget(5)
+        # The estimator keeps working after the refused resize.
+        est.process(insertion("b", "y"))
+        assert est.elements_processed == 3
+
+    def test_budget_unchanged_after_failed_shrink(self):
+        est = Abacus(budget=10, seed=4)
+        est.process(insertion("a", "x"))
+        est.process(deletion("a", "x"))
+        try:
+            est.shrink_budget(5)
+        except SamplingError:
+            pass
+        assert est.budget == 10
+
+
+class TestDegenerateStreams:
+    def test_empty_stream(self):
+        est = Abacus(budget=10, seed=5)
+        assert est.process_stream([]) == 0.0
+
+    def test_insert_delete_ping_pong(self):
+        """Tight churn on a single edge: never a butterfly, never an
+        error, estimate pinned at zero."""
+        est = Abacus(budget=4, seed=6)
+        for _ in range(200):
+            est.process(insertion("a", "x"))
+            est.process(deletion("a", "x"))
+        assert est.estimate == 0.0
+        assert est.memory_edges <= 4
+
+    def test_duplicate_vertices_across_elements(self):
+        """The same identifier may appear on one side repeatedly."""
+        est = Abacus(budget=100, seed=7)
+        for v in range(50):
+            est.process(insertion("hub", v))
+        assert est.estimate == 0.0  # a star has no butterflies
+
+    def test_mixed_vertex_types(self):
+        """Vertices are arbitrary hashables; mixing types must work."""
+        est = Abacus(budget=50, seed=9)
+        labels = ["s", 7, ("t", 1), frozenset({2})]
+        for u in labels:
+            for v in range(3):
+                est.process(insertion(u, 1000 + v))
+        assert est.elements_processed == 12
+        assert est.estimate > 0  # the 4x3 biclique has butterflies

@@ -1,0 +1,109 @@
+"""Unit and statistical tests for the TRIEST-style LazyAbacus ablation."""
+
+import math
+import random
+
+import pytest
+
+from repro.core.abacus import Abacus
+from repro.core.lazy import LazyAbacus
+from repro.errors import SamplingError, StreamError
+from repro.experiments.runner import ground_truth_final_count
+from repro.graph.generators import bipartite_erdos_renyi
+from repro.streams.dynamic import make_fully_dynamic, stream_from_edges
+from repro.types import deletion, insertion
+
+
+class TestBasics:
+    def test_budget_validation(self):
+        with pytest.raises(SamplingError):
+            LazyAbacus(1)
+
+    def test_delete_without_live_edges_raises(self):
+        with pytest.raises(StreamError):
+            LazyAbacus(10, seed=0).process(deletion(1, 2))
+
+    def test_exact_when_budget_unbounded(self):
+        est = LazyAbacus(10**6, seed=0)
+        for el in (
+            insertion(1, 10),
+            insertion(1, 11),
+            insertion(2, 10),
+            insertion(2, 11),
+        ):
+            est.process(el)
+        # Everything accepted with q = 1 and p3 = 1: exact counting.
+        assert est.estimate == pytest.approx(1.0)
+        est.process(deletion(2, 11))
+        assert est.estimate == pytest.approx(0.0)
+
+    def test_memory_bounded(self, dynamic_stream):
+        est = LazyAbacus(50, seed=1)
+        est.process_stream(dynamic_stream)
+        assert est.memory_edges <= 50
+
+    def test_counts_fewer_elements_than_abacus(self, dynamic_stream):
+        """The whole point: only a ~k/|E| fraction of insertions and the
+        sampled deletions trigger counting."""
+        est = LazyAbacus(200, seed=2)
+        est.process_stream(dynamic_stream)
+        assert 0.0 < est.counting_fraction < 0.5
+
+    def test_less_work_than_abacus(self, dynamic_stream):
+        lazy = LazyAbacus(200, seed=3)
+        eager = Abacus(200, seed=3)
+        lazy.process_stream(dynamic_stream)
+        eager.process_stream(dynamic_stream)
+        assert lazy.total_work < eager.total_work
+
+
+class TestStatistics:
+    def test_unbiased_on_insert_only(self):
+        rng = random.Random(70)
+        edges = bipartite_erdos_renyi(50, 35, 500, rng)
+        stream = stream_from_edges(edges)
+        truth = ground_truth_final_count(stream)
+        assert truth > 0
+        trials = 400
+        estimates = []
+        for t in range(trials):
+            est = LazyAbacus(120, seed=9000 + t)
+            estimates.append(est.process_stream(stream))
+        mean = sum(estimates) / trials
+        variance = sum((e - mean) ** 2 for e in estimates) / (trials - 1)
+        se = math.sqrt(variance / trials)
+        assert abs(mean - truth) < 4 * se, (mean, truth, se)
+
+    def test_usable_under_moderate_deletions(self):
+        """Documented corner-case bias stays modest at alpha = 20%."""
+        rng = random.Random(71)
+        edges = bipartite_erdos_renyi(50, 35, 500, rng)
+        stream = make_fully_dynamic(edges, 0.2, random.Random(5))
+        truth = ground_truth_final_count(stream)
+        assert truth > 0
+        trials = 200
+        estimates = []
+        for t in range(trials):
+            est = LazyAbacus(120, seed=5000 + t)
+            estimates.append(est.process_stream(stream))
+        mean = sum(estimates) / trials
+        assert abs(mean - truth) / truth < 0.35, (mean, truth)
+
+    def test_higher_variance_than_abacus(self):
+        """Lazy counting trades work for variance."""
+        rng = random.Random(72)
+        edges = bipartite_erdos_renyi(50, 35, 500, rng)
+        stream = stream_from_edges(edges)
+        trials = 150
+
+        def variance_of(factory):
+            values = [
+                factory(seed).process_stream(stream)
+                for seed in range(trials)
+            ]
+            mean = sum(values) / trials
+            return sum((v - mean) ** 2 for v in values) / (trials - 1)
+
+        lazy_var = variance_of(lambda s: LazyAbacus(100, seed=s))
+        eager_var = variance_of(lambda s: Abacus(100, seed=s))
+        assert lazy_var > eager_var

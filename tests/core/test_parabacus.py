@@ -1,0 +1,153 @@
+"""Unit tests for PARABACUS — above all, Theorem 5's exact equivalence
+with ABACUS under a shared RNG seed."""
+
+import random
+
+import pytest
+
+from repro.core.abacus import Abacus
+from repro.core.parabacus import Parabacus
+from repro.errors import EstimatorError
+from repro.experiments.runner import ground_truth_final_count
+from repro.types import insertion
+
+
+class TestConstruction:
+    def test_invalid_batch_size(self):
+        with pytest.raises(EstimatorError):
+            Parabacus(10, batch_size=0)
+
+    def test_invalid_threads(self):
+        with pytest.raises(EstimatorError):
+            Parabacus(10, num_threads=0)
+
+
+class TestTheorem5Equivalence:
+    @pytest.mark.parametrize("batch_size", [1, 7, 50, 500])
+    def test_identical_to_abacus_any_batch_size(
+        self, dynamic_stream, batch_size
+    ):
+        abacus = Abacus(300, seed=42)
+        para = Parabacus(300, batch_size=batch_size, num_threads=4, seed=42)
+        ea = abacus.process_stream(dynamic_stream)
+        para.process_stream(dynamic_stream)
+        para.flush()
+        assert para.estimate == pytest.approx(ea, rel=1e-12)
+
+    @pytest.mark.parametrize("num_threads", [1, 2, 8, 32])
+    def test_identical_for_any_thread_count(
+        self, dynamic_stream, num_threads
+    ):
+        abacus = Abacus(250, seed=7)
+        para = Parabacus(
+            250, batch_size=100, num_threads=num_threads, seed=7
+        )
+        ea = abacus.process_stream(dynamic_stream)
+        para.process_stream(dynamic_stream)
+        para.flush()
+        assert para.estimate == pytest.approx(ea, rel=1e-12)
+
+    def test_identical_with_real_thread_pool(self, dynamic_stream):
+        abacus = Abacus(250, seed=9)
+        with Parabacus(
+            250,
+            batch_size=128,
+            num_threads=4,
+            seed=9,
+            use_thread_pool=True,
+        ) as para:
+            ea = abacus.process_stream(dynamic_stream)
+            para.process_stream(dynamic_stream)
+            para.flush()
+            assert para.estimate == pytest.approx(ea, rel=1e-12)
+
+    def test_same_sample_state_after_stream(self, dynamic_stream):
+        abacus = Abacus(200, seed=3)
+        para = Parabacus(200, batch_size=64, num_threads=4, seed=3)
+        abacus.process_stream(dynamic_stream)
+        para.process_stream(dynamic_stream)
+        para.flush()
+        assert set(abacus.sampler.sample.edges()) == set(
+            para.sampler.sample.edges()
+        )
+        assert (abacus.sampler.cb, abacus.sampler.cg) == (
+            para.sampler.cb,
+            para.sampler.cg,
+        )
+
+
+class TestBatchMechanics:
+    def test_process_buffers_until_batch(self):
+        para = Parabacus(100, batch_size=3, num_threads=2, seed=0)
+        para.process(insertion(1, 10))
+        para.process(insertion(1, 11))
+        assert para.elements_processed == 0  # still buffered
+        para.process(insertion(2, 10))
+        assert para.elements_processed == 3
+
+    def test_flush_handles_partial_batch(self):
+        para = Parabacus(100, batch_size=10, num_threads=2, seed=0)
+        for el in (insertion(1, 10), insertion(2, 10)):
+            para.process(el)
+        para.flush()
+        assert para.elements_processed == 2
+
+    def test_flush_empty_is_noop(self):
+        para = Parabacus(100, batch_size=10, num_threads=2, seed=0)
+        assert para.flush() == 0.0
+
+    def test_exact_on_unbounded_budget(self, dynamic_stream):
+        para = Parabacus(10**6, batch_size=200, num_threads=4, seed=1)
+        para.process_stream(dynamic_stream)
+        para.flush()
+        truth = ground_truth_final_count(dynamic_stream)
+        assert para.estimate == pytest.approx(truth)
+
+    def test_checkpoint_callback_at_batch_granularity(self, dynamic_stream):
+        para = Parabacus(150, batch_size=100, num_threads=2, seed=2)
+        marks = [250, 1000]
+        seen = []
+        para.process_stream(
+            dynamic_stream,
+            checkpoints=marks,
+            on_checkpoint=lambda n, est: seen.append(n),
+        )
+        assert seen == marks
+
+
+class TestWorkAccounting:
+    def test_per_thread_work_sums_to_total(self, dynamic_stream):
+        para = Parabacus(250, batch_size=128, num_threads=6, seed=4)
+        para.process_stream(dynamic_stream)
+        para.flush()
+        assert sum(para.per_thread_work) == para.total_work
+        assert para.total_work > 0
+
+    def test_total_work_matches_abacus(self, dynamic_stream):
+        # Same sample states -> identical intersection work.
+        abacus = Abacus(250, seed=11)
+        para = Parabacus(250, batch_size=64, num_threads=4, seed=11)
+        abacus.process_stream(dynamic_stream)
+        para.process_stream(dynamic_stream)
+        para.flush()
+        assert para.total_work == abacus.total_work
+
+    def test_modeled_speedup_bounds(self, dynamic_stream):
+        para = Parabacus(250, batch_size=500, num_threads=8, seed=5)
+        para.process_stream(dynamic_stream)
+        para.flush()
+        speedup = para.modeled_speedup()
+        assert 1.0 <= speedup <= 8.0 + 1.0
+
+    def test_speedup_grows_with_threads(self, dynamic_stream):
+        speedups = []
+        for p in (1, 4, 16):
+            para = Parabacus(250, batch_size=500, num_threads=p, seed=6)
+            para.process_stream(dynamic_stream)
+            para.flush()
+            speedups.append(para.modeled_speedup())
+        assert speedups[0] <= speedups[1] <= speedups[2]
+
+    def test_no_work_returns_speedup_one(self):
+        para = Parabacus(100, batch_size=10, num_threads=4, seed=0)
+        assert para.modeled_speedup() == 1.0

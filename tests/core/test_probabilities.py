@@ -1,0 +1,137 @@
+"""Unit tests for Equation 1 and the Theorem 2 variance formulas."""
+
+import math
+
+import pytest
+
+from repro.core.probabilities import (
+    chebyshev_bound,
+    discovery_probability,
+    extrapolation_factor,
+    subset_inclusion_probability,
+    variance_closed_form,
+    variance_upper_bound,
+)
+from repro.errors import EstimatorError
+
+
+class TestSubsetInclusion:
+    def test_matches_binomial_ratio(self):
+        # C(n-j, k-j) / C(n, k) for a few hand cases.
+        for n, k, j in [(10, 5, 3), (20, 7, 4), (8, 8, 2), (50, 10, 1)]:
+            expected = math.comb(n - j, k - j) / math.comb(n, k)
+            assert subset_inclusion_probability(n, k, j) == pytest.approx(
+                expected
+            )
+
+    def test_j_zero_is_one(self):
+        assert subset_inclusion_probability(10, 3, 0) == 1.0
+
+    def test_sample_smaller_than_j_is_zero(self):
+        assert subset_inclusion_probability(10, 2, 3) == 0.0
+
+    def test_population_smaller_than_j_is_zero(self):
+        assert subset_inclusion_probability(2, 2, 3) == 0.0
+
+    def test_full_sample_is_certain(self):
+        assert subset_inclusion_probability(7, 7, 3) == pytest.approx(1.0)
+
+    def test_negative_j_raises(self):
+        with pytest.raises(EstimatorError):
+            subset_inclusion_probability(10, 5, -1)
+
+
+class TestDiscoveryProbability:
+    def test_equation_1_shape(self):
+        # |E|=100, cb=2, cg=3, k=10 -> T=105, y=10.
+        p = discovery_probability(100, 2, 3, 10)
+        expected = (10 / 105) * (9 / 104) * (8 / 103)
+        assert p == pytest.approx(expected)
+
+    def test_full_sample_probability_one(self):
+        # Early stream: everything sampled -> butterflies found surely.
+        assert discovery_probability(5, 0, 0, 100) == pytest.approx(1.0)
+
+    def test_too_few_edges_zero(self):
+        assert discovery_probability(2, 0, 0, 100) == 0.0
+        assert discovery_probability(10, 0, 0, 2) == 0.0
+
+    def test_counters_increase_population(self):
+        base = discovery_probability(100, 0, 0, 10)
+        with_pending = discovery_probability(100, 3, 2, 10)
+        assert with_pending < base
+
+    def test_monotone_in_budget(self):
+        probabilities = [
+            discovery_probability(1000, 0, 0, k) for k in (10, 50, 200, 900)
+        ]
+        assert probabilities == sorted(probabilities)
+
+
+class TestExtrapolationFactor:
+    def test_gamma_formula(self):
+        n, k = 30, 10
+        expected = math.comb(n, k) / math.comb(n - 4, k - 4)
+        assert extrapolation_factor(n, k) == pytest.approx(expected)
+
+    def test_gamma_one_when_everything_sampled(self):
+        assert extrapolation_factor(10, 10) == pytest.approx(1.0)
+
+    def test_undefined_for_tiny_budget(self):
+        with pytest.raises(EstimatorError):
+            extrapolation_factor(100, 3)
+
+
+class TestVariance:
+    def test_zero_variance_with_full_sample(self):
+        # k == |E|: the sample is the graph, estimates are exact.
+        variance = variance_closed_form(
+            expected=5.0,
+            num_edges=20,
+            budget=20,
+            pairs_sharing_0=6,
+            pairs_sharing_1=3,
+            pairs_sharing_2=1,
+        )
+        assert variance == pytest.approx(0.0, abs=1e-9)
+
+    def test_upper_bound_dominates_closed_form(self):
+        expected = 10.0
+        num_edges, budget = 200, 40
+        # y1+y2+y3 = C(10,2) = 45 split arbitrarily.
+        closed = variance_closed_form(expected, num_edges, budget, 30, 10, 5)
+        bound = variance_upper_bound(expected, num_edges, budget)
+        assert bound >= closed - 1e-9
+
+    def test_variance_decreases_with_budget(self):
+        expected = 50.0
+        variances = [
+            variance_upper_bound(expected, 1000, k) for k in (20, 50, 100, 500)
+        ]
+        assert variances == sorted(variances, reverse=True)
+
+    def test_closed_form_nonnegative_on_valid_inputs(self):
+        # A sanity grid: variance is a second moment, never negative.
+        for budget in (8, 12, 20):
+            variance = variance_closed_form(
+                expected=4.0,
+                num_edges=24,
+                budget=budget,
+                pairs_sharing_0=4,
+                pairs_sharing_1=1,
+                pairs_sharing_2=1,
+            )
+            assert variance >= -1e-9
+
+
+class TestChebyshev:
+    def test_basic_values(self):
+        assert chebyshev_bound(2.0) == pytest.approx(0.25)
+        assert chebyshev_bound(10.0) == pytest.approx(0.01)
+
+    def test_capped_at_one(self):
+        assert chebyshev_bound(0.5) == 1.0
+
+    def test_invalid_lambda(self):
+        with pytest.raises(EstimatorError):
+            chebyshev_bound(0.0)

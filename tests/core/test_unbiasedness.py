@@ -1,0 +1,102 @@
+"""Statistical verification of Theorem 1 (unbiasedness) and Theorem 2
+(variance bound).
+
+These tests average many independent ABACUS runs on a fixed small
+workload and check that the sample mean lands within a tolerance of the
+exact count, and that the sample variance respects the Theorem 2 upper
+bound (within sampling slack).
+"""
+
+import math
+import random
+
+import pytest
+
+from repro.core.abacus import Abacus
+from repro.core.probabilities import variance_upper_bound
+from repro.experiments.runner import ground_truth_final_count
+from repro.graph.generators import bipartite_erdos_renyi
+from repro.streams.dynamic import make_fully_dynamic, stream_from_edges
+
+
+def _run_trials(stream, budget, trials, seed_base=0):
+    estimates = []
+    for t in range(trials):
+        estimator = Abacus(budget, seed=seed_base + t)
+        estimates.append(estimator.process_stream(stream))
+    return estimates
+
+
+def _mean_and_se(values):
+    n = len(values)
+    mean = sum(values) / n
+    variance = sum((v - mean) ** 2 for v in values) / (n - 1)
+    return mean, math.sqrt(variance / n), variance
+
+
+class TestUnbiasedness:
+    def test_insert_only(self):
+        rng = random.Random(50)
+        edges = bipartite_erdos_renyi(60, 40, 600, rng)
+        stream = stream_from_edges(edges)
+        truth = ground_truth_final_count(stream)
+        assert truth > 0
+        estimates = _run_trials(stream, budget=120, trials=300)
+        mean, se, _ = _mean_and_se(estimates)
+        # Within 4 standard errors (false-failure probability ~1e-4).
+        assert abs(mean - truth) < 4 * se, (mean, truth, se)
+
+    def test_fully_dynamic(self):
+        rng = random.Random(51)
+        edges = bipartite_erdos_renyi(60, 40, 600, rng)
+        stream = make_fully_dynamic(edges, 0.3, random.Random(5))
+        truth = ground_truth_final_count(stream)
+        assert truth > 0
+        estimates = _run_trials(stream, budget=120, trials=300)
+        mean, se, _ = _mean_and_se(estimates)
+        assert abs(mean - truth) < 4 * se, (mean, truth, se)
+
+    def test_heavy_deletions(self):
+        rng = random.Random(52)
+        edges = bipartite_erdos_renyi(50, 30, 500, rng)
+        stream = make_fully_dynamic(edges, 0.5, random.Random(6))
+        truth = ground_truth_final_count(stream)
+        assert truth > 0
+        estimates = _run_trials(stream, budget=100, trials=300)
+        mean, se, _ = _mean_and_se(estimates)
+        assert abs(mean - truth) < 4 * se, (mean, truth, se)
+
+
+class TestVarianceBound:
+    def test_sample_variance_within_theorem2_bound(self):
+        rng = random.Random(53)
+        edges = bipartite_erdos_renyi(60, 40, 600, rng)
+        stream = stream_from_edges(edges)
+        truth = ground_truth_final_count(stream)
+        budget = 150
+        estimates = _run_trials(stream, budget=budget, trials=300)
+        _, _, sample_variance = _mean_and_se(estimates)
+        bound = variance_upper_bound(float(truth), len(edges), budget)
+        # The theoretical bound is for the end-of-stream estimate under
+        # a static uniform-sample model; allow generous sampling slack.
+        assert sample_variance < 2.0 * bound, (sample_variance, bound)
+
+    def test_estimates_concentrate(self):
+        """Chebyshev-style: most estimates fall within a few stdevs."""
+        rng = random.Random(54)
+        edges = bipartite_erdos_renyi(60, 40, 600, rng)
+        stream = stream_from_edges(edges)
+        truth = ground_truth_final_count(stream)
+        estimates = _run_trials(stream, budget=150, trials=200)
+        mean, _, variance = _mean_and_se(estimates)
+        stdev = math.sqrt(variance)
+        within3 = sum(1 for e in estimates if abs(e - mean) <= 3 * stdev)
+        assert within3 / len(estimates) >= 8 / 9  # Chebyshev at lambda=3
+
+    def test_zero_variance_when_budget_covers_stream(self):
+        rng = random.Random(55)
+        edges = bipartite_erdos_renyi(30, 20, 200, rng)
+        stream = make_fully_dynamic(edges, 0.2, random.Random(7))
+        truth = ground_truth_final_count(stream)
+        estimates = _run_trials(stream, budget=10**6, trials=10)
+        assert all(e == pytest.approx(truth) for e in estimates)

@@ -1,0 +1,81 @@
+"""Unit tests for the CLI."""
+
+import pytest
+
+from repro.cli import _split_datasets, build_parser, run_experiment
+from repro.experiments.datasets import DATASETS, tiny_dataset
+from repro.experiments.runner import ExperimentContext
+
+
+@pytest.fixture
+def tiny_registry():
+    spec = tiny_dataset(n_edges=1000, seed=23)
+    object.__setattr__(spec, "name", "tiny_cli")
+    DATASETS["tiny_cli"] = spec
+    try:
+        yield ["tiny_cli"]
+    finally:
+        del DATASETS["tiny_cli"]
+
+
+class TestParser:
+    def test_defaults(self):
+        args = build_parser().parse_args(["table2"])
+        assert args.experiment == "table2"
+        assert args.trials == 5
+        assert args.datasets is None
+
+    def test_rejects_unknown_experiment(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig99"])
+
+    def test_split_datasets(self):
+        assert _split_datasets(None) is None
+        assert _split_datasets("a, b,c") == ["a", "b", "c"]
+        assert _split_datasets("") is None
+
+
+class TestRunExperiment:
+    def test_table2(self, tiny_registry):
+        report = run_experiment("table2", 1, tiny_registry, 4)
+        assert "Butterfly Density" in report
+
+    def test_fig3(self, tiny_registry):
+        report = run_experiment(
+            "fig3", 1, tiny_registry, 4, ExperimentContext()
+        )
+        assert "Figure 3" in report
+        assert "ABACUS" in report
+
+    def test_fig10(self, tiny_registry):
+        report = run_experiment(
+            "fig10", 1, tiny_registry, 4, ExperimentContext()
+        )
+        assert "Figure 10" in report
+
+    def test_unknown_name_raises(self, tiny_registry):
+        with pytest.raises(SystemExit):
+            run_experiment("nope", 1, tiny_registry, 4)
+
+
+class TestChartFlag:
+    def test_parser_accepts_chart(self):
+        args = build_parser().parse_args(["fig3", "--chart"])
+        assert args.chart is True
+
+    def test_fig3_chart_appended(self, tiny_registry):
+        plain = run_experiment(
+            "fig3", 1, tiny_registry, 4, ExperimentContext()
+        )
+        charted = run_experiment(
+            "fig3", 1, tiny_registry, 4, ExperimentContext(), chart=True
+        )
+        assert charted.startswith(plain)
+        assert "error %" in charted
+        assert "*=ABACUS" in charted
+
+    def test_extension_experiments_resolve(self):
+        report = run_experiment(
+            "lineage", 1, None, 4, ExperimentContext()
+        )
+        assert "ThinkD" in report and "TriestFD" in report

@@ -1,0 +1,83 @@
+"""Unit tests for the dataset registry."""
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments.datasets import (
+    DATASETS,
+    get_dataset,
+    list_datasets,
+    tiny_dataset,
+)
+from repro.streams.dynamic import validate_stream
+
+
+class TestRegistry:
+    def test_four_datasets(self):
+        assert list_datasets() == [
+            "movielens_like",
+            "livejournal_like",
+            "trackers_like",
+            "orkut_like",
+        ]
+
+    def test_lookup(self):
+        spec = get_dataset("movielens_like")
+        assert spec.paper_name == "MovieLens"
+
+    def test_unknown_raises(self):
+        with pytest.raises(ExperimentError):
+            get_dataset("imaginary")
+
+    def test_specs_have_three_sample_sizes(self):
+        for spec in DATASETS.values():
+            assert len(spec.sample_sizes) == 3
+            assert list(spec.sample_sizes) == sorted(spec.sample_sizes)
+
+
+class TestGeneration:
+    def test_edges_deterministic(self):
+        spec = tiny_dataset(800, seed=3)
+        assert spec.edges() == spec.edges()
+
+    def test_edges_distinct(self):
+        spec = tiny_dataset(800, seed=3)
+        edges = spec.edges()
+        assert len(edges) == 800
+        assert len(set(edges)) == 800
+
+    def test_stream_alpha_zero(self):
+        spec = tiny_dataset(500, seed=4)
+        stream = spec.stream(alpha=0.0)
+        assert stream.num_deletions == 0
+        assert len(stream) == 500
+
+    def test_stream_with_deletions_valid(self):
+        spec = tiny_dataset(500, seed=4)
+        stream = spec.stream(alpha=0.25, trial=0)
+        assert stream.num_deletions == 125
+        validate_stream(stream)
+
+    def test_trials_vary_deletions_but_not_graph(self):
+        spec = tiny_dataset(500, seed=4)
+        s0 = spec.stream(alpha=0.2, trial=0)
+        s1 = spec.stream(alpha=0.2, trial=1)
+        assert list(s0) != list(s1)
+        assert [e.edge for e in s0 if e.is_insertion] == [
+            e.edge for e in s1 if e.is_insertion
+        ]
+
+    def test_density_ordering_matches_table2(self):
+        """The analogues must preserve the paper's butterfly-density
+        ordering: MovieLens >> Trackers > LiveJournal > Orkut."""
+        from repro.graph.bipartite import BipartiteGraph
+        from repro.graph.butterflies import butterfly_density
+
+        densities = {}
+        for name in list_datasets():
+            spec = get_dataset(name)
+            graph = BipartiteGraph(spec.edges())
+            densities[name] = butterfly_density(graph)
+        assert densities["movielens_like"] > densities["trackers_like"]
+        assert densities["trackers_like"] > densities["livejournal_like"]
+        assert densities["livejournal_like"] > densities["orkut_like"]

@@ -1,0 +1,125 @@
+"""Unit tests for the ASCII chart renderers."""
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments.plotting import bar_chart, histogram, line_chart
+
+
+class TestLineChart:
+    def test_basic_rendering(self):
+        chart = line_chart(
+            {"abacus": ([1, 2, 3], [10.0, 20.0, 30.0])},
+            width=20,
+            height=6,
+            title="Error vs k",
+        )
+        lines = chart.splitlines()
+        assert lines[0] == "Error vs k"
+        assert "*" in chart
+        assert "*=abacus" in chart
+
+    def test_multiple_series_distinct_glyphs(self):
+        chart = line_chart(
+            {
+                "a": ([0, 1], [0.0, 1.0]),
+                "b": ([0, 1], [1.0, 0.0]),
+            },
+            width=16,
+            height=5,
+        )
+        assert "*" in chart and "o" in chart
+        assert "*=a" in chart and "o=b" in chart
+
+    def test_y_axis_labels_show_extremes(self):
+        chart = line_chart(
+            {"s": ([0, 10], [5.0, 50.0])}, width=16, height=5
+        )
+        assert "50" in chart
+        assert "5" in chart
+
+    def test_forced_floor(self):
+        chart = line_chart(
+            {"s": ([0, 1], [10.0, 20.0])},
+            width=16,
+            height=5,
+            y_min=0.0,
+        )
+        assert chart.splitlines()[4].startswith(" 0 |")
+
+    def test_requires_series(self):
+        with pytest.raises(ExperimentError):
+            line_chart({})
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(ExperimentError):
+            line_chart({"s": ([1, 2], [1.0])})
+
+    def test_rejects_tiny_canvas(self):
+        with pytest.raises(ExperimentError):
+            line_chart({"s": ([1], [1.0])}, width=2, height=2)
+
+    def test_rejects_too_many_series(self):
+        series = {f"s{i}": ([0], [0.0]) for i in range(7)}
+        with pytest.raises(ExperimentError):
+            line_chart(series)
+
+    def test_constant_series_lands_on_bottom_row(self):
+        chart = line_chart({"s": ([0, 1], [3.0, 3.0])},
+                           width=12, height=4)
+        bottom_row = chart.splitlines()[3]
+        assert "*" in bottom_row
+
+
+class TestBarChart:
+    def test_docstring_example(self):
+        chart = bar_chart(["t0", "t1"], [10, 5], width=10)
+        assert chart.splitlines()[0] == "t0 | ########## 10"
+        assert chart.splitlines()[1] == "t1 | #####      5"
+
+    def test_title_and_unit(self):
+        chart = bar_chart(
+            ["x"], [3.0], width=6, title="Loads", unit="Mops"
+        )
+        lines = chart.splitlines()
+        assert lines[0] == "Loads"
+        assert lines[1].endswith("3 Mops")
+
+    def test_zero_values_render_empty_bars(self):
+        chart = bar_chart(["a", "b"], [0, 0], width=8)
+        assert "#" not in chart
+
+    def test_rejects_mismatched_inputs(self):
+        with pytest.raises(ExperimentError):
+            bar_chart(["a"], [1, 2])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ExperimentError):
+            bar_chart([], [])
+
+    def test_rejects_negative_values(self):
+        with pytest.raises(ExperimentError):
+            bar_chart(["a"], [-1])
+
+
+class TestHistogram:
+    def test_counts_sum_preserved(self):
+        values = [0.0, 0.1, 0.2, 0.9, 1.0]
+        chart = histogram(values, bins=2, width=10)
+        # Two bins: [0, 0.5) holds 3, [0.5, 1.0) holds 2.
+        lines = chart.splitlines()
+        assert lines[0].rstrip().endswith("3")
+        assert lines[1].rstrip().endswith("2")
+
+    def test_constant_values_single_bar(self):
+        chart = histogram([5.0, 5.0, 5.0], bins=4)
+        assert len(chart.splitlines()) == 1
+        assert chart.rstrip().endswith("3")
+
+    def test_rejects_empty(self):
+        with pytest.raises(ExperimentError):
+            histogram([])
+
+    def test_rejects_bad_bins(self):
+        with pytest.raises(ExperimentError):
+            histogram([1.0], bins=0)

@@ -1,0 +1,54 @@
+"""Unit tests for report rendering."""
+
+from repro.experiments.report import render_series, render_table
+
+
+class TestRenderTable:
+    def test_basic_layout(self):
+        text = render_table(
+            ["name", "value"], [("alpha", 1), ("beta", 22)]
+        )
+        lines = text.splitlines()
+        assert lines[0].startswith("name")
+        assert "-+-" in lines[1]
+        assert "alpha" in lines[2]
+        assert "22" in lines[3]
+
+    def test_title(self):
+        text = render_table(["a"], [(1,)], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+
+    def test_float_formatting(self):
+        text = render_table(["x"], [(0.123456789,)])
+        assert "0.1235" in text
+
+    def test_column_widths_fit_content(self):
+        text = render_table(["h"], [("a-very-long-cell",)])
+        header, rule, row = text.splitlines()
+        assert len(header) == len(rule) == len(row)
+
+    def test_empty_rows(self):
+        text = render_table(["a", "b"], [])
+        assert len(text.splitlines()) == 2
+
+
+class TestRenderSeries:
+    def test_layout(self):
+        text = render_series(
+            "k",
+            [10, 20],
+            {"abacus": [0.1, 0.2], "fleet": [1.0, 2.0]},
+        )
+        lines = text.splitlines()
+        assert "abacus" in lines[0] and "fleet" in lines[0]
+        assert len(lines) == 4
+
+    def test_missing_values_dash(self):
+        text = render_series("k", [1, 2], {"m": [0.5]})
+        assert "-" in text.splitlines()[-1]
+
+    def test_custom_format(self):
+        text = render_series(
+            "k", [1], {"m": [0.123]}, y_format="{:.1f}"
+        )
+        assert "0.1" in text

@@ -1,0 +1,108 @@
+"""Unit tests for the experiment runner."""
+
+import pytest
+
+from repro.baselines.cas import CoAffiliationSampling
+from repro.baselines.fleet import Fleet
+from repro.core.abacus import Abacus
+from repro.core.exact import ExactStreamingCounter
+from repro.core.parabacus import Parabacus
+from repro.errors import ExperimentError
+from repro.experiments.datasets import tiny_dataset
+from repro.experiments.runner import (
+    ExperimentContext,
+    ground_truth_final_count,
+    make_estimator,
+)
+from repro.types import deletion, insertion
+
+
+class TestMakeEstimator:
+    @pytest.mark.parametrize(
+        "method,cls",
+        [
+            ("abacus", Abacus),
+            ("parabacus", Parabacus),
+            ("fleet", Fleet),
+            ("cas", CoAffiliationSampling),
+            ("exact", ExactStreamingCounter),
+        ],
+    )
+    def test_all_methods(self, method, cls):
+        assert isinstance(make_estimator(method, 100, seed=0), cls)
+
+    def test_unknown_method(self):
+        with pytest.raises(ExperimentError):
+            make_estimator("magic", 100)
+
+    def test_parabacus_parameters_forwarded(self):
+        est = make_estimator(
+            "parabacus", 100, seed=0, batch_size=77, num_threads=3
+        )
+        assert est.batch_size == 77
+        assert est.num_threads == 3
+
+
+class TestGroundTruth:
+    def test_single_butterfly(self):
+        stream = [
+            insertion(1, 10),
+            insertion(1, 11),
+            insertion(2, 10),
+            insertion(2, 11),
+        ]
+        assert ground_truth_final_count(stream) == 1
+
+    def test_deletion_removes_butterfly(self):
+        stream = [
+            insertion(1, 10),
+            insertion(1, 11),
+            insertion(2, 10),
+            insertion(2, 11),
+            deletion(1, 10),
+        ]
+        assert ground_truth_final_count(stream) == 0
+
+    def test_agrees_with_streaming_exact(self, dynamic_stream):
+        exact = ExactStreamingCounter()
+        exact.process_stream(dynamic_stream)
+        assert ground_truth_final_count(dynamic_stream) == exact.exact_count
+
+
+class TestContext:
+    def test_stream_and_truth_cached(self):
+        ctx = ExperimentContext()
+        spec = tiny_dataset(600, seed=9)
+        s1 = ctx.stream(spec, 0.2, 0)
+        s2 = ctx.stream(spec, 0.2, 0)
+        assert s1 is s2
+        t1 = ctx.truth(spec, 0.2, 0)
+        t2 = ctx.truth(spec, 0.2, 0)
+        assert t1 == t2
+
+    def test_accuracy_summary(self):
+        ctx = ExperimentContext()
+        spec = tiny_dataset(600, seed=9)
+        summary = ctx.accuracy(spec, "abacus", 200, 0.2, trials=3)
+        assert summary.trials == 3
+        assert 0.0 <= summary.mean < 1.0
+
+    def test_exact_method_has_zero_error(self):
+        ctx = ExperimentContext()
+        spec = tiny_dataset(600, seed=9)
+        summary = ctx.accuracy(spec, "exact", 10, 0.2, trials=2)
+        assert summary.mean == pytest.approx(0.0)
+
+    def test_throughput_positive(self):
+        ctx = ExperimentContext()
+        spec = tiny_dataset(600, seed=9)
+        eps = ctx.throughput(spec, "abacus", 200, 0.2)
+        assert eps > 0
+
+    def test_throughput_insertions_only(self):
+        ctx = ExperimentContext()
+        spec = tiny_dataset(600, seed=9)
+        eps = ctx.throughput(
+            spec, "fleet", 200, 0.2, insertions_only=True
+        )
+        assert eps > 0

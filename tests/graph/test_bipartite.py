@@ -1,0 +1,159 @@
+"""Unit tests for the dynamic bipartite graph."""
+
+import pytest
+
+from repro.errors import DuplicateEdgeError, MissingEdgeError, PartitionError
+from repro.graph.bipartite import BipartiteGraph, validate_bipartite
+from repro.types import Side
+
+
+class TestConstruction:
+    def test_empty_graph(self):
+        g = BipartiteGraph()
+        assert g.num_edges == 0
+        assert g.num_left == 0
+        assert g.num_right == 0
+        assert len(g) == 0
+
+    def test_from_edge_iterable(self):
+        g = BipartiteGraph([(1, 10), (2, 10), (1, 11)])
+        assert g.num_edges == 3
+        assert g.num_left == 2
+        assert g.num_right == 2
+
+    def test_vertices_created_implicitly(self):
+        g = BipartiteGraph()
+        g.add_edge("l", "r")
+        assert g.has_vertex("l")
+        assert g.has_vertex("r")
+
+
+class TestAddEdge:
+    def test_add_and_membership(self):
+        g = BipartiteGraph()
+        g.add_edge(1, 2)
+        assert g.has_edge(1, 2)
+        assert (1, 2) in g
+        assert not g.has_edge(2, 1)
+
+    def test_duplicate_insert_raises(self):
+        g = BipartiteGraph([(1, 2)])
+        with pytest.raises(DuplicateEdgeError):
+            g.add_edge(1, 2)
+
+    def test_partition_violation_left_vertex_as_right(self):
+        g = BipartiteGraph([(1, 2)])
+        with pytest.raises(PartitionError):
+            g.add_edge(3, 1)  # 1 is a left vertex
+
+    def test_partition_violation_right_vertex_as_left(self):
+        g = BipartiteGraph([(1, 2)])
+        with pytest.raises(PartitionError):
+            g.add_edge(2, 4)  # 2 is a right vertex
+
+    def test_degree_updates(self):
+        g = BipartiteGraph()
+        g.add_edge(1, 10)
+        g.add_edge(1, 11)
+        g.add_edge(2, 10)
+        assert g.degree(1) == 2
+        assert g.degree(10) == 2
+        assert g.degree(11) == 1
+
+
+class TestRemoveEdge:
+    def test_remove_existing(self):
+        g = BipartiteGraph([(1, 2), (1, 3)])
+        g.remove_edge(1, 2)
+        assert not g.has_edge(1, 2)
+        assert g.num_edges == 1
+
+    def test_remove_missing_raises(self):
+        g = BipartiteGraph([(1, 2)])
+        with pytest.raises(MissingEdgeError):
+            g.remove_edge(1, 3)
+
+    def test_remove_from_empty_raises(self):
+        g = BipartiteGraph()
+        with pytest.raises(MissingEdgeError):
+            g.remove_edge(1, 2)
+
+    def test_zero_degree_vertices_dropped(self):
+        g = BipartiteGraph([(1, 2)])
+        g.remove_edge(1, 2)
+        assert not g.has_vertex(1)
+        assert not g.has_vertex(2)
+        assert g.num_left == 0
+        assert g.num_right == 0
+
+    def test_reinsert_after_delete(self):
+        g = BipartiteGraph([(1, 2)])
+        g.remove_edge(1, 2)
+        g.add_edge(1, 2)
+        assert g.has_edge(1, 2)
+
+
+class TestQueries:
+    def test_side_of(self):
+        g = BipartiteGraph([(1, 2)])
+        assert g.side_of(1) is Side.LEFT
+        assert g.side_of(2) is Side.RIGHT
+        assert g.side_of(99) is None
+
+    def test_neighbors_absent_vertex_is_empty(self):
+        g = BipartiteGraph()
+        assert g.neighbors("nope") == frozenset()
+        assert g.degree("nope") == 0
+
+    def test_edges_iteration(self):
+        edges = {(1, 10), (2, 10), (2, 11)}
+        g = BipartiteGraph(edges)
+        assert set(g.edges()) == edges
+
+    def test_degree_sum(self):
+        g = BipartiteGraph([(1, 10), (1, 11), (2, 10)])
+        assert g.degree_sum([1, 2]) == 3
+        assert g.degree_sum([10, 11]) == 3
+
+    def test_max_degree(self):
+        g = BipartiteGraph([(1, 10), (1, 11), (1, 12)])
+        assert g.max_degree() == 3
+        assert BipartiteGraph().max_degree() == 0
+
+    def test_density(self):
+        g = BipartiteGraph([(1, 10), (2, 10)])
+        assert g.density() == pytest.approx(2 / (2 * 1))
+        assert BipartiteGraph().density() == 0.0
+
+    def test_left_right_iterators(self):
+        g = BipartiteGraph([(1, 10), (2, 11)])
+        assert set(g.left_vertices()) == {1, 2}
+        assert set(g.right_vertices()) == {10, 11}
+
+
+class TestCopyAndClear:
+    def test_copy_is_independent(self):
+        g = BipartiteGraph([(1, 2)])
+        clone = g.copy()
+        clone.add_edge(3, 2)
+        assert g.num_edges == 1
+        assert clone.num_edges == 2
+
+    def test_clear(self):
+        g = BipartiteGraph([(1, 2), (3, 4)])
+        g.clear()
+        assert g.num_edges == 0
+        assert g.num_vertices == 0
+
+
+class TestValidation:
+    def test_valid_graph(self, small_random_graph):
+        ok, reason = validate_bipartite(small_random_graph)
+        assert ok, reason
+
+    def test_valid_after_mutations(self, small_random_edges):
+        g = BipartiteGraph(small_random_edges)
+        for u, v in small_random_edges[:50]:
+            g.remove_edge(u, v)
+        ok, reason = validate_bipartite(g)
+        assert ok, reason

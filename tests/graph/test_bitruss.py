@@ -1,0 +1,105 @@
+"""Unit tests for the k-bitruss decomposition."""
+
+import random
+
+from repro.graph.bipartite import BipartiteGraph
+from repro.graph.bitruss import (
+    bitruss_decomposition,
+    butterfly_support,
+    k_bitruss,
+)
+from repro.graph.butterflies import (
+    butterflies_containing_edge,
+    count_butterflies,
+)
+from repro.graph.generators import bipartite_erdos_renyi
+
+
+class TestSupport:
+    def test_support_matches_per_edge_counts(self, biclique_3x3):
+        support = butterfly_support(biclique_3x3)
+        for (u, v), s in support.items():
+            assert s == butterflies_containing_edge(biclique_3x3, u, v)
+
+    def test_single_butterfly_support(self, butterfly_graph):
+        support = butterfly_support(butterfly_graph)
+        assert set(support.values()) == {1}
+
+
+class TestDecomposition:
+    def test_single_butterfly_bitruss_one(self, butterfly_graph):
+        numbers = bitruss_decomposition(butterfly_graph)
+        assert set(numbers.values()) == {1}
+
+    def test_biclique_uniform(self, biclique_3x3):
+        # K_{3,3}: every edge sits in C(2,1)*C(2,1)=4 butterflies and
+        # the graph is edge-transitive, so all bitruss numbers equal 4.
+        numbers = bitruss_decomposition(biclique_3x3)
+        assert set(numbers.values()) == {4}
+
+    def test_butterfly_free_graph_all_zero(self):
+        g = BipartiteGraph([(1, 10), (2, 10), (2, 11)])
+        numbers = bitruss_decomposition(g)
+        assert set(numbers.values()) == {0}
+
+    def test_covers_every_edge(self, small_random_graph):
+        numbers = bitruss_decomposition(small_random_graph)
+        assert len(numbers) == small_random_graph.num_edges
+
+    def test_input_graph_untouched(self, biclique_3x3):
+        before = set(biclique_3x3.edges())
+        bitruss_decomposition(biclique_3x3)
+        assert set(biclique_3x3.edges()) == before
+
+    def test_mixed_structure(self):
+        # A K_{3,3} with a pendant edge: the pendant's bitruss is 0.
+        g = BipartiteGraph()
+        for u in range(3):
+            for v in range(3):
+                g.add_edge(u, 100 + v)
+        g.add_edge(50, 100)  # pendant left vertex
+        numbers = bitruss_decomposition(g)
+        assert numbers[(50, 100)] == 0
+        core = [e for e in numbers if e != (50, 100)]
+        assert all(numbers[e] == 4 for e in core)
+
+
+class TestKBitruss:
+    def test_k0_keeps_everything(self, small_random_graph):
+        result = k_bitruss(small_random_graph, 0)
+        assert result.num_edges == small_random_graph.num_edges
+
+    def test_k1_drops_butterfly_free_edges(self):
+        g = BipartiteGraph()
+        for u in range(2):
+            for v in range(2):
+                g.add_edge(u, 100 + v)
+        g.add_edge(7, 100)  # not in any butterfly
+        result = k_bitruss(g, 1)
+        assert result.num_edges == 4
+        assert not result.has_edge(7, 100)
+
+    def test_large_k_empties_graph(self, butterfly_graph):
+        result = k_bitruss(butterfly_graph, 2)
+        assert result.num_edges == 0
+
+    def test_consistency_with_decomposition(self):
+        rng = random.Random(5)
+        g = BipartiteGraph(bipartite_erdos_renyi(12, 10, 50, rng))
+        numbers = bitruss_decomposition(g)
+        for k in (1, 2, 3):
+            subgraph = k_bitruss(g, k)
+            expected = {e for e, b in numbers.items() if b >= k}
+            assert set(subgraph.edges()) == expected
+
+    def test_every_edge_meets_threshold(self):
+        rng = random.Random(6)
+        g = BipartiteGraph(bipartite_erdos_renyi(12, 10, 60, rng))
+        k = 2
+        subgraph = k_bitruss(g, k)
+        for u, v in subgraph.edges():
+            assert butterflies_containing_edge(subgraph, u, v) >= k
+
+    def test_kbitruss_butterflies_survive(self, biclique_3x3):
+        sub = k_bitruss(biclique_3x3, 4)
+        assert count_butterflies(sub) == 9

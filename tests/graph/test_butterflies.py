@@ -1,0 +1,126 @@
+"""Unit tests for exact butterfly counting."""
+
+import math
+import random
+
+import pytest
+
+from repro.graph.bipartite import BipartiteGraph
+from repro.graph.butterflies import (
+    butterflies_containing_edge,
+    butterfly_counts_per_vertex,
+    butterfly_density,
+    count_butterflies,
+    count_butterflies_brute_force,
+)
+from repro.graph.generators import bipartite_erdos_renyi
+from repro.types import Side
+
+
+class TestGlobalCount:
+    def test_single_butterfly(self, butterfly_graph):
+        assert count_butterflies(butterfly_graph) == 1
+
+    def test_empty_graph(self):
+        assert count_butterflies(BipartiteGraph()) == 0
+
+    def test_single_edge(self):
+        assert count_butterflies(BipartiteGraph([(1, 2)])) == 0
+
+    def test_path_has_no_butterfly(self):
+        # l1-r1, l2-r1, l2-r2: a path, no 4-cycle.
+        g = BipartiteGraph([(1, 10), (2, 10), (2, 11)])
+        assert count_butterflies(g) == 0
+
+    def test_biclique_formula(self, biclique_3x3):
+        # K_{a,b} has C(a,2)*C(b,2) butterflies.
+        assert count_butterflies(biclique_3x3) == 9
+
+    def test_biclique_4x5(self):
+        g = BipartiteGraph(
+            (u, 100 + v) for u in range(4) for v in range(5)
+        )
+        expected = math.comb(4, 2) * math.comb(5, 2)
+        assert count_butterflies(g) == expected
+
+    def test_both_iteration_sides_agree(self, biclique_3x3):
+        left = count_butterflies(biclique_3x3, iterate_side=Side.LEFT)
+        right = count_butterflies(biclique_3x3, iterate_side=Side.RIGHT)
+        assert left == right == 9
+
+    def test_matches_brute_force_on_random_graphs(self):
+        for seed in range(5):
+            rng = random.Random(seed)
+            g = BipartiteGraph(bipartite_erdos_renyi(15, 12, 60, rng))
+            assert count_butterflies(g) == count_butterflies_brute_force(g)
+
+    def test_disjoint_butterflies_add_up(self):
+        g = BipartiteGraph()
+        for base in (0, 100, 200):
+            g.add_edge(base + 1, base + 50)
+            g.add_edge(base + 1, base + 51)
+            g.add_edge(base + 2, base + 50)
+            g.add_edge(base + 2, base + 51)
+        assert count_butterflies(g) == 3
+
+
+class TestPerEdgeCount:
+    def test_every_edge_of_single_butterfly(self, butterfly_graph):
+        for u, v in butterfly_graph.edges():
+            assert butterflies_containing_edge(butterfly_graph, u, v) == 1
+
+    def test_edge_sum_identity(self, biclique_3x3):
+        # Each butterfly contains 4 edges, so per-edge counts sum to 4B.
+        total = sum(
+            butterflies_containing_edge(biclique_3x3, u, v)
+            for u, v in biclique_3x3.edges()
+        )
+        assert total == 4 * count_butterflies(biclique_3x3)
+
+    def test_edge_sum_identity_random(self, small_random_graph):
+        total = sum(
+            butterflies_containing_edge(small_random_graph, u, v)
+            for u, v in small_random_graph.edges()
+        )
+        assert total == 4 * count_butterflies(small_random_graph)
+
+    def test_absent_edge_counts_potential_butterflies(self):
+        # Graph with edges (1,10),(2,10),(2,11): adding (1,11) would
+        # close exactly one butterfly.
+        g = BipartiteGraph([(1, 10), (2, 10), (2, 11)])
+        assert butterflies_containing_edge(g, 1, 11) == 1
+
+    def test_isolated_edge_has_zero(self):
+        g = BipartiteGraph([(1, 10), (2, 11)])
+        assert butterflies_containing_edge(g, 1, 10) == 0
+
+
+class TestPerVertexCount:
+    def test_single_butterfly_participation(self, butterfly_graph):
+        counts = butterfly_counts_per_vertex(butterfly_graph)
+        assert counts == {"u": 1, "x": 1, "v": 1, "w": 1}
+
+    def test_vertex_sum_identity(self, biclique_3x3):
+        counts = butterfly_counts_per_vertex(biclique_3x3)
+        assert sum(counts.values()) == 4 * count_butterflies(biclique_3x3)
+
+    def test_vertex_sum_identity_random(self, small_random_graph):
+        counts = butterfly_counts_per_vertex(small_random_graph)
+        assert sum(counts.values()) == 4 * count_butterflies(
+            small_random_graph
+        )
+
+
+class TestDensity:
+    def test_single_butterfly_density_is_one(self, butterfly_graph):
+        # 2x2 graph: exactly one possible butterfly, realised.
+        assert butterfly_density(butterfly_graph) == 1.0
+
+    def test_biclique_density_is_one(self, biclique_3x3):
+        assert butterfly_density(biclique_3x3) == 1.0
+
+    def test_empty_graph_density_zero(self):
+        assert butterfly_density(BipartiteGraph()) == 0.0
+
+    def test_density_uses_precomputed_count(self, biclique_3x3):
+        assert butterfly_density(biclique_3x3, butterflies=9) == 1.0

@@ -1,0 +1,148 @@
+"""Unit tests for (alpha, beta)-core decomposition."""
+
+import random
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graph.bipartite import BipartiteGraph, validate_bipartite
+from repro.graph.butterflies import count_butterflies
+from repro.graph.core_decomposition import (
+    ab_core,
+    alpha_beta_core_numbers,
+    butterfly_core_prefilter,
+)
+from repro.graph.generators import bipartite_erdos_renyi
+from repro.types import Side
+
+
+def _biclique(nl, nr):
+    g = BipartiteGraph()
+    for i in range(nl):
+        for j in range(nr):
+            g.add_edge(f"l{i}", f"r{j}")
+    return g
+
+
+def _core_brute_force(graph, alpha, beta):
+    """Reference peeling without the incremental queue."""
+    work = graph.copy()
+    changed = True
+    while changed:
+        changed = False
+        for u in list(work.left_vertices()):
+            if work.degree(u) < alpha:
+                for v in list(work.neighbors(u)):
+                    work.remove_edge(u, v)
+                changed = True
+        for v in list(work.right_vertices()):
+            if work.degree(v) < beta:
+                for u in list(work.neighbors(v)):
+                    work.remove_edge(u, v)
+                changed = True
+    return work
+
+
+class TestAbCore:
+    def test_rejects_nonpositive_thresholds(self):
+        with pytest.raises(GraphError):
+            ab_core(BipartiteGraph(), 0, 1)
+        with pytest.raises(GraphError):
+            ab_core(BipartiteGraph(), 1, -1)
+
+    def test_biclique_is_its_own_core(self):
+        g = _biclique(3, 4)
+        core = ab_core(g, 4, 3)
+        assert core.num_edges == 12
+
+    def test_thresholds_above_degrees_empty(self):
+        g = _biclique(3, 4)
+        assert ab_core(g, 5, 3).num_edges == 0
+        assert ab_core(g, 4, 4).num_edges == 0
+
+    def test_pendant_cascade(self):
+        # path l0-r0, l1-r0, l1-r1: (2,2)-core is empty via cascade.
+        g = BipartiteGraph([("l0", "r0"), ("l1", "r0"), ("l1", "r1")])
+        assert ab_core(g, 2, 2).num_edges == 0
+
+    def test_core_satisfies_constraints(self):
+        g = BipartiteGraph(bipartite_erdos_renyi(20, 20, 60, rng=random.Random(0)))
+        core = ab_core(g, 2, 3)
+        for u in core.left_vertices():
+            assert core.degree(u) >= 2
+        for v in core.right_vertices():
+            assert core.degree(v) >= 3
+
+    @pytest.mark.parametrize("alpha,beta", [(1, 1), (2, 2), (3, 2)])
+    def test_matches_brute_force(self, alpha, beta):
+        g = BipartiteGraph(bipartite_erdos_renyi(18, 15, 55, rng=random.Random(1)))
+        fast = ab_core(g, alpha, beta)
+        slow = _core_brute_force(g, alpha, beta)
+        assert set(fast.edges()) == set(slow.edges())
+
+    def test_input_not_modified(self):
+        g = _biclique(3, 3)
+        before = g.num_edges
+        ab_core(g, 5, 5)
+        assert g.num_edges == before
+
+    def test_internal_consistency(self):
+        g = BipartiteGraph(bipartite_erdos_renyi(25, 25, 65, rng=random.Random(2)))
+        core = ab_core(g, 2, 2)
+        ok, reason = validate_bipartite(core)
+        assert ok, reason
+
+    def test_cores_are_nested(self):
+        g = BipartiteGraph(bipartite_erdos_renyi(20, 20, 100, rng=random.Random(3)))
+        inner = set(ab_core(g, 3, 3).edges())
+        outer = set(ab_core(g, 2, 2).edges())
+        assert inner <= outer
+
+
+class TestCoreNumbers:
+    def test_biclique_numbers(self):
+        g = _biclique(3, 4)
+        numbers = alpha_beta_core_numbers(g, alpha=2, from_side=Side.RIGHT)
+        # Every right vertex has degree 3; with alpha=2 each survives
+        # up to beta=3.
+        assert numbers == {f"r{j}": 3 for j in range(4)}
+
+    def test_left_side_variant(self):
+        g = _biclique(3, 4)
+        numbers = alpha_beta_core_numbers(g, alpha=2, from_side=Side.LEFT)
+        assert numbers == {f"l{i}": 4 for i in range(3)}
+
+    def test_rejects_bad_alpha(self):
+        with pytest.raises(GraphError):
+            alpha_beta_core_numbers(BipartiteGraph(), alpha=0)
+
+    def test_numbers_consistent_with_core_membership(self):
+        g = BipartiteGraph(bipartite_erdos_renyi(15, 15, 55, rng=random.Random(4)))
+        alpha = 2
+        numbers = alpha_beta_core_numbers(g, alpha=alpha)
+        for beta in (1, 2, 3):
+            survivors = set(ab_core(g, alpha, beta).right_vertices())
+            expected = {v for v, n in numbers.items() if n >= beta}
+            assert survivors == expected
+
+    def test_peeled_vertices_get_zero(self):
+        g = BipartiteGraph([("l0", "lonely")])
+        numbers = alpha_beta_core_numbers(g, alpha=2)
+        assert numbers["lonely"] == 0
+
+
+class TestButterflyPrefilter:
+    def test_preserves_butterfly_count(self):
+        g = BipartiteGraph(bipartite_erdos_renyi(25, 25, 75, rng=random.Random(5)))
+        core = butterfly_core_prefilter(g)
+        assert count_butterflies(core) == count_butterflies(g)
+
+    def test_strips_pendants(self):
+        g = _biclique(2, 2)
+        g.add_edge("pendant", "r0")
+        core = butterfly_core_prefilter(g)
+        assert core.num_edges == 4
+        assert not core.has_vertex("pendant")
+
+    def test_empty_graph(self):
+        assert butterfly_core_prefilter(BipartiteGraph()).num_edges == 0

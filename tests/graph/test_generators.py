@@ -1,0 +1,139 @@
+"""Unit tests for synthetic graph generators."""
+
+import random
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graph.bipartite import BipartiteGraph
+from repro.graph.generators import (
+    bipartite_chung_lu,
+    bipartite_configuration_model,
+    bipartite_erdos_renyi,
+    planted_bicliques,
+    power_law_degree_sequence,
+)
+
+
+class TestPowerLawDegrees:
+    def test_length_and_bounds(self):
+        rng = random.Random(0)
+        degrees = power_law_degree_sequence(500, 2.5, min_degree=2, rng=rng)
+        assert len(degrees) == 500
+        assert min(degrees) >= 2
+        assert max(degrees) <= 500
+
+    def test_max_degree_cap(self):
+        rng = random.Random(0)
+        degrees = power_law_degree_sequence(
+            500, 1.5, max_degree=10, rng=rng
+        )
+        assert max(degrees) <= 10
+
+    def test_heavier_tail_with_smaller_exponent(self):
+        rng1, rng2 = random.Random(7), random.Random(7)
+        heavy = power_law_degree_sequence(5000, 1.8, rng=rng1)
+        light = power_law_degree_sequence(5000, 3.5, rng=rng2)
+        assert max(heavy) > max(light)
+
+    def test_invalid_exponent(self):
+        with pytest.raises(GraphError):
+            power_law_degree_sequence(10, 1.0)
+
+    def test_invalid_min_degree(self):
+        with pytest.raises(GraphError):
+            power_law_degree_sequence(10, 2.0, min_degree=0)
+
+
+class TestErdosRenyi:
+    def test_exact_edge_count_and_validity(self):
+        rng = random.Random(3)
+        edges = bipartite_erdos_renyi(20, 15, 120, rng)
+        assert len(edges) == 120
+        assert len(set(edges)) == 120
+        g = BipartiteGraph(edges)  # raises on partition violations
+        assert g.num_edges == 120
+
+    def test_partitions_disjoint(self):
+        rng = random.Random(3)
+        edges = bipartite_erdos_renyi(10, 10, 50, rng)
+        lefts = {u for u, _ in edges}
+        rights = {v for _, v in edges}
+        assert lefts.isdisjoint(rights)
+
+    def test_too_many_edges_raises(self):
+        with pytest.raises(GraphError):
+            bipartite_erdos_renyi(3, 3, 10, random.Random(0))
+
+    def test_deterministic_given_seed(self):
+        e1 = bipartite_erdos_renyi(10, 10, 40, random.Random(5))
+        e2 = bipartite_erdos_renyi(10, 10, 40, random.Random(5))
+        assert e1 == e2
+
+
+class TestChungLu:
+    def test_edge_count_distinct_and_valid(self):
+        rng = random.Random(11)
+        edges = bipartite_chung_lu(200, 100, 1500, rng=rng)
+        assert len(edges) == 1500
+        assert len(set(edges)) == 1500
+        BipartiteGraph(edges)
+
+    def test_deterministic_given_seed(self):
+        e1 = bipartite_chung_lu(100, 50, 400, rng=random.Random(5))
+        e2 = bipartite_chung_lu(100, 50, 400, rng=random.Random(5))
+        assert e1 == e2
+
+    def test_skew_produces_hubs(self):
+        rng = random.Random(13)
+        edges = bipartite_chung_lu(
+            500, 100, 3000, left_exponent=2.0, right_exponent=1.9, rng=rng
+        )
+        g = BipartiteGraph(edges)
+        mean_right = 3000 / g.num_right
+        assert g.max_degree() > 3 * mean_right
+
+    def test_impossible_density_raises(self):
+        with pytest.raises(GraphError):
+            bipartite_chung_lu(3, 3, 10, rng=random.Random(0))
+
+
+class TestConfigurationModel:
+    def test_respects_degree_budget(self):
+        rng = random.Random(2)
+        left = [3] * 20
+        right = [4] * 15
+        edges = bipartite_configuration_model(left, right, rng)
+        g = BipartiteGraph(edges)
+        for u in g.left_vertices():
+            assert g.degree(u) <= 3
+        for v in g.right_vertices():
+            assert g.degree(v) <= 4
+
+    def test_no_duplicates(self):
+        rng = random.Random(2)
+        edges = bipartite_configuration_model([5] * 10, [5] * 10, rng)
+        assert len(edges) == len(set(edges))
+
+
+class TestPlantedBicliques:
+    def test_planted_butterflies_present(self):
+        rng = random.Random(9)
+        edges = planted_bicliques(
+            n_left=200,
+            n_right=200,
+            n_background_edges=400,
+            n_cliques=2,
+            clique_size=(4, 4),
+            rng=rng,
+        )
+        from repro.graph.butterflies import count_butterflies
+
+        g = BipartiteGraph(edges)
+        # Each 4x4 biclique alone contributes C(4,2)^2 = 36 butterflies.
+        assert count_butterflies(g) >= 2 * 36
+
+    def test_no_duplicate_edges(self):
+        rng = random.Random(10)
+        edges = planted_bicliques(100, 100, 300, 3, (3, 3), rng)
+        assert len(edges) == len(set(edges))

@@ -1,0 +1,55 @@
+"""Unit tests for one-mode projection."""
+
+from repro.graph.bipartite import BipartiteGraph
+from repro.graph.projection import project, top_co_neighbors
+from repro.types import Side
+
+
+class TestProject:
+    def test_butterfly_projects_to_weight2_pair(self, butterfly_graph):
+        weights = project(butterfly_graph, Side.LEFT)
+        assert len(weights) == 1
+        assert set(weights.values()) == {2}
+
+    def test_weights_match_common_neighbours(self, small_random_graph):
+        weights = project(small_random_graph, Side.LEFT)
+        for (w, x), weight in weights.items():
+            common = small_random_graph.neighbors(w) & (
+                small_random_graph.neighbors(x)
+            )
+            assert weight == len(common)
+
+    def test_right_side_projection(self, biclique_3x3):
+        weights = project(biclique_3x3, Side.RIGHT)
+        # 3 right vertices -> 3 pairs, each sharing all 3 left vertices.
+        assert len(weights) == 3
+        assert set(weights.values()) == {3}
+
+    def test_empty_graph(self):
+        assert project(BipartiteGraph()) == {}
+
+
+class TestTopCoNeighbors:
+    def test_recommendation_ordering(self):
+        # user1 and user2 share 2 items; user1 and user3 share 1.
+        g = BipartiteGraph(
+            [
+                ("u1", "i1"),
+                ("u1", "i2"),
+                ("u1", "i3"),
+                ("u2", "i1"),
+                ("u2", "i2"),
+                ("u3", "i3"),
+            ]
+        )
+        ranked = top_co_neighbors(g, "u1")
+        assert ranked[0] == ("u2", 2)
+        assert ("u3", 1) in ranked
+
+    def test_limit(self, biclique_3x3):
+        ranked = top_co_neighbors(biclique_3x3, "a", limit=1)
+        assert len(ranked) == 1
+
+    def test_isolated_vertex(self):
+        g = BipartiteGraph([(1, 10)])
+        assert top_co_neighbors(g, 1) == []

@@ -1,0 +1,101 @@
+"""Unit tests for graph statistics."""
+
+import random
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graph.bipartite import BipartiteGraph
+from repro.graph.generators import bipartite_chung_lu, bipartite_erdos_renyi
+from repro.graph.stats import (
+    degree_histogram,
+    degree_summary,
+    summarize_graph,
+    top_degree_vertices,
+)
+from repro.types import Side
+
+
+class TestDegreeSummary:
+    def test_biclique(self, biclique_3x3):
+        left = degree_summary(biclique_3x3, Side.LEFT)
+        assert left.count == 3
+        assert left.total == 9
+        assert left.mean == 3.0
+        assert left.maximum == left.minimum == 3
+        assert left.gini == pytest.approx(0.0)
+
+    def test_star_is_maximally_skewed_on_centre_side(self):
+        g = BipartiteGraph((i, 100) for i in range(20))
+        left = degree_summary(g, Side.LEFT)
+        assert left.gini == pytest.approx(0.0)  # all degree 1
+        right = degree_summary(g, Side.RIGHT)
+        assert right.count == 1
+        assert right.maximum == 20
+
+    def test_skewed_graph_has_higher_gini(self):
+        rng = random.Random(1)
+        uniform = BipartiteGraph(bipartite_erdos_renyi(200, 200, 800, rng))
+        skewed = BipartiteGraph(
+            bipartite_chung_lu(
+                200, 200, 800, left_exponent=1.9, right_exponent=1.9,
+                rng=random.Random(2),
+            )
+        )
+        assert (
+            degree_summary(skewed, Side.LEFT).gini
+            > degree_summary(uniform, Side.LEFT).gini
+        )
+
+    def test_empty_partition_raises(self):
+        with pytest.raises(GraphError):
+            degree_summary(BipartiteGraph(), Side.LEFT)
+
+
+class TestSummarize:
+    def test_full_summary(self, biclique_3x3):
+        summary = summarize_graph(biclique_3x3)
+        assert summary.num_edges == 9
+        assert summary.butterflies == 9
+        assert summary.butterfly_density == 1.0
+        assert summary.wedges_left == 9
+        assert summary.wedges_right == 9
+
+    def test_skip_exact_count(self, small_random_graph):
+        summary = summarize_graph(
+            small_random_graph, count_exact_butterflies=False
+        )
+        assert summary.butterflies is None
+        assert summary.butterfly_density is None
+
+    def test_as_dict_keys(self, biclique_3x3):
+        d = summarize_graph(biclique_3x3).as_dict()
+        assert d["edges"] == 9
+        assert d["left_vertices"] == 3
+        assert "butterfly_density" in d
+
+    def test_empty_graph_raises(self):
+        with pytest.raises(GraphError):
+            summarize_graph(BipartiteGraph())
+
+
+class TestHistogramAndTop:
+    def test_histogram_sums_to_vertex_count(self, small_random_graph):
+        hist = degree_histogram(small_random_graph, Side.LEFT)
+        assert sum(hist.values()) == small_random_graph.num_left
+
+    def test_histogram_weighted_sum_is_edge_count(self, small_random_graph):
+        hist = degree_histogram(small_random_graph, Side.LEFT)
+        assert (
+            sum(d * c for d, c in hist.items())
+            == small_random_graph.num_edges
+        )
+
+    def test_top_degree_vertices(self):
+        g = BipartiteGraph((i, 100) for i in range(5))
+        g.add_edge(0, 101)
+        top = top_degree_vertices(g, Side.LEFT, limit=1)
+        assert top == [(0, 2)]
+
+    def test_top_limit_respected(self, small_random_graph):
+        assert len(top_degree_vertices(small_random_graph, Side.RIGHT, 3)) == 3

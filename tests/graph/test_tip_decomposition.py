@@ -1,0 +1,153 @@
+"""Unit tests for tip decomposition (vertex peeling)."""
+
+import random
+
+from repro.graph.bipartite import BipartiteGraph
+from repro.graph.butterflies import count_butterflies
+from repro.graph.generators import bipartite_erdos_renyi
+from repro.graph.tip_decomposition import (
+    butterfly_counts_one_side,
+    k_tip,
+    max_tip_number,
+    tip_decomposition,
+)
+from repro.types import Side
+
+
+def _biclique(nl, nr, l_prefix="l", r_prefix="r"):
+    g = BipartiteGraph()
+    for i in range(nl):
+        for j in range(nr):
+            g.add_edge(f"{l_prefix}{i}", f"{r_prefix}{j}")
+    return g
+
+
+class TestButterflyCountsOneSide:
+    def test_single_butterfly(self):
+        g = _biclique(2, 2)
+        counts = butterfly_counts_one_side(g, Side.LEFT)
+        assert counts == {"l0": 1, "l1": 1}
+
+    def test_biclique_counts(self):
+        g = _biclique(3, 3)
+        # Each left vertex pairs with 2 others, each pair closes
+        # C(3,2)=3 butterflies -> 6 per vertex.
+        counts = butterfly_counts_one_side(g, Side.LEFT)
+        assert all(c == 6 for c in counts.values())
+
+    def test_right_side_symmetry(self):
+        g = _biclique(3, 4)
+        left = butterfly_counts_one_side(g, Side.LEFT)
+        right = butterfly_counts_one_side(g, Side.RIGHT)
+        # Sum over one side counts each butterfly twice (two vertices
+        # per side per butterfly) and must match across sides.
+        assert sum(left.values()) == sum(right.values())
+        assert sum(left.values()) == 2 * count_butterflies(g)
+
+    def test_butterfly_free_graph_all_zero(self):
+        g = BipartiteGraph([("a", "x"), ("b", "y")])
+        counts = butterfly_counts_one_side(g, Side.LEFT)
+        assert counts == {"a": 0, "b": 0}
+
+
+class TestTipDecomposition:
+    def test_single_butterfly_tips(self):
+        g = _biclique(2, 2)
+        assert tip_decomposition(g, Side.LEFT) == {"l0": 1, "l1": 1}
+
+    def test_biclique_tips_equal_support(self):
+        g = _biclique(4, 4)
+        tips = tip_decomposition(g, Side.LEFT)
+        # Fully symmetric: every vertex peels at its initial count.
+        counts = butterfly_counts_one_side(g, Side.LEFT)
+        assert tips == counts
+
+    def test_pendant_vertex_gets_zero(self):
+        g = _biclique(2, 2)
+        g.add_edge("pendant", "r0")
+        tips = tip_decomposition(g, Side.LEFT)
+        assert tips["pendant"] == 0
+        assert tips["l0"] == 1
+
+    def test_two_tiers(self):
+        # A dense 3x3 biclique plus a weakly attached left vertex that
+        # shares only one butterfly-pair worth of structure.
+        g = _biclique(3, 3)
+        g.add_edge("weak", "r0")
+        g.add_edge("weak", "r1")
+        tips = tip_decomposition(g, Side.LEFT)
+        # "weak" forms C(2,2)... with each core vertex: common
+        # neighbours {r0, r1} -> 1 butterfly per core vertex, 3 total.
+        assert tips["weak"] == 3
+        assert all(tips[f"l{i}"] > tips["weak"] for i in range(3))
+
+    def test_every_vertex_assigned(self):
+        g = BipartiteGraph(bipartite_erdos_renyi(15, 12, 55, rng=random.Random(0)))
+        tips = tip_decomposition(g, Side.LEFT)
+        assert set(tips) == set(g.left_vertices())
+
+    def test_monotone_against_k_tip(self):
+        """tip number >= k  <=>  vertex survives in the k-tip."""
+        g = BipartiteGraph(bipartite_erdos_renyi(12, 12, 50, rng=random.Random(1)))
+        tips = tip_decomposition(g, Side.LEFT)
+        for k in (1, 2, 4):
+            survivors = set(k_tip(g, k, Side.LEFT).left_vertices())
+            expected = {u for u, t in tips.items() if t >= k}
+            assert survivors == expected
+
+    def test_input_not_modified(self):
+        g = _biclique(3, 3)
+        before = g.num_edges
+        tip_decomposition(g, Side.LEFT)
+        assert g.num_edges == before
+
+
+class TestKTip:
+    def test_k1_drops_butterfly_free_structure(self):
+        g = _biclique(2, 2)
+        g.add_edge("pendant", "r0")
+        core = k_tip(g, 1, Side.LEFT)
+        assert not core.has_vertex("pendant")
+        assert core.num_edges == 4
+
+    def test_k_too_large_empties_graph(self):
+        g = _biclique(3, 3)
+        core = k_tip(g, 100, Side.LEFT)
+        assert core.num_edges == 0
+
+    def test_k0_keeps_everything(self):
+        g = _biclique(2, 2)
+        g.add_edge("pendant", "r0")
+        assert k_tip(g, 0, Side.LEFT).num_edges == g.num_edges
+
+    def test_result_satisfies_invariant(self):
+        g = BipartiteGraph(bipartite_erdos_renyi(14, 14, 60, rng=random.Random(2)))
+        k = 3
+        core = k_tip(g, k, Side.LEFT)
+        if core.num_edges:
+            counts = butterfly_counts_one_side(core, Side.LEFT)
+            assert all(c >= k for c in counts.values())
+
+    def test_maximality(self):
+        """No peeled vertex could have survived: re-adding any single
+        peeled vertex's edges leaves it under-supported."""
+        g = BipartiteGraph(bipartite_erdos_renyi(12, 12, 50, rng=random.Random(3)))
+        k = 2
+        core = k_tip(g, k, Side.LEFT)
+        survivors = set(core.left_vertices())
+        for u in g.left_vertices():
+            if u in survivors:
+                continue
+            trial = core.copy()
+            for v in g.neighbors(u):
+                trial.add_edge(u, v)
+            counts = butterfly_counts_one_side(trial, Side.LEFT)
+            assert counts.get(u, 0) < k
+
+
+class TestMaxTipNumber:
+    def test_empty_graph(self):
+        assert max_tip_number(BipartiteGraph()) == 0
+
+    def test_biclique(self):
+        assert max_tip_number(_biclique(3, 3), Side.LEFT) == 6

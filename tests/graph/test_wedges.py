@@ -1,0 +1,58 @@
+"""Unit tests for wedge utilities."""
+
+from repro.graph.bipartite import BipartiteGraph
+from repro.graph.wedges import (
+    common_neighbor_count,
+    count_wedges,
+    wedge_counts_per_pair,
+    wedge_participation,
+)
+from repro.types import Side
+
+
+class TestCountWedges:
+    def test_single_butterfly(self, butterfly_graph):
+        # Each side has 2 vertices of degree 2 -> 2 wedges per side.
+        assert count_wedges(butterfly_graph, Side.RIGHT) == 2
+        assert count_wedges(butterfly_graph, Side.LEFT) == 2
+
+    def test_star(self):
+        g = BipartiteGraph((i, 100) for i in range(5))
+        assert count_wedges(g, Side.RIGHT) == 10  # C(5, 2)
+        assert count_wedges(g, Side.LEFT) == 0
+
+    def test_empty(self):
+        g = BipartiteGraph()
+        assert count_wedges(g) == 0
+
+
+class TestPerPair:
+    def test_butterfly_pairs(self, butterfly_graph):
+        pairs = wedge_counts_per_pair(butterfly_graph, Side.LEFT)
+        assert len(pairs) == 1
+        assert set(pairs.values()) == {2}
+
+    def test_pair_counts_sum_to_wedges(self, small_random_graph):
+        pairs = wedge_counts_per_pair(small_random_graph, Side.LEFT)
+        assert sum(pairs.values()) == count_wedges(
+            small_random_graph, Side.RIGHT
+        )
+
+    def test_butterflies_from_pairs(self, biclique_3x3):
+        pairs = wedge_counts_per_pair(biclique_3x3, Side.LEFT)
+        butterflies = sum(c * (c - 1) // 2 for c in pairs.values())
+        assert butterflies == 9
+
+
+class TestCommonNeighbors:
+    def test_common_neighbor_count(self, butterfly_graph):
+        assert common_neighbor_count(butterfly_graph, "u", "x") == 2
+        assert common_neighbor_count(butterfly_graph, "v", "w") == 2
+
+    def test_no_common_neighbors(self):
+        g = BipartiteGraph([(1, 10), (2, 11)])
+        assert common_neighbor_count(g, 1, 2) == 0
+
+    def test_wedge_participation(self, biclique_3x3):
+        # Every right vertex has degree 3 -> C(3,2)=3 wedges each.
+        assert wedge_participation(biclique_3x3, ["x", "y", "z"]) == 9

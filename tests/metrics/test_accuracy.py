@@ -1,0 +1,76 @@
+"""Unit tests for accuracy metrics."""
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.metrics.accuracy import (
+    mean,
+    percentile,
+    relative_error,
+    summarize_errors,
+)
+
+
+class TestRelativeError:
+    def test_basic(self):
+        assert relative_error(100, 90) == pytest.approx(0.1)
+        assert relative_error(100, 110) == pytest.approx(0.1)
+        assert relative_error(100, 100) == 0.0
+
+    def test_non_positive_truth_raises(self):
+        with pytest.raises(ExperimentError):
+            relative_error(0, 5)
+        with pytest.raises(ExperimentError):
+            relative_error(-3, 5)
+
+
+class TestMean:
+    def test_basic(self):
+        assert mean([1.0, 2.0, 3.0]) == 2.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ExperimentError):
+            mean([])
+
+
+class TestPercentile:
+    def test_median(self):
+        assert percentile([3, 1, 2], 50) == 2
+
+    def test_extremes(self):
+        values = [5.0, 1.0, 9.0]
+        assert percentile(values, 0) == 1.0
+        assert percentile(values, 100) == 9.0
+
+    def test_interpolation(self):
+        assert percentile([0.0, 10.0], 25) == pytest.approx(2.5)
+
+    def test_single_value(self):
+        assert percentile([7.0], 90) == 7.0
+
+    def test_validation(self):
+        with pytest.raises(ExperimentError):
+            percentile([], 50)
+        with pytest.raises(ExperimentError):
+            percentile([1.0], 150)
+
+
+class TestSummarize:
+    def test_fields(self):
+        summary = summarize_errors([0.1, 0.2, 0.3])
+        assert summary.mean == pytest.approx(0.2)
+        assert summary.minimum == pytest.approx(0.1)
+        assert summary.maximum == pytest.approx(0.3)
+        assert summary.trials == 3
+        assert summary.stdev == pytest.approx(0.1)
+
+    def test_single_trial_zero_stdev(self):
+        summary = summarize_errors([0.05])
+        assert summary.stdev == 0.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ExperimentError):
+            summarize_errors([])
+
+    def test_str_contains_percentages(self):
+        assert "%" in str(summarize_errors([0.1]))

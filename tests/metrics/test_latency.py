@@ -1,0 +1,78 @@
+"""Unit tests for the latency recorder."""
+
+import pytest
+
+from repro.core.exact import ExactStreamingCounter
+from repro.errors import ExperimentError
+from repro.metrics.latency import LatencyRecorder
+from repro.types import insertion
+
+
+class _InstantEstimator(ExactStreamingCounter):
+    """Exact counter; used purely as a cheap processable target."""
+
+
+class TestRecorder:
+    def test_boundary_validation(self):
+        with pytest.raises(ExperimentError):
+            LatencyRecorder(_InstantEstimator(), boundaries=[])
+        with pytest.raises(ExperimentError):
+            LatencyRecorder(_InstantEstimator(), boundaries=[2.0, 1.0])
+
+    def test_counts_elements(self):
+        recorder = LatencyRecorder(_InstantEstimator())
+        for i in range(10):
+            recorder.process(insertion(i, 1000 + i))
+        assert recorder.count == 10
+        assert recorder.total_seconds > 0.0
+        assert recorder.max_seconds >= recorder.mean_seconds
+
+    def test_delegates_estimate(self):
+        recorder = LatencyRecorder(_InstantEstimator())
+        stream = [
+            insertion(1, 10),
+            insertion(1, 11),
+            insertion(2, 10),
+            insertion(2, 11),
+        ]
+        estimate = recorder.process_stream(stream)
+        assert estimate == 1.0
+
+    def test_percentiles_monotone(self):
+        recorder = LatencyRecorder(_InstantEstimator())
+        for i in range(200):
+            recorder.process(insertion(i, 1000 + i % 17))
+        p50 = recorder.percentile(50)
+        p90 = recorder.percentile(90)
+        p99 = recorder.percentile(99)
+        assert 0 < p50 <= p90 <= p99
+        assert p99 <= recorder.max_seconds or p99 <= recorder.percentile(100)
+
+    def test_percentile_validation(self):
+        recorder = LatencyRecorder(_InstantEstimator())
+        with pytest.raises(ExperimentError):
+            recorder.percentile(50)  # nothing recorded
+        recorder.process(insertion(1, 2))
+        with pytest.raises(ExperimentError):
+            recorder.percentile(150)
+
+    def test_summary_keys_and_units(self):
+        recorder = LatencyRecorder(_InstantEstimator())
+        for i in range(50):
+            recorder.process(insertion(i, 1000 + i))
+        summary = recorder.summary()
+        assert summary["count"] == 50
+        assert summary["p50_us"] <= summary["p99_us"]
+        assert summary["mean_us"] > 0
+
+    def test_known_latencies_bucketed(self):
+        recorder = LatencyRecorder(
+            _InstantEstimator(), boundaries=[0.5, 1.0, 2.0]
+        )
+        # Inject synthetic latencies directly.
+        for value in (0.1, 0.6, 0.7, 1.5, 3.0):
+            recorder._record(value)
+        assert recorder.count == 5
+        assert recorder.percentile(10) == 0.5   # 0.1 -> first bucket
+        assert recorder.percentile(60) == 1.0   # 0.6, 0.7 -> second
+        assert recorder.percentile(100) == pytest.approx(3.0)  # overflow

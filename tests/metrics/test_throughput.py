@@ -1,0 +1,72 @@
+"""Unit tests for throughput helpers."""
+
+import time
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.metrics.throughput import Stopwatch, throughput_eps
+
+
+class TestStopwatch:
+    def test_accumulates(self):
+        watch = Stopwatch()
+        watch.start()
+        time.sleep(0.01)
+        total = watch.stop()
+        assert total >= 0.01
+        assert watch.elapsed == total
+
+    def test_pause_resume(self):
+        watch = Stopwatch()
+        watch.start()
+        time.sleep(0.005)
+        first = watch.stop()
+        watch.start()
+        time.sleep(0.005)
+        second = watch.stop()
+        assert second > first
+
+    def test_double_start_raises(self):
+        watch = Stopwatch()
+        watch.start()
+        with pytest.raises(ExperimentError):
+            watch.start()
+
+    def test_stop_without_start_raises(self):
+        with pytest.raises(ExperimentError):
+            Stopwatch().stop()
+
+    def test_running_property_and_live_elapsed(self):
+        watch = Stopwatch()
+        assert not watch.running
+        watch.start()
+        assert watch.running
+        assert watch.elapsed >= 0.0
+        watch.stop()
+        assert not watch.running
+
+    def test_reset(self):
+        watch = Stopwatch()
+        with watch:
+            pass
+        watch.reset()
+        assert watch.elapsed == 0.0
+
+    def test_context_manager(self):
+        with Stopwatch() as watch:
+            time.sleep(0.002)
+        assert watch.elapsed >= 0.002
+
+
+class TestThroughput:
+    def test_basic(self):
+        assert throughput_eps(1000, 2.0) == 500.0
+
+    def test_zero_duration_raises(self):
+        with pytest.raises(ExperimentError):
+            throughput_eps(10, 0.0)
+
+    def test_negative_elements_raises(self):
+        with pytest.raises(ExperimentError):
+            throughput_eps(-1, 1.0)

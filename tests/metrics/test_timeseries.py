@@ -1,0 +1,158 @@
+"""Unit tests for error-trajectory tracking."""
+
+import math
+import random
+
+import pytest
+
+from repro.core.abacus import Abacus
+from repro.core.exact import ExactStreamingCounter
+from repro.errors import ExperimentError
+from repro.graph.generators import bipartite_erdos_renyi
+from repro.metrics.timeseries import (
+    TrajectoryPoint,
+    TrajectoryTracker,
+    track_against_oracle,
+)
+from repro.streams.dynamic import make_fully_dynamic
+
+
+class TestTrajectoryPoint:
+    def test_error_and_deviation(self):
+        point = TrajectoryPoint(10, truth=100.0, estimate=90.0)
+        assert point.error == pytest.approx(0.1)
+        assert point.signed_deviation == pytest.approx(-10.0)
+
+    def test_zero_truth_zero_estimate(self):
+        point = TrajectoryPoint(1, truth=0.0, estimate=0.0)
+        assert point.error == 0.0
+
+    def test_zero_truth_nonzero_estimate(self):
+        point = TrajectoryPoint(1, truth=0.0, estimate=5.0)
+        assert math.isinf(point.error)
+
+
+class TestTrajectoryTracker:
+    def _populated(self):
+        tracker = TrajectoryTracker()
+        tracker.record(10, truth=0.0, estimate=0.0)
+        tracker.record(20, truth=100.0, estimate=110.0)
+        tracker.record(30, truth=200.0, estimate=160.0)
+        return tracker
+
+    def test_record_and_len(self):
+        tracker = self._populated()
+        assert len(tracker) == 3
+        assert [p.elements_processed for p in tracker] == [10, 20, 30]
+
+    def test_out_of_order_rejected(self):
+        tracker = self._populated()
+        with pytest.raises(ExperimentError):
+            tracker.record(25, truth=1.0, estimate=1.0)
+
+    def test_errors_skip_zero_truth(self):
+        tracker = self._populated()
+        assert tracker.errors() == pytest.approx([0.1, 0.2])
+
+    def test_mean_and_max_error(self):
+        tracker = self._populated()
+        assert tracker.mean_relative_error() == pytest.approx(0.15)
+        assert tracker.max_relative_error() == pytest.approx(0.2)
+
+    def test_no_truth_checkpoints_give_nan(self):
+        tracker = TrajectoryTracker()
+        tracker.record(1, truth=0.0, estimate=0.0)
+        assert math.isnan(tracker.mean_relative_error())
+        assert math.isnan(tracker.max_relative_error())
+
+    def test_final_error(self):
+        tracker = self._populated()
+        assert tracker.final_relative_error() == pytest.approx(0.2)
+
+    def test_final_error_requires_points(self):
+        with pytest.raises(ExperimentError):
+            TrajectoryTracker().final_relative_error()
+
+    def test_mean_signed_deviation(self):
+        tracker = self._populated()
+        assert tracker.mean_signed_deviation() == pytest.approx(
+            (0.0 + 10.0 - 40.0) / 3
+        )
+
+    def test_series_unpacks_columns(self):
+        tracker = self._populated()
+        xs, truths, estimates = tracker.series()
+        assert xs == [10, 20, 30]
+        assert truths == [0.0, 100.0, 200.0]
+        assert estimates == [0.0, 110.0, 160.0]
+
+    def test_worst_window(self):
+        tracker = TrajectoryTracker()
+        errors = [0.1, 0.1, 0.5, 0.6, 0.1]
+        for i, err in enumerate(errors):
+            truth = 100.0
+            tracker.record(
+                (i + 1) * 10, truth=truth, estimate=truth * (1 + err)
+            )
+        start, end, mean_error = tracker.worst_window(width=2)
+        assert (start, end) == (30, 40)
+        assert mean_error == pytest.approx(0.55)
+
+    def test_worst_window_insufficient_points(self):
+        tracker = self._populated()
+        assert tracker.worst_window(width=10) is None
+
+
+class TestTrackAgainstOracle:
+    def _stream(self):
+        edges = bipartite_erdos_renyi(20, 20, 150, random.Random(0))
+        return make_fully_dynamic(edges, 0.2, random.Random(1))
+
+    def test_every_mode_records_expected_checkpoints(self):
+        stream = self._stream()
+        tracker = track_against_oracle(
+            stream,
+            Abacus(budget=10_000, seed=2),
+            ExactStreamingCounter(),
+            every=50,
+        )
+        assert len(tracker) == len(stream) // 50
+        assert all(
+            p.elements_processed % 50 == 0 for p in tracker
+        )
+
+    def test_exact_budget_gives_zero_error(self):
+        stream = self._stream()
+        tracker = track_against_oracle(
+            stream,
+            Abacus(budget=10_000, seed=3),
+            ExactStreamingCounter(),
+            every=30,
+        )
+        errors = tracker.errors()
+        assert errors  # the stream does build butterflies
+        assert max(errors) == pytest.approx(0.0, abs=1e-9)
+
+    def test_explicit_checkpoints(self):
+        stream = self._stream()
+        marks = [10, 40, 90]
+        tracker = track_against_oracle(
+            stream,
+            Abacus(budget=100, seed=4),
+            ExactStreamingCounter(),
+            checkpoints=marks,
+        )
+        assert [p.elements_processed for p in tracker] == marks
+
+    def test_requires_exactly_one_mode(self):
+        stream = self._stream()
+        with pytest.raises(ExperimentError):
+            track_against_oracle(
+                stream, Abacus(budget=10, seed=5),
+                ExactStreamingCounter(),
+            )
+        with pytest.raises(ExperimentError):
+            track_against_oracle(
+                stream, Abacus(budget=10, seed=6),
+                ExactStreamingCounter(), checkpoints=[1], every=1,
+            )

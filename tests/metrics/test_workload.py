@@ -1,0 +1,39 @@
+"""Unit tests for workload-balance statistics."""
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.metrics.workload import workload_balance
+
+
+class TestWorkloadBalance:
+    def test_perfect_balance(self):
+        balance = workload_balance([100, 100, 100, 100])
+        assert balance.imbalance == pytest.approx(1.0)
+        assert balance.coefficient_of_variation == pytest.approx(0.0)
+        assert balance.total == 400
+        assert balance.mean == 100.0
+
+    def test_skewed(self):
+        balance = workload_balance([300, 100, 100, 100])
+        assert balance.imbalance == pytest.approx(300 / 150)
+        assert balance.maximum == 300
+        assert balance.minimum == 100
+        assert balance.coefficient_of_variation > 0.0
+
+    def test_all_zero(self):
+        balance = workload_balance([0, 0, 0])
+        assert balance.imbalance == 1.0
+        assert balance.coefficient_of_variation == 0.0
+
+    def test_single_thread(self):
+        balance = workload_balance([42])
+        assert balance.imbalance == 1.0
+        assert balance.total == 42
+
+    def test_empty_raises(self):
+        with pytest.raises(ExperimentError):
+            workload_balance([])
+
+    def test_str_summary(self):
+        assert "imbalance" in str(workload_balance([10, 10]))

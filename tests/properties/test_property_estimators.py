@@ -1,0 +1,86 @@
+"""Property-based tests for the estimators.
+
+The two load-bearing properties:
+
+1. With an unbounded budget ABACUS degenerates to exact counting on
+   *any* valid fully dynamic stream (the sample holds everything and
+   every increment is 1).
+2. PARABACUS equals ABACUS exactly for any stream, batch size, and
+   thread count when driven by the same seed (Theorem 5).
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.abacus import Abacus
+from repro.core.parabacus import Parabacus
+from repro.experiments.runner import ground_truth_final_count
+from repro.streams.dynamic import make_fully_dynamic
+
+edge_lists = st.lists(
+    st.tuples(st.integers(0, 12), st.integers(100, 112)),
+    unique=True,
+    min_size=4,
+    max_size=70,
+)
+
+stream_params = st.tuples(
+    edge_lists, st.floats(0.0, 0.8), st.integers(0, 2**31)
+)
+
+
+@given(stream_params)
+@settings(max_examples=80, deadline=None)
+def test_abacus_exact_with_unbounded_budget(params):
+    edges, alpha, seed = params
+    stream = make_fully_dynamic(edges, alpha, random.Random(seed))
+    estimator = Abacus(10**9, seed=0)
+    estimate = estimator.process_stream(stream)
+    assert estimate == pytest.approx(ground_truth_final_count(stream))
+
+
+@given(stream_params, st.integers(1, 25), st.integers(1, 6))
+@settings(max_examples=60, deadline=None)
+def test_parabacus_equals_abacus(params, batch_size, threads):
+    edges, alpha, seed = params
+    stream = make_fully_dynamic(edges, alpha, random.Random(seed))
+    budget = max(2, len(edges) // 3)
+    abacus = Abacus(budget, seed=seed)
+    para = Parabacus(
+        budget, batch_size=batch_size, num_threads=threads, seed=seed
+    )
+    expected = abacus.process_stream(stream)
+    para.process_stream(stream)
+    para.flush()
+    assert para.estimate == pytest.approx(expected, rel=1e-12, abs=1e-9)
+    assert set(para.sampler.sample.edges()) == set(
+        abacus.sampler.sample.edges()
+    )
+
+
+@given(stream_params, st.integers(2, 40))
+@settings(max_examples=60, deadline=None)
+def test_abacus_estimate_is_finite_and_memory_bounded(params, budget):
+    edges, alpha, seed = params
+    stream = make_fully_dynamic(edges, alpha, random.Random(seed))
+    estimator = Abacus(budget, seed=seed ^ 0xABCD)
+    estimate = estimator.process_stream(stream)
+    assert estimate == estimate  # not NaN
+    assert abs(estimate) < 1e15
+    assert estimator.memory_edges <= budget
+
+
+@given(stream_params)
+@settings(max_examples=40, deadline=None)
+def test_cheapest_side_never_changes_estimate(params):
+    edges, alpha, seed = params
+    stream = make_fully_dynamic(edges, alpha, random.Random(seed))
+    budget = max(2, len(edges) // 2)
+    with_heuristic = Abacus(budget, seed=seed, cheapest_side=True)
+    without = Abacus(budget, seed=seed, cheapest_side=False)
+    e1 = with_heuristic.process_stream(stream)
+    e2 = without.process_stream(stream)
+    assert e1 == pytest.approx(e2, rel=1e-12, abs=1e-9)

@@ -1,0 +1,91 @@
+"""Property-based tests for the graph substrate (hypothesis)."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.bipartite import BipartiteGraph, validate_bipartite
+from repro.graph.bitruss import bitruss_decomposition, k_bitruss
+from repro.graph.butterflies import (
+    butterflies_containing_edge,
+    count_butterflies,
+    count_butterflies_brute_force,
+)
+
+# Unique edge lists over a small vertex universe: left 0..9, right 100..109.
+edge_lists = st.lists(
+    st.tuples(st.integers(0, 9), st.integers(100, 109)),
+    unique=True,
+    max_size=60,
+)
+
+
+@given(edge_lists)
+@settings(max_examples=120, deadline=None)
+def test_fast_count_matches_brute_force(edges):
+    g = BipartiteGraph(edges)
+    assert count_butterflies(g) == count_butterflies_brute_force(g)
+
+
+@given(edge_lists)
+@settings(max_examples=80, deadline=None)
+def test_per_edge_counts_sum_to_4B(edges):
+    g = BipartiteGraph(edges)
+    total = sum(
+        butterflies_containing_edge(g, u, v) for u, v in g.edges()
+    )
+    assert total == 4 * count_butterflies(g)
+
+
+@given(edge_lists, st.randoms(use_true_random=False))
+@settings(max_examples=60, deadline=None)
+def test_graph_consistent_under_random_churn(edges, rnd):
+    g = BipartiteGraph()
+    live = set()
+    operations = list(edges) * 2
+    rnd.shuffle(operations)
+    for u, v in operations:
+        if (u, v) in live:
+            g.remove_edge(u, v)
+            live.remove((u, v))
+        else:
+            g.add_edge(u, v)
+            live.add((u, v))
+    ok, reason = validate_bipartite(g)
+    assert ok, reason
+    assert set(g.edges()) == live
+
+
+@given(edge_lists)
+@settings(max_examples=60, deadline=None)
+def test_insert_delta_equals_count_difference(edges):
+    """butterflies_containing_edge == |B(G+e)| - |B(G)| for every e."""
+    if not edges:
+        return
+    g = BipartiteGraph(edges[:-1])
+    u, v = edges[-1]
+    before = count_butterflies(g)
+    delta = butterflies_containing_edge(g, u, v)
+    g.add_edge(u, v)
+    assert count_butterflies(g) == before + delta
+
+
+@given(edge_lists)
+@settings(max_examples=40, deadline=None)
+def test_bitruss_numbers_bounded_by_support(edges):
+    g = BipartiteGraph(edges)
+    numbers = bitruss_decomposition(g)
+    for (u, v), b in numbers.items():
+        # Bitruss number never exceeds the edge's initial support.
+        assert b <= butterflies_containing_edge(g, u, v)
+        assert b >= 0
+
+
+@given(edge_lists, st.integers(1, 4))
+@settings(max_examples=40, deadline=None)
+def test_k_bitruss_edges_meet_threshold(edges, k):
+    g = BipartiteGraph(edges)
+    sub = k_bitruss(g, k)
+    for u, v in sub.edges():
+        assert butterflies_containing_edge(sub, u, v) >= k

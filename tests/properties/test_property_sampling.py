@@ -1,0 +1,112 @@
+"""Property-based tests for the sampling substrate."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sampling.adjacency_sample import GraphSample
+from repro.sampling.random_pairing import RandomPairing
+from repro.sampling.versioned import VersionedGraphSample
+from repro.streams.dynamic import make_fully_dynamic
+from repro.types import Op
+
+edge_lists = st.lists(
+    st.tuples(st.integers(0, 20), st.integers(100, 120)),
+    unique=True,
+    min_size=1,
+    max_size=60,
+)
+
+dynamic_params = st.tuples(
+    edge_lists,
+    st.floats(0.0, 0.9),
+    st.integers(0, 2**31),
+    st.integers(2, 20),
+)
+
+
+@given(dynamic_params)
+@settings(max_examples=100, deadline=None)
+def test_rp_invariants_hold_throughout(params):
+    edges, alpha, seed, budget = params
+    stream = make_fully_dynamic(edges, alpha, random.Random(seed))
+    rp = RandomPairing(budget, random.Random(seed + 1))
+    live = set()
+    for element in stream:
+        rp.process(element)
+        if element.op is Op.INSERT:
+            live.add(element.edge)
+        else:
+            live.discard(element.edge)
+        # Invariants after every element:
+        assert rp.sample.num_edges <= budget
+        assert rp.num_live_edges == len(live)
+        assert rp.cb >= 0 and rp.cg >= 0
+        assert set(rp.sample.edges()) <= live
+        # The effective bound is an upper bound on the actual size.
+        assert rp.sample.num_edges <= rp.effective_sample_bound
+
+
+@given(dynamic_params)
+@settings(max_examples=60, deadline=None)
+def test_rp_sample_full_when_compensated(params):
+    """When cb + cg == 0, RP behaves like a reservoir: the sample holds
+    min(k, |E|) edges exactly."""
+    edges, alpha, seed, budget = params
+    stream = make_fully_dynamic(edges, alpha, random.Random(seed))
+    rp = RandomPairing(budget, random.Random(seed + 1))
+    for element in stream:
+        rp.process(element)
+        if rp.cb + rp.cg == 0:
+            assert rp.sample.num_edges == min(budget, rp.num_live_edges)
+
+
+@given(dynamic_params)
+@settings(max_examples=50, deadline=None)
+def test_versioned_sample_reconstructs_history(params):
+    """neighbors_at(v, i) must equal a full snapshot replay."""
+    edges, alpha, seed, budget = params
+    stream = list(make_fully_dynamic(edges, alpha, random.Random(seed)))
+
+    # Reference replay with full snapshots.
+    reference = RandomPairing(budget, random.Random(seed + 2))
+    snapshots = []
+    vertices = {x for e in edges for x in e}
+    for element in stream:
+        snapshots.append(
+            {v: set(reference.sample.neighbors(v)) for v in vertices}
+        )
+        reference.process(element)
+
+    # Delta-coded replay.
+    sample = GraphSample()
+    versioned = VersionedGraphSample(sample)
+    rp = RandomPairing(budget, random.Random(seed + 2), sample=sample)
+    versioned.begin_batch()
+    for element in stream:
+        versioned.note_element_state(rp.num_live_edges, rp.cb, rp.cg)
+        rp.process(element)
+    versioned.end_batch()
+
+    for version, snapshot in enumerate(snapshots):
+        for vertex, neighbours in snapshot.items():
+            assert versioned.neighbors_at(vertex, version) == neighbours
+
+
+@given(edge_lists, st.integers(0, 2**31))
+@settings(max_examples=50, deadline=None)
+def test_graph_sample_index_integrity(edges, seed):
+    rng = random.Random(seed)
+    sample = GraphSample()
+    live = set()
+    for u, v in edges:
+        sample.add_edge(u, v)
+        live.add((u, v))
+        if live and rng.random() < 0.3:
+            evicted = sample.evict_random_edge(rng)
+            live.discard(evicted)
+    assert set(sample.edges()) == live
+    for u, v in live:
+        assert v in sample.neighbors(u)
+        assert u in sample.neighbors(v)

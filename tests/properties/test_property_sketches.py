@@ -1,0 +1,116 @@
+"""Property-based tests for the sketch substrate."""
+
+import random
+from collections import Counter
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sketch.bloom import BloomFilter, CountingBloomFilter
+from repro.sketch.countmin import CountMinSketch
+from repro.sketch.hyperloglog import HyperLogLog
+
+keys = st.lists(st.integers(0, 500), min_size=1, max_size=300)
+seeds = st.integers(0, 2**31)
+
+
+@given(keys, seeds, st.booleans())
+@settings(max_examples=100, deadline=None)
+def test_countmin_never_underestimates(key_list, seed, conservative):
+    sketch = CountMinSketch(
+        width=32, depth=3, rng=random.Random(seed),
+        conservative=conservative,
+    )
+    truth = Counter()
+    for key in key_list:
+        sketch.update(key)
+        truth[key] += 1
+    for key, count in truth.items():
+        assert sketch.estimate(key) >= count
+
+
+@given(keys, seeds)
+@settings(max_examples=100, deadline=None)
+def test_countmin_total_is_stream_length(key_list, seed):
+    sketch = CountMinSketch(width=16, depth=2, rng=random.Random(seed))
+    for key in key_list:
+        sketch.update(key)
+    assert sketch.total == len(key_list)
+
+
+@given(keys, keys, seeds)
+@settings(max_examples=50, deadline=None)
+def test_countmin_merge_equals_combined_stream(left, right, seed):
+    base = CountMinSketch(width=64, depth=3, rng=random.Random(seed))
+    other = base.spawn_compatible()
+    combined = base.spawn_compatible()
+    for key in left:
+        base.update(key)
+        combined.update(key)
+    for key in right:
+        other.update(key)
+        combined.update(key)
+    base.merge(other)
+    for key in set(left + right):
+        assert base.estimate(key) == combined.estimate(key)
+
+
+@given(keys, seeds)
+@settings(max_examples=100, deadline=None)
+def test_bloom_no_false_negatives(key_list, seed):
+    bloom = BloomFilter(
+        capacity=max(16, len(key_list)), rng=random.Random(seed)
+    )
+    for key in key_list:
+        bloom.add(key)
+    assert all(key in bloom for key in key_list)
+
+
+@given(keys, seeds)
+@settings(max_examples=50, deadline=None)
+def test_counting_bloom_tracks_live_set(key_list, seed):
+    """Insert every key, then remove every other occurrence in reverse:
+    survivors must still be present."""
+    cbf = CountingBloomFilter(
+        capacity=max(16, len(key_list)), rng=random.Random(seed)
+    )
+    for key in key_list:
+        cbf.add(key)
+    removed = Counter()
+    for i, key in enumerate(key_list):
+        if i % 2 == 0:
+            cbf.remove(key)
+            removed[key] += 1
+    survivors = Counter(key_list) - removed
+    assert all(key in cbf for key in survivors)
+
+
+@given(keys, keys, seeds)
+@settings(max_examples=50, deadline=None)
+def test_hll_merge_commutes(left, right, seed):
+    a = HyperLogLog(precision=8, rng=random.Random(seed))
+    b = a.spawn_compatible()
+    for key in left:
+        a.add(key)
+    for key in right:
+        b.add(key)
+    ab = a.spawn_compatible()
+    ab.merge(a)
+    ab.merge(b)
+    ba = a.spawn_compatible()
+    ba.merge(b)
+    ba.merge(a)
+    assert ab.cardinality() == ba.cardinality()
+
+
+@given(keys, seeds)
+@settings(max_examples=50, deadline=None)
+def test_hll_duplicates_change_nothing(key_list, seed):
+    """Re-adding already-seen keys must leave the state untouched."""
+    hll = HyperLogLog(precision=8, rng=random.Random(seed))
+    for key in key_list:
+        hll.add(key)
+    before = hll.cardinality()
+    for key in key_list:
+        hll.add(key)
+    assert hll.cardinality() == before

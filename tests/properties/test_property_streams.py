@@ -1,0 +1,67 @@
+"""Property-based tests for stream synthesis and containers."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.streams.dynamic import make_fully_dynamic, validate_stream
+from repro.streams.minibatch import iter_minibatches, partition_round_robin
+from repro.streams.stream import EdgeStream
+from repro.types import Op, insertion
+
+edge_lists = st.lists(
+    st.tuples(st.integers(0, 30), st.integers(100, 130)),
+    unique=True,
+    min_size=1,
+    max_size=80,
+)
+
+
+@given(edge_lists, st.floats(0.0, 1.0), st.integers(0, 2**31))
+@settings(max_examples=100, deadline=None)
+def test_fully_dynamic_contract(edges, alpha, seed):
+    stream = make_fully_dynamic(edges, alpha, random.Random(seed))
+    max_edges, final = validate_stream(stream)
+    assert max_edges <= len(edges)
+    assert final == stream.final_num_edges
+    assert stream.num_deletions == round(len(edges) * alpha)
+
+
+@given(edge_lists, st.floats(0.0, 1.0), st.integers(0, 2**31))
+@settings(max_examples=60, deadline=None)
+def test_deletion_edges_are_subset_of_insertions(edges, alpha, seed):
+    stream = make_fully_dynamic(edges, alpha, random.Random(seed))
+    inserted = {e.edge for e in stream if e.op is Op.INSERT}
+    deleted = {e.edge for e in stream if e.op is Op.DELETE}
+    assert deleted <= inserted
+    assert inserted == set(edges)
+
+
+@given(edge_lists, st.integers(1, 40))
+@settings(max_examples=60, deadline=None)
+def test_minibatches_partition_stream(edges, batch_size):
+    elements = [insertion(u, v) for u, v in edges]
+    batches = list(iter_minibatches(elements, batch_size))
+    assert [e for b in batches for e in b] == elements
+    assert all(len(b) <= batch_size for b in batches)
+    assert all(len(b) == batch_size for b in batches[:-1])
+
+
+@given(st.lists(st.integers(), max_size=100), st.integers(1, 12))
+@settings(max_examples=80, deadline=None)
+def test_round_robin_partition_properties(items, parts)  :
+    chunks = partition_round_robin(items, parts)
+    assert len(chunks) == parts
+    assert [x for c in chunks for x in c] == items
+    sizes = [len(c) for c in chunks]
+    assert max(sizes) - min(sizes) <= 1
+
+
+@given(edge_lists, st.integers(0, 79))
+@settings(max_examples=50, deadline=None)
+def test_stream_slicing_consistent(edges, cut):
+    stream = EdgeStream(insertion(u, v) for u, v in edges)
+    head = stream.prefix(min(cut, len(stream)))
+    assert len(head) == min(cut, len(stream))
+    assert list(head) == list(stream)[: len(head)]

@@ -1,0 +1,177 @@
+"""Property-based tests for stream transforms and decompositions."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.bipartite import BipartiteGraph
+from repro.graph.butterflies import count_butterflies
+from repro.graph.core_decomposition import (
+    ab_core,
+    butterfly_core_prefilter,
+)
+from repro.graph.tip_decomposition import (
+    butterfly_counts_one_side,
+    tip_decomposition,
+)
+from repro.streams.adversarial import churn_stream, deletion_storm
+from repro.streams.dynamic import make_fully_dynamic, validate_stream
+from repro.streams.stream import EdgeStream
+from repro.streams.transform import (
+    deletion_tail,
+    inverse,
+    merged,
+    relabeled,
+    sanitized,
+)
+from repro.types import Op, StreamElement, deletion, insertion
+
+edge_lists = st.lists(
+    st.tuples(st.integers(0, 15), st.integers(100, 112)),
+    unique=True,
+    min_size=1,
+    max_size=50,
+)
+seeds = st.integers(0, 2**31)
+
+# Arbitrary (possibly contract-violating) element sequences.
+dirty_streams = st.lists(
+    st.tuples(
+        st.integers(0, 6), st.integers(100, 106), st.booleans()
+    ),
+    min_size=0,
+    max_size=80,
+).map(
+    lambda triples: EdgeStream(
+        insertion(u, v) if ins else deletion(u, v)
+        for u, v, ins in triples
+    )
+)
+
+
+@given(dirty_streams)
+@settings(max_examples=150, deadline=None)
+def test_sanitized_output_always_validates(stream):
+    clean, report = sanitized(stream)
+    validate_stream(clean)
+    assert report.kept + report.dropped == len(stream)
+    assert len(report.dropped_indices) == report.dropped
+
+
+@given(dirty_streams)
+@settings(max_examples=100, deadline=None)
+def test_sanitized_is_idempotent(stream):
+    clean, _ = sanitized(stream)
+    again, report = sanitized(clean)
+    assert report.dropped == 0
+    assert list(again) == list(clean)
+
+
+@given(edge_lists, st.floats(0.0, 0.9), seeds)
+@settings(max_examples=100, deadline=None)
+def test_inverse_round_trip_empties_graph(edges, alpha, seed):
+    stream = make_fully_dynamic(edges, alpha, random.Random(seed))
+    combined = EdgeStream(list(stream) + list(inverse(stream)))
+    _, final_edges = validate_stream(combined)
+    assert final_edges == 0
+
+
+@given(edge_lists, st.floats(0.0, 0.9), seeds)
+@settings(max_examples=100, deadline=None)
+def test_deletion_tail_always_drains(edges, alpha, seed):
+    stream = make_fully_dynamic(edges, alpha, random.Random(seed))
+    _, final_edges = validate_stream(deletion_tail(stream))
+    assert final_edges == 0
+
+
+@given(edge_lists, st.floats(0.0, 0.5), seeds)
+@settings(max_examples=100, deadline=None)
+def test_relabeled_preserves_structure(edges, alpha, seed):
+    stream = make_fully_dynamic(edges, alpha, random.Random(seed))
+    dense, left_map, right_map = relabeled(stream)
+    validate_stream(dense)
+    assert len(dense) == len(stream)
+    # Labels are dense: 0..n-1 on each side.
+    assert sorted(left_map.values()) == list(range(len(left_map)))
+    assert sorted(right_map.values()) == list(range(len(right_map)))
+    # Op sequence unchanged.
+    assert [e.op for e in dense] == [e.op for e in stream]
+
+
+@given(
+    st.lists(edge_lists, min_size=1, max_size=4),
+    st.floats(0.0, 0.5),
+    seeds,
+)
+@settings(max_examples=50, deadline=None)
+def test_merged_streams_stay_valid(edge_groups, alpha, seed):
+    rng = random.Random(seed)
+    streams = [
+        make_fully_dynamic(edges, alpha, random.Random(seed + i))
+        for i, edges in enumerate(edge_groups)
+    ]
+    out = merged(streams, rng=rng)
+    validate_stream(out)
+    assert len(out) == sum(len(s) for s in streams)
+
+
+@given(edge_lists, st.floats(0.0, 1.0), seeds)
+@settings(max_examples=100, deadline=None)
+def test_deletion_storm_valid_and_sized(edges, fraction, seed):
+    stream = deletion_storm(edges, fraction, random.Random(seed))
+    max_edges, final_edges = validate_stream(stream)
+    assert max_edges == len(edges)
+    assert final_edges == len(edges) - round(len(edges) * fraction)
+
+
+@given(edge_lists, st.integers(1, 4), seeds)
+@settings(max_examples=50, deadline=None)
+def test_churn_always_returns_to_empty(edges, cycles, seed):
+    stream = churn_stream(edges, cycles, random.Random(seed))
+    _, final_edges = validate_stream(stream)
+    assert final_edges == 0
+
+
+@given(edge_lists)
+@settings(max_examples=100, deadline=None)
+def test_22_core_preserves_butterflies(edges):
+    graph = BipartiteGraph(edges)
+    core = butterfly_core_prefilter(graph)
+    assert count_butterflies(core) == count_butterflies(graph)
+
+
+@given(edge_lists, st.integers(1, 3), st.integers(1, 3))
+@settings(max_examples=100, deadline=None)
+def test_ab_core_degree_invariants(edges, alpha, beta):
+    core = ab_core(BipartiteGraph(edges), alpha, beta)
+    for u in core.left_vertices():
+        assert core.degree(u) >= alpha
+    for v in core.right_vertices():
+        assert core.degree(v) >= beta
+
+
+@given(edge_lists)
+@settings(max_examples=60, deadline=None)
+def test_one_side_counts_sum_to_twice_butterflies(edges):
+    from repro.types import Side
+
+    graph = BipartiteGraph(edges)
+    counts = butterfly_counts_one_side(graph, Side.LEFT)
+    assert sum(counts.values()) == 2 * count_butterflies(graph)
+
+
+@given(edge_lists)
+@settings(max_examples=40, deadline=None)
+def test_tip_numbers_bounded_by_initial_support(edges):
+    """Peeling is monotone: a vertex's tip number never exceeds its
+    initial butterfly count, and is non-negative."""
+    from repro.types import Side
+
+    graph = BipartiteGraph(edges)
+    initial = butterfly_counts_one_side(graph, Side.LEFT)
+    tips = tip_decomposition(graph, Side.LEFT)
+    assert set(tips) == set(initial)
+    max_initial = max(initial.values(), default=0)
+    for vertex, tip in tips.items():
+        assert 0 <= tip <= max_initial

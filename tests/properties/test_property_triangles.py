@@ -1,0 +1,79 @@
+"""Property-based tests for the triangle subsystem."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.streams.dynamic import make_fully_dynamic
+from repro.triangles.exact import (
+    count_triangles,
+    count_triangles_brute_force,
+    triangles_containing_edge,
+)
+from repro.triangles.graph import UndirectedGraph, canonical_edge
+from repro.triangles.thinkd import ExactTriangleCounter, ThinkD
+from repro.types import Op
+
+# Unique canonical undirected edges over vertices 0..11.
+edge_lists = st.lists(
+    st.tuples(st.integers(0, 11), st.integers(0, 11))
+    .filter(lambda e: e[0] != e[1])
+    .map(lambda e: canonical_edge(*e)),
+    unique=True,
+    max_size=50,
+)
+
+
+@given(edge_lists)
+@settings(max_examples=100, deadline=None)
+def test_fast_count_matches_brute_force(edges):
+    g = UndirectedGraph(edges)
+    assert count_triangles(g) == count_triangles_brute_force(g)
+
+
+@given(edge_lists)
+@settings(max_examples=60, deadline=None)
+def test_per_edge_counts_sum_to_3T(edges):
+    g = UndirectedGraph(edges)
+    total = sum(triangles_containing_edge(g, u, v) for u, v in g.edges())
+    assert total == 3 * count_triangles(g)
+
+
+@given(edge_lists, st.floats(0.0, 0.8), st.integers(0, 2**31))
+@settings(max_examples=60, deadline=None)
+def test_streaming_oracle_matches_static(edges, alpha, seed):
+    stream = make_fully_dynamic(edges, alpha, random.Random(seed))
+    oracle = ExactTriangleCounter()
+    oracle.process_stream(stream)
+    graph = UndirectedGraph()
+    for element in stream:
+        if element.op is Op.INSERT:
+            graph.add_edge(element.u, element.v)
+        else:
+            graph.remove_edge(element.u, element.v)
+    assert oracle.exact_count == count_triangles(graph)
+
+
+@given(edge_lists, st.floats(0.0, 0.8), st.integers(0, 2**31))
+@settings(max_examples=60, deadline=None)
+def test_thinkd_exact_with_unbounded_budget(edges, alpha, seed):
+    if len(edges) < 3:
+        return
+    stream = make_fully_dynamic(edges, alpha, random.Random(seed))
+    estimator = ThinkD(10**9, seed=0)
+    estimate = estimator.process_stream(stream)
+    oracle = ExactTriangleCounter()
+    truth = oracle.process_stream(stream)
+    assert estimate == pytest.approx(truth)
+
+
+@given(edge_lists, st.integers(2, 30), st.integers(0, 2**31))
+@settings(max_examples=50, deadline=None)
+def test_thinkd_memory_bounded_and_finite(edges, budget, seed):
+    stream = make_fully_dynamic(edges, 0.3, random.Random(seed))
+    estimator = ThinkD(budget, seed=seed ^ 0x5A5A)
+    estimate = estimator.process_stream(stream)
+    assert estimator.memory_edges <= budget
+    assert estimate == estimate  # not NaN

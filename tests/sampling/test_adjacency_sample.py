@@ -1,0 +1,135 @@
+"""Unit tests for the adjacency-list GraphSample."""
+
+import random
+
+import pytest
+
+from repro.errors import SamplingError
+from repro.sampling.adjacency_sample import GraphSample
+
+
+class TestBasics:
+    def test_empty(self):
+        s = GraphSample()
+        assert s.num_edges == 0
+        assert len(s) == 0
+        assert not s.contains(1, 2)
+
+    def test_add_and_query(self):
+        s = GraphSample()
+        s.add_edge(1, 10)
+        assert s.contains(1, 10)
+        assert (1, 10) in s
+        assert s.neighbors(1) == {10}
+        assert s.neighbors(10) == {1}
+        assert s.degree(1) == 1
+
+    def test_duplicate_add_raises(self):
+        s = GraphSample()
+        s.add_edge(1, 10)
+        with pytest.raises(SamplingError):
+            s.add_edge(1, 10)
+
+    def test_remove_present(self):
+        s = GraphSample()
+        s.add_edge(1, 10)
+        assert s.remove_edge(1, 10) is True
+        assert s.num_edges == 0
+        assert s.neighbors(1) == frozenset()
+
+    def test_remove_absent_returns_false(self):
+        s = GraphSample()
+        assert s.remove_edge(1, 10) is False
+
+    def test_degree_sum(self):
+        s = GraphSample()
+        s.add_edge(1, 10)
+        s.add_edge(1, 11)
+        s.add_edge(2, 10)
+        assert s.degree_sum([1, 2]) == 3
+        assert s.degree_sum([10, 11]) == 3
+        assert s.degree_sum([]) == 0
+
+    def test_edges_snapshot(self):
+        s = GraphSample()
+        s.add_edge(1, 10)
+        s.add_edge(2, 11)
+        assert set(s.edges()) == {(1, 10), (2, 11)}
+
+    def test_clear(self):
+        s = GraphSample()
+        s.add_edge(1, 10)
+        s.clear()
+        assert s.num_edges == 0
+
+
+class TestEviction:
+    def test_evict_from_empty_raises(self):
+        with pytest.raises(SamplingError):
+            GraphSample().evict_random_edge(random.Random(0))
+
+    def test_evict_removes_one(self):
+        s = GraphSample()
+        for i in range(10):
+            s.add_edge(i, 100 + i)
+        evicted = s.evict_random_edge(random.Random(1))
+        assert s.num_edges == 9
+        assert evicted not in s
+
+    def test_eviction_is_uniform(self):
+        # Chi-squared-style sanity: each of 5 edges evicted ~1/5 of runs.
+        counts = {i: 0 for i in range(5)}
+        trials = 5000
+        rng = random.Random(7)
+        for _ in range(trials):
+            s = GraphSample()
+            for i in range(5):
+                s.add_edge(i, 100 + i)
+            evicted = s.evict_random_edge(rng)
+            counts[evicted[0]] += 1
+        for c in counts.values():
+            assert abs(c - trials / 5) < trials * 0.05
+
+    def test_index_consistent_after_mixed_mutations(self):
+        rng = random.Random(3)
+        s = GraphSample()
+        live = set()
+        for step in range(2000):
+            if live and rng.random() < 0.4:
+                edge = rng.choice(sorted(live))
+                s.remove_edge(*edge)
+                live.remove(edge)
+            elif live and rng.random() < 0.1:
+                evicted = s.evict_random_edge(rng)
+                live.remove(evicted)
+            else:
+                edge = (rng.randrange(50), 100 + rng.randrange(50))
+                if edge not in live:
+                    s.add_edge(*edge)
+                    live.add(edge)
+        assert set(s.edges()) == live
+        assert s.num_edges == len(live)
+
+
+class TestRecorder:
+    def test_recorder_sees_all_mutations(self):
+        events = []
+        s = GraphSample(recorder=lambda op, u, v: events.append((op, u, v)))
+        s.add_edge(1, 10)
+        s.remove_edge(1, 10)
+        assert events == [("+", 1, 10), ("-", 1, 10)]
+
+    def test_recorder_sees_eviction(self):
+        events = []
+        s = GraphSample(recorder=lambda op, u, v: events.append((op, u, v)))
+        s.add_edge(1, 10)
+        s.evict_random_edge(random.Random(0))
+        assert events[-1] == ("-", 1, 10)
+
+    def test_recorder_detachable(self):
+        events = []
+        s = GraphSample(recorder=lambda op, u, v: events.append(op))
+        s.add_edge(1, 10)
+        s.recorder = None
+        s.add_edge(2, 11)
+        assert events == ["+"]

@@ -1,0 +1,163 @@
+"""Unit tests for Random Pairing — including the uniformity property
+that distinguishes it from naive reservoir sampling under deletions."""
+
+import random
+from collections import Counter
+
+import pytest
+
+from repro.errors import SamplingError, StreamError
+from repro.sampling.random_pairing import RandomPairing
+from repro.types import deletion, insertion
+
+
+class TestBasics:
+    def test_budget_validation(self):
+        with pytest.raises(SamplingError):
+            RandomPairing(1)
+
+    def test_keeps_everything_below_budget(self):
+        rp = RandomPairing(10, random.Random(0))
+        for i in range(5):
+            rp.insert(i, 100 + i)
+        assert rp.sample.num_edges == 5
+        assert rp.num_live_edges == 5
+        assert rp.cb == 0 and rp.cg == 0
+
+    def test_sample_never_exceeds_budget(self):
+        rp = RandomPairing(8, random.Random(1))
+        for i in range(200):
+            rp.insert(i, 1000 + i)
+        assert rp.sample.num_edges == 8
+        assert rp.num_live_edges == 200
+
+    def test_delete_sampled_edge_bumps_cb(self):
+        rp = RandomPairing(10, random.Random(0))
+        rp.insert(1, 100)
+        rp.delete(1, 100)
+        assert rp.cb == 1 and rp.cg == 0
+        assert rp.sample.num_edges == 0
+        assert rp.num_live_edges == 0
+
+    def test_delete_unsampled_edge_bumps_cg(self):
+        rp = RandomPairing(2, random.Random(3))
+        for i in range(50):
+            rp.insert(i, 1000 + i)
+        unsampled = next(
+            (i, 1000 + i)
+            for i in range(50)
+            if not rp.sample.contains(i, 1000 + i)
+        )
+        rp.delete(*unsampled)
+        assert rp.cg == 1 and rp.cb == 0
+
+    def test_delete_with_no_live_edges_raises(self):
+        rp = RandomPairing(4, random.Random(0))
+        with pytest.raises(StreamError):
+            rp.delete(1, 2)
+
+    def test_compensation_decrements_on_insert(self):
+        rp = RandomPairing(10, random.Random(4))
+        rp.insert(1, 100)
+        rp.delete(1, 100)  # cb = 1
+        rp.insert(2, 101)  # must pair with the bad deletion
+        assert rp.cb + rp.cg == 0
+        assert rp.sample.contains(2, 101)  # cb/(cb+cg) = 1 -> always in
+
+    def test_process_dispatches(self):
+        rp = RandomPairing(10, random.Random(0))
+        rp.process(insertion(1, 100))
+        assert rp.num_live_edges == 1
+        rp.process(deletion(1, 100))
+        assert rp.num_live_edges == 0
+
+
+class TestDerivedQuantities:
+    def test_stream_size_with_pending(self):
+        rp = RandomPairing(10, random.Random(0))
+        for i in range(5):
+            rp.insert(i, 100 + i)
+        rp.delete(0, 100)
+        assert rp.stream_size_with_pending == 5  # 4 live + 1 pending
+
+    def test_effective_sample_bound(self):
+        rp = RandomPairing(3, random.Random(0))
+        rp.insert(1, 100)
+        assert rp.effective_sample_bound == 1
+        for i in range(2, 10):
+            rp.insert(i, 100 + i)
+        assert rp.effective_sample_bound == 3
+
+    def test_inclusion_probability_empty(self):
+        rp = RandomPairing(4, random.Random(0))
+        assert rp.inclusion_probability() == 0.0
+
+    def test_inclusion_probability_full(self):
+        rp = RandomPairing(4, random.Random(0))
+        for i in range(16):
+            rp.insert(i, 100 + i)
+        assert rp.inclusion_probability() == pytest.approx(0.25)
+
+
+class TestInvariantsUnderChurn:
+    def test_sample_subset_of_live_edges(self):
+        rng = random.Random(11)
+        rp = RandomPairing(6, rng)
+        live = set()
+        next_id = 0
+        for _ in range(3000):
+            if live and rng.random() < 0.45:
+                edge = rng.choice(sorted(live))
+                rp.delete(*edge)
+                live.remove(edge)
+            else:
+                edge = (next_id, 100000 + next_id)
+                next_id += 1
+                rp.insert(*edge)
+                live.add(edge)
+            assert rp.sample.num_edges <= rp.budget
+            assert rp.num_live_edges == len(live)
+            for e in rp.sample.edges():
+                assert e in live
+
+    def test_counters_never_negative(self):
+        rng = random.Random(13)
+        rp = RandomPairing(4, rng)
+        live = []
+        for i in range(2000):
+            if live and rng.random() < 0.5:
+                edge = live.pop(rng.randrange(len(live)))
+                rp.delete(*edge)
+            else:
+                edge = (i, 7000 + i)
+                rp.insert(*edge)
+                live.append(edge)
+            assert rp.cb >= 0
+            assert rp.cg >= 0
+
+
+class TestUniformity:
+    def test_uniform_under_deletions(self):
+        """The defining RP property: after a fully dynamic prefix, every
+        live edge is sampled with (approximately) equal probability."""
+        trials = 3000
+        k = 4
+        counts: Counter = Counter()
+        rng = random.Random(99)
+        # Workload: insert 12 edges, delete 4 of them, insert 4 more.
+        inserts_a = [(i, 100 + i) for i in range(12)]
+        deletes = inserts_a[2:6]
+        inserts_b = [(20 + i, 200 + i) for i in range(4)]
+        live_edges = [e for e in inserts_a if e not in deletes] + inserts_b
+        for _ in range(trials):
+            rp = RandomPairing(k, rng)
+            for e in inserts_a:
+                rp.insert(*e)
+            for e in deletes:
+                rp.delete(*e)
+            for e in inserts_b:
+                rp.insert(*e)
+            counts.update(rp.sample.edges())
+        expected = trials * k / len(live_edges)
+        for edge in live_edges:
+            assert abs(counts[edge] - expected) < expected * 0.2, edge

@@ -1,0 +1,68 @@
+"""Unit tests for classic reservoir sampling."""
+
+import random
+from collections import Counter
+
+import pytest
+
+from repro.errors import SamplingError
+from repro.sampling.reservoir import ReservoirSampler
+
+
+class TestBasics:
+    def test_invalid_capacity(self):
+        with pytest.raises(SamplingError):
+            ReservoirSampler(0)
+
+    def test_fills_up_to_capacity(self):
+        r = ReservoirSampler(3, random.Random(0))
+        for i in range(3):
+            assert r.offer(i) is None
+        assert sorted(r.items) == [0, 1, 2]
+        assert r.size == 3
+
+    def test_size_never_exceeds_capacity(self):
+        r = ReservoirSampler(5, random.Random(1))
+        for i in range(100):
+            r.offer(i)
+        assert len(r) == 5
+        assert r.num_seen == 100
+
+    def test_inclusion_probability(self):
+        r = ReservoirSampler(5, random.Random(1))
+        assert r.inclusion_probability == 0.0
+        for i in range(20):
+            r.offer(i)
+        assert r.inclusion_probability == pytest.approx(0.25)
+
+    def test_offer_reports_evicted_item(self):
+        r = ReservoirSampler(1, random.Random(2))
+        r.offer("a")
+        outcomes = set()
+        for i in range(50):
+            evicted = r.offer(i)
+            outcomes.add(evicted is not None)
+        assert outcomes == {True, False}
+
+
+class TestUniformity:
+    def test_each_item_equally_likely(self):
+        # Offer 20 items to a size-5 reservoir many times; each item
+        # should be retained ~25% of the time.
+        trials = 4000
+        counts = Counter()
+        rng = random.Random(42)
+        for _ in range(trials):
+            r = ReservoirSampler(5, rng)
+            for i in range(20):
+                r.offer(i)
+            counts.update(r.items)
+        expected = trials * 5 / 20
+        for i in range(20):
+            assert abs(counts[i] - expected) < expected * 0.15
+
+    def test_iteration(self):
+        r = ReservoirSampler(3, random.Random(0))
+        for i in range(3):
+            r.offer(i)
+        assert sorted(r) == [0, 1, 2]

@@ -1,0 +1,157 @@
+"""Tests for mid-stream budget shrinking (memory-adaptive sampling)."""
+
+import math
+import random
+from collections import Counter
+
+import pytest
+
+from repro.core.abacus import Abacus
+from repro.errors import SamplingError
+from repro.experiments.runner import ground_truth_final_count
+from repro.graph.generators import bipartite_erdos_renyi
+from repro.sampling.random_pairing import RandomPairing
+from repro.streams.dynamic import make_fully_dynamic, stream_from_edges
+from repro.types import insertion
+
+
+class TestShrinkMechanics:
+    def test_evicts_down_to_new_budget(self):
+        rp = RandomPairing(20, random.Random(0))
+        for i in range(30):
+            rp.insert(i, 100 + i)
+        assert rp.sample.num_edges == 20
+        evicted = rp.shrink_budget(8)
+        assert evicted == 12
+        assert rp.sample.num_edges == 8
+        assert rp.budget == 8
+
+    def test_shrink_below_fill_is_noop_eviction(self):
+        rp = RandomPairing(20, random.Random(1))
+        for i in range(5):
+            rp.insert(i, 100 + i)
+        evicted = rp.shrink_budget(10)
+        assert evicted == 0
+        assert rp.sample.num_edges == 5
+        assert rp.budget == 10
+
+    def test_refused_with_pending_deletions(self):
+        """Shrinking amid uncompensated deletions is unsound (the
+        counters' pairing semantics are tied to the old budget) and
+        must be refused."""
+        rp = RandomPairing(10, random.Random(2))
+        for i in range(15):
+            rp.insert(i, 100 + i)
+        for i in range(4):
+            rp.delete(i, 100 + i)
+        assert not rp.can_resize
+        with pytest.raises(SamplingError):
+            rp.shrink_budget(5)
+        # Compensating insertions restore the clean state.
+        for i in range(20, 30):
+            rp.insert(i, 200 + i)
+            if rp.can_resize:
+                break
+        assert rp.can_resize
+        rp.shrink_budget(5)
+        assert rp.budget == 5
+
+    def test_rejects_growth(self):
+        rp = RandomPairing(10, random.Random(3))
+        with pytest.raises(SamplingError):
+            rp.shrink_budget(11)
+
+    def test_rejects_tiny_budget(self):
+        rp = RandomPairing(10, random.Random(4))
+        with pytest.raises(SamplingError):
+            rp.shrink_budget(1)
+
+    def test_sample_stays_subset_of_live(self):
+        rng = random.Random(5)
+        rp = RandomPairing(30, random.Random(6))
+        live = set()
+        for i in range(60):
+            rp.insert(i, 100 + i % 13)
+            live.add((i, 100 + i % 13))
+        rp.shrink_budget(10)
+        assert set(rp.sample.edges()) <= live
+
+
+class TestShrinkUniformity:
+    def test_post_shrink_sample_is_uniform(self):
+        """Each live edge should survive shrinking with roughly equal
+        frequency across many independent runs."""
+        n = 40
+        target = 10
+        hits = Counter()
+        trials = 3000
+        for t in range(trials):
+            rp = RandomPairing(n, random.Random(t))
+            for i in range(n):
+                rp.insert(i, 100 + i)
+            rp.shrink_budget(target)
+            for edge in rp.sample.edges():
+                hits[edge] += 1
+        expected = trials * target / n
+        for i in range(n):
+            observed = hits[(i, 100 + i)]
+            # 5-sigma binomial tolerance.
+            sigma = math.sqrt(
+                trials * (target / n) * (1 - target / n)
+            )
+            assert abs(observed - expected) < 5 * sigma, (i, observed)
+
+
+class TestAbacusShrink:
+    def test_estimate_survives_shrink(self):
+        est = Abacus(budget=100, seed=7)
+        for element in [
+            insertion("u", "v"),
+            insertion("u", "w"),
+            insertion("x", "v"),
+            insertion("x", "w"),
+        ]:
+            est.process(element)
+        before = est.estimate
+        est.shrink_budget(50)
+        assert est.estimate == before
+        assert est.budget == 50
+
+    def test_unbiased_across_a_shrink(self):
+        """Shrinking mid-stream must not bias the final estimate."""
+        rng = random.Random(8)
+        edges = bipartite_erdos_renyi(40, 40, 500, rng)
+        stream = make_fully_dynamic(edges, 0.2, random.Random(9))
+        truth = ground_truth_final_count(stream)
+        assert truth > 0
+        half = len(stream) // 2
+        estimates = []
+        for trial in range(250):
+            est = Abacus(budget=150, seed=5000 + trial)
+            shrunk = False
+            for index, element in enumerate(stream):
+                est.process(element)
+                # Shrink at the first clean point past the midpoint.
+                if not shrunk and index >= half and est.can_resize:
+                    est.shrink_budget(75)
+                    shrunk = True
+            assert shrunk
+            estimates.append(est.estimate)
+        n = len(estimates)
+        mean = sum(estimates) / n
+        variance = sum((v - mean) ** 2 for v in estimates) / (n - 1)
+        se = math.sqrt(variance / n)
+        assert abs(mean - truth) < 4 * max(se, 1e-12), (mean, truth, se)
+
+    def test_shrunk_estimator_keeps_working(self):
+        rng = random.Random(10)
+        edges = bipartite_erdos_renyi(30, 30, 300, rng)
+        stream = stream_from_edges(edges)
+        est = Abacus(budget=120, seed=11)
+        for element in stream[:150]:
+            est.process(element)
+        est.shrink_budget(40)
+        for element in stream[150:]:
+            est.process(element)
+        assert est.memory_edges <= 40
+        assert est.estimate > 0

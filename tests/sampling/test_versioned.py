@@ -1,0 +1,153 @@
+"""Unit tests for the delta-coded versioned sample."""
+
+import random
+
+import pytest
+
+from repro.errors import SamplingError
+from repro.sampling.adjacency_sample import GraphSample
+from repro.sampling.random_pairing import RandomPairing
+from repro.sampling.versioned import VersionedGraphSample
+from repro.types import deletion, insertion
+
+
+def _replay_with_snapshots(budget, elements, seed):
+    """Reference: replay through RP, snapshotting full adjacency sets."""
+    rp = RandomPairing(budget, random.Random(seed))
+    snapshots = []
+    for element in elements:
+        snapshot = {
+            v: set(rp.sample.neighbors(v))
+            for e in rp.sample.edges()
+            for v in e
+        }
+        snapshots.append(
+            (snapshot, (rp.num_live_edges, rp.cb, rp.cg))
+        )
+        rp.process(element)
+    return snapshots
+
+
+class TestLifecycle:
+    def test_double_begin_raises(self):
+        v = VersionedGraphSample(GraphSample())
+        v.begin_batch()
+        with pytest.raises(SamplingError):
+            v.begin_batch()
+
+    def test_end_without_begin_raises(self):
+        v = VersionedGraphSample(GraphSample())
+        with pytest.raises(SamplingError):
+            v.end_batch()
+
+    def test_note_outside_batch_raises(self):
+        v = VersionedGraphSample(GraphSample())
+        with pytest.raises(SamplingError):
+            v.note_element_state(0, 0, 0)
+
+    def test_end_batch_reports_version_count(self):
+        sample = GraphSample()
+        v = VersionedGraphSample(sample)
+        rp = RandomPairing(10, random.Random(0), sample=sample)
+        v.begin_batch()
+        for i in range(5):
+            v.note_element_state(rp.num_live_edges, rp.cb, rp.cg)
+            rp.insert(i, 100 + i)
+        assert v.end_batch() == 5
+        assert v.num_versions == 5
+
+
+class TestVersionQueries:
+    def test_version_zero_is_prebatch_state(self):
+        sample = GraphSample()
+        sample.add_edge(1, 10)  # pre-batch edge
+        v = VersionedGraphSample(sample)
+        rp = RandomPairing(10, random.Random(0), sample=sample)
+        rp.num_live_edges = 1
+        v.begin_batch()
+        v.note_element_state(rp.num_live_edges, rp.cb, rp.cg)
+        rp.insert(2, 10)
+        v.end_batch()
+        # Version 0 must not see the in-batch edge.
+        assert v.neighbors_at(10, 0) == {1}
+        assert v.degree_at(10, 0) == 1
+
+    def test_later_versions_see_updates(self):
+        sample = GraphSample()
+        v = VersionedGraphSample(sample)
+        rp = RandomPairing(10, random.Random(0), sample=sample)
+        v.begin_batch()
+        for i, el in enumerate(
+            [insertion(1, 10), insertion(2, 10), deletion(1, 10)]
+        ):
+            v.note_element_state(rp.num_live_edges, rp.cb, rp.cg)
+            rp.process(el)
+        v.end_batch()
+        assert v.neighbors_at(10, 0) == set()
+        assert v.neighbors_at(10, 1) == {1}
+        assert v.neighbors_at(10, 2) == {1, 2}
+        # Live (post-batch) state reflects the deletion.
+        assert set(sample.neighbors(10)) == {2}
+
+    def test_matches_full_snapshots_under_churn(self):
+        rng = random.Random(21)
+        elements = []
+        live = []
+        for i in range(300):
+            if live and rng.random() < 0.35:
+                edge = live.pop(rng.randrange(len(live)))
+                elements.append(deletion(*edge))
+            else:
+                edge = (i, 5000 + i % 37)
+                if any(e.edge == edge for e in elements):
+                    edge = (i, 6000 + i)
+                elements.append(insertion(*edge))
+                live.append(edge)
+        # Deduplicate possible collisions defensively.
+        from repro.streams.dynamic import validate_stream
+
+        validate_stream(elements)
+
+        seed = 5
+        snapshots = _replay_with_snapshots(12, elements, seed)
+
+        sample = GraphSample()
+        v = VersionedGraphSample(sample)
+        rp = RandomPairing(12, random.Random(seed), sample=sample)
+        v.begin_batch()
+        for element in elements:
+            v.note_element_state(rp.num_live_edges, rp.cb, rp.cg)
+            rp.process(element)
+        v.end_batch()
+
+        for version, (snapshot, triplet) in enumerate(snapshots):
+            assert v.triplet(version) == triplet
+            for vertex, neighbours in snapshot.items():
+                assert v.neighbors_at(vertex, version) == neighbours
+
+    def test_degree_sum_at(self):
+        sample = GraphSample()
+        v = VersionedGraphSample(sample)
+        rp = RandomPairing(10, random.Random(0), sample=sample)
+        v.begin_batch()
+        for el in [insertion(1, 10), insertion(2, 10), insertion(1, 11)]:
+            v.note_element_state(rp.num_live_edges, rp.cb, rp.cg)
+            rp.process(el)
+        v.end_batch()
+        # At version 2: edges (1,10), (2,10) exist.
+        assert v.degree_sum_at([1, 2], 2) == 2
+        assert v.degree_sum_at([10], 2) == 2
+
+    def test_delta_count_bounded_by_batch_mutations(self):
+        sample = GraphSample()
+        v = VersionedGraphSample(sample)
+        rp = RandomPairing(4, random.Random(1), sample=sample)
+        v.begin_batch()
+        m = 50
+        for i in range(m):
+            v.note_element_state(rp.num_live_edges, rp.cb, rp.cg)
+            rp.insert(i, 900 + i)
+        v.end_batch()
+        # Each element triggers at most one eviction + one insertion,
+        # each touching two vertices -> <= 4M delta entries (Theorem 7).
+        assert v.delta_count() <= 4 * m

@@ -1,0 +1,86 @@
+"""Unit tests for the AMS / tug-of-war sketch."""
+
+import random
+from collections import Counter
+
+import pytest
+
+from repro.errors import SamplingError
+from repro.sketch.ams import AmsSketch
+
+
+def _true_f2(frequencies: Counter) -> float:
+    return float(sum(f * f for f in frequencies.values()))
+
+
+class TestConstruction:
+    def test_invalid_dimensions(self):
+        with pytest.raises(SamplingError):
+            AmsSketch(width=0)
+        with pytest.raises(SamplingError):
+            AmsSketch(width=8, depth=0)
+
+    def test_num_counters(self):
+        assert AmsSketch(width=64, depth=5).num_counters == 320
+
+
+class TestF2Estimation:
+    def test_empty_sketch_estimates_zero(self):
+        assert AmsSketch(width=32, rng=random.Random(0)).estimate_f2() == 0.0
+
+    def test_single_heavy_key(self):
+        sketch = AmsSketch(width=256, depth=7, rng=random.Random(1))
+        for _ in range(100):
+            sketch.update(42)
+        assert sketch.estimate_f2() == pytest.approx(10000, rel=0.2)
+
+    def test_multiple_keys_reasonable_accuracy(self):
+        rng = random.Random(2)
+        frequencies = Counter()
+        sketch = AmsSketch(width=512, depth=7, rng=rng)
+        for _ in range(5000):
+            key = rng.randrange(200)
+            frequencies[key] += 1
+            sketch.update(key)
+        truth = _true_f2(frequencies)
+        assert sketch.estimate_f2() == pytest.approx(truth, rel=0.35)
+
+    def test_weighted_updates(self):
+        sketch = AmsSketch(width=128, depth=7, rng=random.Random(3))
+        sketch.update(1, delta=10.0)
+        assert sketch.estimate_f2() == pytest.approx(100.0)
+
+    def test_clear(self):
+        sketch = AmsSketch(width=32, rng=random.Random(4))
+        sketch.update(5)
+        sketch.clear()
+        assert sketch.estimate_f2() == 0.0
+
+
+class TestPointEstimate:
+    def test_exact_for_single_key(self):
+        sketch = AmsSketch(width=64, depth=5, rng=random.Random(5))
+        for _ in range(7):
+            sketch.update(99)
+        assert sketch.point_estimate(99) == pytest.approx(7.0)
+
+    def test_absent_key_near_zero(self):
+        sketch = AmsSketch(width=256, depth=7, rng=random.Random(6))
+        for key in range(20):
+            sketch.update(key)
+        assert abs(sketch.point_estimate(10_000)) <= 2.0
+
+    def test_unbiased_over_instances(self):
+        # Average point estimate over many independent sketches should
+        # approach the true frequency despite collisions.
+        truth_key, truth_freq = 7, 5
+        total = 0.0
+        instances = 200
+        for seed in range(instances):
+            sketch = AmsSketch(width=16, depth=1, rng=random.Random(seed))
+            for key in range(30):
+                sketch.update(key)
+            for _ in range(truth_freq - 1):
+                sketch.update(truth_key)
+            total += sketch.point_estimate(truth_key)
+        assert total / instances == pytest.approx(truth_freq, abs=1.0)

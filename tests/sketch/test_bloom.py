@@ -1,0 +1,153 @@
+"""Unit tests for the Bloom filter variants."""
+
+import random
+
+import pytest
+
+from repro.errors import SamplingError
+from repro.sketch.bloom import (
+    BloomFilter,
+    CountingBloomFilter,
+    optimal_parameters,
+)
+
+
+class TestOptimalParameters:
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(SamplingError):
+            optimal_parameters(0, 0.01)
+        with pytest.raises(SamplingError):
+            optimal_parameters(100, 0.0)
+        with pytest.raises(SamplingError):
+            optimal_parameters(100, 1.0)
+
+    def test_standard_design_point(self):
+        # n=1000, p=1%: ~9.59 bits/key and ~7 hashes is the textbook
+        # answer.
+        bits, hashes = optimal_parameters(1000, 0.01)
+        assert 9000 <= bits <= 10000
+        assert hashes == 7
+
+    def test_lower_fp_rate_needs_more_bits(self):
+        loose, _ = optimal_parameters(1000, 0.05)
+        tight, _ = optimal_parameters(1000, 0.001)
+        assert tight > loose
+
+
+class TestBloomFilter:
+    def test_no_false_negatives(self):
+        rng = random.Random(0)
+        bloom = BloomFilter(capacity=500, fp_rate=0.01, rng=rng)
+        keys = [rng.randrange(10**9) for _ in range(500)]
+        for key in keys:
+            bloom.add(key)
+        assert all(key in bloom for key in keys)
+
+    def test_fp_rate_near_design_point(self):
+        rng = random.Random(1)
+        bloom = BloomFilter(capacity=2000, fp_rate=0.02, rng=rng)
+        for i in range(2000):
+            bloom.add(("in", i))
+        false_positives = sum(
+            1 for i in range(10000) if ("out", i) in bloom
+        )
+        assert false_positives / 10000 < 0.05  # 2.5x headroom
+
+    def test_empty_filter_contains_nothing(self):
+        bloom = BloomFilter(capacity=100, rng=random.Random(2))
+        assert "anything" not in bloom
+        assert bloom.fill_ratio() == 0.0
+        assert bloom.current_fp_rate() == 0.0
+
+    def test_might_contain_alias(self):
+        bloom = BloomFilter(capacity=100, rng=random.Random(3))
+        bloom.add("x")
+        assert bloom.might_contain("x")
+
+    def test_tuple_keys_work(self):
+        bloom = BloomFilter(capacity=100, rng=random.Random(4))
+        bloom.add((1, 2))
+        assert (1, 2) in bloom
+
+    def test_approximate_cardinality(self):
+        bloom = BloomFilter(
+            capacity=5000, fp_rate=0.01, rng=random.Random(5)
+        )
+        for i in range(3000):
+            bloom.add(i)
+        estimate = bloom.approximate_cardinality()
+        assert estimate == pytest.approx(3000, rel=0.1)
+
+    def test_union_contains_both_sides(self):
+        rng = random.Random(6)
+        a = BloomFilter(capacity=200, rng=rng)
+        b = BloomFilter.__new__(BloomFilter)
+        b.num_bits = a.num_bits
+        b.num_hashes = a.num_hashes
+        b._bits = 0
+        b._salts = list(a._salts)
+        b._num_added = 0
+        a.add("left")
+        b.add("right")
+        merged = a.union(b)
+        assert "left" in merged
+        assert "right" in merged
+        assert merged.num_added == 2
+
+    def test_union_requires_compatible_filters(self):
+        a = BloomFilter(capacity=100, rng=random.Random(7))
+        b = BloomFilter(capacity=100, rng=random.Random(8))
+        with pytest.raises(SamplingError):
+            a.union(b)
+
+    def test_num_added_counts_multiplicity(self):
+        bloom = BloomFilter(capacity=100, rng=random.Random(9))
+        bloom.add("x")
+        bloom.add("x")
+        assert bloom.num_added == 2
+
+
+class TestCountingBloomFilter:
+    def test_add_then_remove_round_trip(self):
+        cbf = CountingBloomFilter(capacity=100, rng=random.Random(10))
+        cbf.add("edge")
+        assert "edge" in cbf
+        cbf.remove("edge")
+        assert "edge" not in cbf
+
+    def test_multiplicity_respected(self):
+        cbf = CountingBloomFilter(capacity=100, rng=random.Random(11))
+        cbf.add("edge")
+        cbf.add("edge")
+        cbf.remove("edge")
+        assert "edge" in cbf  # one copy remains
+        cbf.remove("edge")
+        assert "edge" not in cbf
+
+    def test_remove_absent_key_raises(self):
+        cbf = CountingBloomFilter(capacity=100, rng=random.Random(12))
+        with pytest.raises(SamplingError):
+            cbf.remove("never-added")
+
+    def test_no_false_negatives_under_churn(self):
+        rng = random.Random(13)
+        cbf = CountingBloomFilter(
+            capacity=1000, fp_rate=0.01, rng=random.Random(14)
+        )
+        live = set()
+        for step in range(3000):
+            if live and rng.random() < 0.4:
+                key = rng.choice(sorted(live))
+                cbf.remove(key)
+                live.discard(key)
+            else:
+                key = rng.randrange(10**6)
+                if key not in live:
+                    cbf.add(key)
+                    live.add(key)
+        assert all(key in cbf for key in live)
+
+    def test_might_contain_alias(self):
+        cbf = CountingBloomFilter(capacity=50, rng=random.Random(15))
+        cbf.add(7)
+        assert cbf.might_contain(7)

@@ -1,0 +1,213 @@
+"""Unit tests for the Count-Min sketch and heavy-hitter tracker."""
+
+import random
+from collections import Counter
+
+import pytest
+
+from repro.errors import SamplingError
+from repro.sketch.countmin import CountMinSketch, HeavyHitterTracker
+
+
+class TestConstruction:
+    def test_invalid_dimensions(self):
+        with pytest.raises(SamplingError):
+            CountMinSketch(width=0)
+        with pytest.raises(SamplingError):
+            CountMinSketch(width=8, depth=0)
+
+    def test_from_error_bounds_dimensions(self):
+        sketch = CountMinSketch.from_error_bounds(epsilon=0.01, delta=0.01)
+        assert sketch.width >= 272  # ceil(e / 0.01)
+        assert sketch.depth >= 4  # ceil(ln 100)
+
+    def test_from_error_bounds_rejects_bad_inputs(self):
+        with pytest.raises(SamplingError):
+            CountMinSketch.from_error_bounds(epsilon=0.0, delta=0.5)
+        with pytest.raises(SamplingError):
+            CountMinSketch.from_error_bounds(epsilon=0.5, delta=1.5)
+
+    def test_num_counters(self):
+        assert CountMinSketch(width=64, depth=3).num_counters == 192
+
+
+class TestPointQueries:
+    def test_empty_sketch_estimates_zero(self):
+        sketch = CountMinSketch(width=32, rng=random.Random(0))
+        assert sketch.estimate("never-seen") == 0
+
+    def test_never_underestimates(self):
+        rng = random.Random(1)
+        sketch = CountMinSketch(width=64, depth=4, rng=rng)
+        truth = Counter()
+        for _ in range(2000):
+            key = rng.randrange(300)
+            truth[key] += 1
+            sketch.update(key)
+        for key, count in truth.items():
+            assert sketch.estimate(key) >= count
+
+    def test_exact_when_no_collisions(self):
+        sketch = CountMinSketch(width=4096, depth=5, rng=random.Random(2))
+        for key in range(10):
+            sketch.update(key, count=key + 1)
+        for key in range(10):
+            assert sketch.estimate(key) == key + 1
+
+    def test_weighted_update(self):
+        sketch = CountMinSketch(width=128, rng=random.Random(3))
+        sketch.update("x", count=42)
+        assert sketch.estimate("x") >= 42
+        assert sketch.total == 42
+
+    def test_zero_count_update_is_noop(self):
+        sketch = CountMinSketch(width=32, rng=random.Random(4))
+        sketch.update("x", count=0)
+        assert sketch.total == 0
+
+    def test_rejects_negative_counts(self):
+        sketch = CountMinSketch(width=32, rng=random.Random(5))
+        with pytest.raises(SamplingError):
+            sketch.update("x", count=-1)
+
+    def test_error_bound_holds_with_high_probability(self):
+        rng = random.Random(6)
+        sketch = CountMinSketch.from_error_bounds(
+            epsilon=0.02, delta=0.01, rng=rng
+        )
+        truth = Counter()
+        for _ in range(5000):
+            key = rng.randrange(1000)
+            truth[key] += 1
+            sketch.update(key)
+        budget = 0.02 * sketch.total
+        violations = sum(
+            1
+            for key, count in truth.items()
+            if sketch.estimate(key) > count + budget
+        )
+        # delta=1% per key; allow a small number of unlucky keys.
+        assert violations <= max(3, 0.02 * len(truth))
+
+
+class TestConservativeUpdate:
+    def test_conservative_never_underestimates(self):
+        rng = random.Random(7)
+        sketch = CountMinSketch(
+            width=64, depth=4, rng=rng, conservative=True
+        )
+        truth = Counter()
+        for _ in range(2000):
+            key = rng.randrange(300)
+            truth[key] += 1
+            sketch.update(key)
+        for key, count in truth.items():
+            assert sketch.estimate(key) >= count
+
+    def test_conservative_is_at_most_plain(self):
+        rng_keys = random.Random(8)
+        plain = CountMinSketch(width=32, depth=3, rng=random.Random(9))
+        conservative = plain.spawn_compatible()
+        conservative.conservative = True
+        keys = [rng_keys.randrange(200) for _ in range(3000)]
+        for key in keys:
+            plain.update(key)
+            conservative.update(key)
+        for key in set(keys):
+            assert conservative.estimate(key) <= plain.estimate(key)
+
+
+class TestMerge:
+    def test_merge_adds_counts(self):
+        base = CountMinSketch(width=64, depth=4, rng=random.Random(10))
+        other = base.spawn_compatible()
+        base.update("a", 5)
+        other.update("a", 7)
+        other.update("b", 2)
+        base.merge(other)
+        assert base.estimate("a") >= 12
+        assert base.estimate("b") >= 2
+        assert base.total == 14
+
+    def test_merge_requires_compatible_shapes(self):
+        a = CountMinSketch(width=64, rng=random.Random(11))
+        b = CountMinSketch(width=64, rng=random.Random(12))
+        with pytest.raises(SamplingError):
+            a.merge(b)  # same shape, different salts
+
+    def test_merge_rejects_conservative(self):
+        a = CountMinSketch(width=32, rng=random.Random(13))
+        b = a.spawn_compatible()
+        b.conservative = True
+        with pytest.raises(SamplingError):
+            a.merge(b)
+
+    def test_inner_product_upper_bounds_truth(self):
+        rng = random.Random(14)
+        a = CountMinSketch(width=256, depth=4, rng=rng)
+        b = a.spawn_compatible()
+        fa, fb = Counter(), Counter()
+        for _ in range(1000):
+            ka, kb = rng.randrange(50), rng.randrange(50)
+            fa[ka] += 1
+            fb[kb] += 1
+            a.update(ka)
+            b.update(kb)
+        truth = sum(fa[k] * fb[k] for k in fa)
+        assert a.inner_product(b) >= truth
+
+    def test_clear(self):
+        sketch = CountMinSketch(width=32, rng=random.Random(15))
+        sketch.update("x", 3)
+        sketch.clear()
+        assert sketch.estimate("x") == 0
+        assert sketch.total == 0
+
+
+class TestHeavyHitterTracker:
+    def test_rejects_bad_threshold(self):
+        with pytest.raises(SamplingError):
+            HeavyHitterTracker(threshold_fraction=0.0)
+        with pytest.raises(SamplingError):
+            HeavyHitterTracker(threshold_fraction=1.5)
+
+    def test_finds_planted_heavy_hitter(self):
+        rng = random.Random(16)
+        tracker = HeavyHitterTracker(
+            threshold_fraction=0.2, rng=random.Random(17)
+        )
+        for _ in range(500):
+            tracker.update("hub")
+        for _ in range(500):
+            tracker.update(rng.randrange(10000))
+        hitters = dict(tracker.heavy_hitters())
+        assert "hub" in hitters
+        assert hitters["hub"] >= 500
+
+    def test_light_keys_not_reported(self):
+        tracker = HeavyHitterTracker(
+            threshold_fraction=0.5, rng=random.Random(18)
+        )
+        for key in range(100):
+            tracker.update(key)
+        assert tracker.heavy_hitters() == []
+
+    def test_hitters_sorted_heaviest_first(self):
+        tracker = HeavyHitterTracker(
+            threshold_fraction=0.1, rng=random.Random(19)
+        )
+        for _ in range(60):
+            tracker.update("a")
+        for _ in range(40):
+            tracker.update("b")
+        hitters = tracker.heavy_hitters()
+        assert [key for key, _ in hitters] == ["a", "b"]
+
+    def test_estimate_uses_exact_candidate_counts(self):
+        tracker = HeavyHitterTracker(
+            threshold_fraction=0.01, rng=random.Random(20)
+        )
+        for _ in range(100):
+            tracker.update("hub")
+        assert tracker.estimate("hub") >= 100
+        assert tracker.total == 100

@@ -1,0 +1,148 @@
+"""Unit and property tests for the DGIM sliding-window counter."""
+
+import random
+from collections import deque
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SamplingError
+from repro.sketch.dgim import DeletionRateMonitor, DgimCounter
+from repro.types import deletion, insertion
+
+
+def _exact_window_count(events, window):
+    recent = events[-window:]
+    return sum(1 for e in recent if e)
+
+
+class TestConstruction:
+    def test_rejects_bad_window(self):
+        with pytest.raises(SamplingError):
+            DgimCounter(window=0)
+
+    def test_rejects_bad_bucket_count(self):
+        with pytest.raises(SamplingError):
+            DgimCounter(window=10, buckets_per_size=1)
+
+    def test_error_bound_formula(self):
+        assert DgimCounter(10, buckets_per_size=2).error_bound() == 0.5
+        assert DgimCounter(10, buckets_per_size=10).error_bound() == (
+            pytest.approx(0.1)
+        )
+
+
+class TestExactSmallCases:
+    def test_empty_counter(self):
+        counter = DgimCounter(window=10)
+        assert counter.estimate() == 0.0
+
+    def test_all_zeros(self):
+        counter = DgimCounter(window=10)
+        for _ in range(50):
+            counter.update(False)
+        assert counter.estimate() == 0.0
+
+    def test_single_event_in_window(self):
+        # A size-1 oldest bucket is exact (no halving).
+        counter = DgimCounter(window=10)
+        counter.update(True)
+        assert counter.estimate() == pytest.approx(1.0)
+
+    def test_event_expires(self):
+        counter = DgimCounter(window=5)
+        counter.update(True)
+        for _ in range(5):
+            counter.update(False)
+        assert counter.estimate() == 0.0
+
+    def test_estimate_tracks_burst(self):
+        counter = DgimCounter(window=100, buckets_per_size=8)
+        for _ in range(100):
+            counter.update(True)
+        truth = 100
+        assert counter.estimate() == pytest.approx(
+            truth, rel=counter.error_bound()
+        )
+
+
+class TestErrorBound:
+    @pytest.mark.parametrize("buckets_per_size", [2, 4, 8])
+    @pytest.mark.parametrize("density", [0.1, 0.5, 0.9])
+    def test_estimate_within_bound_random_streams(
+        self, buckets_per_size, density
+    ):
+        rng = random.Random(buckets_per_size * 10 + int(density * 10))
+        window = 200
+        counter = DgimCounter(window, buckets_per_size)
+        events = []
+        for step in range(2000):
+            event = rng.random() < density
+            events.append(event)
+            counter.update(event)
+            if step % 97 == 0:
+                truth = _exact_window_count(events, window)
+                if truth:
+                    error = abs(counter.estimate() - truth) / truth
+                    assert error <= counter.error_bound() + 1e-9
+
+    def test_memory_logarithmic(self):
+        counter = DgimCounter(window=10_000, buckets_per_size=2)
+        for _ in range(50_000):
+            counter.update(True)
+        # log2(10000) ~ 13.3 sizes, <= 3 buckets each before merge.
+        assert counter.num_buckets <= 45
+
+
+@given(
+    st.lists(st.booleans(), min_size=1, max_size=400),
+    st.integers(5, 80),
+    st.integers(2, 6),
+)
+@settings(max_examples=80, deadline=None)
+def test_dgim_property_error_bound(events, window, buckets_per_size):
+    counter = DgimCounter(window, buckets_per_size)
+    recent = deque(maxlen=window)
+    for event in events:
+        counter.update(event)
+        recent.append(event)
+    truth = sum(recent)
+    if truth == 0:
+        # No in-window event implies no bucket survives expiry.
+        assert counter.estimate() == 0.0
+    else:
+        error = abs(counter.estimate() - truth) / truth
+        assert error <= counter.error_bound() + 1e-9
+
+
+class TestDeletionRateMonitor:
+    def test_insert_only_ratio_zero(self):
+        monitor = DeletionRateMonitor(window=100)
+        for i in range(50):
+            monitor.observe(insertion(i, 100 + i))
+        assert monitor.deletion_ratio() == 0.0
+
+    def test_ratio_tracks_alpha(self):
+        rng = random.Random(3)
+        monitor = DeletionRateMonitor(window=500, buckets_per_size=16)
+        for i in range(5000):
+            if rng.random() < 0.25:
+                monitor.observe(deletion(i, 100))
+            else:
+                monitor.observe(insertion(i, 100))
+        assert monitor.deletion_ratio() == pytest.approx(0.25, abs=0.08)
+
+    def test_ratio_reacts_to_regime_change(self):
+        monitor = DeletionRateMonitor(window=200, buckets_per_size=8)
+        for i in range(400):
+            monitor.observe(insertion(i, 100))
+        quiet = monitor.deletion_ratio()
+        for i in range(200):
+            monitor.observe(deletion(i, 100))
+        stormy = monitor.deletion_ratio()
+        assert quiet == 0.0
+        assert stormy > 0.8
+
+    def test_empty_monitor(self):
+        assert DeletionRateMonitor(window=10).deletion_ratio() == 0.0

@@ -1,0 +1,47 @@
+"""Unit tests for the 4-universal hash family."""
+
+import random
+from collections import Counter
+
+from repro.sketch.hashing import FourWiseHash
+
+
+class TestFourWiseHash:
+    def test_deterministic(self):
+        h = FourWiseHash(random.Random(0))
+        assert h(12345) == h(12345)
+
+    def test_different_instances_differ(self):
+        h1 = FourWiseHash(random.Random(1))
+        h2 = FourWiseHash(random.Random(2))
+        values1 = [h1(i) for i in range(50)]
+        values2 = [h2(i) for i in range(50)]
+        assert values1 != values2
+
+    def test_sign_is_plus_minus_one(self):
+        h = FourWiseHash(random.Random(3))
+        signs = {h.sign(i) for i in range(100)}
+        assert signs == {-1, 1}
+
+    def test_signs_roughly_balanced(self):
+        h = FourWiseHash(random.Random(4))
+        positives = sum(1 for i in range(2000) if h.sign(i) == 1)
+        assert 800 < positives < 1200
+
+    def test_bucket_range(self):
+        h = FourWiseHash(random.Random(5))
+        for i in range(200):
+            assert 0 <= h.bucket(i, 16) < 16
+
+    def test_buckets_roughly_uniform(self):
+        h = FourWiseHash(random.Random(6))
+        counts = Counter(h.bucket(i, 8) for i in range(8000))
+        for bucket in range(8):
+            assert abs(counts[bucket] - 1000) < 200
+
+    def test_negative_and_huge_keys(self):
+        h = FourWiseHash(random.Random(7))
+        # Must not raise and must stay in field range.
+        for key in (-5, 0, 2**61 - 1, 2**64 + 17):
+            value = h(key)
+            assert 0 <= value < (1 << 61) - 1

@@ -1,0 +1,124 @@
+"""Unit tests for HyperLogLog and the stream cardinality tracker."""
+
+import random
+
+import pytest
+
+from repro.errors import SamplingError
+from repro.sketch.hyperloglog import HyperLogLog, StreamCardinalityTracker
+from repro.types import deletion, insertion
+
+
+class TestConstruction:
+    def test_precision_bounds(self):
+        with pytest.raises(SamplingError):
+            HyperLogLog(precision=3)
+        with pytest.raises(SamplingError):
+            HyperLogLog(precision=19)
+
+    def test_register_count(self):
+        assert HyperLogLog(precision=10).num_registers == 1024
+
+
+class TestCardinality:
+    def test_empty_counter_near_zero(self):
+        hll = HyperLogLog(precision=10, rng=random.Random(0))
+        assert hll.cardinality() == pytest.approx(0.0, abs=1.0)
+
+    def test_duplicates_do_not_inflate(self):
+        hll = HyperLogLog(precision=10, rng=random.Random(1))
+        for _ in range(1000):
+            hll.add("same-key")
+        assert hll.cardinality() == pytest.approx(1.0, abs=0.5)
+
+    def test_small_range_uses_linear_counting(self):
+        hll = HyperLogLog(precision=12, rng=random.Random(2))
+        for i in range(100):
+            hll.add(i)
+        assert hll.cardinality() == pytest.approx(100, rel=0.05)
+
+    @pytest.mark.parametrize("n", [1000, 20000])
+    def test_accuracy_within_error_budget(self, n):
+        hll = HyperLogLog(precision=12, rng=random.Random(3))
+        for i in range(n):
+            hll.add(i)
+        error = abs(hll.cardinality() - n) / n
+        assert error < 4 * hll.relative_error()
+
+    def test_relative_error_formula(self):
+        hll = HyperLogLog(precision=12)
+        assert hll.relative_error() == pytest.approx(1.04 / 64.0)
+
+    def test_clear(self):
+        hll = HyperLogLog(precision=8, rng=random.Random(4))
+        hll.add("x")
+        hll.clear()
+        assert hll.cardinality() == pytest.approx(0.0, abs=1.0)
+
+
+class TestMerge:
+    def test_merge_estimates_union(self):
+        base = HyperLogLog(precision=12, rng=random.Random(5))
+        other = base.spawn_compatible()
+        for i in range(5000):
+            base.add(("a", i))
+        for i in range(5000):
+            other.add(("b", i))
+        # 1000 shared keys.
+        for i in range(1000):
+            base.add(("shared", i))
+            other.add(("shared", i))
+        base.merge(other)
+        assert base.cardinality() == pytest.approx(11000, rel=0.1)
+
+    def test_merge_is_idempotent_for_same_counter(self):
+        base = HyperLogLog(precision=10, rng=random.Random(6))
+        for i in range(2000):
+            base.add(i)
+        before = base.cardinality()
+        clone = base.spawn_compatible()
+        clone.merge(base)
+        clone.merge(base)
+        assert clone.cardinality() == pytest.approx(before)
+
+    def test_merge_requires_same_salt(self):
+        a = HyperLogLog(precision=10, rng=random.Random(7))
+        b = HyperLogLog(precision=10, rng=random.Random(8))
+        with pytest.raises(SamplingError):
+            a.merge(b)
+
+    def test_merge_requires_same_precision(self):
+        a = HyperLogLog(precision=10, rng=random.Random(9))
+        b = HyperLogLog(precision=11, rng=random.Random(9))
+        with pytest.raises(SamplingError):
+            a.merge(b)
+
+
+class TestStreamCardinalityTracker:
+    def test_tracks_three_cardinalities(self):
+        tracker = StreamCardinalityTracker(
+            precision=12, rng=random.Random(10)
+        )
+        for u in range(200):
+            for v in range(20):
+                tracker.observe(insertion(u, 10**6 + v))
+        assert tracker.distinct_left() == pytest.approx(200, rel=0.1)
+        assert tracker.distinct_right() == pytest.approx(20, rel=0.25)
+        assert tracker.distinct_edges() == pytest.approx(4000, rel=0.1)
+
+    def test_deletions_are_ignored(self):
+        tracker = StreamCardinalityTracker(
+            precision=10, rng=random.Random(11)
+        )
+        tracker.observe(insertion(1, 2))
+        before = tracker.distinct_edges()
+        tracker.observe(deletion(1, 2))
+        assert tracker.distinct_edges() == before
+
+    def test_duplicate_edges_counted_once(self):
+        tracker = StreamCardinalityTracker(
+            precision=10, rng=random.Random(12)
+        )
+        for _ in range(50):
+            tracker.observe(insertion("u", "v"))
+        assert tracker.distinct_edges() == pytest.approx(1.0, abs=0.5)

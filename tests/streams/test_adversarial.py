@@ -1,0 +1,139 @@
+"""Unit tests for adversarial workload generators."""
+
+import random
+
+import pytest
+
+from repro.core.exact import ExactStreamingCounter
+from repro.errors import StreamError
+from repro.streams.adversarial import (
+    butterfly_bomb,
+    churn_stream,
+    deletion_storm,
+    hub_stream,
+)
+from repro.streams.dynamic import validate_stream
+from repro.types import Op
+
+
+class TestDeletionStorm:
+    def test_structure(self):
+        edges = [(i, 100 + i % 4) for i in range(20)]
+        stream = deletion_storm(
+            edges, storm_fraction=0.5, rng=random.Random(0)
+        )
+        assert stream.num_insertions == 20
+        assert stream.num_deletions == 10
+        # All deletions are at the tail.
+        ops = [e.op for e in stream]
+        first_delete = ops.index(Op.DELETE)
+        assert all(op is Op.DELETE for op in ops[first_delete:])
+
+    def test_contract_valid(self):
+        stream = deletion_storm(
+            [(i, i % 7) for i in range(50)],
+            storm_fraction=0.8,
+            rng=random.Random(1),
+        )
+        validate_stream(stream)
+
+    def test_full_storm_empties_graph(self):
+        stream = deletion_storm(
+            [(i, 0) for i in range(10)],
+            storm_fraction=1.0,
+            rng=random.Random(2),
+        )
+        _, final_edges = validate_stream(stream)
+        assert final_edges == 0
+
+    def test_rejects_bad_fraction(self):
+        with pytest.raises(StreamError):
+            deletion_storm([(1, 2)], storm_fraction=1.5)
+
+    def test_rejects_duplicate_edges(self):
+        with pytest.raises(StreamError):
+            deletion_storm([(1, 2), (1, 2)])
+
+
+class TestChurnStream:
+    def test_each_cycle_returns_to_zero(self):
+        edges = [(i, 100 + j) for i in range(3) for j in range(3)]
+        stream = churn_stream(edges, cycles=4)
+        _, final_edges = validate_stream(stream)
+        assert final_edges == 0
+        assert len(stream) == 2 * 4 * len(edges)
+
+    def test_true_count_zero_after_churn(self):
+        edges = [(i, 100 + j) for i in range(4) for j in range(4)]
+        oracle = ExactStreamingCounter()
+        oracle.process_stream(churn_stream(edges, cycles=3))
+        assert oracle.estimate == 0
+
+    def test_shuffled_deletions_still_valid(self):
+        edges = [(i, 50 + i % 5) for i in range(30)]
+        stream = churn_stream(edges, cycles=2, rng=random.Random(3))
+        validate_stream(stream)
+
+    def test_rejects_bad_cycles(self):
+        with pytest.raises(StreamError):
+            churn_stream([(1, 2)], cycles=0)
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(StreamError):
+            churn_stream([(1, 2), (1, 2)])
+
+
+class TestButterflyBomb:
+    def test_planted_count_formula(self):
+        _, planted = butterfly_bomb(4, 5)
+        assert planted == 6 * 10  # C(4,2) * C(5,2)
+
+    def test_exact_counter_sees_planted_butterflies(self):
+        stream, planted = butterfly_bomb(3, 3)
+        oracle = ExactStreamingCounter()
+        oracle.process_stream(stream)
+        assert oracle.estimate == planted == 9
+
+    def test_bomb_embedded_in_background(self):
+        background = [(f"bg{i}", f"bg_r{i}") for i in range(10)]
+        stream, planted = butterfly_bomb(
+            2, 2, background=background, bomb_position=5
+        )
+        assert len(stream) == 10 + 4
+        # Bomb edges occupy positions 5..8.
+        assert stream[5].u == "bomb_l0"
+        oracle = ExactStreamingCounter()
+        oracle.process_stream(stream)
+        assert oracle.estimate == planted == 1
+
+    def test_rejects_sub_biclique(self):
+        with pytest.raises(StreamError):
+            butterfly_bomb(1, 5)
+
+    def test_rejects_bad_position(self):
+        with pytest.raises(StreamError):
+            butterfly_bomb(2, 2, background=[("a", "b")], bomb_position=9)
+
+    def test_shuffled_bomb_same_count(self):
+        stream, planted = butterfly_bomb(3, 4, rng=random.Random(4))
+        oracle = ExactStreamingCounter()
+        oracle.process_stream(stream)
+        assert oracle.estimate == planted
+
+
+class TestHubStream:
+    def test_star_has_no_butterflies(self):
+        oracle = ExactStreamingCounter()
+        oracle.process_stream(hub_stream(100))
+        assert oracle.estimate == 0
+
+    def test_two_sided_star_still_butterfly_free(self):
+        stream = hub_stream(50, two_sided=True)
+        assert len(stream) == 100
+        oracle = ExactStreamingCounter()
+        oracle.process_stream(stream)
+        assert oracle.estimate == 0
+
+    def test_rejects_empty_star(self):
+        with pytest.raises(StreamError):
+            hub_stream(0)

@@ -1,0 +1,122 @@
+"""Unit tests for fully dynamic stream synthesis and validation."""
+
+import random
+
+import pytest
+
+from repro.errors import StreamError
+from repro.streams.dynamic import (
+    interleave_reinsertions,
+    make_fully_dynamic,
+    stream_from_edges,
+    validate_stream,
+)
+from repro.types import Op, deletion, insertion
+
+
+EDGES = [(i, 100 + (i % 13)) for i in range(50)]
+
+
+class TestMakeFullyDynamic:
+    def test_element_counts(self):
+        stream = make_fully_dynamic(EDGES, 0.2, random.Random(1))
+        assert stream.num_insertions == 50
+        assert stream.num_deletions == 10
+        assert len(stream) == 60
+
+    def test_alpha_zero_is_insert_only(self):
+        stream = make_fully_dynamic(EDGES, 0.0, random.Random(1))
+        assert stream.num_deletions == 0
+        assert len(stream) == 50
+
+    def test_alpha_one_deletes_everything(self):
+        stream = make_fully_dynamic(EDGES, 1.0, random.Random(1))
+        assert stream.num_deletions == 50
+        assert stream.final_num_edges == 0
+
+    def test_every_deletion_follows_its_insertion(self):
+        for seed in range(10):
+            stream = make_fully_dynamic(EDGES, 0.3, random.Random(seed))
+            seen = set()
+            for element in stream:
+                if element.op is Op.DELETE:
+                    assert element.edge in seen
+                else:
+                    seen.add(element.edge)
+
+    def test_contract_valid(self):
+        for seed in range(10):
+            stream = make_fully_dynamic(EDGES, 0.3, random.Random(seed))
+            validate_stream(stream)  # raises on violation
+
+    def test_insertions_keep_natural_order(self):
+        stream = make_fully_dynamic(EDGES, 0.25, random.Random(3))
+        inserted = [e.edge for e in stream if e.op is Op.INSERT]
+        assert inserted == EDGES
+
+    def test_invalid_alpha(self):
+        with pytest.raises(StreamError):
+            make_fully_dynamic(EDGES, 1.5)
+        with pytest.raises(StreamError):
+            make_fully_dynamic(EDGES, -0.1)
+
+    def test_duplicate_edges_rejected(self):
+        with pytest.raises(StreamError):
+            make_fully_dynamic([(1, 10), (1, 10)], 0.2)
+
+    def test_deterministic_given_seed(self):
+        s1 = make_fully_dynamic(EDGES, 0.2, random.Random(5))
+        s2 = make_fully_dynamic(EDGES, 0.2, random.Random(5))
+        assert list(s1) == list(s2)
+
+
+class TestStreamFromEdges:
+    def test_wraps_in_order(self):
+        stream = stream_from_edges(EDGES[:5])
+        assert [e.edge for e in stream] == EDGES[:5]
+        assert stream.num_deletions == 0
+
+
+class TestValidateStream:
+    def test_returns_max_and_final(self):
+        stream = [
+            insertion(1, 10),
+            insertion(2, 10),
+            deletion(1, 10),
+        ]
+        max_edges, final = validate_stream(stream)
+        assert max_edges == 2
+        assert final == 1
+
+    def test_duplicate_insert_rejected(self):
+        with pytest.raises(StreamError, match="insertion of live edge"):
+            validate_stream([insertion(1, 10), insertion(1, 10)])
+
+    def test_delete_absent_rejected(self):
+        with pytest.raises(StreamError, match="deletion of absent edge"):
+            validate_stream([deletion(1, 10)])
+
+    def test_reinsert_after_delete_is_legal(self):
+        validate_stream(
+            [insertion(1, 10), deletion(1, 10), insertion(1, 10)]
+        )
+
+
+class TestReinsertions:
+    def test_contract_valid(self):
+        for seed in range(5):
+            stream = interleave_reinsertions(
+                EDGES, alpha=0.4, reinsert_fraction=0.5, rng=random.Random(seed)
+            )
+            validate_stream(stream)
+
+    def test_more_elements_than_base(self):
+        base = make_fully_dynamic(EDGES, 0.4, random.Random(2))
+        augmented = interleave_reinsertions(
+            EDGES, alpha=0.4, reinsert_fraction=1.0, rng=random.Random(2)
+        )
+        assert len(augmented) > len(base)
+
+    def test_invalid_fraction(self):
+        with pytest.raises(StreamError):
+            interleave_reinsertions(EDGES, 0.2, reinsert_fraction=2.0)

@@ -1,0 +1,89 @@
+"""Unit tests for stream/graph file I/O."""
+
+import pytest
+
+from repro.errors import StreamError
+from repro.streams.io import load_konect, read_stream, write_stream
+from repro.types import deletion, insertion
+
+
+class TestStreamRoundTrip:
+    def test_write_then_read(self, tmp_path):
+        stream = [
+            insertion(1, 100),
+            deletion(1, 100),
+            insertion(2, 101),
+        ]
+        path = tmp_path / "stream.txt"
+        write_stream(stream, path)
+        loaded = read_stream(path)
+        assert list(loaded) == stream
+
+    def test_string_vertices_round_trip(self, tmp_path):
+        stream = [insertion("alice", "movie-1")]
+        path = tmp_path / "s.txt"
+        write_stream(stream, path)
+        assert list(read_stream(path)) == stream
+
+    def test_comments_and_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "s.txt"
+        path.write_text("# comment\n\n% другое\n+ 1 2\n")
+        loaded = read_stream(path)
+        assert len(loaded) == 1
+
+    def test_malformed_line_raises(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("+ 1\n")
+        with pytest.raises(StreamError, match="expected"):
+            read_stream(path)
+
+    def test_bad_op_symbol_raises(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("? 1 2\n")
+        with pytest.raises(StreamError):
+            read_stream(path)
+
+
+class TestKonectLoader:
+    def test_basic_load_with_offset(self, tmp_path):
+        path = tmp_path / "out.graph"
+        path.write_text("% konect header\n1 1\n1 2\n2 1\n")
+        edges = load_konect(path)
+        # right ids offset past max left id (2) -> 1+3=4 etc.
+        assert edges == [(1, 4), (1, 5), (2, 4)]
+        lefts = {u for u, _ in edges}
+        rights = {v for _, v in edges}
+        assert lefts.isdisjoint(rights)
+
+    def test_explicit_offset(self, tmp_path):
+        path = tmp_path / "out.graph"
+        path.write_text("1 1\n")
+        assert load_konect(path, right_offset=1000) == [(1, 1001)]
+
+    def test_deduplication(self, tmp_path):
+        path = tmp_path / "out.graph"
+        path.write_text("1 1\n1 1\n2 1\n")
+        assert len(load_konect(path)) == 2
+        assert len(load_konect(path, deduplicate=False)) == 3
+
+    def test_limit(self, tmp_path):
+        path = tmp_path / "out.graph"
+        path.write_text("1 1\n2 1\n3 1\n")
+        assert len(load_konect(path, limit=2)) == 2
+
+    def test_extra_columns_ignored(self, tmp_path):
+        path = tmp_path / "out.graph"
+        path.write_text("1 1 1.0 1234567890\n")
+        assert len(load_konect(path)) == 1
+
+    def test_non_integer_raises(self, tmp_path):
+        path = tmp_path / "out.graph"
+        path.write_text("a b\n")
+        with pytest.raises(StreamError):
+            load_konect(path)
+
+    def test_short_line_raises(self, tmp_path):
+        path = tmp_path / "out.graph"
+        path.write_text("42\n")
+        with pytest.raises(StreamError):
+            load_konect(path)

@@ -1,0 +1,62 @@
+"""Unit tests for mini-batching utilities."""
+
+import pytest
+
+from repro.errors import StreamError
+from repro.streams.minibatch import iter_minibatches, partition_round_robin
+from repro.types import insertion
+
+
+def _elements(n):
+    return [insertion(i, 1000 + i) for i in range(n)]
+
+
+class TestIterMinibatches:
+    def test_even_split(self):
+        batches = list(iter_minibatches(_elements(10), 5))
+        assert [len(b) for b in batches] == [5, 5]
+
+    def test_trailing_partial_batch(self):
+        batches = list(iter_minibatches(_elements(7), 3))
+        assert [len(b) for b in batches] == [3, 3, 1]
+
+    def test_batch_larger_than_stream(self):
+        batches = list(iter_minibatches(_elements(2), 100))
+        assert [len(b) for b in batches] == [2]
+
+    def test_empty_stream(self):
+        assert list(iter_minibatches([], 10)) == []
+
+    def test_preserves_order(self):
+        elements = _elements(9)
+        flattened = [
+            e for batch in iter_minibatches(elements, 4) for e in batch
+        ]
+        assert flattened == elements
+
+    def test_invalid_batch_size(self):
+        with pytest.raises(StreamError):
+            list(iter_minibatches(_elements(3), 0))
+
+
+class TestPartitionRoundRobin:
+    def test_near_equal_sizes(self):
+        chunks = partition_round_robin(list(range(10)), 3)
+        assert [len(c) for c in chunks] == [4, 3, 3]
+
+    def test_preserves_all_items_in_order(self):
+        items = list(range(17))
+        chunks = partition_round_robin(items, 5)
+        assert [x for c in chunks for x in c] == items
+
+    def test_more_parts_than_items(self):
+        chunks = partition_round_robin([1, 2], 4)
+        assert len(chunks) == 4
+        assert sum(len(c) for c in chunks) == 2
+
+    def test_single_part(self):
+        assert partition_round_robin([1, 2, 3], 1) == [[1, 2, 3]]
+
+    def test_invalid_parts(self):
+        with pytest.raises(StreamError):
+            partition_round_robin([1], 0)

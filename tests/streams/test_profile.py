@@ -1,0 +1,96 @@
+"""Unit tests for the one-pass stream profiler."""
+
+import random
+
+import pytest
+
+from repro.graph.generators import bipartite_chung_lu
+from repro.streams.dynamic import make_fully_dynamic
+from repro.streams.profile import StreamProfiler
+from repro.types import deletion, insertion
+
+
+class TestCounts:
+    def test_empty_profile(self):
+        profile = StreamProfiler(rng=random.Random(0)).profile()
+        assert profile.elements == 0
+        assert profile.deletion_ratio == 0.0
+        assert profile.average_left_degree == 0.0
+
+    def test_basic_tallies(self):
+        profiler = StreamProfiler(rng=random.Random(1))
+        profiler.observe(insertion("a", "x"))
+        profiler.observe(insertion("b", "x"))
+        profiler.observe(deletion("a", "x"))
+        profile = profiler.profile()
+        assert profile.elements == 3
+        assert profile.insertions == 2
+        assert profile.deletions == 1
+        assert profile.live_edges == 1
+        assert profile.peak_live_edges == 2
+        assert profile.deletion_ratio == pytest.approx(1 / 3)
+
+    def test_live_edges_match_stream_accounting(self):
+        edges = bipartite_chung_lu(200, 100, 2000, rng=random.Random(2))
+        stream = make_fully_dynamic(edges, 0.3, random.Random(3))
+        profile = StreamProfiler(rng=random.Random(4)).observe_stream(
+            stream
+        )
+        assert profile.live_edges == stream.final_num_edges
+        assert profile.elements == len(stream)
+
+
+class TestCardinalities:
+    def test_distinct_estimates_close(self):
+        profiler = StreamProfiler(rng=random.Random(5))
+        for u in range(300):
+            for v in range(10):
+                profiler.observe(insertion(u, 10_000 + (u * 7 + v) % 500))
+        profile = profiler.profile()
+        assert profile.distinct_left == pytest.approx(300, rel=0.1)
+        assert profile.distinct_right == pytest.approx(500, rel=0.1)
+
+    def test_average_degrees(self):
+        profiler = StreamProfiler(rng=random.Random(6))
+        for u in range(50):
+            for v in range(4):
+                profiler.observe(insertion(u, 1000 + u * 4 + v))
+        profile = profiler.profile()
+        assert profile.average_left_degree == pytest.approx(4.0, rel=0.1)
+        assert profile.average_right_degree == pytest.approx(
+            1.0, rel=0.1
+        )
+
+
+class TestHubs:
+    def test_planted_hub_found(self):
+        profiler = StreamProfiler(
+            hub_fraction=0.2, rng=random.Random(7)
+        )
+        for v in range(100):
+            profiler.observe(insertion("hub", 1000 + v))
+        for i in range(50):
+            profiler.observe(insertion(f"leaf{i}", 2000 + i))
+        profile = profiler.profile()
+        top = dict(profile.top_left)
+        assert "hub" in top
+        assert top["hub"] >= 100
+
+    def test_top_k_truncates(self):
+        profiler = StreamProfiler(
+            hub_fraction=0.001, top_k=2, rng=random.Random(8)
+        )
+        for u in range(10):
+            for v in range(5):
+                profiler.observe(insertion(u, 100 + v))
+        assert len(profiler.profile().top_left) <= 2
+
+
+class TestRender:
+    def test_render_contains_key_lines(self):
+        profiler = StreamProfiler(rng=random.Random(9))
+        profiler.observe(insertion("a", "x"))
+        text = profiler.profile().render()
+        assert "elements" in text
+        assert "live edges at end" in text
+        assert "distinct left" in text

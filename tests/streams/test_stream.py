@@ -1,0 +1,88 @@
+"""Unit tests for the EdgeStream container."""
+
+import pytest
+
+from repro.errors import StreamError
+from repro.streams.stream import EdgeStream
+from repro.types import Op, deletion, insertion
+
+
+def _toy_stream():
+    return EdgeStream(
+        [
+            insertion(1, 10),
+            insertion(2, 10),
+            deletion(1, 10),
+            insertion(1, 11),
+        ]
+    )
+
+
+class TestBasics:
+    def test_len_and_counts(self):
+        s = _toy_stream()
+        assert len(s) == 4
+        assert s.num_insertions == 3
+        assert s.num_deletions == 1
+
+    def test_deletion_ratio(self):
+        assert _toy_stream().deletion_ratio == pytest.approx(0.25)
+        assert EdgeStream([]).deletion_ratio == 0.0
+
+    def test_final_num_edges(self):
+        assert _toy_stream().final_num_edges == 2
+
+    def test_indexing(self):
+        s = _toy_stream()
+        assert s[0] == insertion(1, 10)
+        assert s[-1] == insertion(1, 11)
+
+    def test_slicing_returns_stream(self):
+        s = _toy_stream()[:2]
+        assert isinstance(s, EdgeStream)
+        assert len(s) == 2
+        assert s.num_deletions == 0
+
+    def test_iteration_order(self):
+        s = _toy_stream()
+        assert [e.op for e in s] == [
+            Op.INSERT,
+            Op.INSERT,
+            Op.DELETE,
+            Op.INSERT,
+        ]
+
+
+class TestDerivedStreams:
+    def test_prefix(self):
+        s = _toy_stream()
+        assert len(s.prefix(3)) == 3
+        assert s.prefix(0).num_insertions == 0
+
+    def test_prefix_negative_raises(self):
+        with pytest.raises(StreamError):
+            _toy_stream().prefix(-1)
+
+    def test_insertions_only(self):
+        s = _toy_stream().insertions_only()
+        assert s.num_deletions == 0
+        assert len(s) == 3
+
+
+class TestCheckpoints:
+    def test_ten_parts(self):
+        s = EdgeStream([insertion(i, 1000 + i) for i in range(100)])
+        marks = s.checkpoints(10)
+        assert len(marks) == 10
+        assert marks[-1] == 100
+        assert marks == sorted(marks)
+
+    def test_parts_larger_than_stream(self):
+        s = EdgeStream([insertion(1, 10)])
+        marks = s.checkpoints(4)
+        assert all(m >= 1 for m in marks)
+        assert marks[-1] == 1
+
+    def test_invalid_parts(self):
+        with pytest.raises(StreamError):
+            _toy_stream().checkpoints(0)

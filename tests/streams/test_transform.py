@@ -1,0 +1,201 @@
+"""Unit tests for stream transformations."""
+
+import random
+
+import pytest
+
+from repro.errors import StreamError
+from repro.streams.dynamic import make_fully_dynamic, validate_stream
+from repro.streams.stream import EdgeStream
+from repro.streams.transform import (
+    deletion_tail,
+    inverse,
+    merged,
+    relabeled,
+    sanitized,
+    suspicious_elements,
+)
+from repro.types import deletion, insertion
+
+
+def _dirty_stream():
+    """Two violations: duplicate insertion (idx 1), absent delete (idx 4)."""
+    return EdgeStream(
+        [
+            insertion("a", "x"),
+            insertion("a", "x"),  # duplicate
+            insertion("b", "x"),
+            deletion("a", "x"),
+            deletion("a", "x"),  # already gone
+            insertion("a", "y"),
+        ]
+    )
+
+
+class TestSanitized:
+    def test_clean_stream_untouched(self):
+        stream = make_fully_dynamic(
+            [(i, 100 + i % 7) for i in range(30)],
+            alpha=0.2,
+            rng=random.Random(0),
+        )
+        clean, report = sanitized(stream)
+        assert report.dropped == 0
+        assert report.kept == len(stream)
+        assert list(clean) == list(stream)
+
+    def test_violations_dropped_and_reported(self):
+        clean, report = sanitized(_dirty_stream())
+        assert report.duplicate_insertions == 1
+        assert report.absent_deletions == 1
+        assert report.dropped_indices == [1, 4]
+        assert report.kept == 4
+        validate_stream(clean)  # output is contract-valid
+
+    def test_output_always_validates(self):
+        rng = random.Random(1)
+        # A deliberately chaotic stream.
+        elements = []
+        for _ in range(300):
+            u, v = rng.randrange(5), rng.randrange(5)
+            op = insertion if rng.random() < 0.6 else deletion
+            elements.append(op(u, 100 + v))
+        clean, _ = sanitized(EdgeStream(elements))
+        validate_stream(clean)
+
+
+class TestSuspiciousElements:
+    def test_all_real_violations_flagged(self):
+        flagged = suspicious_elements(
+            _dirty_stream(), capacity=100, rng=random.Random(2)
+        )
+        assert 1 in flagged
+        assert 4 in flagged
+
+    def test_clean_stream_rarely_flagged(self):
+        stream = make_fully_dynamic(
+            [(i, 1000 + i) for i in range(500)],
+            alpha=0.2,
+            rng=random.Random(3),
+        )
+        flagged = suspicious_elements(
+            stream, capacity=1000, fp_rate=0.001, rng=random.Random(4)
+        )
+        # Only Bloom false positives may be flagged; at 0.1% design FP
+        # rate a handful at most.
+        assert len(flagged) <= 5
+
+
+class TestRelabeled:
+    def test_dense_integer_labels(self):
+        stream = EdgeStream(
+            [insertion("alice", "matrix"), insertion("bob", "matrix")]
+        )
+        dense, left_map, right_map = relabeled(stream)
+        assert left_map == {"alice": 0, "bob": 1}
+        assert right_map == {"matrix": 0}
+        assert [(e.u, e.v) for e in dense] == [(0, 0), (1, 0)]
+
+    def test_ops_preserved(self):
+        stream = EdgeStream([insertion("a", "x"), deletion("a", "x")])
+        dense, _, _ = relabeled(stream)
+        assert dense[0].is_insertion
+        assert dense[1].is_deletion
+
+    def test_sides_are_independent_namespaces(self):
+        stream = EdgeStream([insertion("same", "same")])
+        dense, left_map, right_map = relabeled(stream)
+        assert left_map["same"] == 0
+        assert right_map["same"] == 0
+        assert dense[0].edge == (0, 0)
+
+    def test_contract_validity_preserved(self):
+        stream = make_fully_dynamic(
+            [(f"u{i}", f"v{i % 5}") for i in range(40)],
+            alpha=0.3,
+            rng=random.Random(5),
+        )
+        dense, _, _ = relabeled(stream)
+        validate_stream(dense)
+
+
+class TestMerged:
+    def test_round_robin_preserves_order(self):
+        a = EdgeStream([insertion("a1", "x"), insertion("a2", "x")])
+        b = EdgeStream([insertion("b1", "y")])
+        out = merged([a, b])
+        labels = [e.u for e in out]
+        assert labels == [(0, "a1"), (1, "b1"), (0, "a2")]
+
+    def test_namespacing_prevents_collisions(self):
+        a = EdgeStream([insertion("u", "v")])
+        b = EdgeStream([insertion("u", "v")])
+        out = merged([a, b])
+        validate_stream(out)  # without namespacing this would raise
+
+    def test_merge_without_namespace_keeps_vertices(self):
+        a = EdgeStream([insertion("u", "v")])
+        out = merged([a], namespace=False)
+        assert out[0].edge == ("u", "v")
+
+    def test_random_merge_is_contract_valid(self):
+        rng = random.Random(6)
+        parts = [
+            make_fully_dynamic(
+                [(i, 50 + (i * 3 + p) % 11) for i in range(25)],
+                alpha=0.2,
+                rng=random.Random(100 + p),
+            )
+            for p in range(3)
+        ]
+        out = merged(parts, rng=rng)
+        assert len(out) == sum(len(p) for p in parts)
+        validate_stream(out)
+
+    def test_random_merge_preserves_per_stream_order(self):
+        a = EdgeStream([insertion(f"a{i}", "x") for i in range(10)])
+        b = EdgeStream([insertion(f"b{i}", "y") for i in range(10)])
+        out = merged([a, b], rng=random.Random(7))
+        a_order = [e.u[1] for e in out if e.u[0] == 0]
+        assert a_order == [f"a{i}" for i in range(10)]
+
+
+class TestInverse:
+    def test_stream_plus_inverse_is_empty(self):
+        stream = make_fully_dynamic(
+            [(i, 10 + i % 3) for i in range(20)],
+            alpha=0.25,
+            rng=random.Random(8),
+        )
+        combined = EdgeStream(list(stream) + list(inverse(stream)))
+        max_edges, final_edges = validate_stream(combined)
+        assert final_edges == 0
+        assert max_edges >= 1
+
+    def test_inverse_flips_and_reverses(self):
+        stream = EdgeStream([insertion("a", "x"), deletion("a", "x")])
+        inv = inverse(stream)
+        assert inv[0] == insertion("a", "x")
+        assert inv[1] == deletion("a", "x")
+
+
+class TestDeletionTail:
+    def test_tail_drains_graph(self):
+        stream = make_fully_dynamic(
+            [(i, 7) for i in range(10)], alpha=0.0
+        )
+        drained = deletion_tail(stream)
+        _, final_edges = validate_stream(drained)
+        assert final_edges == 0
+        assert len(drained) == 20
+
+    def test_already_empty_stream_untouched(self):
+        stream = EdgeStream([insertion("a", "x"), deletion("a", "x")])
+        drained = deletion_tail(stream)
+        assert len(drained) == 2
+
+    def test_invalid_input_raises(self):
+        with pytest.raises(StreamError):
+            deletion_tail(
+                EdgeStream([deletion("ghost", "edge")])
+            )

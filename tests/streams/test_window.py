@@ -1,0 +1,105 @@
+"""Unit tests for the sliding-window stream adapter."""
+
+import random
+
+import pytest
+
+from repro.core.abacus import Abacus
+from repro.core.exact import ExactStreamingCounter
+from repro.errors import StreamError
+from repro.graph.bipartite import BipartiteGraph
+from repro.graph.butterflies import count_butterflies
+from repro.streams.dynamic import validate_stream
+from repro.streams.window import (
+    expired_edges,
+    sliding_window_stream,
+    window_deletion_ratio,
+    windowed_counts,
+)
+from repro.types import Op
+
+
+EDGES = [(i % 9, 100 + i // 9) for i in range(63)]  # K_{9,7} in order
+
+
+class TestSlidingWindowStream:
+    def test_invalid_window(self):
+        with pytest.raises(StreamError):
+            list(sliding_window_stream(EDGES, 0))
+
+    def test_contract_valid(self):
+        stream = list(sliding_window_stream(EDGES, 10))
+        validate_stream(stream)
+
+    def test_live_set_is_last_w_edges(self):
+        window = 10
+        live = set()
+        insertions_seen = []
+        for element in sliding_window_stream(EDGES, window):
+            if element.op is Op.INSERT:
+                live.add(element.edge)
+                insertions_seen.append(element.edge)
+                # Right after each insertion, the live set is exactly
+                # the most recent `window` insertions.
+                assert live == set(insertions_seen[-window:])
+            else:
+                live.remove(element.edge)
+            assert len(live) <= window
+        assert live == set(EDGES[-window:])
+
+    def test_window_larger_than_stream_no_deletions(self):
+        stream = list(sliding_window_stream(EDGES, 1000))
+        assert all(e.op is Op.INSERT for e in stream)
+
+    def test_element_count(self):
+        window = 10
+        stream = list(sliding_window_stream(EDGES, window))
+        expected = len(EDGES) + max(0, len(EDGES) - window)
+        assert len(stream) == expected
+
+    def test_reinsertion_within_window_rejected(self):
+        with pytest.raises(StreamError):
+            list(sliding_window_stream([(1, 10), (1, 10)], 5))
+
+    def test_reinsertion_after_expiry_allowed(self):
+        edges = [(1, 10), (2, 11), (1, 10)]
+        stream = list(sliding_window_stream(edges, 1))
+        validate_stream(stream)
+
+
+class TestWindowedCounts:
+    def test_exact_matches_static_window_count(self):
+        window = 20
+        counter = ExactStreamingCounter()
+        windowed_counts(counter, EDGES, window, every=1000)
+        graph = BipartiteGraph(EDGES[-window:])
+        assert counter.exact_count == count_butterflies(graph)
+
+    def test_sampling_points(self):
+        counter = ExactStreamingCounter()
+        points = windowed_counts(counter, EDGES, 20, every=20)
+        assert [n for n, _ in points] == [20, 40, 60]
+
+    def test_abacus_over_window_reasonable(self):
+        rng = random.Random(4)
+        edges = [
+            (rng.randrange(40), 1000 + rng.randrange(30)) for _ in range(600)
+        ]
+        distinct = list(dict.fromkeys(edges))
+        window = 150
+        abacus = Abacus(10**6, seed=0)  # unbounded: must be exact
+        windowed_counts(abacus, distinct, window, every=10**9)
+        truth = count_butterflies(BipartiteGraph(distinct[-window:]))
+        assert abacus.estimate == pytest.approx(truth)
+
+
+class TestHelpers:
+    def test_deletion_ratio(self):
+        assert window_deletion_ratio(100, 100) == 0.0
+        assert window_deletion_ratio(0, 10) == 0.0
+        # n=100, W=50 -> 50 expirations of 150 elements.
+        assert window_deletion_ratio(100, 50) == pytest.approx(50 / 150)
+
+    def test_expired_edges(self):
+        assert list(expired_edges(EDGES, 60)) == EDGES[:3]
+        assert list(expired_edges(EDGES, 100)) == []

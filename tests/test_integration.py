@@ -1,0 +1,201 @@
+"""End-to-end integration tests spanning multiple subsystems.
+
+Each test drives a realistic multi-module pipeline rather than a single
+unit: file I/O -> estimator -> checkpoint -> resume; generator ->
+windowed stream -> application; KONECT ingest -> dynamic synthesis ->
+accuracy vs oracle.
+"""
+
+import random
+
+import pytest
+
+from repro import Abacus, ExactStreamingCounter, Parabacus
+from repro.apps.anomaly import ButterflyBurstDetector
+from repro.core.checkpoint import load_checkpoint, save_checkpoint
+from repro.graph.generators import bipartite_chung_lu
+from repro.streams.dynamic import make_fully_dynamic, validate_stream
+from repro.streams.io import load_konect, read_stream, write_stream
+from repro.streams.stream import EdgeStream
+from repro.streams.window import sliding_window_stream
+from repro.types import deletion, insertion
+
+
+@pytest.fixture(scope="module")
+def workload():
+    rng = random.Random(88)
+    edges = bipartite_chung_lu(500, 120, 5000, rng=rng)
+    stream = make_fully_dynamic(edges, 0.2, random.Random(89))
+    return edges, stream
+
+
+class TestFileRoundTripPipeline:
+    def test_stream_file_to_estimate(self, tmp_path, workload):
+        """Persist a stream, reload it, estimate, compare to oracle."""
+        _, stream = workload
+        path = tmp_path / "workload.stream"
+        write_stream(stream, path)
+        reloaded = read_stream(path)
+        assert list(reloaded) == list(stream)
+
+        truth = ExactStreamingCounter().process_stream(reloaded)
+        estimate = Abacus(1200, seed=4).process_stream(reloaded)
+        assert truth > 0
+        assert abs(truth - estimate) / truth < 0.4
+
+    def test_konect_to_dynamic_to_estimate(self, tmp_path):
+        """KONECT file -> deletion synthesis -> ABACUS vs oracle."""
+        rng = random.Random(90)
+        lines = ["% bip unweighted"]
+        seen = set()
+        while len(seen) < 800:
+            pair = (rng.randrange(120), rng.randrange(100))
+            if pair not in seen:
+                seen.add(pair)
+                lines.append(f"{pair[0]} {pair[1]}")
+        path = tmp_path / "out.synthetic"
+        path.write_text("\n".join(lines))
+
+        edges = load_konect(path)
+        assert len(edges) == 800
+        stream = make_fully_dynamic(edges, 0.25, random.Random(91))
+        truth = ExactStreamingCounter().process_stream(stream)
+        estimate = Abacus(10**6, seed=0).process_stream(stream)
+        assert estimate == pytest.approx(truth)
+
+
+class TestCheckpointedPipeline:
+    def test_checkpoint_mid_stream_then_detector(self, tmp_path, workload):
+        """Run half, checkpoint to disk, resume, and keep the estimate
+        identical to the uninterrupted run."""
+        _, stream = workload
+        half = len(stream) // 2
+        reference = Abacus(800, seed=12)
+        reference.process_stream(stream)
+
+        part1 = Abacus(800, seed=12)
+        part1.process_stream(stream.prefix(half))
+        path = tmp_path / "mid.ckpt"
+        save_checkpoint(part1, path)
+        resumed = load_checkpoint(path)
+        resumed.process_stream(stream[half:])
+        assert resumed.estimate == reference.estimate
+
+
+class TestWindowedDetectorPipeline:
+    def test_window_plus_burst_detection(self):
+        """Sliding window + two-sided detector over estimated counts.
+
+        The background is butterfly-poor (uniform random) so the planted
+        8x8 biclique is a clean spike even through the sample noise.
+        """
+        import repro.graph.generators as generators
+
+        rng = random.Random(93)
+        background = generators.bipartite_erdos_renyi(
+            5000, 5000, 6000, rng
+        )
+        clique = [
+            (9_000_000 + i, 9_500_000 + j)
+            for i in range(8)
+            for j in range(8)
+        ]
+        edges = background[:4000] + clique + background[4000:]
+        detector = ButterflyBurstDetector(
+            Abacus(2500, seed=14),
+            window=500,
+            z_threshold=4.0,
+            two_sided=True,
+        )
+        for element in sliding_window_stream(edges, window=3000):
+            detector.process(element)
+        assert detector.alerts, "planted clique missed through the window"
+
+
+class TestParabacusPipeline:
+    def test_minibatch_estimates_match_across_persistence(self, workload):
+        """PARABACUS over the same stream in two different batch sizes
+        still agrees with ABACUS exactly (Theorem 5, integration-level)."""
+        _, stream = workload
+        reference = Abacus(700, seed=21).process_stream(stream)
+        for batch_size in (64, 777):
+            para = Parabacus(700, batch_size=batch_size, num_threads=5, seed=21)
+            para.process_stream(stream)
+            para.flush()
+            assert para.estimate == pytest.approx(reference, rel=1e-12)
+
+
+class TestHygienePipeline:
+    """Dirty feed -> sanitise -> profile -> estimate -> adapt."""
+
+    def test_sanitise_profile_estimate_shrink(self):
+        rng = random.Random(77)
+        edges = bipartite_chung_lu(300, 120, 3000, rng=rng)
+        base = make_fully_dynamic(edges, 0.2, random.Random(78))
+        # Dirty the stream with duplicates and ghost deletions.
+        elements = list(base)
+        for i in range(40):
+            u, v = edges[rng.randrange(len(edges))]
+            elements.insert(rng.randrange(len(elements)), insertion(u, v))
+            elements.insert(
+                rng.randrange(len(elements)),
+                deletion(f"ghost{i}", "nowhere"),
+            )
+        from repro.streams.profile import StreamProfiler
+        from repro.streams.transform import sanitized
+
+        clean, report = sanitized(EdgeStream(elements))
+        assert report.dropped >= 40
+        validate_stream(clean)
+
+        profile = StreamProfiler(rng=random.Random(79)).observe_stream(
+            clean
+        )
+        assert profile.live_edges == clean.final_num_edges
+
+        estimator = Abacus(budget=800, seed=80)
+        oracle = ExactStreamingCounter()
+        shrunk = False
+        for index, element in enumerate(clean):
+            estimator.process(element)
+            oracle.process(element)
+            if (
+                not shrunk
+                and index > len(clean) // 2
+                and estimator.can_resize
+            ):
+                estimator.shrink_budget(400)
+                shrunk = True
+        assert shrunk
+        assert estimator.memory_edges <= 400
+        if oracle.estimate:
+            error = abs(oracle.estimate - estimator.estimate) / (
+                oracle.estimate
+            )
+            assert error < 1.5  # sanity: same order of magnitude
+
+
+class TestSupportEnsemblePipeline:
+    """Per-edge support and an ensemble share one stream, and their
+    global views agree with the oracle in the exact regime."""
+
+    def test_support_and_ensemble_agree_exactly(self, workload):
+        from repro.core.ensemble import EnsembleEstimator
+        from repro.core.support import AbacusSupport
+
+        _, stream = workload
+        support = AbacusSupport(budget=10_000, seed=81)
+        ensemble = EnsembleEstimator(
+            replicas=3, budget=10_000, seed=82
+        )
+        oracle = ExactStreamingCounter()
+        for element in stream:
+            support.process(element)
+            ensemble.process(element)
+            oracle.process(element)
+        assert support.estimate == pytest.approx(oracle.estimate)
+        assert ensemble.estimate == pytest.approx(oracle.estimate)
+        assert ensemble.spread() == pytest.approx(0.0)
+        # Support identity: every butterfly has exactly four edges.
+        total_support = sum(support.support_estimates().values())
+        assert total_support == pytest.approx(4.0 * oracle.estimate)

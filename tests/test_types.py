@@ -1,0 +1,83 @@
+"""Unit tests for the core value types."""
+
+import pytest
+
+from repro.errors import (
+    DuplicateEdgeError,
+    EstimatorError,
+    GraphError,
+    MissingEdgeError,
+    PartitionError,
+    ReproError,
+    SamplingError,
+    StreamError,
+)
+from repro.types import Op, Side, StreamElement, deletion, insertion
+
+
+class TestOp:
+    def test_signs(self):
+        assert Op.INSERT.sign == 1
+        assert Op.DELETE.sign == -1
+
+    def test_from_symbol(self):
+        assert Op.from_symbol("+") is Op.INSERT
+        assert Op.from_symbol("-") is Op.DELETE
+
+    def test_from_symbol_invalid(self):
+        with pytest.raises(ValueError):
+            Op.from_symbol("x")
+
+    def test_values_match_stream_format(self):
+        assert Op.INSERT.value == "+"
+        assert Op.DELETE.value == "-"
+
+
+class TestSide:
+    def test_other(self):
+        assert Side.LEFT.other() is Side.RIGHT
+        assert Side.RIGHT.other() is Side.LEFT
+
+
+class TestStreamElement:
+    def test_defaults_to_insertion(self):
+        assert StreamElement(1, 2).op is Op.INSERT
+
+    def test_edge_property(self):
+        assert StreamElement(1, 2).edge == (1, 2)
+
+    def test_predicates(self):
+        assert insertion(1, 2).is_insertion
+        assert not insertion(1, 2).is_deletion
+        assert deletion(1, 2).is_deletion
+
+    def test_inverted(self):
+        assert insertion(1, 2).inverted() == deletion(1, 2)
+        assert deletion(1, 2).inverted() == insertion(1, 2)
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            insertion(1, 2).u = 5
+
+    def test_hashable_and_equal(self):
+        assert insertion(1, 2) == insertion(1, 2)
+        assert insertion(1, 2) != deletion(1, 2)
+        assert len({insertion(1, 2), insertion(1, 2)}) == 1
+
+
+class TestErrorHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for cls in (
+            GraphError,
+            PartitionError,
+            DuplicateEdgeError,
+            MissingEdgeError,
+            StreamError,
+            SamplingError,
+            EstimatorError,
+        ):
+            assert issubclass(cls, ReproError)
+
+    def test_graph_errors_grouped(self):
+        for cls in (PartitionError, DuplicateEdgeError, MissingEdgeError):
+            assert issubclass(cls, GraphError)

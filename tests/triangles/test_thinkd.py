@@ -1,0 +1,105 @@
+"""Unit and statistical tests for the ThinkD triangle estimator."""
+
+import math
+import random
+
+import pytest
+
+from repro.errors import GraphError
+from repro.streams.dynamic import make_fully_dynamic, stream_from_edges
+from repro.triangles.exact import count_triangles
+from repro.triangles.generators import barabasi_albert_graph, erdos_renyi_graph
+from repro.triangles.graph import UndirectedGraph
+from repro.triangles.thinkd import ExactTriangleCounter, ThinkD
+from repro.types import Op, deletion, insertion
+
+
+def _truth(stream) -> int:
+    graph = UndirectedGraph()
+    for element in stream:
+        if element.op is Op.INSERT:
+            graph.add_edge(element.u, element.v)
+        else:
+            graph.remove_edge(element.u, element.v)
+    return count_triangles(graph)
+
+
+class TestExactOracle:
+    def test_lifecycle(self):
+        oracle = ExactTriangleCounter()
+        for el in (insertion(1, 2), insertion(2, 3), insertion(1, 3)):
+            oracle.process(el)
+        assert oracle.exact_count == 1
+        assert oracle.process(deletion(1, 3)) == -1.0
+        assert oracle.exact_count == 0
+
+    def test_matches_static_count(self):
+        rng = random.Random(1)
+        edges = erdos_renyi_graph(30, 150, rng)
+        stream = make_fully_dynamic(edges, 0.3, random.Random(2))
+        oracle = ExactTriangleCounter()
+        oracle.process_stream(stream)
+        assert oracle.exact_count == _truth(stream)
+
+
+class TestThinkD:
+    def test_self_loop_rejected(self):
+        with pytest.raises(GraphError):
+            ThinkD(10, seed=0).process(insertion(1, 1))
+
+    def test_exact_with_unbounded_budget(self):
+        rng = random.Random(3)
+        edges = erdos_renyi_graph(25, 120, rng)
+        stream = make_fully_dynamic(edges, 0.25, random.Random(4))
+        estimator = ThinkD(10**6, seed=0)
+        estimate = estimator.process_stream(stream)
+        assert estimate == pytest.approx(_truth(stream))
+
+    def test_memory_bounded(self):
+        rng = random.Random(5)
+        edges = erdos_renyi_graph(40, 300, rng)
+        estimator = ThinkD(30, seed=1)
+        estimator.process_stream(stream_from_edges(edges))
+        assert estimator.memory_edges <= 30
+
+    def test_orientation_insensitive(self):
+        """Edges arriving as (v, u) must hit the same sampled edge."""
+        estimator = ThinkD(10**6, seed=0)
+        estimator.process(insertion(2, 1))
+        estimator.process(insertion(3, 2))
+        estimator.process(insertion(1, 3))
+        assert estimator.estimate == pytest.approx(1.0)
+        estimator.process(deletion(3, 1))  # reversed orientation
+        assert estimator.estimate == pytest.approx(0.0)
+
+    def test_unbiased_on_dynamic_stream(self):
+        rng = random.Random(7)
+        edges = barabasi_albert_graph(60, 4, rng)
+        stream = make_fully_dynamic(edges, 0.3, random.Random(8))
+        truth = _truth(stream)
+        assert truth > 0
+        trials = 300
+        estimates = []
+        for t in range(trials):
+            estimator = ThinkD(60, seed=4000 + t)
+            estimates.append(estimator.process_stream(stream))
+        mean = sum(estimates) / trials
+        variance = sum((e - mean) ** 2 for e in estimates) / (trials - 1)
+        se = math.sqrt(variance / trials)
+        assert abs(mean - truth) < 4 * se, (mean, truth, se)
+
+    def test_error_shrinks_with_budget(self):
+        rng = random.Random(9)
+        edges = barabasi_albert_graph(150, 5, rng)
+        stream = make_fully_dynamic(edges, 0.2, random.Random(10))
+        truth = _truth(stream)
+
+        def mean_error(budget, trials=8):
+            errors = []
+            for t in range(trials):
+                estimator = ThinkD(budget, seed=100 + t)
+                estimate = estimator.process_stream(stream)
+                errors.append(abs(truth - estimate) / truth)
+            return sum(errors) / len(errors)
+
+        assert mean_error(500) < mean_error(60)

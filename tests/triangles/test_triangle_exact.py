@@ -1,0 +1,52 @@
+"""Unit tests for exact triangle counting."""
+
+import random
+
+from repro.triangles.exact import (
+    count_triangles,
+    count_triangles_brute_force,
+    triangles_containing_edge,
+)
+from repro.triangles.generators import barabasi_albert_graph, erdos_renyi_graph
+from repro.triangles.graph import UndirectedGraph
+
+
+class TestGlobalCount:
+    def test_triangle(self):
+        g = UndirectedGraph([(1, 2), (2, 3), (1, 3)])
+        assert count_triangles(g) == 1
+
+    def test_path_has_none(self):
+        g = UndirectedGraph([(1, 2), (2, 3)])
+        assert count_triangles(g) == 0
+
+    def test_k4_has_four(self):
+        g = UndirectedGraph(
+            (i, j) for i in range(4) for j in range(i + 1, 4)
+        )
+        assert count_triangles(g) == 4
+
+    def test_matches_brute_force(self):
+        for seed in range(5):
+            rng = random.Random(seed)
+            g = UndirectedGraph(erdos_renyi_graph(14, 40, rng))
+            assert count_triangles(g) == count_triangles_brute_force(g)
+
+    def test_ba_graph_is_triangle_rich(self):
+        rng = random.Random(3)
+        g = UndirectedGraph(barabasi_albert_graph(100, 4, rng))
+        assert count_triangles(g) > 0
+
+
+class TestPerEdge:
+    def test_edge_sum_identity(self):
+        rng = random.Random(6)
+        g = UndirectedGraph(erdos_renyi_graph(15, 45, rng))
+        total = sum(
+            triangles_containing_edge(g, u, v) for u, v in g.edges()
+        )
+        assert total == 3 * count_triangles(g)
+
+    def test_absent_edge_counts_potential(self):
+        g = UndirectedGraph([(1, 2), (2, 3)])
+        assert triangles_containing_edge(g, 1, 3) == 1

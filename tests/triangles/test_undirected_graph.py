@@ -1,0 +1,53 @@
+"""Unit tests for the undirected graph substrate."""
+
+import pytest
+
+from repro.errors import DuplicateEdgeError, GraphError, MissingEdgeError
+from repro.triangles.graph import UndirectedGraph, canonical_edge
+
+
+class TestCanonicalEdge:
+    def test_symmetric(self):
+        assert canonical_edge(2, 1) == canonical_edge(1, 2)
+        assert canonical_edge("b", "a") == ("a", "b")
+
+
+class TestMutation:
+    def test_add_and_query(self):
+        g = UndirectedGraph()
+        g.add_edge(1, 2)
+        assert g.has_edge(1, 2)
+        assert g.has_edge(2, 1)
+        assert g.neighbors(1) == {2}
+        assert g.num_edges == 1
+        assert g.num_vertices == 2
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(GraphError):
+            UndirectedGraph().add_edge(1, 1)
+
+    def test_duplicate_rejected_in_both_orientations(self):
+        g = UndirectedGraph([(1, 2)])
+        with pytest.raises(DuplicateEdgeError):
+            g.add_edge(1, 2)
+        with pytest.raises(DuplicateEdgeError):
+            g.add_edge(2, 1)
+
+    def test_remove_either_orientation(self):
+        g = UndirectedGraph([(1, 2)])
+        g.remove_edge(2, 1)
+        assert g.num_edges == 0
+        assert g.num_vertices == 0  # zero-degree vertices dropped
+
+    def test_remove_missing_raises(self):
+        with pytest.raises(MissingEdgeError):
+            UndirectedGraph().remove_edge(1, 2)
+
+    def test_edges_yielded_once(self):
+        g = UndirectedGraph([(1, 2), (2, 3), (1, 3)])
+        assert sorted(g.edges()) == [(1, 2), (1, 3), (2, 3)]
+
+    def test_degree(self):
+        g = UndirectedGraph([(1, 2), (1, 3)])
+        assert g.degree(1) == 2
+        assert g.degree(99) == 0
