@@ -9,7 +9,7 @@ error.
 
 from conftest import emit
 
-from repro.core.abacus import Abacus
+from repro.api import build_estimator
 from repro.core.lazy import LazyAbacus
 from repro.experiments.datasets import get_dataset
 from repro.experiments.report import render_table
@@ -38,7 +38,11 @@ def test_ablation_lazy_vs_eager(benchmark, ctx, results_dir):
     budget = spec.sample_sizes[BUDGET_INDEX]
 
     def run():
-        eager = _run_variant(lambda s: Abacus(budget, seed=s), ctx, spec)
+        eager = _run_variant(
+            lambda s: build_estimator(f"abacus:budget={budget},seed={s}"),
+            ctx,
+            spec,
+        )
         lazy = _run_variant(lambda s: LazyAbacus(budget, seed=s), ctx, spec)
         return eager, lazy
 

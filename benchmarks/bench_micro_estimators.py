@@ -4,15 +4,28 @@ These use pytest-benchmark's normal multi-round timing (unlike the
 figure benches, which run once) on a fixed 5K-element prefix of the
 LiveJournal-like stream, so regressions in the hot paths show up as
 wall-clock changes in the benchmark table.
+
+Estimators are named by registry spec strings and driven through the
+session facade (:func:`repro.api.open_session`), so this bench also
+meters the public API path every consumer now uses.
 """
 
 import pytest
 
+from repro.api import open_session
 from repro.experiments.datasets import get_dataset
-from repro.experiments.runner import make_estimator
 
 BUDGET = 1500
 PREFIX = 5000
+
+SPECS = [
+    f"abacus:budget={BUDGET},seed=1",
+    f"parabacus:budget={BUDGET},seed=1",
+    f"fleet:budget={BUDGET},seed=1",
+    f"cas:budget={BUDGET},seed=1",
+    f"sgrapp:budget={BUDGET}",
+    "exact",
+]
 
 
 @pytest.fixture(scope="module")
@@ -21,22 +34,18 @@ def stream_prefix():
     return list(spec.stream(alpha=0.2, trial=0).prefix(PREFIX))
 
 
-def _run(method, stream):
-    estimator = make_estimator(method, BUDGET, seed=1)
-    for element in stream:
-        estimator.process(element)
-    if method == "parabacus":
-        estimator.flush()
-    return estimator.estimate
+def _run(spec, stream):
+    with open_session(spec) as session:
+        session.ingest(stream)
+        session.flush()
+        return session.estimate
 
 
-@pytest.mark.parametrize(
-    "method", ["abacus", "parabacus", "fleet", "cas", "exact"]
-)
-def test_estimator_throughput(benchmark, stream_prefix, method):
+@pytest.mark.parametrize("spec", SPECS, ids=lambda s: s.split(":")[0])
+def test_estimator_throughput(benchmark, stream_prefix, spec):
     benchmark.pedantic(
         _run,
-        args=(method, stream_prefix),
+        args=(spec, stream_prefix),
         rounds=3,
         iterations=1,
         warmup_rounds=1,

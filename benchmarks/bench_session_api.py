@@ -1,0 +1,96 @@
+"""Session facade overhead and snapshot/restore round-trip cost.
+
+The :mod:`repro.api` session is now the path every consumer takes, so
+its per-element overhead over driving an estimator directly must stay
+negligible, and a snapshot → restore cycle must stay cheap enough to
+checkpoint long-running jobs frequently.  Both are asserted here, and
+the restore is verified to continue bit-identically (the contract the
+unit suite checks per-estimator; this bench exercises it at evaluation
+scale on a real dataset stream).
+"""
+
+import json
+
+from conftest import emit
+
+from repro.api import build_estimator, open_session, restore_session
+from repro.experiments.datasets import get_dataset
+from repro.experiments.report import render_table
+from repro.metrics.throughput import Stopwatch
+
+BUDGET = 1500
+PREFIX = 20_000
+SPEC = f"abacus:budget={BUDGET},seed=11"
+
+
+def _stream_prefix():
+    spec = get_dataset("livejournal_like")
+    return list(spec.stream(alpha=0.2, trial=0).prefix(PREFIX))
+
+
+def test_session_overhead(benchmark, results_dir):
+    stream = _stream_prefix()
+
+    def run():
+        direct = build_estimator(SPEC)
+        direct_watch = Stopwatch()
+        with direct_watch:
+            for element in stream:
+                direct.process(element)
+        with open_session(SPEC) as session:
+            session_watch = Stopwatch()
+            with session_watch:
+                session.ingest(stream)
+            assert session.estimate == direct.estimate
+        return direct_watch.elapsed, session_watch.elapsed
+
+    direct_s, session_s = benchmark.pedantic(run, rounds=3, iterations=1)
+    overhead = session_s / direct_s - 1.0
+    text = render_table(
+        ["Path", "Elements/s"],
+        [
+            ("direct process()", f"{len(stream) / direct_s:,.0f}"),
+            ("Session.ingest()", f"{len(stream) / session_s:,.0f}"),
+            ("overhead", f"{overhead:+.1%}"),
+        ],
+        title=f"Session facade overhead ({len(stream)} elements, k={BUDGET})",
+    )
+    emit(results_dir, "session_overhead", text)
+    # The facade may cost something (timing + observer hooks) but must
+    # stay within 2x of the direct loop.
+    assert session_s < 2.0 * direct_s, (direct_s, session_s)
+
+
+def test_snapshot_restore_roundtrip(benchmark, results_dir):
+    stream = _stream_prefix()
+    half = len(stream) // 2
+
+    def run():
+        session = open_session(SPEC)
+        session.ingest(stream[:half])
+        watch = Stopwatch()
+        with watch:
+            payload = json.dumps(session.snapshot())
+            resumed = restore_session(json.loads(payload))
+        resumed.ingest(stream[half:])
+        return watch.elapsed, len(payload), resumed.estimate
+
+    elapsed, payload_bytes, resumed_estimate = benchmark.pedantic(
+        run, rounds=3, iterations=1
+    )
+    uninterrupted = build_estimator(SPEC)
+    for element in stream:
+        uninterrupted.process(element)
+    assert resumed_estimate == uninterrupted.estimate
+    text = render_table(
+        ["Metric", "Value"],
+        [
+            ("snapshot+restore", f"{elapsed * 1000:.2f} ms"),
+            ("payload size", f"{payload_bytes:,} bytes"),
+            ("bit-identical continuation", "yes"),
+        ],
+        title=f"Snapshot round-trip at element {half} (k={BUDGET})",
+    )
+    emit(results_dir, "session_snapshot", text)
+    # Checkpointing must stay cheap: well under a second at this scale.
+    assert elapsed < 1.0, elapsed

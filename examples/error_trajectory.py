@@ -2,8 +2,9 @@
 
 Final-count accuracy hides how an estimator behaves mid-stream.  This
 example replays one fully dynamic stream through ABACUS and an
-ensemble of four replicas, records synchronised checkpoints against
-the exact oracle, and draws both trajectories as an ASCII chart.
+ensemble of four replicas — each opened as a session whose
+``on_checkpoint`` observer records synchronised checkpoints against
+the exact oracle — and draws both trajectories as an ASCII chart.
 
 Run:
     python examples/error_trajectory.py
@@ -13,13 +14,32 @@ from __future__ import annotations
 
 import random
 
-from repro.core.abacus import Abacus
-from repro.core.ensemble import EnsembleEstimator
+from repro.api import open_session
 from repro.core.exact import ExactStreamingCounter
 from repro.experiments.plotting import line_chart
 from repro.graph.generators import bipartite_chung_lu
-from repro.metrics.timeseries import track_against_oracle
+from repro.metrics.timeseries import TrajectoryTracker
 from repro.streams.dynamic import make_fully_dynamic
+
+
+def track_with_session(stream, spec: str, every: int) -> TrajectoryTracker:
+    """Replay ``stream`` through a session, checkpointing vs the oracle.
+
+    The oracle advances in lockstep with the session, so the
+    ``on_checkpoint`` subscription sees truth and estimate at the same
+    element count.
+    """
+    oracle = ExactStreamingCounter()
+    tracker = TrajectoryTracker()
+    with open_session(spec) as session:
+        session.on_checkpoint(
+            lambda n, s: tracker.record(n, oracle.estimate, s.estimate),
+            every=every,
+        )
+        for element in stream:
+            oracle.process(element)
+            session.ingest(element)
+    return tracker
 
 
 def main() -> None:
@@ -32,15 +52,11 @@ def main() -> None:
         f"Tracking a budget-{budget} ABACUS and a 4-replica ensemble "
         f"against the exact oracle ({len(stream)} elements) ..."
     )
-    single = track_against_oracle(
-        stream, Abacus(budget, seed=7), ExactStreamingCounter(),
-        every=every,
+    single = track_with_session(
+        stream, f"abacus:budget={budget},seed=7", every
     )
-    ensemble = track_against_oracle(
-        stream,
-        EnsembleEstimator(replicas=4, budget=budget, seed=8),
-        ExactStreamingCounter(),
-        every=every,
+    ensemble = track_with_session(
+        stream, f"ensemble:replicas=4,budget={budget},seed=8", every
     )
 
     xs, truths, single_estimates = single.series()

@@ -27,7 +27,7 @@ from __future__ import annotations
 import random
 from typing import List
 
-from repro import Abacus, ExactStreamingCounter, Fleet, make_fully_dynamic
+from repro import build_estimator, make_fully_dynamic, open_session
 from repro.apps.anomaly import ButterflyBurstDetector
 from repro.graph.generators import bipartite_erdos_renyi
 from repro.types import StreamElement, deletion, insertion
@@ -81,23 +81,29 @@ def detect(name: str, estimator, elements) -> None:
 
 
 def drift_report(elements: List[StreamElement]) -> None:
-    """Count-level drift of insert-only estimators under deletions."""
-    exact = ExactStreamingCounter()
-    abacus = Abacus(6000, seed=3)
-    fleet = Fleet(6000, seed=3)
-    checkpoints = {len(elements) // 4, len(elements) // 2,
-                   3 * len(elements) // 4, len(elements)}
+    """Count-level drift of insert-only estimators under deletions.
+
+    Three sessions are driven in lockstep; a checkpoint observer on the
+    exact session prints the synchronised table rows.
+    """
+    exact = open_session("exact")
+    abacus = open_session("abacus:budget=6000,seed=3")
+    fleet = open_session("fleet:budget=6000,seed=3")
+    marks = sorted({len(elements) // 4, len(elements) // 2,
+                    3 * len(elements) // 4, len(elements)})
     print("\nCount-level drift (butterfly count estimates):")
     print(f"  {'elements':>10} {'truth':>8} {'ABACUS':>8} {'FLEET':>8}")
-    for i, element in enumerate(elements, start=1):
-        exact.process(element)
-        abacus.process(element)
-        fleet.process(element)
-        if i in checkpoints:
-            print(
-                f"  {i:>10} {exact.exact_count:>8.0f} "
-                f"{abacus.estimate:>8.0f} {fleet.estimate:>8.0f}"
-            )
+    exact.on_checkpoint(
+        lambda n, s: print(
+            f"  {n:>10} {s.estimate:>8.0f} "
+            f"{abacus.estimate:>8.0f} {fleet.estimate:>8.0f}"
+        ),
+        at=marks,
+    )
+    for element in elements:
+        abacus.ingest(element)
+        fleet.ingest(element)
+        exact.ingest(element)
 
 
 def main() -> None:
@@ -108,9 +114,17 @@ def main() -> None:
     elements = build_stream()
 
     print("Two-sided butterfly-burst detection:")
-    detect("Exact oracle", ExactStreamingCounter(), elements)
-    detect("ABACUS (fully dynamic)", Abacus(6000, seed=11), elements)
-    detect("FLEET (insert-only)", Fleet(6000, seed=11), elements)
+    detect("Exact oracle", build_estimator("exact"), elements)
+    detect(
+        "ABACUS (fully dynamic)",
+        build_estimator("abacus:budget=6000,seed=11"),
+        elements,
+    )
+    detect(
+        "FLEET (insert-only)",
+        build_estimator("fleet:budget=6000,seed=11"),
+        elements,
+    )
 
     drift_report(elements)
 

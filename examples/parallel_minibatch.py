@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import random
 
-from repro import Abacus, Parabacus, make_fully_dynamic
+from repro import make_fully_dynamic, open_session
 from repro.graph.generators import bipartite_chung_lu
 from repro.metrics.workload import workload_balance
 
@@ -29,18 +29,22 @@ def main() -> None:
     stream = make_fully_dynamic(edges, alpha=0.2, rng=random.Random(2))
     print(f"Stream: {len(stream)} elements, budget k={BUDGET}\n")
 
-    # 1. Exact equivalence with ABACUS (Theorem 5).
-    abacus = Abacus(BUDGET, seed=SEED)
-    sequential_estimate = abacus.process_stream(stream)
-    parabacus = Parabacus(
-        BUDGET, batch_size=1000, num_threads=8, seed=SEED
+    # 1. Exact equivalence with ABACUS (Theorem 5).  Both estimators
+    # are described by registry specs and driven through sessions.
+    with open_session(f"abacus:budget={BUDGET},seed={SEED}") as abacus:
+        abacus.ingest(stream)
+        sequential_estimate = abacus.estimate
+    parabacus_spec = (
+        f"parabacus:budget={BUDGET},batch_size=1000,num_threads=8,seed={SEED}"
     )
-    parabacus.process_stream(stream)
-    parabacus.flush()
+    session = open_session(parabacus_spec)
+    session.ingest(stream)
+    session.flush()
+    parabacus = session.estimator
     print("Theorem 5 (same seed, mini-batched + parallel):")
     print(f"  ABACUS    estimate: {sequential_estimate:>14,.1f}")
-    print(f"  PARABACUS estimate: {parabacus.estimate:>14,.1f}")
-    print(f"  identical: {abs(parabacus.estimate - sequential_estimate) < 1e-6}\n")
+    print(f"  PARABACUS estimate: {session.estimate:>14,.1f}")
+    print(f"  identical: {abs(session.estimate - sequential_estimate) < 1e-6}\n")
 
     # 2. Load balance across workers (Figure 10).
     balance = workload_balance(parabacus.per_thread_work)
@@ -49,16 +53,17 @@ def main() -> None:
         bar = "#" * max(1, round(40 * work / balance.maximum))
         print(f"  worker {worker}: {work:>10,} {bar}")
     print(f"  imbalance (max/mean): {balance.imbalance:.3f}\n")
+    session.close()
 
     # 3. Speedup vs mini-batch size (Figure 8, work model).
     print("Work-model speedup vs mini-batch size (8 workers):")
     for batch_size in (100, 500, 1000, 5000):
-        estimator = Parabacus(
-            BUDGET, batch_size=batch_size, num_threads=8, seed=SEED
-        )
-        estimator.process_stream(stream)
-        estimator.flush()
-        speedup = estimator.modeled_speedup()
+        with open_session(
+            parabacus_spec, batch_size=batch_size
+        ) as sized:
+            sized.ingest(stream)
+            sized.flush()
+            speedup = sized.estimator.modeled_speedup()
         print(f"  M={batch_size:>5}: {speedup:5.2f}x "
               + "#" * round(speedup * 4))
 

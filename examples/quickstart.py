@@ -2,8 +2,9 @@
 
 Builds a synthetic user-item interaction stream with 20% deletions,
 runs ABACUS with a bounded memory budget next to the exact streaming
-oracle, and reports the final estimate, the relative error, and the
-memory the two approaches used.
+oracle — both opened through the session API, which is the single
+public entry point — and reports the final estimate, the relative
+error, the throughput, and the memory the two approaches used.
 
 Run:
     python examples/quickstart.py
@@ -13,7 +14,7 @@ from __future__ import annotations
 
 import random
 
-from repro import Abacus, ExactStreamingCounter, make_fully_dynamic
+from repro import make_fully_dynamic, open_session
 from repro.graph.generators import bipartite_chung_lu
 
 
@@ -35,13 +36,18 @@ def main() -> None:
         f"{stream.num_deletions} deletions)"
     )
 
-    # ABACUS with a memory budget of 3000 edges (~15% of the graph).
-    abacus = Abacus(budget=3000, seed=42)
-    estimate = abacus.process_stream(stream)
+    # ABACUS with a memory budget of 3000 edges (~15% of the graph),
+    # described by an estimator spec and opened as a session.
+    with open_session("abacus:budget=3000,seed=42") as abacus:
+        abacus.ingest(stream)
+        estimate = abacus.estimate
+        abacus_metrics = abacus.metrics
 
     # Ground truth from the exact oracle (stores the whole graph).
-    exact = ExactStreamingCounter()
-    truth = exact.process_stream(stream)
+    with open_session("exact") as exact:
+        exact.ingest(stream)
+        truth = exact.estimate
+        exact_metrics = exact.metrics
 
     error = abs(truth - estimate) / truth
     print()
@@ -49,11 +55,15 @@ def main() -> None:
     print(f"  ABACUS estimate       : {estimate:>14,.0f}")
     print(f"  relative error        : {error:>14.2%}")
     print()
-    print(f"  ABACUS memory         : {abacus.memory_edges:,} edges")
-    print(f"  exact oracle memory   : {exact.memory_edges:,} edges")
+    print(f"  ABACUS memory         : {abacus_metrics.memory_edges:,} edges")
+    print(f"  exact oracle memory   : {exact_metrics.memory_edges:,} edges")
     print(
         f"  memory saved          : "
-        f"{1 - abacus.memory_edges / exact.memory_edges:.0%}"
+        f"{1 - abacus_metrics.memory_edges / exact_metrics.memory_edges:.0%}"
+    )
+    print(
+        f"  ABACUS throughput     : "
+        f"{abacus_metrics.throughput_eps:,.0f} elements/s"
     )
 
 

@@ -7,16 +7,43 @@ plus every substrate the paper depends on (bipartite graphs, exact
 counting, Random Pairing sampling, AMS sketches, the FLEET and CAS
 insert-only baselines, applications, and the full experiment harness).
 
-Quickstart::
+The single public entry point is the session API: describe an estimator
+with a spec, open a session, ingest, observe, snapshot::
 
-    from repro import Abacus, insertion, deletion
+    from repro import open_session, insertion, deletion
+
+    with open_session("abacus:budget=1000,seed=42") as session:
+        session.ingest(insertion("alice", "matrix"))
+        session.ingest(deletion("alice", "matrix"))
+        print(session.estimate, session.metrics.throughput_eps)
+
+Specs name any registered estimator (``abacus``, ``parabacus``,
+``ensemble``, ``fleet``, ``cas``, ``sgrapp``, ``exact``) with typed
+parameters — ``parse_spec("parabacus:budget=2000,batch_size=500")`` —
+and :func:`build_estimator` returns the bare estimator when the facade
+is not wanted.  Sessions of snapshot-capable estimators round-trip
+through ``session.snapshot()`` / :func:`restore_session` with
+bit-identical continuation.
+
+The estimator classes remain importable for direct construction::
+
+    from repro import Abacus
 
     counter = Abacus(budget=1000, seed=42)
     counter.process(insertion("alice", "matrix"))
-    counter.process(deletion("alice", "matrix"))
-    print(counter.estimate)
 """
 
+from repro.api import (
+    EstimatorSpec,
+    Session,
+    SessionMetrics,
+    build_estimator,
+    open_session,
+    parse_spec,
+    register_estimator,
+    registered_estimators,
+    restore_session,
+)
 from repro.baselines import CoAffiliationSampling, Fleet
 from repro.core import (
     Abacus,
@@ -25,12 +52,13 @@ from repro.core import (
     EnsembleEstimator,
     ExactStreamingCounter,
     Parabacus,
+    StatefulEstimator,
 )
 from repro.graph import BipartiteGraph, count_butterflies
 from repro.streams import EdgeStream, make_fully_dynamic, stream_from_edges
 from repro.types import Op, StreamElement, deletion, insertion
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "Abacus",
@@ -41,6 +69,16 @@ __all__ = [
     "CoAffiliationSampling",
     "ExactStreamingCounter",
     "ButterflyEstimator",
+    "StatefulEstimator",
+    "EstimatorSpec",
+    "Session",
+    "SessionMetrics",
+    "build_estimator",
+    "open_session",
+    "parse_spec",
+    "register_estimator",
+    "registered_estimators",
+    "restore_session",
     "BipartiteGraph",
     "count_butterflies",
     "EdgeStream",

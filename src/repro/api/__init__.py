@@ -1,0 +1,58 @@
+"""Public estimator API: registry specs plus the session facade.
+
+This package is the single public entry point for constructing and
+driving estimators::
+
+    from repro.api import open_session, parse_spec, build_estimator
+
+    spec = parse_spec("abacus:budget=1000,seed=7")
+    estimator = build_estimator(spec)          # bare estimator, or ...
+    with open_session(spec) as session:        # ... the full facade
+        session.ingest(stream)
+        snapshot = session.snapshot()
+
+Importing :mod:`repro.api` registers the built-in estimators
+(``abacus``, ``parabacus``, ``ensemble``, ``fleet``, ``cas``,
+``sgrapp``, ``abacus_support``, ``exact``).
+"""
+
+from repro.api.registry import (
+    EstimatorSpec,
+    Param,
+    Registration,
+    build_estimator,
+    describe_registry,
+    get_registration,
+    parse_spec,
+    register_estimator,
+    registered_estimators,
+    registration_for_instance,
+)
+from repro.api import builtin as _builtin  # noqa: F401  (registers estimators)
+from repro.api.builtin import DEFAULT_BUDGET
+from repro.api.session import (
+    SNAPSHOT_FORMAT_VERSION,
+    Session,
+    SessionMetrics,
+    open_session,
+    restore_session,
+)
+
+__all__ = [
+    "DEFAULT_BUDGET",
+    "EstimatorSpec",
+    "Param",
+    "Registration",
+    "SNAPSHOT_FORMAT_VERSION",
+    "Session",
+    "SessionMetrics",
+    "build_estimator",
+    "describe_registry",
+    "get_registration",
+    "open_session",
+    "parse_spec",
+    "register_estimator",
+    "registered_estimators",
+    "registration_for_instance",
+    "restore_session",
+]

@@ -1,0 +1,452 @@
+"""The estimator registry: specs in, configured estimators out.
+
+Every estimator the library ships registers itself here under a short
+stable name (``"abacus"``, ``"parabacus"``, ...) together with its
+declared, typed parameters.  Consumers — the CLI, the experiment
+harness, benchmarks, examples, and user code — describe *which*
+estimator they want with an :class:`EstimatorSpec` and let
+:func:`build_estimator` do the construction and validation, instead of
+hand-wiring constructors.
+
+A spec has three equivalent forms that round-trip losslessly:
+
+* **string** — ``"abacus:budget=1000,seed=42"`` (grammar below),
+* **dict** — ``{"name": "abacus", "params": {"budget": 1000, "seed": 42}}``,
+* **object** — ``EstimatorSpec("abacus", {"budget": 1000, "seed": 42})``.
+
+Spec-string grammar::
+
+    spec   := name [ ":" param ("," param)* ]
+    param  := key "=" value
+    value  := int | float | "true" | "false" | string
+
+Keys must be declared by the registration; unknown keys and
+type-incompatible values raise :class:`~repro.errors.SpecError` at
+build time, not deep inside a constructor.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Mapping,
+    Optional,
+    Tuple,
+    Type,
+    Union,
+)
+
+from repro.core.base import ButterflyEstimator
+from repro.errors import SpecError
+
+__all__ = [
+    "EstimatorSpec",
+    "Param",
+    "Registration",
+    "build_estimator",
+    "describe_registry",
+    "get_registration",
+    "parse_spec",
+    "register_estimator",
+    "registered_estimators",
+    "registration_for_instance",
+]
+
+#: Parameter types the spec grammar can express.
+_SCALAR_TYPES = (int, float, bool, str)
+
+SpecLike = Union["EstimatorSpec", str, Mapping[str, Any]]
+
+
+@dataclass(frozen=True)
+class Param:
+    """One declared, validated estimator parameter.
+
+    Args:
+        name: the parameter keyword (matches the factory signature).
+        type: one of ``int``, ``float``, ``bool``, ``str``.
+        default: value used when the spec omits the parameter; ``None``
+            means "let the factory decide" and is passed through.
+        doc: one-line description shown by :func:`describe_registry`.
+    """
+
+    name: str
+    type: type
+    default: Any = None
+    doc: str = ""
+
+    def coerce(self, value: Any) -> Any:
+        """Validate ``value`` against the declared type, coercing where
+        the conversion is lossless (int -> float, spec-string scalars).
+        """
+        if value is None:
+            return None
+        if self.type is float and isinstance(value, int) and not isinstance(value, bool):
+            return float(value)
+        if self.type is bool:
+            if isinstance(value, bool):
+                return value
+            if isinstance(value, str) and value.lower() in ("true", "false"):
+                return value.lower() == "true"
+            raise SpecError(
+                f"parameter {self.name!r} expects a bool, got {value!r}"
+            )
+        if isinstance(value, self.type) and not (
+            self.type is int and isinstance(value, bool)
+        ):
+            return value
+        if isinstance(value, str):
+            try:
+                return self.type(value)
+            except (TypeError, ValueError):
+                pass
+        raise SpecError(
+            f"parameter {self.name!r} expects {self.type.__name__}, "
+            f"got {value!r}"
+        )
+
+
+@dataclass(frozen=True)
+class EstimatorSpec:
+    """A named estimator plus its construction parameters.
+
+    Immutable and hashable-by-value is deliberately *not* promised
+    (params is a plain dict); use :meth:`to_string` when a canonical
+    key is needed.
+    """
+
+    name: str
+    params: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "name", self.name.strip().lower())
+        object.__setattr__(self, "params", dict(self.params))
+
+    # ------------------------------------------------------------------
+    # Round-tripping
+    # ------------------------------------------------------------------
+    def to_string(self) -> str:
+        """Canonical spec string: sorted params, ``name:k=v,...``."""
+        if not self.params:
+            return self.name
+        rendered = ",".join(
+            f"{key}={_render_value(self.params[key])}"
+            for key in sorted(self.params)
+        )
+        return f"{self.name}:{rendered}"
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready form: ``{"name": ..., "params": {...}}``."""
+        return {"name": self.name, "params": dict(self.params)}
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict())
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "EstimatorSpec":
+        if "name" not in data:
+            raise SpecError(f"spec dict needs a 'name' key, got {dict(data)!r}")
+        params = data.get("params", {})
+        if not isinstance(params, Mapping):
+            raise SpecError(f"spec 'params' must be a mapping, got {params!r}")
+        extra = set(data) - {"name", "params"}
+        if extra:
+            raise SpecError(
+                f"unexpected spec keys {sorted(extra)}; "
+                "use {'name': ..., 'params': {...}}"
+            )
+        return cls(str(data["name"]), dict(params))
+
+    @classmethod
+    def from_string(cls, text: str) -> "EstimatorSpec":
+        """Parse the ``name:key=value,key=value`` grammar."""
+        text = text.strip()
+        if not text:
+            raise SpecError("empty estimator spec")
+        name, sep, rest = text.partition(":")
+        name = name.strip()
+        if not name:
+            raise SpecError(f"estimator spec {text!r} has no name")
+        params: Dict[str, Any] = {}
+        if sep and rest.strip():
+            for item in rest.split(","):
+                item = item.strip()
+                if not item:
+                    continue
+                key, eq, raw = item.partition("=")
+                key = key.strip()
+                if not eq or not key:
+                    raise SpecError(
+                        f"malformed parameter {item!r} in spec {text!r}; "
+                        "expected key=value"
+                    )
+                if key in params:
+                    raise SpecError(
+                        f"duplicate parameter {key!r} in spec {text!r}"
+                    )
+                params[key] = _parse_scalar(raw.strip())
+        return cls(name, params)
+
+    def with_overrides(self, **overrides: Any) -> "EstimatorSpec":
+        """A copy with ``overrides`` merged over this spec's params."""
+        merged = dict(self.params)
+        merged.update(overrides)
+        return EstimatorSpec(self.name, merged)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.to_string()
+
+
+def _parse_scalar(raw: str) -> Any:
+    """Spec-string value parsing: int, float, bool, else string."""
+    lowered = raw.lower()
+    if lowered == "true":
+        return True
+    if lowered == "false":
+        return False
+    try:
+        return int(raw)
+    except ValueError:
+        pass
+    try:
+        return float(raw)
+    except ValueError:
+        pass
+    return raw
+
+
+def _render_value(value: Any) -> str:
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    return str(value)
+
+
+def parse_spec(spec: SpecLike) -> EstimatorSpec:
+    """Normalise any accepted spec form into an :class:`EstimatorSpec`.
+
+    Accepts an existing spec (returned as-is), a spec string, a spec
+    dict (``{"name": ..., "params": {...}}``), or a JSON string of that
+    dict shape.
+    """
+    if isinstance(spec, EstimatorSpec):
+        return spec
+    if isinstance(spec, Mapping):
+        return EstimatorSpec.from_dict(spec)
+    if isinstance(spec, str):
+        stripped = spec.strip()
+        if stripped.startswith("{"):
+            try:
+                data = json.loads(stripped)
+            except json.JSONDecodeError as exc:
+                raise SpecError(f"malformed JSON spec {spec!r}") from exc
+            return EstimatorSpec.from_dict(data)
+        return EstimatorSpec.from_string(spec)
+    raise SpecError(
+        f"cannot parse an estimator spec from {type(spec).__name__}: {spec!r}"
+    )
+
+
+# ----------------------------------------------------------------------
+# Registration
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Registration:
+    """One registry entry: a named factory plus declared parameters."""
+
+    name: str
+    factory: Callable[..., ButterflyEstimator]
+    params: Tuple[Param, ...]
+    description: str
+    cls: Optional[Type[ButterflyEstimator]]
+    aliases: Tuple[str, ...]
+
+    @property
+    def param_names(self) -> Tuple[str, ...]:
+        return tuple(p.name for p in self.params)
+
+    @property
+    def supports_snapshot(self) -> bool:
+        """Whether instances can round-trip through the snapshot API."""
+        return self.cls is not None and hasattr(self.cls, "from_state_dict")
+
+    def validate(self, params: Mapping[str, Any]) -> Dict[str, Any]:
+        """Type-check ``params`` and fill declared defaults.
+
+        Returns the keyword dict to call :attr:`factory` with; ``None``
+        defaults are dropped so the factory's own defaults apply.
+        """
+        declared = {p.name: p for p in self.params}
+        unknown = set(params) - set(declared)
+        if unknown:
+            raise SpecError(
+                f"estimator {self.name!r} does not accept parameter(s) "
+                f"{sorted(unknown)}; declared: {sorted(declared) or 'none'}"
+            )
+        validated: Dict[str, Any] = {}
+        for param in self.params:
+            if param.name in params:
+                value = param.coerce(params[param.name])
+            else:
+                value = param.default
+            if value is not None:
+                validated[param.name] = value
+        return validated
+
+    def restore(self, state: Mapping[str, Any]) -> ButterflyEstimator:
+        """Rebuild an instance from a ``state_to_dict`` payload."""
+        if not self.supports_snapshot:
+            raise SpecError(
+                f"estimator {self.name!r} does not support snapshot/restore"
+            )
+        return self.cls.from_state_dict(dict(state))  # type: ignore[union-attr]
+
+
+_REGISTRY: Dict[str, Registration] = {}
+_ALIASES: Dict[str, str] = {}
+
+
+def register_estimator(
+    name: str,
+    *,
+    params: Tuple[Param, ...] = (),
+    description: str = "",
+    cls: Optional[Type[ButterflyEstimator]] = None,
+    aliases: Tuple[str, ...] = (),
+) -> Callable[[Callable[..., ButterflyEstimator]], Callable[..., ButterflyEstimator]]:
+    """Class decorator/registrar for estimator factories.
+
+    Apply to a factory callable that accepts the declared parameters as
+    keywords and returns a ready :class:`ButterflyEstimator`::
+
+        @register_estimator("abacus", params=(...), cls=Abacus)
+        def _build_abacus(**params):
+            return Abacus(**params)
+
+    Args:
+        name: canonical registry name (lower-cased).
+        params: declared :class:`Param` tuple; specs may only use these.
+        description: one-liner for ``describe_registry`` and the CLI.
+        cls: the estimator class, enabling reverse lookup of instances
+            and snapshot restore via ``cls.from_state_dict``.
+        aliases: additional accepted spec names.
+    """
+    key = name.strip().lower()
+
+    def decorator(
+        factory: Callable[..., ButterflyEstimator]
+    ) -> Callable[..., ButterflyEstimator]:
+        if key in _REGISTRY:
+            raise SpecError(f"estimator {key!r} is already registered")
+        registration = Registration(
+            name=key,
+            factory=factory,
+            params=tuple(params),
+            description=description,
+            cls=cls,
+            aliases=tuple(a.strip().lower() for a in aliases),
+        )
+        for param in registration.params:
+            if param.type not in _SCALAR_TYPES:
+                raise SpecError(
+                    f"parameter {param.name!r} of {key!r} declares "
+                    f"unsupported type {param.type!r}"
+                )
+        _REGISTRY[key] = registration
+        for alias in registration.aliases:
+            if alias in _REGISTRY or alias in _ALIASES:
+                raise SpecError(f"alias {alias!r} collides with a registration")
+            _ALIASES[alias] = key
+        return factory
+
+    return decorator
+
+
+def get_registration(name: str) -> Registration:
+    """Look up a registration by name or alias.
+
+    Raises:
+        SpecError: for unknown names, listing what is available.
+    """
+    key = name.strip().lower()
+    key = _ALIASES.get(key, key)
+    try:
+        return _REGISTRY[key]
+    except KeyError:
+        raise SpecError(
+            f"unknown estimator {name!r}; registered: "
+            f"{', '.join(registered_estimators())}"
+        ) from None
+
+
+def registered_estimators() -> Tuple[str, ...]:
+    """All registered estimator names, sorted."""
+    return tuple(sorted(_REGISTRY))
+
+
+def registration_for_instance(
+    estimator: ButterflyEstimator,
+) -> Optional[Registration]:
+    """Reverse lookup: the registration whose class built ``estimator``.
+
+    Exact type match only — a subclass is a different estimator as far
+    as snapshots are concerned.  Returns ``None`` when the instance's
+    type was never registered.
+    """
+    for registration in _REGISTRY.values():
+        if registration.cls is type(estimator):
+            return registration
+    return None
+
+
+def build_estimator(spec: SpecLike, **overrides: Any) -> ButterflyEstimator:
+    """Construct a registered estimator from any spec form.
+
+    Args:
+        spec: an :class:`EstimatorSpec`, spec string, or spec dict.
+        overrides: parameter overrides merged over the spec's params
+            (a ``None`` override removes/uses-default for that key).
+
+    Raises:
+        SpecError: unknown estimator, undeclared parameter, or a value
+            that fails type validation.
+    """
+    parsed = parse_spec(spec)
+    registration = get_registration(parsed.name)
+    params = dict(parsed.params)
+    for key, value in overrides.items():
+        if value is None:
+            params.pop(key, None)
+        else:
+            params[key] = value
+    return registration.factory(**registration.validate(params))
+
+
+def describe_registry() -> str:
+    """Human-readable table of registrations (CLI ``estimators``)."""
+    lines = ["Registered estimators", "====================="]
+    for name in registered_estimators():
+        registration = _REGISTRY[name]
+        lines.append("")
+        title = name
+        if registration.aliases:
+            title += f" (aliases: {', '.join(registration.aliases)})"
+        lines.append(title)
+        if registration.description:
+            lines.append(f"  {registration.description}")
+        if registration.supports_snapshot:
+            lines.append("  snapshot/restore: yes")
+        for param in registration.params:
+            default = (
+                "" if param.default is None else f" (default {param.default})"
+            )
+            doc = f" — {param.doc}" if param.doc else ""
+            lines.append(
+                f"  {param.name}: {param.type.__name__}{default}{doc}"
+            )
+        if not registration.params:
+            lines.append("  (no parameters)")
+    return "\n".join(lines)

@@ -1,0 +1,462 @@
+"""The ``Session`` facade — the single public entry point.
+
+A session wraps one estimator behind a uniform lifecycle::
+
+    spec -> build -> ingest -> observe -> snapshot
+
+so every consumer (CLI, experiment harness, benchmarks, examples, user
+code) drives estimators the same way regardless of which one a spec
+names::
+
+    from repro.api import open_session
+
+    with open_session("abacus:budget=1000,seed=42") as session:
+        session.ingest(stream)                # batched
+        session.ingest(insertion("u", "v"))   # or element-by-element
+        print(session.estimate, session.metrics.throughput_eps)
+
+Observers replace the positional callback of
+``ButterflyEstimator.process_stream``: subscriptions are added with
+:meth:`Session.on_checkpoint` / :meth:`Session.on_estimate_change`,
+each returning an unsubscribe callable, and any number can be active
+at once.
+
+Sessions of snapshot-capable estimators (ABACUS, PARABACUS — any
+:class:`~repro.core.base.StatefulEstimator` whose class is registered)
+serialise to a JSON document with :meth:`Session.snapshot` /
+:meth:`Session.save` and come back with :func:`restore_session`;
+continuing a restored session is bit-identical to never having
+stopped.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Union,
+)
+
+from repro.api.registry import (
+    EstimatorSpec,
+    SpecLike,
+    build_estimator,
+    get_registration,
+    parse_spec,
+    registration_for_instance,
+)
+from repro.core.base import ButterflyEstimator
+from repro.errors import EstimatorError, SpecError
+from repro.types import StreamElement
+
+__all__ = [
+    "Session",
+    "SessionMetrics",
+    "SNAPSHOT_FORMAT_VERSION",
+    "open_session",
+    "restore_session",
+]
+
+#: Session snapshot envelope version (the ABACUS-only legacy file
+#: format of :mod:`repro.core.checkpoint` is version 1).
+SNAPSHOT_FORMAT_VERSION = 2
+
+#: Checkpoint observers receive ``(elements_processed, session)``.
+CheckpointObserver = Callable[[int, "Session"], None]
+#: Estimate observers receive ``(signed_delta, session)``.
+EstimateObserver = Callable[[float, "Session"], None]
+
+
+@dataclass(frozen=True)
+class SessionMetrics:
+    """Point-in-time per-session metrics.
+
+    Attributes:
+        elements: stream elements ingested through this session.
+        processing_seconds: wall-clock time spent inside the
+            estimator's ``process`` calls (observer and bookkeeping
+            time excluded).
+        throughput_eps: elements per processing second (0 before any
+            work).
+        memory_edges: edges currently held by the estimator.
+        estimate: the current butterfly-count estimate.
+    """
+
+    elements: int
+    processing_seconds: float
+    throughput_eps: float
+    memory_edges: int
+    estimate: float
+
+
+class _CheckpointSubscription:
+    """One ``on_checkpoint`` registration (periodic and/or marks)."""
+
+    __slots__ = ("callback", "every", "marks", "next_mark")
+
+    def __init__(
+        self,
+        callback: CheckpointObserver,
+        every: Optional[int],
+        at: Optional[Sequence[int]],
+    ) -> None:
+        self.callback = callback
+        self.every = every
+        self.marks: List[int] = sorted(at) if at else []
+        self.next_mark = 0
+
+    def notify(self, elements: int, session: "Session") -> None:
+        if self.every is not None and elements % self.every == 0:
+            self.callback(elements, session)
+        # One call per listed mark — duplicates each fire.
+        while (
+            self.next_mark < len(self.marks)
+            and elements >= self.marks[self.next_mark]
+        ):
+            self.callback(self.marks[self.next_mark], session)
+            self.next_mark += 1
+
+
+class Session:
+    """One estimator behind the spec → ingest → observe → snapshot API.
+
+    Build via :func:`open_session` (or :func:`restore_session`) rather
+    than directly; the functions handle spec parsing and registry
+    lookup.
+
+    Args:
+        estimator: the wrapped estimator instance.
+        spec: the spec it was built from, when known — recorded in
+            snapshots for provenance.
+    """
+
+    def __init__(
+        self,
+        estimator: ButterflyEstimator,
+        spec: Optional[EstimatorSpec] = None,
+    ) -> None:
+        self._estimator = estimator
+        self._spec = spec
+        self._elements = 0
+        self._processing_seconds = 0.0
+        self._checkpoint_subs: List[_CheckpointSubscription] = []
+        self._estimate_subs: List[tuple] = []  # (callback, min_delta)
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def estimator(self) -> ButterflyEstimator:
+        """The wrapped estimator (shared, not a copy)."""
+        return self._estimator
+
+    @property
+    def spec(self) -> Optional[EstimatorSpec]:
+        """The spec this session was opened from, if any."""
+        return self._spec
+
+    @property
+    def estimate(self) -> float:
+        """The current butterfly-count estimate."""
+        return self._estimator.estimate
+
+    @property
+    def elements(self) -> int:
+        """Stream elements ingested through this session."""
+        return self._elements
+
+    @property
+    def memory_edges(self) -> int:
+        return self._estimator.memory_edges
+
+    @property
+    def metrics(self) -> SessionMetrics:
+        """A snapshot of the built-in per-session metrics."""
+        seconds = self._processing_seconds
+        return SessionMetrics(
+            elements=self._elements,
+            processing_seconds=seconds,
+            throughput_eps=(self._elements / seconds) if seconds > 0 else 0.0,
+            memory_edges=self._estimator.memory_edges,
+            estimate=self._estimator.estimate,
+        )
+
+    # ------------------------------------------------------------------
+    # Ingestion
+    # ------------------------------------------------------------------
+    def ingest(
+        self, elements: Union[StreamElement, Iterable[StreamElement]]
+    ) -> float:
+        """Feed one element or a whole iterable of elements.
+
+        Returns:
+            The signed change to the estimate caused by this call.  For
+            buffering estimators (PARABACUS) per-element deltas surface
+            at flush boundaries, exactly as with direct ``process``.
+        """
+        if self._closed:
+            raise EstimatorError("session is closed")
+        if isinstance(elements, StreamElement):
+            return self._ingest_one(elements)
+        total = 0.0
+        for element in elements:
+            total += self._ingest_one(element)
+        return total
+
+    def _ingest_one(self, element: StreamElement) -> float:
+        started = time.perf_counter()
+        delta = self._estimator.process(element)
+        self._processing_seconds += time.perf_counter() - started
+        self._elements += 1
+        if delta and self._estimate_subs:
+            for callback, min_delta in list(self._estimate_subs):
+                if abs(delta) >= min_delta:
+                    callback(delta, self)
+        if self._checkpoint_subs:
+            for subscription in list(self._checkpoint_subs):
+                subscription.notify(self._elements, self)
+        return delta
+
+    def flush(self) -> float:
+        """Flush any buffered elements (no-op for unbuffered estimators).
+
+        Returns the estimate change caused by the flush.
+        """
+        flusher = getattr(self._estimator, "flush", None)
+        if flusher is None:
+            return 0.0
+        started = time.perf_counter()
+        delta = flusher()
+        self._processing_seconds += time.perf_counter() - started
+        return delta
+
+    # ------------------------------------------------------------------
+    # Observers
+    # ------------------------------------------------------------------
+    def on_checkpoint(
+        self,
+        callback: CheckpointObserver,
+        *,
+        every: Optional[int] = None,
+        at: Optional[Sequence[int]] = None,
+    ) -> Callable[[], None]:
+        """Subscribe to element-count checkpoints.
+
+        Args:
+            callback: invoked as ``callback(elements, session)``.
+            every: fire each time the ingested-element count is a
+                multiple of this period.
+            at: explicit element counts to fire at (need not be
+                sorted; duplicates fire once per listed entry).  A mark
+                smaller than the current element count fires on the
+                next ingested element.
+
+        Returns:
+            A zero-argument unsubscribe callable.
+
+        Raises:
+            SpecError: when neither ``every`` nor ``at`` is given, or
+                ``every`` is not positive.
+        """
+        if every is None and at is None:
+            raise SpecError("on_checkpoint needs every=N and/or at=[...]")
+        if every is not None and every <= 0:
+            raise SpecError(f"every must be positive, got {every}")
+        subscription = _CheckpointSubscription(callback, every, at)
+        self._checkpoint_subs.append(subscription)
+
+        def unsubscribe() -> None:
+            if subscription in self._checkpoint_subs:
+                self._checkpoint_subs.remove(subscription)
+
+        return unsubscribe
+
+    def on_estimate_change(
+        self,
+        callback: EstimateObserver,
+        *,
+        min_delta: float = 0.0,
+    ) -> Callable[[], None]:
+        """Subscribe to estimate changes.
+
+        Args:
+            callback: invoked as ``callback(delta, session)`` whenever
+                an ingested element changes the estimate.
+            min_delta: suppress notifications with ``|delta|`` below
+                this threshold.
+
+        Returns:
+            A zero-argument unsubscribe callable.
+        """
+        entry = (callback, min_delta)
+        self._estimate_subs.append(entry)
+
+        def unsubscribe() -> None:
+            if entry in self._estimate_subs:
+                self._estimate_subs.remove(entry)
+
+        return unsubscribe
+
+    # ------------------------------------------------------------------
+    # Snapshot / restore
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Dict[str, Any]:
+        """Serialise the session to a JSON-ready dict.
+
+        The envelope records the registry name (so restore knows which
+        class to rebuild), the opening spec for provenance, the full
+        estimator state, and the session counters.
+
+        Raises:
+            SpecError: when the estimator's class is unregistered or
+                does not implement the ``StatefulEstimator`` protocol.
+        """
+        registration = registration_for_instance(self._estimator)
+        if registration is None:
+            raise SpecError(
+                f"{type(self._estimator).__name__} is not a registered "
+                "estimator class; snapshots need a registry entry"
+            )
+        if not registration.supports_snapshot or not hasattr(
+            self._estimator, "state_to_dict"
+        ):
+            raise SpecError(
+                f"estimator {registration.name!r} does not support "
+                "snapshot/restore (no StatefulEstimator implementation)"
+            )
+        return {
+            "format_version": SNAPSHOT_FORMAT_VERSION,
+            "estimator": registration.name,
+            "spec": self._spec.to_dict() if self._spec else None,
+            "state": self._estimator.state_to_dict(),
+            "session": {
+                "elements": self._elements,
+                "processing_seconds": self._processing_seconds,
+            },
+        }
+
+    def save(self, path: Union[str, os.PathLike]) -> None:
+        """Write :meth:`snapshot` as a JSON file."""
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(self.snapshot(), handle)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Flush buffered work and release estimator resources."""
+        if self._closed:
+            return
+        self.flush()
+        closer = getattr(self._estimator, "close", None)
+        if closer is not None:
+            closer()
+        self._closed = True
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, *_exc: Any) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        name = self._spec.name if self._spec else type(self._estimator).__name__
+        return (
+            f"Session({name}, elements={self._elements}, "
+            f"estimate={self.estimate:.1f})"
+        )
+
+
+def open_session(
+    estimator: Union[SpecLike, ButterflyEstimator],
+    **overrides: Any,
+) -> Session:
+    """Open a session from a spec (string/dict/object) or an instance.
+
+    Args:
+        estimator: an :class:`EstimatorSpec`, a spec string like
+            ``"abacus:budget=1000,seed=42"``, a spec dict, or an
+            already-constructed estimator to wrap.
+        overrides: spec parameter overrides (ignored-with-error for
+            instances — wrap specs, not objects, to reconfigure).
+
+    Raises:
+        SpecError: on unknown estimators/parameters, or when overrides
+            are passed alongside an instance.
+    """
+    if isinstance(estimator, ButterflyEstimator):
+        if overrides:
+            raise SpecError(
+                "parameter overrides only apply when opening from a "
+                f"spec, not an instance (got {sorted(overrides)})"
+            )
+        registration = registration_for_instance(estimator)
+        spec = EstimatorSpec(registration.name) if registration else None
+        return Session(estimator, spec=spec)
+    spec = parse_spec(estimator)
+    if overrides:
+        spec = spec.with_overrides(**overrides)
+    built = build_estimator(spec)
+    return Session(built, spec=spec)
+
+
+def restore_session(
+    snapshot: Union[Mapping[str, Any], str, os.PathLike],
+) -> Session:
+    """Rebuild a session from :meth:`Session.snapshot` output or a file.
+
+    Continuing the restored session is bit-identical to the original:
+    the estimator state (including RNG state and, for PARABACUS, the
+    partially buffered mini-batch) round-trips exactly.
+
+    Raises:
+        EstimatorError: malformed snapshot, wrong format version, or an
+            estimator that cannot be restored.
+    """
+    if not isinstance(snapshot, Mapping):
+        try:
+            with open(snapshot, "r", encoding="utf-8") as handle:
+                snapshot = json.load(handle)
+        except json.JSONDecodeError as exc:
+            raise EstimatorError(
+                f"malformed session snapshot file: {exc}"
+            ) from exc
+    if not isinstance(snapshot, Mapping):
+        raise EstimatorError("session snapshot must be a JSON object")
+    version = snapshot.get("format_version")
+    if version != SNAPSHOT_FORMAT_VERSION:
+        raise EstimatorError(
+            f"unsupported session snapshot version: {version!r} "
+            f"(expected {SNAPSHOT_FORMAT_VERSION})"
+        )
+    try:
+        registration = get_registration(snapshot["estimator"])
+        estimator = registration.restore(snapshot["state"])
+        spec_data = snapshot.get("spec")
+        counters = snapshot.get("session", {})
+        elements = int(counters.get("elements", 0))
+        seconds = float(counters.get("processing_seconds", 0.0))
+    except (KeyError, TypeError, ValueError) as exc:
+        raise EstimatorError(
+            f"session snapshot is missing or corrupts fields: {exc}"
+        ) from exc
+    spec = EstimatorSpec.from_dict(spec_data) if spec_data else None
+    session = Session(estimator, spec=spec)
+    session._elements = elements
+    session._processing_seconds = seconds
+    return session

@@ -7,7 +7,13 @@ Subcommands map 1:1 onto the paper's tables/figures plus the extras::
     repro fig4 | fig5 | fig6 | fig7 | fig8 | fig9 | fig10
     repro unbiasedness | ablation
     repro variance | ensemble | anomaly | lineage   # extensions
+    repro estimators                  # the estimator registry
+    repro stream --estimator SPEC     # run any spec through a session
     repro all                         # everything, in order
+
+``--estimator`` accepts the registry spec grammar, e.g.
+``abacus:budget=1000,seed=42`` or ``parabacus:budget=2000,batch_size=500``;
+``repro estimators`` lists every registered name with its parameters.
 
 Use ``--datasets`` with a comma-separated subset of
 ``movielens_like,livejournal_like,trackers_like,orkut_like`` to trim
@@ -20,6 +26,8 @@ import argparse
 import sys
 from typing import List, Optional
 
+from repro.api import describe_registry, open_session, parse_spec
+from repro.errors import ReproError
 from repro.experiments import extensions, figures
 from repro.experiments.plotting import line_chart
 from repro.experiments.runner import ExperimentContext
@@ -54,9 +62,21 @@ def build_parser() -> argparse.ArgumentParser:
             "ensemble",
             "anomaly",
             "lineage",
+            "estimators",
+            "stream",
             "all",
         ],
         help="which experiment to run",
+    )
+    parser.add_argument(
+        "--estimator",
+        type=str,
+        default="abacus:budget=1000,seed=42",
+        metavar="SPEC",
+        help=(
+            "estimator spec for the 'stream' experiment, e.g. "
+            "abacus:budget=1000,seed=42 (see 'repro estimators')"
+        ),
     )
     parser.add_argument(
         "--trials",
@@ -110,6 +130,39 @@ def _accuracy_charts(result: dict, alpha: float) -> str:
     return "\n\n".join(blocks)
 
 
+def run_stream(
+    spec_text: str,
+    datasets: Optional[List[str]],
+    context: Optional[ExperimentContext] = None,
+    alpha: float = 0.2,
+) -> str:
+    """Run one estimator spec over a dataset through the session API."""
+    from repro.experiments.datasets import get_dataset
+
+    ctx = context or ExperimentContext()
+    dataset = (datasets or ["movielens_like"])[0]
+    dataset_spec = get_dataset(dataset)
+    stream = ctx.stream(dataset_spec, alpha, 0)
+    truth = ctx.truth(dataset_spec, alpha, 0)
+    spec = parse_spec(spec_text)
+    with open_session(spec) as session:
+        session.ingest(stream)
+        session.flush()
+        metrics = session.metrics
+    lines = [
+        f"== stream: {spec.to_string()} on {dataset} (alpha={alpha:.0%}) ==",
+        f"  elements ingested : {metrics.elements:>14,}",
+        f"  estimate          : {metrics.estimate:>14,.1f}",
+        f"  exact count       : {truth:>14,}",
+    ]
+    if truth:
+        error = abs(truth - metrics.estimate) / truth
+        lines.append(f"  relative error    : {error:>14.2%}")
+    lines.append(f"  memory (edges)    : {metrics.memory_edges:>14,}")
+    lines.append(f"  throughput        : {metrics.throughput_eps:>14,.0f} elements/s")
+    return "\n".join(lines)
+
+
 def run_experiment(
     name: str,
     trials: int,
@@ -117,9 +170,14 @@ def run_experiment(
     threads: int,
     context: Optional[ExperimentContext] = None,
     chart: bool = False,
+    estimator_spec: str = "abacus:budget=1000,seed=42",
 ) -> str:
     """Execute one experiment; return its rendered report."""
     ctx = context or ExperimentContext()
+    if name == "estimators":
+        return describe_registry()
+    if name == "stream":
+        return run_stream(estimator_spec, datasets, context=ctx)
     if name == "table2":
         return figures.run_table2(datasets=datasets)["text"]
     if name == "fig3":
@@ -199,13 +257,17 @@ def main(argv: Optional[List[str]] = None) -> int:
         ]
     else:
         names = [args.experiment]
-    for name in names:
-        report = run_experiment(
-            name, args.trials, datasets, args.threads, context,
-            chart=args.chart,
-        )
-        print(report)
-        print()
+    try:
+        for name in names:
+            report = run_experiment(
+                name, args.trials, datasets, args.threads, context,
+                chart=args.chart, estimator_spec=args.estimator,
+            )
+            print(report)
+            print()
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     return 0
 
 

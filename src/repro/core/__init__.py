@@ -1,7 +1,7 @@
 """Core estimators: ABACUS, PARABACUS, and the exact streaming oracle."""
 
 from repro.core.abacus import Abacus
-from repro.core.base import ButterflyEstimator
+from repro.core.base import ButterflyEstimator, StatefulEstimator
 from repro.core.checkpoint import (
     abacus_from_dict,
     abacus_to_dict,
@@ -31,6 +31,7 @@ __all__ = [
     "LazyAbacus",
     "Parabacus",
     "ButterflyEstimator",
+    "StatefulEstimator",
     "ExactStreamingCounter",
     "abacus_to_dict",
     "abacus_from_dict",

@@ -98,6 +98,16 @@ class Abacus(ButterflyEstimator):
     def budget(self) -> int:
         return self._sampler.budget
 
+    @property
+    def cheapest_side(self) -> bool:
+        """Whether the side-selection heuristic is enabled."""
+        return self._cheapest_side
+
+    @property
+    def naive_increment(self) -> bool:
+        """Whether the deletion-unaware ablation weighting is enabled."""
+        return self._naive_increment
+
     def process(self, element: StreamElement) -> float:
         """Algorithm 1, lines 4-14, for one element."""
         self.elements_processed += 1
@@ -147,6 +157,44 @@ class Abacus(ButterflyEstimator):
                 target budget.
         """
         return self._sampler.shrink_budget(new_budget)
+
+    # ------------------------------------------------------------------
+    # StatefulEstimator protocol
+    # ------------------------------------------------------------------
+    def state_to_dict(self) -> dict:
+        """Capture the complete estimator state (JSON-serialisable).
+
+        ABACUS's entire state is small — the sampler state (sampled
+        edges, compensation counters, live-edge count, RNG state) plus
+        the running estimate and work counters — so it serialises to a
+        compact dict.  Restoring via :meth:`from_state_dict` continues
+        bit-identically.
+        """
+        state = self._sampler.state_to_dict()
+        state.update(
+            {
+                "estimate": self._estimate,
+                "total_work": self.total_work,
+                "elements_processed": self.elements_processed,
+                "cheapest_side": self._cheapest_side,
+                "naive_increment": self._naive_increment,
+            }
+        )
+        return state
+
+    @classmethod
+    def from_state_dict(cls, state: dict) -> "Abacus":
+        """Rebuild an :class:`Abacus` from :meth:`state_to_dict` output."""
+        estimator = cls(
+            state["budget"],
+            cheapest_side=state["cheapest_side"],
+            naive_increment=state["naive_increment"],
+        )
+        estimator._sampler.restore_state(state)
+        estimator._estimate = state["estimate"]
+        estimator.total_work = state["total_work"]
+        estimator.elements_processed = state["elements_processed"]
+        return estimator
 
     # ------------------------------------------------------------------
     # Internals

@@ -10,12 +10,50 @@ trajectories without re-running streams.
 from __future__ import annotations
 
 import abc
-from typing import Callable, Iterable, List, Optional
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Protocol,
+    runtime_checkable,
+)
 
 from repro.types import StreamElement
 
 # Invoked as callback(elements_processed, estimator) at each checkpoint.
 CheckpointCallback = Callable[[int, "ButterflyEstimator"], None]
+
+
+@runtime_checkable
+class StatefulEstimator(Protocol):
+    """An estimator whose complete state round-trips through a dict.
+
+    The contract behind the snapshot/restore facilities of
+    :mod:`repro.api.session` and :mod:`repro.core.checkpoint`:
+
+    * :meth:`state_to_dict` returns a JSON-serialisable dict capturing
+      *everything* — configuration, counters, sampled edges, and RNG
+      state — using only public accessors.
+    * ``from_state_dict`` (a classmethod) rebuilds an instance that,
+      fed the remainder of a stream, produces **bit-identical** results
+      to the uninterrupted original.
+
+    Vertex identifiers must be JSON-representable (int or str) for the
+    dict to serialise; the library's generators and loaders guarantee
+    that.
+    """
+
+    def state_to_dict(self) -> Dict[str, Any]:
+        """Capture the full estimator state as a JSON-ready dict."""
+        ...
+
+    @classmethod
+    def from_state_dict(cls, state: Dict[str, Any]) -> "StatefulEstimator":
+        """Rebuild an estimator from :meth:`state_to_dict` output."""
+        ...
 
 
 class ButterflyEstimator(abc.ABC):
@@ -54,12 +92,15 @@ class ButterflyEstimator(abc.ABC):
 
         Args:
             stream: stream elements in arrival order.
-            checkpoints: sorted element counts at which to invoke
-                ``on_checkpoint`` (e.g. every 10% for Fig. 7).
+            checkpoints: element counts at which to invoke
+                ``on_checkpoint`` (e.g. every 10% for Fig. 7).  The
+                list need not be sorted; duplicate values fire the
+                callback once *per listed entry*.
             on_checkpoint: callback receiving (elements_processed, self).
         """
-        pending = list(checkpoints) if checkpoints else []
-        pending.reverse()  # pop from the end
+        # Sort ascending then pop from the end, so unsorted inputs fire
+        # at the right element counts and duplicates each get a call.
+        pending = sorted(checkpoints, reverse=True) if checkpoints else []
         processed = 0
         for element in stream:
             self.process(element)

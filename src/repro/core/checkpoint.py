@@ -1,14 +1,20 @@
-"""Checkpoint/restore of ABACUS estimator state.
+"""Checkpoint/restore of ABACUS estimator state (legacy wrapper).
 
 Long-running streaming jobs need to survive restarts without replaying
-the whole stream.  ABACUS's entire state is small — the sampled edges,
-the compensation counters, the live-edge count, the estimate, and the
-RNG state — so it serialises to a compact JSON document.  Restoring
-reproduces the estimator *exactly*: continuing a restored instance
-yields bit-identical results to the uninterrupted run (tested).
+the whole stream.  The state capture itself now lives on the estimators
+(:meth:`~repro.core.abacus.Abacus.state_to_dict` /
+``from_state_dict`` — the :class:`~repro.core.base.StatefulEstimator`
+protocol, built entirely from public accessors) and the general
+session-level snapshot API is :meth:`repro.api.session.Session.snapshot`,
+which also covers PARABACUS.  This module keeps the original
+ABACUS-only JSON file format (format version 1) working as a thin
+wrapper for existing callers.
 
-Vertex identifiers must be JSON-representable (int or str); the integer
-vertices produced by the library's generators and loaders always are.
+Restoring reproduces the estimator *exactly*: continuing a restored
+instance yields bit-identical results to the uninterrupted run
+(tested).  Vertex identifiers must be JSON-representable (int or str);
+the integer vertices produced by the library's generators and loaders
+always are.
 """
 
 from __future__ import annotations
@@ -25,27 +31,9 @@ _FORMAT_VERSION = 1
 
 def abacus_to_dict(estimator: Abacus) -> Dict[str, Any]:
     """Capture the complete state of an :class:`Abacus` instance."""
-    sampler = estimator.sampler
-    rng_state = sampler._rng.getstate()
-    return {
-        "format_version": _FORMAT_VERSION,
-        "budget": sampler.budget,
-        "estimate": estimator.estimate,
-        "num_live_edges": sampler.num_live_edges,
-        "cb": sampler.cb,
-        "cg": sampler.cg,
-        "sample_edges": [list(edge) for edge in sampler.sample.edges()],
-        "total_work": estimator.total_work,
-        "elements_processed": estimator.elements_processed,
-        "cheapest_side": estimator._cheapest_side,
-        "naive_increment": estimator._naive_increment,
-        # random.Random.getstate() -> (version, tuple-of-ints, gauss).
-        "rng_state": [
-            rng_state[0],
-            list(rng_state[1]),
-            rng_state[2],
-        ],
-    }
+    state = estimator.state_to_dict()
+    state["format_version"] = _FORMAT_VERSION
+    return state
 
 
 def abacus_from_dict(state: Dict[str, Any]) -> Abacus:
@@ -55,25 +43,7 @@ def abacus_from_dict(state: Dict[str, Any]) -> Abacus:
         raise EstimatorError(
             f"unsupported checkpoint format version: {version!r}"
         )
-    estimator = Abacus(
-        state["budget"],
-        cheapest_side=state["cheapest_side"],
-        naive_increment=state["naive_increment"],
-    )
-    sampler = estimator.sampler
-    raw_version, raw_internal, raw_gauss = state["rng_state"]
-    sampler._rng.setstate(
-        (raw_version, tuple(raw_internal), raw_gauss)
-    )
-    sampler.num_live_edges = state["num_live_edges"]
-    sampler.cb = state["cb"]
-    sampler.cg = state["cg"]
-    for u, v in state["sample_edges"]:
-        sampler.sample.add_edge(u, v)
-    estimator._estimate = state["estimate"]
-    estimator.total_work = state["total_work"]
-    estimator.elements_processed = state["elements_processed"]
-    return estimator
+    return Abacus.from_state_dict(state)
 
 
 def save_checkpoint(estimator: Abacus, path: str | os.PathLike) -> None:

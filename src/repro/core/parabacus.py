@@ -39,7 +39,7 @@ from repro.errors import EstimatorError
 from repro.sampling.random_pairing import RandomPairing
 from repro.sampling.versioned import VersionedGraphSample
 from repro.streams.minibatch import iter_minibatches, partition_round_robin
-from repro.types import StreamElement
+from repro.types import Op, StreamElement
 
 
 class Parabacus(ButterflyEstimator):
@@ -227,6 +227,63 @@ class Parabacus(ButterflyEstimator):
                 )
             partial += element.op.sign * found / probability
         return partial, work_done
+
+    # ------------------------------------------------------------------
+    # StatefulEstimator protocol
+    # ------------------------------------------------------------------
+    def state_to_dict(self) -> dict:
+        """Capture the complete estimator state (JSON-serialisable).
+
+        Besides the shared sampler state this includes the mini-batch
+        configuration, the work/batch counters, and — crucially — the
+        still-buffered elements of a partially filled batch, so a
+        snapshot taken mid-buffer continues bit-identically.
+        """
+        state = self._sampler.state_to_dict()
+        state.update(
+            {
+                "estimate": self._estimate,
+                "batch_size": self.batch_size,
+                "num_threads": self.num_threads,
+                "cheapest_side": self._cheapest_side,
+                "use_thread_pool": self._use_thread_pool,
+                "total_work": self.total_work,
+                "elements_processed": self.elements_processed,
+                "versioning_elements": self.versioning_elements,
+                "num_batches": self.num_batches,
+                "last_batch_workloads": list(self.last_batch_workloads),
+                "per_thread_work": list(self.per_thread_work),
+                "pending": [
+                    [element.u, element.v, element.op.value]
+                    for element in self._pending
+                ],
+            }
+        )
+        return state
+
+    @classmethod
+    def from_state_dict(cls, state: dict) -> "Parabacus":
+        """Rebuild a :class:`Parabacus` from :meth:`state_to_dict` output."""
+        estimator = cls(
+            state["budget"],
+            batch_size=state["batch_size"],
+            num_threads=state["num_threads"],
+            use_thread_pool=state["use_thread_pool"],
+            cheapest_side=state["cheapest_side"],
+        )
+        estimator._sampler.restore_state(state)
+        estimator._estimate = state["estimate"]
+        estimator.total_work = state["total_work"]
+        estimator.elements_processed = state["elements_processed"]
+        estimator.versioning_elements = state["versioning_elements"]
+        estimator.num_batches = state["num_batches"]
+        estimator.last_batch_workloads = list(state["last_batch_workloads"])
+        estimator.per_thread_work = list(state["per_thread_work"])
+        estimator._pending = [
+            StreamElement(u, v, Op.from_symbol(symbol))
+            for u, v, symbol in state["pending"]
+        ]
+        return estimator
 
     # ------------------------------------------------------------------
     # Work-model speedup (DESIGN.md substitution #2)

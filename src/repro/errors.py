@@ -54,5 +54,16 @@ class EstimatorError(ReproError):
     """An estimator was configured or driven incorrectly."""
 
 
+class SpecError(EstimatorError):
+    """An estimator spec failed to parse or validate.
+
+    Raised by the :mod:`repro.api` registry for malformed spec strings,
+    unknown estimator names, undeclared parameters, and values that
+    cannot be coerced to a parameter's declared type.  Subclasses
+    :class:`EstimatorError` so callers that already guard estimator
+    construction keep working.
+    """
+
+
 class ExperimentError(ReproError):
     """The experiment harness was asked for an unknown dataset/figure."""

@@ -24,14 +24,11 @@ import math
 import random
 from typing import Dict, List, Sequence
 
+from repro.api.registry import EstimatorSpec, build_estimator
 from repro.apps.anomaly_quality import (
     compare_estimators,
     planted_anomaly_stream,
 )
-from repro.baselines.cas import CoAffiliationSampling
-from repro.baselines.fleet import Fleet
-from repro.core.abacus import Abacus
-from repro.core.ensemble import EnsembleEstimator
 from repro.core.probabilities import variance_upper_bound
 from repro.experiments.report import render_table
 from repro.experiments.runner import ground_truth_final_count
@@ -42,6 +39,11 @@ from repro.triangles.graph import UndirectedGraph
 from repro.triangles.exact import count_triangles
 from repro.triangles.thinkd import ThinkD
 from repro.triangles.triest import TriestFD
+
+
+def _estimator(name: str, **params):
+    """Build a registered estimator from keyword params."""
+    return build_estimator(EstimatorSpec(name, params))
 
 
 def _sample_stats(values: Sequence[float]) -> Dict[str, float]:
@@ -83,7 +85,9 @@ def run_variance_bound(
     series = {}
     for budget in budgets:
         estimates = [
-            Abacus(budget, seed=seed + 1000 + t).process_stream(stream)
+            _estimator(
+                "abacus", budget=budget, seed=seed + 1000 + t
+            ).process_stream(stream)
             for t in range(trials)
         ]
         stats = _sample_stats(estimates)
@@ -139,17 +143,20 @@ def run_ensemble(
         )
 
     singles = [
-        Abacus(budget, seed=seed + 100 + t).process_stream(stream)
+        _estimator(
+            "abacus", budget=budget, seed=seed + 100 + t
+        ).process_stream(stream)
         for t in range(trials)
     ]
     extra = [
-        EnsembleEstimator(
-            replicas=replicas, budget=budget, seed=seed + 300 + t
+        _estimator(
+            "ensemble", replicas=replicas, budget=budget, seed=seed + 300 + t
         ).process_stream(stream)
         for t in range(trials)
     ]
     shared = [
-        EnsembleEstimator(
+        _estimator(
+            "ensemble",
             replicas=replicas,
             budget=budget,
             share_budget=True,
@@ -217,10 +224,14 @@ def run_anomaly_quality(
             stream,
             truths,
             {
-                "Abacus": lambda: Abacus(budget, seed=seed + 2),
-                "FLEET": lambda: Fleet(budget, seed=seed + 2),
-                "CAS": lambda: CoAffiliationSampling(
-                    budget, seed=seed + 2
+                "Abacus": lambda: _estimator(
+                    "abacus", budget=budget, seed=seed + 2
+                ),
+                "FLEET": lambda: _estimator(
+                    "fleet", budget=budget, seed=seed + 2
+                ),
+                "CAS": lambda: _estimator(
+                    "cas", budget=budget, seed=seed + 2
                 ),
             },
             window=window,

@@ -15,8 +15,8 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Optional, Sequence
 
-from repro.core.abacus import Abacus
-from repro.core.parabacus import Parabacus
+from repro.api.registry import EstimatorSpec, build_estimator
+from repro.core.base import ButterflyEstimator
 from repro.errors import ExperimentError
 from repro.graph.bipartite import BipartiteGraph
 from repro.graph.butterflies import butterfly_density, count_butterflies
@@ -28,6 +28,11 @@ from repro.experiments.runner import ExperimentContext
 
 DEFAULT_ALPHA = 0.2
 SIZE_LABELS = ("small", "mid", "large")  # stand-ins for 75K/150K/300K
+
+
+def _estimator(name: str, **params) -> ButterflyEstimator:
+    """Build a registered estimator from keyword params (figures idiom)."""
+    return build_estimator(EstimatorSpec(name, params))
 
 
 def _dataset_names(datasets: Optional[Iterable[str]]) -> List[str]:
@@ -228,8 +233,9 @@ def _parabacus_throughput(
 ) -> tuple:
     """(wall-clock eps, work-model eps) for PARABACUS."""
     stream = ctx.stream(spec, alpha, 0)
-    estimator = Parabacus(
-        budget,
+    estimator = _estimator(
+        "parabacus",
+        budget=budget,
         batch_size=batch_size,
         num_threads=num_threads,
         seed=spec.base_seed + 31337,
@@ -323,7 +329,9 @@ def run_scalability(
         marks = stream.checkpoints(parts)
         series: Dict[str, List[float]] = {}
         for budget in spec.sample_sizes:
-            estimator = Abacus(budget, seed=spec.base_seed)
+            estimator = _estimator(
+                "abacus", budget=budget, seed=spec.base_seed
+            )
             elapsed: List[float] = []
             watch = Stopwatch()
             watch.start()
@@ -377,8 +385,9 @@ def run_minibatch_speedup(
             speedups = []
             adjusted = []
             for batch_size in batch_sizes:
-                estimator = Parabacus(
-                    budget,
+                estimator = _estimator(
+                    "parabacus",
+                    budget=budget,
                     batch_size=batch_size,
                     num_threads=num_threads,
                     seed=spec.base_seed,
@@ -428,8 +437,9 @@ def run_thread_speedup(
         for budget in spec.sample_sizes:
             speedups = []
             for p in thread_counts:
-                estimator = Parabacus(
-                    budget,
+                estimator = _estimator(
+                    "parabacus",
+                    budget=budget,
                     batch_size=batch_size,
                     num_threads=p,
                     seed=spec.base_seed,
@@ -480,8 +490,9 @@ def run_load_balance(
         spec = get_dataset(name)
         budget = spec.sample_sizes[budget_index]
         stream = ctx.stream(spec, alpha, 0)
-        estimator = Parabacus(
-            budget,
+        estimator = _estimator(
+            "parabacus",
+            budget=budget,
             batch_size=batch_size,
             num_threads=num_threads,
             seed=spec.base_seed,
@@ -537,7 +548,7 @@ def run_unbiasedness(
         raise ExperimentError("unbiasedness workload has no butterflies")
     estimates = []
     for trial in range(trials):
-        estimator = Abacus(budget, seed=seed + 7 * trial + 1)
+        estimator = _estimator("abacus", budget=budget, seed=seed + 7 * trial + 1)
         estimates.append(estimator.process_stream(stream))
     mean_estimate = sum(estimates) / len(estimates)
     variance = sum((e - mean_estimate) ** 2 for e in estimates) / max(
@@ -588,8 +599,9 @@ def run_ablation_heuristics(
             errors = []
             work = 0
             for trial in range(trials):
-                estimator = Abacus(
-                    budget, seed=spec.base_seed + 31 * trial, **kwargs
+                estimator = _estimator(
+                    "abacus", budget=budget,
+                    seed=spec.base_seed + 31 * trial, **kwargs
                 )
                 estimate = estimator.process_stream(
                     ctx.stream(spec, alpha, trial)

@@ -10,14 +10,10 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, Optional, Tuple
 
-from repro.baselines.cas import CoAffiliationSampling
-from repro.baselines.fleet import Fleet
-from repro.baselines.sgrapp import SGrapp
-from repro.core.abacus import Abacus
+from repro.api.registry import EstimatorSpec, build_estimator, get_registration
 from repro.core.base import ButterflyEstimator
-from repro.core.exact import ExactStreamingCounter
 from repro.core.parabacus import Parabacus
-from repro.errors import ExperimentError
+from repro.errors import ExperimentError, SpecError
 from repro.graph.bipartite import BipartiteGraph
 from repro.graph.butterflies import count_butterflies
 from repro.metrics.accuracy import relative_error, summarize_errors
@@ -37,32 +33,38 @@ def make_estimator(
     batch_size: int = 500,
     num_threads: int = 4,
 ) -> ButterflyEstimator:
-    """Instantiate an estimator by method name.
+    """Instantiate an estimator by method name via the API registry.
+
+    A thin convenience over :func:`repro.api.build_estimator` that maps
+    the harness's uniform ``(budget, seed, batch_size, num_threads)``
+    signature onto whatever parameters the named estimator actually
+    declares (``exact`` takes none; only PARABACUS takes the batch
+    knobs; sGrapp maps the budget onto its window).
 
     Args:
-        method: one of :data:`METHOD_NAMES`.
+        method: one of :data:`METHOD_NAMES` (any registered name works).
         budget: memory budget ``k`` (ignored by ``exact``).
         seed: RNG seed for sampling decisions.
         batch_size / num_threads: PARABACUS parameters.
     """
-    if method == "abacus":
-        return Abacus(budget, seed=seed)
-    if method == "parabacus":
-        return Parabacus(
-            budget, batch_size=batch_size, num_threads=num_threads, seed=seed
-        )
-    if method == "fleet":
-        return Fleet(budget, seed=seed)
-    if method == "cas":
-        return CoAffiliationSampling(budget, seed=seed)
-    if method == "sgrapp":
-        # sGrapp's working set is its window; map the budget onto it.
-        return SGrapp(window=max(1, budget))
-    if method == "exact":
-        return ExactStreamingCounter()
-    raise ExperimentError(
-        f"unknown method {method!r}; available: {METHOD_NAMES}"
-    )
+    try:
+        registration = get_registration(method)
+        candidates = {
+            "budget": budget,
+            "seed": seed,
+            "batch_size": batch_size,
+            "num_threads": num_threads,
+        }
+        params = {
+            key: value
+            for key, value in candidates.items()
+            if key in registration.param_names and value is not None
+        }
+        return build_estimator(EstimatorSpec(registration.name, params))
+    except SpecError as exc:
+        raise ExperimentError(
+            f"unknown method {method!r}; available: {METHOD_NAMES}"
+        ) from exc
 
 
 def ground_truth_final_count(stream: Iterable[StreamElement]) -> int:

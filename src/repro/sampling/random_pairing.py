@@ -169,6 +169,50 @@ class RandomPairing:
         return evicted
 
     # ------------------------------------------------------------------
+    # State capture (public accessors — no reaching into _rng)
+    # ------------------------------------------------------------------
+    def get_rng_state(self) -> tuple:
+        """The RNG state tuple, as ``random.Random.getstate`` returns it."""
+        return self._rng.getstate()
+
+    def set_rng_state(self, state: tuple) -> None:
+        """Restore an RNG state captured by :meth:`get_rng_state`."""
+        self._rng.setstate(state)
+
+    def state_to_dict(self) -> dict:
+        """Capture the sampler's complete state as a JSON-ready dict.
+
+        Includes the budget, the live-edge count, both compensation
+        counters, the sampled edges, and the RNG state — everything a
+        fresh sampler needs to continue bit-identically.
+        """
+        version, internal, gauss = self.get_rng_state()
+        return {
+            "budget": self.budget,
+            "num_live_edges": self.num_live_edges,
+            "cb": self.cb,
+            "cg": self.cg,
+            "sample_edges": [list(edge) for edge in self.sample.edges()],
+            # random.Random.getstate() -> (version, tuple-of-ints, gauss).
+            "rng_state": [version, list(internal), gauss],
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Load :meth:`state_to_dict` output into this (fresh) sampler.
+
+        The sampler must still hold an empty sample; the captured edges
+        are replayed into it.  The budget is not changed — construct
+        the sampler with ``state["budget"]`` first.
+        """
+        raw_version, raw_internal, raw_gauss = state["rng_state"]
+        self.set_rng_state((raw_version, tuple(raw_internal), raw_gauss))
+        self.num_live_edges = state["num_live_edges"]
+        self.cb = state["cb"]
+        self.cg = state["cg"]
+        for u, v in state["sample_edges"]:
+            self.sample.add_edge(u, v)
+
+    # ------------------------------------------------------------------
     # Estimator-facing state
     # ------------------------------------------------------------------
     @property

@@ -1,0 +1,258 @@
+"""Unit tests for the estimator registry and spec grammar."""
+
+import json
+
+import pytest
+
+import repro
+from repro.api import (
+    EstimatorSpec,
+    build_estimator,
+    describe_registry,
+    get_registration,
+    parse_spec,
+    registered_estimators,
+    registration_for_instance,
+)
+from repro.baselines.cas import CoAffiliationSampling
+from repro.baselines.fleet import Fleet
+from repro.baselines.sgrapp import SGrapp
+from repro.core.abacus import Abacus
+from repro.core.base import ButterflyEstimator
+from repro.core.ensemble import EnsembleEstimator
+from repro.core.exact import ExactStreamingCounter
+from repro.core.parabacus import Parabacus
+from repro.errors import EstimatorError, SpecError
+
+ALL_NAMES = (
+    "abacus",
+    "parabacus",
+    "ensemble",
+    "fleet",
+    "cas",
+    "sgrapp",
+    "exact",
+)
+
+EXPECTED_CLASSES = {
+    "abacus": Abacus,
+    "parabacus": Parabacus,
+    "ensemble": EnsembleEstimator,
+    "fleet": Fleet,
+    "cas": CoAffiliationSampling,
+    "sgrapp": SGrapp,
+    "exact": ExactStreamingCounter,
+}
+
+
+class TestSpecParsing:
+    def test_name_only(self):
+        spec = parse_spec("exact")
+        assert spec.name == "exact"
+        assert spec.params == {}
+
+    def test_full_grammar(self):
+        spec = parse_spec("abacus:budget=1000,seed=42")
+        assert spec.name == "abacus"
+        assert spec.params == {"budget": 1000, "seed": 42}
+
+    def test_scalar_types(self):
+        spec = parse_spec("x:a=1,b=2.5,c=true,d=false,e=mean")
+        assert spec.params == {
+            "a": 1,
+            "b": 2.5,
+            "c": True,
+            "d": False,
+            "e": "mean",
+        }
+
+    def test_whitespace_and_case_normalised(self):
+        spec = parse_spec("  ABACUS : budget = 1000 , seed = 7 ")
+        assert spec.name == "abacus"
+        assert spec.params == {"budget": 1000, "seed": 7}
+
+    @pytest.mark.parametrize(
+        "bad",
+        ["", "   ", ":budget=1", "abacus:budget", "abacus:=5",
+         "abacus:budget=1,budget=2"],
+    )
+    def test_malformed_strings_raise(self, bad):
+        with pytest.raises(SpecError):
+            parse_spec(bad)
+
+    def test_spec_error_is_estimator_error(self):
+        with pytest.raises(EstimatorError):
+            parse_spec("")
+
+
+class TestSpecRoundTrips:
+    def test_string_round_trip(self):
+        text = "abacus:budget=1000,seed=42"
+        assert parse_spec(text).to_string() == text
+
+    def test_string_round_trip_canonicalises_order(self):
+        spec = parse_spec("abacus:seed=42,budget=1000")
+        assert spec.to_string() == "abacus:budget=1000,seed=42"
+        assert parse_spec(spec.to_string()) == spec
+
+    def test_dict_round_trip(self):
+        data = {"name": "parabacus", "params": {"budget": 500, "seed": 1}}
+        spec = parse_spec(data)
+        assert spec.to_dict() == data
+        assert parse_spec(spec.to_dict()) == spec
+
+    def test_string_dict_equivalence(self):
+        from_string = parse_spec("fleet:budget=300,gamma=0.5")
+        from_dict = parse_spec(
+            {"name": "fleet", "params": {"budget": 300, "gamma": 0.5}}
+        )
+        assert from_string == from_dict
+        assert from_string.to_string() == from_dict.to_string()
+
+    def test_json_round_trip(self):
+        spec = parse_spec("cas:budget=200,seed=9")
+        assert parse_spec(spec.to_json()) == spec
+        assert json.loads(spec.to_json()) == spec.to_dict()
+
+    def test_spec_object_passthrough(self):
+        spec = EstimatorSpec("abacus", {"budget": 10})
+        assert parse_spec(spec) is spec
+
+    def test_bool_renders_as_keyword(self):
+        spec = EstimatorSpec("abacus", {"cheapest_side": False})
+        assert spec.to_string() == "abacus:cheapest_side=false"
+        assert parse_spec(spec.to_string()) == spec
+
+    def test_with_overrides(self):
+        spec = parse_spec("abacus:budget=100")
+        merged = spec.with_overrides(budget=200, seed=5)
+        assert merged.params == {"budget": 200, "seed": 5}
+        assert spec.params == {"budget": 100}  # original untouched
+
+    def test_dict_rejects_junk(self):
+        with pytest.raises(SpecError):
+            parse_spec({"params": {}})
+        with pytest.raises(SpecError):
+            parse_spec({"name": "abacus", "budget": 10})
+        with pytest.raises(SpecError):
+            parse_spec({"name": "abacus", "params": [1, 2]})
+
+    def test_unparseable_types_raise(self):
+        with pytest.raises(SpecError):
+            parse_spec(42)
+
+
+class TestRegistryCompleteness:
+    def test_all_seven_registered(self):
+        assert set(ALL_NAMES) <= set(registered_estimators())
+
+    def test_every_public_estimator_class_is_registered(self):
+        """Each concrete estimator exported from repro.__all__ has a
+        registry entry naming its class."""
+        registered_classes = {
+            get_registration(name).cls for name in registered_estimators()
+        }
+        for export in repro.__all__:
+            obj = getattr(repro, export)
+            if (
+                isinstance(obj, type)
+                and issubclass(obj, ButterflyEstimator)
+                and obj is not ButterflyEstimator
+                and not getattr(obj, "__abstractmethods__", None)
+            ):
+                assert obj in registered_classes, export
+
+    @pytest.mark.parametrize("name", ALL_NAMES)
+    def test_registered_class_matches(self, name):
+        assert get_registration(name).cls is EXPECTED_CLASSES[name]
+
+    @pytest.mark.parametrize("name", ALL_NAMES)
+    def test_describe_registry_mentions(self, name):
+        assert name in describe_registry()
+
+    def test_unknown_name_lists_alternatives(self):
+        with pytest.raises(SpecError, match="abacus"):
+            get_registration("nope")
+
+    def test_alias_resolves(self):
+        assert get_registration("ensemble_abacus").name == "ensemble"
+
+
+class TestBuildEstimator:
+    @pytest.mark.parametrize("name", ALL_NAMES)
+    def test_builds_every_estimator_by_bare_name(self, name):
+        estimator = build_estimator(name)
+        assert isinstance(estimator, EXPECTED_CLASSES[name])
+
+    def test_params_reach_the_constructor(self):
+        estimator = build_estimator("abacus:budget=123,seed=7")
+        assert isinstance(estimator, Abacus)
+        assert estimator.budget == 123
+
+    def test_overrides_win(self):
+        estimator = build_estimator("abacus:budget=123", budget=456)
+        assert estimator.budget == 456
+
+    def test_none_override_restores_default(self):
+        estimator = build_estimator("abacus:budget=123", budget=None)
+        assert estimator.budget == 1000  # registry default
+
+    def test_undeclared_parameter_raises(self):
+        with pytest.raises(SpecError, match="bogus"):
+            build_estimator("abacus:bogus=1")
+
+    def test_type_mismatch_raises(self):
+        with pytest.raises(SpecError):
+            build_estimator({"name": "abacus", "params": {"budget": "lots"}})
+
+    def test_int_coerces_to_float(self):
+        from repro.api import Param
+
+        coerced = Param("gamma", float).coerce(1)
+        assert coerced == 1.0 and isinstance(coerced, float)
+        estimator = build_estimator(
+            {"name": "cas", "params": {"budget": 100, "sketch_fraction": 0.5}}
+        )
+        assert isinstance(estimator, CoAffiliationSampling)
+
+    def test_bool_param_from_string(self):
+        estimator = build_estimator("abacus:cheapest_side=false")
+        assert estimator.cheapest_side is False
+
+    def test_sgrapp_budget_maps_to_window(self):
+        estimator = build_estimator("sgrapp:budget=500")
+        assert isinstance(estimator, SGrapp)
+
+    def test_reverse_lookup(self):
+        estimator = build_estimator("parabacus:budget=50")
+        registration = registration_for_instance(estimator)
+        assert registration is not None
+        assert registration.name == "parabacus"
+
+    def test_reverse_lookup_unregistered_is_none(self):
+        class Unregistered(Abacus):
+            pass
+
+        assert registration_for_instance(Unregistered(10)) is None
+
+    SMOKE_SPECS = (
+        "abacus:budget=100,seed=3",
+        "parabacus:budget=100,seed=3,batch_size=64",
+        "ensemble:budget=100,seed=3,replicas=2",
+        "fleet:budget=100,seed=3",
+        "cas:budget=100,seed=3",
+        "sgrapp:budget=100",
+        "exact",
+    )
+
+    @pytest.mark.parametrize(
+        "spec", SMOKE_SPECS, ids=lambda s: s.split(":")[0]
+    )
+    def test_built_estimators_estimate(self, spec, dynamic_stream):
+        """Smoke: every registered estimator ingests a real stream."""
+        estimator = build_estimator(spec)
+        estimator.process_stream(dynamic_stream.prefix(300))
+        flush = getattr(estimator, "flush", None)
+        if flush is not None:
+            flush()
+        assert isinstance(estimator.estimate, (int, float)), spec

@@ -1,0 +1,241 @@
+"""Unit tests for the Session facade: ingest, observe, snapshot."""
+
+import json
+
+import pytest
+
+from repro.api import (
+    SNAPSHOT_FORMAT_VERSION,
+    build_estimator,
+    open_session,
+    parse_spec,
+    restore_session,
+)
+from repro.core.abacus import Abacus
+from repro.errors import EstimatorError, SpecError
+from repro.types import insertion
+
+ABACUS_SPEC = "abacus:budget=200,seed=7"
+PARABACUS_SPEC = "parabacus:budget=200,seed=7,batch_size=64"
+
+
+class TestOpenSession:
+    def test_from_string_spec(self):
+        with open_session(ABACUS_SPEC) as session:
+            assert isinstance(session.estimator, Abacus)
+            assert session.spec == parse_spec(ABACUS_SPEC)
+
+    def test_from_dict_and_object_specs(self):
+        spec = parse_spec(ABACUS_SPEC)
+        with open_session(spec.to_dict()) as from_dict:
+            with open_session(spec) as from_object:
+                assert type(from_dict.estimator) is type(from_object.estimator)
+
+    def test_from_instance(self):
+        estimator = Abacus(100, seed=1)
+        with open_session(estimator) as session:
+            assert session.estimator is estimator
+            assert session.spec is not None
+            assert session.spec.name == "abacus"
+
+    def test_overrides(self):
+        with open_session("abacus:budget=100", budget=333) as session:
+            assert session.estimator.budget == 333
+
+    def test_overrides_rejected_for_instances(self):
+        with pytest.raises(SpecError):
+            open_session(Abacus(100), budget=5)
+
+    @pytest.mark.parametrize(
+        "spec",
+        [
+            "abacus:budget=100,seed=3",
+            "parabacus:budget=100,seed=3,batch_size=64",
+            "ensemble:budget=100,seed=3,replicas=2",
+            "fleet:budget=100,seed=3",
+            "cas:budget=100,seed=3",
+            "sgrapp:budget=100",
+            "exact",
+        ],
+        ids=lambda s: s.split(":")[0],
+    )
+    def test_every_estimator_opens_and_ingests(self, spec, dynamic_stream):
+        with open_session(spec) as session:
+            session.ingest(dynamic_stream.prefix(300))
+            session.flush()
+            assert session.elements == 300
+            assert isinstance(session.estimate, (int, float))
+
+
+class TestIngest:
+    def test_single_element_and_batch_agree(self, dynamic_stream):
+        elements = list(dynamic_stream.prefix(500))
+        with open_session(ABACUS_SPEC) as one_by_one:
+            for element in elements:
+                one_by_one.ingest(element)
+            with open_session(ABACUS_SPEC) as batched:
+                batched.ingest(elements)
+                assert batched.estimate == one_by_one.estimate
+                assert batched.elements == one_by_one.elements == 500
+
+    def test_matches_direct_estimator(self, dynamic_stream):
+        direct = build_estimator(ABACUS_SPEC)
+        direct.process_stream(dynamic_stream)
+        with open_session(ABACUS_SPEC) as session:
+            session.ingest(dynamic_stream)
+            assert session.estimate == direct.estimate
+
+    def test_ingest_returns_estimate_delta(self):
+        with open_session("exact") as session:
+            session.ingest(insertion("a", "x"))
+            session.ingest(insertion("a", "y"))
+            session.ingest(insertion("b", "x"))
+            delta = session.ingest(insertion("b", "y"))  # closes a butterfly
+            assert delta == 1.0
+
+    def test_closed_session_rejects_ingest(self):
+        session = open_session(ABACUS_SPEC)
+        session.close()
+        assert session.closed
+        with pytest.raises(EstimatorError):
+            session.ingest(insertion("a", "x"))
+
+    def test_metrics(self, dynamic_stream):
+        with open_session(ABACUS_SPEC) as session:
+            session.ingest(dynamic_stream.prefix(400))
+            metrics = session.metrics
+            assert metrics.elements == 400
+            assert metrics.estimate == session.estimate
+            assert metrics.memory_edges == session.memory_edges
+            assert metrics.processing_seconds > 0
+            assert metrics.throughput_eps > 0
+
+
+class TestObservers:
+    def test_on_checkpoint_every(self, dynamic_stream):
+        with open_session(ABACUS_SPEC) as session:
+            seen = []
+            session.on_checkpoint(lambda n, s: seen.append(n), every=100)
+            session.ingest(dynamic_stream.prefix(350))
+            assert seen == [100, 200, 300]
+
+    def test_on_checkpoint_at_marks_unsorted_with_duplicates(
+        self, dynamic_stream
+    ):
+        with open_session(ABACUS_SPEC) as session:
+            seen = []
+            session.on_checkpoint(
+                lambda n, s: seen.append(n), at=[200, 50, 200]
+            )
+            session.ingest(dynamic_stream.prefix(300))
+            # Duplicates fire once per listed entry.
+            assert seen == [50, 200, 200]
+
+    def test_multiple_subscriptions_and_unsubscribe(self, dynamic_stream):
+        elements = list(dynamic_stream.prefix(200))
+        with open_session(ABACUS_SPEC) as session:
+            first, second = [], []
+            unsubscribe = session.on_checkpoint(
+                lambda n, s: first.append(n), every=50
+            )
+            session.on_checkpoint(lambda n, s: second.append(n), every=100)
+            session.ingest(elements[:100])
+            unsubscribe()
+            session.ingest(elements[100:])
+            assert first == [50, 100]
+            assert second == [100, 200]
+
+    def test_on_estimate_change(self):
+        with open_session("exact") as session:
+            deltas = []
+            session.on_estimate_change(lambda d, s: deltas.append(d))
+            session.ingest(insertion("a", "x"))
+            session.ingest(insertion("a", "y"))
+            session.ingest(insertion("b", "x"))
+            session.ingest(insertion("b", "y"))
+            assert deltas == [1.0]
+
+    def test_on_estimate_change_min_delta(self):
+        with open_session("exact") as session:
+            big = []
+            session.on_estimate_change(lambda d, s: big.append(d), min_delta=2.0)
+            for left in ("a", "b", "c"):
+                for right in ("x", "y"):
+                    session.ingest(insertion(left, right))
+            # The third left vertex completes 2 butterflies at once.
+            assert big == [2.0]
+
+    def test_invalid_subscriptions_raise(self):
+        session = open_session(ABACUS_SPEC)
+        with pytest.raises(SpecError):
+            session.on_checkpoint(lambda n, s: None)
+        with pytest.raises(SpecError):
+            session.on_checkpoint(lambda n, s: None, every=0)
+
+
+class TestSnapshotRestore:
+    @pytest.mark.parametrize(
+        "spec", [ABACUS_SPEC, PARABACUS_SPEC], ids=("abacus", "parabacus")
+    )
+    def test_midstream_continuation_is_bit_identical(
+        self, spec, dynamic_stream
+    ):
+        """snapshot -> restore -> continue == never having stopped."""
+        # 1000 is not a multiple of PARABACUS's batch_size=64, so the
+        # snapshot captures a partially filled mini-batch buffer.
+        half = 1000
+        uninterrupted = open_session(spec)
+        uninterrupted.ingest(dynamic_stream)
+        uninterrupted.flush()
+
+        first = open_session(spec)
+        first.ingest(dynamic_stream.prefix(half))
+        payload = json.dumps(first.snapshot())  # force full JSON trip
+
+        resumed = restore_session(json.loads(payload))
+        assert resumed.elements == half
+        assert resumed.spec == parse_spec(spec)
+        resumed.ingest(dynamic_stream[half:])
+        resumed.flush()
+        assert resumed.estimate == uninterrupted.estimate
+        assert resumed.elements == uninterrupted.elements
+
+    def test_snapshot_envelope(self):
+        session = open_session(ABACUS_SPEC)
+        snapshot = session.snapshot()
+        assert snapshot["format_version"] == SNAPSHOT_FORMAT_VERSION
+        assert snapshot["estimator"] == "abacus"
+        assert snapshot["spec"] == parse_spec(ABACUS_SPEC).to_dict()
+        assert snapshot["session"]["elements"] == 0
+
+    def test_file_round_trip(self, tmp_path, dynamic_stream):
+        path = tmp_path / "session.json"
+        session = open_session(ABACUS_SPEC)
+        session.ingest(dynamic_stream.prefix(500))
+        session.save(path)
+        restored = restore_session(path)
+        assert restored.estimate == session.estimate
+        assert restored.elements == 500
+
+    def test_unsupported_estimator_raises(self):
+        with open_session("fleet:budget=100,seed=1") as session:
+            with pytest.raises(SpecError):
+                session.snapshot()
+
+    def test_wrong_version_raises(self):
+        snapshot = open_session(ABACUS_SPEC).snapshot()
+        snapshot["format_version"] = 99
+        with pytest.raises(EstimatorError):
+            restore_session(snapshot)
+
+    def test_malformed_file_raises(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{not json")
+        with pytest.raises(EstimatorError):
+            restore_session(path)
+
+    def test_missing_fields_raise(self):
+        with pytest.raises(EstimatorError):
+            restore_session(
+                {"format_version": SNAPSHOT_FORMAT_VERSION, "state": {}}
+            )

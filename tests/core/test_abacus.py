@@ -144,3 +144,24 @@ class TestCheckpoints:
             on_checkpoint=lambda n, est: seen.append((n, est.estimate)),
         )
         assert [n for n, _ in seen] == marks
+
+    def test_duplicate_checkpoints_fire_once_each(self, dynamic_stream):
+        """Regression: duplicate marks used to collapse into one call."""
+        a = Abacus(200, seed=8)
+        seen = []
+        a.process_stream(
+            dynamic_stream.prefix(300),
+            checkpoints=[100, 100, 200],
+            on_checkpoint=lambda n, est: seen.append(n),
+        )
+        assert seen == [100, 100, 200]
+
+    def test_unsorted_checkpoints_fire_in_order(self, dynamic_stream):
+        a = Abacus(200, seed=8)
+        seen = []
+        a.process_stream(
+            dynamic_stream.prefix(300),
+            checkpoints=[200, 50, 150],
+            on_checkpoint=lambda n, est: seen.append(n),
+        )
+        assert seen == [50, 150, 200]
