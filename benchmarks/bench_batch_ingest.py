@@ -1,0 +1,119 @@
+"""Throughput of the vectorized batch-ingest fast path.
+
+Measures elements/sec for batch sizes {1, 64, 1024} against the plain
+per-element ``process`` loop, on an insert-only and a fully dynamic
+stream, for ABACUS (vectorized counting kernel), PARABACUS (buffered
+mini-batch routing), and the exact oracle (tight-loop dispatch).
+
+The configuration is the fast path's target regime — a memory budget
+large relative to the vertex count, so sampled neighbourhoods are deep
+and counting dominates.  Two contracts are asserted:
+
+* ABACUS at batch size 1024 must run at least 3x faster than the
+  per-element path on both workloads (the PR's acceptance criterion);
+* every batched run must finish with the estimate **equal** to the
+  per-element run's — the throughput is only admissible because the
+  equivalence suite (``tests/properties/test_batch_equivalence.py``)
+  holds the same paths to bit-identical estimates *and* state.
+"""
+
+import random
+
+from conftest import emit
+
+from repro.api import build_estimator
+from repro.experiments.report import render_table
+from repro.graph.generators import bipartite_erdos_renyi
+from repro.metrics.throughput import Stopwatch
+from repro.streams.dynamic import make_fully_dynamic, stream_from_edges
+
+BUDGET = 6000
+N_LEFT = N_RIGHT = 100
+N_EDGES = 9000
+ALPHA = 0.25
+BATCH_SIZES = (1, 64, 1024)
+SPECS = (
+    ("abacus", f"abacus:budget={BUDGET},seed=11"),
+    ("parabacus", f"parabacus:budget={BUDGET},seed=11"),
+    ("exact", "exact"),
+)
+
+
+def _streams():
+    edges = bipartite_erdos_renyi(N_LEFT, N_RIGHT, N_EDGES, random.Random(5))
+    return {
+        "insert-only": list(stream_from_edges(edges)),
+        "fully-dynamic": list(
+            make_fully_dynamic(edges, alpha=ALPHA, rng=random.Random(6))
+        ),
+    }
+
+
+def _run_per_element(spec, stream):
+    estimator = build_estimator(spec)
+    watch = Stopwatch()
+    with watch:
+        for element in stream:
+            estimator.process(element)
+        flush = getattr(estimator, "flush", None)
+        if flush is not None:
+            flush()
+    return estimator.estimate, watch.elapsed
+
+
+def _run_batched(spec, stream, batch_size):
+    estimator = build_estimator(spec)
+    watch = Stopwatch()
+    with watch:
+        for start in range(0, len(stream), batch_size):
+            estimator.process_batch(stream[start : start + batch_size])
+        flush = getattr(estimator, "flush", None)
+        if flush is not None:
+            flush()
+    return estimator.estimate, watch.elapsed
+
+
+def test_batch_ingest_throughput(benchmark, results_dir):
+    streams = _streams()
+
+    def run():
+        rows = []
+        abacus_speedups = {}
+        for workload, stream in streams.items():
+            for name, spec in SPECS:
+                base_estimate, base_seconds = _run_per_element(spec, stream)
+                row = [f"{name} / {workload}", f"{len(stream) / base_seconds:,.0f}"]
+                for batch_size in BATCH_SIZES:
+                    estimate, seconds = _run_batched(spec, stream, batch_size)
+                    assert estimate == base_estimate, (
+                        name,
+                        workload,
+                        batch_size,
+                        estimate,
+                        base_estimate,
+                    )
+                    row.append(
+                        f"{len(stream) / seconds:,.0f} "
+                        f"({base_seconds / seconds:.2f}x)"
+                    )
+                    if name == "abacus" and batch_size == 1024:
+                        abacus_speedups[workload] = base_seconds / seconds
+                rows.append(tuple(row))
+        return rows, abacus_speedups
+
+    rows, abacus_speedups = benchmark.pedantic(run, rounds=1, iterations=1)
+    text = render_table(
+        ["Estimator / workload", "per-element el/s"]
+        + [f"batch={b} el/s" for b in BATCH_SIZES],
+        rows,
+        title=(
+            f"Batch-ingest throughput (k={BUDGET}, "
+            f"{N_LEFT}x{N_RIGHT}, {N_EDGES} edges, alpha={ALPHA})"
+        ),
+    )
+    emit(results_dir, "batch_ingest", text)
+    for workload, speedup in abacus_speedups.items():
+        assert speedup >= 3.0, (
+            f"abacus batch=1024 speedup on {workload} stream is "
+            f"{speedup:.2f}x, below the 3x contract"
+        )

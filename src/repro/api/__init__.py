@@ -31,6 +31,7 @@ from repro.api.registry import (
 from repro.api import builtin as _builtin  # noqa: F401  (registers estimators)
 from repro.api.builtin import DEFAULT_BUDGET
 from repro.api.session import (
+    DEFAULT_INGEST_BATCH,
     SNAPSHOT_FORMAT_VERSION,
     Session,
     SessionMetrics,
@@ -40,6 +41,7 @@ from repro.api.session import (
 
 __all__ = [
     "DEFAULT_BUDGET",
+    "DEFAULT_INGEST_BATCH",
     "EstimatorSpec",
     "Param",
     "Registration",

@@ -273,6 +273,21 @@ class Registration:
         """Whether instances can round-trip through the snapshot API."""
         return self.cls is not None and hasattr(self.cls, "from_state_dict")
 
+    @property
+    def supports_batch(self) -> bool:
+        """Whether instances implement a real ``process_batch`` fast path.
+
+        Every estimator accepts ``process_batch`` (the base class loops),
+        but only classes that opt in via
+        :attr:`~repro.core.base.ButterflyEstimator.supports_batch` make
+        chunked ingestion worth routing through it — and are held to the
+        batched-vs-per-element equivalence contract by the conformance
+        suite.
+        """
+        return self.cls is not None and bool(
+            getattr(self.cls, "supports_batch", False)
+        )
+
     def validate(self, params: Mapping[str, Any]) -> Dict[str, Any]:
         """Type-check ``params`` and fill declared defaults.
 

@@ -31,6 +31,7 @@ stopped.
 
 from __future__ import annotations
 
+import itertools
 import json
 import os
 import time
@@ -60,6 +61,7 @@ from repro.errors import EstimatorError, SpecError
 from repro.types import StreamElement
 
 __all__ = [
+    "DEFAULT_INGEST_BATCH",
     "Session",
     "SessionMetrics",
     "SNAPSHOT_FORMAT_VERSION",
@@ -70,6 +72,10 @@ __all__ = [
 #: Session snapshot envelope version (the ABACUS-only legacy file
 #: format of :mod:`repro.core.checkpoint` is version 1).
 SNAPSHOT_FORMAT_VERSION = 2
+
+#: Chunk size :meth:`Session.ingest` feeds to ``process_batch`` when
+#: the caller passes an iterable and does not size the batches itself.
+DEFAULT_INGEST_BATCH = 1024
 
 #: Checkpoint observers receive ``(elements_processed, session)``.
 CheckpointObserver = Callable[[int, "Session"], None]
@@ -125,6 +131,26 @@ class _CheckpointSubscription:
         ):
             self.callback(self.marks[self.next_mark], session)
             self.next_mark += 1
+
+    def gap(self, elements: int) -> Optional[int]:
+        """Elements that may be ingested before this subscription fires.
+
+        Batched ingestion caps its chunks at this gap so every chunk
+        boundary lands exactly on a fire point — :meth:`notify` then
+        sees the same element counts it would under per-element
+        ingestion.  Returns None when nothing is pending (periodic-free
+        subscription whose marks are exhausted).
+        """
+        gap: Optional[int] = None
+        if self.every is not None:
+            gap = self.every - (elements % self.every)
+        if self.next_mark < len(self.marks):
+            mark = self.marks[self.next_mark]
+            # A mark at or below the current count fires on the very
+            # next element (matching per-element semantics).
+            to_mark = mark - elements if mark > elements else 1
+            gap = to_mark if gap is None else min(gap, to_mark)
+        return gap
 
 
 class Session:
@@ -196,23 +222,84 @@ class Session:
     # Ingestion
     # ------------------------------------------------------------------
     def ingest(
-        self, elements: Union[StreamElement, Iterable[StreamElement]]
+        self,
+        elements: Union[StreamElement, Iterable[StreamElement]],
+        *,
+        batch_size: Optional[int] = None,
     ) -> float:
         """Feed one element or a whole iterable of elements.
+
+        Iterables are auto-chunked through the estimator's
+        ``process_batch`` fast path when the estimator declares one
+        (``supports_batch``), with two guarantees that make the fast
+        path observably identical to element-by-element ingestion:
+
+        * checkpoint observers fire at exactly the element offsets they
+          would under per-element ingestion — chunks are split at every
+          upcoming checkpoint boundary, never across one;
+        * estimate-change observers are inherently per-element, so any
+          active ``on_estimate_change`` subscription routes ingestion
+          through the element path (at its cost).
+
+        Args:
+            elements: one :class:`~repro.types.StreamElement` or an
+                iterable of them (list, generator, ``EdgeStream``...).
+            batch_size: chunk size for the fast path; defaults to
+                :data:`DEFAULT_INGEST_BATCH`.  Pass 1 to force the
+                per-element path.
 
         Returns:
             The signed change to the estimate caused by this call.  For
             buffering estimators (PARABACUS) per-element deltas surface
             at flush boundaries, exactly as with direct ``process``.
+            The estimator's *state* (estimate, sample, RNG) is
+            bit-identical across chunkings; this convenience sum may
+            differ in the last float bits between chunkings because
+            summation order follows the chunk structure.
         """
         if self._closed:
             raise EstimatorError("session is closed")
+        if batch_size is not None and batch_size <= 0:
+            raise SpecError(f"batch_size must be positive, got {batch_size}")
         if isinstance(elements, StreamElement):
             return self._ingest_one(elements)
+        size = batch_size if batch_size is not None else DEFAULT_INGEST_BATCH
+        if size > 1 and type(self._estimator).supports_batch:
+            return self._ingest_batched(elements, size)
         total = 0.0
         for element in elements:
             total += self._ingest_one(element)
         return total
+
+    def _ingest_batched(
+        self, elements: Iterable[StreamElement], batch_size: int
+    ) -> float:
+        """Chunk ``elements`` through ``process_batch``, observer-exact."""
+        iterator = iter(elements)
+        estimator = self._estimator
+        total = 0.0
+        while True:
+            if self._estimate_subs:
+                # Per-element deltas are observable again: leave the
+                # fast path for the rest of the stream.
+                for element in iterator:
+                    total += self._ingest_one(element)
+                return total
+            cap = batch_size
+            for subscription in self._checkpoint_subs:
+                gap = subscription.gap(self._elements)
+                if gap is not None and gap < cap:
+                    cap = gap
+            chunk = list(itertools.islice(iterator, cap))
+            if not chunk:
+                return total
+            started = time.perf_counter()
+            total += estimator.process_batch(chunk)
+            self._processing_seconds += time.perf_counter() - started
+            self._elements += len(chunk)
+            if self._checkpoint_subs:
+                for subscription in list(self._checkpoint_subs):
+                    subscription.notify(self._elements, self)
 
     def _ingest_one(self, element: StreamElement) -> float:
         started = time.perf_counter()

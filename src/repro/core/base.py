@@ -18,6 +18,7 @@ from typing import (
     List,
     Optional,
     Protocol,
+    Sequence,
     runtime_checkable,
 )
 
@@ -62,6 +63,12 @@ class ButterflyEstimator(abc.ABC):
     #: Human-readable name used in benchmark tables.
     name: str = "estimator"
 
+    #: Whether :meth:`process_batch` is a genuine fast path for this
+    #: class.  Estimators that leave the default element-loop
+    #: implementation keep this False; the :mod:`repro.api` layer uses
+    #: the flag to decide whether chunked ingestion buys anything.
+    supports_batch: bool = False
+
     @abc.abstractmethod
     def process(self, element: StreamElement) -> float:
         """Ingest one stream element.
@@ -81,6 +88,28 @@ class ButterflyEstimator(abc.ABC):
     @abc.abstractmethod
     def memory_edges(self) -> int:
         """Number of edges currently held in memory (sample size)."""
+
+    def process_batch(self, batch: Sequence[StreamElement]) -> float:
+        """Ingest a contiguous run of stream elements; return the delta.
+
+        The contract — enforced for every implementation by
+        ``tests/properties/test_batch_equivalence.py`` — is strict
+        observational equivalence with the per-element path: for any
+        split of a stream into batches, the estimate, the complete
+        ``state_to_dict()`` (where supported), and every consumed
+        random draw must be **identical** to calling :meth:`process`
+        once per element in order.  Implementations are therefore free
+        to reorganise *computation* (vectorized counting, inlined
+        loops) but not *observable effects*.
+
+        This default simply loops; subclasses with a real fast path set
+        :attr:`supports_batch` and override.
+        """
+        process = self.process
+        total = 0.0
+        for element in batch:
+            total += process(element)
+        return total
 
     def process_stream(
         self,

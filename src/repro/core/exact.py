@@ -9,6 +9,8 @@ the ground truth ``|B(t)|`` every accuracy experiment needs.
 
 from __future__ import annotations
 
+from typing import Sequence
+
 from repro.core.base import ButterflyEstimator
 from repro.graph.bipartite import BipartiteGraph
 from repro.graph.butterflies import butterflies_containing_edge
@@ -26,6 +28,7 @@ class ExactStreamingCounter(ButterflyEstimator):
     """
 
     name = "Exact"
+    supports_batch = True
 
     __slots__ = ("_graph", "_count")
 
@@ -62,3 +65,25 @@ class ExactStreamingCounter(ButterflyEstimator):
         delta = butterflies_containing_edge(self._graph, u, v)
         self._count -= delta
         return float(-delta)
+
+    def process_batch(self, batch: Sequence[StreamElement]) -> float:
+        """Per-element deltas with the dispatch hoisted out of the loop.
+
+        All state is integer graph bookkeeping, so equivalence with the
+        per-element path is structural; the win is dropping the method
+        and attribute lookups that dominate when deltas are cheap.
+        """
+        graph = self._graph
+        count = self._count
+        insert = Op.INSERT
+        for element in batch:
+            u, v = element.u, element.v
+            if element.op is insert:
+                count += butterflies_containing_edge(graph, u, v)
+                graph.add_edge(u, v)
+            else:
+                graph.remove_edge(u, v)
+                count -= butterflies_containing_edge(graph, u, v)
+        delta = float(count - self._count)
+        self._count = count
+        return delta

@@ -13,15 +13,22 @@ Contains the bounded-size sampling schemes the estimators are built on:
   the heart of per-edge butterfly counting.
 * :class:`~repro.sampling.versioned.VersionedGraphSample` — delta-coded
   sample versions for PARABACUS mini-batches.
+* :class:`~repro.sampling.ndadjacency.NdAdjacency` — NumPy sorted-array
+  mirror of a sample, the substrate of the vectorized batch-ingest
+  kernels.
 """
 
 from repro.sampling.adjacency_sample import GraphSample
-from repro.sampling.random_pairing import RandomPairing
+from repro.sampling.ndadjacency import NUMPY_AVAILABLE, NdAdjacency
+from repro.sampling.random_pairing import BatchIngestResult, RandomPairing
 from repro.sampling.reservoir import ReservoirSampler
 from repro.sampling.versioned import VersionedGraphSample
 
 __all__ = [
+    "BatchIngestResult",
     "GraphSample",
+    "NUMPY_AVAILABLE",
+    "NdAdjacency",
     "RandomPairing",
     "ReservoirSampler",
     "VersionedGraphSample",

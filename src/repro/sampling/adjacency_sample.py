@@ -24,19 +24,29 @@ from repro.types import Edge, Vertex
 # Recorder signature: (op, u, v) with op "+" for add and "-" for remove.
 Recorder = Callable[[str, Vertex, Vertex], None]
 
+#: One sample mutation: ``(op, u, v)`` with op "+" (edge entered the
+#: sample) or "-" (edge left it).  Produced by
+#: :meth:`~repro.sampling.random_pairing.RandomPairing.process` and
+#: consumed by :meth:`~repro.sampling.ndadjacency.NdAdjacency.apply`.
+Mutation = Tuple[str, Vertex, Vertex]
+
 _EMPTY_SET: Set[Vertex] = frozenset()  # type: ignore[assignment]
 
 
 class GraphSample:
     """The sampled subgraph ``S``: adjacency sets + O(1) random eviction."""
 
-    __slots__ = ("_adj", "_edges", "_index", "recorder")
+    __slots__ = ("_adj", "_edges", "_index", "recorder", "version")
 
     def __init__(self, recorder: Optional[Recorder] = None) -> None:
         self._adj: Dict[Vertex, Set[Vertex]] = {}
         self._edges: List[Edge] = []
         self._index: Dict[Edge, int] = {}
         self.recorder = recorder
+        #: Monotonic mutation counter.  Derived read-side structures
+        #: (:class:`~repro.sampling.ndadjacency.NdAdjacency`) compare it
+        #: to detect staleness without subscribing to every mutation.
+        self.version = 0
 
     # ------------------------------------------------------------------
     # Queries
@@ -45,6 +55,11 @@ class GraphSample:
     def num_edges(self) -> int:
         """``|S|`` — number of sampled edges."""
         return len(self._edges)
+
+    @property
+    def num_vertices(self) -> int:
+        """Vertices with at least one sampled edge."""
+        return len(self._adj)
 
     def __len__(self) -> int:
         return len(self._edges)
@@ -89,6 +104,7 @@ class GraphSample:
         self._edges.append(edge)
         self._adj.setdefault(u, set()).add(v)
         self._adj.setdefault(v, set()).add(u)
+        self.version += 1
         if self.recorder is not None:
             self.recorder("+", u, v)
 
@@ -108,6 +124,7 @@ class GraphSample:
             self._edges[position] = last
             self._index[last] = position
         self._discard_adjacency(u, v)
+        self.version += 1
         if self.recorder is not None:
             self.recorder("-", u, v)
         return True
@@ -125,6 +142,7 @@ class GraphSample:
             self._index[last] = position
         u, v = edge
         self._discard_adjacency(u, v)
+        self.version += 1
         if self.recorder is not None:
             self.recorder("-", u, v)
         return edge
@@ -133,6 +151,7 @@ class GraphSample:
         self._adj.clear()
         self._edges.clear()
         self._index.clear()
+        self.version += 1
 
     def _discard_adjacency(self, u: Vertex, v: Vertex) -> None:
         bucket = self._adj.get(u)

@@ -25,11 +25,31 @@ discovery probability of Equation 1 (delegated to
 from __future__ import annotations
 
 import random
-from typing import Optional
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Tuple
 
 from repro.errors import SamplingError, StreamError
-from repro.sampling.adjacency_sample import GraphSample
+from repro.sampling.adjacency_sample import GraphSample, Mutation
 from repro.types import Op, StreamElement, Vertex
+
+_NO_MUTATIONS: Tuple[Mutation, ...] = ()
+
+
+@dataclass(frozen=True)
+class BatchIngestResult:
+    """What :meth:`RandomPairing.process_batch` observed, per element.
+
+    Attributes:
+        pre_live: ``|E|`` before each element's update.
+        pre_cb / pre_cg: the compensation counters before each update.
+        mutations: ``(element_index, op, u, v)`` sample changes, in the
+            exact order they were applied.
+    """
+
+    pre_live: List[int]
+    pre_cb: List[int]
+    pre_cg: List[int]
+    mutations: List[Tuple[int, str, Vertex, Vertex]]
 
 
 class RandomPairing:
@@ -69,30 +89,33 @@ class RandomPairing:
     # ------------------------------------------------------------------
     # Stream ingestion (Algorithm 2)
     # ------------------------------------------------------------------
-    def process(self, element: StreamElement) -> None:
-        """Apply one stream element to the sample."""
+    def process(self, element: StreamElement) -> Tuple[Mutation, ...]:
+        """Apply one stream element; return the sample mutations caused."""
         if element.op is Op.INSERT:
-            self.insert(element.u, element.v)
-        else:
-            self.delete(element.u, element.v)
+            return self.insert(element.u, element.v)
+        return self.delete(element.u, element.v)
 
-    def insert(self, u: Vertex, v: Vertex) -> None:
+    def insert(self, u: Vertex, v: Vertex) -> Tuple[Mutation, ...]:
         """``InsertToSample`` — Algorithm 2, lines 1-10."""
         self.num_live_edges += 1
         uncompensated = self.cb + self.cg
         if uncompensated == 0:
             if self.sample.num_edges < self.budget:
                 self.sample.add_edge(u, v)
-            elif self._rng.random() < self.budget / self.num_live_edges:
-                self.sample.evict_random_edge(self._rng)
+                return (("+", u, v),)
+            if self._rng.random() < self.budget / self.num_live_edges:
+                evicted_u, evicted_v = self.sample.evict_random_edge(self._rng)
                 self.sample.add_edge(u, v)
-        elif self._rng.random() < self.cb / uncompensated:
+                return (("-", evicted_u, evicted_v), ("+", u, v))
+            return _NO_MUTATIONS
+        if self._rng.random() < self.cb / uncompensated:
             self.sample.add_edge(u, v)
             self.cb -= 1
-        else:
-            self.cg -= 1
+            return (("+", u, v),)
+        self.cg -= 1
+        return _NO_MUTATIONS
 
-    def delete(self, u: Vertex, v: Vertex) -> None:
+    def delete(self, u: Vertex, v: Vertex) -> Tuple[Mutation, ...]:
         """``DeleteFromSample`` — Algorithm 2, lines 11-16."""
         if self.num_live_edges <= 0:
             raise StreamError(
@@ -101,8 +124,38 @@ class RandomPairing:
         self.num_live_edges -= 1
         if self.sample.remove_edge(u, v):
             self.cb += 1
-        else:
-            self.cg += 1
+            return (("-", u, v),)
+        self.cg += 1
+        return _NO_MUTATIONS
+
+    def process_batch(
+        self, elements: Iterable[StreamElement]
+    ) -> BatchIngestResult:
+        """Apply a whole batch; record pre-states and sample mutations.
+
+        Observably identical to calling :meth:`process` per element with
+        the same RNG — it *is* that loop: the draw count per element
+        depends on the state the element finds (an insertion while the
+        sample is filling draws nothing; a pairing insertion draws once;
+        a full-reservoir acceptance draws twice), so acceptance
+        randomness cannot be pre-drawn in bulk without reordering the
+        draw stream and breaking the batched-vs-per-element equivalence
+        contract.  The wrapper's value is the bulk bookkeeping of the
+        returned :class:`BatchIngestResult`: the Equation 1 pre-state
+        triplets and the indexed sample-mutation log, collected without
+        the caller re-reading sampler attributes per element.
+        """
+        pre_live: List[int] = []
+        pre_cb: List[int] = []
+        pre_cg: List[int] = []
+        mutations: List[Tuple[int, str, Vertex, Vertex]] = []
+        for index, element in enumerate(elements):
+            pre_live.append(self.num_live_edges)
+            pre_cb.append(self.cb)
+            pre_cg.append(self.cg)
+            for op, u, v in self.process(element):
+                mutations.append((index, op, u, v))
+        return BatchIngestResult(pre_live, pre_cb, pre_cg, mutations)
 
     # ------------------------------------------------------------------
     # Budget resizing (Gemulla et al., Section 5: shrinking is cheap)

@@ -5,16 +5,34 @@ Maintains a uniform random sample of fixed maximum size over an
 compensation counters are zero, and the building block of the insert-only
 baselines.  Under deletions it loses uniformity — which is precisely the
 failure mode the paper's accuracy experiments expose.
+
+The sampler accepts either the standard-library ``random.Random`` (the
+default, and the source every estimator uses — their batched and
+per-element paths must stay bit-identical, so draws are consumed
+strictly in arrival order) or a NumPy ``Generator``.  With a Generator,
+:meth:`ReservoirSampler.offer_batch` vectorizes the acceptance draws:
+one bulk ``integers`` call over the per-item bounds replaces one Python
+call per item.  The bulk draw pattern differs from per-element draws at
+the bit level (NumPy's bounded-integer path is shape-dependent), so the
+Generator fast path promises determinism per seed and uniformity — not
+cross-path bit-equality; the ``random.Random`` path promises both.
 """
 
 from __future__ import annotations
 
 import random
-from typing import Generic, List, Optional, TypeVar
+from typing import Generic, List, Optional, Sequence, TypeVar, Union
 
 from repro.errors import SamplingError
 
+try:  # pragma: no cover - numpy ships in the supported environments
+    import numpy as _np
+except ImportError:  # pragma: no cover
+    _np = None
+
 T = TypeVar("T")
+
+RandomSource = Union[random.Random, "_np.random.Generator"]
 
 
 class ReservoirSampler(Generic[T]):
@@ -25,15 +43,23 @@ class ReservoirSampler(Generic[T]):
         num_seen: number of items offered so far (``n``).
     """
 
-    __slots__ = ("capacity", "num_seen", "_items", "_rng")
+    __slots__ = ("capacity", "num_seen", "_items", "_rng", "_randrange")
 
-    def __init__(self, capacity: int, rng: Optional[random.Random] = None) -> None:
+    def __init__(
+        self, capacity: int, rng: Optional[RandomSource] = None
+    ) -> None:
         if capacity <= 0:
             raise SamplingError(f"capacity must be positive, got {capacity}")
         self.capacity = capacity
         self.num_seen = 0
         self._items: List[T] = []
-        self._rng = rng or random.Random()
+        self._rng = rng if rng is not None else random.Random()
+        randrange = getattr(self._rng, "randrange", None)
+        if randrange is not None:
+            self._randrange = randrange
+        else:  # numpy Generator: draw bounded ints via integers().
+            integers = self._rng.integers
+            self._randrange = lambda bound: int(integers(bound))
 
     @property
     def items(self) -> List[T]:
@@ -62,12 +88,47 @@ class ReservoirSampler(Generic[T]):
         if len(self._items) < self.capacity:
             self._items.append(item)
             return None
-        j = self._rng.randrange(self.num_seen)
+        j = self._randrange(self.num_seen)
         if j < self.capacity:
             evicted = self._items[j]
             self._items[j] = item
             return evicted
         return None
+
+    def offer_batch(self, items: Sequence[T]) -> List[T]:
+        """Present a whole batch; return the evicted items, in order.
+
+        With a ``random.Random`` source this consumes draws in exactly
+        the order :meth:`offer` would (bit-identical state afterwards).
+        With a NumPy ``Generator`` the acceptance indices for the whole
+        post-fill suffix are drawn in one vectorized ``integers`` call
+        against the per-item bounds ``n+1, n+2, ...`` and only the
+        accepted items touch the reservoir from Python.
+        """
+        items = list(items)
+        evicted: List[T] = []
+        # Fill phase: no randomness is consumed while below capacity.
+        fill = min(self.capacity - len(self._items), len(items))
+        if fill > 0:
+            self._items.extend(items[:fill])
+            self.num_seen += fill
+            items = items[fill:]
+        if not items:
+            return evicted
+        if _np is not None and isinstance(self._rng, _np.random.Generator):
+            bounds = self.num_seen + 1 + _np.arange(len(items), dtype=_np.int64)
+            draws = self._rng.integers(0, bounds)
+            self.num_seen += len(items)
+            for position in _np.nonzero(draws < self.capacity)[0].tolist():
+                slot = int(draws[position])
+                evicted.append(self._items[slot])
+                self._items[slot] = items[position]
+            return evicted
+        for item in items:
+            replaced = self.offer(item)
+            if replaced is not None:
+                evicted.append(replaced)
+        return evicted
 
     def __len__(self) -> int:
         return len(self._items)

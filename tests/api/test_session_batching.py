@@ -1,0 +1,154 @@
+"""Session.ingest batching: observer offsets and snapshot continuity.
+
+``Session.ingest`` routes iterables through the estimator's
+``process_batch`` fast path.  These tests pin the two observable
+guarantees the fast path must keep:
+
+* checkpoint observers fire at exactly the element offsets (and with
+  exactly the estimator state) they see under per-element ingestion —
+  chunks split at every upcoming fire point;
+* a snapshot taken at a checkpoint in the middle of a batched ingest
+  restores to a session whose batched continuation is bit-identical to
+  the uninterrupted run — extending the PR 1 snapshot guarantee to the
+  batch path, including PARABACUS's partially filled mini-batch buffer.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import random
+
+import pytest
+
+from repro.api import open_session, restore_session
+from repro.errors import SpecError
+from repro.graph.generators import bipartite_erdos_renyi
+from repro.streams.dynamic import make_fully_dynamic
+
+ABACUS = "abacus:budget=400,seed=3"
+PARABACUS = "parabacus:budget=400,seed=3,batch_size=170"
+
+
+def _stream(n_edges=900, seed=31, alpha=0.3):
+    edges = bipartite_erdos_renyi(45, 45, n_edges, random.Random(seed))
+    return list(make_fully_dynamic(edges, alpha=alpha, rng=random.Random(seed + 1)))
+
+
+def _trace_run(spec, stream, batch_size, every=None, at=None):
+    trace = []
+    with open_session(spec) as session:
+        if every is not None or at is not None:
+            session.on_checkpoint(
+                lambda elements, s: trace.append(
+                    (elements, s.elements, s.estimate, s.memory_edges)
+                ),
+                every=every,
+                at=at,
+            )
+        total = session.ingest(stream, batch_size=batch_size)
+        final = (session.elements, session.estimate, session.memory_edges)
+    return trace, total, final
+
+
+def _assert_same_run(batched, reference):
+    """Trace and final state bit-identical; the convenience return sum
+    only up to float associativity (per-chunk vs per-element order)."""
+    assert batched[0] == reference[0]
+    assert batched[2] == reference[2]
+    assert math.isclose(batched[1], reference[1], rel_tol=1e-12, abs_tol=1e-9)
+
+
+@pytest.mark.parametrize("spec", [ABACUS, PARABACUS])
+@pytest.mark.parametrize("batch_size", [64, 1024])
+def test_periodic_checkpoints_fire_at_identical_offsets(spec, batch_size):
+    stream = _stream()
+    reference = _trace_run(spec, stream, batch_size=1, every=100)
+    batched = _trace_run(spec, stream, batch_size=batch_size, every=100)
+    _assert_same_run(batched, reference)
+    assert [entry[0] for entry in batched[0]] == list(
+        range(100, len(stream) + 1, 100)
+    )
+
+
+@pytest.mark.parametrize("spec", [ABACUS, PARABACUS])
+def test_explicit_marks_fire_at_identical_offsets(spec):
+    stream = _stream()
+    marks = [1, 7, 7, 250, 893, len(stream)]  # unsorted dupes welcome
+    random.Random(0).shuffle(marks)
+    reference = _trace_run(spec, stream, batch_size=1, at=marks)
+    batched = _trace_run(spec, stream, batch_size=256, at=marks)
+    _assert_same_run(batched, reference)
+    assert [entry[0] for entry in batched[0]] == sorted(marks)
+
+
+def test_combined_every_and_marks_split_chunks_correctly():
+    stream = _stream()
+    reference = _trace_run(ABACUS, stream, batch_size=1, every=64, at=[10, 100])
+    batched = _trace_run(ABACUS, stream, batch_size=500, every=64, at=[10, 100])
+    _assert_same_run(batched, reference)
+
+
+def test_estimate_observers_force_the_element_path():
+    """Per-element deltas stay observable — and identical — regardless."""
+    stream = _stream(n_edges=400)
+
+    def run(batch_size):
+        deltas = []
+        with open_session(ABACUS) as session:
+            session.on_estimate_change(lambda delta, s: deltas.append(delta))
+            session.ingest(stream, batch_size=batch_size)
+            return deltas, session.estimate
+
+    assert run(1024) == run(1)
+
+
+def test_batched_ingest_accepts_generators():
+    stream = _stream(n_edges=400)
+    with open_session(ABACUS) as session:
+        session.ingest(iter(stream), batch_size=128)
+        batched = session.estimate
+    with open_session(ABACUS) as session:
+        session.ingest(stream, batch_size=1)
+        assert session.estimate == batched
+
+
+def test_batch_size_must_be_positive():
+    with open_session(ABACUS) as session:
+        with pytest.raises(SpecError):
+            session.ingest([], batch_size=0)
+
+
+@pytest.mark.parametrize("spec", [ABACUS, PARABACUS])
+@pytest.mark.parametrize("cut", [170, 457])
+def test_snapshot_mid_batched_ingest_restores_bit_identically(spec, cut):
+    """Snapshot at a checkpoint inside a batched ingest, then continue.
+
+    ``cut=457`` lands inside a PARABACUS mini-batch (batch_size=170),
+    so the snapshot must carry the partially filled buffer.
+    """
+    stream = _stream()
+
+    # Uninterrupted batched run: the reference.
+    with open_session(spec) as session:
+        session.ingest(stream, batch_size=256)
+        reference_estimate = session.estimate
+        reference_state = session.estimator.state_to_dict()
+
+    # Snapshot mid-ingest via a checkpoint observer...
+    payloads = []
+    with open_session(spec) as session:
+        session.on_checkpoint(
+            lambda _elements, s: payloads.append(json.dumps(s.snapshot())),
+            at=[cut],
+        )
+        session.ingest(stream, batch_size=256)
+    assert len(payloads) == 1
+
+    # ...and continue the restored session over the remaining elements.
+    resumed = restore_session(json.loads(payloads[0]))
+    assert resumed.elements == cut
+    resumed.ingest(stream[cut:], batch_size=256)
+    assert resumed.estimate == reference_estimate
+    assert resumed.estimator.state_to_dict() == reference_state
+    assert resumed.elements == len(stream)

@@ -1,0 +1,247 @@
+"""Sampler invariants and batch-wrapper equivalence under random workloads.
+
+Property-style checks over 1k-operation random dynamic workloads:
+
+* the reservoir never exceeds its capacity, and ``offer_batch`` with
+  the default ``random.Random`` source is bit-identical to per-element
+  ``offer`` (with a NumPy ``Generator`` it is deterministic per seed
+  and bound-respecting, but draws in bulk);
+* Random Pairing's compensation counters never go negative and the
+  sample never exceeds the budget — checked after *every* element,
+  through both the per-element and the batched path;
+* ``RandomPairing.process_batch`` leaves sampler, sample, and RNG in
+  exactly the state the per-element path reaches, and its mutation log
+  replays to the same sample;
+* estimators' ``memory_edges`` agrees with the actual stored-edge
+  count throughout the workload;
+* the NumPy adjacency mirror stays consistent with the sample it
+  tracks, both incrementally and after a stale rebuild.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.api import build_estimator
+from repro.graph.generators import bipartite_erdos_renyi
+from repro.sampling.adjacency_sample import GraphSample
+from repro.sampling.ndadjacency import NUMPY_AVAILABLE, NdAdjacency
+from repro.sampling.random_pairing import RandomPairing
+from repro.sampling.reservoir import ReservoirSampler
+from repro.streams.dynamic import make_fully_dynamic
+
+WORKLOAD_SEEDS = (11, 29, 47)
+
+
+def _workload(seed, alpha=0.3, n_edges=800):
+    """~1k-operation random fully dynamic stream."""
+    edges = bipartite_erdos_renyi(50, 50, n_edges, random.Random(seed))
+    return list(make_fully_dynamic(edges, alpha=alpha, rng=random.Random(seed + 1)))
+
+
+# ----------------------------------------------------------------------
+# Reservoir
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("seed", WORKLOAD_SEEDS)
+@pytest.mark.parametrize("capacity", [1, 7, 64])
+def test_reservoir_size_never_exceeds_capacity(seed, capacity):
+    rng = random.Random(seed)
+    sampler = ReservoirSampler(capacity, random.Random(seed))
+    offered = 0
+    while offered < 1000:
+        batch = [offered + i for i in range(rng.randint(1, 37))]
+        offered += len(batch)
+        sampler.offer_batch(batch)
+        assert sampler.size <= capacity
+        assert sampler.size == min(capacity, sampler.num_seen)
+        assert sampler.num_seen == offered
+
+
+@pytest.mark.parametrize("seed", WORKLOAD_SEEDS)
+def test_reservoir_offer_batch_bit_identical_with_random_random(seed):
+    one = ReservoirSampler(16, random.Random(seed))
+    two = ReservoirSampler(16, random.Random(seed))
+    items = list(range(1000))
+    evicted_one = []
+    for item in items:
+        replaced = one.offer(item)
+        if replaced is not None:
+            evicted_one.append(replaced)
+    rng = random.Random(seed + 5)
+    evicted_two = []
+    position = 0
+    while position < len(items):
+        size = rng.randint(1, 41)
+        evicted_two.extend(two.offer_batch(items[position : position + size]))
+        position += size
+    assert one.items == two.items
+    assert evicted_one == evicted_two
+    assert one.num_seen == two.num_seen
+    # The RNG consumed exactly the same draws.
+    assert one._rng.getstate() == two._rng.getstate()
+
+
+@pytest.mark.skipif(not NUMPY_AVAILABLE, reason="needs numpy")
+@pytest.mark.parametrize("seed", WORKLOAD_SEEDS)
+def test_reservoir_numpy_generator_batch_path(seed):
+    import numpy as np
+
+    runs = []
+    for _ in range(2):
+        sampler = ReservoirSampler(32, np.random.default_rng(seed))
+        evicted = []
+        rng = random.Random(seed)
+        position = 0
+        items = list(range(1000))
+        while position < len(items):
+            size = rng.randint(1, 50)
+            chunk = items[position : position + size]
+            evicted.extend(sampler.offer_batch(chunk))
+            position += size
+            assert sampler.size <= sampler.capacity
+        runs.append((list(sampler.items), evicted, sampler.num_seen))
+    # Deterministic per seed, and sampled items are genuinely offered.
+    assert runs[0] == runs[1]
+    assert set(runs[0][0]) <= set(range(1000))
+    # Per-element offers also work on a Generator-backed sampler.
+    scalar = ReservoirSampler(8, np.random.default_rng(seed))
+    for item in range(100):
+        scalar.offer(item)
+    assert scalar.size == 8 and scalar.num_seen == 100
+
+
+# ----------------------------------------------------------------------
+# Random Pairing
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("seed", WORKLOAD_SEEDS)
+@pytest.mark.parametrize("budget", [2, 16, 200])
+def test_rp_counters_never_negative_per_element(seed, budget):
+    sampler = RandomPairing(budget, random.Random(seed))
+    for element in _workload(seed):
+        sampler.process(element)
+        assert sampler.cb >= 0
+        assert sampler.cg >= 0
+        assert sampler.sample.num_edges <= budget
+        assert sampler.num_live_edges >= 0
+
+
+@pytest.mark.parametrize("seed", WORKLOAD_SEEDS)
+@pytest.mark.parametrize("budget", [2, 16, 200])
+def test_rp_counters_never_negative_batched(seed, budget):
+    sampler = RandomPairing(budget, random.Random(seed))
+    stream = _workload(seed)
+    rng = random.Random(seed + 9)
+    position = 0
+    while position < len(stream):
+        size = min(rng.choice([1, 5, 33, 128]), len(stream) - position)
+        result = sampler.process_batch(stream[position : position + size])
+        position += size
+        assert sampler.cb >= 0 and sampler.cg >= 0
+        assert sampler.sample.num_edges <= budget
+        # Pre-state triplets are per element and never negative either.
+        assert len(result.pre_live) == size
+        assert all(value >= 0 for value in result.pre_cb)
+        assert all(value >= 0 for value in result.pre_cg)
+
+
+@pytest.mark.parametrize("seed", WORKLOAD_SEEDS)
+@pytest.mark.parametrize("budget", [3, 50, 400])
+def test_rp_process_batch_bit_identical_to_per_element(seed, budget):
+    stream = _workload(seed)
+    one = RandomPairing(budget, random.Random(seed))
+    pre_states = []
+    for element in stream:
+        pre_states.append((one.num_live_edges, one.cb, one.cg))
+        one.process(element)
+    two = RandomPairing(budget, random.Random(seed))
+    result = two.process_batch(stream)
+    assert two.state_to_dict() == one.state_to_dict()
+    assert one.get_rng_state() == two.get_rng_state()
+    assert (
+        list(zip(result.pre_live, result.pre_cb, result.pre_cg)) == pre_states
+    )
+
+
+@pytest.mark.parametrize("seed", WORKLOAD_SEEDS)
+def test_rp_mutation_log_replays_the_sample(seed):
+    sampler = RandomPairing(64, random.Random(seed))
+    result = sampler.process_batch(_workload(seed))
+    replay = GraphSample()
+    for _index, op, u, v in result.mutations:
+        if op == "+":
+            replay.add_edge(u, v)
+        else:
+            assert replay.remove_edge(u, v)
+    assert sorted(replay.edges()) == sorted(sampler.sample.edges())
+
+
+# ----------------------------------------------------------------------
+# memory_edges agreement
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("seed", WORKLOAD_SEEDS)
+@pytest.mark.parametrize(
+    "spec",
+    ["abacus:budget=64,seed=2", "parabacus:budget=64,seed=2,batch_size=100", "exact"],
+)
+def test_memory_edges_agrees_with_stored_edges(seed, spec):
+    estimator = build_estimator(spec)
+    stream = _workload(seed)
+    for start in range(0, len(stream), 97):
+        estimator.process_batch(stream[start : start + 97])
+        if hasattr(estimator, "sampler"):
+            stored = estimator.sampler.sample.num_edges
+            assert len(estimator.sampler.sample.edges()) == stored
+        else:  # the exact oracle stores the whole graph
+            stored = estimator.graph.num_edges
+        assert estimator.memory_edges == stored
+
+
+# ----------------------------------------------------------------------
+# NumPy mirror consistency
+# ----------------------------------------------------------------------
+@pytest.mark.skipif(not NUMPY_AVAILABLE, reason="needs numpy")
+@pytest.mark.parametrize("seed", WORKLOAD_SEEDS)
+def test_mirror_tracks_sample_incrementally(seed):
+    sampler = RandomPairing(80, random.Random(seed))
+    mirror = NdAdjacency()
+    mirror.sync(sampler.sample)
+    for element in _workload(seed):
+        mirror.apply(sampler.process(element))
+    _assert_mirror_matches(mirror, sampler.sample)
+    assert mirror.version == sampler.sample.version
+
+
+@pytest.mark.skipif(not NUMPY_AVAILABLE, reason="needs numpy")
+def test_mirror_rebuilds_after_going_stale(seed=13):
+    sampler = RandomPairing(80, random.Random(seed))
+    mirror = NdAdjacency()
+    stream = _workload(seed)
+    for element in stream[:400]:
+        sampler.process(element)  # mirror not watching: goes stale
+    mirror.sync(sampler.sample)
+    _assert_mirror_matches(mirror, sampler.sample)
+    for element in stream[400:]:
+        mirror.apply(sampler.process(element))
+    _assert_mirror_matches(mirror, sampler.sample)
+
+
+def _assert_mirror_matches(mirror, sample):
+    seen = set()
+    for u, v in sample.edges():
+        seen.add(u)
+        seen.add(v)
+        uid, vid = mirror.id_of(u), mirror.id_of(v)
+        assert uid is not None and vid is not None
+        assert vid in mirror.row(uid).tolist()
+        assert uid in mirror.row(vid).tolist()
+    for vertex in seen:
+        vid = mirror.id_of(vertex)
+        row = mirror.row(vid)
+        assert row.shape[0] == sample.degree(vertex)
+        assert int(mirror.degrees[vid]) == sample.degree(vertex)
+        expected = sorted(
+            mirror.id_of(neighbor) for neighbor in sample.neighbors(vertex)
+        )
+        assert row.tolist() == expected
