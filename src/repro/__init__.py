@@ -37,6 +37,7 @@ from repro.api import (
     EstimatorSpec,
     Session,
     SessionMetrics,
+    ShardedEstimator,
     build_estimator,
     open_session,
     parse_spec,
@@ -73,6 +74,7 @@ __all__ = [
     "EstimatorSpec",
     "Session",
     "SessionMetrics",
+    "ShardedEstimator",
     "build_estimator",
     "open_session",
     "parse_spec",

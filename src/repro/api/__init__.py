@@ -13,7 +13,9 @@ driving estimators::
 
 Importing :mod:`repro.api` registers the built-in estimators
 (``abacus``, ``parabacus``, ``ensemble``, ``fleet``, ``cas``,
-``sgrapp``, ``abacus_support``, ``exact``).
+``sgrapp``, ``abacus_support``, ``exact``) plus the sharded ingestion
+engine (``sharded`` — see :mod:`repro.shard` and the ``shards=`` /
+``backend=`` options of :func:`open_session`).
 """
 
 from repro.api.registry import (
@@ -39,6 +41,11 @@ from repro.api.session import (
     restore_session,
 )
 
+# Imported last: repro.shard registers the "sharded" engine (it pulls
+# the registry from this partially-initialised package, which is safe
+# because the registry submodule above is already fully loaded).
+from repro.shard import ShardedEstimator
+
 __all__ = [
     "DEFAULT_BUDGET",
     "DEFAULT_INGEST_BATCH",
@@ -48,6 +55,7 @@ __all__ = [
     "SNAPSHOT_FORMAT_VERSION",
     "Session",
     "SessionMetrics",
+    "ShardedEstimator",
     "build_estimator",
     "describe_registry",
     "get_registration",

@@ -1,0 +1,150 @@
+"""Generate ``docs/estimators.md`` from the live estimator registry.
+
+The estimator reference is *derived*, never hand-written: this module
+walks every :class:`~repro.api.registry.Registration` — name, aliases,
+description, implementing class, capability flags, declared parameters
+with types/defaults/docs — and renders deterministic Markdown.  CI runs
+the emitter in ``--check`` mode (and ``tests/api/test_docgen.py`` does
+the same inside the test suite), so the committed file can never drift
+from the code: registering, renaming, or re-parameterising an estimator
+without regenerating the doc fails the build.
+
+Usage::
+
+    python -m repro.api.docgen                 # print to stdout
+    python -m repro.api.docgen --write [PATH]  # (re)write the doc
+    python -m repro.api.docgen --check [PATH]  # exit 1 when stale
+
+``PATH`` defaults to ``docs/estimators.md`` relative to the current
+directory (run from the repository root).
+
+>>> render_markdown().startswith("<!-- GENERATED FILE")
+True
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.api.registry import Registration, get_registration, registered_estimators
+
+__all__ = ["DEFAULT_PATH", "main", "render_markdown"]
+
+#: Where the generated reference lives, relative to the repo root.
+DEFAULT_PATH = "docs/estimators.md"
+
+_HEADER = """\
+<!-- GENERATED FILE — do not edit by hand.
+     Regenerate with:  PYTHONPATH=src python -m repro.api.docgen --write
+     CI enforces freshness via --check. -->
+
+# Estimator reference
+
+Every estimator the registry knows, with its spec parameters and
+capability flags.  Specs take three equivalent forms (string, dict,
+`EstimatorSpec`); the string grammar is
+`name[:key=value[,key=value]*]` — see `docs/architecture.md` and the
+README for the surrounding API.
+"""
+
+
+def _capabilities(registration: Registration) -> str:
+    flags = []
+    if registration.supports_snapshot:
+        flags.append("snapshot/restore")
+    if registration.supports_batch:
+        flags.append("batch fast path")
+    if registration.supports_sharding:
+        flags.append("sharding")
+    return ", ".join(flags) if flags else "—"
+
+
+def _render_registration(registration: Registration) -> List[str]:
+    lines = [f"## `{registration.name}`", ""]
+    if registration.description:
+        lines += [registration.description, ""]
+    if registration.aliases:
+        rendered = ", ".join(f"`{alias}`" for alias in registration.aliases)
+        lines.append(f"- **Aliases:** {rendered}")
+    if registration.cls is not None:
+        module = registration.cls.__module__
+        lines.append(f"- **Class:** `{module}.{registration.cls.__name__}`")
+    lines.append(f"- **Capabilities:** {_capabilities(registration)}")
+    lines.append("")
+    if registration.params:
+        lines += [
+            "| parameter | type | default | description |",
+            "|-----------|------|---------|-------------|",
+        ]
+        for param in registration.params:
+            default = "—" if param.default is None else f"`{param.default!r}`"
+            doc = param.doc or ""
+            lines.append(
+                f"| `{param.name}` | `{param.type.__name__}` "
+                f"| {default} | {doc} |"
+            )
+    else:
+        lines.append("*(no parameters)*")
+    lines.append("")
+    return lines
+
+
+def render_markdown() -> str:
+    """The full reference document as a Markdown string."""
+    lines = [_HEADER]
+    for name in registered_estimators():
+        lines += _render_registration(get_registration(name))
+    return "\n".join(lines).rstrip() + "\n"
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.api.docgen",
+        description="Emit docs/estimators.md from the estimator registry.",
+    )
+    parser.add_argument(
+        "path",
+        nargs="?",
+        default=DEFAULT_PATH,
+        help=f"target file (default: {DEFAULT_PATH})",
+    )
+    mode = parser.add_mutually_exclusive_group()
+    mode.add_argument(
+        "--write", action="store_true", help="write the file in place"
+    )
+    mode.add_argument(
+        "--check",
+        action="store_true",
+        help="exit 1 if the file differs from fresh output",
+    )
+    args = parser.parse_args(argv)
+    rendered = render_markdown()
+    if args.write:
+        with open(args.path, "w", encoding="utf-8") as handle:
+            handle.write(rendered)
+        print(f"wrote {args.path}")
+        return 0
+    if args.check:
+        try:
+            with open(args.path, "r", encoding="utf-8") as handle:
+                current = handle.read()
+        except OSError as exc:
+            print(f"cannot read {args.path}: {exc}", file=sys.stderr)
+            return 1
+        if current != rendered:
+            print(
+                f"{args.path} is stale; regenerate with "
+                "PYTHONPATH=src python -m repro.api.docgen --write",
+                file=sys.stderr,
+            )
+            return 1
+        print(f"{args.path} is up to date")
+        return 0
+    sys.stdout.write(rendered)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

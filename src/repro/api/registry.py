@@ -18,11 +18,21 @@ Spec-string grammar::
 
     spec   := name [ ":" param ("," param)* ]
     param  := key "=" value
-    value  := int | float | "true" | "false" | string
+    value  := int | float | "true" | "false" | string | "[" raw "]"
 
 Keys must be declared by the registration; unknown keys and
 type-incompatible values raise :class:`~repro.errors.SpecError` at
 build time, not deep inside a constructor.
+
+A bracketed value is taken verbatim (brackets nest), which is how a
+spec embeds another spec — the sharded engine's ``inner`` parameter::
+
+    sharded:inner=[abacus:budget=1000,seed=7],shards=4
+
+``to_string`` quotes automatically, so every spec round-trips — except
+string values with *unbalanced* brackets, which the grammar cannot
+express; ``to_string`` raises for those (the dict/JSON forms carry
+them fine).
 """
 
 from __future__ import annotations
@@ -117,6 +127,12 @@ class EstimatorSpec:
     Immutable and hashable-by-value is deliberately *not* promised
     (params is a plain dict); use :meth:`to_string` when a canonical
     key is needed.
+
+    >>> spec = EstimatorSpec.from_string("abacus:seed=42,budget=1000")
+    >>> spec.to_string()                    # canonical: sorted params
+    'abacus:budget=1000,seed=42'
+    >>> spec.with_overrides(budget=500).params["budget"]
+    500
     """
 
     name: str
@@ -163,7 +179,18 @@ class EstimatorSpec:
 
     @classmethod
     def from_string(cls, text: str) -> "EstimatorSpec":
-        """Parse the ``name:key=value,key=value`` grammar."""
+        """Parse the ``name:key=value,key=value`` grammar.
+
+        Values wrapped in ``[...]`` are taken verbatim (commas and
+        colons inside them do not split), so nested specs round-trip:
+
+        >>> spec = EstimatorSpec.from_string(
+        ...     "sharded:inner=[abacus:budget=100,seed=1],shards=2")
+        >>> spec.params["inner"]
+        'abacus:budget=100,seed=1'
+        >>> EstimatorSpec.from_string(spec.to_string()) == spec
+        True
+        """
         text = text.strip()
         if not text:
             raise SpecError("empty estimator spec")
@@ -173,7 +200,7 @@ class EstimatorSpec:
             raise SpecError(f"estimator spec {text!r} has no name")
         params: Dict[str, Any] = {}
         if sep and rest.strip():
-            for item in rest.split(","):
+            for item in _split_params(rest, text):
                 item = item.strip()
                 if not item:
                     continue
@@ -188,7 +215,11 @@ class EstimatorSpec:
                     raise SpecError(
                         f"duplicate parameter {key!r} in spec {text!r}"
                     )
-                params[key] = _parse_scalar(raw.strip())
+                raw = raw.strip()
+                if _is_bracket_wrapped(raw):
+                    params[key] = raw[1:-1]
+                else:
+                    params[key] = _parse_scalar(raw)
         return cls(name, params)
 
     def with_overrides(self, **overrides: Any) -> "EstimatorSpec":
@@ -219,9 +250,78 @@ def _parse_scalar(raw: str) -> Any:
     return raw
 
 
+def _is_bracket_wrapped(raw: str) -> bool:
+    """True when the outer ``[``/``]`` of ``raw`` are a matching pair.
+
+    ``[a]mid[b]`` starts with ``[`` and ends with ``]`` but is *not*
+    wrapped — its leading bracket closes mid-string — so stripping the
+    outer characters would corrupt the value.
+    """
+    if len(raw) < 2 or raw[0] != "[" or raw[-1] != "]":
+        return False
+    depth = 0
+    for index, char in enumerate(raw):
+        if char == "[":
+            depth += 1
+        elif char == "]":
+            depth -= 1
+            if depth == 0 and index != len(raw) - 1:
+                return False
+    return depth == 0
+
+
+def _split_params(rest: str, text: str) -> list:
+    """Split the parameter section on commas outside ``[...]`` quoting."""
+    items = []
+    depth = 0
+    current = []
+    for char in rest:
+        if char == "[":
+            depth += 1
+        elif char == "]":
+            depth -= 1
+            if depth < 0:
+                raise SpecError(f"unbalanced ']' in spec {text!r}")
+        if char == "," and depth == 0:
+            items.append("".join(current))
+            current = []
+        else:
+            current.append(char)
+    if depth != 0:
+        raise SpecError(f"unbalanced '[' in spec {text!r}")
+    items.append("".join(current))
+    return items
+
+
+def _brackets_balanced(value: str) -> bool:
+    depth = 0
+    for char in value:
+        if char == "[":
+            depth += 1
+        elif char == "]":
+            depth -= 1
+            if depth < 0:
+                return False
+    return depth == 0
+
+
 def _render_value(value: Any) -> str:
     if isinstance(value, bool):
         return "true" if value else "false"
+    if isinstance(value, str) and (
+        any(c in value for c in ":,[]=") or _parse_scalar(value) != value
+    ):
+        # Bracket-quote so from_string re-parses the value verbatim —
+        # both for grammar characters and for scalar-looking strings
+        # ("5", "true") that would otherwise change type on re-parse.
+        # Unbalanced brackets cannot be expressed in the grammar at
+        # all — refuse rather than emit a string that fails to parse.
+        if not _brackets_balanced(value):
+            raise SpecError(
+                f"cannot render {value!r} in the spec-string grammar "
+                "(unbalanced brackets); use the dict or JSON spec form"
+            )
+        return f"[{value}]"
     return str(value)
 
 
@@ -231,6 +331,11 @@ def parse_spec(spec: SpecLike) -> EstimatorSpec:
     Accepts an existing spec (returned as-is), a spec string, a spec
     dict (``{"name": ..., "params": {...}}``), or a JSON string of that
     dict shape.
+
+    >>> parse_spec({"name": "abacus", "params": {"budget": 64}}).to_string()
+    'abacus:budget=64'
+    >>> parse_spec("exact").name
+    'exact'
     """
     if isinstance(spec, EstimatorSpec):
         return spec
@@ -286,6 +391,22 @@ class Registration:
         """
         return self.cls is not None and bool(
             getattr(self.cls, "supports_batch", False)
+        )
+
+    @property
+    def supports_sharding(self) -> bool:
+        """Whether instances may run as shards of the sharded engine.
+
+        Mirrors :attr:`~repro.core.base.ButterflyEstimator
+        .supports_sharding`: true for every estimator whose semantics
+        survive a left-vertex partitioned substream (all of them except
+        window-fitting baselines), false for opt-outs and for the
+        sharded engine itself (no nesting).
+        :class:`repro.shard.engine.ShardedEstimator` refuses inner
+        specs whose registration has this false.
+        """
+        return self.cls is not None and bool(
+            getattr(self.cls, "supports_sharding", False)
         )
 
     def validate(self, params: Mapping[str, Any]) -> Dict[str, Any]:
@@ -428,6 +549,10 @@ def build_estimator(spec: SpecLike, **overrides: Any) -> ButterflyEstimator:
     Raises:
         SpecError: unknown estimator, undeclared parameter, or a value
             that fails type validation.
+
+    >>> estimator = build_estimator("abacus:budget=100,seed=1")
+    >>> type(estimator).__name__, estimator.budget
+    ('Abacus', 100)
     """
     parsed = parse_spec(spec)
     registration = get_registration(parsed.name)
@@ -454,6 +579,8 @@ def describe_registry() -> str:
             lines.append(f"  {registration.description}")
         if registration.supports_snapshot:
             lines.append("  snapshot/restore: yes")
+        if registration.supports_sharding:
+            lines.append("  sharding: yes")
         for param in registration.params:
             default = (
                 "" if param.default is None else f" (default {param.default})"

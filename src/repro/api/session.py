@@ -27,6 +27,11 @@ serialise to a JSON document with :meth:`Session.snapshot` /
 :meth:`Session.save` and come back with :func:`restore_session`;
 continuing a restored session is bit-identical to never having
 stopped.
+
+Passing ``shards=K`` (plus ``backend=`` / ``partitioner=``) to
+:func:`open_session` routes ingestion through the sharded engine of
+:mod:`repro.shard` — same facade, same observer and snapshot
+semantics, fan-out underneath.
 """
 
 from __future__ import annotations
@@ -247,6 +252,16 @@ class Session:
             batch_size: chunk size for the fast path; defaults to
                 :data:`DEFAULT_INGEST_BATCH`.  Pass 1 to force the
                 per-element path.
+
+        >>> from repro.types import insertion
+        >>> session = open_session("exact")
+        >>> session.ingest(insertion("a", "x"))       # one element
+        0.0
+        >>> session.ingest([insertion("a", "y"),      # or any iterable
+        ...                 insertion("b", "x"), insertion("b", "y")])
+        1.0
+        >>> session.elements
+        4
 
         Returns:
             The signed change to the estimate caused by this call.  For
@@ -471,6 +486,11 @@ class Session:
 
 def open_session(
     estimator: Union[SpecLike, ButterflyEstimator],
+    *,
+    shards: Optional[int] = None,
+    backend: Optional[str] = None,
+    partitioner: Optional[str] = None,
+    salt: Optional[int] = None,
     **overrides: Any,
 ) -> Session:
     """Open a session from a spec (string/dict/object) or an instance.
@@ -479,18 +499,60 @@ def open_session(
         estimator: an :class:`EstimatorSpec`, a spec string like
             ``"abacus:budget=1000,seed=42"``, a spec dict, or an
             already-constructed estimator to wrap.
-        overrides: spec parameter overrides (ignored-with-error for
+        shards: when given, wrap the spec in the sharded ingestion engine
+            (:class:`repro.shard.engine.ShardedEstimator`): the stream
+            is hash-partitioned across this many independent estimator
+            shards and the per-shard estimates merge under the
+            K-corrected contract of ``docs/architecture.md``.  The
+            spec's memory budget then applies *per shard*.
+        backend: shard executor — ``"serial"`` (default), ``"thread"``,
+            or ``"process"`` (persistent worker processes).  Requires
+            ``shards``; alone it raises rather than implicitly sharding.
+        partitioner: ``"hash"`` (default, unbiased) or ``"balanced"``
+            (greedy load balancing).  Requires ``shards``.
+        salt: partition-map salt for the hash partitioner.  Requires
+            ``shards``.
+        overrides: spec parameter overrides, applied to the (inner)
+            spec before any shard wrapping (ignored-with-error for
             instances — wrap specs, not objects, to reconfigure).
 
     Raises:
-        SpecError: on unknown estimators/parameters, or when overrides
-            are passed alongside an instance.
+        SpecError: on unknown estimators/parameters, when overrides or
+            sharding options are passed alongside an instance, or when
+            the spec's registration opts out of sharding.
+
+    Unsharded sessions drive the estimator directly:
+
+    >>> from repro.types import insertion
+    >>> with open_session("exact") as session:
+    ...     _ = session.ingest([insertion("u1", "v1"), insertion("u1", "v2"),
+    ...                         insertion("u2", "v1"), insertion("u2", "v2")])
+    ...     session.estimate
+    1.0
+
+    Sharded sessions fan ingestion out and correct the merge (left
+    vertices 0 and 2 collide under the default salt at ``shards=2``):
+
+    >>> with open_session("exact", shards=2) as session:
+    ...     _ = session.ingest([insertion(0, "v1"), insertion(0, "v2"),
+    ...                         insertion(2, "v1"), insertion(2, "v2")])
+    ...     session.estimate
+    2.0
     """
+    options = {"backend": backend, "partitioner": partitioner, "salt": salt}
+    options = {key: value for key, value in options.items() if value is not None}
+    if shards is None and options:
+        raise SpecError(
+            f"{'/'.join(sorted(options))} only applies to sharded "
+            "sessions; pass shards=K alongside it"
+        )
+    sharding = {"shards": shards, **options} if shards is not None else {}
     if isinstance(estimator, ButterflyEstimator):
-        if overrides:
+        if overrides or sharding:
             raise SpecError(
-                "parameter overrides only apply when opening from a "
-                f"spec, not an instance (got {sorted(overrides)})"
+                "parameter overrides and sharding options only apply when "
+                "opening from a spec, not an instance "
+                f"(got {sorted(overrides) + sorted(sharding)})"
             )
         registration = registration_for_instance(estimator)
         spec = EstimatorSpec(registration.name) if registration else None
@@ -498,6 +560,10 @@ def open_session(
     spec = parse_spec(estimator)
     if overrides:
         spec = spec.with_overrides(**overrides)
+    if sharding:
+        spec = EstimatorSpec(
+            "sharded", {"inner": spec.to_string(), **sharding}
+        )
     built = build_estimator(spec)
     return Session(built, spec=spec)
 

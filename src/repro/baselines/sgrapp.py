@@ -46,6 +46,11 @@ class SGrapp(ButterflyEstimator):
     """
 
     name = "sGrapp"
+    #: sGrapp fits its BDPL correction on *global* window prefixes; a
+    #: left-vertex partitioned substream changes the window contents and
+    #: the fitted exponent non-uniformly, so the K-corrected shard merge
+    #: of repro.shard would not estimate the global count.
+    supports_sharding = False
 
     def __init__(self, window: int = 2000, learning_windows: int = 4) -> None:
         if window < 1:

@@ -14,6 +14,9 @@ Subcommands map 1:1 onto the paper's tables/figures plus the extras::
 ``--estimator`` accepts the registry spec grammar, e.g.
 ``abacus:budget=1000,seed=42`` or ``parabacus:budget=2000,batch_size=500``;
 ``repro estimators`` lists every registered name with its parameters.
+``repro stream`` additionally takes ``--shards K`` with ``--backend
+{serial,thread,process}`` and ``--partitioner {hash,balanced}`` to fan
+ingestion out through the sharded engine (:mod:`repro.shard`).
 
 Use ``--datasets`` with a comma-separated subset of
 ``movielens_like,livejournal_like,trackers_like,orkut_like`` to trim
@@ -97,6 +100,28 @@ def build_parser() -> argparse.ArgumentParser:
         help="PARABACUS thread count for figs 4/8",
     )
     parser.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        metavar="K",
+        help=(
+            "shard the 'stream' experiment's ingestion across K "
+            "independent estimator shards (see docs/architecture.md)"
+        ),
+    )
+    parser.add_argument(
+        "--backend",
+        choices=["serial", "thread", "process"],
+        default="serial",
+        help="shard executor backend for --shards > 1",
+    )
+    parser.add_argument(
+        "--partitioner",
+        choices=["hash", "balanced"],
+        default="hash",
+        help="shard partitioner: stable hash or greedy load balancing",
+    )
+    parser.add_argument(
         "--chart",
         action="store_true",
         help="additionally draw ASCII charts (fig3/fig5)",
@@ -135,8 +160,15 @@ def run_stream(
     datasets: Optional[List[str]],
     context: Optional[ExperimentContext] = None,
     alpha: float = 0.2,
+    shards: int = 1,
+    backend: str = "serial",
+    partitioner: str = "hash",
 ) -> str:
-    """Run one estimator spec over a dataset through the session API."""
+    """Run one estimator spec over a dataset through the session API.
+
+    With ``shards > 1`` the ingestion fans out through the sharded
+    engine (``--shards/--backend/--partitioner``).
+    """
     from repro.experiments.datasets import get_dataset
 
     ctx = context or ExperimentContext()
@@ -145,12 +177,20 @@ def run_stream(
     stream = ctx.stream(dataset_spec, alpha, 0)
     truth = ctx.truth(dataset_spec, alpha, 0)
     spec = parse_spec(spec_text)
-    with open_session(spec) as session:
+    sharding = (
+        {"shards": shards, "backend": backend, "partitioner": partitioner}
+        if shards > 1
+        else {}
+    )
+    with open_session(spec, **sharding) as session:
         session.ingest(stream)
         session.flush()
         metrics = session.metrics
+    title = f"== stream: {spec.to_string()} on {dataset} (alpha={alpha:.0%})"
+    if shards > 1:
+        title += f" [shards={shards}, backend={backend}]"
     lines = [
-        f"== stream: {spec.to_string()} on {dataset} (alpha={alpha:.0%}) ==",
+        title + " ==",
         f"  elements ingested : {metrics.elements:>14,}",
         f"  estimate          : {metrics.estimate:>14,.1f}",
         f"  exact count       : {truth:>14,}",
@@ -171,13 +211,23 @@ def run_experiment(
     context: Optional[ExperimentContext] = None,
     chart: bool = False,
     estimator_spec: str = "abacus:budget=1000,seed=42",
+    shards: int = 1,
+    backend: str = "serial",
+    partitioner: str = "hash",
 ) -> str:
     """Execute one experiment; return its rendered report."""
     ctx = context or ExperimentContext()
     if name == "estimators":
         return describe_registry()
     if name == "stream":
-        return run_stream(estimator_spec, datasets, context=ctx)
+        return run_stream(
+            estimator_spec,
+            datasets,
+            context=ctx,
+            shards=shards,
+            backend=backend,
+            partitioner=partitioner,
+        )
     if name == "table2":
         return figures.run_table2(datasets=datasets)["text"]
     if name == "fig3":
@@ -262,6 +312,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             report = run_experiment(
                 name, args.trials, datasets, args.threads, context,
                 chart=args.chart, estimator_spec=args.estimator,
+                shards=args.shards, backend=args.backend,
+                partitioner=args.partitioner,
             )
             print(report)
             print()

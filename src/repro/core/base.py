@@ -69,6 +69,14 @@ class ButterflyEstimator(abc.ABC):
     #: the flag to decide whether chunked ingestion buys anything.
     supports_batch: bool = False
 
+    #: Whether instances may run as shards of
+    #: :class:`repro.shard.engine.ShardedEstimator`.  True by default —
+    #: any estimator of this interface handles a partitioned substream;
+    #: classes whose semantics do not survive partitioning (e.g.
+    #: sGrapp's global window fitting) opt out, and the registry
+    #: surfaces the flag as ``Registration.supports_sharding``.
+    supports_sharding: bool = True
+
     @abc.abstractmethod
     def process(self, element: StreamElement) -> float:
         """Ingest one stream element.
@@ -104,6 +112,15 @@ class ButterflyEstimator(abc.ABC):
 
         This default simply loops; subclasses with a real fast path set
         :attr:`supports_batch` and override.
+
+        >>> from repro.core.exact import ExactStreamingCounter
+        >>> from repro.types import insertion
+        >>> counter = ExactStreamingCounter()
+        >>> counter.process_batch([insertion("u1", "v1"), insertion("u1", "v2"),
+        ...                        insertion("u2", "v1"), insertion("u2", "v2")])
+        1.0
+        >>> counter.estimate
+        1.0
         """
         process = self.process
         total = 0.0

@@ -1,0 +1,268 @@
+"""Stream partitioners: which shard owns a stream element.
+
+Both partitioners shipped here are **left-vertex** partitioners: every
+edge ``{u, v}`` routes by its left endpoint ``u``, so the complete
+neighbourhood of a left vertex — and therefore every insertion *and*
+the matching deletion of each of its edges — lands on one shard.  That
+choice is what makes the cross-shard correction of
+:class:`repro.shard.engine.ShardedEstimator` a clean factor ``K``: a
+butterfly ``(u1, u2, v1, v2)`` survives partitioning exactly when its
+two left vertices collide, which a uniform vertex hash does with
+probability ``1/K`` (see ``docs/architecture.md``).
+
+Partitioners are deterministic and serialisable: the stateless
+:class:`HashPartitioner` reconstructs from ``(num_shards, salt)``, and
+the stateful :class:`BalancedPartitioner` round-trips its assignment
+table through :meth:`Partitioner.state_to_dict`, so a restored session
+routes every future element exactly as the original would have.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Any, Dict, Hashable, List, Type
+
+from repro.errors import SpecError
+from repro.sketch.hashing import mix64
+from repro.types import StreamElement, Vertex, insertion  # noqa: F401  (doctests)
+
+__all__ = [
+    "PARTITIONER_NAMES",
+    "BalancedPartitioner",
+    "HashPartitioner",
+    "Partitioner",
+    "make_partitioner",
+    "partitioner_from_state",
+    "shard_seed",
+    "stable_vertex_key",
+]
+
+_MASK64 = (1 << 64) - 1
+
+
+def stable_vertex_key(vertex: Vertex) -> int:
+    """A process-independent integer key for a vertex identifier.
+
+    Integers map to themselves and strings fold byte-by-byte through
+    :func:`~repro.sketch.hashing.mix64`, so the common vertex types are
+    routed identically across interpreter runs and worker processes
+    (``PYTHONHASHSEED`` never enters the picture).  Any other hashable
+    type falls back to the built-in ``hash``, which is stable only
+    within one process — fine for routing (the partitioner always runs
+    in the coordinating process) but such vertices will not route
+    identically after a cross-process snapshot/restore.
+
+    >>> stable_vertex_key(41)
+    41
+    >>> stable_vertex_key("user-41") == stable_vertex_key("user-41")
+    True
+    """
+    if isinstance(vertex, bool):
+        return int(vertex)
+    if isinstance(vertex, int):
+        return vertex
+    if isinstance(vertex, str):
+        key = len(vertex)
+        for byte in vertex.encode("utf-8"):
+            key = mix64(key, byte)
+        return key
+    return hash(vertex)
+
+
+def shard_seed(base_seed: int, shard_index: int, num_shards: int) -> int:
+    """Derive the RNG seed for one shard from the base seed.
+
+    A single shard keeps the base seed unchanged (``shards=1`` is
+    literally the unsharded estimator); multiple shards get independent
+    streams via salted splitmix64 mixing.
+
+    >>> shard_seed(42, 0, 1)
+    42
+    >>> shard_seed(42, 0, 4) != shard_seed(42, 1, 4)
+    True
+    """
+    if num_shards == 1:
+        return base_seed
+    return mix64(base_seed & _MASK64, shard_index + 1) % (1 << 31)
+
+
+class Partitioner(abc.ABC):
+    """Maps stream elements to shard indices, deterministically.
+
+    Subclasses register themselves in :data:`PARTITIONER_NAMES` via
+    ``name``; :func:`make_partitioner` builds by name and
+    :func:`partitioner_from_state` restores from a state dict.
+    """
+
+    #: Registry name ("hash", "balanced").
+    name: str = ""
+
+    def __init__(self, num_shards: int, salt: int = 0) -> None:
+        if num_shards < 1:
+            raise SpecError(f"num_shards must be >= 1, got {num_shards}")
+        self.num_shards = num_shards
+        self.salt = salt
+
+    @abc.abstractmethod
+    def shard_of(self, vertex: Vertex) -> int:
+        """The shard owning edges whose left endpoint is ``vertex``."""
+
+    def assign(self, element: StreamElement) -> int:
+        """Route one stream element (may update internal load state)."""
+        return self.shard_of(element.u)
+
+    @property
+    def collision_probability(self) -> float:
+        """Modelled probability that two distinct left vertices collide.
+
+        ``1 / num_shards`` under the uniform-hash model; the engine's
+        cross-shard correction is its reciprocal.
+        """
+        return 1.0 / self.num_shards
+
+    def state_to_dict(self) -> Dict[str, Any]:
+        """JSON-ready state; ``partitioner_from_state`` inverts it."""
+        return {
+            "name": self.name,
+            "num_shards": self.num_shards,
+            "salt": self.salt,
+        }
+
+    @classmethod
+    def from_state_dict(cls, state: Dict[str, Any]) -> "Partitioner":
+        return cls(int(state["num_shards"]), int(state["salt"]))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(num_shards={self.num_shards})"
+
+
+class HashPartitioner(Partitioner):
+    """Stateless salted-hash partitioner (the default).
+
+    Routes by ``mix64(salt, stable_vertex_key(u)) % num_shards``.
+    Collision probability between distinct left vertices is modelled as
+    ``1/K``; varying ``salt`` draws an independent partition map, which
+    is how the unbiasedness tests average over partitionings.
+
+    >>> p = HashPartitioner(2)
+    >>> p.shard_of(0), p.shard_of(1), p.shard_of(2), p.shard_of(3)
+    (0, 1, 0, 1)
+    >>> p.shard_of(0) == HashPartitioner(2).shard_of(0)   # deterministic
+    True
+    """
+
+    name = "hash"
+
+    def shard_of(self, vertex: Vertex) -> int:
+        return mix64(self.salt, stable_vertex_key(vertex)) % self.num_shards
+
+
+class BalancedPartitioner(Partitioner):
+    """Greedy load-balance-aware partitioner (mirrors Fig. 10's concern).
+
+    The first time a left vertex appears it is pinned to the currently
+    least-loaded shard (ties break to the lowest index); afterwards
+    every element routed to a shard increments that shard's load.  This
+    evens out skewed left-degree distributions — the exact imbalance
+    PARABACUS's dynamic scheduling addresses for threads in Fig. 10 —
+    at a price stated in ``docs/architecture.md``: the assignment
+    depends on arrival order, so the ``K`` correction is exact only
+    under the exchangeable-arrival approximation, not Theorem-1
+    unbiased.
+
+    >>> p = BalancedPartitioner(2)
+    >>> [p.assign(e) for e in [insertion(10, 0), insertion(10, 1),
+    ...                        insertion(20, 0), insertion(30, 0)]]
+    [0, 0, 1, 1]
+    >>> p.loads
+    [2, 2]
+    """
+
+    name = "balanced"
+
+    def __init__(self, num_shards: int, salt: int = 0) -> None:
+        super().__init__(num_shards, salt)
+        self._assignment: Dict[Hashable, int] = {}
+        self.loads: List[int] = [0] * num_shards
+
+    def shard_of(self, vertex: Vertex) -> int:
+        shard = self._assignment.get(vertex)
+        if shard is None:
+            shard = min(range(self.num_shards), key=lambda s: (self.loads[s], s))
+            self._assignment[vertex] = shard
+        return shard
+
+    def assign(self, element: StreamElement) -> int:
+        shard = self.shard_of(element.u)
+        self.loads[shard] += 1
+        return shard
+
+    @property
+    def assignment(self) -> Dict[Hashable, int]:
+        """The pinned vertex→shard map accumulated so far (a copy)."""
+        return dict(self._assignment)
+
+    def state_to_dict(self) -> Dict[str, Any]:
+        state = super().state_to_dict()
+        # Pairs, not a dict: JSON objects would stringify int vertices.
+        state["assignment"] = [[v, s] for v, s in self._assignment.items()]
+        state["loads"] = list(self.loads)
+        return state
+
+    @classmethod
+    def from_state_dict(cls, state: Dict[str, Any]) -> "BalancedPartitioner":
+        partitioner = cls(int(state["num_shards"]), int(state["salt"]))
+        partitioner._assignment = {
+            _as_vertex(v): int(s) for v, s in state.get("assignment", [])
+        }
+        partitioner.loads = [int(x) for x in state["loads"]]
+        return partitioner
+
+
+def _as_vertex(value: Any) -> Hashable:
+    """JSON round-trip normalisation for vertex identifiers.
+
+    ``json.dump`` turns tuple vertices into lists, which cannot key the
+    assignment dict on restore; convert them (recursively) back.  Note
+    that routing for such vertices still relies on the in-process
+    ``hash`` — see :func:`stable_vertex_key` for the restore caveat.
+    """
+    if isinstance(value, list):
+        return tuple(_as_vertex(item) for item in value)
+    return value
+
+
+_PARTITIONERS: Dict[str, Type[Partitioner]] = {
+    HashPartitioner.name: HashPartitioner,
+    BalancedPartitioner.name: BalancedPartitioner,
+}
+
+#: The accepted ``partitioner=`` names, sorted.
+PARTITIONER_NAMES = tuple(sorted(_PARTITIONERS))
+
+
+def make_partitioner(name: str, num_shards: int, salt: int = 0) -> Partitioner:
+    """Build a partitioner by registry name.
+
+    Raises:
+        SpecError: unknown name.
+    """
+    try:
+        cls = _PARTITIONERS[name.strip().lower()]
+    except KeyError:
+        raise SpecError(
+            f"unknown partitioner {name!r}; "
+            f"available: {', '.join(PARTITIONER_NAMES)}"
+        ) from None
+    return cls(num_shards, salt)
+
+
+def partitioner_from_state(state: Dict[str, Any]) -> Partitioner:
+    """Rebuild a partitioner from :meth:`Partitioner.state_to_dict`."""
+    try:
+        cls = _PARTITIONERS[state["name"]]
+    except KeyError:
+        raise SpecError(
+            f"unknown partitioner state {state.get('name')!r}"
+        ) from None
+    return cls.from_state_dict(state)

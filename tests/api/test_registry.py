@@ -141,6 +141,52 @@ class TestSpecRoundTrips:
         with pytest.raises(SpecError):
             parse_spec(42)
 
+    def test_bracketed_value_round_trip(self):
+        """Nested specs quote with [...] so to_string() re-parses exactly."""
+        spec = EstimatorSpec(
+            "sharded", {"inner": "abacus:budget=100,seed=1", "shards": 2}
+        )
+        text = spec.to_string()
+        assert text == "sharded:inner=[abacus:budget=100,seed=1],shards=2"
+        assert parse_spec(text) == spec
+
+    def test_bracketed_value_keeps_commas_and_colons(self):
+        spec = parse_spec("sharded:inner=[abacus:budget=100,seed=1],shards=2")
+        assert spec.params["inner"] == "abacus:budget=100,seed=1"
+        assert spec.params["shards"] == 2
+        assert "seed" not in spec.params  # must not leak to the outer spec
+
+    def test_unbalanced_brackets_raise(self):
+        with pytest.raises(SpecError, match="unbalanced"):
+            parse_spec("sharded:inner=[abacus:budget=100,shards=2")
+        with pytest.raises(SpecError, match="unbalanced"):
+            parse_spec("sharded:inner=abacus],shards=2")
+
+    def test_balanced_nested_brackets_round_trip(self):
+        spec = EstimatorSpec("sharded", {"inner": "a[b]c:x=1"})
+        assert parse_spec(spec.to_string()) == spec
+
+    def test_value_with_non_wrapping_brackets_is_verbatim(self):
+        """'[a]mid[b]' merely *contains* brackets; nothing is stripped."""
+        spec = parse_spec("x:k=[a]mid[b]")
+        assert spec.params["k"] == "[a]mid[b]"
+        assert parse_spec(spec.to_string()) == spec
+
+    def test_scalar_looking_strings_round_trip(self):
+        """String values like '5' or 'true' must keep their type."""
+        for raw in ("5", "1.5", "true", "false"):
+            spec = EstimatorSpec("x", {"p": raw})
+            assert spec.to_string() == f"x:p=[{raw}]"
+            assert parse_spec(spec.to_string()) == spec
+
+    def test_unrenderable_value_raises_instead_of_corrupting(self):
+        """to_string must refuse values the grammar cannot express."""
+        spec = EstimatorSpec("abacus", {"label": "x]y"})
+        with pytest.raises(SpecError, match="cannot render"):
+            spec.to_string()
+        # The dict form carries the same value without trouble.
+        assert parse_spec(spec.to_dict()) == spec
+
 
 class TestRegistryCompleteness:
     def test_all_seven_registered(self):

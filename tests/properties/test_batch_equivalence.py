@@ -112,7 +112,16 @@ def _assert_identical(name, reference, candidate, context):
 
 def test_registry_declares_batch_estimators():
     """The fast-path roster is explicit; growing it extends this suite."""
-    assert set(_batch_estimators()) == {"abacus", "parabacus", "exact"}
+    # "sharded" wraps registry estimators (abacus by default here), so
+    # listing it runs the whole conformance matrix through the sharded
+    # fan-out path too — partitioned chunking must stay observably
+    # equivalent to per-element routing.
+    assert set(_batch_estimators()) == {
+        "abacus",
+        "parabacus",
+        "exact",
+        "sharded",
+    }
 
 
 @pytest.mark.parametrize("name", _batch_estimators())

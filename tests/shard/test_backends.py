@@ -1,0 +1,151 @@
+"""Backend equivalence: serial, thread, and process are bit-identical.
+
+The acceptance contract of the sharded engine (ISSUE 3): for a fixed
+seed and partition map, every executor backend produces the same final
+estimate *and* the same complete per-shard `state_to_dict()` — the
+backends may only differ in where the work runs.
+"""
+
+import random
+
+import pytest
+
+from repro.errors import EstimatorError, SpecError
+from repro.graph.generators import bipartite_erdos_renyi
+from repro.shard.backends import BACKEND_NAMES, ProcessBackend, make_backend
+from repro.shard.engine import ShardedEstimator
+from repro.streams.dynamic import make_fully_dynamic
+from repro.types import insertion
+
+SPEC = "abacus:budget=250,seed=13"
+
+
+@pytest.fixture(scope="module")
+def stream():
+    edges = bipartite_erdos_renyi(35, 35, 300, random.Random(31))
+    return list(make_fully_dynamic(edges, alpha=0.2, rng=random.Random(32)))
+
+
+def _run(backend, stream, *, spec=SPEC, shards=3, chunk=None):
+    engine = ShardedEstimator(spec, shards=shards, backend=backend, salt=1)
+    if chunk is None:
+        engine.process_batch(stream)
+    else:
+        for start in range(0, len(stream), chunk):
+            engine.process_batch(stream[start : start + chunk])
+    engine.flush()
+    result = (engine.estimate, engine.shard_estimates(), engine.state_to_dict())
+    engine.close()
+    return result
+
+
+class TestBackendEquivalence:
+    def test_all_backends_bit_identical(self, stream):
+        estimate, shard_estimates, state = _run("serial", stream)
+        for backend in ("thread", "process"):
+            other_estimate, other_shards, other_state = _run(backend, stream)
+            assert other_estimate == estimate, backend
+            assert other_shards == shard_estimates, backend
+            assert other_state["shard_states"] == state["shard_states"], backend
+
+    def test_chunking_does_not_matter(self, stream):
+        whole = _run("process", stream)
+        ragged = _run("process", stream, chunk=37)
+        assert ragged[0] == whole[0]
+        assert ragged[2]["shard_states"] == whole[2]["shard_states"]
+
+    def test_buffered_estimator_across_backends(self, stream):
+        """PARABACUS buffers mini-batches; flush must behave everywhere."""
+        spec = "parabacus:budget=250,seed=13,batch_size=100"
+        serial = _run("serial", stream, spec=spec)
+        process = _run("process", stream, spec=spec)
+        assert process[0] == serial[0]
+        assert process[2]["shard_states"] == serial[2]["shard_states"]
+
+    def test_per_element_process_matches_batch(self, stream):
+        engine_a = ShardedEstimator(SPEC, shards=2, backend="process", salt=1)
+        engine_b = ShardedEstimator(SPEC, shards=2, backend="serial", salt=1)
+        for element in stream[:120]:
+            engine_a.process(element)
+            engine_b.process(element)
+        assert engine_a.estimate == engine_b.estimate
+        engine_a.close()
+        engine_b.close()
+
+
+class TestProcessBackendLifecycle:
+    def test_worker_error_surfaces_in_coordinator(self):
+        backend = ProcessBackend(
+            [{"spec": {"name": "exact", "params": {}}}]
+        )
+        # A deletion of a never-inserted edge violates the stream
+        # contract and raises inside the worker; the coordinator must
+        # re-raise rather than hang or die.
+        from repro.types import deletion
+
+        with pytest.raises(EstimatorError, match="shard worker failed"):
+            backend.process_batches([[deletion("u", "v")]])
+        backend.close()
+
+    def test_pipes_stay_in_sync_after_a_worker_error(self):
+        """A failing shard must not leave other shards' replies unread.
+
+        Regression: the coordinator used to raise on the first error
+        with later replies still queued, so every subsequent command
+        read a stale reply from the wrong request.
+        """
+        from repro.types import deletion
+
+        backend = ProcessBackend(
+            [{"spec": {"name": "exact", "params": {}}} for _ in range(2)]
+        )
+        backend.process_batches([[insertion("a", "b")], [insertion("c", "d")]])
+        # Shard 0 fails mid-batch; shard 1 succeeds concurrently.
+        with pytest.raises(EstimatorError, match="shard worker failed"):
+            backend.process_batches(
+                [[deletion("x", "y")], [insertion("c", "e")]]
+            )
+        # Every later command must still pair with its own reply.
+        assert backend.metrics() == [(0.0, 1), (0.0, 2)]
+        assert backend.flush() == [0.0, 0.0]
+        backend.close()
+
+    def test_close_is_idempotent_and_terminates_workers(self):
+        backend = ProcessBackend(
+            [{"spec": {"name": "exact", "params": {}}} for _ in range(2)]
+        )
+        processes = list(backend._processes)
+        backend.process_batches([[insertion(1, 2)], None])
+        backend.close()
+        backend.close()
+        assert all(not p.is_alive() for p in processes)
+        with pytest.raises(EstimatorError, match="closed"):
+            backend.process_batches([[insertion(1, 2)], None])
+
+    def test_restore_payload_resumes_worker_state(self):
+        from repro.api.registry import build_estimator
+
+        original = build_estimator(SPEC)
+        for element in [insertion(i, i + 100) for i in range(50)]:
+            original.process(element)
+        backend = ProcessBackend(
+            [{"restore": {"name": "abacus", "state": original.state_to_dict()}}]
+        )
+        assert backend.metrics()[0][0] == original.estimate
+        assert backend.states()[0] == original.state_to_dict()
+        backend.close()
+
+
+class TestFactory:
+    def test_names(self):
+        assert BACKEND_NAMES == ("process", "serial", "thread")
+
+    def test_unknown_backend(self):
+        with pytest.raises(SpecError, match="unknown shard backend"):
+            make_backend("distributed", estimators=[])
+
+    def test_missing_inputs(self):
+        with pytest.raises(SpecError, match="estimator instances"):
+            make_backend("serial")
+        with pytest.raises(SpecError, match="payloads"):
+            make_backend("process")

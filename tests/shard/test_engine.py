@@ -1,0 +1,216 @@
+"""Shard-merge correctness: the documented contract, verified.
+
+Two layers (see docs/architecture.md):
+
+* **exact identity** — with exact per-shard counters, the summed shard
+  estimates equal the brute-force count of butterflies whose two left
+  vertices collide under the same partition map (no tolerance);
+* **unbiasedness** — `K * sum` averaged over many hash salts converges
+  to the oracle count.
+"""
+
+import itertools
+import random
+
+import pytest
+
+from repro.api.registry import build_estimator
+from repro.errors import SpecError
+from repro.graph.bipartite import BipartiteGraph
+from repro.graph.generators import bipartite_chung_lu, bipartite_erdos_renyi
+from repro.shard.engine import ShardedEstimator
+from repro.streams.dynamic import make_fully_dynamic, stream_from_edges
+from repro.types import Op
+
+
+def _live_graph(stream):
+    graph = BipartiteGraph()
+    for element in stream:
+        if element.op is Op.INSERT:
+            graph.add_edge(element.u, element.v)
+        else:
+            graph.remove_edge(element.u, element.v)
+    return graph
+
+
+def _colliding_butterflies(graph, shard_of):
+    """Butterflies whose two left vertices land on the same shard."""
+    total = 0
+    for u1, u2 in itertools.combinations(sorted(graph.left_vertices()), 2):
+        if shard_of(u1) != shard_of(u2):
+            continue
+        shared = len(graph.neighbors(u1) & graph.neighbors(u2))
+        total += shared * (shared - 1) // 2
+    return total
+
+
+@pytest.fixture(scope="module")
+def dynamic_stream():
+    edges = bipartite_erdos_renyi(30, 30, 220, random.Random(11))
+    return list(make_fully_dynamic(edges, alpha=0.25, rng=random.Random(12)))
+
+
+class TestExactIdentity:
+    """Sharded-exact equals the brute-force collision count, exactly."""
+
+    @pytest.mark.parametrize("shards", [1, 2, 3, 5])
+    @pytest.mark.parametrize("partitioner", ["hash", "balanced"])
+    def test_fully_dynamic_identity(self, dynamic_stream, shards, partitioner):
+        engine = ShardedEstimator(
+            "exact", shards=shards, partitioner=partitioner, salt=3
+        )
+        engine.process_batch(dynamic_stream)
+        expected = _colliding_butterflies(
+            _live_graph(dynamic_stream), engine.partitioner.shard_of
+        )
+        assert sum(engine.shard_estimates()) == expected
+        assert engine.estimate == shards * expected
+        engine.close()
+
+    def test_single_shard_is_the_oracle(self, dynamic_stream):
+        engine = ShardedEstimator("exact", shards=1)
+        engine.process_batch(dynamic_stream)
+        oracle = build_estimator("exact")
+        for element in dynamic_stream:
+            oracle.process(element)
+        assert engine.estimate == oracle.estimate
+        engine.close()
+
+
+class TestUnbiasedness:
+    """E[K * sum of shard estimates] = |B| over random partition maps."""
+
+    def test_mean_over_salts_matches_oracle(self):
+        edges = bipartite_chung_lu(40, 25, 260, rng=random.Random(21))
+        stream = list(stream_from_edges(edges))
+        oracle = build_estimator("exact")
+        for element in stream:
+            oracle.process(element)
+        truth = oracle.estimate
+        assert truth > 20  # the workload must actually contain butterflies
+
+        estimates = []
+        for salt in range(80):
+            engine = ShardedEstimator("exact", shards=3, salt=salt)
+            engine.process_batch(stream)
+            estimates.append(engine.estimate)
+            engine.close()
+        mean = sum(estimates) / len(estimates)
+        assert mean == pytest.approx(truth, rel=0.15)
+        # The per-salt estimates really vary (we are averaging a random
+        # variable, not re-reading a constant).
+        assert len(set(estimates)) > 5
+
+    def test_sharded_abacus_tracks_the_oracle(self, dynamic_stream):
+        """End-to-end: sampled shards + correction land near the truth."""
+        oracle = build_estimator("exact")
+        for element in dynamic_stream:
+            oracle.process(element)
+        truth = oracle.estimate
+        estimates = []
+        for salt in range(40):
+            engine = ShardedEstimator(
+                "abacus:budget=400,seed=9", shards=2, salt=salt
+            )
+            engine.process_batch(dynamic_stream)
+            estimates.append(engine.estimate)
+            engine.close()
+        mean = sum(estimates) / len(estimates)
+        assert mean == pytest.approx(truth, rel=0.25)
+
+
+class TestEngineBehavior:
+    def test_correction_is_shard_count(self):
+        engine = ShardedEstimator("exact", shards=4)
+        assert engine.correction == 4.0
+        engine.close()
+
+    def test_budget_and_seed_derivation(self):
+        engine = ShardedEstimator("abacus:budget=100,seed=5", shards=3)
+        seeds = [spec.params["seed"] for spec in engine.shard_specs]
+        assert len(set(seeds)) == 3
+        assert all(spec.params["budget"] == 100 for spec in engine.shard_specs)
+        engine.close()
+
+    def test_single_shard_keeps_base_seed(self):
+        engine = ShardedEstimator("abacus:budget=100,seed=5", shards=1)
+        assert engine.shard_specs[0].params["seed"] == 5
+        engine.close()
+
+    def test_memory_edges_sums_shards(self, dynamic_stream):
+        engine = ShardedEstimator("exact", shards=3)
+        engine.process_batch(dynamic_stream)
+        assert engine.memory_edges == _live_graph(dynamic_stream).num_edges
+        engine.close()
+
+    def test_rejects_non_shardable_inner(self):
+        with pytest.raises(SpecError, match="does not support sharding"):
+            ShardedEstimator("sgrapp", shards=2)
+
+    def test_rejects_nested_sharding(self):
+        with pytest.raises(SpecError, match="does not support sharding"):
+            ShardedEstimator("sharded", shards=2)
+
+    def test_rejects_unknown_backend_and_bad_shards(self):
+        with pytest.raises(SpecError, match="unknown shard backend"):
+            ShardedEstimator("exact", shards=2, backend="gpu")
+        with pytest.raises(SpecError, match="shards must be"):
+            ShardedEstimator("exact", shards=0)
+
+    def test_registry_builds_dict_specs(self, dynamic_stream):
+        estimator = build_estimator(
+            {
+                "name": "sharded",
+                "params": {
+                    "inner": "abacus:budget=150,seed=2",
+                    "shards": 2,
+                    "backend": "serial",
+                },
+            }
+        )
+        assert isinstance(estimator, ShardedEstimator)
+        estimator.process_batch(dynamic_stream)
+        direct = ShardedEstimator("abacus:budget=150,seed=2", shards=2)
+        direct.process_batch(dynamic_stream)
+        assert estimator.estimate == direct.estimate
+        estimator.close()
+        direct.close()
+
+    def test_closed_engine_rejects_work(self, dynamic_stream):
+        engine = ShardedEstimator("exact", shards=2)
+        engine.close()
+        engine.close()  # idempotent
+        from repro.errors import EstimatorError
+
+        with pytest.raises(EstimatorError, match="closed"):
+            engine.process_batch(dynamic_stream)
+
+    @pytest.mark.parametrize("backend", ["serial", "process"])
+    def test_estimate_stays_readable_after_close(self, dynamic_stream, backend):
+        """Every backend must answer estimate/memory_edges post-close
+        with the closing values (process workers are gone by then)."""
+        engine = ShardedEstimator("exact", shards=2, backend=backend)
+        engine.process_batch(dynamic_stream)
+        final = (engine.estimate, engine.shard_estimates(), engine.memory_edges)
+        engine.close()
+        assert (
+            engine.estimate,
+            engine.shard_estimates(),
+            engine.memory_edges,
+        ) == final
+
+    def test_state_round_trip_continues_identically(self, dynamic_stream):
+        half = len(dynamic_stream) // 2
+        engine = ShardedEstimator(
+            "abacus:budget=200,seed=7", shards=3, partitioner="balanced"
+        )
+        engine.process_batch(dynamic_stream[:half])
+        state = engine.state_to_dict()
+        engine.process_batch(dynamic_stream[half:])
+        expected = engine.estimate
+        engine.close()
+
+        restored = ShardedEstimator.from_state_dict(state)
+        restored.process_batch(dynamic_stream[half:])
+        assert restored.estimate == expected
+        restored.close()

@@ -1,0 +1,176 @@
+"""Partitioner unit tests: routing determinism, balance, round-trips."""
+
+import random
+
+import pytest
+
+from repro.errors import SpecError
+from repro.shard.partition import (
+    BalancedPartitioner,
+    HashPartitioner,
+    make_partitioner,
+    partitioner_from_state,
+    shard_seed,
+    stable_vertex_key,
+)
+from repro.types import deletion, insertion
+
+
+class TestStableVertexKey:
+    def test_ints_map_to_themselves(self):
+        assert stable_vertex_key(0) == 0
+        assert stable_vertex_key(12345) == 12345
+        assert stable_vertex_key(-7) == -7
+
+    def test_strings_are_deterministic_and_spread(self):
+        keys = {stable_vertex_key(f"user-{i}") for i in range(100)}
+        assert len(keys) == 100
+        assert stable_vertex_key("alice") == stable_vertex_key("alice")
+
+    def test_bool_is_not_confused_with_int_identity(self):
+        assert stable_vertex_key(True) == 1
+        assert stable_vertex_key(False) == 0
+
+
+class TestShardSeed:
+    def test_single_shard_passes_base_through(self):
+        assert shard_seed(42, 0, 1) == 42
+
+    def test_shards_get_distinct_seeds(self):
+        seeds = [shard_seed(42, i, 8) for i in range(8)]
+        assert len(set(seeds)) == 8
+
+    def test_deterministic(self):
+        assert shard_seed(7, 3, 4) == shard_seed(7, 3, 4)
+
+
+class TestHashPartitioner:
+    def test_routes_by_left_vertex_only(self):
+        p = HashPartitioner(4)
+        shards = {p.assign(insertion(10, v)) for v in range(50)}
+        assert len(shards) == 1
+
+    def test_deletion_follows_insertion(self):
+        p = HashPartitioner(4)
+        for u in range(30):
+            assert p.assign(insertion(u, 0)) == p.assign(deletion(u, 0))
+
+    def test_in_range_and_reasonably_uniform(self):
+        p = HashPartitioner(4)
+        counts = [0] * 4
+        for u in range(4000):
+            shard = p.shard_of(u)
+            assert 0 <= shard < 4
+            counts[shard] += 1
+        assert min(counts) > 800  # uniform would be 1000 each
+
+    def test_salt_changes_the_map(self):
+        a = HashPartitioner(4, salt=0)
+        b = HashPartitioner(4, salt=1)
+        assert any(a.shard_of(u) != b.shard_of(u) for u in range(100))
+
+    def test_collision_probability(self):
+        assert HashPartitioner(5).collision_probability == pytest.approx(0.2)
+
+    def test_state_round_trip(self):
+        p = HashPartitioner(3, salt=9)
+        restored = partitioner_from_state(p.state_to_dict())
+        assert isinstance(restored, HashPartitioner)
+        assert all(restored.shard_of(u) == p.shard_of(u) for u in range(200))
+
+    def test_string_vertices_route_identically(self):
+        p = HashPartitioner(4, salt=2)
+        q = partitioner_from_state(p.state_to_dict())
+        names = [f"user-{i}" for i in range(100)]
+        assert [p.shard_of(n) for n in names] == [q.shard_of(n) for n in names]
+
+
+class TestBalancedPartitioner:
+    def test_first_seen_vertex_goes_to_least_loaded(self):
+        p = BalancedPartitioner(2)
+        # Vertex 10 takes shard 0 and accumulates load there.
+        for v in range(3):
+            assert p.assign(insertion(10, v)) == 0
+        # A fresh vertex must land on the idle shard 1.
+        assert p.assign(insertion(20, 0)) == 1
+
+    def test_assignment_is_sticky(self):
+        p = BalancedPartitioner(3)
+        first = p.assign(insertion("u", 0))
+        for v in range(10):
+            assert p.assign(deletion("u", v)) == first
+
+    def test_interleaved_heavy_vertices_balance_perfectly(self):
+        # 8 equally heavy vertices arriving round-robin across 4 shards:
+        # first-seen least-loaded assignment spreads them 2 per shard,
+        # so the loads stay exactly equal.
+        p = BalancedPartitioner(4)
+        for round_ in range(100):
+            for u in range(8):
+                p.assign(insertion(u, round_))
+        assert p.loads == [200, 200, 200, 200]
+        assert sorted(p.assignment.values()) == [0, 0, 1, 1, 2, 2, 3, 3]
+
+    def test_beats_an_unlucky_hash_on_skewed_degrees(self):
+        # Heavy vertices with degree 60 and a light tail; greedy
+        # balancing must end up no worse than the salted hash.
+        rng = random.Random(5)
+        stream = []
+        for u in range(6):
+            stream += [insertion(u, rng.randrange(500)) for _ in range(60)]
+        for u in range(6, 60):
+            stream += [insertion(u, rng.randrange(500)) for _ in range(5)]
+        rng.shuffle(stream)
+        balanced = BalancedPartitioner(3)
+        hashed = HashPartitioner(3, salt=0)
+        hash_loads = [0, 0, 0]
+        for element in stream:
+            balanced.assign(element)
+            hash_loads[hashed.assign(element)] += 1
+        spread = lambda loads: max(loads) - min(loads)  # noqa: E731
+        assert spread(balanced.loads) <= spread(hash_loads)
+        assert spread(balanced.loads) <= 0.2 * max(balanced.loads)
+
+    def test_state_survives_a_real_json_round_trip(self):
+        import json
+
+        p = BalancedPartitioner(2)
+        # Tuple vertices become JSON lists; restore must re-tuple them
+        # so the assignment dict keys stay hashable and equal.
+        p.assign(insertion(("a", 1), 0))
+        p.assign(insertion(("b", 2), 0))
+        state = json.loads(json.dumps(p.state_to_dict()))
+        restored = partitioner_from_state(state)
+        assert restored.assignment == p.assignment
+        assert restored.shard_of(("a", 1)) == p.shard_of(("a", 1))
+
+    def test_state_round_trip_preserves_routing(self):
+        p = BalancedPartitioner(3)
+        rng = random.Random(1)
+        stream = [insertion(rng.randrange(30), rng.randrange(30)) for _ in range(200)]
+        routed = [p.assign(e) for e in stream[:100]]
+        restored = partitioner_from_state(p.state_to_dict())
+        assert restored.loads == p.loads
+        assert restored.assignment == p.assignment
+        # Both continue identically, including for unseen vertices.
+        tail = stream[100:]
+        assert [restored.assign(e) for e in tail] == [p.assign(e) for e in tail]
+        assert routed  # sanity: the prefix actually exercised assignment
+
+
+class TestFactory:
+    def test_make_partitioner_names(self):
+        assert isinstance(make_partitioner("hash", 2), HashPartitioner)
+        assert isinstance(make_partitioner("balanced", 2), BalancedPartitioner)
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(SpecError, match="unknown partitioner"):
+            make_partitioner("range", 2)
+
+    def test_bad_shard_count_raises(self):
+        with pytest.raises(SpecError, match="num_shards"):
+            HashPartitioner(0)
+
+    def test_unknown_state_raises(self):
+        with pytest.raises(SpecError, match="unknown partitioner state"):
+            partitioner_from_state({"name": "nope"})

@@ -1,0 +1,138 @@
+"""Sharded sessions: fan-out behind the unchanged Session facade.
+
+Checkpoint-offset semantics, observers, metrics, snapshot/restore, and
+the `open_session(shards=...)` plumbing must behave exactly as for an
+unsharded session.
+"""
+
+import random
+
+import pytest
+
+from repro.api import open_session, restore_session
+from repro.api.session import Session
+from repro.errors import SpecError
+from repro.graph.generators import bipartite_erdos_renyi
+from repro.shard.engine import ShardedEstimator
+from repro.streams.dynamic import make_fully_dynamic
+from repro.types import insertion
+
+SPEC = "abacus:budget=200,seed=17"
+
+
+@pytest.fixture(scope="module")
+def stream():
+    edges = bipartite_erdos_renyi(30, 30, 240, random.Random(41))
+    return list(make_fully_dynamic(edges, alpha=0.2, rng=random.Random(42)))
+
+
+class TestOpenSession:
+    def test_shards_wraps_in_the_engine(self, stream):
+        with open_session(SPEC, shards=3) as session:
+            assert isinstance(session.estimator, ShardedEstimator)
+            assert session.spec.name == "sharded"
+            assert session.spec.params["inner"] == SPEC
+            session.ingest(stream)
+            assert session.elements == len(stream)
+
+    def test_sharding_options_require_explicit_shards(self):
+        # backend/partitioner/salt without shards= must not silently
+        # build a default-4-shard engine with different semantics.
+        for kwargs in ({"backend": "thread"}, {"partitioner": "balanced"},
+                       {"salt": 3}):
+            with pytest.raises(SpecError, match="shards=K"):
+                open_session(SPEC, **kwargs)
+
+    def test_explicit_shards_carries_the_options(self):
+        with open_session(
+            SPEC, shards=2, backend="thread", partitioner="balanced", salt=5
+        ) as session:
+            engine = session.estimator
+            assert isinstance(engine, ShardedEstimator)
+            assert engine.num_shards == 2
+            assert engine.backend.name == "thread"
+            assert engine.partitioner.name == "balanced"
+            assert engine.partitioner.salt == 5
+
+    def test_overrides_apply_to_inner_spec(self):
+        with open_session("abacus:seed=1", shards=2, budget=99) as session:
+            inner = session.estimator.inner_spec
+            assert inner.params["budget"] == 99
+
+    def test_sharding_options_rejected_for_instances(self):
+        from repro.api.registry import build_estimator
+
+        with pytest.raises(SpecError, match="sharding options"):
+            open_session(build_estimator("exact"), shards=2)
+
+    def test_session_close_shuts_down_workers(self, stream):
+        session = open_session(SPEC, shards=2, backend="process")
+        session.ingest(stream[:50])
+        session.close()
+        assert session.estimator.closed
+
+    def test_session_close_tolerates_directly_closed_engine(self, stream):
+        """Regression: the with-block exit used to raise EstimatorError
+        when the wrapped engine had already been closed by hand."""
+        with open_session(SPEC, shards=2) as session:
+            session.ingest(stream[:10])
+            session.estimator.close()
+        assert session.closed
+
+    def test_shards_one_matches_plain_session(self, stream):
+        with open_session(SPEC) as plain, open_session(SPEC, shards=1) as one:
+            plain.ingest(stream)
+            one.ingest(stream)
+            assert one.estimate == plain.estimate
+
+
+class TestCheckpointSemantics:
+    def test_offsets_match_unsharded_session(self, stream):
+        def run(**kwargs):
+            offsets = []
+            with open_session(SPEC, **kwargs) as session:
+                session.on_checkpoint(
+                    lambda n, s: offsets.append(n), every=70, at=[5, 101]
+                )
+                session.ingest(stream)
+            return offsets
+
+        assert run(shards=3) == run()
+
+    def test_estimate_observers_fire_per_element(self, stream):
+        deltas = []
+        with open_session(SPEC, shards=2) as session:
+            session.on_estimate_change(lambda d, s: deltas.append(d))
+            session.ingest(stream)
+            total = sum(deltas)
+            assert total == pytest.approx(session.estimate, rel=1e-9, abs=1e-6)
+        assert deltas  # the stream contains butterflies
+
+
+class TestSnapshotRestore:
+    @pytest.mark.parametrize("backend", ["serial", "process"])
+    def test_mid_stream_snapshot_continues_bit_identically(
+        self, stream, backend
+    ):
+        half = len(stream) // 2
+        with open_session(
+            SPEC, shards=3, backend=backend, partitioner="balanced"
+        ) as session:
+            session.ingest(stream[:half])
+            snapshot = session.snapshot()
+            session.ingest(stream[half:])
+            expected = session.estimate
+
+        resumed = restore_session(snapshot)
+        assert isinstance(resumed, Session)
+        assert isinstance(resumed.estimator, ShardedEstimator)
+        assert resumed.elements == half
+        resumed.ingest(stream[half:])
+        assert resumed.estimate == expected
+        resumed.close()
+
+    def test_snapshot_of_snapshotless_inner_is_rejected(self):
+        with open_session("fleet:budget=100,seed=3", shards=2) as session:
+            session.ingest([insertion(1, 2)])
+            with pytest.raises(SpecError, match="snapshot"):
+                session.snapshot()

@@ -1,0 +1,33 @@
+"""Tier-1 doctest lane for the public API surface.
+
+CI runs the same examples via ``pytest --doctest-modules src/repro/api
+src/repro/shard``; this lane keeps them green inside the ordinary test
+run, so a broken docstring example fails fast everywhere.
+"""
+
+import doctest
+
+import pytest
+
+import repro.api.docgen
+import repro.api.registry
+import repro.api.session
+import repro.core.base
+import repro.shard.engine
+import repro.shard.partition
+
+MODULES = [
+    repro.api.docgen,
+    repro.api.registry,
+    repro.api.session,
+    repro.core.base,
+    repro.shard.engine,
+    repro.shard.partition,
+]
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_module_doctests(module):
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0
+    assert results.attempted > 0, f"{module.__name__} lost its examples"
