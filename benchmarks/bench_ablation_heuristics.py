@@ -11,12 +11,16 @@ from conftest import emit
 from repro.experiments.figures import run_ablation_heuristics
 
 
-def test_ablation_heuristics(benchmark, ctx, results_dir):
+def test_ablation_heuristics(benchmark, ctx, results_dir, quick):
     result = benchmark.pedantic(
         run_ablation_heuristics,
         kwargs={
-            "datasets": ("movielens_like", "orkut_like"),
-            "trials": 2,
+            "datasets": (
+                ("movielens_like",)
+                if quick
+                else ("movielens_like", "orkut_like")
+            ),
+            "trials": 1 if quick else 2,
             "context": ctx,
         },
         rounds=1,

@@ -19,50 +19,70 @@ TRIALS = 4
 BUDGET_INDEX = 1
 
 
-def _run_variant(factory, ctx, spec, alpha=0.2):
+def _run_variant(factory, ctx, spec, trials, alpha=0.2):
     errors = []
     work = 0
     counted = 0
-    for trial in range(TRIALS):
+    for trial in range(trials):
         estimator = factory(spec.base_seed + 997 * trial)
         stream = ctx.stream(spec, alpha, trial)
         estimate = estimator.process_stream(stream)
         errors.append(relative_error(ctx.truth(spec, alpha, trial), estimate))
         work += estimator.total_work
         counted += getattr(estimator, "counted_elements", len(stream))
-    return sum(errors) / len(errors), work // TRIALS, counted // TRIALS
+    return sum(errors) / len(errors), work // trials, counted // trials
 
 
-def test_ablation_lazy_vs_eager(benchmark, ctx, results_dir):
+def test_ablation_lazy_vs_eager(benchmark, ctx, results_dir, quick):
     spec = get_dataset("livejournal_like")
     budget = spec.sample_sizes[BUDGET_INDEX]
+    trials = 1 if quick else TRIALS
 
     def run():
         eager = _run_variant(
             lambda s: build_estimator(f"abacus:budget={budget},seed={s}"),
             ctx,
             spec,
+            trials,
         )
-        lazy = _run_variant(lambda s: LazyAbacus(budget, seed=s), ctx, spec)
+        lazy = _run_variant(
+            lambda s: LazyAbacus(budget, seed=s), ctx, spec, trials
+        )
         return eager, lazy
 
     (eager, lazy) = benchmark.pedantic(run, rounds=1, iterations=1)
     eager_error, eager_work, eager_counted = eager
     lazy_error, lazy_work, lazy_counted = lazy
     text = render_table(
-        ["Variant", "Mean rel. error", "Avg intersection work", "Elements counted"],
         [
-            ("ABACUS (every edge)", f"{eager_error:.2%}", eager_work, eager_counted),
-            ("LazyAbacus (TRIEST-style)", f"{lazy_error:.2%}", lazy_work, lazy_counted),
+            "Variant",
+            "Mean rel. error",
+            "Avg intersection work",
+            "Elements counted",
+        ],
+        [
+            (
+                "ABACUS (every edge)",
+                f"{eager_error:.2%}",
+                eager_work,
+                eager_counted,
+            ),
+            (
+                "LazyAbacus (TRIEST-style)",
+                f"{lazy_error:.2%}",
+                lazy_work,
+                lazy_counted,
+            ),
         ],
         title=(
             f"Ablation: eager vs lazy counting "
-            f"(LiveJournal-like, k={budget}, alpha=20%, {TRIALS} trials)"
+            f"(LiveJournal-like, k={budget}, alpha=20%, {trials} trials)"
         ),
     )
     emit(results_dir, "ablation_lazy", text)
     # Lazy does meaningfully less work ...
     assert lazy_work < eager_work / 2, (lazy_work, eager_work)
     assert lazy_counted < eager_counted / 2
-    # ... but eager is more accurate.
-    assert eager_error < lazy_error, (eager_error, lazy_error)
+    # ... but eager is more accurate (statistical: full runs only).
+    if not quick:
+        assert eager_error < lazy_error, (eager_error, lazy_error)

@@ -12,10 +12,10 @@ from conftest import emit
 from repro.experiments.extensions import run_anomaly_quality
 
 
-def test_anomaly_quality(benchmark, results_dir):
+def test_anomaly_quality(benchmark, results_dir, quick):
     result = benchmark.pedantic(
         run_anomaly_quality,
-        kwargs={"alphas": (0.0, 0.2, 0.3)},
+        kwargs={"alphas": (0.2,) if quick else (0.0, 0.2, 0.3)},
         rounds=1,
         iterations=1,
     )

@@ -12,12 +12,12 @@ from conftest import emit
 from repro.experiments.figures import run_load_balance
 
 
-def test_fig10_load_balance(benchmark, ctx, results_dir):
+def test_fig10_load_balance(benchmark, ctx, results_dir, quick):
     result = benchmark.pedantic(
         run_load_balance,
         kwargs={
-            "batch_size": 10_000,
-            "num_threads": 32,
+            "batch_size": 4_000 if quick else 10_000,
+            "num_threads": 16 if quick else 32,
             "context": ctx,
         },
         rounds=1,
@@ -31,7 +31,8 @@ def test_fig10_load_balance(benchmark, ctx, results_dir):
     # scale the first mini-batch — where the sample is still filling and
     # early chunks see smaller neighbourhoods — is a visible fraction of
     # the whole run, which adds a few percent of apparent imbalance.)
-    assert movielens.imbalance < 1.35, movielens
-    assert orkut.imbalance < 1.35, orkut
+    if not quick:  # the smaller --quick batch inflates fill-phase skew
+        assert movielens.imbalance < 1.35, movielens
+        assert orkut.imbalance < 1.35, orkut
     # The dense graph does far more intersection work per thread.
     assert movielens.mean > 5 * orkut.mean, (movielens.mean, orkut.mean)

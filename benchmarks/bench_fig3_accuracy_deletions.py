@@ -22,19 +22,24 @@ METHODS = tuple(
 )
 
 
-def test_fig3_accuracy_under_deletions(benchmark, ctx, results_dir):
+def test_fig3_accuracy_under_deletions(
+    benchmark, ctx, results_dir, quick, bench_datasets
+):
     result = benchmark.pedantic(
         run_accuracy_vs_sample_size,
         kwargs={
             "alpha": 0.2,
-            "trials": TRIALS,
+            "trials": 1 if quick else TRIALS,
             "methods": METHODS,
+            "datasets": bench_datasets,
             "context": ctx,
         },
         rounds=1,
         iterations=1,
     )
     emit(results_dir, "fig3_accuracy_deletions", result["text"])
+    if quick:
+        return  # single-trial errors are too noisy for the shape gates
     for name, data in result["results"].items():
         abacus = data["errors"]["abacus"]
         fleet = data["errors"]["fleet"]

@@ -15,10 +15,15 @@ from conftest import emit
 from repro.experiments.figures import run_throughput_vs_sample_size
 
 
-def test_fig4_throughput(benchmark, ctx, results_dir):
+def test_fig4_throughput(benchmark, ctx, results_dir, quick, bench_datasets):
     result = benchmark.pedantic(
         run_throughput_vs_sample_size,
-        kwargs={"num_threads": 40, "batch_size": 500, "context": ctx},
+        kwargs={
+            "num_threads": 40,
+            "batch_size": 500,
+            "datasets": bench_datasets,
+            "context": ctx,
+        },
         rounds=1,
         iterations=1,
     )
@@ -27,6 +32,8 @@ def test_fig4_throughput(benchmark, ctx, results_dir):
         columns = data["throughput_keps"]
         for series_name, series in columns.items():
             assert all(v > 0 for v in series), (name, series_name)
+        if quick:
+            continue  # wall-clock ratios need the full-size streams
         # Handling deletions must not collapse throughput: Ins+Del
         # within 3x of Ins-only for ABACUS (paper: "similar").
         for full, ins_only in zip(

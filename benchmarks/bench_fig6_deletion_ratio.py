@@ -10,14 +10,23 @@ from conftest import emit
 from repro.experiments.figures import run_deletion_ratio_impact
 
 
-def test_fig6_deletion_ratio_impact(benchmark, ctx, results_dir):
+def test_fig6_deletion_ratio_impact(
+    benchmark, ctx, results_dir, quick, bench_datasets
+):
     result = benchmark.pedantic(
         run_deletion_ratio_impact,
-        kwargs={"trials": 2, "context": ctx},
+        kwargs={
+            "trials": 1 if quick else 2,
+            "alphas": (0.05, 0.30) if quick else (0.05, 0.10, 0.20, 0.30),
+            "datasets": bench_datasets,
+            "context": ctx,
+        },
         rounds=1,
         iterations=1,
     )
     emit(results_dir, "fig6_deletion_ratio", result["text"])
+    if quick:
+        return  # error/throughput spreads need the full trial matrix
     for dataset, errors in result["errors_pct"].items():
         # Accurate at every deletion ratio (generous scaled-down bound).
         assert all(e < 25.0 for e in errors), (dataset, errors)

@@ -12,14 +12,25 @@ from conftest import emit
 from repro.experiments.figures import run_minibatch_speedup
 
 
-def test_fig8_minibatch_speedup(benchmark, ctx, results_dir):
+def test_fig8_minibatch_speedup(
+    benchmark, ctx, results_dir, quick, bench_datasets
+):
     result = benchmark.pedantic(
         run_minibatch_speedup,
-        kwargs={"num_threads": 40, "context": ctx},
+        kwargs={
+            "num_threads": 40,
+            "batch_sizes": (
+                (500, 5000) if quick else (100, 500, 1000, 5000, 10000)
+            ),
+            "datasets": bench_datasets,
+            "context": ctx,
+        },
         rounds=1,
         iterations=1,
     )
     emit(results_dir, "fig8_minibatch_speedup", result["text"])
+    if quick:
+        return  # speedup shapes need the full batch-size sweep
     for name, data in result["results"].items():
         pure = {
             label: s

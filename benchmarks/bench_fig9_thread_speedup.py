@@ -10,14 +10,22 @@ from conftest import emit
 from repro.experiments.figures import run_thread_speedup
 
 
-def test_fig9_thread_speedup(benchmark, ctx, results_dir):
+def test_fig9_thread_speedup(
+    benchmark, ctx, results_dir, quick, bench_datasets
+):
     result = benchmark.pedantic(
         run_thread_speedup,
-        kwargs={"batch_size": 10_000, "context": ctx},
+        kwargs={
+            "batch_size": 4_000 if quick else 10_000,
+            "datasets": bench_datasets,
+            "context": ctx,
+        },
         rounds=1,
         iterations=1,
     )
     emit(results_dir, "fig9_thread_speedup", result["text"])
+    if quick:
+        return  # speedup shapes need the full thread sweep
     for name, data in result["results"].items():
         for label, speedups in data["speedup"].items():
             assert all(s >= 1.0 for s in speedups), (name, label)

@@ -29,9 +29,11 @@ SPECS = [
 
 
 @pytest.fixture(scope="module")
-def stream_prefix():
+def stream_prefix(quick):
     spec = get_dataset("livejournal_like")
-    return list(spec.stream(alpha=0.2, trial=0).prefix(PREFIX))
+    return list(
+        spec.stream(alpha=0.2, trial=0).prefix(1500 if quick else PREFIX)
+    )
 
 
 def _run(spec, stream):
@@ -42,11 +44,11 @@ def _run(spec, stream):
 
 
 @pytest.mark.parametrize("spec", SPECS, ids=lambda s: s.split(":")[0])
-def test_estimator_throughput(benchmark, stream_prefix, spec):
+def test_estimator_throughput(benchmark, stream_prefix, spec, quick):
     benchmark.pedantic(
         _run,
         args=(spec, stream_prefix),
-        rounds=3,
+        rounds=1 if quick else 3,
         iterations=1,
-        warmup_rounds=1,
+        warmup_rounds=0 if quick else 1,
     )

@@ -23,13 +23,15 @@ PREFIX = 20_000
 SPEC = f"abacus:budget={BUDGET},seed=11"
 
 
-def _stream_prefix():
+def _stream_prefix(quick):
     spec = get_dataset("livejournal_like")
-    return list(spec.stream(alpha=0.2, trial=0).prefix(PREFIX))
+    return list(
+        spec.stream(alpha=0.2, trial=0).prefix(5000 if quick else PREFIX)
+    )
 
 
-def test_session_overhead(benchmark, results_dir):
-    stream = _stream_prefix()
+def test_session_overhead(benchmark, results_dir, quick):
+    stream = _stream_prefix(quick)
 
     def run():
         direct = build_estimator(SPEC)
@@ -44,7 +46,9 @@ def test_session_overhead(benchmark, results_dir):
             assert session.estimate == direct.estimate
         return direct_watch.elapsed, session_watch.elapsed
 
-    direct_s, session_s = benchmark.pedantic(run, rounds=3, iterations=1)
+    direct_s, session_s = benchmark.pedantic(
+        run, rounds=1 if quick else 3, iterations=1
+    )
     overhead = session_s / direct_s - 1.0
     text = render_table(
         ["Path", "Elements/s"],
@@ -57,12 +61,15 @@ def test_session_overhead(benchmark, results_dir):
     )
     emit(results_dir, "session_overhead", text)
     # The facade may cost something (timing + observer hooks) but must
-    # stay within 2x of the direct loop.
-    assert session_s < 2.0 * direct_s, (direct_s, session_s)
+    # stay within 2x of the direct loop.  Full runs only: the --quick
+    # stream is tens of milliseconds, where one scheduler stall flips
+    # the wall-clock ratio.
+    if not quick:
+        assert session_s < 2.0 * direct_s, (direct_s, session_s)
 
 
-def test_snapshot_restore_roundtrip(benchmark, results_dir):
-    stream = _stream_prefix()
+def test_snapshot_restore_roundtrip(benchmark, results_dir, quick):
+    stream = _stream_prefix(quick)
     half = len(stream) // 2
 
     def run():
@@ -76,7 +83,7 @@ def test_snapshot_restore_roundtrip(benchmark, results_dir):
         return watch.elapsed, len(payload), resumed.estimate
 
     elapsed, payload_bytes, resumed_estimate = benchmark.pedantic(
-        run, rounds=3, iterations=1
+        run, rounds=1 if quick else 3, iterations=1
     )
     uninterrupted = build_estimator(SPEC)
     for element in stream:

@@ -11,16 +11,18 @@ from conftest import emit
 from repro.experiments.extensions import run_triangle_lineage
 
 
-def test_triangle_lineage(benchmark, results_dir):
+def test_triangle_lineage(benchmark, results_dir, quick):
     result = benchmark.pedantic(
         run_triangle_lineage,
-        kwargs={"trials": 100},
+        kwargs={"trials": 25 if quick else 100},
         rounds=1,
         iterations=1,
     )
     emit(results_dir, "triangle_lineage", result["text"])
     r = result["results"]
-    assert r["ThinkD"]["variance"] < r["TriestFD"]["variance"]
+    # Lazy counting always does less work; the variance and accuracy
+    # comparisons are statistical and need the full trial count.
     assert r["TriestFD"]["mean_work"] < r["ThinkD"]["mean_work"]
-    # Eager counting stays accurate in the mean.
-    assert r["ThinkD"]["mean_error"] < 0.1
+    if not quick:
+        assert r["ThinkD"]["variance"] < r["TriestFD"]["variance"]
+        assert r["ThinkD"]["mean_error"] < 0.1

@@ -11,10 +11,10 @@ from conftest import emit
 from repro.experiments.figures import run_unbiasedness
 
 
-def test_unbiasedness_empirical(benchmark, results_dir):
+def test_unbiasedness_empirical(benchmark, results_dir, quick):
     result = benchmark.pedantic(
         run_unbiasedness,
-        kwargs={"trials": 200},
+        kwargs={"trials": 50 if quick else 200},
         rounds=1,
         iterations=1,
     )

@@ -10,19 +10,24 @@ from conftest import emit
 from repro.experiments.extensions import run_variance_bound
 
 
-def test_variance_bound(benchmark, results_dir):
+def test_variance_bound(benchmark, results_dir, quick):
     result = benchmark.pedantic(
         run_variance_bound,
-        kwargs={"trials": 150},
+        kwargs={"trials": 40 if quick else 150},
         rounds=1,
         iterations=1,
     )
     emit(results_dir, "variance_bound", result["text"])
     series = result["series"]
     # Theorem 2: empirical variance below the bound (50% slack for the
-    # finite-trial estimate of the variance itself).
+    # finite-trial estimate of the variance itself; doubled under
+    # --quick where the variance estimate itself is noisier).
+    slack = 3.0 if quick else 1.5
     for budget, info in series.items():
-        assert info["ratio"] < 1.5, (budget, info)
-    # Variance decreases with the budget.
-    budgets = sorted(series)
-    assert series[budgets[-1]]["empirical"] < series[budgets[0]]["empirical"]
+        assert info["ratio"] < slack, (budget, info)
+    if not quick:
+        # Variance decreases with the budget.
+        budgets = sorted(series)
+        assert (
+            series[budgets[-1]]["empirical"] < series[budgets[0]]["empirical"]
+        )

@@ -1,0 +1,128 @@
+"""Throughput of the sliding-window engine (ISSUE 4 acceptance).
+
+Measures end-to-end ingest elements/sec (input elements — the engine
+additionally synthesizes one expiry deletion per insertion once the
+window saturates, so it does roughly double the estimator work) for:
+
+* the unwindowed ABACUS reference,
+* windowed ABACUS driven per element,
+* windowed ABACUS driven through ``process_batch`` at {64, 1024} —
+  the batched expiry path that piggybacks expiry deletions on the
+  PR-2 vectorized kernels.
+
+Two contracts are asserted:
+
+* the windowed estimate **equals** the estimate of the wrapped
+  estimator run over the explicit insert+delete expansion
+  (``repro.window.reference.expand_window_stream``) — every mode, both
+  paths (the full bit-identity including state is enforced by
+  ``tests/window/test_window_equivalence.py``);
+* at batch 1024 the windowed batched path must run >= 2x the windowed
+  per-element path (full runs only; ``--quick`` reports throughput to
+  the ``tools/bench_runner.py`` floor gate instead).
+"""
+
+import random
+
+from conftest import emit, record_metric
+
+from repro.api import build_estimator
+from repro.experiments.report import render_table
+from repro.graph.generators import bipartite_erdos_renyi
+from repro.metrics.throughput import Stopwatch
+from repro.streams.dynamic import stream_from_edges
+from repro.window import expand_window_stream
+
+BATCH_SIZES = (64, 1024)
+
+
+def _config(quick):
+    """(budget, n_left/right, n_edges, window) for the selected mode."""
+    return (2000, 60, 2600, 800) if quick else (6000, 100, 9000, 3000)
+
+
+def _windowed_spec(budget, window):
+    return (
+        f"windowed:inner=[abacus:budget={budget},seed=11],window={window}"
+    )
+
+
+def _run_per_element(spec, stream):
+    estimator = build_estimator(spec)
+    watch = Stopwatch()
+    with watch:
+        for element in stream:
+            estimator.process(element)
+    return estimator.estimate, len(stream) / watch.elapsed
+
+
+def _run_batched(spec, stream, batch_size):
+    estimator = build_estimator(spec)
+    watch = Stopwatch()
+    with watch:
+        for start in range(0, len(stream), batch_size):
+            estimator.process_batch(stream[start : start + batch_size])
+    return estimator.estimate, len(stream) / watch.elapsed
+
+
+def test_windowed_ingest_throughput(benchmark, results_dir, quick):
+    budget, n_side, n_edges, window = _config(quick)
+    edges = bipartite_erdos_renyi(n_side, n_side, n_edges, random.Random(5))
+    stream = list(stream_from_edges(edges))
+    spec = _windowed_spec(budget, window)
+
+    def run():
+        # The specification: the wrapped estimator over the explicit
+        # insert+delete expansion of the same stream.
+        reference = build_estimator(f"abacus:budget={budget},seed=11")
+        for element in expand_window_stream(stream, window=window):
+            reference.process(element)
+
+        results = {}
+        results["abacus (no window)"] = _run_per_element(
+            f"abacus:budget={budget},seed=11", stream
+        )
+        estimate, eps = _run_per_element(spec, stream)
+        assert estimate == reference.estimate, (estimate, reference.estimate)
+        results["windowed / element"] = (estimate, eps)
+        for batch_size in BATCH_SIZES:
+            estimate, eps = _run_batched(spec, stream, batch_size)
+            assert estimate == reference.estimate, (
+                batch_size,
+                estimate,
+                reference.estimate,
+            )
+            results[f"windowed / batch={batch_size}"] = (estimate, eps)
+        return results
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    element_eps = results["windowed / element"][1]
+    rows = [
+        (
+            label,
+            f"{estimate:,.1f}",
+            f"{eps:,.0f}",
+            f"{eps / element_eps:.2f}x",
+        )
+        for label, (estimate, eps) in results.items()
+    ]
+    text = render_table(
+        ["configuration", "estimate", "input el/s", "vs windowed element"],
+        rows,
+        title=(
+            f"Windowed ingest throughput (k={budget}, W={window}, "
+            f"{len(stream):,} insertions, "
+            f"{max(0, len(stream) - window):,} expiries)"
+        ),
+    )
+    emit(results_dir, "windowed_ingest", text)
+
+    batched_eps = results[f"windowed / batch={BATCH_SIZES[-1]}"][1]
+    record_metric("windowed_ingest_eps", batched_eps)
+    if quick:
+        return
+    speedup = batched_eps / element_eps
+    assert speedup >= 2.0, (
+        f"windowed batch={BATCH_SIZES[-1]} path reached only "
+        f"{speedup:.2f}x the per-element path (required 2x)"
+    )

@@ -44,7 +44,10 @@ def main() -> None:
     print("Theorem 5 (same seed, mini-batched + parallel):")
     print(f"  ABACUS    estimate: {sequential_estimate:>14,.1f}")
     print(f"  PARABACUS estimate: {session.estimate:>14,.1f}")
-    print(f"  identical: {abs(session.estimate - sequential_estimate) < 1e-6}\n")
+    print(
+        "  identical: "
+        f"{abs(session.estimate - sequential_estimate) < 1e-6}\n"
+    )
 
     # 2. Load balance across workers (Figure 10).
     balance = workload_balance(parabacus.per_thread_work)

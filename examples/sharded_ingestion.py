@@ -36,10 +36,16 @@ def main() -> None:
     with open_session(SPEC, shards=SHARDS) as session:
         session.ingest(stream)
         engine = session.estimator
-        print(f"{f'sharded estimate (K={SHARDS})':<31}: {session.estimate:>14,.0f}")
+        print(
+            f"{f'sharded estimate (K={SHARDS})':<31}: "
+            f"{session.estimate:>14,.0f}"
+        )
         print(f"{'  correction factor':<31}: {engine.correction:>14,.1f}")
         for index, shard_estimate in enumerate(engine.shard_estimates()):
-            print(f"{f'  shard {index} raw estimate':<31}: {shard_estimate:>14,.0f}")
+            print(
+                f"{f'  shard {index} raw estimate':<31}: "
+                f"{shard_estimate:>14,.0f}"
+            )
         serial_estimate = session.estimate
 
     # Process backend: same seed, same partition map -> bit-identical,

@@ -38,6 +38,7 @@ from repro.api import (
     Session,
     SessionMetrics,
     ShardedEstimator,
+    WindowedEstimator,
     build_estimator,
     open_session,
     parse_spec,
@@ -57,9 +58,17 @@ from repro.core import (
 )
 from repro.graph import BipartiteGraph, count_butterflies
 from repro.streams import EdgeStream, make_fully_dynamic, stream_from_edges
-from repro.types import Op, StreamElement, deletion, insertion
+from repro.types import (
+    Op,
+    StreamElement,
+    TimedEdge,
+    deletion,
+    insertion,
+    timed_deletion,
+    timed_insertion,
+)
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "Abacus",
@@ -75,6 +84,7 @@ __all__ = [
     "Session",
     "SessionMetrics",
     "ShardedEstimator",
+    "WindowedEstimator",
     "build_estimator",
     "open_session",
     "parse_spec",
@@ -87,8 +97,11 @@ __all__ = [
     "make_fully_dynamic",
     "stream_from_edges",
     "StreamElement",
+    "TimedEdge",
     "Op",
     "insertion",
     "deletion",
+    "timed_insertion",
+    "timed_deletion",
     "__version__",
 ]

@@ -15,7 +15,9 @@ Importing :mod:`repro.api` registers the built-in estimators
 (``abacus``, ``parabacus``, ``ensemble``, ``fleet``, ``cas``,
 ``sgrapp``, ``abacus_support``, ``exact``) plus the sharded ingestion
 engine (``sharded`` — see :mod:`repro.shard` and the ``shards=`` /
-``backend=`` options of :func:`open_session`).
+``backend=`` options of :func:`open_session`) and the sliding-window
+engine (``windowed`` — see :mod:`repro.window` and the ``window=`` /
+``window_time=`` options of :func:`open_session`).
 """
 
 from repro.api.registry import (
@@ -41,10 +43,12 @@ from repro.api.session import (
     restore_session,
 )
 
-# Imported last: repro.shard registers the "sharded" engine (it pulls
-# the registry from this partially-initialised package, which is safe
-# because the registry submodule above is already fully loaded).
+# Imported last: repro.shard registers the "sharded" engine and
+# repro.window the "windowed" engine (they pull the registry from this
+# partially-initialised package, which is safe because the registry
+# submodule above is already fully loaded).
 from repro.shard import ShardedEstimator
+from repro.window import WindowedEstimator
 
 __all__ = [
     "DEFAULT_BUDGET",
@@ -56,6 +60,7 @@ __all__ = [
     "Session",
     "SessionMetrics",
     "ShardedEstimator",
+    "WindowedEstimator",
     "build_estimator",
     "describe_registry",
     "get_registration",

@@ -75,7 +75,12 @@ def _build_parabacus(**params: Any) -> ButterflyEstimator:
         _SEED,
         Param("combiner", str, "mean", doc="mean | median | median_of_means"),
         Param("groups", int, doc="median-of-means group count"),
-        Param("share_budget", bool, False, doc="split the budget across replicas"),
+        Param(
+            "share_budget",
+            bool,
+            False,
+            doc="split the budget across replicas",
+        ),
     ),
     description="Ensemble of independent ABACUS replicas (variance reduction)",
     cls=EnsembleEstimator,
@@ -104,7 +109,9 @@ def _build_fleet(**params: Any) -> ButterflyEstimator:
     params=(
         _BUDGET,
         _SEED,
-        Param("sketch_fraction", float, 0.33, doc="budget share for the sketch"),
+        Param(
+            "sketch_fraction", float, 0.33, doc="budget share for the sketch"
+        ),
         Param("sketch_depth", int, 5, doc="AMS sketch rows"),
     ),
     description="CAS-R reservoir + AMS sketch baseline (insert-only)",

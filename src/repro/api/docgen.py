@@ -28,7 +28,11 @@ import argparse
 import sys
 from typing import List, Optional
 
-from repro.api.registry import Registration, get_registration, registered_estimators
+from repro.api.registry import (
+    Registration,
+    get_registration,
+    registered_estimators,
+)
 
 __all__ = ["DEFAULT_PATH", "main", "render_markdown"]
 
@@ -58,6 +62,8 @@ def _capabilities(registration: Registration) -> str:
         flags.append("batch fast path")
     if registration.supports_sharding:
         flags.append("sharding")
+    if registration.supports_windowing:
+        flags.append("windowing")
     return ", ".join(flags) if flags else "—"
 
 
@@ -79,7 +85,9 @@ def _render_registration(registration: Registration) -> List[str]:
             "|-----------|------|---------|-------------|",
         ]
         for param in registration.params:
-            default = "—" if param.default is None else f"`{param.default!r}`"
+            default = (
+                "—" if param.default is None else f"`{param.default!r}`"
+            )
             doc = param.doc or ""
             lines.append(
                 f"| `{param.name}` | `{param.type.__name__}` "

@@ -95,7 +95,11 @@ class Param:
         """
         if value is None:
             return None
-        if self.type is float and isinstance(value, int) and not isinstance(value, bool):
+        if (
+            self.type is float
+            and isinstance(value, int)
+            and not isinstance(value, bool)
+        ):
             return float(value)
         if self.type is bool:
             if isinstance(value, bool):
@@ -165,7 +169,9 @@ class EstimatorSpec:
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "EstimatorSpec":
         if "name" not in data:
-            raise SpecError(f"spec dict needs a 'name' key, got {dict(data)!r}")
+            raise SpecError(
+                f"spec dict needs a 'name' key, got {dict(data)!r}"
+            )
         params = data.get("params", {})
         if not isinstance(params, Mapping):
             raise SpecError(f"spec 'params' must be a mapping, got {params!r}")
@@ -409,6 +415,21 @@ class Registration:
             getattr(self.cls, "supports_sharding", False)
         )
 
+    @property
+    def supports_windowing(self) -> bool:
+        """Whether instances may be wrapped by the sliding-window engine.
+
+        Mirrors :attr:`~repro.core.base.ButterflyEstimator
+        .supports_deletions`: the window engine works by synthesizing
+        expiry deletions, so an insert-only inner (FLEET, CAS, sGrapp)
+        would silently drop them and report infinite-window counts.
+        :class:`repro.window.engine.WindowedEstimator` refuses inner
+        specs whose registration has this false.
+        """
+        return self.cls is not None and bool(
+            getattr(self.cls, "supports_deletions", False)
+        )
+
     def validate(self, params: Mapping[str, Any]) -> Dict[str, Any]:
         """Type-check ``params`` and fill declared defaults.
 
@@ -438,7 +459,8 @@ class Registration:
             raise SpecError(
                 f"estimator {self.name!r} does not support snapshot/restore"
             )
-        return self.cls.from_state_dict(dict(state))  # type: ignore[union-attr]
+        restore = self.cls.from_state_dict  # type: ignore[union-attr]
+        return restore(dict(state))
 
 
 _REGISTRY: Dict[str, Registration] = {}
@@ -452,7 +474,9 @@ def register_estimator(
     description: str = "",
     cls: Optional[Type[ButterflyEstimator]] = None,
     aliases: Tuple[str, ...] = (),
-) -> Callable[[Callable[..., ButterflyEstimator]], Callable[..., ButterflyEstimator]]:
+) -> Callable[
+    [Callable[..., ButterflyEstimator]], Callable[..., ButterflyEstimator]
+]:
     """Class decorator/registrar for estimator factories.
 
     Apply to a factory callable that accepts the declared parameters as
@@ -494,7 +518,9 @@ def register_estimator(
         _REGISTRY[key] = registration
         for alias in registration.aliases:
             if alias in _REGISTRY or alias in _ALIASES:
-                raise SpecError(f"alias {alias!r} collides with a registration")
+                raise SpecError(
+                    f"alias {alias!r} collides with a registration"
+                )
             _ALIASES[alias] = key
         return factory
 
@@ -581,6 +607,8 @@ def describe_registry() -> str:
             lines.append("  snapshot/restore: yes")
         if registration.supports_sharding:
             lines.append("  sharding: yes")
+        if registration.supports_windowing:
+            lines.append("  windowing: yes")
         for param in registration.params:
             default = (
                 "" if param.default is None else f" (default {param.default})"

@@ -31,7 +31,10 @@ stopped.
 Passing ``shards=K`` (plus ``backend=`` / ``partitioner=``) to
 :func:`open_session` routes ingestion through the sharded engine of
 :mod:`repro.shard` — same facade, same observer and snapshot
-semantics, fan-out underneath.
+semantics, fan-out underneath.  Passing ``window=N`` and/or
+``window_time=T`` wraps the spec in the sliding-window engine of
+:mod:`repro.window` the same way (window over shards when both are
+given).
 """
 
 from __future__ import annotations
@@ -477,7 +480,9 @@ class Session:
         self.close()
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
-        name = self._spec.name if self._spec else type(self._estimator).__name__
+        name = (
+            self._spec.name if self._spec else type(self._estimator).__name__
+        )
         return (
             f"Session({name}, elements={self._elements}, "
             f"estimate={self.estimate:.1f})"
@@ -491,6 +496,9 @@ def open_session(
     backend: Optional[str] = None,
     partitioner: Optional[str] = None,
     salt: Optional[int] = None,
+    window: Optional[int] = None,
+    window_time: Optional[float] = None,
+    window_strict: Optional[bool] = None,
     **overrides: Any,
 ) -> Session:
     """Open a session from a spec (string/dict/object) or an instance.
@@ -512,14 +520,27 @@ def open_session(
             (greedy load balancing).  Requires ``shards``.
         salt: partition-map salt for the hash partitioner.  Requires
             ``shards``.
+        window: when given, additionally wrap in the sliding-window
+            engine (:class:`repro.window.engine.WindowedEstimator`):
+            only the last ``window`` ingested edges count.  Composes
+            with sharding — the window wraps the sharded engine, never
+            the other way around.
+        window_time: time window — edges expire ``window_time``
+            timestamp units after arrival; elements must then be
+            :class:`~repro.types.TimedEdge`.  Combines with ``window``
+            (an edge leaves at whichever bound it hits first).
+        window_strict: raise on deletions of edges that are not live in
+            the window instead of dropping them.  Requires ``window``
+            or ``window_time``.
         overrides: spec parameter overrides, applied to the (inner)
-            spec before any shard wrapping (ignored-with-error for
-            instances — wrap specs, not objects, to reconfigure).
+            spec before any shard/window wrapping (ignored-with-error
+            for instances — wrap specs, not objects, to reconfigure).
 
     Raises:
         SpecError: on unknown estimators/parameters, when overrides or
-            sharding options are passed alongside an instance, or when
-            the spec's registration opts out of sharding.
+            sharding/windowing options are passed alongside an
+            instance, or when the spec's registration opts out of
+            sharding.
 
     Unsharded sessions drive the estimator directly:
 
@@ -538,21 +559,45 @@ def open_session(
     ...                         insertion(2, "v1"), insertion(2, "v2")])
     ...     session.estimate
     2.0
+
+    Windowed sessions count only the most recent edges — here the
+    butterfly's first edge has expired by the time the fourth arrives:
+
+    >>> with open_session("exact", window=3) as session:
+    ...     _ = session.ingest([insertion("u1", "v1"), insertion("u1", "v2"),
+    ...                         insertion("u2", "v1"), insertion("u2", "v2")])
+    ...     session.estimate
+    0.0
     """
     options = {"backend": backend, "partitioner": partitioner, "salt": salt}
-    options = {key: value for key, value in options.items() if value is not None}
+    options = {
+        key: value for key, value in options.items() if value is not None
+    }
     if shards is None and options:
         raise SpecError(
             f"{'/'.join(sorted(options))} only applies to sharded "
             "sessions; pass shards=K alongside it"
         )
     sharding = {"shards": shards, **options} if shards is not None else {}
-    if isinstance(estimator, ButterflyEstimator):
-        if overrides or sharding:
+    windowing: Dict[str, Any] = {}
+    if window is not None:
+        windowing["window"] = window
+    if window_time is not None:
+        windowing["window_time"] = window_time
+    if window_strict is not None:
+        if not windowing:
             raise SpecError(
-                "parameter overrides and sharding options only apply when "
-                "opening from a spec, not an instance "
-                f"(got {sorted(overrides) + sorted(sharding)})"
+                "window_strict only applies to windowed sessions; pass "
+                "window=N and/or window_time=T alongside it"
+            )
+        windowing["strict"] = window_strict
+    if isinstance(estimator, ButterflyEstimator):
+        if overrides or sharding or windowing:
+            raise SpecError(
+                "parameter overrides and sharding/windowing options only "
+                "apply when opening from a spec, not an instance "
+                "(got "
+                f"{sorted(overrides) + sorted(sharding) + sorted(windowing)})"
             )
         registration = registration_for_instance(estimator)
         spec = EstimatorSpec(registration.name) if registration else None
@@ -563,6 +608,10 @@ def open_session(
     if sharding:
         spec = EstimatorSpec(
             "sharded", {"inner": spec.to_string(), **sharding}
+        )
+    if windowing:
+        spec = EstimatorSpec(
+            "windowed", {"inner": spec.to_string(), **windowing}
         )
     built = build_estimator(spec)
     return Session(built, spec=spec)

@@ -74,7 +74,8 @@ class ButterflyBurstDetector:
             raise ExperimentError(f"window must be positive, got {window}")
         if history < min_history or min_history < 1:
             raise ExperimentError(
-                f"need history >= min_history >= 1, got {history}/{min_history}"
+                "need history >= min_history >= 1, "
+                f"got {history}/{min_history}"
             )
         self.estimator = estimator
         self.window = window

@@ -57,6 +57,9 @@ class CoAffiliationSampling(ButterflyEstimator):
     """
 
     name = "CAS"
+    #: Insert-only: deletions are skipped, so windowing (which works by
+    #: synthesizing deletions) cannot wrap this estimator.
+    supports_deletions = False
 
     __slots__ = (
         "budget",
@@ -89,12 +92,18 @@ class CoAffiliationSampling(ButterflyEstimator):
         self.budget = budget
         self.sketch_fraction = sketch_fraction
         self._rng = rng if rng is not None else random.Random(seed)
-        self._reservoir_capacity = max(2, round(budget * (1.0 - sketch_fraction)))
+        self._reservoir_capacity = max(
+            2, round(budget * (1.0 - sketch_fraction))
+        )
         # Cost model: one stored edge (two vertex ids + adjacency
         # overhead) is charged like four sketch counters.
-        sketch_counters = max(sketch_depth, 4 * (budget - self._reservoir_capacity))
+        sketch_counters = max(
+            sketch_depth, 4 * (budget - self._reservoir_capacity)
+        )
         width = max(1, sketch_counters // sketch_depth)
-        self._sketch = AmsSketch(width=width, depth=sketch_depth, rng=self._rng)
+        self._sketch = AmsSketch(
+            width=width, depth=sketch_depth, rng=self._rng
+        )
         self._sample = GraphSample()
         self._estimate = 0.0
         self._edges_seen = 0

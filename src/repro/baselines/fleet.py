@@ -43,6 +43,9 @@ class Fleet(ButterflyEstimator):
     """
 
     name = "FLEET"
+    #: Insert-only: deletions are skipped, so windowing (which works by
+    #: synthesizing deletions) cannot wrap this estimator.
+    supports_deletions = False
 
     __slots__ = (
         "budget",

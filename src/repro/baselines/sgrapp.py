@@ -51,6 +51,9 @@ class SGrapp(ButterflyEstimator):
     #: the fitted exponent non-uniformly, so the K-corrected shard merge
     #: of repro.shard would not estimate the global count.
     supports_sharding = False
+    #: Insert-only: deletions are skipped, so windowing (which works by
+    #: synthesizing deletions) cannot wrap this estimator.
+    supports_deletions = False
 
     def __init__(self, window: int = 2000, learning_windows: int = 4) -> None:
         if window < 1:
@@ -117,7 +120,10 @@ class SGrapp(ButterflyEstimator):
                 self._window_graph, u, v
             )
             self._window_graph.add_edge(u, v)
-        if self._learning_graph is not None and not self._learning_graph.has_edge(u, v):
+        if (
+            self._learning_graph is not None
+            and not self._learning_graph.has_edge(u, v)
+        ):
             self._true_count += butterflies_containing_edge(
                 self._learning_graph, u, v
             )

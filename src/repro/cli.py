@@ -16,7 +16,9 @@ Subcommands map 1:1 onto the paper's tables/figures plus the extras::
 ``repro estimators`` lists every registered name with its parameters.
 ``repro stream`` additionally takes ``--shards K`` with ``--backend
 {serial,thread,process}`` and ``--partitioner {hash,balanced}`` to fan
-ingestion out through the sharded engine (:mod:`repro.shard`).
+ingestion out through the sharded engine (:mod:`repro.shard`), and
+``--window N`` / ``--window-time T`` to count only the most recent
+edges through the sliding-window engine (:mod:`repro.window`).
 
 Use ``--datasets`` with a comma-separated subset of
 ``movielens_like,livejournal_like,trackers_like,orkut_like`` to trim
@@ -122,6 +124,27 @@ def build_parser() -> argparse.ArgumentParser:
         help="shard partitioner: stable hash or greedy load balancing",
     )
     parser.add_argument(
+        "--window",
+        type=int,
+        default=0,
+        metavar="N",
+        help=(
+            "count only the last N edges of the 'stream' experiment "
+            "(sliding window; see repro/window/)"
+        ),
+    )
+    parser.add_argument(
+        "--window-time",
+        type=float,
+        default=0.0,
+        metavar="T",
+        help=(
+            "time window for the 'stream' experiment: edges expire T "
+            "units after arrival (datasets have no native timestamps, "
+            "so each element is stamped with its arrival index)"
+        ),
+    )
+    parser.add_argument(
         "--chart",
         action="store_true",
         help="additionally draw ASCII charts (fig3/fig5)",
@@ -163,13 +186,21 @@ def run_stream(
     shards: int = 1,
     backend: str = "serial",
     partitioner: str = "hash",
+    window: int = 0,
+    window_time: float = 0.0,
 ) -> str:
     """Run one estimator spec over a dataset through the session API.
 
     With ``shards > 1`` the ingestion fans out through the sharded
-    engine (``--shards/--backend/--partitioner``).
+    engine (``--shards/--backend/--partitioner``); with ``window`` /
+    ``window_time`` only the most recent edges count
+    (``--window/--window-time``).  Datasets carry no timestamps, so a
+    time window stamps each element with its arrival index, and the
+    window runs non-strict — a dataset deletion may target an edge the
+    window already expired.
     """
     from repro.experiments.datasets import get_dataset
+    from repro.types import TimedEdge
 
     ctx = context or ExperimentContext()
     dataset = (datasets or ["movielens_like"])[0]
@@ -177,29 +208,47 @@ def run_stream(
     stream = ctx.stream(dataset_spec, alpha, 0)
     truth = ctx.truth(dataset_spec, alpha, 0)
     spec = parse_spec(spec_text)
-    sharding = (
+    options = (
         {"shards": shards, "backend": backend, "partitioner": partitioner}
         if shards > 1
         else {}
     )
-    with open_session(spec, **sharding) as session:
-        session.ingest(stream)
+    elements = stream
+    if window > 0:
+        options["window"] = window
+    if window_time > 0:
+        options["window_time"] = window_time
+        elements = (
+            TimedEdge(e.u, e.v, e.op, float(index))
+            for index, e in enumerate(stream)
+        )
+    with open_session(spec, **options) as session:
+        session.ingest(elements)
         session.flush()
         metrics = session.metrics
     title = f"== stream: {spec.to_string()} on {dataset} (alpha={alpha:.0%})"
     if shards > 1:
         title += f" [shards={shards}, backend={backend}]"
+    if window > 0 or window_time > 0:
+        bounds = [f"window={window}"] if window > 0 else []
+        if window_time > 0:
+            bounds.append(f"window_time={window_time:g}")
+        title += f" [{', '.join(bounds)}]"
     lines = [
         title + " ==",
         f"  elements ingested : {metrics.elements:>14,}",
         f"  estimate          : {metrics.estimate:>14,.1f}",
         f"  exact count       : {truth:>14,}",
     ]
-    if truth:
+    if window > 0 or window_time > 0:
+        lines[3] = f"  exact (no window) : {truth:>14,}"
+    if truth and not (window > 0 or window_time > 0):
         error = abs(truth - metrics.estimate) / truth
         lines.append(f"  relative error    : {error:>14.2%}")
     lines.append(f"  memory (edges)    : {metrics.memory_edges:>14,}")
-    lines.append(f"  throughput        : {metrics.throughput_eps:>14,.0f} elements/s")
+    lines.append(
+        f"  throughput        : {metrics.throughput_eps:>14,.0f} elements/s"
+    )
     return "\n".join(lines)
 
 
@@ -214,6 +263,8 @@ def run_experiment(
     shards: int = 1,
     backend: str = "serial",
     partitioner: str = "hash",
+    window: int = 0,
+    window_time: float = 0.0,
 ) -> str:
     """Execute one experiment; return its rendered report."""
     ctx = context or ExperimentContext()
@@ -227,6 +278,8 @@ def run_experiment(
             shards=shards,
             backend=backend,
             partitioner=partitioner,
+            window=window,
+            window_time=window_time,
         )
     if name == "table2":
         return figures.run_table2(datasets=datasets)["text"]
@@ -259,7 +312,9 @@ def run_experiment(
             datasets=datasets, num_threads=threads, context=ctx
         )["text"]
     if name == "fig9":
-        return figures.run_thread_speedup(datasets=datasets, context=ctx)["text"]
+        return figures.run_thread_speedup(datasets=datasets, context=ctx)[
+            "text"
+        ]
     if name == "fig10":
         return figures.run_load_balance(datasets=datasets, context=ctx)["text"]
     if name == "unbiasedness":
@@ -313,7 +368,8 @@ def main(argv: Optional[List[str]] = None) -> int:
                 name, args.trials, datasets, args.threads, context,
                 chart=args.chart, estimator_spec=args.estimator,
                 shards=args.shards, backend=args.backend,
-                partitioner=args.partitioner,
+                partitioner=args.partitioner, window=args.window,
+                window_time=args.window_time,
             )
             print(report)
             print()

@@ -77,6 +77,15 @@ class ButterflyEstimator(abc.ABC):
     #: surfaces the flag as ``Registration.supports_sharding``.
     supports_sharding: bool = True
 
+    #: Whether the estimator *applies* deletion elements.  True for the
+    #: fully dynamic estimators; the insert-only baselines (FLEET, CAS,
+    #: sGrapp) skip deletions by design and set this False.  The
+    #: sliding-window engine refuses inners without it — a window works
+    #: by synthesizing deletions, and an inner that drops them would
+    #: silently report infinite-window counts.  Surfaced as
+    #: ``Registration.supports_windowing``.
+    supports_deletions: bool = True
+
     @abc.abstractmethod
     def process(self, element: StreamElement) -> float:
         """Ingest one stream element.

@@ -79,9 +79,13 @@ class Parabacus(ButterflyEstimator):
         cheapest_side: bool = True,
     ) -> None:
         if batch_size <= 0:
-            raise EstimatorError(f"batch_size must be positive, got {batch_size}")
+            raise EstimatorError(
+                f"batch_size must be positive, got {batch_size}"
+            )
         if num_threads <= 0:
-            raise EstimatorError(f"num_threads must be positive, got {num_threads}")
+            raise EstimatorError(
+                f"num_threads must be positive, got {num_threads}"
+            )
         if rng is None:
             rng = random.Random(seed)
         self.batch_size = batch_size
@@ -131,7 +135,9 @@ class Parabacus(ButterflyEstimator):
             return self.flush()
         return 0.0
 
-    def process_stream(self, stream, checkpoints=None, on_checkpoint=None) -> float:
+    def process_stream(
+        self, stream, checkpoints=None, on_checkpoint=None
+    ) -> float:
         """Batch-oriented stream driver (overrides the per-element one).
 
         Checkpoints are honoured at mini-batch granularity: the callback

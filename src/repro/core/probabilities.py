@@ -25,7 +25,9 @@ from __future__ import annotations
 from repro.errors import EstimatorError
 
 
-def subset_inclusion_probability(population: int, sample_size: int, j: int) -> float:
+def subset_inclusion_probability(
+    population: int, sample_size: int, j: int
+) -> float:
     """P(j specific items are all in a uniform size-``sample_size`` sample.
 
     Equals ``C(population - j, sample_size - j) / C(population,
@@ -118,7 +120,9 @@ def variance_closed_form(
     return gamma * expected - expected**2 + 2.0 * gamma**2 * cross
 
 
-def variance_upper_bound(expected: float, num_edges: int, budget: int) -> float:
+def variance_upper_bound(
+    expected: float, num_edges: int, budget: int
+) -> float:
     """Theorem 2's tight upper bound on the variance.
 
         Var[c] <= gamma*E[c] + 2*gamma^2 * C(E[c],2) * p6 - E[c]^2

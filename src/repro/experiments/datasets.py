@@ -22,7 +22,7 @@ keeping sample-to-stream ratios in a comparable regime.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Tuple
 
 from repro.errors import ExperimentError

@@ -192,7 +192,9 @@ def run_throughput_vs_sample_size(
             abacus_full = ctx.throughput(spec, "abacus", budget, alpha)
             columns["Abacus (Ins+Del)"].append(abacus_full / 1000.0)
             columns["Abacus (Ins-only)"].append(
-                ctx.throughput(spec, "abacus", budget, alpha, insertions_only=True)
+                ctx.throughput(
+                    spec, "abacus", budget, alpha, insertions_only=True
+                )
                 / 1000.0
             )
             columns["FLEET (Ins-only)"].append(
@@ -215,7 +217,10 @@ def run_throughput_vs_sample_size(
                 "k (edges)",
                 list(spec.sample_sizes),
                 columns,
-                title=f"{spec.paper_name}: throughput (K edges/s), alpha={alpha:.0%}",
+                title=(
+                    f"{spec.paper_name}: throughput (K edges/s), "
+                    f"alpha={alpha:.0%}"
+                ),
                 y_format="{:.1f}",
             )
         )
@@ -348,7 +353,9 @@ def run_scalability(
                 "elements",
                 marks,
                 series,
-                title=f"{spec.paper_name}: elapsed seconds vs elements processed",
+                title=(
+                    f"{spec.paper_name}: elapsed seconds vs elements processed"
+                ),
                 y_format="{:.2f}",
             )
         )
@@ -464,7 +471,9 @@ def run_thread_speedup(
                 y_format="{:.2f}",
             )
         )
-    text = "== Figure 9: speedup vs number of threads ==\n" + "\n\n".join(blocks)
+    text = "== Figure 9: speedup vs number of threads ==\n" + "\n\n".join(
+        blocks
+    )
     return {"title": "Figure 9", "text": text, "results": results}
 
 
@@ -514,7 +523,8 @@ def run_load_balance(
                 rows,
                 title=(
                     f"{spec.paper_name}: per-thread workload "
-                    f"(k={budget}, M={batch_size}, p={num_threads}) — {balance}"
+                    f"(k={budget}, M={batch_size}, p={num_threads}) "
+                    f"— {balance}"
                 ),
             )
         )
@@ -548,7 +558,9 @@ def run_unbiasedness(
         raise ExperimentError("unbiasedness workload has no butterflies")
     estimates = []
     for trial in range(trials):
-        estimator = _estimator("abacus", budget=budget, seed=seed + 7 * trial + 1)
+        estimator = _estimator(
+            "abacus", budget=budget, seed=seed + 7 * trial + 1
+        )
         estimates.append(estimator.process_stream(stream))
     mean_estimate = sum(estimates) / len(estimates)
     variance = sum((e - mean_estimate) ** 2 for e in estimates) / max(
@@ -558,7 +570,15 @@ def run_unbiasedness(
     z = (mean_estimate - truth) / std_error if std_error > 0 else 0.0
     text = render_table(
         ["truth", "mean estimate", "std error", "z-score", "trials"],
-        [(truth, f"{mean_estimate:.1f}", f"{std_error:.1f}", f"{z:.2f}", trials)],
+        [
+            (
+                truth,
+                f"{mean_estimate:.1f}",
+                f"{std_error:.1f}",
+                f"{z:.2f}",
+                trials,
+            )
+        ],
         title="Empirical unbiasedness of ABACUS (Theorem 1)",
     )
     return {

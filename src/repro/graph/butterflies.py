@@ -145,7 +145,9 @@ def butterfly_counts_per_vertex(graph: BipartiteGraph) -> Dict[Vertex, int]:
     return dict(counts)
 
 
-def butterfly_density(graph: BipartiteGraph, butterflies: Optional[int] = None) -> float:
+def butterfly_density(
+    graph: BipartiteGraph, butterflies: Optional[int] = None
+) -> float:
     """Butterflies per possible 2x2 cell pair, as reported in Table II.
 
     Defined as ``|B| / (C(|L|, 2) * C(|R|, 2))`` — the fraction of

@@ -67,7 +67,9 @@ def common_neighbor_count(graph: BipartiteGraph, w: Vertex, x: Vertex) -> int:
     return sum(1 for y in nw if y in nx)
 
 
-def wedge_participation(graph: BipartiteGraph, vertices: Iterable[Vertex]) -> int:
+def wedge_participation(
+    graph: BipartiteGraph, vertices: Iterable[Vertex]
+) -> int:
     """Number of wedges centred at each vertex of ``vertices``, summed."""
     total = 0
     for v in vertices:

@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import time
 from bisect import bisect_left
-from typing import Iterable, List, Optional, Sequence
+from typing import Iterable, List, Sequence
 
 from repro.core.base import ButterflyEstimator
 from repro.errors import ExperimentError

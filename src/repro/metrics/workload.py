@@ -32,7 +32,8 @@ class WorkloadBalance:
         return (
             f"threads={len(self.workloads)} total={self.total} "
             f"mean={self.mean:.0f} max={self.maximum} "
-            f"imbalance={self.imbalance:.3f} cv={self.coefficient_of_variation:.3f}"
+            f"imbalance={self.imbalance:.3f} "
+            f"cv={self.coefficient_of_variation:.3f}"
         )
 
 

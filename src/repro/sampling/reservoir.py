@@ -116,7 +116,9 @@ class ReservoirSampler(Generic[T]):
         if not items:
             return evicted
         if _np is not None and isinstance(self._rng, _np.random.Generator):
-            bounds = self.num_seen + 1 + _np.arange(len(items), dtype=_np.int64)
+            bounds = self.num_seen + 1 + _np.arange(
+                len(items), dtype=_np.int64
+            )
             draws = self._rng.integers(0, bounds)
             self.num_seen += len(items)
             for position in _np.nonzero(draws < self.capacity)[0].tolist():

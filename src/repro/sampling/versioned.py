@@ -40,7 +40,13 @@ Triplet = Tuple[int, int, int]
 class VersionedGraphSample:
     """Delta-coded view of a :class:`GraphSample` across a mini-batch."""
 
-    __slots__ = ("_sample", "_deltas", "_triplets", "_pending_version", "_recording")
+    __slots__ = (
+        "_sample",
+        "_deltas",
+        "_triplets",
+        "_pending_version",
+        "_recording",
+    )
 
     def __init__(self, sample: GraphSample) -> None:
         self._sample = sample
@@ -62,7 +68,9 @@ class VersionedGraphSample:
         self._sample.recorder = self._record
         self._recording = True
 
-    def note_element_state(self, num_live_edges: int, cb: int, cg: int) -> None:
+    def note_element_state(
+        self, num_live_edges: int, cb: int, cg: int
+    ) -> None:
         """Cache the (|E|, cb, cg) triplet for the next element.
 
         Must be called once per element, *before* the element's Random

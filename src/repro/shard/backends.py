@@ -249,7 +249,9 @@ def _shard_worker(
         command = message[0]
         try:
             if command == "batch":
-                result: Any = estimator.process_batch(_decode_batch(message[1]))
+                result: Any = estimator.process_batch(
+                    _decode_batch(message[1])
+                )
             elif command == "flush":
                 flusher = getattr(estimator, "flush", None)
                 result = float(flusher()) if flusher is not None else 0.0

@@ -384,7 +384,11 @@ class ShardedEstimator(ButterflyEstimator):
         Param("backend", str, "serial", doc="serial | thread | process"),
         Param("partitioner", str, "hash", doc="hash | balanced"),
         Param("salt", int, 0, doc="partition-map salt"),
-        Param("seed", int, doc="base RNG seed (per-shard seeds derive from it)"),
+        Param(
+            "seed",
+            int,
+            doc="base RNG seed (per-shard seeds derive from it)",
+        ),
     ),
     description=(
         "Sharded fan-out over K independent estimator shards "

@@ -24,7 +24,11 @@ from typing import Any, Dict, Hashable, List, Type
 
 from repro.errors import SpecError
 from repro.sketch.hashing import mix64
-from repro.types import StreamElement, Vertex, insertion  # noqa: F401  (doctests)
+from repro.types import (  # noqa: F401  (insertion used in doctests)
+    StreamElement,
+    Vertex,
+    insertion,
+)
 
 __all__ = [
     "PARTITIONER_NAMES",
@@ -188,7 +192,9 @@ class BalancedPartitioner(Partitioner):
     def shard_of(self, vertex: Vertex) -> int:
         shard = self._assignment.get(vertex)
         if shard is None:
-            shard = min(range(self.num_shards), key=lambda s: (self.loads[s], s))
+            shard = min(
+                range(self.num_shards), key=lambda s: (self.loads[s], s)
+            )
             self._assignment[vertex] = shard
         return shard
 

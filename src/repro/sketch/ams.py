@@ -28,7 +28,7 @@ from __future__ import annotations
 
 import random
 import statistics
-from typing import List, Optional, Tuple
+from typing import List, Optional
 
 from repro.errors import SamplingError
 from repro.sketch.hashing import FourWiseHash
@@ -78,7 +78,8 @@ class AmsSketch:
             )
         if hash_family not in ("fast", "polynomial"):
             raise SamplingError(
-                f"hash_family must be 'fast' or 'polynomial', got {hash_family!r}"
+                "hash_family must be 'fast' or 'polynomial', "
+                f"got {hash_family!r}"
             )
         rng = rng or random.Random()
         self.width = width

@@ -23,7 +23,9 @@ from repro.streams.stream import EdgeStream
 from repro.types import Edge, Op, StreamElement
 
 
-def write_stream(stream: Iterable[StreamElement], path: str | os.PathLike) -> None:
+def write_stream(
+    stream: Iterable[StreamElement], path: str | os.PathLike
+) -> None:
     """Write a stream in the native ``<op> <u> <v>`` format."""
     with open(path, "w", encoding="utf-8") as handle:
         handle.write("# repro stream format: <op> <u> <v>\n")

@@ -10,7 +10,7 @@ prefixes to compute ground truth at checkpoints.
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, List, Optional, Sequence, overload
+from typing import Iterable, Iterator, List, Sequence, overload
 
 from repro.errors import StreamError
 from repro.types import Op, StreamElement

@@ -98,3 +98,44 @@ def insertion(u: Vertex, v: Vertex) -> StreamElement:
 def deletion(u: Vertex, v: Vertex) -> StreamElement:
     """Convenience constructor for a deletion element."""
     return StreamElement(u, v, Op.DELETE)
+
+
+@dataclass(frozen=True, slots=True)
+class TimedEdge(StreamElement):
+    """A :class:`StreamElement` carrying an application timestamp.
+
+    Time-based sliding windows (:mod:`repro.window`) need to know *when*
+    an edge arrived, not just in what order; ``TimedEdge`` extends the
+    stream element with a ``time`` field measured in arbitrary
+    application units (seconds, ticks, ...).  Because it subclasses
+    :class:`StreamElement`, every existing estimator and stream utility
+    accepts it unchanged — the timestamp is simply ignored outside the
+    windowing layer.
+
+    Timestamps within one stream must be non-decreasing; the windowing
+    engine enforces that at ingest time.
+
+    >>> e = TimedEdge("alice", "matrix", time=12.5)
+    >>> e.is_insertion, e.edge, e.time
+    (True, ('alice', 'matrix'), 12.5)
+    """
+
+    time: float = 0.0
+
+    def inverted(self) -> "TimedEdge":
+        """The element that undoes this one, at the same timestamp."""
+        flipped = Op.DELETE if self.op is Op.INSERT else Op.INSERT
+        return TimedEdge(self.u, self.v, flipped, self.time)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"({self.u}, {self.v}, {self.op.value}, t={self.time})"
+
+
+def timed_insertion(u: Vertex, v: Vertex, time: float) -> TimedEdge:
+    """Convenience constructor for a timestamped insertion element."""
+    return TimedEdge(u, v, Op.INSERT, time)
+
+
+def timed_deletion(u: Vertex, v: Vertex, time: float) -> TimedEdge:
+    """Convenience constructor for a timestamped deletion element."""
+    return TimedEdge(u, v, Op.DELETE, time)

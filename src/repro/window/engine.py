@@ -1,0 +1,423 @@
+"""The sliding-window butterfly counting engine: ``WindowedEstimator``.
+
+Wraps any *fully dynamic* registry estimator (insert-only baselines
+are refused — they would drop the synthesized deletions and silently
+report infinite-window counts) and maintains **count-based** (last
+``N`` edges) and/or **time-based** (last ``T`` time units)
+sliding-window butterfly counts by synthesizing deletions as edges
+expire.  No new
+estimation math is involved: a sliding window is a deterministic
+deletion policy, so the fully dynamic machinery of the paper computes
+windowed counts as-is.  The engine's whole job is to expand each input
+element into the equivalent explicit insert+delete run and forward it —
+which makes the windowed estimate **provably identical** to running the
+wrapped estimator over the expanded stream directly.  The executable
+specification of that expansion lives in
+:func:`repro.window.reference.expand_window_stream`; the equivalence is
+enforced bit-for-bit by ``tests/window/test_window_equivalence.py``.
+
+Expiry bookkeeping is an :class:`~repro.window.expiry.ExpiryRing`
+(O(1) amortized eviction); batched ingest expands whole input batches
+and forwards them through the inner estimator's ``process_batch``, so
+the vectorized counting kernels stay hot — expiry deletions included.
+
+``WindowedEstimator`` is a regular registered
+:class:`~repro.core.base.ButterflyEstimator` (name ``"windowed"``), so
+sessions, observers, auto-chunked ingest and snapshot/restore all apply
+unchanged, and it composes with the rest of the registry through its
+``inner`` spec parameter — ``windowed:inner=[sharded:...],window=N``
+runs a sliding window over sharded fan-out.  The converse nesting is
+refused: a count/time window is a *global* property of the stream, so
+``supports_sharding`` is False.
+
+>>> from repro.types import insertion
+>>> engine = WindowedEstimator("exact", window=4)
+>>> engine.process_batch([insertion(u, v)
+...                       for u in ("u1", "u2") for v in ("v1", "v2")])
+1.0
+>>> engine.process(insertion("u3", "v1"))  # evicting (u1, v1) kills it
+-1.0
+>>> engine.live_edges, engine.estimate     # window holds the last 4
+(4, 0.0)
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.api.registry import (
+    EstimatorSpec,
+    Param,
+    SpecLike,
+    build_estimator,
+    get_registration,
+    parse_spec,
+    register_estimator,
+)
+from repro.core.base import ButterflyEstimator
+from repro.errors import EstimatorError, SpecError, StreamError
+from repro.types import StreamElement, deletion
+from repro.window.expiry import ExpiryRing
+
+__all__ = ["WindowedEstimator"]
+
+
+class WindowedEstimator(ButterflyEstimator):
+    """A sliding window over any registry estimator.
+
+    Args:
+        inner: spec (string/dict/:class:`EstimatorSpec`) of the wrapped
+            estimator.  Its registration must declare
+            ``supports_windowing`` (i.e. the estimator applies
+            deletions).  Its memory budget sizes the *sample*; the
+            window additionally buffers one ``(edge, time)`` record per
+            live edge.
+        window: count window — at most this many edges stay live; each
+            insertion beyond that evicts the oldest live edge first.
+            0 disables.
+        window_time: time window — an edge expires once its age reaches
+            this many time units.  Requires every ingested element to
+            be a :class:`~repro.types.TimedEdge` with non-decreasing
+            timestamps.  0 disables.  At least one of ``window`` /
+            ``window_time`` must be enabled; with both, an edge leaves
+            at whichever bound it hits first.
+        strict: when True, deleting an edge that is not live (never
+            inserted, already expired, or already deleted) raises
+            :class:`~repro.errors.StreamError`; when False (default)
+            such deletions are dropped and counted in
+            :attr:`dropped_deletions` — the edge is already gone from
+            the inner estimator's graph either way.
+    """
+
+    name = "Windowed"
+    supports_batch = True
+    #: A window is a global property of the stream: partitioned
+    #: substreams would each expire their own last-N, which is a
+    #: different (and wrong) semantics.  Window over shards instead:
+    #: ``windowed:inner=[sharded:...]``.
+    supports_sharding = False
+
+    def __init__(
+        self,
+        inner: SpecLike = "abacus",
+        window: int = 0,
+        window_time: float = 0.0,
+        strict: bool = False,
+        _restore_state: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        if window < 0:
+            raise SpecError(f"window must be >= 0, got {window}")
+        if window_time < 0:
+            raise SpecError(f"window_time must be >= 0, got {window_time}")
+        if window == 0 and window_time == 0:
+            raise SpecError(
+                "windowed needs window >= 1 (count) and/or window_time > 0 "
+                "(time); both are disabled"
+            )
+        self._inner_spec = parse_spec(inner)
+        self._registration = get_registration(self._inner_spec.name)
+        if not self._registration.supports_windowing:
+            raise SpecError(
+                f"estimator {self._registration.name!r} is insert-only "
+                "(supports_deletions is false); a sliding window works "
+                "by synthesizing deletions, which it would silently "
+                "drop — wrap a fully dynamic estimator instead"
+            )
+        self._window = window
+        self._window_time = float(window_time)
+        self._strict = strict
+        if _restore_state is not None:
+            self._inner = self._registration.restore(
+                _restore_state["inner_state"]
+            )
+            self._ring = ExpiryRing.from_state_dict(_restore_state["ring"])
+            clock = _restore_state["clock"]
+            self._clock: Optional[float] = (
+                None if clock is None else float(clock)
+            )
+            self._expired = int(_restore_state["expired"])
+            self._dropped = int(_restore_state["dropped"])
+        else:
+            self._inner = build_estimator(self._inner_spec)
+            self._ring = ExpiryRing()
+            self._clock = None
+            self._expired = 0
+            self._dropped = 0
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def inner(self) -> ButterflyEstimator:
+        """The wrapped estimator (shared, not a copy)."""
+        return self._inner
+
+    @property
+    def inner_spec(self) -> EstimatorSpec:
+        """The spec the wrapped estimator was built from."""
+        return self._inner_spec
+
+    @property
+    def window(self) -> int:
+        """The count window ``N`` (0 when disabled)."""
+        return self._window
+
+    @property
+    def window_time(self) -> float:
+        """The time window ``T`` (0.0 when disabled)."""
+        return self._window_time
+
+    @property
+    def strict(self) -> bool:
+        """Whether deletions of non-live edges raise instead of drop."""
+        return self._strict
+
+    @property
+    def clock(self) -> Optional[float]:
+        """The last ingested timestamp (None before any timed element)."""
+        return self._clock
+
+    @property
+    def live_edges(self) -> int:
+        """Edges currently inside the window (pending expiry)."""
+        return len(self._ring)
+
+    @property
+    def expired_count(self) -> int:
+        """Expiry deletions synthesized so far (count + time)."""
+        return self._expired
+
+    @property
+    def dropped_deletions(self) -> int:
+        """Non-strict deletions dropped because their edge was not live."""
+        return self._dropped
+
+    @property
+    def estimate(self) -> float:
+        """The inner estimator's estimate — of the *window's* butterflies."""
+        return self._inner.estimate
+
+    @property
+    def memory_edges(self) -> int:
+        """Edges held by the inner estimator's sample."""
+        return self._inner.memory_edges
+
+    # ------------------------------------------------------------------
+    # Ingestion
+    # ------------------------------------------------------------------
+    def _expand(
+        self, element: StreamElement, out: List[StreamElement]
+    ) -> None:
+        """Append ``element``'s explicit insert+delete run to ``out``.
+
+        Mirrors :func:`repro.window.reference.expand_window_stream`
+        rule-for-rule (clock, time expiry, explicit deletion, count
+        eviction, insertion); that function is the specification, this
+        is the O(1)-per-event implementation.
+        """
+        time = getattr(element, "time", None)
+        if self._window_time > 0:
+            if time is None:
+                raise StreamError(
+                    "a time window needs timestamped elements (TimedEdge); "
+                    f"got untimed {element}"
+                )
+            if self._clock is not None and time < self._clock:
+                raise StreamError(
+                    "timestamps must be non-decreasing: "
+                    f"{time} after {self._clock}"
+                )
+        if time is not None:
+            self._clock = time
+        if self._window_time > 0:
+            cutoff = self._clock - self._window_time
+            for edge in self._ring.expire_older_than(cutoff):
+                out.append(deletion(*edge))
+                self._expired += 1
+        edge = element.edge
+        if element.is_deletion:
+            if self._ring.remove(edge):
+                out.append(element)
+            elif self._strict:
+                raise StreamError(
+                    f"deletion of edge {edge!r} which is not live in the "
+                    "window (never inserted, expired, or already deleted)"
+                )
+            else:
+                self._dropped += 1
+            return
+        if edge in self._ring:
+            raise StreamError(
+                f"edge {edge!r} re-inserted while still live in the window"
+            )
+        if self._window > 0:
+            for evicted in self._ring.evict_over_capacity(self._window - 1):
+                out.append(deletion(*evicted))
+                self._expired += 1
+        self._ring.push(edge, time if time is not None else 0.0)
+        out.append(element)
+
+    def _forward_elements(self, expanded: List[StreamElement]) -> float:
+        process = self._inner.process
+        total = 0.0
+        for item in expanded:
+            total += process(item)
+        return total
+
+    def process(self, element: StreamElement) -> float:
+        """Expand one element and forward; return the combined delta.
+
+        The returned delta includes the contributions of any expiry
+        deletions this element triggered.  The expansion feeds the
+        inner *element* path — batched ingest alone routes through the
+        inner ``process_batch``, so per-element windowed ingestion
+        costs exactly the per-element expanded replay.
+
+        When the element violates the stream contract, everything the
+        expansion emitted *before* the violation (expiry deletions the
+        element's timestamp triggered) is still forwarded, so the
+        window buffer and the inner estimator stay consistent — the
+        engine lands in exactly the state of replaying the reference
+        expansion up to its raise point.
+        """
+        expanded: List[StreamElement] = []
+        try:
+            self._expand(element, expanded)
+        except StreamError:
+            self._forward_elements(expanded)
+            raise
+        return self._forward_elements(expanded)
+
+    def process_batch(self, batch: Sequence[StreamElement]) -> float:
+        """Expand a whole batch and forward it in one inner call.
+
+        The expansion is per-element and independent of batching, and
+        the inner ``process_batch`` is held to observational
+        equivalence with its own element path — so windowed batched
+        ingest is bit-identical to windowed per-element ingest, and
+        both to the explicit expanded stream.  Expiry deletions ride
+        the same vectorized kernels as the payload insertions.
+
+        A mid-batch stream-contract violation forwards everything
+        expanded before the offending element first (matching the
+        reference expansion's raise point, and keeping ring and inner
+        state consistent), then re-raises.
+        """
+        expanded: List[StreamElement] = []
+        try:
+            for element in batch:
+                self._expand(element, expanded)
+        except StreamError:
+            if expanded:
+                self._inner.process_batch(expanded)
+            raise
+        if not expanded:
+            return 0.0
+        return self._inner.process_batch(expanded)
+
+    def flush(self) -> float:
+        """Flush the inner estimator's buffered work (PARABACUS etc.)."""
+        flusher = getattr(self._inner, "flush", None)
+        if flusher is None:
+            return 0.0
+        return flusher()
+
+    # ------------------------------------------------------------------
+    # StatefulEstimator protocol
+    # ------------------------------------------------------------------
+    def state_to_dict(self) -> Dict[str, Any]:
+        """Full engine state: config, clock, pending-expiry ring, inner.
+
+        The pending-expiry buffer is part of the state — restoring
+        mid-window must expire exactly the edges the uninterrupted run
+        would have.  Requires the inner estimator to support the
+        snapshot protocol.
+        """
+        if not self._registration.supports_snapshot:
+            raise SpecError(
+                f"inner estimator {self._registration.name!r} does not "
+                "support snapshot/restore, so the windowed engine cannot "
+                "either"
+            )
+        return {
+            "inner": self._inner_spec.to_string(),
+            "window": self._window,
+            "window_time": self._window_time,
+            "strict": self._strict,
+            "clock": self._clock,
+            "ring": self._ring.state_to_dict(),
+            "expired": self._expired,
+            "dropped": self._dropped,
+            "inner_state": self._inner.state_to_dict(),
+        }
+
+    @classmethod
+    def from_state_dict(cls, state: Dict[str, Any]) -> "WindowedEstimator":
+        """Rebuild a windowed engine (and its inner) from a state dict."""
+        try:
+            return cls(
+                inner=state["inner"],
+                window=int(state["window"]),
+                window_time=float(state["window_time"]),
+                strict=bool(state["strict"]),
+                _restore_state=state,
+            )
+        except KeyError as exc:
+            raise EstimatorError(
+                f"windowed estimator state is missing field {exc}"
+            ) from exc
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Release inner resources (sharded process workers etc.)."""
+        closer = getattr(self._inner, "close", None)
+        if closer is not None:
+            closer()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        bounds = []
+        if self._window:
+            bounds.append(f"window={self._window}")
+        if self._window_time:
+            bounds.append(f"window_time={self._window_time}")
+        return (
+            f"WindowedEstimator({self._inner_spec.to_string()!r}, "
+            f"{', '.join(bounds)}, live={len(self._ring)})"
+        )
+
+
+@register_estimator(
+    "windowed",
+    params=(
+        Param("inner", str, "abacus", doc="wrapped estimator spec"),
+        Param("window", int, 0, doc="count window N in edges (0 = off)"),
+        Param(
+            "window_time",
+            float,
+            0.0,
+            doc="time window T in timestamp units (0 = off)",
+        ),
+        Param(
+            "strict",
+            bool,
+            False,
+            doc="raise on deletions of non-live edges instead of dropping",
+        ),
+        Param("seed", int, doc="override the inner estimator's seed"),
+    ),
+    description=(
+        "Sliding-window counts over any estimator (count and/or time "
+        "window; expiry as synthesized deletions)"
+    ),
+    cls=WindowedEstimator,
+    aliases=("window",),
+)
+def _build_windowed(**params: Any) -> ButterflyEstimator:
+    seed = params.pop("seed", None)
+    if seed is not None:
+        inner = parse_spec(params.get("inner", "abacus"))
+        if "seed" in get_registration(inner.name).param_names:
+            params["inner"] = inner.with_overrides(seed=seed).to_string()
+    return WindowedEstimator(**params)

@@ -1,0 +1,185 @@
+"""The pending-expiry buffer behind the windowed estimator.
+
+An :class:`ExpiryRing` remembers every edge currently *live* inside a
+sliding window, in arrival order, together with the timestamp it
+arrived at.  It answers the three questions windowing asks on every
+ingested element:
+
+* which edges age out of a **time** window that has advanced to ``t``
+  (:meth:`expire_older_than`),
+* which edges overflow a **count** window of capacity ``N``
+  (:meth:`evict_over_capacity`),
+* is this edge currently live at all (:meth:`__contains__`,
+  :meth:`remove` for explicit deletions).
+
+All operations are O(1) amortized.  Explicit deletions cannot afford a
+linear scan of the arrival deque, so removal tombstones the entry in
+place (one shared mutable record, reachable from both the deque and the
+live-edge index) and eviction lazily skips tombstones as it pops.
+Tombstones are bounded, not just lazily drained: removal eagerly pops
+any dead prefix, and when dead entries outnumber live ones the deque is
+compacted in one pass — so the buffer never holds more than
+``2 * live + 1`` entries regardless of the deletion pattern.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Dict, Iterator, List, Tuple
+
+from repro.types import Edge, Vertex
+
+__all__ = ["ExpiryRing"]
+
+# One buffered entry: [left, right, arrival_time, tombstoned].  A plain
+# list rather than a class keeps the per-edge overhead at one small
+# allocation on the hot path.
+_U, _V, _TIME, _DEAD = range(4)
+
+
+class ExpiryRing:
+    """Arrival-ordered buffer of live window edges with O(1) eviction.
+
+    >>> ring = ExpiryRing()
+    >>> ring.push(("u1", "v1"), 1.0)
+    >>> ring.push(("u2", "v2"), 2.0)
+    >>> len(ring)
+    2
+    >>> list(ring.expire_older_than(1.5))   # expire arrivals at t <= 1.5
+    [('u1', 'v1')]
+    >>> ("u2", "v2") in ring
+    True
+    """
+
+    __slots__ = ("_entries", "_live", "_dead")
+
+    def __init__(self) -> None:
+        self._entries: Deque[List[Any]] = deque()
+        self._live: Dict[Edge, List[Any]] = {}
+        self._dead = 0  # tombstoned entries still sitting in the deque
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def push(self, edge: Edge, time: float) -> None:
+        """Append a newly inserted live edge.
+
+        The caller guarantees ``edge`` is not already live (the engine
+        rejects duplicate-while-live insertions before calling).
+        """
+        entry = [edge[0], edge[1], time, False]
+        self._entries.append(entry)
+        self._live[edge] = entry
+
+    def remove(self, edge: Edge) -> bool:
+        """Explicitly delete a live edge; False when it is not live.
+
+        The deque entry is tombstoned, not unlinked — eviction skips it
+        for free when it reaches the front.  To keep the buffer O(live)
+        under deletion-heavy traffic, any dead prefix is popped eagerly
+        and the whole deque is compacted once tombstones outnumber live
+        entries (amortized O(1): each entry is copied at most once per
+        halving of the live count).
+        """
+        entry = self._live.pop(edge, None)
+        if entry is None:
+            return False
+        entry[_DEAD] = True
+        self._dead += 1
+        entries = self._entries
+        while entries and entries[0][_DEAD]:
+            entries.popleft()
+            self._dead -= 1
+        if self._dead > len(self._live):
+            self._entries = deque(e for e in entries if not e[_DEAD])
+            self._dead = 0
+        return True
+
+    def expire_older_than(self, cutoff: float) -> Iterator[Edge]:
+        """Pop and yield live edges whose arrival time is <= ``cutoff``.
+
+        Edges come out in arrival order — exactly the order the
+        equivalent explicit deletions appear in the expanded stream.
+        """
+        entries = self._entries
+        while entries:
+            entry = entries[0]
+            if entry[_DEAD]:
+                entries.popleft()
+                self._dead -= 1
+                continue
+            if entry[_TIME] > cutoff:
+                return
+            entries.popleft()
+            edge = (entry[_U], entry[_V])
+            del self._live[edge]
+            yield edge
+
+    def evict_over_capacity(self, capacity: int) -> Iterator[Edge]:
+        """Pop and yield the oldest live edges until size <= ``capacity``."""
+        entries = self._entries
+        while len(self._live) > capacity:
+            entry = entries.popleft()
+            if entry[_DEAD]:
+                self._dead -= 1
+                continue
+            edge = (entry[_U], entry[_V])
+            del self._live[edge]
+            yield edge
+
+    # ------------------------------------------------------------------
+    # Inspection
+    # ------------------------------------------------------------------
+    def __contains__(self, edge: Edge) -> bool:
+        return edge in self._live
+
+    def __len__(self) -> int:
+        """Number of live (non-tombstoned) edges."""
+        return len(self._live)
+
+    def oldest_time(self) -> float | None:
+        """Arrival time of the oldest live edge; None when empty."""
+        for entry in self._entries:
+            if not entry[_DEAD]:
+                return entry[_TIME]
+        return None
+
+    def live_edges(self) -> List[Tuple[Vertex, Vertex]]:
+        """The live edges in arrival order (snapshot helper)."""
+        return [
+            (entry[_U], entry[_V])
+            for entry in self._entries
+            if not entry[_DEAD]
+        ]
+
+    # ------------------------------------------------------------------
+    # Snapshot protocol
+    # ------------------------------------------------------------------
+    def state_to_dict(self) -> Dict[str, Any]:
+        """JSON-ready state: live entries in arrival order.
+
+        Tombstoned entries are unobservable (every operation skips
+        them), so they are compacted away rather than serialised.
+        """
+        return {
+            "entries": [
+                [entry[_U], entry[_V], entry[_TIME]]
+                for entry in self._entries
+                if not entry[_DEAD]
+            ]
+        }
+
+    @classmethod
+    def from_state_dict(cls, state: Dict[str, Any]) -> "ExpiryRing":
+        """Rebuild a ring from :meth:`state_to_dict` output.
+
+        Accepts JSON round-tripped payloads (edge pairs arrive as
+        lists; they are re-tupled so membership checks keep working).
+        """
+        ring = cls()
+        for u, v, time in state["entries"]:
+            ring.push((u, v), float(time))
+        return ring
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ExpiryRing(live={len(self._live)})"

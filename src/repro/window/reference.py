@@ -1,0 +1,146 @@
+"""The window-expiry contract, as an executable reference.
+
+:func:`expand_window_stream` maps a windowed input stream to the
+*equivalent explicit fully dynamic stream*: the same elements with a
+synthesized deletion interleaved at the exact position each edge falls
+out of the window.  It is deliberately the dumbest possible
+implementation (a plain list scan, no ring, no batching) because it is
+the **specification** that :class:`repro.window.WindowedEstimator` is
+tested against: for any input, feeding an estimator through the
+windowed engine must be bit-identical to feeding the same estimator the
+expanded stream directly.
+
+The expansion rules, per input element ``e`` (see
+``docs/architecture.md`` for the prose contract):
+
+1. **Clock.**  When a time window is active, ``e`` must carry a
+   timestamp (:class:`~repro.types.TimedEdge`) and timestamps must be
+   non-decreasing; the clock advances to ``e.time`` before anything
+   else happens.
+2. **Time expiry.**  Emit a deletion for every live edge whose arrival
+   time is ``<= clock - window_time``, in arrival order.  An edge is
+   live for ``window_time`` units, *exclusive* of the instant it turns
+   that age.
+3. **Explicit deletion.**  If ``e`` deletes a live edge, the edge
+   leaves the window and the deletion is emitted.  Deleting an edge
+   that is not live (never inserted, already expired, or already
+   deleted) raises :class:`~repro.errors.StreamError` under
+   ``strict=True`` and is silently dropped otherwise — the edge is
+   already gone from the inner estimator's graph either way.
+4. **Count eviction.**  If ``e`` inserts while ``window`` edges are
+   live, deletions for the oldest live edges are emitted first, so the
+   window never holds more than ``window`` edges.
+5. **Insertion.**  Re-inserting an edge that is still live is a
+   multigraph, which the stream model excludes: always an error.
+   Otherwise the edge becomes live and ``e`` itself is emitted.
+
+>>> from repro.types import insertion
+>>> stream = [insertion(u, "v") for u in ("a", "b", "c")]
+>>> [str(e) for e in expand_window_stream(stream, window=2)]
+['(a, v, +)', '(b, v, +)', '(a, v, -)', '(c, v, +)']
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Optional, Tuple
+
+from repro.errors import StreamError
+from repro.types import Edge, StreamElement, deletion
+
+__all__ = ["expand_window_stream", "validate_window_params"]
+
+
+def validate_window_params(window: int, window_time: float) -> None:
+    """Reject window configurations the contract does not define.
+
+    Raises:
+        StreamError: when ``window`` is negative, ``window_time`` is
+            negative, or both are zero/disabled (nothing would ever
+            expire — use the estimator directly instead).
+    """
+    if window < 0:
+        raise StreamError(f"window must be >= 0, got {window}")
+    if window_time < 0:
+        raise StreamError(f"window_time must be >= 0, got {window_time}")
+    if window == 0 and window_time == 0:
+        raise StreamError(
+            "a windowed stream needs window >= 1 (count) and/or "
+            "window_time > 0 (time); both are disabled"
+        )
+
+
+def expand_window_stream(
+    elements: Iterable[StreamElement],
+    window: int = 0,
+    window_time: float = 0.0,
+    strict: bool = True,
+) -> Iterator[StreamElement]:
+    """Interleave expiry deletions into a windowed input stream.
+
+    Args:
+        elements: the windowed input (insertions, explicit deletions,
+            :class:`~repro.types.TimedEdge` when time-windowed).
+        window: count window — at most this many edges stay live
+            (0 disables).
+        window_time: time window — an edge stays live while its age is
+            strictly below this (0 disables).  Requires timestamps.
+        strict: raise on deletions of non-live edges instead of
+            dropping them.
+
+    Yields:
+        A valid explicit fully dynamic stream.
+
+    Raises:
+        StreamError: invalid window parameters, a missing/decreasing
+            timestamp under a time window, a duplicate-while-live
+            insertion, or (``strict`` only) a deletion of a non-live
+            edge.
+    """
+    validate_window_params(window, window_time)
+    live: List[Tuple[Edge, float]] = []  # (edge, arrival) in arrival order
+    clock: Optional[float] = None
+    for element in elements:
+        time = getattr(element, "time", None)
+        if window_time > 0:
+            if time is None:
+                raise StreamError(
+                    "a time window needs timestamped elements (TimedEdge); "
+                    f"got untimed {element}"
+                )
+            if clock is not None and time < clock:
+                raise StreamError(
+                    f"timestamps must be non-decreasing: {time} after {clock}"
+                )
+        if time is not None:
+            clock = time
+        if window_time > 0:
+            cutoff = clock - window_time
+            while live and live[0][1] <= cutoff:
+                expired, _ = live.pop(0)
+                yield deletion(*expired)
+        edge = element.edge
+        position = next(
+            (i for i, (held, _) in enumerate(live) if held == edge), None
+        )
+        if element.is_deletion:
+            if position is None:
+                if strict:
+                    raise StreamError(
+                        f"deletion of edge {edge!r} which is not live in "
+                        "the window (never inserted, expired, or already "
+                        "deleted)"
+                    )
+                continue
+            live.pop(position)
+            yield element
+            continue
+        if position is not None:
+            raise StreamError(
+                f"edge {edge!r} re-inserted while still live in the window"
+            )
+        if window > 0:
+            while len(live) >= window:
+                evicted, _ = live.pop(0)
+                yield deletion(*evicted)
+        live.append((edge, time if time is not None else 0.0))
+        yield element

@@ -7,8 +7,6 @@ The freshness test is the tier-1 twin of CI's
 
 import pathlib
 
-import pytest
-
 from repro.api.docgen import DEFAULT_PATH, main, render_markdown
 from repro.api.registry import registered_estimators
 

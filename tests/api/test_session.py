@@ -158,7 +158,9 @@ class TestObservers:
     def test_on_estimate_change_min_delta(self):
         with open_session("exact") as session:
             big = []
-            session.on_estimate_change(lambda d, s: big.append(d), min_delta=2.0)
+            session.on_estimate_change(
+                lambda d, s: big.append(d), min_delta=2.0
+            )
             for left in ("a", "b", "c"):
                 for right in ("x", "y"):
                     session.ingest(insertion(left, right))

@@ -32,7 +32,9 @@ PARABACUS = "parabacus:budget=400,seed=3,batch_size=170"
 
 def _stream(n_edges=900, seed=31, alpha=0.3):
     edges = bipartite_erdos_renyi(45, 45, n_edges, random.Random(seed))
-    return list(make_fully_dynamic(edges, alpha=alpha, rng=random.Random(seed + 1)))
+    return list(
+        make_fully_dynamic(edges, alpha=alpha, rng=random.Random(seed + 1))
+    )
 
 
 def _trace_run(spec, stream, batch_size, every=None, at=None):
@@ -84,8 +86,12 @@ def test_explicit_marks_fire_at_identical_offsets(spec):
 
 def test_combined_every_and_marks_split_chunks_correctly():
     stream = _stream()
-    reference = _trace_run(ABACUS, stream, batch_size=1, every=64, at=[10, 100])
-    batched = _trace_run(ABACUS, stream, batch_size=500, every=64, at=[10, 100])
+    reference = _trace_run(
+        ABACUS, stream, batch_size=1, every=64, at=[10, 100]
+    )
+    batched = _trace_run(
+        ABACUS, stream, batch_size=500, every=64, at=[10, 100]
+    )
     _assert_same_run(batched, reference)
 
 

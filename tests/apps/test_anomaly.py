@@ -9,7 +9,6 @@ from repro.core.exact import ExactStreamingCounter
 from repro.core.abacus import Abacus
 from repro.errors import ExperimentError
 from repro.graph.generators import bipartite_erdos_renyi
-from repro.streams.dynamic import stream_from_edges
 from repro.types import insertion
 
 

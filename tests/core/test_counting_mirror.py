@@ -13,7 +13,11 @@ import random
 
 import pytest
 
-from repro.core.counting import VECTOR_CUTOFF, count_with_mirror, count_with_sample
+from repro.core.counting import (
+    VECTOR_CUTOFF,
+    count_with_mirror,
+    count_with_sample,
+)
 from repro.sampling.adjacency_sample import GraphSample
 from repro.sampling.ndadjacency import NUMPY_AVAILABLE, NdAdjacency
 

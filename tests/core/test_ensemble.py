@@ -10,7 +10,7 @@ from repro.core.ensemble import EnsembleEstimator
 from repro.errors import EstimatorError
 from repro.experiments.runner import ground_truth_final_count
 from repro.graph.generators import bipartite_erdos_renyi
-from repro.streams.dynamic import make_fully_dynamic, stream_from_edges
+from repro.streams.dynamic import make_fully_dynamic
 from repro.types import insertion
 
 

@@ -1,8 +1,6 @@
 """Unit tests for PARABACUS — above all, Theorem 5's exact equivalence
 with ABACUS under a shared RNG seed."""
 
-import random
-
 import pytest
 
 from repro.core.abacus import Abacus

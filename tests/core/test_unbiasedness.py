@@ -86,7 +86,6 @@ class TestVarianceBound:
         rng = random.Random(54)
         edges = bipartite_erdos_renyi(60, 40, 600, rng)
         stream = stream_from_edges(edges)
-        truth = ground_truth_final_count(stream)
         estimates = _run_trials(stream, budget=150, trials=200)
         mean, _, variance = _mean_and_se(estimates)
         stdev = math.sqrt(variance)

@@ -79,3 +79,62 @@ class TestChartFlag:
             "lineage", 1, None, 4, ExperimentContext()
         )
         assert "ThinkD" in report and "TriestFD" in report
+
+
+class TestWindowFlags:
+    def test_parser_accepts_window_flags(self):
+        args = build_parser().parse_args(
+            ["stream", "--window", "500", "--window-time", "2.5"]
+        )
+        assert args.window == 500
+        assert args.window_time == 2.5
+
+    def test_parser_window_defaults_off(self):
+        args = build_parser().parse_args(["stream"])
+        assert args.window == 0
+        assert args.window_time == 0.0
+
+    def test_stream_with_count_window(self, tiny_registry):
+        report = run_experiment(
+            "stream",
+            1,
+            tiny_registry,
+            4,
+            ExperimentContext(),
+            estimator_spec="abacus:budget=200,seed=7",
+            window=300,
+        )
+        assert "[window=300]" in report
+        assert "exact (no window)" in report
+
+    def test_stream_with_time_window(self, tiny_registry):
+        report = run_experiment(
+            "stream",
+            1,
+            tiny_registry,
+            4,
+            ExperimentContext(),
+            estimator_spec="exact",
+            window_time=250.0,
+        )
+        assert "[window_time=250]" in report
+
+    def test_windowed_stream_counts_fewer_than_unwindowed(
+        self, tiny_registry
+    ):
+        ctx = ExperimentContext()
+        full = run_experiment(
+            "stream", 1, tiny_registry, 4, ctx, estimator_spec="exact"
+        )
+        windowed = run_experiment(
+            "stream", 1, tiny_registry, 4, ctx, estimator_spec="exact",
+            window=50,
+        )
+
+        def estimate_of(report):
+            for line in report.splitlines():
+                if line.strip().startswith("estimate"):
+                    return float(line.split(":")[1].replace(",", ""))
+            raise AssertionError(report)
+
+        assert estimate_of(windowed) <= estimate_of(full)

@@ -3,8 +3,6 @@
 import math
 import random
 
-import pytest
-
 from repro.graph.bipartite import BipartiteGraph
 from repro.graph.butterflies import (
     butterflies_containing_edge,

@@ -66,7 +66,9 @@ class TestAbCore:
         assert ab_core(g, 2, 2).num_edges == 0
 
     def test_core_satisfies_constraints(self):
-        g = BipartiteGraph(bipartite_erdos_renyi(20, 20, 60, rng=random.Random(0)))
+        g = BipartiteGraph(
+            bipartite_erdos_renyi(20, 20, 60, rng=random.Random(0))
+        )
         core = ab_core(g, 2, 3)
         for u in core.left_vertices():
             assert core.degree(u) >= 2
@@ -75,7 +77,9 @@ class TestAbCore:
 
     @pytest.mark.parametrize("alpha,beta", [(1, 1), (2, 2), (3, 2)])
     def test_matches_brute_force(self, alpha, beta):
-        g = BipartiteGraph(bipartite_erdos_renyi(18, 15, 55, rng=random.Random(1)))
+        g = BipartiteGraph(
+            bipartite_erdos_renyi(18, 15, 55, rng=random.Random(1))
+        )
         fast = ab_core(g, alpha, beta)
         slow = _core_brute_force(g, alpha, beta)
         assert set(fast.edges()) == set(slow.edges())
@@ -87,13 +91,17 @@ class TestAbCore:
         assert g.num_edges == before
 
     def test_internal_consistency(self):
-        g = BipartiteGraph(bipartite_erdos_renyi(25, 25, 65, rng=random.Random(2)))
+        g = BipartiteGraph(
+            bipartite_erdos_renyi(25, 25, 65, rng=random.Random(2))
+        )
         core = ab_core(g, 2, 2)
         ok, reason = validate_bipartite(core)
         assert ok, reason
 
     def test_cores_are_nested(self):
-        g = BipartiteGraph(bipartite_erdos_renyi(20, 20, 100, rng=random.Random(3)))
+        g = BipartiteGraph(
+            bipartite_erdos_renyi(20, 20, 100, rng=random.Random(3))
+        )
         inner = set(ab_core(g, 3, 3).edges())
         outer = set(ab_core(g, 2, 2).edges())
         assert inner <= outer
@@ -117,7 +125,9 @@ class TestCoreNumbers:
             alpha_beta_core_numbers(BipartiteGraph(), alpha=0)
 
     def test_numbers_consistent_with_core_membership(self):
-        g = BipartiteGraph(bipartite_erdos_renyi(15, 15, 55, rng=random.Random(4)))
+        g = BipartiteGraph(
+            bipartite_erdos_renyi(15, 15, 55, rng=random.Random(4))
+        )
         alpha = 2
         numbers = alpha_beta_core_numbers(g, alpha=alpha)
         for beta in (1, 2, 3):
@@ -133,7 +143,9 @@ class TestCoreNumbers:
 
 class TestButterflyPrefilter:
     def test_preserves_butterfly_count(self):
-        g = BipartiteGraph(bipartite_erdos_renyi(25, 25, 75, rng=random.Random(5)))
+        g = BipartiteGraph(
+            bipartite_erdos_renyi(25, 25, 75, rng=random.Random(5))
+        )
         core = butterfly_core_prefilter(g)
         assert count_butterflies(core) == count_butterflies(g)
 

@@ -82,13 +82,17 @@ class TestTipDecomposition:
         assert all(tips[f"l{i}"] > tips["weak"] for i in range(3))
 
     def test_every_vertex_assigned(self):
-        g = BipartiteGraph(bipartite_erdos_renyi(15, 12, 55, rng=random.Random(0)))
+        g = BipartiteGraph(
+            bipartite_erdos_renyi(15, 12, 55, rng=random.Random(0))
+        )
         tips = tip_decomposition(g, Side.LEFT)
         assert set(tips) == set(g.left_vertices())
 
     def test_monotone_against_k_tip(self):
         """tip number >= k  <=>  vertex survives in the k-tip."""
-        g = BipartiteGraph(bipartite_erdos_renyi(12, 12, 50, rng=random.Random(1)))
+        g = BipartiteGraph(
+            bipartite_erdos_renyi(12, 12, 50, rng=random.Random(1))
+        )
         tips = tip_decomposition(g, Side.LEFT)
         for k in (1, 2, 4):
             survivors = set(k_tip(g, k, Side.LEFT).left_vertices())
@@ -121,7 +125,9 @@ class TestKTip:
         assert k_tip(g, 0, Side.LEFT).num_edges == g.num_edges
 
     def test_result_satisfies_invariant(self):
-        g = BipartiteGraph(bipartite_erdos_renyi(14, 14, 60, rng=random.Random(2)))
+        g = BipartiteGraph(
+            bipartite_erdos_renyi(14, 14, 60, rng=random.Random(2))
+        )
         k = 3
         core = k_tip(g, k, Side.LEFT)
         if core.num_edges:
@@ -131,7 +137,9 @@ class TestKTip:
     def test_maximality(self):
         """No peeled vertex could have survived: re-adding any single
         peeled vertex's edges leaves it under-supported."""
-        g = BipartiteGraph(bipartite_erdos_renyi(12, 12, 50, rng=random.Random(3)))
+        g = BipartiteGraph(
+            bipartite_erdos_renyi(12, 12, 50, rng=random.Random(3))
+        )
         k = 2
         core = k_tip(g, k, Side.LEFT)
         survivors = set(core.left_vertices())

@@ -81,6 +81,11 @@ def _build(name):
         params["seed"] = SEED
     if "budget" in registration.param_names:
         params["budget"] = 300
+    if name == "windowed":
+        # A count window short enough that every stream shape triggers
+        # evictions, so the conformance matrix exercises the expiry
+        # path, not just the pass-through.
+        params["window"] = 200
     return build_estimator(name, **params)
 
 
@@ -112,15 +117,17 @@ def _assert_identical(name, reference, candidate, context):
 
 def test_registry_declares_batch_estimators():
     """The fast-path roster is explicit; growing it extends this suite."""
-    # "sharded" wraps registry estimators (abacus by default here), so
-    # listing it runs the whole conformance matrix through the sharded
-    # fan-out path too — partitioned chunking must stay observably
-    # equivalent to per-element routing.
+    # "sharded" and "windowed" wrap registry estimators (abacus by
+    # default here), so listing them runs the whole conformance matrix
+    # through the sharded fan-out and window-expiry paths too —
+    # partitioned chunking and synthesized expiry deletions must stay
+    # observably equivalent to per-element routing.
     assert set(_batch_estimators()) == {
         "abacus",
         "parabacus",
         "exact",
         "sharded",
+        "windowed",
     }
 
 

@@ -1,7 +1,5 @@
 """Property-based tests for the graph substrate (hypothesis)."""
 
-import random
-
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -25,7 +25,7 @@ from repro.streams.transform import (
     relabeled,
     sanitized,
 )
-from repro.types import Op, StreamElement, deletion, insertion
+from repro.types import deletion, insertion
 
 edge_lists = st.lists(
     st.tuples(st.integers(0, 15), st.integers(100, 112)),

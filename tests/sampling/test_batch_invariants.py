@@ -38,7 +38,9 @@ WORKLOAD_SEEDS = (11, 29, 47)
 def _workload(seed, alpha=0.3, n_edges=800):
     """~1k-operation random fully dynamic stream."""
     edges = bipartite_erdos_renyi(50, 50, n_edges, random.Random(seed))
-    return list(make_fully_dynamic(edges, alpha=alpha, rng=random.Random(seed + 1)))
+    return list(
+        make_fully_dynamic(edges, alpha=alpha, rng=random.Random(seed + 1))
+    )
 
 
 # ----------------------------------------------------------------------
@@ -183,7 +185,11 @@ def test_rp_mutation_log_replays_the_sample(seed):
 @pytest.mark.parametrize("seed", WORKLOAD_SEEDS)
 @pytest.mark.parametrize(
     "spec",
-    ["abacus:budget=64,seed=2", "parabacus:budget=64,seed=2,batch_size=100", "exact"],
+    [
+        "abacus:budget=64,seed=2",
+        "parabacus:budget=64,seed=2,batch_size=100",
+        "exact",
+    ],
 )
 def test_memory_edges_agrees_with_stored_edges(seed, spec):
     estimator = build_estimator(spec)

@@ -34,7 +34,11 @@ def _run(backend, stream, *, spec=SPEC, shards=3, chunk=None):
         for start in range(0, len(stream), chunk):
             engine.process_batch(stream[start : start + chunk])
     engine.flush()
-    result = (engine.estimate, engine.shard_estimates(), engine.state_to_dict())
+    result = (
+        engine.estimate,
+        engine.shard_estimates(),
+        engine.state_to_dict(),
+    )
     engine.close()
     return result
 
@@ -46,7 +50,9 @@ class TestBackendEquivalence:
             other_estimate, other_shards, other_state = _run(backend, stream)
             assert other_estimate == estimate, backend
             assert other_shards == shard_estimates, backend
-            assert other_state["shard_states"] == state["shard_states"], backend
+            assert (
+                other_state["shard_states"] == state["shard_states"]
+            ), backend
 
     def test_chunking_does_not_matter(self, stream):
         whole = _run("process", stream)
@@ -129,7 +135,14 @@ class TestProcessBackendLifecycle:
         for element in [insertion(i, i + 100) for i in range(50)]:
             original.process(element)
         backend = ProcessBackend(
-            [{"restore": {"name": "abacus", "state": original.state_to_dict()}}]
+            [
+                {
+                    "restore": {
+                        "name": "abacus",
+                        "state": original.state_to_dict(),
+                    }
+                }
+            ]
         )
         assert backend.metrics()[0][0] == original.estimate
         assert backend.states()[0] == original.state_to_dict()

@@ -186,12 +186,18 @@ class TestEngineBehavior:
             engine.process_batch(dynamic_stream)
 
     @pytest.mark.parametrize("backend", ["serial", "process"])
-    def test_estimate_stays_readable_after_close(self, dynamic_stream, backend):
+    def test_estimate_stays_readable_after_close(
+        self, dynamic_stream, backend
+    ):
         """Every backend must answer estimate/memory_edges post-close
         with the closing values (process workers are gone by then)."""
         engine = ShardedEstimator("exact", shards=2, backend=backend)
         engine.process_batch(dynamic_stream)
-        final = (engine.estimate, engine.shard_estimates(), engine.memory_edges)
+        final = (
+            engine.estimate,
+            engine.shard_estimates(),
+            engine.memory_edges,
+        )
         engine.close()
         assert (
             engine.estimate,

@@ -147,14 +147,19 @@ class TestBalancedPartitioner:
     def test_state_round_trip_preserves_routing(self):
         p = BalancedPartitioner(3)
         rng = random.Random(1)
-        stream = [insertion(rng.randrange(30), rng.randrange(30)) for _ in range(200)]
+        stream = [
+            insertion(rng.randrange(30), rng.randrange(30))
+            for _ in range(200)
+        ]
         routed = [p.assign(e) for e in stream[:100]]
         restored = partitioner_from_state(p.state_to_dict())
         assert restored.loads == p.loads
         assert restored.assignment == p.assignment
         # Both continue identically, including for unseen vertices.
         tail = stream[100:]
-        assert [restored.assign(e) for e in tail] == [p.assign(e) for e in tail]
+        assert [restored.assign(e) for e in tail] == [
+            p.assign(e) for e in tail
+        ]
         assert routed  # sanity: the prefix actually exercised assignment
 
 

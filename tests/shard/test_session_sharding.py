@@ -62,7 +62,7 @@ class TestOpenSession:
     def test_sharding_options_rejected_for_instances(self):
         from repro.api.registry import build_estimator
 
-        with pytest.raises(SpecError, match="sharding options"):
+        with pytest.raises(SpecError, match="sharding/windowing options"):
             open_session(build_estimator("exact"), shards=2)
 
     def test_session_close_shuts_down_workers(self, stream):

@@ -106,7 +106,10 @@ class TestReinsertions:
     def test_contract_valid(self):
         for seed in range(5):
             stream = interleave_reinsertions(
-                EDGES, alpha=0.4, reinsert_fraction=0.5, rng=random.Random(seed)
+                EDGES,
+                alpha=0.4,
+                reinsert_fraction=0.5,
+                rng=random.Random(seed),
             )
             validate_stream(stream)
 

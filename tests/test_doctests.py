@@ -1,8 +1,9 @@
 """Tier-1 doctest lane for the public API surface.
 
 CI runs the same examples via ``pytest --doctest-modules src/repro/api
-src/repro/shard``; this lane keeps them green inside the ordinary test
-run, so a broken docstring example fails fast everywhere.
+src/repro/shard src/repro/window``; this lane keeps them green inside
+the ordinary test run, so a broken docstring example fails fast
+everywhere.
 """
 
 import doctest
@@ -15,6 +16,10 @@ import repro.api.session
 import repro.core.base
 import repro.shard.engine
 import repro.shard.partition
+import repro.types
+import repro.window.engine
+import repro.window.expiry
+import repro.window.reference
 
 MODULES = [
     repro.api.docgen,
@@ -23,6 +28,10 @@ MODULES = [
     repro.core.base,
     repro.shard.engine,
     repro.shard.partition,
+    repro.types,
+    repro.window.engine,
+    repro.window.expiry,
+    repro.window.reference,
 ]
 
 

@@ -119,7 +119,9 @@ class TestParabacusPipeline:
         _, stream = workload
         reference = Abacus(700, seed=21).process_stream(stream)
         for batch_size in (64, 777):
-            para = Parabacus(700, batch_size=batch_size, num_threads=5, seed=21)
+            para = Parabacus(
+                700, batch_size=batch_size, num_threads=5, seed=21
+            )
             para.process_stream(stream)
             para.flush()
             assert para.estimate == pytest.approx(reference, rel=1e-12)

@@ -12,7 +12,16 @@ from repro.errors import (
     SamplingError,
     StreamError,
 )
-from repro.types import Op, Side, StreamElement, deletion, insertion
+from repro.types import (
+    Op,
+    Side,
+    StreamElement,
+    TimedEdge,
+    deletion,
+    insertion,
+    timed_deletion,
+    timed_insertion,
+)
 
 
 class TestOp:
@@ -63,6 +72,37 @@ class TestStreamElement:
         assert insertion(1, 2) == insertion(1, 2)
         assert insertion(1, 2) != deletion(1, 2)
         assert len({insertion(1, 2), insertion(1, 2)}) == 1
+
+
+class TestTimedEdge:
+    def test_is_a_stream_element(self):
+        element = timed_insertion("u", "v", 3.5)
+        assert isinstance(element, StreamElement)
+        assert element.edge == ("u", "v")
+        assert element.is_insertion
+        assert element.time == 3.5
+
+    def test_constructors(self):
+        assert timed_insertion(1, 2, 0.5).op is Op.INSERT
+        assert timed_deletion(1, 2, 0.5).op is Op.DELETE
+
+    def test_frozen_and_hashable(self):
+        element = TimedEdge("u", "v", Op.INSERT, 1.0)
+        with pytest.raises(AttributeError):
+            element.time = 2.0
+        assert element == TimedEdge("u", "v", Op.INSERT, 1.0)
+        assert element != TimedEdge("u", "v", Op.INSERT, 2.0)
+
+    def test_equality_distinguishes_from_untimed(self):
+        # A timestamp is part of identity; a plain element has none.
+        assert timed_insertion("u", "v", 0.0) != insertion("u", "v")
+
+    def test_inverted_preserves_type_and_timestamp(self):
+        element = timed_insertion("u", "v", 4.5)
+        undone = element.inverted()
+        assert isinstance(undone, TimedEdge)
+        assert undone == timed_deletion("u", "v", 4.5)
+        assert undone.inverted() == element
 
 
 class TestErrorHierarchy:

@@ -1,0 +1,174 @@
+"""Unit tests for the pending-expiry ring."""
+
+import json
+import random
+
+import pytest
+
+from repro.window.expiry import ExpiryRing
+
+
+@pytest.fixture
+def ring():
+    r = ExpiryRing()
+    for index in range(5):
+        r.push((index, 100 + index), float(index))
+    return r
+
+
+class TestBasics:
+    def test_len_and_contains(self, ring):
+        assert len(ring) == 5
+        assert (0, 100) in ring
+        assert (9, 109) not in ring
+
+    def test_push_preserves_arrival_order(self, ring):
+        assert ring.live_edges() == [(i, 100 + i) for i in range(5)]
+
+    def test_oldest_time(self, ring):
+        assert ring.oldest_time() == 0.0
+        assert ExpiryRing().oldest_time() is None
+
+
+class TestTimeExpiry:
+    def test_expires_inclusive_cutoff_in_arrival_order(self, ring):
+        assert list(ring.expire_older_than(2.0)) == [
+            (0, 100),
+            (1, 101),
+            (2, 102),
+        ]
+        assert len(ring) == 2
+
+    def test_expire_nothing_below_oldest(self, ring):
+        assert list(ring.expire_older_than(-1.0)) == []
+        assert len(ring) == 5
+
+    def test_expire_everything(self, ring):
+        assert len(list(ring.expire_older_than(100.0))) == 5
+        assert len(ring) == 0
+        assert ring.oldest_time() is None
+
+
+class TestCountEviction:
+    def test_evicts_oldest_down_to_capacity(self, ring):
+        assert list(ring.evict_over_capacity(2)) == [
+            (0, 100),
+            (1, 101),
+            (2, 102),
+        ]
+        assert len(ring) == 2
+        assert ring.live_edges() == [(3, 103), (4, 104)]
+
+    def test_capacity_already_satisfied(self, ring):
+        assert list(ring.evict_over_capacity(5)) == []
+        assert list(ring.evict_over_capacity(9)) == []
+
+
+class TestTombstones:
+    def test_remove_marks_dead_without_scanning(self, ring):
+        assert ring.remove((2, 102))
+        assert len(ring) == 4
+        assert (2, 102) not in ring
+        assert ring.live_edges() == [(0, 100), (1, 101), (3, 103), (4, 104)]
+
+    def test_remove_missing_is_false(self, ring):
+        assert not ring.remove(("nope", "nothing"))
+        assert len(ring) == 5
+
+    def test_expiry_skips_tombstones(self, ring):
+        ring.remove((0, 100))
+        ring.remove((2, 102))
+        assert list(ring.expire_older_than(3.0)) == [(1, 101), (3, 103)]
+        assert ring.live_edges() == [(4, 104)]
+
+    def test_eviction_skips_tombstones(self, ring):
+        ring.remove((1, 101))
+        assert list(ring.evict_over_capacity(2)) == [(0, 100), (2, 102)]
+        assert ring.live_edges() == [(3, 103), (4, 104)]
+
+    def test_oldest_time_skips_tombstones(self, ring):
+        ring.remove((0, 100))
+        assert ring.oldest_time() == 1.0
+
+
+class TestSnapshot:
+    def test_round_trip_compacts_tombstones(self, ring):
+        ring.remove((1, 101))
+        state = json.loads(json.dumps(ring.state_to_dict()))
+        restored = ExpiryRing.from_state_dict(state)
+        assert restored.live_edges() == ring.live_edges()
+        assert len(restored) == len(ring)
+        # Restored entries are proper tuples again after JSON listifies.
+        assert (0, 100) in restored
+
+    def test_empty_round_trip(self):
+        restored = ExpiryRing.from_state_dict(ExpiryRing().state_to_dict())
+        assert len(restored) == 0
+
+
+class TestTombstoneBounds:
+    def test_deletion_heavy_traffic_keeps_buffer_compact(self):
+        """Tombstones never accumulate past the live count.
+
+        Insert/delete pairs with no expiry in sight (the count-only
+        window, deletion-heavy regime) must leave the deque O(live),
+        not O(total insertions).
+        """
+        ring = ExpiryRing()
+        for index in range(5000):
+            edge = (index, 10_000 + index)
+            ring.push(edge, float(index))
+            assert ring.remove(edge)
+            assert len(ring._entries) <= 2 * len(ring) + 1
+        assert len(ring) == 0
+        assert len(ring._entries) == 0
+
+    def test_interleaved_removals_stay_bounded_and_ordered(self):
+        rng = random.Random(3)
+        ring = ExpiryRing()
+        model = []
+        for index in range(4000):
+            edge = (index, 10_000 + index)
+            ring.push(edge, float(index))
+            model.append(edge)
+            if model and rng.random() < 0.7:
+                victim = model.pop(rng.randrange(len(model)))
+                assert ring.remove(victim)
+            assert len(ring._entries) <= 2 * len(ring) + 1
+        assert ring.live_edges() == model
+
+
+class TestRandomisedConsistency:
+    def test_mixed_workload_against_model(self):
+        """Ring behaviour matches a brute-force list model over 2k ops."""
+        rng = random.Random(7)
+        ring = ExpiryRing()
+        model = []  # (edge, time) live, arrival order
+        clock = 0.0
+        next_id = 0
+        for _ in range(2000):
+            op = rng.random()
+            if op < 0.5 or not model:
+                clock += rng.random()
+                edge = (next_id, 10_000 + next_id)
+                next_id += 1
+                ring.push(edge, clock)
+                model.append((edge, clock))
+            elif op < 0.7:
+                edge = rng.choice(model)[0]
+                assert ring.remove(edge)
+                model = [(e, t) for e, t in model if e != edge]
+            elif op < 0.85:
+                cutoff = clock - rng.random() * 3
+                expired = list(ring.expire_older_than(cutoff))
+                expected = [e for e, t in model if t <= cutoff]
+                model = [(e, t) for e, t in model if t > cutoff]
+                assert expired == expected
+            else:
+                capacity = rng.randrange(0, len(model) + 2)
+                evicted = list(ring.evict_over_capacity(capacity))
+                overflow = max(0, len(model) - capacity)
+                assert evicted == [e for e, _ in model[:overflow]]
+                model = model[overflow:]
+            assert len(ring) == len(model)
+        assert ring.live_edges() == [e for e, _ in model]

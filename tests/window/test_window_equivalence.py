@@ -1,0 +1,278 @@
+"""The window-equivalence contract, property-tested.
+
+The load-bearing guarantee of :mod:`repro.window` (ISSUE 4 acceptance):
+for any input stream and any window configuration, the windowed
+estimator is **bit-identical** — estimate *and* complete
+``state_to_dict()`` — to running the wrapped estimator over the
+explicit insert+delete stream produced by the reference expansion
+:func:`repro.window.reference.expand_window_stream`.  That must hold
+
+* for the element path and every ragged batch split (the batched
+  expiry path piggybacks on ``process_batch``),
+* across stream shapes: insert-only, fully dynamic with explicit
+  deletions, timestamped, and combined count+time windows,
+* through a snapshot/restore cut anywhere mid-window.
+
+Everything here drives ABACUS inners (seeded, snapshot-capable, with
+the vectorized batch kernel behind ``process_batch``), so the property
+also covers the interaction between expiry synthesis and the PR-2 fast
+path.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.api import build_estimator
+from repro.streams.dynamic import make_fully_dynamic
+from repro.types import TimedEdge, deletion, insertion
+from repro.window import WindowedEstimator, expand_window_stream
+
+BUDGET = 60
+
+
+def _inner(seed):
+    return build_estimator(f"abacus:budget={BUDGET},seed={seed}")
+
+
+def _windowed(seed, window, window_time):
+    return WindowedEstimator(
+        f"abacus:budget={BUDGET},seed={seed}",
+        window=window,
+        window_time=window_time,
+    )
+
+
+def _replay_reference(seed, stream, window, window_time):
+    """The specification: the inner estimator over the expanded stream."""
+    reference = _inner(seed)
+    for element in expand_window_stream(
+        stream, window=window, window_time=window_time, strict=False
+    ):
+        reference.process(element)
+    return reference
+
+
+def _ragged_splits(n, rng):
+    splits = []
+    position = 0
+    while position < n:
+        size = min(rng.choice([1, 2, 3, 7, 16, 64]), n - position)
+        splits.append(size)
+        position += size
+    return splits
+
+
+# ----------------------------------------------------------------------
+# Stream strategies
+# ----------------------------------------------------------------------
+edge_lists = st.lists(
+    st.tuples(st.integers(0, 10), st.integers(100, 110)),
+    unique=True,
+    min_size=4,
+    max_size=60,
+)
+
+#: (edges, alpha, stream seed) — expanded into a fully dynamic stream
+#: whose deletions may target edges the window already expired (the
+#: lenient-drop path), exactly the hard case for equivalence.
+dynamic_params = st.tuples(
+    edge_lists, st.floats(0.0, 0.8), st.integers(0, 2**31)
+)
+
+count_windows = st.integers(1, 30)
+time_windows = st.floats(0.25, 12.0)
+
+
+def _dynamic_stream(params):
+    edges, alpha, stream_seed = params
+    return list(make_fully_dynamic(edges, alpha, random.Random(stream_seed)))
+
+
+def _timed_stream(params, max_dt=2.0):
+    """Stamp a dynamic stream with non-decreasing pseudo-timestamps."""
+    stream = _dynamic_stream(params)
+    rng = random.Random(params[2] ^ 0x5EED)
+    clock = 0.0
+    timed = []
+    for element in stream:
+        clock += rng.random() * max_dt
+        timed.append(TimedEdge(element.u, element.v, element.op, clock))
+    return timed
+
+
+# ----------------------------------------------------------------------
+# Element path
+# ----------------------------------------------------------------------
+@given(dynamic_params, count_windows, st.integers(0, 2**31))
+@settings(max_examples=60, deadline=None)
+def test_count_window_elementwise_is_bit_identical(params, window, seed):
+    stream = _dynamic_stream(params)
+    engine = _windowed(seed, window, 0.0)
+    for element in stream:
+        engine.process(element)
+    reference = _replay_reference(seed, stream, window, 0.0)
+    assert engine.estimate == reference.estimate
+    assert engine.inner.state_to_dict() == reference.state_to_dict()
+
+
+@given(dynamic_params, time_windows, st.integers(0, 2**31))
+@settings(max_examples=40, deadline=None)
+def test_time_window_elementwise_is_bit_identical(params, horizon, seed):
+    stream = _timed_stream(params)
+    engine = _windowed(seed, 0, horizon)
+    for element in stream:
+        engine.process(element)
+    reference = _replay_reference(seed, stream, 0, horizon)
+    assert engine.estimate == reference.estimate
+    assert engine.inner.state_to_dict() == reference.state_to_dict()
+
+
+@given(dynamic_params, count_windows, time_windows, st.integers(0, 2**31))
+@settings(max_examples=30, deadline=None)
+def test_combined_windows_elementwise_is_bit_identical(
+    params, window, horizon, seed
+):
+    stream = _timed_stream(params)
+    engine = _windowed(seed, window, horizon)
+    for element in stream:
+        engine.process(element)
+    reference = _replay_reference(seed, stream, window, horizon)
+    assert engine.estimate == reference.estimate
+    assert engine.inner.state_to_dict() == reference.state_to_dict()
+
+
+# ----------------------------------------------------------------------
+# Batched path — ragged splits
+# ----------------------------------------------------------------------
+@given(
+    dynamic_params,
+    count_windows,
+    st.integers(0, 2**31),
+    st.integers(0, 2**31),
+)
+@settings(max_examples=60, deadline=None)
+def test_ragged_batches_match_reference_and_element_path(
+    params, window, seed, split_seed
+):
+    stream = _dynamic_stream(params)
+    batched = _windowed(seed, window, 0.0)
+    position = 0
+    for size in _ragged_splits(len(stream), random.Random(split_seed)):
+        batched.process_batch(stream[position : position + size])
+        position += size
+    elementwise = _windowed(seed, window, 0.0)
+    for element in stream:
+        elementwise.process(element)
+    reference = _replay_reference(seed, stream, window, 0.0)
+    assert batched.estimate == reference.estimate
+    assert batched.state_to_dict() == elementwise.state_to_dict()
+    assert batched.inner.state_to_dict() == reference.state_to_dict()
+
+
+@given(
+    dynamic_params,
+    time_windows,
+    st.integers(0, 2**31),
+    st.integers(0, 2**31),
+)
+@settings(max_examples=30, deadline=None)
+def test_timed_ragged_batches_match_reference(
+    params, horizon, seed, split_seed
+):
+    stream = _timed_stream(params)
+    batched = _windowed(seed, 0, horizon)
+    position = 0
+    for size in _ragged_splits(len(stream), random.Random(split_seed)):
+        batched.process_batch(stream[position : position + size])
+        position += size
+    reference = _replay_reference(seed, stream, 0, horizon)
+    assert batched.estimate == reference.estimate
+    assert batched.inner.state_to_dict() == reference.state_to_dict()
+
+
+# ----------------------------------------------------------------------
+# Mid-window snapshot / restore
+# ----------------------------------------------------------------------
+@given(
+    dynamic_params,
+    count_windows,
+    st.integers(0, 2**31),
+    st.floats(0.1, 0.9),
+)
+@settings(max_examples=40, deadline=None)
+def test_mid_window_snapshot_restore_is_bit_identical(
+    params, window, seed, cut_fraction
+):
+    stream = _dynamic_stream(params)
+    cut = max(1, int(len(stream) * cut_fraction))
+    uninterrupted = _windowed(seed, window, 0.0)
+    for element in stream:
+        uninterrupted.process(element)
+
+    engine = _windowed(seed, window, 0.0)
+    for element in stream[:cut]:
+        engine.process(element)
+    snapshot = json.loads(json.dumps(engine.state_to_dict()))
+    restored = WindowedEstimator.from_state_dict(snapshot)
+    position = cut
+    for size in _ragged_splits(len(stream) - cut, random.Random(seed)):
+        restored.process_batch(stream[position : position + size])
+        position += size
+    assert restored.estimate == uninterrupted.estimate
+    assert restored.state_to_dict() == uninterrupted.state_to_dict()
+
+
+@given(dynamic_params, time_windows, st.integers(0, 2**31))
+@settings(max_examples=20, deadline=None)
+def test_mid_window_snapshot_restore_timed(params, horizon, seed):
+    stream = _timed_stream(params)
+    cut = len(stream) // 2 or 1
+    uninterrupted = _windowed(seed, 0, horizon)
+    for element in stream:
+        uninterrupted.process(element)
+    engine = _windowed(seed, 0, horizon)
+    for element in stream[:cut]:
+        engine.process(element)
+    restored = WindowedEstimator.from_state_dict(
+        json.loads(json.dumps(engine.state_to_dict()))
+    )
+    for element in stream[cut:]:
+        restored.process(element)
+    assert restored.estimate == uninterrupted.estimate
+    assert restored.state_to_dict() == uninterrupted.state_to_dict()
+
+
+# ----------------------------------------------------------------------
+# Reference sanity — the spec agrees with the legacy stream adapter
+# ----------------------------------------------------------------------
+@given(edge_lists, count_windows)
+@settings(max_examples=40, deadline=None)
+def test_reference_matches_legacy_sliding_window_adapter(edges, window):
+    """For insert-only input the expansion reproduces
+    :func:`repro.streams.window.sliding_window_stream` exactly."""
+    from repro.streams.window import sliding_window_stream
+
+    stream = [insertion(u, v) for u, v in edges]
+    assert list(expand_window_stream(stream, window=window)) == list(
+        sliding_window_stream(edges, window)
+    )
+
+
+def test_strict_mode_agreement():
+    """Engine and reference raise on the same strict violation."""
+    import pytest
+
+    from repro.errors import StreamError
+
+    stream = [insertion("a", "x"), insertion("b", "y"), deletion("a", "x")]
+    engine = WindowedEstimator("exact", window=1, strict=True)
+    with pytest.raises(StreamError):
+        for element in stream:
+            engine.process(element)
+    with pytest.raises(StreamError):
+        list(expand_window_stream(stream, window=1, strict=True))

@@ -1,0 +1,401 @@
+"""Unit tests for the sliding-window estimator engine."""
+
+import json
+import random
+
+import pytest
+
+from repro.api import (
+    build_estimator,
+    get_registration,
+    open_session,
+    parse_spec,
+)
+from repro.errors import EstimatorError, SpecError, StreamError
+from repro.graph.generators import bipartite_erdos_renyi
+from repro.streams.dynamic import stream_from_edges
+from repro.types import TimedEdge, deletion, insertion, timed_insertion
+from repro.window import WindowedEstimator
+
+BUTTERFLY = [
+    insertion("u1", "v1"),
+    insertion("u1", "v2"),
+    insertion("u2", "v1"),
+    insertion("u2", "v2"),
+]
+
+
+class TestConfigValidation:
+    def test_both_windows_disabled_raises(self):
+        with pytest.raises(SpecError):
+            WindowedEstimator("exact")
+
+    @pytest.mark.parametrize(
+        "kwargs", [{"window": -1}, {"window_time": -0.5}]
+    )
+    def test_negative_windows_raise(self, kwargs):
+        with pytest.raises(SpecError):
+            WindowedEstimator("exact", **kwargs)
+
+    def test_unknown_inner_raises(self):
+        with pytest.raises(SpecError):
+            WindowedEstimator("not_an_estimator", window=4)
+
+
+class TestCountWindow:
+    def test_window_keeps_butterfly(self):
+        engine = WindowedEstimator("exact", window=4)
+        engine.process_batch(BUTTERFLY)
+        assert engine.estimate == 1.0
+        assert engine.live_edges == 4
+
+    def test_eviction_forgets_butterfly(self):
+        engine = WindowedEstimator("exact", window=3)
+        engine.process_batch(BUTTERFLY)
+        # (u1, v1) was evicted before (u2, v2) arrived.
+        assert engine.estimate == 0.0
+        assert engine.live_edges == 3
+        assert engine.expired_count == 1
+
+    def test_window_never_exceeded(self):
+        engine = WindowedEstimator("exact", window=5)
+        for index in range(50):
+            engine.process(insertion(index, 1000 + index))
+            assert engine.live_edges <= 5
+        assert engine.expired_count == 45
+
+    def test_delta_includes_expiry_contribution(self):
+        engine = WindowedEstimator("exact", window=4)
+        engine.process_batch(BUTTERFLY)
+        # The fifth edge evicts (u1, v1), destroying the butterfly.
+        assert engine.process(insertion("u9", "v9")) == -1.0
+
+
+class TestTimeWindow:
+    def test_edges_expire_at_age(self):
+        engine = WindowedEstimator("exact", window_time=2.0)
+        engine.process(timed_insertion("u1", "v1", 0.0))
+        engine.process(timed_insertion("u1", "v2", 1.0))
+        assert engine.live_edges == 2
+        # Age of (u1, v1) reaches exactly 2.0 — inclusive expiry.
+        engine.process(timed_insertion("u2", "v1", 2.0))
+        assert engine.live_edges == 2
+        assert engine.expired_count == 1
+        assert engine.clock == 2.0
+
+    def test_untimed_element_rejected(self):
+        engine = WindowedEstimator("exact", window_time=1.0)
+        with pytest.raises(StreamError):
+            engine.process(insertion("u", "v"))
+
+    def test_decreasing_timestamps_rejected(self):
+        engine = WindowedEstimator("exact", window_time=1.0)
+        engine.process(timed_insertion("u", "v", 5.0))
+        with pytest.raises(StreamError):
+            engine.process(timed_insertion("u2", "v", 4.0))
+
+    def test_equal_timestamps_allowed(self):
+        engine = WindowedEstimator("exact", window_time=1.0)
+        engine.process(timed_insertion("u", "v", 5.0))
+        engine.process(timed_insertion("u2", "v", 5.0))
+        assert engine.live_edges == 2
+
+    def test_timed_deletion_advances_clock_and_expires(self):
+        engine = WindowedEstimator("exact", window_time=2.0, strict=True)
+        engine.process(timed_insertion("u1", "v1", 0.0))
+        engine.process(timed_insertion("u2", "v2", 1.0))
+        # The deletion's timestamp first expires (u1, v1), then the
+        # still-live (u2, v2) is deleted explicitly.
+        engine.process(TimedEdge("u2", "v2", deletion("u2", "v2").op, 2.5))
+        assert engine.live_edges == 0
+        assert engine.expired_count == 1
+
+    def test_combined_count_and_time_window(self):
+        engine = WindowedEstimator("exact", window=2, window_time=10.0)
+        for index in range(4):
+            engine.process(timed_insertion(index, 100 + index, float(index)))
+        assert engine.live_edges == 2  # count bound dominates
+        engine.process(timed_insertion(9, 109, 50.0))
+        assert engine.live_edges == 1  # time bound flushed the rest
+
+
+class TestExplicitDeletions:
+    def test_live_deletion_forwards_and_unbuffers(self):
+        engine = WindowedEstimator("exact", window=10)
+        engine.process_batch(BUTTERFLY)
+        assert engine.process(deletion("u2", "v2")) == -1.0
+        assert engine.live_edges == 3
+        assert engine.dropped_deletions == 0
+
+    def test_lenient_drop_of_non_live_deletion(self):
+        engine = WindowedEstimator("exact", window=10)
+        engine.process(insertion("u", "v"))
+        assert engine.process(deletion("ghost", "edge")) == 0.0
+        assert engine.dropped_deletions == 1
+        assert engine.estimate == 0.0
+
+    def test_strict_raises_on_non_live_deletion(self):
+        engine = WindowedEstimator("exact", window=10, strict=True)
+        engine.process(insertion("u", "v"))
+        with pytest.raises(StreamError):
+            engine.process(deletion("ghost", "edge"))
+
+    def test_strict_raises_on_expired_deletion(self):
+        engine = WindowedEstimator("exact", window=1, strict=True)
+        engine.process(insertion("a", "b"))
+        engine.process(insertion("c", "d"))  # expires ("a", "b")
+        with pytest.raises(StreamError):
+            engine.process(deletion("a", "b"))
+
+    def test_duplicate_live_insert_always_raises(self):
+        for strict in (False, True):
+            engine = WindowedEstimator("exact", window=10, strict=strict)
+            engine.process(insertion("u", "v"))
+            with pytest.raises(StreamError):
+                engine.process(insertion("u", "v"))
+
+    def test_reinsert_after_expiry_is_a_new_edge(self):
+        engine = WindowedEstimator("exact", window=1)
+        engine.process(insertion("a", "b"))
+        engine.process(insertion("c", "d"))
+        assert engine.process(insertion("a", "b")) == 0.0
+        assert engine.live_edges == 1
+
+
+class TestErrorPathConsistency:
+    """Contract violations must not desynchronise ring and inner state.
+
+    The engine must land in exactly the state of replaying the
+    reference expansion up to its raise point: pre-violation expansion
+    (earlier batch elements, triggered expiries) is forwarded, nothing
+    is half-applied.
+    """
+
+    def test_mid_batch_duplicate_forwards_prefix(self):
+        engine = WindowedEstimator("exact", window=10)
+        with pytest.raises(StreamError):
+            engine.process_batch(
+                [
+                    insertion("a", "b"),
+                    insertion("c", "d"),
+                    insertion("a", "b"),
+                ]
+            )
+        # The two valid inserts reached both the ring and the inner.
+        assert engine.live_edges == 2
+        assert engine.inner.memory_edges == 2
+        # The window keeps working: a legitimate deletion succeeds.
+        assert engine.process(deletion("a", "b")) == 0.0
+        assert engine.live_edges == 1
+
+    def test_strict_deletion_after_expiry_keeps_expiries_applied(self):
+        engine = WindowedEstimator("exact", window_time=2.0, strict=True)
+        engine.process_batch(
+            [
+                timed_insertion("u1", "v1", 0.0),
+                timed_insertion("u1", "v2", 0.1),
+                timed_insertion("u2", "v1", 0.2),
+                timed_insertion("u2", "v2", 0.3),
+            ]
+        )
+        assert engine.estimate == 1.0
+        # The timestamp expires all four live edges, then the deletion
+        # targets a non-live edge and raises — but the expiries stand.
+        ghost = TimedEdge("ghost", "edge", deletion("x", "y").op, 50.0)
+        with pytest.raises(StreamError):
+            engine.process(ghost)
+        assert engine.live_edges == 0
+        assert engine.inner.memory_edges == 0
+        assert engine.estimate == 0.0
+
+    def test_element_path_duplicate_leaves_state_untouched(self):
+        engine = WindowedEstimator("exact", window=10)
+        engine.process(insertion("a", "b"))
+        with pytest.raises(StreamError):
+            engine.process(insertion("a", "b"))
+        assert engine.live_edges == 1
+        assert engine.inner.memory_edges == 1
+
+    def test_error_state_matches_reference_replay(self):
+        from repro.window import expand_window_stream
+
+        stream = [
+            insertion("a", "x"),
+            insertion("b", "y"),
+            insertion("c", "z"),
+            insertion("b", "y"),  # duplicate while live
+        ]
+        engine = WindowedEstimator("exact", window=2)
+        with pytest.raises(StreamError):
+            engine.process_batch(stream)
+        reference = WindowedEstimator("exact", window=2).inner
+        replayed = []
+        with pytest.raises(StreamError):
+            for element in expand_window_stream(stream, window=2):
+                replayed.append(element)
+        for element in replayed:
+            reference.process(element)
+        assert engine.inner.memory_edges == reference.memory_edges
+        assert engine.estimate == reference.estimate
+
+
+class TestRegistry:
+    def test_spec_string_builds(self):
+        engine = build_estimator(
+            "windowed:inner=[abacus:budget=100,seed=1],window=50"
+        )
+        assert isinstance(engine, WindowedEstimator)
+        assert engine.window == 50
+        assert engine.inner_spec.name == "abacus"
+
+    def test_alias(self):
+        engine = build_estimator("window:inner=exact,window=5")
+        assert isinstance(engine, WindowedEstimator)
+
+    def test_capability_flags(self):
+        registration = get_registration("windowed")
+        assert registration.supports_batch
+        assert registration.supports_snapshot
+        assert not registration.supports_sharding
+
+    def test_seed_param_overrides_inner_seed(self):
+        engine = build_estimator(
+            "windowed:inner=[abacus:budget=100,seed=1],window=5", seed=77
+        )
+        assert engine.inner_spec.params == {"budget": 100, "seed": 77}
+
+    def test_seed_param_ignored_for_seedless_inner(self):
+        engine = build_estimator("windowed:inner=exact,window=5", seed=77)
+        assert engine.inner_spec.name == "exact"
+
+    def test_bad_window_type_rejected_at_spec_level(self):
+        with pytest.raises(SpecError):
+            build_estimator("windowed:inner=exact,window=soon")
+
+
+class TestComposition:
+    def test_windowed_over_sharded(self):
+        engine = build_estimator(
+            "windowed:inner=[sharded:inner=[exact],shards=2],window=100"
+        )
+        try:
+            # Left vertices 0 and 2 collide in shard 0 at shards=2.
+            engine.process_batch(
+                [insertion(0, "v1"), insertion(0, "v2"),
+                 insertion(2, "v1"), insertion(2, "v2")]
+            )
+            assert engine.estimate == 2.0
+            assert engine.live_edges == 4
+        finally:
+            engine.close()
+
+    def test_windowed_over_sharded_expiry_reaches_shards(self):
+        engine = build_estimator(
+            "windowed:inner=[sharded:inner=[exact],shards=2],window=3"
+        )
+        try:
+            engine.process_batch(
+                [insertion(0, "v1"), insertion(0, "v2"),
+                 insertion(2, "v1"), insertion(2, "v2")]
+            )
+            assert engine.estimate == 0.0  # first edge expired shard-side
+            assert engine.inner.memory_edges == 3
+        finally:
+            engine.close()
+
+    def test_sharded_over_windowed_refused(self):
+        with pytest.raises(SpecError):
+            build_estimator(
+                "sharded:inner=[windowed:inner=exact,window=5],shards=2"
+            )
+
+    @pytest.mark.parametrize("baseline", ["fleet", "cas", "sgrapp"])
+    def test_insert_only_inners_refused(self, baseline):
+        """Windowing an estimator that drops deletions would silently
+        report infinite-window counts — refuse at build time."""
+        with pytest.raises(SpecError, match="insert-only"):
+            build_estimator(f"windowed:inner={baseline},window=10")
+
+    def test_registry_surfaces_windowing_capability(self):
+        assert get_registration("abacus").supports_windowing
+        assert get_registration("sharded").supports_windowing
+        assert not get_registration("fleet").supports_windowing
+        assert not get_registration("cas").supports_windowing
+        assert not get_registration("sgrapp").supports_windowing
+
+
+class TestSnapshot:
+    def _run(self, stream):
+        engine = build_estimator(
+            "windowed:inner=[abacus:budget=120,seed=4],window=80"
+        )
+        for element in stream:
+            engine.process(element)
+        return engine
+
+    def test_mid_window_round_trip_continues_identically(self):
+        edges = bipartite_erdos_renyi(25, 25, 300, random.Random(3))
+        stream = list(stream_from_edges(edges))
+        engine = self._run(stream[:200])
+        state = json.loads(json.dumps(engine.state_to_dict()))
+        restored = WindowedEstimator.from_state_dict(state)
+        assert restored.live_edges == engine.live_edges
+        assert restored.expired_count == engine.expired_count
+        for element in stream[200:]:
+            assert restored.process(element) == engine.process(element)
+        assert restored.estimate == engine.estimate
+        assert restored.state_to_dict() == engine.state_to_dict()
+
+    def test_snapshot_requires_snapshot_capable_inner(self):
+        engine = WindowedEstimator("exact", window=4)
+        with pytest.raises(SpecError):
+            engine.state_to_dict()
+
+    def test_missing_field_raises_estimator_error(self):
+        with pytest.raises(EstimatorError):
+            WindowedEstimator.from_state_dict({"inner": "abacus"})
+
+    def test_clock_round_trips(self):
+        engine = WindowedEstimator(
+            "abacus:budget=50,seed=1", window_time=4.0
+        )
+        engine.process(timed_insertion("u", "v", 7.25))
+        state = json.loads(json.dumps(engine.state_to_dict()))
+        assert WindowedEstimator.from_state_dict(state).clock == 7.25
+
+
+class TestLifecycle:
+    def test_flush_delegates_to_buffering_inner(self):
+        engine = build_estimator(
+            "windowed:inner=[parabacus:budget=200,seed=2,batch_size=64],"
+            "window=500"
+        )
+        edges = bipartite_erdos_renyi(20, 20, 150, random.Random(8))
+        for element in stream_from_edges(edges):
+            engine.process(element)
+        engine.flush()
+        reference = build_estimator(
+            "parabacus:budget=200,seed=2,batch_size=64"
+        )
+        from repro.window import expand_window_stream
+
+        for element in expand_window_stream(
+            list(stream_from_edges(edges)), window=500
+        ):
+            reference.process(element)
+        reference.flush()
+        assert engine.estimate == reference.estimate
+
+    def test_flush_noop_for_unbuffered_inner(self):
+        assert WindowedEstimator("exact", window=4).flush() == 0.0
+
+    def test_empty_batch_is_noop(self):
+        engine = WindowedEstimator("exact", window=4)
+        assert engine.process_batch([]) == 0.0
+
+    def test_session_instance_wrap(self):
+        engine = WindowedEstimator("exact", window=4)
+        with open_session(engine) as session:
+            session.ingest(BUTTERFLY)
+            assert session.estimate == 1.0
+            assert session.spec == parse_spec("windowed")

@@ -1,0 +1,270 @@
+#!/usr/bin/env python
+"""Perf-smoke driver: run every benchmark quickly, record the trajectory.
+
+The CI ``perf-smoke`` job (and anyone locally) runs::
+
+    python tools/bench_runner.py
+
+which executes each ``benchmarks/bench_*.py`` in its own pytest process
+with the shared ``--quick`` flag, collects the headline metrics each
+bench reports through ``benchmarks/conftest.py::record_metric`` (the
+``REPRO_BENCH_METRICS`` JSON-lines protocol), and writes a single
+
+    ``BENCH_<git sha>.json``
+
+snapshot — per-benchmark status/seconds/metrics plus machine info — so
+the uploaded artifacts form a throughput trajectory across commits.
+
+The job *gates*: the run fails when any benchmark errors out, or when a
+throughput metric falls below its floor in :data:`FLOORS`.  Floors are
+deliberately conservative (far below a warm developer machine, above a
+catastrophic regression) because CI runners are slow and noisy; ratchet
+them upward as the trajectory accumulates.
+
+Options::
+
+    --full           run benchmarks at full size (no --quick)
+    --only PATTERN   substring filter on benchmark file names
+    --output PATH    where to write the JSON (default BENCH_<sha>.json)
+    --no-gate        record everything, fail nothing (trajectory only)
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pathlib
+import platform
+import subprocess
+import sys
+import tempfile
+import time
+from typing import Dict, List, Optional
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+BENCH_DIR = REPO_ROOT / "benchmarks"
+
+#: Conservative elements/sec floors for the quick-mode throughput
+#: benchmarks.  A cold CI container measures roughly 5-10x above these;
+#: tripping one means an order-of-magnitude hot-path regression, not
+#: scheduler noise.
+FLOORS: Dict[str, float] = {
+    "batch_ingest_eps": 2_000.0,
+    "sharded_ingest_eps": 1_500.0,
+    "windowed_ingest_eps": 1_500.0,
+}
+
+#: Per-benchmark subprocess timeout (seconds).  Quick mode finishes in
+#: seconds per file; the timeout only reins in a hung run.
+TIMEOUT_S = 900
+
+
+def _git_sha() -> str:
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=REPO_ROOT,
+            capture_output=True,
+            text=True,
+            check=True,
+        )
+        return out.stdout.strip()
+    except (subprocess.CalledProcessError, OSError):
+        return "unknown"
+
+
+def _machine_info() -> Dict[str, object]:
+    return {
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count(),
+    }
+
+
+def _read_metrics(path: pathlib.Path) -> Dict[str, float]:
+    metrics: Dict[str, float] = {}
+    if not path.exists():
+        return metrics
+    for line in path.read_text(encoding="utf-8").splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+            metrics[str(record["metric"])] = float(record["value"])
+        except (json.JSONDecodeError, KeyError, TypeError, ValueError):
+            print(
+                f"  [warn] unparsable metric line: {line!r}", file=sys.stderr
+            )
+    return metrics
+
+
+def run_benchmark(
+    bench: pathlib.Path, quick: bool
+) -> Dict[str, object]:
+    """Run one bench file in a pytest subprocess; return its record."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = (
+        str(REPO_ROOT / "src")
+        + (os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else "")
+    )
+    with tempfile.NamedTemporaryFile(
+        suffix=".jsonl", prefix="bench_metrics_", delete=False
+    ) as handle:
+        metrics_path = pathlib.Path(handle.name)
+    env["REPRO_BENCH_METRICS"] = str(metrics_path)
+    command = [
+        sys.executable,
+        "-m",
+        "pytest",
+        str(bench),
+        "-q",
+        "-p",
+        "no:cacheprovider",
+    ]
+    if quick:
+        command.append("--quick")
+    started = time.perf_counter()
+    try:
+        completed = subprocess.run(
+            command,
+            cwd=REPO_ROOT,
+            env=env,
+            capture_output=True,
+            text=True,
+            timeout=TIMEOUT_S,
+        )
+        status = "passed" if completed.returncode == 0 else "failed"
+        tail = (completed.stdout + completed.stderr).splitlines()[-25:]
+    except subprocess.TimeoutExpired:
+        status = "timeout"
+        tail = [f"timed out after {TIMEOUT_S}s"]
+    elapsed = time.perf_counter() - started
+    metrics = _read_metrics(metrics_path)
+    metrics_path.unlink(missing_ok=True)
+    record: Dict[str, object] = {
+        "status": status,
+        "seconds": round(elapsed, 3),
+        "metrics": metrics,
+    }
+    if status != "passed":
+        record["log_tail"] = tail
+    return record
+
+
+def gate(
+    results: Dict[str, Dict[str, object]], require_all_metrics: bool = True
+) -> List[str]:
+    """Return the list of gate violations (empty = healthy).
+
+    ``require_all_metrics`` is False for ``--only``-filtered runs: a
+    floor metric whose benchmark was filtered out is then simply not
+    checked, instead of counting as "never reported".
+    """
+    violations = []
+    all_metrics: Dict[str, float] = {}
+    for name, record in sorted(results.items()):
+        if record["status"] != "passed":
+            violations.append(f"{name}: {record['status']}")
+        all_metrics.update(record["metrics"])  # type: ignore[arg-type]
+    for metric, floor in sorted(FLOORS.items()):
+        value = all_metrics.get(metric)
+        if value is None:
+            if require_all_metrics:
+                violations.append(
+                    f"{metric}: never reported (floor {floor:,.0f})"
+                )
+        elif value < floor:
+            violations.append(
+                f"{metric}: {value:,.0f} el/s below floor {floor:,.0f}"
+            )
+    return violations
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python tools/bench_runner.py",
+        description="Run the benchmark suite and record BENCH_<sha>.json.",
+    )
+    parser.add_argument(
+        "--full",
+        action="store_true",
+        help="run at full size instead of --quick",
+    )
+    parser.add_argument(
+        "--only",
+        default=None,
+        metavar="PATTERN",
+        help="substring filter on bench file names",
+    )
+    parser.add_argument(
+        "--output",
+        default=None,
+        metavar="PATH",
+        help="output JSON path (default: BENCH_<sha>.json in the cwd)",
+    )
+    parser.add_argument(
+        "--no-gate",
+        action="store_true",
+        help="record the trajectory without failing on floors",
+    )
+    args = parser.parse_args(argv)
+
+    benches = sorted(BENCH_DIR.glob("bench_*.py"))
+    if args.only:
+        benches = [b for b in benches if args.only in b.name]
+    if not benches:
+        print("no benchmarks matched", file=sys.stderr)
+        return 2
+
+    sha = _git_sha()
+    results: Dict[str, Dict[str, object]] = {}
+    for bench in benches:
+        print(f"[bench] {bench.name} ...", flush=True)
+        record = run_benchmark(bench, quick=not args.full)
+        results[bench.name] = record
+        metrics = ", ".join(
+            f"{k}={v:,.0f}"
+            for k, v in sorted(record["metrics"].items())  # type: ignore
+        )
+        print(
+            f"[bench] {bench.name}: {record['status']} "
+            f"in {record['seconds']}s"
+            + (f" ({metrics})" if metrics else ""),
+            flush=True,
+        )
+        if record["status"] != "passed":
+            for line in record.get("log_tail", []):  # type: ignore[union-attr]
+                print(f"    {line}")
+
+    payload = {
+        "schema": 1,
+        "sha": sha,
+        "mode": "full" if args.full else "quick",
+        "machine": _machine_info(),
+        "floors": FLOORS,
+        "benchmarks": results,
+    }
+    output = pathlib.Path(
+        args.output if args.output else f"BENCH_{sha[:12]}.json"
+    )
+    output.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    print(f"[bench] wrote {output}")
+
+    violations = gate(results, require_all_metrics=args.only is None)
+    if violations:
+        print("[bench] gate violations:", file=sys.stderr)
+        for violation in violations:
+            print(f"  - {violation}", file=sys.stderr)
+        if not args.no_gate:
+            return 1
+    else:
+        print("[bench] all gates passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

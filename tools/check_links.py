@@ -87,7 +87,10 @@ def main() -> int:
             print(f"{rel}: {kind}: {reference}", file=sys.stderr)
             failures += 1
     if failures:
-        print(f"{failures} documentation reference(s) are stale", file=sys.stderr)
+        print(
+            f"{failures} documentation reference(s) are stale",
+            file=sys.stderr,
+        )
         return 1
     print(f"docs OK ({len(_markdown_files())} files checked)")
     return 0
