@@ -1,0 +1,147 @@
+"""Durable-store throughput: WAL-ahead ingest and recovery replay.
+
+Measures the persistence layer of ``repro/store/`` (ISSUE 5):
+
+* plain in-memory ingest (the reference ceiling),
+* durable ingest — every element CRC-framed into the write-ahead log
+  (fsync-batched) *before* processing,
+* **recovery replay** el/s — reopening the durable directory cold:
+  full-WAL replay (no snapshot) and snapshot + WAL-tail replay
+  (checkpoint mid-stream), timed end to end through
+  ``open_session(durable_dir=...)``.
+
+Identity is asserted in every mode: each recovered session must be
+bit-identical (estimate + complete ``state_to_dict``) to the
+uninterrupted run — the kill-at-every-offset version of this contract
+lives in ``tests/store/test_recovery.py``.
+
+The headline ``recovery_replay_eps`` (full-WAL replay) feeds the
+``tools/bench_runner.py`` floor gate.
+"""
+
+import json
+import random
+import shutil
+
+from conftest import emit, record_metric
+
+from repro.api import open_session
+from repro.experiments.report import render_table
+from repro.graph.generators import bipartite_erdos_renyi
+from repro.metrics.throughput import Stopwatch
+from repro.streams.dynamic import make_fully_dynamic
+
+SPEC = "abacus:budget=1000,seed=17"
+
+
+def _config(quick):
+    """(n_side, n_edges) for the selected mode."""
+    return (70, 4000) if quick else (140, 16000)
+
+
+def _fingerprint(session):
+    snapshot = session.snapshot()
+    return json.dumps(
+        {"estimate": session.estimate, "state": snapshot["state"]},
+        sort_keys=True,
+    )
+
+
+def _durable_ingest(directory, stream):
+    session = open_session(SPEC, durable_dir=directory)
+    watch = Stopwatch()
+    with watch:
+        session.ingest(stream)
+        session.sync()
+    fingerprint = _fingerprint(session)
+    session.close()
+    return fingerprint, len(stream) / watch.elapsed
+
+
+def _recover(directory, expected_fingerprint, expected_elements):
+    watch = Stopwatch()
+    with watch:
+        session = open_session(durable_dir=directory)
+    assert session.elements == expected_elements
+    assert _fingerprint(session) == expected_fingerprint, (
+        "recovered state is not bit-identical to the logged run"
+    )
+    session.close()
+    return expected_elements / watch.elapsed
+
+
+def test_recovery_replay_throughput(
+    benchmark, results_dir, quick, tmp_path
+):
+    n_side, n_edges = _config(quick)
+    edges = bipartite_erdos_renyi(n_side, n_side, n_edges, random.Random(23))
+    stream = list(make_fully_dynamic(edges, alpha=0.2, rng=random.Random(29)))
+
+    def run():
+        results = {}
+
+        plain = open_session(SPEC)
+        watch = Stopwatch()
+        with watch:
+            plain.ingest(stream)
+        reference = _fingerprint(plain)
+        results["plain ingest"] = len(stream) / watch.elapsed
+
+        wal_dir = tmp_path / "wal-only"
+        fingerprint, eps = _durable_ingest(wal_dir, stream)
+        assert fingerprint == reference, (
+            "durable ingest diverged from plain ingest"
+        )
+        results["durable ingest (WAL ahead)"] = eps
+
+        # Cold recovery, no snapshot: rebuild + full-WAL replay.
+        results["recovery: full-WAL replay"] = _recover(
+            wal_dir, reference, len(stream)
+        )
+
+        # Cold recovery with a mid-stream checkpoint: snapshot
+        # restore + tail replay over half the log.
+        snap_dir = tmp_path / "snapshotted"
+        session = open_session(SPEC, durable_dir=snap_dir)
+        session.ingest(stream[: len(stream) // 2])
+        session.checkpoint()
+        session.ingest(stream[len(stream) // 2 :])
+        session.sync()
+        assert _fingerprint(session) == reference
+        session.close()
+        results["recovery: snapshot + tail"] = _recover(
+            snap_dir, reference, len(stream)
+        )
+
+        shutil.rmtree(wal_dir)
+        shutil.rmtree(snap_dir)
+        return results
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    plain_eps = results["plain ingest"]
+    rows = [
+        (label, f"{eps:,.0f}", f"{eps / plain_eps:.2f}x")
+        for label, eps in results.items()
+    ]
+    text = render_table(
+        ["configuration", "el/s", "vs plain"],
+        rows,
+        title=(
+            f"Durable store throughput ({len(stream):,} elements, "
+            f"spec {SPEC})"
+        ),
+    )
+    emit(results_dir, "recovery_replay", text)
+
+    record_metric("recovery_replay_eps", results["recovery: full-WAL replay"])
+    record_metric("durable_ingest_eps", results["durable ingest (WAL ahead)"])
+    if quick:
+        return
+    # Full runs also hold the WAL overhead to a sane bound: logging
+    # must cost less than half the plain-ingest throughput.
+    durable_eps = results["durable ingest (WAL ahead)"]
+    overhead = durable_eps / results["plain ingest"]
+    assert overhead >= 0.5, (
+        f"WAL-ahead ingest kept only {overhead:.1%} of plain ingest "
+        "throughput (required >= 50%)"
+    )

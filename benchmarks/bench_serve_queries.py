@@ -1,0 +1,146 @@
+"""Serving-layer throughput under concurrent ingest (ISSUE 5).
+
+One :class:`~repro.serve.server.EstimatorServer` owns an ABACUS
+session.  A writer client streams edges in chunks while query clients
+hammer ``estimate`` from their own threads; the bench measures both
+sides — ingest el/s through the wire and answered queries/sec *during
+active ingest* — and asserts the acceptance contract:
+
+**no torn reads**: every ``(elements, estimate)`` pair any query
+observed must exactly equal the deterministic single-writer replay of
+the same chunk sequence at that element offset.  A torn read (estimate
+from one publish paired with the element count of another) or a
+non-boundary publish fails the bench, quick mode included.
+
+The headline ``serve_query_qps`` feeds the ``tools/bench_runner.py``
+floor gate.
+"""
+
+import random
+import threading
+
+from conftest import emit, record_metric
+
+from repro.api import open_session
+from repro.experiments.report import render_table
+from repro.graph.generators import bipartite_erdos_renyi
+from repro.metrics.throughput import Stopwatch
+from repro.serve import ServeClient, serve_in_background
+from repro.streams.dynamic import make_fully_dynamic
+
+SPEC = "abacus:budget=1000,seed=31"
+CHUNK = 256
+QUERY_THREADS = 3
+
+
+def _config(quick):
+    """(n_side, n_edges) for the selected mode."""
+    return (70, 4000) if quick else (120, 12000)
+
+
+def _reference_views(chunks):
+    """(elements -> estimate) at every chunk boundary, deterministic."""
+    session = open_session(SPEC)
+    views = {0: 0.0}
+    for chunk in chunks:
+        session.ingest(chunk)
+        views[session.elements] = session.estimate
+    return views
+
+
+def test_serve_queries_during_ingest(benchmark, results_dir, quick):
+    n_side, n_edges = _config(quick)
+    edges = bipartite_erdos_renyi(n_side, n_side, n_edges, random.Random(41))
+    stream = list(make_fully_dynamic(edges, alpha=0.2, rng=random.Random(43)))
+    chunks = [stream[i : i + CHUNK] for i in range(0, len(stream), CHUNK)]
+    reference = _reference_views(chunks)
+
+    def run():
+        observed = []
+        lock = threading.Lock()
+        done = threading.Event()
+        background = serve_in_background(open_session(SPEC))
+
+        def query_loop():
+            mine = []
+            with ServeClient(*background.address) as client:
+                while not done.is_set():
+                    view = client.estimate()
+                    mine.append((view["elements"], view["estimate"]))
+            with lock:
+                observed.extend(mine)
+
+        readers = [
+            threading.Thread(target=query_loop)
+            for _ in range(QUERY_THREADS)
+        ]
+        for reader in readers:
+            reader.start()
+        watch = Stopwatch()
+        with ServeClient(*background.address) as writer:
+            with watch:
+                for chunk in chunks:
+                    writer.ingest(chunk)
+        done.set()
+        for reader in readers:
+            reader.join(timeout=60)
+        background.stop()
+
+        ingest_eps = len(stream) / watch.elapsed
+        queries_during_ingest = [
+            pair for pair in observed if pair[0] < len(stream)
+        ]
+        query_qps = len(observed) / watch.elapsed
+
+        # The acceptance contract: stale reads are fine, torn reads
+        # are not — every observed pair must be one the single-writer
+        # replay actually produced, at a chunk boundary.
+        assert observed, "query threads never got an answer"
+        for elements, estimate in observed:
+            assert elements in reference, (
+                f"estimate published at non-boundary offset {elements}"
+            )
+            assert estimate == reference[elements], (
+                f"torn read: estimate {estimate} at {elements} "
+                f"elements; the replay says {reference[elements]}"
+            )
+        return {
+            "ingest_eps": ingest_eps,
+            "query_qps": query_qps,
+            "queries_total": len(observed),
+            "queries_during_ingest": len(queries_during_ingest),
+        }
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [
+        ("wire ingest", f"{results['ingest_eps']:,.0f} el/s"),
+        (
+            f"estimate queries ({QUERY_THREADS} threads)",
+            f"{results['query_qps']:,.0f} q/s",
+        ),
+        ("queries answered", f"{results['queries_total']:,}"),
+        (
+            "answered mid-ingest",
+            f"{results['queries_during_ingest']:,}",
+        ),
+    ]
+    text = render_table(
+        ["measure", "value"],
+        rows,
+        title=(
+            f"Serving under ingest ({len(stream):,} elements, "
+            f"chunk={CHUNK}, spec {SPEC}) — torn reads: none"
+        ),
+    )
+    emit(results_dir, "serve_queries", text)
+
+    record_metric("serve_query_qps", results["query_qps"])
+    record_metric("serve_ingest_eps", results["ingest_eps"])
+    if quick:
+        return
+    # Full runs require genuinely concurrent service: a healthy share
+    # of answers must land while ingest is still running.
+    assert results["queries_during_ingest"] >= 50, (
+        "queries were starved during ingest "
+        f"({results['queries_during_ingest']} answered mid-stream)"
+    )

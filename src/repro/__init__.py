@@ -47,6 +47,8 @@ from repro.api import (
     restore_session,
 )
 from repro.baselines import CoAffiliationSampling, Fleet
+from repro.serve import ServeClient, serve_in_background
+from repro.store import DurableStore, SnapshotStore, WalWriter
 from repro.core import (
     Abacus,
     AbacusSupport,
@@ -68,10 +70,15 @@ from repro.types import (
     timed_insertion,
 )
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "Abacus",
+    "DurableStore",
+    "ServeClient",
+    "SnapshotStore",
+    "WalWriter",
+    "serve_in_background",
     "AbacusSupport",
     "EnsembleEstimator",
     "Parabacus",

@@ -53,6 +53,54 @@ capability flags.  Specs take three equivalent forms (string, dict,
 README for the surrounding API.
 """
 
+_MATRIX_HEADER = """\
+## Capability matrix
+
+What each estimator supports across the session facilities.  The
+**durability** column is what a durable session
+(`open_session(..., durable_dir=...)`, `docs/persistence.md`) can do
+with it: *checkpoint + replay* needs the snapshot protocol (recovery
+restores the latest checkpoint and replays only the WAL tail);
+*replay only* means the estimator still runs durably, but recovery
+always replays the full write-ahead log through a freshly built
+instance — and `Session.checkpoint()` refuses.
+"""
+
+
+def _durability(registration: Registration) -> str:
+    """The durability column: what ``durable_dir=`` can do here."""
+    if registration.supports_snapshot:
+        return "checkpoint + replay"
+    return "replay only"
+
+
+def _render_matrix() -> List[str]:
+    """The per-estimator capability/durability table."""
+    lines = [
+        _MATRIX_HEADER,
+        "| estimator | snapshot | batch | sharding "
+        "| windowing | durability |",
+        "|-----------|----------|-------|----------"
+        "|-----------|------------|",
+    ]
+    for name in registered_estimators():
+        registration = get_registration(name)
+        flags = [
+            "✓" if enabled else "—"
+            for enabled in (
+                registration.supports_snapshot,
+                registration.supports_batch,
+                registration.supports_sharding,
+                registration.supports_windowing,
+            )
+        ]
+        lines.append(
+            f"| `{name}` | " + " | ".join(flags)
+            + f" | {_durability(registration)} |"
+        )
+    lines.append("")
+    return lines
+
 
 def _capabilities(registration: Registration) -> str:
     flags = []
@@ -102,6 +150,7 @@ def _render_registration(registration: Registration) -> List[str]:
 def render_markdown() -> str:
     """The full reference document as a Markdown string."""
     lines = [_HEADER]
+    lines += _render_matrix()
     for name in registered_estimators():
         lines += _render_registration(get_registration(name))
     return "\n".join(lines).rstrip() + "\n"

@@ -65,7 +65,8 @@ from repro.api.registry import (
     registration_for_instance,
 )
 from repro.core.base import ButterflyEstimator
-from repro.errors import EstimatorError, SpecError
+from repro.errors import EstimatorError, SpecError, StoreError
+from repro.store import DurableStore
 from repro.types import StreamElement
 
 __all__ = [
@@ -185,6 +186,7 @@ class Session:
         self._processing_seconds = 0.0
         self._checkpoint_subs: List[_CheckpointSubscription] = []
         self._estimate_subs: List[tuple] = []  # (callback, min_delta)
+        self._store: Optional[DurableStore] = None
         self._closed = False
 
     # ------------------------------------------------------------------
@@ -199,6 +201,16 @@ class Session:
     def spec(self) -> Optional[EstimatorSpec]:
         """The spec this session was opened from, if any."""
         return self._spec
+
+    @property
+    def store(self) -> Optional[DurableStore]:
+        """The durable store, when opened with ``durable_dir=``."""
+        return self._store
+
+    @property
+    def durable(self) -> bool:
+        """Whether ingested elements are written ahead to a WAL."""
+        return self._store is not None
 
     @property
     def estimate(self) -> float:
@@ -312,7 +324,20 @@ class Session:
             if not chunk:
                 return total
             started = time.perf_counter()
-            total += estimator.process_batch(chunk)
+            if self._store is None:
+                total += estimator.process_batch(chunk)
+            else:
+                # Write-ahead, but undo on refusal: a chunk the
+                # estimator raised on was not ingested (it is not in
+                # self._elements either), so it must leave the log or
+                # log and session desync forever.
+                undo = self._store.mark()
+                self._store.append_batch(chunk)
+                try:
+                    total += estimator.process_batch(chunk)
+                except BaseException:
+                    self._store.rollback(undo)
+                    raise
             self._processing_seconds += time.perf_counter() - started
             self._elements += len(chunk)
             if self._checkpoint_subs:
@@ -321,7 +346,17 @@ class Session:
 
     def _ingest_one(self, element: StreamElement) -> float:
         started = time.perf_counter()
-        delta = self._estimator.process(element)
+        if self._store is None:
+            delta = self._estimator.process(element)
+        else:
+            # Write-ahead with undo-on-refusal (see _ingest_batched).
+            undo = self._store.mark()
+            self._store.append(element)
+            try:
+                delta = self._estimator.process(element)
+            except BaseException:
+                self._store.rollback(undo)
+                raise
         self._processing_seconds += time.perf_counter() - started
         self._elements += 1
         if delta and self._estimate_subs:
@@ -456,17 +491,56 @@ class Session:
         with open(path, "w", encoding="utf-8") as handle:
             json.dump(self.snapshot(), handle)
 
+    def checkpoint(self) -> int:
+        """Write a durable snapshot to the session's store.
+
+        Only available for durable sessions (``open_session(...,
+        durable_dir=...)``).  The WAL is synced, the full
+        :meth:`snapshot` envelope is written atomically at the current
+        element offset, and the log rotates — recovery after this
+        point restores the snapshot and replays only the elements
+        ingested since (``docs/persistence.md``).  Snapshot-free
+        estimators can still run durably (recovery replays the whole
+        log); they just cannot compact it with checkpoints.
+
+        Returns:
+            The element offset the checkpoint covers.
+
+        Raises:
+            EstimatorError: for non-durable sessions.
+            SpecError: when the estimator does not support the
+                snapshot protocol.
+        """
+        if self._store is None:
+            raise EstimatorError(
+                "checkpoint() needs a durable session; pass "
+                "durable_dir= to open_session"
+            )
+        self._store.checkpoint(self.snapshot(), self._elements)
+        return self._elements
+
+    def sync(self) -> None:
+        """Force WAL-buffered elements to disk (durable sessions)."""
+        if self._store is not None:
+            self._store.sync()
+
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
     def close(self) -> None:
-        """Flush buffered work and release estimator resources."""
+        """Flush buffered work and release estimator resources.
+
+        Durable sessions additionally sync and close their store, so
+        every ingested element is on disk once ``close`` returns.
+        """
         if self._closed:
             return
         self.flush()
         closer = getattr(self._estimator, "close", None)
         if closer is not None:
             closer()
+        if self._store is not None:
+            self._store.close()
         self._closed = True
 
     @property
@@ -490,7 +564,7 @@ class Session:
 
 
 def open_session(
-    estimator: Union[SpecLike, ButterflyEstimator],
+    estimator: Union[SpecLike, ButterflyEstimator, None] = None,
     *,
     shards: Optional[int] = None,
     backend: Optional[str] = None,
@@ -499,6 +573,7 @@ def open_session(
     window: Optional[int] = None,
     window_time: Optional[float] = None,
     window_strict: Optional[bool] = None,
+    durable_dir: Optional[Union[str, os.PathLike]] = None,
     **overrides: Any,
 ) -> Session:
     """Open a session from a spec (string/dict/object) or an instance.
@@ -506,7 +581,10 @@ def open_session(
     Args:
         estimator: an :class:`EstimatorSpec`, a spec string like
             ``"abacus:budget=1000,seed=42"``, a spec dict, or an
-            already-constructed estimator to wrap.
+            already-constructed estimator to wrap.  May be omitted
+            only together with ``durable_dir`` naming an *existing*
+            durable session, which then reopens under its stored
+            spec.
         shards: when given, wrap the spec in the sharded ingestion engine
             (:class:`repro.shard.engine.ShardedEstimator`): the stream
             is hash-partitioned across this many independent estimator
@@ -532,6 +610,18 @@ def open_session(
         window_strict: raise on deletions of edges that are not live in
             the window instead of dropping them.  Requires ``window``
             or ``window_time``.
+        durable_dir: when given, the session is **durable**: every
+            ingested element is appended to a write-ahead log in this
+            directory *before* the estimator processes it, and
+            :meth:`Session.checkpoint` writes recoverable snapshots
+            there.  An empty directory starts a new durable session
+            (the final spec — shard/window wrapping included — is
+            recorded in its ``meta.json``); a directory with existing
+            state is **recovered** first: latest snapshot + WAL-tail
+            replay, bit-identical to never having crashed (see
+            ``docs/persistence.md``).  Durable sessions want pinned
+            seeds — recovery of a snapshot-free estimator replays the
+            log through a freshly built one.
         overrides: spec parameter overrides, applied to the (inner)
             spec before any shard/window wrapping (ignored-with-error
             for instances — wrap specs, not objects, to reconfigure).
@@ -539,8 +629,11 @@ def open_session(
     Raises:
         SpecError: on unknown estimators/parameters, when overrides or
             sharding/windowing options are passed alongside an
-            instance, or when the spec's registration opts out of
-            sharding.
+            instance, when the spec's registration opts out of
+            sharding, or when a spec disagrees with the one recorded
+            in ``durable_dir``.
+        StoreError: when ``durable_dir`` holds unusable on-disk state
+            (foreign files, a gap in the WAL's offset coverage).
 
     Unsharded sessions drive the estimator directly:
 
@@ -568,6 +661,18 @@ def open_session(
     ...                         insertion("u2", "v1"), insertion("u2", "v2")])
     ...     session.estimate
     0.0
+
+    Durable sessions log every element ahead of processing; reopening
+    the directory recovers the exact state (and element count):
+
+    >>> import tempfile
+    >>> durable_dir = tempfile.mkdtemp()
+    >>> with open_session("exact", durable_dir=durable_dir) as session:
+    ...     _ = session.ingest([insertion("u1", "v1"), insertion("u1", "v2"),
+    ...                         insertion("u2", "v1"), insertion("u2", "v2")])
+    >>> with open_session(durable_dir=durable_dir) as session:
+    ...     session.elements, session.estimate
+    (4, 1.0)
     """
     options = {"backend": backend, "partitioner": partitioner, "salt": salt}
     options = {
@@ -599,22 +704,88 @@ def open_session(
                 "(got "
                 f"{sorted(overrides) + sorted(sharding) + sorted(windowing)})"
             )
+        if durable_dir is not None:
+            raise SpecError(
+                "durable sessions need a spec (recovery rebuilds the "
+                "estimator from the registry), not an instance"
+            )
         registration = registration_for_instance(estimator)
         spec = EstimatorSpec(registration.name) if registration else None
         return Session(estimator, spec=spec)
-    spec = parse_spec(estimator)
-    if overrides:
-        spec = spec.with_overrides(**overrides)
-    if sharding:
-        spec = EstimatorSpec(
-            "sharded", {"inner": spec.to_string(), **sharding}
-        )
-    if windowing:
-        spec = EstimatorSpec(
-            "windowed", {"inner": spec.to_string(), **windowing}
-        )
+    if estimator is None:
+        if durable_dir is None:
+            raise SpecError(
+                "open_session needs an estimator spec (or the "
+                "durable_dir= of an existing durable session)"
+            )
+        if overrides or sharding or windowing:
+            raise SpecError(
+                "reopening a durable session without a spec takes its "
+                "whole configuration from the stored one; pass the "
+                "spec explicitly to combine it with other options"
+            )
+        spec = None
+    else:
+        spec = parse_spec(estimator)
+        if overrides:
+            spec = spec.with_overrides(**overrides)
+        if sharding:
+            spec = EstimatorSpec(
+                "sharded", {"inner": spec.to_string(), **sharding}
+            )
+        if windowing:
+            spec = EstimatorSpec(
+                "windowed", {"inner": spec.to_string(), **windowing}
+            )
+    if durable_dir is not None:
+        return _open_durable(spec, durable_dir)
     built = build_estimator(spec)
     return Session(built, spec=spec)
+
+
+def _open_durable(
+    spec: Optional[EstimatorSpec],
+    durable_dir: Union[str, os.PathLike],
+) -> Session:
+    """Start or recover the durable session living in ``durable_dir``."""
+    store = DurableStore(durable_dir)
+    try:
+        if not store.has_state:
+            if spec is None:
+                raise SpecError(
+                    f"durable directory {os.fspath(durable_dir)!r} holds "
+                    "no session yet; pass an estimator spec to start one"
+                )
+            built = build_estimator(spec)
+            store.initialize(spec.to_string())
+            session = Session(built, spec=spec)
+            session._store = store
+            return session
+        recovered = store.recover()
+        stored = parse_spec(recovered.spec)
+        if spec is not None and spec.to_string() != stored.to_string():
+            raise SpecError(
+                f"durable directory {os.fspath(durable_dir)!r} was "
+                f"opened for spec {stored.to_string()!r}; refusing to "
+                f"continue it as {spec.to_string()!r}"
+            )
+        if recovered.snapshot is not None:
+            session = restore_session(recovered.snapshot)
+        else:
+            session = Session(build_estimator(stored), spec=stored)
+        if recovered.tail:
+            session.ingest(recovered.tail)
+        if session.elements != recovered.offset:
+            raise StoreError(
+                f"recovery reconstructed {session.elements} elements "
+                f"but the log covers {recovered.offset}; snapshot and "
+                "WAL disagree"
+            )
+        session._store = store
+        return session
+    except BaseException:
+        store.close()
+        raise
 
 
 def restore_session(

@@ -9,6 +9,7 @@ Subcommands map 1:1 onto the paper's tables/figures plus the extras::
     repro variance | ensemble | anomaly | lineage   # extensions
     repro estimators                  # the estimator registry
     repro stream --estimator SPEC     # run any spec through a session
+    repro serve --estimator SPEC      # serve estimate queries over TCP
     repro all                         # everything, in order
 
 ``--estimator`` accepts the registry spec grammar, e.g.
@@ -19,6 +20,14 @@ Subcommands map 1:1 onto the paper's tables/figures plus the extras::
 ingestion out through the sharded engine (:mod:`repro.shard`), and
 ``--window N`` / ``--window-time T`` to count only the most recent
 edges through the sliding-window engine (:mod:`repro.window`).
+
+``repro serve`` owns a session behind the asyncio query server of
+:mod:`repro.serve` (line-delimited JSON on ``--host``/``--port``;
+``docs/serving.md``) and accepts the same spec/shard/window options,
+plus ``--durable-dir DIR`` for a write-ahead-logged session that
+recovers its state on restart (:mod:`repro.store`,
+``docs/persistence.md``).  A ``--durable-dir`` with existing state is
+reopened under its stored spec when ``--estimator`` is omitted.
 
 Use ``--datasets`` with a comma-separated subset of
 ``movielens_like,livejournal_like,trackers_like,orkut_like`` to trim
@@ -36,6 +45,10 @@ from repro.errors import ReproError
 from repro.experiments import extensions, figures
 from repro.experiments.plotting import line_chart
 from repro.experiments.runner import ExperimentContext
+
+#: Spec used when an experiment needs an estimator and the user gave
+#: no ``--estimator``.
+DEFAULT_SPEC = "abacus:budget=1000,seed=42"
 
 
 def _split_datasets(value: Optional[str]) -> Optional[List[str]]:
@@ -69,6 +82,7 @@ def build_parser() -> argparse.ArgumentParser:
             "lineage",
             "estimators",
             "stream",
+            "serve",
             "all",
         ],
         help="which experiment to run",
@@ -76,11 +90,13 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--estimator",
         type=str,
-        default="abacus:budget=1000,seed=42",
+        default=None,
         metavar="SPEC",
         help=(
-            "estimator spec for the 'stream' experiment, e.g. "
-            "abacus:budget=1000,seed=42 (see 'repro estimators')"
+            "estimator spec for the 'stream'/'serve' experiments, "
+            f"e.g. {DEFAULT_SPEC} (see 'repro estimators'; 'serve' "
+            "with an existing --durable-dir defaults to its stored "
+            "spec)"
         ),
     )
     parser.add_argument(
@@ -149,6 +165,29 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="additionally draw ASCII charts (fig3/fig5)",
     )
+    parser.add_argument(
+        "--host",
+        type=str,
+        default="127.0.0.1",
+        help="interface for the 'serve' experiment",
+    )
+    parser.add_argument(
+        "--port",
+        type=int,
+        default=7461,
+        help="TCP port for the 'serve' experiment (0 picks a free one)",
+    )
+    parser.add_argument(
+        "--durable-dir",
+        type=str,
+        default=None,
+        metavar="DIR",
+        help=(
+            "durable session directory for 'stream'/'serve': elements "
+            "are write-ahead logged and state recovers on restart "
+            "(see docs/persistence.md)"
+        ),
+    )
     return parser
 
 
@@ -188,6 +227,7 @@ def run_stream(
     partitioner: str = "hash",
     window: int = 0,
     window_time: float = 0.0,
+    durable_dir: Optional[str] = None,
 ) -> str:
     """Run one estimator spec over a dataset through the session API.
 
@@ -222,6 +262,8 @@ def run_stream(
             TimedEdge(e.u, e.v, e.op, float(index))
             for index, e in enumerate(stream)
         )
+    if durable_dir:
+        options["durable_dir"] = durable_dir
     with open_session(spec, **options) as session:
         session.ingest(elements)
         session.flush()
@@ -252,6 +294,87 @@ def run_stream(
     return "\n".join(lines)
 
 
+def run_serve(
+    spec_text: Optional[str],
+    host: str,
+    port: int,
+    durable_dir: Optional[str] = None,
+    shards: int = 1,
+    backend: str = "serial",
+    partitioner: str = "hash",
+    window: int = 0,
+    window_time: float = 0.0,
+) -> int:
+    """Own a session behind the asyncio query server until interrupted.
+
+    With ``--durable-dir`` the session write-ahead logs every ingested
+    element and recovers snapshot + WAL tail on restart; omitting
+    ``--estimator`` then reopens an existing directory under its
+    stored spec.
+    """
+    import asyncio
+
+    from repro.serve.server import EstimatorServer
+    from repro.store import DurableStore
+
+    options: dict = {}
+    if shards > 1:
+        options.update(shards=shards, backend=backend, partitioner=partitioner)
+    if window > 0:
+        options["window"] = window
+    if window_time > 0:
+        options["window_time"] = window_time
+    if durable_dir:
+        options["durable_dir"] = durable_dir
+    estimator: Optional[str] = spec_text
+    if estimator is None:
+        reopening = (
+            durable_dir is not None
+            and DurableStore(durable_dir).has_state
+        )
+        if not reopening:
+            estimator = DEFAULT_SPEC
+        else:
+            # The stored spec already carries any shard/window
+            # wrapping, so re-wrapping flags have nothing to apply
+            # to — refuse loudly rather than serve a configuration
+            # the user did not ask for.
+            wrapping = sorted(set(options) - {"durable_dir"})
+            if wrapping:
+                from repro.errors import SpecError
+
+                raise SpecError(
+                    f"{'/'.join(wrapping)} cannot be combined with "
+                    "reopening an existing --durable-dir (its stored "
+                    "spec fixes the configuration); pass --estimator "
+                    "explicitly to assert the intended spec"
+                )
+            options = {"durable_dir": durable_dir}
+    session = open_session(estimator, **options)
+    server = EstimatorServer(session, host=host, port=port)
+
+    async def _serve() -> None:
+        await server.start()
+        bound_host, bound_port = server.address
+        spec = session.spec.to_string() if session.spec else "?"
+        durability = f" [durable: {durable_dir}]" if durable_dir else ""
+        print(
+            f"serving {spec} on {bound_host}:{bound_port}{durability}\n"
+            f"  {session.elements:,} elements recovered, estimate "
+            f"{session.estimate:,.1f}\n"
+            "  protocol: line-delimited JSON (docs/serving.md); "
+            "stop with Ctrl-C",
+            flush=True,
+        )
+        await server.serve_forever()
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        print("\nshutting down")
+    return 0
+
+
 def run_experiment(
     name: str,
     trials: int,
@@ -259,12 +382,13 @@ def run_experiment(
     threads: int,
     context: Optional[ExperimentContext] = None,
     chart: bool = False,
-    estimator_spec: str = "abacus:budget=1000,seed=42",
+    estimator_spec: Optional[str] = None,
     shards: int = 1,
     backend: str = "serial",
     partitioner: str = "hash",
     window: int = 0,
     window_time: float = 0.0,
+    durable_dir: Optional[str] = None,
 ) -> str:
     """Execute one experiment; return its rendered report."""
     ctx = context or ExperimentContext()
@@ -272,7 +396,7 @@ def run_experiment(
         return describe_registry()
     if name == "stream":
         return run_stream(
-            estimator_spec,
+            estimator_spec or DEFAULT_SPEC,
             datasets,
             context=ctx,
             shards=shards,
@@ -280,6 +404,7 @@ def run_experiment(
             partitioner=partitioner,
             window=window,
             window_time=window_time,
+            durable_dir=durable_dir,
         )
     if name == "table2":
         return figures.run_table2(datasets=datasets)["text"]
@@ -342,6 +467,22 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     datasets = _split_datasets(args.datasets)
     context = ExperimentContext()
+    if args.experiment == "serve":
+        try:
+            return run_serve(
+                args.estimator,
+                args.host,
+                args.port,
+                durable_dir=args.durable_dir,
+                shards=args.shards,
+                backend=args.backend,
+                partitioner=args.partitioner,
+                window=args.window,
+                window_time=args.window_time,
+            )
+        except ReproError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
     if args.experiment == "all":
         names = [
             "table2",
@@ -370,6 +511,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                 shards=args.shards, backend=args.backend,
                 partitioner=args.partitioner, window=args.window,
                 window_time=args.window_time,
+                durable_dir=args.durable_dir,
             )
             print(report)
             print()

@@ -67,3 +67,23 @@ class SpecError(EstimatorError):
 
 class ExperimentError(ReproError):
     """The experiment harness was asked for an unknown dataset/figure."""
+
+
+class StoreError(ReproError):
+    """The durable store (:mod:`repro.store`) hit unusable on-disk state.
+
+    Raised for foreign or corrupt files in a durable session directory
+    (bad WAL magic, a gap in the log's offset coverage, an unreadable
+    meta file) and for misuse of the store API.  A *torn tail* — the
+    partially written final record of a crash — is **not** an error:
+    recovery truncates it by design.
+    """
+
+
+class ServeError(ReproError):
+    """A serving request failed (:mod:`repro.serve`).
+
+    Raised client-side when the server answers with an error response
+    (malformed request, unknown operation, an estimator error while
+    applying an ingest) or when the connection breaks mid-call.
+    """

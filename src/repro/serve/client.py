@@ -1,0 +1,175 @@
+"""``ServeClient`` — a blocking stdlib client for the serving protocol.
+
+Wraps a TCP connection to an :class:`~repro.serve.server
+.EstimatorServer` behind plain method calls; every method sends one
+line-delimited JSON request (auto-numbered ``id``), reads one
+response, and either returns the ``result`` object or raises
+:class:`~repro.errors.ServeError` carrying the server's error type and
+message.  The client is intentionally synchronous — benchmark drivers,
+tests, and shell tooling want straight-line code; concurrency comes
+from running many clients (threads or processes), which the server is
+built for.
+
+A client is **not** thread-safe; give each thread its own (they are
+cheap — one socket).
+
+>>> from repro.api import open_session
+>>> from repro.serve.server import serve_in_background
+>>> from repro.types import insertion, deletion
+>>> with serve_in_background(open_session("exact")) as background:
+...     with ServeClient(*background.address) as client:
+...         client.ping()["pong"]
+...         _ = client.ingest([insertion(u, v)
+...                            for u in ("u1", "u2")
+...                            for v in ("v1", "v2")])
+...         _ = client.ingest(deletion("u2", "v2"))
+...         client.estimate()["estimate"]
+...         client.stats()["elements"]
+True
+0.0
+5
+"""
+
+from __future__ import annotations
+
+import socket
+from typing import Any, Dict, Iterable, Optional, Tuple, Union
+
+from repro.errors import ServeError
+from repro.serve.protocol import (
+    decode_message,
+    elements_to_records,
+    encode_message,
+)
+from repro.types import StreamElement
+
+__all__ = ["ServeClient"]
+
+
+class ServeClient:
+    """One blocking connection to an estimator server.
+
+    Args:
+        host: server host.
+        port: server port.
+        timeout: per-call socket timeout in seconds (None blocks
+            forever).
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        timeout: Optional[float] = 30.0,
+    ) -> None:
+        self._address: Tuple[str, int] = (host, port)
+        self._sock = socket.create_connection(self._address, timeout=timeout)
+        self._reader = self._sock.makefile("rb")
+        self._next_id = 0
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        return self._address
+
+    # ------------------------------------------------------------------
+    # The call primitive
+    # ------------------------------------------------------------------
+    def call(self, op: str, **fields: Any) -> Any:
+        """Send one request; return its result or raise ServeError."""
+        self._next_id += 1
+        request = {"id": self._next_id, "op": op, **fields}
+        try:
+            self._sock.sendall(encode_message(request))
+            line = self._reader.readline()
+        except OSError as exc:
+            raise ServeError(
+                f"connection to {self._address} failed: {exc}"
+            ) from exc
+        if not line:
+            raise ServeError(
+                f"server at {self._address} closed the connection"
+            )
+        response = decode_message(line)
+        if response.get("id") != self._next_id:
+            raise ServeError(
+                f"response id {response.get('id')!r} does not match "
+                f"request id {self._next_id}"
+            )
+        if response.get("ok"):
+            return response.get("result")
+        error = response.get("error") or {}
+        raise ServeError(
+            f"{error.get('type', 'error')}: "
+            f"{error.get('message', 'request failed')}"
+        )
+
+    # ------------------------------------------------------------------
+    # Operations
+    # ------------------------------------------------------------------
+    def ping(self) -> Dict[str, Any]:
+        """Liveness + protocol version."""
+        return self.call("ping")
+
+    def estimate(self) -> Dict[str, Any]:
+        """The published view: ``{seq, elements, estimate}``.
+
+        Answered from the server's immutable current view — consistent
+        by construction, never blocked by concurrent ingest.
+        """
+        return self.call("estimate")
+
+    def stats(self) -> Dict[str, Any]:
+        """The full view plus server counters and session identity."""
+        return self.call("stats")
+
+    def ingest(
+        self,
+        elements: Union[StreamElement, Iterable[StreamElement]],
+    ) -> Dict[str, Any]:
+        """Ingest one element or an iterable of them.
+
+        Returns the server's ``{accepted, delta, seq, elements,
+        estimate}`` summary after the whole batch applied.
+        """
+        if isinstance(elements, StreamElement):
+            elements = [elements]
+        return self.call("ingest", elements=elements_to_records(elements))
+
+    def flush(self) -> Dict[str, Any]:
+        """Flush estimator-buffered work (PARABACUS mini-batches)."""
+        return self.call("flush")
+
+    def snapshot(self) -> Dict[str, Any]:
+        """The session's full snapshot envelope (consistent)."""
+        return self.call("snapshot")["snapshot"]
+
+    def checkpoint(self) -> int:
+        """Durable checkpoint; returns the covered element offset."""
+        return self.call("checkpoint")["offset"]
+
+    def shutdown(self) -> Dict[str, Any]:
+        """Ask the server process to wind down."""
+        return self.call("shutdown")
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Say goodbye and close the socket."""
+        try:
+            self.call("close")
+        except ServeError:
+            pass
+        finally:
+            self._reader.close()
+            self._sock.close()
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *_exc: object) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ServeClient{self._address!r}"

@@ -1,0 +1,116 @@
+"""The serving wire protocol: line-delimited JSON over a socket.
+
+One request per line, one response per line, UTF-8 JSON, ``\\n``
+terminated (``docs/serving.md`` is the full protocol reference)::
+
+    -> {"id": 1, "op": "estimate"}
+    <- {"id": 1, "ok": true,
+        "result": {"seq": 7, "elements": 4096, "estimate": 1234.0}}
+
+A request is an object with an ``"op"`` and an optional ``"id"`` the
+server echoes back verbatim (clients use it to match pipelined
+responses).  A response is either ``{"ok": true, "result": ...}`` or
+``{"ok": false, "error": {"type": ..., "message": ...}}``.
+
+Stream elements travel as the shared record grammar of
+:meth:`repro.types.StreamElement.to_record` — ``[op, u, v]`` with an
+optional fourth timestamp field — so the wire, the write-ahead log,
+and the snapshot files all speak the same element encoding.
+
+>>> request = decode_message(
+...     encode_message({"id": 1, "op": "ingest",
+...                     "elements": [["+", "alice", "matrix"]]}))
+>>> [str(e) for e in records_to_elements(request["elements"])]
+['(alice, matrix, +)']
+>>> error_response(1, "SpecError", "no such estimator")["error"]["type"]
+'SpecError'
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterable, List, Optional
+
+from repro.errors import ServeError
+from repro.types import StreamElement
+
+__all__ = [
+    "MAX_LINE",
+    "PROTOCOL_VERSION",
+    "decode_message",
+    "elements_to_records",
+    "encode_message",
+    "error_response",
+    "records_to_elements",
+    "result_response",
+]
+
+#: Wire protocol version, echoed by the ``ping`` operation.
+PROTOCOL_VERSION = 1
+
+#: Upper bound on one protocol line (requests *and* responses).  Ingest
+#: batches larger than this must be split client-side; the server
+#: refuses longer lines instead of buffering unboundedly.
+MAX_LINE = 1 << 20
+
+
+def encode_message(message: Dict[str, Any]) -> bytes:
+    """Serialise one protocol message to its wire line."""
+    return json.dumps(message, separators=(",", ":")).encode("utf-8") + b"\n"
+
+
+def decode_message(line: bytes) -> Dict[str, Any]:
+    """Parse one wire line; raises ServeError when it is not a message.
+
+    >>> decode_message(b'{"op": "ping"}\\n')
+    {'op': 'ping'}
+    """
+    try:
+        message = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise ServeError(f"malformed protocol line: {exc}") from exc
+    if not isinstance(message, dict):
+        raise ServeError(
+            f"protocol messages are JSON objects, got {type(message).__name__}"
+        )
+    return message
+
+
+def elements_to_records(
+    elements: Iterable[StreamElement],
+) -> List[List[Any]]:
+    """Encode stream elements for an ``ingest`` request body."""
+    return [element.to_record() for element in elements]
+
+
+def records_to_elements(records: Any) -> List[StreamElement]:
+    """Decode an ``ingest`` request body back into stream elements."""
+    if not isinstance(records, list):
+        raise ServeError(
+            f"'elements' must be a list of records, got {records!r}"
+        )
+    elements = []
+    for record in records:
+        try:
+            elements.append(StreamElement.from_record(record))
+        except ValueError as exc:
+            raise ServeError(str(exc)) from exc
+    return elements
+
+
+def result_response(
+    request_id: Optional[Any], result: Any
+) -> Dict[str, Any]:
+    """A success response echoing the request's id."""
+    return {"id": request_id, "ok": True, "result": result}
+
+
+def error_response(
+    request_id: Optional[Any], kind: str, message: str
+) -> Dict[str, Any]:
+    """A failure response echoing the request's id."""
+    return {
+        "id": request_id,
+        "ok": False,
+        "error": {"type": kind, "message": message},
+    }

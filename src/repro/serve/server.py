@@ -1,0 +1,413 @@
+"""The asyncio query-serving layer: ``EstimatorServer``.
+
+One server owns one :class:`~repro.api.session.Session` and serves
+concurrent clients over the line-delimited JSON protocol of
+:mod:`repro.serve.protocol`.  The concurrency model keeps queries off
+the ingest hot path and makes torn reads impossible by construction:
+
+* **One writer.**  Every mutating operation (``ingest``, ``flush``,
+  ``snapshot``, ``checkpoint``) is submitted to a single-thread
+  executor, so session state only ever changes in one thread, in
+  request order, while the asyncio loop stays free to answer reads.
+* **Immutable views.**  After each mutation the writer thread builds a
+  frozen :class:`ServingView` (estimate, element count, memory, a
+  monotonically increasing ``seq``) and publishes it with one atomic
+  reference assignment.  ``estimate`` and ``stats`` requests read the
+  *current view* — never the live session — so a query observes one
+  consistent (elements, estimate) pair from a single publish, no
+  matter how much ingest is in flight.  A view can be *stale* by at
+  most the running mutation; it can never be torn.  The
+  concurrent-consistency assertion lives in
+  ``benchmarks/bench_serve_queries.py`` and
+  ``tests/serve/test_server.py``.
+* **Snapshot consistency.**  ``snapshot``/``checkpoint`` run on the
+  writer thread too, so they serialise against ingest and capture a
+  state at an exact request boundary.
+
+Start one with :func:`serve_in_background` (tests, benchmarks,
+embedding) or ``repro serve`` on the CLI (``docs/serving.md``).
+
+>>> from repro.api import open_session
+>>> from repro.serve.client import ServeClient
+>>> from repro.types import insertion
+>>> with serve_in_background(open_session("exact")) as server:
+...     with ServeClient(*server.address) as client:
+...         _ = client.ingest([insertion(u, v)
+...                            for u in ("u1", "u2")
+...                            for v in ("v1", "v2")])
+...         client.estimate()["estimate"]
+1.0
+"""
+
+from __future__ import annotations
+
+import asyncio
+import concurrent.futures
+import threading
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Tuple
+
+from repro.api.session import Session
+from repro.errors import ReproError, ServeError
+from repro.serve.protocol import (
+    MAX_LINE,
+    PROTOCOL_VERSION,
+    decode_message,
+    encode_message,
+    error_response,
+    records_to_elements,
+    result_response,
+)
+
+__all__ = [
+    "BackgroundServer",
+    "EstimatorServer",
+    "ServingView",
+    "serve_in_background",
+]
+
+#: Operations answered straight from the published view (no executor).
+READ_OPS = frozenset({"ping", "estimate", "stats"})
+
+#: Operations serialised through the single writer thread.
+WRITE_OPS = frozenset({"ingest", "flush", "snapshot", "checkpoint"})
+
+
+@dataclass(frozen=True)
+class ServingView:
+    """One immutable, atomically published snapshot of serving state.
+
+    Attributes:
+        seq: publish sequence number (0 is the pre-ingest state;
+            strictly increasing afterwards).
+        elements: elements ingested when the view was published.
+        estimate: the estimate at publish time.
+        memory_edges: sample size at publish time.
+        processing_seconds: cumulative estimator processing time.
+    """
+
+    seq: int
+    elements: int
+    estimate: float
+    memory_edges: int
+    processing_seconds: float
+
+    def as_result(self) -> Dict[str, Any]:
+        """The view as an ``estimate`` response body."""
+        return {
+            "seq": self.seq,
+            "elements": self.elements,
+            "estimate": self.estimate,
+        }
+
+
+class EstimatorServer:
+    """Serve one session's estimates over line-delimited JSON.
+
+    Args:
+        session: the session to own.  The server becomes the only
+            writer: after :meth:`start`, touch the session through the
+            protocol only.
+        host: interface to bind (default loopback).
+        port: TCP port; 0 picks a free one (see :attr:`address`).
+    """
+
+    def __init__(
+        self,
+        session: Session,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self._session = session
+        self._host = host
+        self._port = port
+        self._server: Optional[asyncio.Server] = None
+        self._writer_pool = concurrent.futures.ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="repro-serve-writer"
+        )
+        self._stopping = asyncio.Event()
+        self._closed = False
+        self._counters: Dict[str, int] = {}
+        self._connections = 0
+        self._view = self._build_view(0)
+
+    # ------------------------------------------------------------------
+    # The published view
+    # ------------------------------------------------------------------
+    def _build_view(self, seq: int) -> ServingView:
+        session = self._session
+        return ServingView(
+            seq=seq,
+            elements=session.elements,
+            estimate=session.estimate,
+            memory_edges=session.memory_edges,
+            processing_seconds=session._processing_seconds,
+        )
+
+    def _publish(self) -> ServingView:
+        """Build and atomically publish a fresh view (writer thread)."""
+        view = self._build_view(self._view.seq + 1)
+        self._view = view
+        return view
+
+    @property
+    def view(self) -> ServingView:
+        """The currently published view."""
+        return self._view
+
+    @property
+    def session(self) -> Session:
+        return self._session
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        """Bind and start accepting connections."""
+        if self._server is not None:
+            raise ServeError("server is already started")
+        self._server = await asyncio.start_server(
+            self._handle_connection,
+            self._host,
+            self._port,
+            limit=MAX_LINE,
+        )
+        self._port = self._server.sockets[0].getsockname()[1]
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """``(host, port)`` — the bound port once started."""
+        return (self._host, self._port)
+
+    def request_shutdown(self) -> None:
+        """Ask :meth:`serve_forever` to wind the server down."""
+        self._stopping.set()
+
+    async def serve_forever(self) -> None:
+        """Serve until :meth:`request_shutdown`, then close."""
+        if self._server is None:
+            await self.start()
+        try:
+            await self._stopping.wait()
+        finally:
+            await self.aclose()
+
+    async def aclose(self) -> None:
+        """Stop accepting, drain the writer, close the session."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        # Run the (possibly busy) writer dry, then close the session
+        # on it so buffered estimator work lands before we return.
+        loop = asyncio.get_running_loop()
+        await loop.run_in_executor(self._writer_pool, self._session.close)
+        self._writer_pool.shutdown(wait=True)
+
+    # ------------------------------------------------------------------
+    # Connections
+    # ------------------------------------------------------------------
+    async def _handle_connection(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        self._connections += 1
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (ValueError, asyncio.LimitOverrunError):
+                    writer.write(encode_message(error_response(
+                        None,
+                        "ServeError",
+                        f"request line exceeds {MAX_LINE} bytes",
+                    )))
+                    await writer.drain()
+                    return
+                if not line:
+                    return
+                if line.strip() == b"":
+                    continue
+                response = await self._respond(line)
+                writer.write(encode_message(response))
+                await writer.drain()
+                result = response.get("result")
+                if isinstance(result, dict) and result.get("goodbye"):
+                    return
+        except (ConnectionResetError, BrokenPipeError):
+            return
+        finally:
+            self._connections -= 1
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    async def _respond(self, line: bytes) -> Dict[str, Any]:
+        request_id: Optional[Any] = None
+        try:
+            request = decode_message(line)
+            request_id = request.get("id")
+            result = await self._dispatch(request)
+            return result_response(request_id, result)
+        except ReproError as exc:
+            return error_response(request_id, type(exc).__name__, str(exc))
+        except Exception as exc:  # noqa: BLE001 - protocol boundary
+            return error_response(request_id, type(exc).__name__, str(exc))
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+    async def _dispatch(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        op = request.get("op")
+        if not isinstance(op, str):
+            raise ServeError("request needs a string 'op' field")
+        self._counters[op] = self._counters.get(op, 0) + 1
+        if op in READ_OPS:
+            return self._read(op)
+        if op == "close":
+            return {"goodbye": True}
+        if op == "shutdown":
+            self.request_shutdown()
+            return {"stopping": True}
+        if op in WRITE_OPS:
+            loop = asyncio.get_running_loop()
+            return await loop.run_in_executor(
+                self._writer_pool, self._write, op, request
+            )
+        raise ServeError(
+            f"unknown operation {op!r}; supported: "
+            f"{', '.join(sorted(READ_OPS | WRITE_OPS))}, close, shutdown"
+        )
+
+    def _read(self, op: str) -> Dict[str, Any]:
+        view = self._view  # one atomic reference read — never torn
+        if op == "ping":
+            return {"pong": True, "version": PROTOCOL_VERSION}
+        if op == "estimate":
+            return view.as_result()
+        spec = self._session.spec
+        return {
+            "seq": view.seq,
+            "elements": view.elements,
+            "estimate": view.estimate,
+            "memory_edges": view.memory_edges,
+            "processing_seconds": view.processing_seconds,
+            "spec": spec.to_string() if spec else None,
+            "durable": self._session.durable,
+            "connections": self._connections,
+            "operations": dict(self._counters),
+        }
+
+    def _write(self, op: str, request: Dict[str, Any]) -> Dict[str, Any]:
+        """Apply one mutating operation (single writer thread)."""
+        session = self._session
+        if op == "ingest":
+            elements = records_to_elements(request.get("elements"))
+            delta = session.ingest(elements)
+            view = self._publish()
+            return {
+                "accepted": len(elements),
+                "delta": delta,
+                "seq": view.seq,
+                "elements": view.elements,
+                "estimate": view.estimate,
+            }
+        if op == "flush":
+            delta = session.flush()
+            view = self._publish()
+            return {"delta": delta, "seq": view.seq}
+        if op == "snapshot":
+            return {"snapshot": session.snapshot()}
+        # checkpoint
+        offset = session.checkpoint()
+        self._publish()
+        return {"offset": offset}
+
+
+class BackgroundServer:
+    """An :class:`EstimatorServer` running on a private loop thread.
+
+    Returned by :func:`serve_in_background`; use as a context manager
+    or call :meth:`stop` explicitly.  ``address`` is the bound
+    ``(host, port)``.
+    """
+
+    def __init__(
+        self,
+        server: EstimatorServer,
+        loop: asyncio.AbstractEventLoop,
+        thread: threading.Thread,
+    ) -> None:
+        self._server = server
+        self._loop = loop
+        self._thread = thread
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        return self._server.address
+
+    @property
+    def server(self) -> EstimatorServer:
+        return self._server
+
+    def stop(self, timeout: float = 30.0) -> None:
+        """Shut the server down and join its thread."""
+        if not self._thread.is_alive():
+            return
+        self._loop.call_soon_threadsafe(self._server.request_shutdown)
+        self._thread.join(timeout)
+        if self._thread.is_alive():  # pragma: no cover - defensive
+            raise ServeError("serving thread failed to stop in time")
+
+    def __enter__(self) -> "BackgroundServer":
+        return self
+
+    def __exit__(self, *_exc: object) -> None:
+        self.stop()
+
+
+def serve_in_background(
+    session: Session,
+    host: str = "127.0.0.1",
+    port: int = 0,
+) -> BackgroundServer:
+    """Start an :class:`EstimatorServer` on a daemon loop thread.
+
+    Blocks until the server is bound (so ``.address`` is final), then
+    returns a :class:`BackgroundServer` handle.  Stopping the handle
+    closes the session.
+    """
+    started = threading.Event()
+    holder: Dict[str, Any] = {}
+
+    async def _main() -> None:
+        server = EstimatorServer(session, host=host, port=port)
+        await server.start()
+        holder["server"] = server
+        holder["loop"] = asyncio.get_running_loop()
+        started.set()
+        await server.serve_forever()
+
+    def _run() -> None:
+        try:
+            asyncio.run(_main())
+        except Exception as exc:  # pragma: no cover - startup failures
+            holder["error"] = exc
+            started.set()
+
+    thread = threading.Thread(
+        target=_run, name="repro-serve-loop", daemon=True
+    )
+    thread.start()
+    started.wait()
+    if "error" in holder:
+        raise ServeError(
+            f"serving loop failed to start: {holder['error']}"
+        ) from holder["error"]
+    return BackgroundServer(holder["server"], holder["loop"], thread)

@@ -1,0 +1,40 @@
+"""Durable persistence for estimator sessions.
+
+Everything an estimate needs to survive a process death lives here:
+
+* :mod:`repro.store.wal` — a CRC-framed, fsync-batched **write-ahead
+  log** of stream elements (:class:`WalWriter`, :func:`iter_wal`,
+  :func:`scan_wal`).  Every element a durable session ingests is
+  framed and appended *before* the estimator processes it.
+* :mod:`repro.store.snapshots` — a :class:`SnapshotStore` of durable
+  session snapshots (the :meth:`repro.api.session.Session.snapshot`
+  JSON envelope), written atomically (tmp + fsync + rename).
+* :mod:`repro.store.durable` — :class:`DurableStore`, the directory
+  layout that ties both together, and the **recovery contract**: load
+  the latest snapshot, replay the WAL tail, and land **bit-identical**
+  to the uninterrupted run (``docs/persistence.md``; enforced
+  kill-at-every-byte by ``tests/store/test_recovery.py``).
+
+The user-facing entry point is
+``open_session(spec, durable_dir=...)`` — see
+:mod:`repro.api.session`; this package is the machinery underneath.
+"""
+
+from repro.store.durable import (
+    DEFAULT_FSYNC_EVERY,
+    DurableStore,
+    RecoveredState,
+)
+from repro.store.snapshots import SnapshotStore
+from repro.store.wal import WalScan, WalWriter, iter_wal, scan_wal
+
+__all__ = [
+    "DEFAULT_FSYNC_EVERY",
+    "DurableStore",
+    "RecoveredState",
+    "SnapshotStore",
+    "WalScan",
+    "WalWriter",
+    "iter_wal",
+    "scan_wal",
+]

@@ -1,0 +1,135 @@
+"""Durable session snapshots: atomic JSON files keyed by stream offset.
+
+A snapshot file holds one :meth:`repro.api.session.Session.snapshot`
+envelope — the complete estimator state behind the
+``state_to_dict`` / ``from_state_dict`` protocol — named by the
+element offset it captures::
+
+    snapshot-00000000000000001024.json
+
+Writes are **atomic**: the payload goes to a temporary file in the
+same directory, is flushed and fsynced, and only then renamed into
+place (``os.replace``), so a crash can never leave a half-written
+snapshot under the canonical name.  :meth:`SnapshotStore.latest`
+additionally skips any snapshot that fails to parse, falling back to
+the previous one — corruption costs replay work, never correctness.
+
+>>> import tempfile
+>>> store = SnapshotStore(tempfile.mkdtemp())
+>>> store.latest() is None
+True
+>>> _ = store.save({"state": "tiny"}, offset=4)
+>>> _ = store.save({"state": "bigger"}, offset=9)
+>>> store.offsets()
+(4, 9)
+>>> store.latest()
+(9, {'state': 'bigger'})
+>>> store.prune(keep=1)
+[4]
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import re
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+from repro.errors import StoreError
+
+__all__ = ["SnapshotStore"]
+
+_NAME = re.compile(r"^snapshot-(\d{20})\.json$")
+
+
+def _fsync_directory(directory: pathlib.Path) -> None:
+    """Make a rename in ``directory`` durable (best effort off POSIX)."""
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:  # pragma: no cover - non-POSIX directory handles
+        return
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+class SnapshotStore:
+    """Atomic, offset-keyed snapshot files inside one directory."""
+
+    def __init__(self, directory: Union[str, os.PathLike]) -> None:
+        self._dir = pathlib.Path(directory)
+        self._dir.mkdir(parents=True, exist_ok=True)
+
+    @property
+    def directory(self) -> pathlib.Path:
+        return self._dir
+
+    def path_for(self, offset: int) -> pathlib.Path:
+        """The canonical snapshot path for an element offset."""
+        if offset < 0:
+            raise StoreError(f"snapshot offset must be >= 0: {offset}")
+        return self._dir / f"snapshot-{offset:020d}.json"
+
+    def save(self, payload: Dict[str, Any], offset: int) -> pathlib.Path:
+        """Write ``payload`` atomically as the snapshot at ``offset``."""
+        target = self.path_for(offset)
+        temporary = target.with_name(f".tmp-{target.name}")
+        with open(temporary, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(temporary, target)
+        _fsync_directory(self._dir)
+        return target
+
+    def offsets(self) -> Tuple[int, ...]:
+        """Offsets of every snapshot file present, ascending."""
+        found = []
+        for entry in self._dir.iterdir():
+            match = _NAME.match(entry.name)
+            if match:
+                found.append(int(match.group(1)))
+        return tuple(sorted(found))
+
+    def load(self, offset: int) -> Dict[str, Any]:
+        """Load one snapshot; raises StoreError when unreadable."""
+        path = self.path_for(offset)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except (OSError, json.JSONDecodeError) as exc:
+            raise StoreError(
+                f"snapshot {path.name} is unreadable: {exc}"
+            ) from exc
+        if not isinstance(payload, dict):
+            raise StoreError(f"snapshot {path.name} is not a JSON object")
+        return payload
+
+    def latest(self) -> Optional[Tuple[int, Dict[str, Any]]]:
+        """The newest *loadable* snapshot as ``(offset, payload)``.
+
+        Unreadable snapshots (which atomic writes make improbable) are
+        skipped rather than fatal: recovery falls back to an older
+        snapshot plus a longer WAL replay.
+        """
+        for offset in reversed(self.offsets()):
+            try:
+                return offset, self.load(offset)
+            except StoreError:
+                continue
+        return None
+
+    def prune(self, keep: int = 2) -> List[int]:
+        """Delete all but the newest ``keep`` snapshots.
+
+        Returns the offsets removed.  ``keep`` must be positive — the
+        store never deletes its only recovery point.
+        """
+        if keep <= 0:
+            raise StoreError(f"keep must be positive, got {keep}")
+        doomed = self.offsets()[:-keep]
+        for offset in doomed:
+            self.path_for(offset).unlink(missing_ok=True)
+        return list(doomed)

@@ -1,0 +1,269 @@
+"""The write-ahead log: CRC-framed stream elements on disk.
+
+A WAL file is an 8-byte magic header followed by framed records::
+
+    header  := b"RWAL" <format:u8> b"\\x00\\x00\\x00"
+    record  := <payload_len:u32 LE> <crc32(payload):u32 LE> <payload>
+    payload := UTF-8 JSON of StreamElement.to_record()
+               ([op, u, v] or [op, u, v, time])
+
+Records are framed individually so a crash can only tear the **tail**:
+:func:`scan_wal` walks frames until the first short read or CRC
+mismatch and reports the prefix that is intact — everything before a
+torn frame is trusted, everything from it on is discarded (recovery
+truncates the file there before appending again).
+
+:class:`WalWriter` appends through a buffered file handle and batches
+``fsync``: the default :data:`~repro.store.durable.DEFAULT_FSYNC_EVERY`
+records per sync amortises the flush cost across the ingest hot path,
+and :meth:`WalWriter.sync` forces the barrier whenever the caller needs
+one (snapshots do).
+
+>>> import pathlib, tempfile
+>>> from repro.types import insertion, timed_deletion
+>>> path = pathlib.Path(tempfile.mkdtemp()) / "wal-0.log"
+>>> with WalWriter(path, fsync_every=2) as wal:
+...     wal.append(insertion("alice", "matrix"))
+...     wal.append(timed_deletion(3, 7, 2.5))
+>>> [str(element) for element in iter_wal(path)]
+['(alice, matrix, +)', '(3, 7, -, t=2.5)']
+>>> scan_wal(path).records, scan_wal(path).clean
+(2, True)
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+import zlib
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Union
+
+from repro.errors import StoreError
+from repro.types import StreamElement
+
+__all__ = ["WAL_MAGIC", "WalScan", "WalWriter", "iter_wal", "scan_wal"]
+
+#: File magic: identifies a repro WAL and pins its format version.
+WAL_MAGIC = b"RWAL\x01\x00\x00\x00"
+
+#: Frame header: little-endian payload length + CRC32 of the payload.
+_FRAME = struct.Struct("<II")
+
+#: Upper bound on a sane payload; a longer declared length is treated
+#: as corruption (stops the scan) instead of being allocated.
+_MAX_PAYLOAD = 1 << 20
+
+PathLike = Union[str, os.PathLike]
+
+
+def _encode(element: StreamElement) -> bytes:
+    payload = json.dumps(
+        element.to_record(), separators=(",", ":")
+    ).encode("utf-8")
+    return _FRAME.pack(len(payload), zlib.crc32(payload)) + payload
+
+
+@dataclass(frozen=True)
+class WalScan:
+    """What :func:`scan_wal` found in one WAL file.
+
+    Attributes:
+        records: intact records before any torn/corrupt frame.
+        valid_bytes: file length of the intact prefix (header
+            included) — recovery truncates the file here.
+        clean: True when the file ends exactly on a frame boundary
+            (no torn tail).
+    """
+
+    records: int
+    valid_bytes: int
+    clean: bool
+
+
+def _check_header(head: bytes, path: PathLike) -> bool:
+    """True when ``head`` is the full magic; False for a torn prefix.
+
+    A file shorter than the magic whose bytes *are* a magic prefix is
+    a crash during file creation — recoverable (0 records).  Anything
+    else is not a repro WAL and raises.
+    """
+    if head == WAL_MAGIC:
+        return True
+    if len(head) < len(WAL_MAGIC) and WAL_MAGIC.startswith(head):
+        return False
+    raise StoreError(f"{os.fspath(path)!r} is not a repro WAL file")
+
+
+def scan_wal(path: PathLike) -> WalScan:
+    """Walk a WAL's frames; report the intact prefix and tail state."""
+    records = 0
+    with open(path, "rb") as handle:
+        if not _check_header(handle.read(len(WAL_MAGIC)), path):
+            return WalScan(0, 0, False)
+        valid = len(WAL_MAGIC)
+        while True:
+            header = handle.read(_FRAME.size)
+            if not header:
+                return WalScan(records, valid, True)
+            if len(header) < _FRAME.size:
+                return WalScan(records, valid, False)
+            length, crc = _FRAME.unpack(header)
+            if length > _MAX_PAYLOAD:
+                return WalScan(records, valid, False)
+            payload = handle.read(length)
+            if len(payload) < length or zlib.crc32(payload) != crc:
+                return WalScan(records, valid, False)
+            records += 1
+            valid += _FRAME.size + length
+
+
+def iter_wal(path: PathLike) -> Iterator[StreamElement]:
+    """Yield the intact records of a WAL file as stream elements.
+
+    Stops silently at a torn tail (use :func:`scan_wal` to learn
+    whether one exists); raises :class:`~repro.errors.StoreError` for
+    a record whose intact payload is not a valid element record.
+    """
+    with open(path, "rb") as handle:
+        if not _check_header(handle.read(len(WAL_MAGIC)), path):
+            return
+        while True:
+            header = handle.read(_FRAME.size)
+            if len(header) < _FRAME.size:
+                return
+            length, crc = _FRAME.unpack(header)
+            if length > _MAX_PAYLOAD:
+                return
+            payload = handle.read(length)
+            if len(payload) < length or zlib.crc32(payload) != crc:
+                return
+            try:
+                yield StreamElement.from_record(json.loads(payload))
+            except (json.JSONDecodeError, ValueError) as exc:
+                raise StoreError(
+                    f"WAL record with a valid checksum failed to "
+                    f"decode in {os.fspath(path)!r}: {exc}"
+                ) from exc
+
+
+class WalWriter:
+    """Append-only writer for one WAL segment file.
+
+    Args:
+        path: segment file.  A missing or empty file gets the magic
+            header; an existing file must start with it (recovery
+            truncates torn state *before* constructing a writer).
+        fsync_every: force ``fsync`` after this many appended records.
+            Appends between barriers live in OS/file buffers — a crash
+            may tear them, which is exactly the tail :func:`scan_wal`
+            discards.  ``sync()``/``close()`` always force a barrier.
+    """
+
+    def __init__(self, path: PathLike, *, fsync_every: int = 256) -> None:
+        if fsync_every <= 0:
+            raise StoreError(
+                f"fsync_every must be positive, got {fsync_every}"
+            )
+        self._path = path
+        self._fsync_every = fsync_every
+        self._pending = 0
+        self._appended = 0
+        size = os.path.getsize(path) if os.path.exists(path) else 0
+        if size:
+            with open(path, "rb") as handle:
+                if not _check_header(handle.read(len(WAL_MAGIC)), path):
+                    raise StoreError(
+                        f"cannot append to {os.fspath(path)!r}: torn "
+                        "header (run recovery first)"
+                    )
+        self._handle = open(path, "ab")
+        if size == 0:
+            self._handle.write(WAL_MAGIC)
+            self._barrier()
+
+    @property
+    def path(self) -> PathLike:
+        return self._path
+
+    @property
+    def appended(self) -> int:
+        """Records appended through this writer instance."""
+        return self._appended
+
+    def position(self) -> int:
+        """Current end-of-log byte position (buffered bytes included).
+
+        Pair with :meth:`truncate_to` to undo appends whose elements
+        the estimator then refused — a record must leave the log when
+        its element was never ingested, or log and session desync.
+        """
+        return self._handle.tell()
+
+    def truncate_to(self, position: int, records: int) -> None:
+        """Undo the last ``records`` appends, back to ``position``.
+
+        ``position`` must come from :meth:`position` taken before the
+        appends being undone.  The truncation is flushed and fsynced —
+        a rolled-back record must never resurface after a crash.
+        """
+        current = self._handle.tell()
+        if position > current:
+            raise StoreError(
+                f"cannot truncate forward: {position} > {current}"
+            )
+        self._handle.flush()
+        os.ftruncate(self._handle.fileno(), position)
+        self._handle.seek(position)
+        os.fsync(self._handle.fileno())
+        self._appended -= records
+        self._pending = 0
+
+    def append(self, element: StreamElement) -> None:
+        """Frame and append one element; fsync when the batch fills."""
+        self._handle.write(_encode(element))
+        self._appended += 1
+        self._pending += 1
+        if self._pending >= self._fsync_every:
+            self._barrier()
+
+    def append_batch(self, elements: Iterable[StreamElement]) -> int:
+        """Append a run of elements; returns how many were appended."""
+        count = 0
+        write = self._handle.write
+        for element in elements:
+            write(_encode(element))
+            count += 1
+        self._appended += count
+        self._pending += count
+        if self._pending >= self._fsync_every:
+            self._barrier()
+        return count
+
+    def _barrier(self) -> None:
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+        self._pending = 0
+
+    def sync(self) -> None:
+        """Force buffered appends to durable storage now."""
+        self._barrier()
+
+    def close(self) -> None:
+        if self._handle.closed:
+            return
+        self._barrier()
+        self._handle.close()
+
+    def __enter__(self) -> "WalWriter":
+        return self
+
+    def __exit__(self, *_exc: object) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"WalWriter({os.fspath(self._path)!r}, "
+            f"appended={self._appended})"
+        )

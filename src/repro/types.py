@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Hashable, Tuple
+from typing import Any, Hashable, List, Tuple
 
 Vertex = Hashable
 Edge = Tuple[Vertex, Vertex]
@@ -86,6 +86,63 @@ class StreamElement:
         flipped = Op.DELETE if self.op is Op.INSERT else Op.INSERT
         return StreamElement(self.u, self.v, flipped)
 
+    def to_record(self) -> List[Any]:
+        """The element as a durable wire/log record.
+
+        The record grammar — shared by the write-ahead log
+        (:mod:`repro.store.wal`) and the serving wire protocol
+        (:mod:`repro.serve.protocol`) — is a JSON-ready list::
+
+            [op, u, v]          # StreamElement
+            [op, u, v, time]    # TimedEdge
+
+        where ``op`` is the stream symbol (``"+"`` / ``"-"``).
+        Durability restricts vertices to the JSON-representable
+        identifiers (``int``/``str``) that the snapshot protocol
+        already requires; :meth:`from_record` rebuilds the exact
+        element, :class:`TimedEdge` subclass included.
+
+        >>> insertion("alice", "matrix").to_record()
+        ['+', 'alice', 'matrix']
+        >>> timed_deletion(3, 7, 2.5).to_record()
+        ['-', 3, 7, 2.5]
+        """
+        return [self.op.value, self.u, self.v]
+
+    @staticmethod
+    def from_record(record: List[Any]) -> "StreamElement":
+        """Rebuild an element from :meth:`to_record` output.
+
+        A 4-field record carries a timestamp and yields a
+        :class:`TimedEdge`; a 3-field record yields a plain
+        :class:`StreamElement`.  Malformed records raise ValueError
+        (the store and serve layers wrap it into their own errors).
+
+        >>> StreamElement.from_record(["+", "alice", "matrix"])
+        StreamElement(u='alice', v='matrix', op=<Op.INSERT: '+'>)
+        >>> element = StreamElement.from_record(["-", 3, 7, 2.5])
+        >>> type(element).__name__, element.time
+        ('TimedEdge', 2.5)
+        """
+        if not isinstance(record, (list, tuple)) or len(record) not in (
+            3,
+            4,
+        ):
+            raise ValueError(
+                f"stream-element record must be [op, u, v(, time)], "
+                f"got {record!r}"
+            )
+        op = Op.from_symbol(record[0])
+        if len(record) == 4:
+            try:
+                time = float(record[3])
+            except (TypeError, ValueError) as exc:
+                raise ValueError(
+                    f"bad timestamp {record[3]!r} in element record"
+                ) from exc
+            return TimedEdge(record[1], record[2], op, time)
+        return StreamElement(record[1], record[2], op)
+
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return f"({self.u}, {self.v}, {self.op.value})"
 
@@ -126,6 +183,14 @@ class TimedEdge(StreamElement):
         """The element that undoes this one, at the same timestamp."""
         flipped = Op.DELETE if self.op is Op.INSERT else Op.INSERT
         return TimedEdge(self.u, self.v, flipped, self.time)
+
+    def to_record(self) -> List[Any]:
+        """The 4-field ``[op, u, v, time]`` record (see base method).
+
+        >>> timed_insertion("alice", "matrix", 12.5).to_record()
+        ['+', 'alice', 'matrix', 12.5]
+        """
+        return [self.op.value, self.u, self.v, self.time]
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return f"({self.u}, {self.v}, {self.op.value}, t={self.time})"

@@ -1,0 +1,57 @@
+"""CLI option handling for ``repro serve`` (no server is started)."""
+
+import pytest
+
+from repro.api import open_session
+from repro.cli import run_serve
+from repro.errors import SpecError
+
+
+@pytest.fixture
+def durable_dir(tmp_path):
+    open_session("abacus:budget=32,seed=3", durable_dir=tmp_path).close()
+    return tmp_path
+
+
+class TestReopenOptionValidation:
+    def _block_server(self, monkeypatch):
+        """Fail loudly if validation regresses into starting a server."""
+        import repro.serve.server as server_module
+
+        def _boom(*_args, **_kwargs):
+            raise AssertionError("server must not start in this test")
+
+        monkeypatch.setattr(server_module, "EstimatorServer", _boom)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"shards": 4},
+            {"window": 100},
+            {"window_time": 5.0},
+            {"shards": 2, "window": 10},
+        ],
+        ids=lambda kw: "+".join(sorted(kw)),
+    )
+    def test_wrapping_flags_without_estimator_refuse(
+        self, durable_dir, monkeypatch, kwargs
+    ):
+        self._block_server(monkeypatch)
+        with pytest.raises(SpecError, match="stored spec"):
+            run_serve(
+                None,
+                "127.0.0.1",
+                0,
+                durable_dir=str(durable_dir),
+                **kwargs,
+            )
+
+    def test_mismatched_estimator_refuses(self, durable_dir, monkeypatch):
+        self._block_server(monkeypatch)
+        with pytest.raises(SpecError, match="refusing to continue"):
+            run_serve(
+                "abacus:budget=64,seed=3",
+                "127.0.0.1",
+                0,
+                durable_dir=str(durable_dir),
+            )

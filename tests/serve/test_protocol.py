@@ -1,0 +1,88 @@
+"""Unit tests for the line-delimited JSON wire protocol."""
+
+import pytest
+
+from repro.errors import ServeError
+from repro.serve.protocol import (
+    decode_message,
+    elements_to_records,
+    encode_message,
+    error_response,
+    records_to_elements,
+    result_response,
+)
+from repro.types import deletion, insertion, timed_insertion
+
+
+class TestMessageFraming:
+    def test_round_trip(self):
+        message = {"id": 7, "op": "ingest", "elements": [["+", 1, 2]]}
+        assert decode_message(encode_message(message)) == message
+
+    def test_encoded_lines_are_newline_terminated(self):
+        line = encode_message({"op": "ping"})
+        assert line.endswith(b"\n")
+        assert b"\n" not in line[:-1]
+
+    def test_malformed_json_raises(self):
+        with pytest.raises(ServeError, match="malformed"):
+            decode_message(b"{nope\n")
+
+    def test_non_object_raises(self):
+        with pytest.raises(ServeError, match="JSON objects"):
+            decode_message(b"[1, 2, 3]\n")
+
+
+class TestElementRecords:
+    ELEMENTS = [
+        insertion("alice", "matrix"),
+        deletion(3, 7),
+        timed_insertion("bob", "dune", 1.5),
+    ]
+
+    def test_round_trip(self):
+        records = elements_to_records(self.ELEMENTS)
+        assert records_to_elements(records) == self.ELEMENTS
+
+    def test_timed_edges_keep_their_type(self):
+        (element,) = records_to_elements([["+", "u", "v", 9.0]])
+        assert type(element).__name__ == "TimedEdge"
+        assert element.time == 9.0
+
+    def test_non_list_body_raises(self):
+        with pytest.raises(ServeError, match="list of records"):
+            records_to_elements({"u": 1})
+
+    def test_malformed_record_raises(self):
+        with pytest.raises(ServeError, match="record"):
+            records_to_elements([["+", "u"]])
+
+    def test_bad_op_symbol_raises(self):
+        with pytest.raises(ServeError):
+            records_to_elements([["x", "u", "v"]])
+
+    def test_non_numeric_timestamp_raises_serve_error(self):
+        # float(None) is a TypeError; the record layer must surface
+        # the documented ValueError so this wraps as ServeError.
+        with pytest.raises(ServeError, match="timestamp"):
+            records_to_elements([["+", "u", "v", None]])
+        with pytest.raises(ServeError, match="timestamp"):
+            records_to_elements([["+", "u", "v", "soon"]])
+
+
+class TestResponses:
+    def test_result_shape(self):
+        response = result_response(3, {"estimate": 1.0})
+        assert response == {
+            "id": 3,
+            "ok": True,
+            "result": {"estimate": 1.0},
+        }
+
+    def test_error_shape(self):
+        response = error_response(None, "SpecError", "boom")
+        assert response["ok"] is False
+        assert response["error"] == {
+            "type": "SpecError",
+            "message": "boom",
+        }

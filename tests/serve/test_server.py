@@ -1,0 +1,258 @@
+"""The asyncio serving layer: operations, errors, and consistency."""
+
+import json
+import socket
+import threading
+
+import pytest
+
+from repro.api import open_session
+from repro.errors import ServeError
+from repro.serve import (
+    MAX_LINE,
+    PROTOCOL_VERSION,
+    ServeClient,
+    serve_in_background,
+)
+from repro.types import deletion, insertion
+
+BUTTERFLY = [
+    insertion("u1", "v1"),
+    insertion("u1", "v2"),
+    insertion("u2", "v1"),
+    insertion("u2", "v2"),
+]
+
+
+@pytest.fixture
+def exact_server():
+    with serve_in_background(open_session("exact")) as background:
+        yield background
+
+
+def _raw_exchange(address, payload: bytes) -> dict:
+    with socket.create_connection(address, timeout=10) as sock:
+        sock.sendall(payload)
+        with sock.makefile("rb") as reader:
+            return json.loads(reader.readline())
+
+
+class TestOperations:
+    def test_ping(self, exact_server):
+        with ServeClient(*exact_server.address) as client:
+            result = client.ping()
+        assert result == {"pong": True, "version": PROTOCOL_VERSION}
+
+    def test_estimate_starts_at_zero(self, exact_server):
+        with ServeClient(*exact_server.address) as client:
+            result = client.estimate()
+        assert result == {"seq": 0, "elements": 0, "estimate": 0.0}
+
+    def test_ingest_advances_the_view(self, exact_server):
+        with ServeClient(*exact_server.address) as client:
+            summary = client.ingest(BUTTERFLY)
+            assert summary["accepted"] == 4
+            assert summary["elements"] == 4
+            assert summary["estimate"] == 1.0
+            assert summary["delta"] == 1.0
+            view = client.estimate()
+            assert view == {"seq": 1, "elements": 4, "estimate": 1.0}
+
+    def test_single_element_ingest(self, exact_server):
+        with ServeClient(*exact_server.address) as client:
+            client.ingest(BUTTERFLY)
+            summary = client.ingest(deletion("u2", "v2"))
+            assert summary["accepted"] == 1
+            assert summary["estimate"] == 0.0
+
+    def test_deletions_and_timed_edges_cross_the_wire(
+        self, exact_server
+    ):
+        from repro.types import timed_insertion
+
+        with ServeClient(*exact_server.address) as client:
+            client.ingest([timed_insertion("u", "v", 1.0), deletion("u", "v")])
+            assert client.estimate()["elements"] == 2
+
+    def test_stats_reports_session_identity(self, exact_server):
+        with ServeClient(*exact_server.address) as client:
+            client.ingest(BUTTERFLY)
+            stats = client.stats()
+        assert stats["spec"] == "exact"
+        assert stats["durable"] is False
+        assert stats["elements"] == 4
+        assert stats["memory_edges"] == 4
+        assert stats["operations"]["ingest"] == 1
+        assert stats["connections"] == 1
+
+    def test_snapshot_is_the_session_envelope(self):
+        session = open_session("abacus:budget=32,seed=5")
+        with serve_in_background(session) as background:
+            with ServeClient(*background.address) as client:
+                client.ingest(BUTTERFLY)
+                snapshot = client.snapshot()
+        assert snapshot["estimator"] == "abacus"
+        assert snapshot["session"]["elements"] == 4
+
+    def test_flush_on_buffering_estimator(self):
+        spec = "parabacus:budget=64,seed=5,batch_size=500"
+        with serve_in_background(open_session(spec)) as background:
+            with ServeClient(*background.address) as client:
+                client.ingest(BUTTERFLY)  # sits in the mini-batch
+                result = client.flush()
+                assert result["delta"] == 1.0
+                assert client.estimate()["estimate"] == 1.0
+
+    def test_requests_can_interleave_clients(self, exact_server):
+        with ServeClient(*exact_server.address) as one:
+            with ServeClient(*exact_server.address) as two:
+                one.ingest(BUTTERFLY[:2])
+                two.ingest(BUTTERFLY[2:])
+                assert one.estimate() == two.estimate()
+                assert one.estimate()["estimate"] == 1.0
+
+    def test_close_op_ends_the_connection(self, exact_server):
+        client = ServeClient(*exact_server.address)
+        assert client.call("close") == {"goodbye": True}
+        # Depending on timing the dead connection surfaces as a clean
+        # EOF or as ECONNRESET; both wrap into ServeError.
+        with pytest.raises(
+            ServeError, match="closed the connection|Connection reset"
+        ):
+            client.call("ping")
+
+    def test_shutdown_stops_the_server(self):
+        background = serve_in_background(open_session("exact"))
+        with ServeClient(*background.address) as client:
+            assert client.shutdown() == {"stopping": True}
+        background.stop()
+        with pytest.raises(OSError):
+            socket.create_connection(background.address, timeout=0.5)
+
+
+class TestErrors:
+    def test_unknown_op(self, exact_server):
+        with ServeClient(*exact_server.address) as client:
+            with pytest.raises(ServeError, match="unknown operation"):
+                client.call("frobnicate")
+
+    def test_missing_op(self, exact_server):
+        response = _raw_exchange(exact_server.address, b'{"id": 1}\n')
+        assert response["ok"] is False
+        assert "'op'" in response["error"]["message"]
+
+    def test_malformed_json_line(self, exact_server):
+        response = _raw_exchange(exact_server.address, b"{nope}\n")
+        assert response["ok"] is False
+        assert response["error"]["type"] == "ServeError"
+
+    def test_non_object_request(self, exact_server):
+        response = _raw_exchange(exact_server.address, b"[1,2]\n")
+        assert response["ok"] is False
+
+    def test_bad_element_record(self, exact_server):
+        with ServeClient(*exact_server.address) as client:
+            with pytest.raises(ServeError):
+                client.call("ingest", elements=[["+", "only-u"]])
+
+    def test_estimator_errors_travel_back(self):
+        spec = "windowed:inner=[exact],window=2,strict=true"
+        with serve_in_background(open_session(spec)) as background:
+            with ServeClient(*background.address) as client:
+                with pytest.raises(ServeError, match="StreamError"):
+                    client.ingest(deletion("ghost", "edge"))
+                # The connection survives an application error.
+                assert client.ping()["pong"] is True
+
+    def test_oversized_line_is_refused(self, exact_server):
+        blob = b'{"op": "ingest", "elements": [' + b" " * MAX_LINE
+        response = _raw_exchange(exact_server.address, blob + b"\n")
+        assert response["ok"] is False
+        assert "exceeds" in response["error"]["message"]
+
+
+class TestConsistency:
+    """Queries during active ingest: stale is allowed, torn is not."""
+
+    CHUNK = 100
+
+    def _reference_views(self, spec, chunks):
+        session = open_session(spec)
+        views = {0: 0.0}
+        for chunk in chunks:
+            session.ingest(chunk)
+            views[session.elements] = session.estimate
+        return views
+
+    def test_concurrent_estimates_are_never_torn(self):
+        spec = "abacus:budget=256,seed=4"
+        edges = [(f"u{i % 97}", f"v{i % 89}") for i in range(2500)]
+        seen = set()
+        stream = []
+        for u, v in edges:
+            if (u, v) not in seen:
+                seen.add((u, v))
+                stream.append(insertion(u, v))
+        chunks = [
+            stream[i : i + self.CHUNK]
+            for i in range(0, len(stream), self.CHUNK)
+        ]
+        reference = self._reference_views(spec, chunks)
+
+        observed = []
+        done = threading.Event()
+
+        def query_loop():
+            with ServeClient(*background.address) as client:
+                while not done.is_set():
+                    view = client.estimate()
+                    observed.append((view["elements"], view["estimate"]))
+
+        with serve_in_background(open_session(spec)) as background:
+            readers = [threading.Thread(target=query_loop) for _ in range(2)]
+            for reader in readers:
+                reader.start()
+            with ServeClient(*background.address) as writer:
+                for chunk in chunks:
+                    writer.ingest(chunk)
+            done.set()
+            for reader in readers:
+                reader.join(timeout=30)
+        assert observed, "query threads never ran"
+        for elements, estimate in observed:
+            assert elements in reference, (
+                f"view published at non-boundary offset {elements}"
+            )
+            assert estimate == reference[elements], (
+                f"torn read: {estimate} at {elements} elements, "
+                f"expected {reference[elements]}"
+            )
+        # The readers must have caught ingest mid-flight, not just
+        # the final state.
+        assert len({elements for elements, _ in observed}) > 1
+
+
+class TestDurableServing:
+    def test_checkpoint_then_restart_recovers(self, tmp_path):
+        spec = "abacus:budget=64,seed=9"
+        session = open_session(spec, durable_dir=tmp_path)
+        with serve_in_background(session) as background:
+            with ServeClient(*background.address) as client:
+                client.ingest(BUTTERFLY)
+                assert client.stats()["durable"] is True
+                assert client.checkpoint() == 4
+                client.ingest(deletion("u2", "v2"))
+                before = client.estimate()
+        # stop() closed the session (and synced the WAL).  A new
+        # serving process over the same directory recovers it all.
+        revived = open_session(durable_dir=tmp_path)
+        with serve_in_background(revived) as background:
+            with ServeClient(*background.address) as client:
+                view = client.estimate()
+                assert view["elements"] == before["elements"] == 5
+                assert view["estimate"] == before["estimate"]
+
+    def test_checkpoint_without_durability_errors(self, exact_server):
+        with ServeClient(*exact_server.address) as client:
+            with pytest.raises(ServeError, match="EstimatorError"):
+                client.checkpoint()

@@ -1,0 +1,227 @@
+"""The crash-recovery contract: kill-at-every-offset bit-identity.
+
+ISSUE 5 acceptance: for ABACUS, PARABACUS, sharded, and windowed
+durable sessions, killing the process at **any** byte of the
+write-ahead log and recovering (latest snapshot + WAL-tail replay)
+must land in a state bit-identical — estimate *and* complete estimator
+``state_to_dict()`` — to a process that ingested the surviving prefix
+uninterrupted.  And continuing the recovered session over the rest of
+the stream must end bit-identical to the uninterrupted full run.
+
+The ABACUS matrix cuts the log at literally every byte (torn frame
+headers, torn payloads, torn file magic included); the heavier specs
+probe every record boundary plus offsets that tear the next frame's
+header and payload.
+"""
+
+import json
+import random
+import struct
+
+import pytest
+
+from repro.api import open_session
+from repro.graph.generators import bipartite_erdos_renyi
+from repro.store.wal import WAL_MAGIC
+from repro.streams import make_fully_dynamic
+
+_FRAME = struct.Struct("<II")
+
+#: (id, spec, kill granularity) — the acceptance matrix.
+SPECS = [
+    ("abacus", "abacus:budget=48,seed=11", "byte"),
+    (
+        "parabacus",
+        "parabacus:budget=64,seed=11,batch_size=7",
+        "record",
+    ),
+    (
+        "sharded",
+        "sharded:inner=[abacus:budget=32,seed=5],shards=3",
+        "record",
+    ),
+    (
+        "windowed",
+        "windowed:inner=[abacus:budget=32,seed=5],window=25",
+        "record",
+    ),
+]
+
+
+def _stream(seed=3):
+    edges = bipartite_erdos_renyi(12, 12, 50, random.Random(seed))
+    return list(
+        make_fully_dynamic(edges, alpha=0.25, rng=random.Random(seed + 1))
+    )
+
+
+def _fingerprint(session):
+    """Canonical bit-identity fingerprint: estimate + full state."""
+    snapshot = session.snapshot()
+    return json.dumps(
+        {"estimate": session.estimate, "state": snapshot["state"]},
+        sort_keys=True,
+    )
+
+
+def _reference_fingerprints(spec, stream):
+    """Fingerprint after every prefix of an uninterrupted run."""
+    session = open_session(spec)
+    fingerprints = [_fingerprint(session)]
+    for element in stream:
+        session.ingest(element)
+        fingerprints.append(_fingerprint(session))
+    return fingerprints
+
+
+def _build_durable_dir(directory, spec, stream, checkpoint_at=None):
+    """Ingest ``stream`` durably; optionally checkpoint mid-way."""
+    session = open_session(spec, durable_dir=directory)
+    if checkpoint_at is not None:
+        session.ingest(stream[:checkpoint_at])
+        assert session.checkpoint() == checkpoint_at
+        session.ingest(stream[checkpoint_at:])
+    else:
+        session.ingest(stream)
+    # A crash does not close() anything — but the kill points below
+    # only make sense over bytes that reached the file, so force the
+    # OS buffers out (the estimator is simply dropped, like a crash).
+    session.sync()
+    return session
+
+
+def _last_segment(directory):
+    segments = sorted(
+        path
+        for path in directory.iterdir()
+        if path.name.startswith("wal-")
+    )
+    assert segments
+    return segments[-1]
+
+
+def _frame_boundaries(data):
+    """Byte offsets of every record boundary (header included)."""
+    boundaries = [min(len(data), len(WAL_MAGIC))]
+    position = len(WAL_MAGIC)
+    while position + _FRAME.size <= len(data):
+        length, _ = _FRAME.unpack(data[position : position + _FRAME.size])
+        nxt = position + _FRAME.size + length
+        if nxt > len(data):
+            break
+        position = nxt
+        boundaries.append(position)
+    return boundaries
+
+
+def _kill_points(data, granularity):
+    if granularity == "byte":
+        return list(range(len(data) + 1))
+    points = set()
+    for boundary in _frame_boundaries(data):
+        # The clean cut, a torn frame header, and a torn payload.
+        points.update(
+            cut
+            for cut in (boundary, boundary + 3, boundary + 11)
+            if cut <= len(data)
+        )
+    points.update((0, 3, len(data)))  # torn magic + the full file
+    return sorted(points)
+
+
+@pytest.mark.parametrize(
+    "spec,granularity",
+    [(spec, granularity) for _, spec, granularity in SPECS],
+    ids=[name for name, _, _ in SPECS],
+)
+class TestKillAtEveryOffset:
+    def _run_matrix(self, tmp_path, spec, granularity, checkpoint_at):
+        stream = _stream()
+        references = _reference_fingerprints(spec, stream)
+        directory = tmp_path / "durable"
+        _build_durable_dir(
+            directory, spec, stream, checkpoint_at=checkpoint_at
+        )
+        segment = _last_segment(directory)
+        data = segment.read_bytes()
+        floor = checkpoint_at or 0
+        recovered_counts = set()
+        for cut in _kill_points(data, granularity):
+            segment.write_bytes(data[:cut])
+            session = open_session(durable_dir=directory)
+            count = session.elements
+            assert count >= floor, (cut, count)
+            assert _fingerprint(session) == references[count], (
+                f"recovery at byte {cut} (= {count} elements) is not "
+                "bit-identical to the uninterrupted run"
+            )
+            session.close()
+            recovered_counts.add(count)
+        assert min(recovered_counts) == floor
+        assert max(recovered_counts) == len(stream)
+        # The kill matrix must actually exercise intermediate offsets.
+        assert len(recovered_counts) > 2
+
+    def test_without_checkpoint(self, tmp_path, spec, granularity):
+        """Recovery = full WAL replay through a fresh estimator."""
+        self._run_matrix(tmp_path, spec, granularity, checkpoint_at=None)
+
+    def test_with_mid_stream_checkpoint(
+        self, tmp_path, spec, granularity
+    ):
+        """Recovery = snapshot restore + WAL-tail replay."""
+        stream_length = len(_stream())
+        self._run_matrix(
+            tmp_path, spec, granularity, checkpoint_at=stream_length // 2
+        )
+
+
+@pytest.mark.parametrize(
+    "spec",
+    [spec for _, spec, _ in SPECS],
+    ids=[name for name, _, _ in SPECS],
+)
+def test_recovery_then_continuation_matches_uninterrupted(
+    tmp_path, spec
+):
+    """Crash, recover, keep ingesting: the end state is identical."""
+    stream = _stream(seed=9)
+    checkpoint_at = len(stream) // 2
+    references = _reference_fingerprints(spec, stream)
+    directory = tmp_path / "durable"
+    _build_durable_dir(directory, spec, stream, checkpoint_at=checkpoint_at)
+    segment = _last_segment(directory)
+    data = segment.read_bytes()
+    boundaries = _frame_boundaries(data)
+    for cut in (boundaries[0], boundaries[len(boundaries) // 2] + 5):
+        segment.write_bytes(data[:cut])
+        session = open_session(durable_dir=directory)
+        survivors = session.elements
+        session.ingest(stream[survivors:])
+        assert session.elements == len(stream)
+        assert _fingerprint(session) == references[len(stream)]
+        session.close()
+
+
+def test_timed_edges_survive_the_log(tmp_path):
+    """A time-windowed durable session recovers clock and ring."""
+    from repro.types import timed_insertion
+
+    spec = "windowed:inner=[exact],window_time=4"
+    elements = [
+        timed_insertion(u, v, float(t))
+        for t, (u, v) in enumerate(
+            [("u1", "v1"), ("u1", "v2"), ("u2", "v1"), ("u2", "v2")]
+        )
+    ]
+    directory = tmp_path / "durable"
+    session = open_session(spec, durable_dir=directory)
+    session.ingest(elements)
+    session.sync()
+    estimate = session.estimate
+    clock = session.estimator.clock
+    recovered = open_session(durable_dir=directory)
+    assert recovered.elements == len(elements)
+    assert recovered.estimate == estimate == 1.0
+    assert recovered.estimator.clock == clock == 3.0
+    recovered.close()

@@ -1,0 +1,80 @@
+"""Unit tests for the atomic snapshot store."""
+
+import json
+
+import pytest
+
+from repro.errors import StoreError
+from repro.store.snapshots import SnapshotStore
+
+
+@pytest.fixture
+def store(tmp_path):
+    return SnapshotStore(tmp_path)
+
+
+class TestSaveAndLoad:
+    def test_round_trip(self, store):
+        payload = {"estimator": "abacus", "state": {"estimate": 4.5}}
+        store.save(payload, offset=128)
+        assert store.load(128) == payload
+        assert store.latest() == (128, payload)
+
+    def test_offsets_sorted(self, store):
+        for offset in (512, 4, 128):
+            store.save({"offset": offset}, offset=offset)
+        assert store.offsets() == (4, 128, 512)
+
+    def test_latest_none_when_empty(self, store):
+        assert store.latest() is None
+
+    def test_no_temporary_files_left_behind(self, store, tmp_path):
+        store.save({"x": 1}, offset=1)
+        assert [p.name for p in tmp_path.iterdir()] == [
+            "snapshot-00000000000000000001.json"
+        ]
+
+    def test_negative_offset_rejected(self, store):
+        with pytest.raises(StoreError, match=">= 0"):
+            store.save({}, offset=-1)
+
+
+class TestCorruptionFallback:
+    def test_latest_skips_corrupt_snapshot(self, store):
+        store.save({"good": True}, offset=10)
+        store.save({"bad": True}, offset=20)
+        store.path_for(20).write_text("{torn", encoding="utf-8")
+        assert store.latest() == (10, {"good": True})
+
+    def test_latest_skips_non_object_snapshot(self, store):
+        store.save({"good": True}, offset=10)
+        store.path_for(20).write_text(json.dumps([1, 2, 3]), encoding="utf-8")
+        assert store.latest() == (10, {"good": True})
+
+    def test_load_corrupt_raises(self, store):
+        store.path_for(5).write_text("{", encoding="utf-8")
+        with pytest.raises(StoreError, match="unreadable"):
+            store.load(5)
+
+    def test_load_missing_raises(self, store):
+        with pytest.raises(StoreError, match="unreadable"):
+            store.load(99)
+
+
+class TestPrune:
+    def test_prune_keeps_newest(self, store):
+        for offset in (1, 2, 3, 4):
+            store.save({"o": offset}, offset=offset)
+        removed = store.prune(keep=2)
+        assert removed == [1, 2]
+        assert store.offsets() == (3, 4)
+
+    def test_prune_never_deletes_everything(self, store):
+        store.save({}, offset=7)
+        with pytest.raises(StoreError, match="positive"):
+            store.prune(keep=0)
+        assert store.offsets() == (7,)
+
+    def test_prune_noop_below_keep(self, store):
+        store.save({}, offset=7)
+        assert store.prune(keep=2) == []

@@ -1,0 +1,198 @@
+"""Unit tests for the CRC-framed write-ahead log."""
+
+import os
+
+import pytest
+
+from repro.errors import StoreError
+from repro.store.wal import WAL_MAGIC, WalWriter, iter_wal, scan_wal
+from repro.types import (
+    StreamElement,
+    deletion,
+    insertion,
+    timed_deletion,
+    timed_insertion,
+)
+
+ELEMENTS = [
+    insertion("alice", "matrix"),
+    deletion("alice", "matrix"),
+    insertion(3, 7),
+    timed_insertion("bob", "dune", 1.5),
+    timed_deletion(9, 9, 2.0),
+]
+
+
+@pytest.fixture
+def wal_path(tmp_path):
+    return tmp_path / "wal-0.log"
+
+
+class TestRoundTrip:
+    def test_elements_round_trip_exactly(self, wal_path):
+        with WalWriter(wal_path) as wal:
+            for element in ELEMENTS:
+                wal.append(element)
+        assert list(iter_wal(wal_path)) == ELEMENTS
+
+    def test_timed_edges_keep_their_subclass(self, wal_path):
+        with WalWriter(wal_path) as wal:
+            wal.append(timed_insertion("u", "v", 4.25))
+        (element,) = list(iter_wal(wal_path))
+        assert type(element).__name__ == "TimedEdge"
+        assert element.time == 4.25
+
+    def test_append_batch_counts(self, wal_path):
+        with WalWriter(wal_path) as wal:
+            assert wal.append_batch(ELEMENTS) == len(ELEMENTS)
+            assert wal.appended == len(ELEMENTS)
+        assert list(iter_wal(wal_path)) == ELEMENTS
+
+    def test_scan_reports_clean_file(self, wal_path):
+        with WalWriter(wal_path) as wal:
+            wal.append_batch(ELEMENTS)
+        scan = scan_wal(wal_path)
+        assert scan.records == len(ELEMENTS)
+        assert scan.clean
+        assert scan.valid_bytes == os.path.getsize(wal_path)
+
+    def test_empty_wal_is_clean(self, wal_path):
+        WalWriter(wal_path).close()
+        scan = scan_wal(wal_path)
+        assert (scan.records, scan.clean) == (0, True)
+        assert list(iter_wal(wal_path)) == []
+
+    def test_reopen_appends_after_existing_records(self, wal_path):
+        with WalWriter(wal_path) as wal:
+            wal.append(ELEMENTS[0])
+        with WalWriter(wal_path) as wal:
+            wal.append(ELEMENTS[1])
+        assert list(iter_wal(wal_path)) == ELEMENTS[:2]
+
+
+class TestTornTails:
+    def _full_file(self, wal_path):
+        with WalWriter(wal_path) as wal:
+            wal.append_batch(ELEMENTS)
+        return wal_path.read_bytes()
+
+    def test_every_byte_truncation_recovers_a_prefix(
+        self, wal_path, tmp_path
+    ):
+        data = self._full_file(wal_path)
+        previous_records = len(ELEMENTS)
+        torn = tmp_path / "torn.log"
+        for cut in range(len(data), -1, -1):
+            torn.write_bytes(data[:cut])
+            scan = scan_wal(torn)
+            # Records decay monotonically with the cut and parsed
+            # elements always form an exact prefix.
+            assert scan.records <= previous_records
+            previous_records = scan.records
+            assert list(iter_wal(torn)) == ELEMENTS[: scan.records]
+            assert scan.valid_bytes <= cut
+            if not scan.clean:
+                assert scan.valid_bytes < cut or cut < len(WAL_MAGIC)
+        assert previous_records == 0
+
+    def test_corrupt_byte_in_tail_record_is_discarded(self, wal_path):
+        data = bytearray(self._full_file(wal_path))
+        data[-3] ^= 0xFF
+        wal_path.write_bytes(bytes(data))
+        scan = scan_wal(wal_path)
+        assert scan.records == len(ELEMENTS) - 1
+        assert not scan.clean
+        assert list(iter_wal(wal_path)) == ELEMENTS[:-1]
+
+    def test_absurd_length_field_stops_the_scan(self, wal_path):
+        data = self._full_file(wal_path)
+        wal_path.write_bytes(
+            data + (1 << 30).to_bytes(4, "little") + b"\0\0\0\0"
+        )
+        scan = scan_wal(wal_path)
+        assert scan.records == len(ELEMENTS)
+        assert not scan.clean
+
+
+class TestForeignFiles:
+    def test_wrong_magic_raises(self, tmp_path):
+        path = tmp_path / "not-a-wal.log"
+        path.write_bytes(b"definitely not a wal file")
+        with pytest.raises(StoreError, match="not a repro WAL"):
+            scan_wal(path)
+        with pytest.raises(StoreError, match="not a repro WAL"):
+            list(iter_wal(path))
+        with pytest.raises(StoreError, match="not a repro WAL"):
+            WalWriter(path)
+
+    def test_torn_header_counts_as_empty(self, tmp_path):
+        path = tmp_path / "torn-header.log"
+        path.write_bytes(WAL_MAGIC[:3])
+        scan = scan_wal(path)
+        assert (scan.records, scan.valid_bytes, scan.clean) == (0, 0, False)
+        assert list(iter_wal(path)) == []
+
+    def test_valid_frame_with_garbage_payload_raises_on_iter(
+        self, wal_path
+    ):
+        import json
+        import struct
+        import zlib
+
+        payload = json.dumps(["?", 1]).encode()
+        frame = struct.pack("<II", len(payload), zlib.crc32(payload))
+        wal_path.write_bytes(WAL_MAGIC + frame + payload)
+        assert scan_wal(wal_path).records == 1  # checksum is fine
+        with pytest.raises(StoreError, match="failed to decode"):
+            list(iter_wal(wal_path))
+
+
+class TestWriterContract:
+    def test_fsync_every_must_be_positive(self, wal_path):
+        with pytest.raises(StoreError, match="fsync_every"):
+            WalWriter(wal_path, fsync_every=0)
+
+    def test_sync_makes_records_visible(self, wal_path):
+        wal = WalWriter(wal_path, fsync_every=10_000)
+        try:
+            wal.append(ELEMENTS[0])
+            wal.sync()
+            assert scan_wal(wal_path).records == 1
+        finally:
+            wal.close()
+
+    def test_element_count_survives_fsync_batching(self, wal_path):
+        elements = [insertion(i, -i) for i in range(1, 100)]
+        with WalWriter(wal_path, fsync_every=7) as wal:
+            for element in elements:
+                wal.append(element)
+        assert list(iter_wal(wal_path)) == elements
+
+    def test_close_is_idempotent(self, wal_path):
+        wal = WalWriter(wal_path)
+        wal.close()
+        wal.close()
+
+    def test_truncate_to_undoes_appends(self, wal_path):
+        with WalWriter(wal_path) as wal:
+            wal.append(ELEMENTS[0])
+            mark = wal.position()
+            wal.append_batch(ELEMENTS[1:])
+            wal.truncate_to(mark, len(ELEMENTS) - 1)
+            assert wal.appended == 1
+            # The log continues cleanly after the rollback.
+            wal.append(ELEMENTS[2])
+        assert list(iter_wal(wal_path)) == [ELEMENTS[0], ELEMENTS[2]]
+        assert scan_wal(wal_path).clean
+
+    def test_truncate_forward_refuses(self, wal_path):
+        with WalWriter(wal_path) as wal:
+            wal.append(ELEMENTS[0])
+            with pytest.raises(StoreError, match="truncate forward"):
+                wal.truncate_to(wal.position() + 1, 0)
+
+    def test_round_trips_through_element_records(self):
+        # The WAL payload is exactly the shared record grammar.
+        for element in ELEMENTS:
+            record = element.to_record()
+            assert StreamElement.from_record(record) == element

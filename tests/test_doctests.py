@@ -1,9 +1,9 @@
 """Tier-1 doctest lane for the public API surface.
 
 CI runs the same examples via ``pytest --doctest-modules src/repro/api
-src/repro/shard src/repro/window``; this lane keeps them green inside
-the ordinary test run, so a broken docstring example fails fast
-everywhere.
+src/repro/shard src/repro/window src/repro/store src/repro/serve``;
+this lane keeps them green inside the ordinary test run, so a broken
+docstring example fails fast everywhere.
 """
 
 import doctest
@@ -14,8 +14,14 @@ import repro.api.docgen
 import repro.api.registry
 import repro.api.session
 import repro.core.base
+import repro.serve.client
+import repro.serve.protocol
+import repro.serve.server
 import repro.shard.engine
 import repro.shard.partition
+import repro.store.durable
+import repro.store.snapshots
+import repro.store.wal
 import repro.types
 import repro.window.engine
 import repro.window.expiry
@@ -26,8 +32,14 @@ MODULES = [
     repro.api.registry,
     repro.api.session,
     repro.core.base,
+    repro.serve.client,
+    repro.serve.protocol,
+    repro.serve.server,
     repro.shard.engine,
     repro.shard.partition,
+    repro.store.durable,
+    repro.store.snapshots,
+    repro.store.wal,
     repro.types,
     repro.window.engine,
     repro.window.expiry,

@@ -5,7 +5,7 @@ import repro
 
 class TestTopLevelExports:
     def test_version(self):
-        assert repro.__version__ == "1.2.0"
+        assert repro.__version__ == "1.3.0"
 
     def test_all_exports_resolve(self):
         for name in repro.__all__:
@@ -32,7 +32,9 @@ class TestTopLevelExports:
         import repro.graph as graph
         import repro.metrics as metrics
         import repro.sampling as sampling
+        import repro.serve as serve
         import repro.sketch as sketch
+        import repro.store as store
         import repro.streams as streams
 
         for module in (
@@ -44,6 +46,8 @@ class TestTopLevelExports:
             baselines,
             apps,
             metrics,
+            store,
+            serve,
         ):
             for name in module.__all__:
                 assert hasattr(module, name), (module.__name__, name)

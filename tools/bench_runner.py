@@ -53,6 +53,10 @@ FLOORS: Dict[str, float] = {
     "batch_ingest_eps": 2_000.0,
     "sharded_ingest_eps": 1_500.0,
     "windowed_ingest_eps": 1_500.0,
+    # ISSUE 5: cold-recovery replay (open_session(durable_dir=...))
+    # and estimate-query service under concurrent ingest.
+    "recovery_replay_eps": 2_000.0,
+    "serve_query_qps": 150.0,
 }
 
 #: Per-benchmark subprocess timeout (seconds).  Quick mode finishes in
