@@ -1,0 +1,192 @@
+"""Replicated read fan-out vs a single node (ISSUE 6).
+
+A durable primary replicates a fully-dynamic stream to two followers
+(:mod:`repro.cluster`); once they are caught up, the same fixed query
+workload runs twice — every thread hammering the single primary, then
+the threads fanned across the follower pool through
+:class:`~repro.cluster.ClusterClient` — and the bench reports both
+aggregate read rates plus how long replication took to drain the
+ingest backlog (lag measured in elements, catch-up in seconds).
+
+Correctness rides along: after catch-up every answer, from every
+node, must be the *final* view — identical ``(elements, estimate)``
+to the primary's own — or a follower diverged and the bench fails.
+
+The headline ``replicated_read_qps`` feeds the
+``tools/bench_runner.py`` floor gate alongside ``serve_query_qps``.
+"""
+
+import random
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+from conftest import emit, record_metric
+
+from repro.api import open_session
+from repro.cluster import (
+    ClusterClient,
+    follow_in_background,
+    replicate_in_background,
+)
+from repro.experiments.report import render_table
+from repro.graph.generators import bipartite_erdos_renyi
+from repro.metrics.throughput import Stopwatch
+from repro.serve import ServeClient
+from repro.streams.dynamic import make_fully_dynamic
+
+SPEC = "abacus:budget=1000,seed=31"
+CHUNK = 256
+QUERY_THREADS = 3
+FOLLOWERS = 2
+
+
+def _config(quick):
+    """(n_side, n_edges, queries_per_thread) for the selected mode."""
+    return (60, 3000, 150) if quick else (110, 10000, 600)
+
+
+def _query_workload(make_client, queries_per_thread):
+    """Run the fixed read workload; return (qps, observed pairs)."""
+    observed = []
+    lock = threading.Lock()
+
+    def query_loop():
+        mine = []
+        with make_client() as client:
+            for _ in range(queries_per_thread):
+                view = client.estimate()
+                mine.append((view["elements"], view["estimate"]))
+        with lock:
+            observed.extend(mine)
+
+    threads = [
+        threading.Thread(target=query_loop)
+        for _ in range(QUERY_THREADS)
+    ]
+    watch = Stopwatch()
+    with watch:
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+    return len(observed) / watch.elapsed, observed
+
+
+def test_replicated_reads_vs_single_node(benchmark, results_dir, quick):
+    n_side, n_edges, queries_per_thread = _config(quick)
+    edges = bipartite_erdos_renyi(
+        n_side, n_side, n_edges, random.Random(47)
+    )
+    stream = list(
+        make_fully_dynamic(edges, alpha=0.2, rng=random.Random(53))
+    )
+    chunks = [
+        stream[i : i + CHUNK] for i in range(0, len(stream), CHUNK)
+    ]
+
+    def run():
+        with tempfile.TemporaryDirectory() as scratch:
+            root = Path(scratch)
+            primary = replicate_in_background(
+                open_session(SPEC, durable_dir=root / "primary")
+            )
+            followers = [
+                follow_in_background(
+                    primary.server.replication_address,
+                    root / f"follower{i}",
+                    reconnect_backoff=0.05,
+                )
+                for i in range(FOLLOWERS)
+            ]
+            try:
+                with ServeClient(*primary.address) as writer:
+                    for chunk in chunks:
+                        writer.ingest(chunk)
+                # Catch-up: how long until every follower has applied
+                # *and acked* the whole backlog (primary-side lag 0).
+                catchup = Stopwatch()
+                with catchup:
+                    deadline = time.monotonic() + 120
+                    with ServeClient(*primary.address) as client:
+                        while True:
+                            summary = client.stats()["replication"]
+                            lag = summary["max_lag"]
+                            if (
+                                len(summary["followers"]) == FOLLOWERS
+                                and lag == 0
+                            ):
+                                break
+                            if time.monotonic() > deadline:
+                                raise AssertionError(
+                                    "followers never caught up: "
+                                    f"{summary}"
+                                )
+                            time.sleep(0.005)
+                final = (
+                    primary.server.view.elements,
+                    primary.server.view.estimate,
+                )
+
+                single_qps, single_views = _query_workload(
+                    lambda: ServeClient(*primary.address),
+                    queries_per_thread,
+                )
+                follower_addresses = [f.address for f in followers]
+                replicated_qps, replicated_views = _query_workload(
+                    lambda: ClusterClient(
+                        primary.address, follower_addresses
+                    ),
+                    queries_per_thread,
+                )
+            finally:
+                for follower in followers:
+                    follower.stop()
+                primary.stop()
+        for label, views in (
+            ("single", single_views),
+            ("replicated", replicated_views),
+        ):
+            for pair in views:
+                assert pair == final, (
+                    f"{label} read diverged from the primary's final "
+                    f"view: {pair} != {final}"
+                )
+        return {
+            "single_qps": single_qps,
+            "replicated_qps": replicated_qps,
+            "catchup_s": catchup.elapsed,
+            "final_lag": lag,
+            "queries": len(single_views) + len(replicated_views),
+        }
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [
+        (
+            f"single node ({QUERY_THREADS} threads)",
+            f"{results['single_qps']:,.0f} q/s",
+        ),
+        (
+            f"cluster, {FOLLOWERS} followers "
+            f"({QUERY_THREADS} threads)",
+            f"{results['replicated_qps']:,.0f} q/s",
+        ),
+        ("catch-up after ingest", f"{results['catchup_s']:.3f} s"),
+        ("max lag once drained", f"{results['final_lag']} elements"),
+        ("queries answered", f"{results['queries']:,}"),
+    ]
+    text = render_table(
+        ["measure", "value"],
+        rows,
+        title=(
+            f"Replicated reads ({len(stream):,} elements, spec "
+            f"{SPEC}) — divergent answers: none"
+        ),
+    )
+    emit(results_dir, "replicated_reads", text)
+
+    record_metric("replicated_read_qps", results["replicated_qps"])
+    record_metric("single_node_read_qps", results["single_qps"])
+    record_metric("replication_catchup_s", results["catchup_s"])
+    assert results["final_lag"] == 0

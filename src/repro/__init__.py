@@ -70,7 +70,7 @@ from repro.types import (
     timed_insertion,
 )
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "Abacus",

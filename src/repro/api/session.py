@@ -213,6 +213,27 @@ class Session:
         return self._store is not None
 
     @property
+    def durability(self) -> Optional[Dict[str, Any]]:
+        """Durable-store facts for stats surfaces; None when volatile.
+
+        The dict carries the store directory, the WAL's current element
+        ``offset`` (equal to :attr:`elements` — every ingested element
+        is logged ahead), the ``oldest_wal_offset`` still covered by
+        un-pruned segments (the replication catch-up floor), and the
+        ``checkpoints`` offsets whose snapshots are on disk.  The
+        serving layer reports this verbatim under ``stats`` and the
+        cluster primary uses it for start-offset negotiation.
+        """
+        if self._store is None:
+            return None
+        return {
+            "directory": str(self._store.directory),
+            "offset": self._store.offset,
+            "oldest_wal_offset": self._store.oldest_offset(),
+            "checkpoints": list(self._store.snapshots.offsets()),
+        }
+
+    @property
     def estimate(self) -> float:
         """The current butterfly-count estimate."""
         return self._estimator.estimate

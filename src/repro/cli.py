@@ -10,6 +10,7 @@ Subcommands map 1:1 onto the paper's tables/figures plus the extras::
     repro estimators                  # the estimator registry
     repro stream --estimator SPEC     # run any spec through a session
     repro serve --estimator SPEC      # serve estimate queries over TCP
+    repro follow --primary HOST:PORT  # replicate a primary, serve reads
     repro all                         # everything, in order
 
 ``--estimator`` accepts the registry spec grammar, e.g.
@@ -28,6 +29,12 @@ plus ``--durable-dir DIR`` for a write-ahead-logged session that
 recovers its state on restart (:mod:`repro.store`,
 ``docs/persistence.md``).  A ``--durable-dir`` with existing state is
 reopened under its stored spec when ``--estimator`` is omitted.
+
+``repro serve --replicate-to PORT`` additionally opens a replication
+port: the durable session's write-ahead log is shipped live to any
+``repro follow --primary HOST:PORT --durable-dir DIR`` process, which
+re-logs it locally and serves reads from its replica
+(:mod:`repro.cluster`, ``docs/replication.md``).
 
 Use ``--datasets`` with a comma-separated subset of
 ``movielens_like,livejournal_like,trackers_like,orkut_like`` to trim
@@ -83,6 +90,7 @@ def build_parser() -> argparse.ArgumentParser:
             "estimators",
             "stream",
             "serve",
+            "follow",
             "all",
         ],
         help="which experiment to run",
@@ -183,9 +191,32 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="DIR",
         help=(
-            "durable session directory for 'stream'/'serve': elements "
-            "are write-ahead logged and state recovers on restart "
-            "(see docs/persistence.md)"
+            "durable session directory for 'stream'/'serve'/'follow': "
+            "elements are write-ahead logged and state recovers on "
+            "restart (see docs/persistence.md)"
+        ),
+    )
+    parser.add_argument(
+        "--replicate-to",
+        type=int,
+        default=None,
+        metavar="PORT",
+        help=(
+            "open a replication port on the 'serve' experiment (0 "
+            "picks a free one): followers started with 'repro follow' "
+            "receive the session's write-ahead log live (requires "
+            "--durable-dir; see docs/replication.md)"
+        ),
+    )
+    parser.add_argument(
+        "--primary",
+        type=str,
+        default=None,
+        metavar="HOST:PORT",
+        help=(
+            "the primary's replication address for the 'follow' "
+            "experiment (the --replicate-to port, not the serving "
+            "port)"
         ),
     )
     return parser
@@ -304,18 +335,29 @@ def run_serve(
     partitioner: str = "hash",
     window: int = 0,
     window_time: float = 0.0,
+    replicate_to: Optional[int] = None,
 ) -> int:
     """Own a session behind the asyncio query server until interrupted.
 
     With ``--durable-dir`` the session write-ahead logs every ingested
     element and recovers snapshot + WAL tail on restart; omitting
     ``--estimator`` then reopens an existing directory under its
-    stored spec.
+    stored spec.  With ``--replicate-to PORT`` the server is a
+    replication **primary**: followers connect to that port and
+    receive the WAL live (``docs/replication.md``).
     """
     import asyncio
 
     from repro.serve.server import EstimatorServer
     from repro.store import DurableStore
+
+    if replicate_to is not None and not durable_dir:
+        from repro.errors import ClusterError
+
+        raise ClusterError(
+            "--replicate-to needs --durable-dir: the write-ahead log "
+            "is the replication log"
+        )
 
     options: dict = {}
     if shards > 1:
@@ -351,19 +393,102 @@ def run_serve(
                 )
             options = {"durable_dir": durable_dir}
     session = open_session(estimator, **options)
-    server = EstimatorServer(session, host=host, port=port)
+    replicating = None
+    if replicate_to is not None:
+        from repro.cluster import ReplicatingServer
+
+        replicating = ReplicatingServer(
+            session, host=host, port=port,
+            replication_port=replicate_to,
+        )
+        server: EstimatorServer = replicating
+    else:
+        server = EstimatorServer(session, host=host, port=port)
 
     async def _serve() -> None:
         await server.start()
         bound_host, bound_port = server.address
         spec = session.spec.to_string() if session.spec else "?"
         durability = f" [durable: {durable_dir}]" if durable_dir else ""
+        replication = ""
+        if replicating is not None:
+            _, repl_port = replicating.replication_address
+            replication = f" [replicating on :{repl_port}]"
         print(
-            f"serving {spec} on {bound_host}:{bound_port}{durability}\n"
+            f"serving {spec} on {bound_host}:{bound_port}"
+            f"{durability}{replication}\n"
             f"  {session.elements:,} elements recovered, estimate "
             f"{session.estimate:,.1f}\n"
             "  protocol: line-delimited JSON (docs/serving.md); "
             "stop with Ctrl-C",
+            flush=True,
+        )
+        await server.serve_forever()
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        print("\nshutting down")
+    return 0
+
+
+def _parse_address(text: str) -> "tuple[str, int]":
+    host, _, port_text = text.rpartition(":")
+    if not host or not port_text.isdigit():
+        from repro.errors import ClusterError
+
+        raise ClusterError(
+            f"--primary must look like HOST:PORT, got {text!r}"
+        )
+    return (host, int(port_text))
+
+
+def run_follow(
+    primary_text: Optional[str],
+    host: str,
+    port: int,
+    durable_dir: Optional[str],
+) -> int:
+    """Replicate a primary's WAL and serve reads until interrupted.
+
+    Bootstraps from the primary (snapshot install when the needed WAL
+    records were pruned), then follows its stream live, re-logging
+    every element to ``--durable-dir`` — so this process can be
+    promoted, or restarted and resume where its own log ends.
+    """
+    import asyncio
+
+    from repro.cluster import FollowerServer, bootstrap_follower
+    from repro.errors import ClusterError
+
+    if not primary_text:
+        raise ClusterError(
+            "follow needs --primary HOST:PORT (the primary's "
+            "--replicate-to port)"
+        )
+    if not durable_dir:
+        raise ClusterError(
+            "follow needs --durable-dir: the follower re-logs the "
+            "stream locally, which is what promotion recovers"
+        )
+    primary = _parse_address(primary_text)
+    session = bootstrap_follower(primary, durable_dir)
+    server = FollowerServer(
+        session, host=host, port=port, primary=primary
+    )
+
+    async def _serve() -> None:
+        await server.start()
+        bound_host, bound_port = server.address
+        spec = session.spec.to_string() if session.spec else "?"
+        print(
+            f"following {primary[0]}:{primary[1]} — serving {spec} "
+            f"reads on {bound_host}:{bound_port} "
+            f"[replica: {durable_dir}]\n"
+            f"  {session.elements:,} elements recovered, estimate "
+            f"{session.estimate:,.1f}\n"
+            "  reads only; 'promote' flips this node into a primary. "
+            "Stop with Ctrl-C",
             flush=True,
         )
         await server.serve_forever()
@@ -479,6 +604,18 @@ def main(argv: Optional[List[str]] = None) -> int:
                 partitioner=args.partitioner,
                 window=args.window,
                 window_time=args.window_time,
+                replicate_to=args.replicate_to,
+            )
+        except ReproError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+    if args.experiment == "follow":
+        try:
+            return run_follow(
+                args.primary,
+                args.host,
+                args.port,
+                args.durable_dir,
             )
         except ReproError as exc:
             print(f"error: {exc}", file=sys.stderr)

@@ -1,0 +1,270 @@
+"""``ClusterClient`` — one client for a replicated serving cluster.
+
+Routes by operation: **mutations go to the primary, reads fan out
+across the followers** (round-robin), falling back to the primary when
+every follower is unreachable or stale.  Each node is reached through
+an ordinary :class:`~repro.serve.client.ServeClient`, created lazily
+and dropped on transport failure so the next call reconnects — a
+follower restarting mid-benchmark costs one retry, not a dead client.
+
+The client also carries the cluster's **read-your-writes watermark**:
+every acknowledged ``ingest`` records the global element offset the
+write reached, and a ``read_your_writes`` read sends it as
+``min_offset`` — a follower then waits for replication to catch up
+(bounded) rather than serve the client a view older than its own
+write.  ``tests/cluster/test_read_modes.py`` holds the guarantee: a
+client that wrote offset ``k`` never observes fewer than ``k``
+elements from any node.
+
+Failover is explicit: :meth:`promote` sends the wire ``promote`` to a
+follower and re-points writes at it (``docs/replication.md``).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional, Tuple, Union
+
+from repro.errors import ClusterError, NotPrimaryError, ServeError
+from repro.serve.client import ServeClient
+from repro.serve.protocol import elements_to_records
+from repro.types import StreamElement
+
+__all__ = ["ClusterClient"]
+
+Address = Tuple[str, int]
+
+
+class ClusterClient:
+    """Route operations across a primary and its followers.
+
+    Args:
+        primary: the primary's **serving** address.
+        followers: follower serving addresses reads rotate across
+            (the primary serves reads too when none are given).
+        read_mode: default consistency for reads — ``"eventual"``
+            (default) or ``"read_your_writes"`` (sends the client's
+            write watermark; see module docstring).
+        timeout: per-call socket timeout for every connection.
+        connect_timeout: per-attempt connect timeout (defaults to
+            ``timeout``).
+
+    Not thread-safe (same contract as :class:`ServeClient`); give
+    each thread its own.
+    """
+
+    def __init__(
+        self,
+        primary: Address,
+        followers: Iterable[Address] = (),
+        *,
+        read_mode: str = "eventual",
+        timeout: Optional[float] = 30.0,
+        connect_timeout: Optional[float] = None,
+    ) -> None:
+        if read_mode not in ("eventual", "read_your_writes"):
+            raise ClusterError(
+                f"unknown read_mode {read_mode!r}; supported: "
+                "eventual, read_your_writes"
+            )
+        self._primary: Address = (str(primary[0]), int(primary[1]))
+        self._followers: List[Address] = [
+            (str(host), int(port)) for host, port in followers
+        ]
+        self._read_mode = read_mode
+        self._timeout = timeout
+        self._connect_timeout = connect_timeout
+        self._clients: Dict[Address, ServeClient] = {}
+        self._rotation = 0
+        self._last_offset = 0
+
+    # ------------------------------------------------------------------
+    # Topology
+    # ------------------------------------------------------------------
+    @property
+    def primary(self) -> Address:
+        return self._primary
+
+    @property
+    def followers(self) -> Tuple[Address, ...]:
+        return tuple(self._followers)
+
+    @property
+    def last_offset(self) -> int:
+        """The element offset of this client's last acknowledged write."""
+        return self._last_offset
+
+    def set_primary(self, address: Address) -> None:
+        """Re-point writes (e.g. after an out-of-band promotion)."""
+        address = (str(address[0]), int(address[1]))
+        self._primary = address
+        self._followers = [
+            follower for follower in self._followers
+            if follower != address
+        ]
+
+    # ------------------------------------------------------------------
+    # Connections
+    # ------------------------------------------------------------------
+    def _client(self, address: Address) -> ServeClient:
+        client = self._clients.get(address)
+        if client is None:
+            client = ServeClient(
+                *address,
+                timeout=self._timeout,
+                connect_timeout=self._connect_timeout,
+            )
+            self._clients[address] = client
+        return client
+
+    def _drop(self, address: Address) -> None:
+        client = self._clients.pop(address, None)
+        if client is not None:
+            try:
+                client.close()
+            except Exception:
+                pass
+
+    # ------------------------------------------------------------------
+    # Writes: primary only
+    # ------------------------------------------------------------------
+    def _call_primary(self, op: str, **fields: Any) -> Any:
+        """One mutating call, retried once across a reconnect."""
+        last: Optional[Exception] = None
+        for attempt in range(2):
+            try:
+                return self._client(self._primary).call(op, **fields)
+            except ServeError as exc:
+                if exc.remote_type == "NotPrimaryError":
+                    # The node answered — it is just not the primary
+                    # anymore.  Re-raise under the cluster's own type
+                    # so callers can re-point and retry.
+                    raise NotPrimaryError(str(exc)) from exc
+                self._drop(self._primary)
+                last = exc
+                if exc.remote_type is not None:
+                    break  # the server answered: retrying won't help
+        raise ClusterError(
+            f"write {op!r} to primary {self._primary} failed: {last}"
+        ) from last
+
+    def ingest(
+        self,
+        elements: Union[StreamElement, Iterable[StreamElement]],
+    ) -> Dict[str, Any]:
+        """Ingest through the primary; advances the RYW watermark."""
+        if isinstance(elements, StreamElement):
+            elements = [elements]
+        result = self._call_primary(
+            "ingest", elements=elements_to_records(elements)
+        )
+        offset = result.get("elements")
+        if isinstance(offset, int):
+            self._last_offset = max(self._last_offset, offset)
+        return result
+
+    def flush(self) -> Dict[str, Any]:
+        return self._call_primary("flush")
+
+    def checkpoint(self) -> int:
+        return self._call_primary("checkpoint")["offset"]
+
+    def snapshot(self) -> Dict[str, Any]:
+        return self._call_primary("snapshot")["snapshot"]
+
+    # ------------------------------------------------------------------
+    # Reads: follower rotation, primary fallback
+    # ------------------------------------------------------------------
+    def _read_targets(self) -> List[Address]:
+        if not self._followers:
+            return [self._primary]
+        start = self._rotation % len(self._followers)
+        self._rotation += 1
+        rotated = self._followers[start:] + self._followers[:start]
+        return rotated + [self._primary]
+
+    def _call_read(self, op: str, read_mode: Optional[str]) -> Any:
+        mode = read_mode or self._read_mode
+        fields: Dict[str, Any] = {"read_mode": mode}
+        if mode == "read_your_writes":
+            fields["min_offset"] = self._last_offset
+        failures: List[str] = []
+        for address in self._read_targets():
+            try:
+                return self._client(address).call(op, **fields)
+            except ServeError as exc:
+                if exc.remote_type is None:
+                    self._drop(address)  # transport: reconnect later
+                failures.append(f"{address[0]}:{address[1]}: {exc}")
+        raise ClusterError(
+            f"read {op!r} failed on every node — "
+            + "; ".join(failures)
+        )
+
+    def estimate(
+        self, *, read_mode: Optional[str] = None
+    ) -> Dict[str, Any]:
+        """The estimate from the next follower in rotation."""
+        return self._call_read("estimate", read_mode)
+
+    def stats(self, *, read_mode: Optional[str] = None) -> Dict[str, Any]:
+        return self._call_read("stats", read_mode)
+
+    def stats_all(self) -> Dict[str, Dict[str, Any]]:
+        """``stats`` from every reachable node, keyed ``host:port``.
+
+        Unreachable nodes are reported as ``{"error": ...}`` rather
+        than aborting the sweep — this is the observability call.
+        """
+        everything: Dict[str, Dict[str, Any]] = {}
+        for address in [self._primary, *self._followers]:
+            key = f"{address[0]}:{address[1]}"
+            try:
+                everything[key] = self._client(address).call(
+                    "stats", read_mode="eventual"
+                )
+            except ServeError as exc:
+                self._drop(address)
+                everything[key] = {"error": str(exc)}
+        return everything
+
+    # ------------------------------------------------------------------
+    # Failover
+    # ------------------------------------------------------------------
+    def promote(self, address: Address) -> Dict[str, Any]:
+        """Promote the follower at ``address`` and re-point writes.
+
+        The old primary (if it still appears in the topology) is
+        dropped from rotation — after a failover it holds a log that
+        may have diverged from the new primary's.
+        """
+        address = (str(address[0]), int(address[1]))
+        try:
+            result = self._client(address).call("promote")
+        except ServeError as exc:
+            self._drop(address)
+            raise ClusterError(
+                f"promotion of {address[0]}:{address[1]} failed: {exc}"
+            ) from exc
+        old_primary = self._primary
+        self.set_primary(address)
+        self._drop(old_primary)
+        return result
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        for address in list(self._clients):
+            self._drop(address)
+
+    def __enter__(self) -> "ClusterClient":
+        return self
+
+    def __exit__(self, *_exc: object) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ClusterClient(primary={self._primary!r}, "
+            f"followers={self._followers!r})"
+        )

@@ -1,0 +1,179 @@
+"""The replication wire grammar: WAL shipping over line-delimited JSON.
+
+Replication extends the serving protocol of
+:mod:`repro.serve.protocol` rather than inventing a new transport: a
+follower opens a TCP connection to the primary's **replication port**
+and sends one ordinary request — the handshake.  The primary answers
+with one ordinary response, and from then on the connection stops
+being request/response: the primary *pushes* stream messages (element
+batches and heartbeats) down the line while the follower sends acked
+offsets back up it, both as one JSON object per line.
+
+Handshake (start-offset negotiation)::
+
+    -> {"id": 1, "op": "replicate", "follower": "f1", "have_offset": 96}
+    <- {"id": 1, "ok": true, "result": {
+           "mode": "stream", "start": 96, "offset": 4096,
+           "spec": "abacus:budget=1000,seed=42", "version": 1}}
+
+``have_offset`` is the element offset the follower already holds
+durably.  When the primary's WAL still covers it, ``mode`` is
+``"stream"`` and batches begin at ``start == have_offset``.  When
+those records were pruned at a checkpoint, ``mode`` is ``"snapshot"``:
+the result additionally carries the primary's newest durable
+``snapshot`` envelope and its ``snapshot_offset``, the follower
+installs it, and batches begin at the snapshot offset instead.  A
+handshake with ``"probe": true`` only negotiates — the primary
+answers and closes without streaming (the follower bootstrap uses
+this to decide whether it needs the snapshot before going live).
+
+Stream messages (primary -> follower), each carrying the global
+element offset ``base`` of its first record so the follower can
+detect duplicates and gaps::
+
+    {"stream": "batch", "base": 96, "records": [["+", "u", "v"], ...]}
+    {"stream": "heartbeat", "offset": 4096}
+
+Acks (follower -> primary)::
+
+    {"ack": 128}
+
+Element records are the shared grammar of
+:meth:`repro.types.StreamElement.to_record` — the same frames the
+write-ahead log stores, which is what makes the WAL a replication log
+(``docs/replication.md``).
+
+>>> message = batch_message(7, [insertion("alice", "matrix")])
+>>> kind, base, elements = decode_stream_message(message)
+>>> kind, base, [str(e) for e in elements]
+('batch', 7, ['(alice, matrix, +)'])
+>>> decode_stream_message(heartbeat_message(42))
+('heartbeat', 42, [])
+>>> decode_ack({"ack": 128})
+128
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ClusterError
+from repro.serve.protocol import elements_to_records, records_to_elements
+from repro.types import StreamElement, insertion  # noqa: F401 (doctest)
+
+__all__ = [
+    "CATCHUP_BATCH",
+    "DEFAULT_HEARTBEAT_S",
+    "REPLICATION_MAX_LINE",
+    "REPLICATION_PROTOCOL_VERSION",
+    "ack_message",
+    "batch_message",
+    "decode_ack",
+    "decode_stream_message",
+    "handshake_request",
+]
+
+#: Replication protocol version, echoed in the handshake result.
+REPLICATION_PROTOCOL_VERSION = 1
+
+#: Line cap for replication connections.  Larger than the serving
+#: :data:`~repro.serve.protocol.MAX_LINE` because one handshake line
+#: may carry a whole snapshot envelope.
+REPLICATION_MAX_LINE = 64 << 20
+
+#: Records per catch-up batch the primary ships from its WAL.
+CATCHUP_BATCH = 512
+
+#: Idle interval after which the primary sends a heartbeat (seconds).
+#: Heartbeats carry the primary's current offset, so followers can
+#: report lag even when no elements are flowing.
+DEFAULT_HEARTBEAT_S = 0.5
+
+
+def handshake_request(
+    follower: str,
+    have_offset: int,
+    *,
+    probe: bool = False,
+    request_id: int = 1,
+) -> Dict[str, Any]:
+    """The request a follower opens a replication connection with."""
+    request: Dict[str, Any] = {
+        "id": request_id,
+        "op": "replicate",
+        "follower": follower,
+        "have_offset": have_offset,
+    }
+    if probe:
+        request["probe"] = True
+    return request
+
+
+def batch_message(
+    base: int, elements: Sequence[StreamElement]
+) -> Dict[str, Any]:
+    """One pushed replication batch starting at global offset ``base``."""
+    return {
+        "stream": "batch",
+        "base": base,
+        "records": elements_to_records(elements),
+    }
+
+
+def heartbeat_message(offset: int) -> Dict[str, Any]:
+    """An idle-connection keepalive carrying the primary's offset."""
+    return {"stream": "heartbeat", "offset": offset}
+
+
+def ack_message(offset: int) -> Dict[str, Any]:
+    """The follower's applied-offset report."""
+    return {"ack": offset}
+
+
+def decode_ack(message: Dict[str, Any]) -> Optional[int]:
+    """The acked offset of a follower line, or None for other chatter."""
+    offset = message.get("ack")
+    if offset is None:
+        return None
+    if not isinstance(offset, int) or offset < 0:
+        raise ClusterError(f"malformed replication ack: {message!r}")
+    return offset
+
+
+def decode_stream_message(
+    message: Dict[str, Any],
+) -> Tuple[str, int, List[StreamElement]]:
+    """Parse one pushed message into ``(kind, offset, elements)``.
+
+    ``kind`` is ``"batch"`` (offset = the batch's base, elements = its
+    decoded records) or ``"heartbeat"`` (offset = the primary's
+    current offset, no elements).  Anything else raises
+    :class:`~repro.errors.ClusterError` — a replication stream has no
+    third message kind, so tolerating one would hide protocol drift.
+    """
+    kind = message.get("stream")
+    if kind == "batch":
+        base = message.get("base")
+        if not isinstance(base, int) or base < 0:
+            raise ClusterError(
+                f"replication batch with a malformed base: {message!r}"
+            )
+        try:
+            elements = records_to_elements(message.get("records"))
+        except Exception as exc:
+            raise ClusterError(
+                f"replication batch at offset {base} carries "
+                f"undecodable records: {exc}"
+            ) from exc
+        return "batch", base, elements
+    if kind == "heartbeat":
+        offset = message.get("offset")
+        if not isinstance(offset, int) or offset < 0:
+            raise ClusterError(
+                f"replication heartbeat with a malformed offset: "
+                f"{message!r}"
+            )
+        return "heartbeat", offset, []
+    raise ClusterError(
+        f"unknown replication stream message: {message!r}"
+    )

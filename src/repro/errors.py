@@ -86,4 +86,39 @@ class ServeError(ReproError):
     Raised client-side when the server answers with an error response
     (malformed request, unknown operation, an estimator error while
     applying an ingest) or when the connection breaks mid-call.
+    Client-side instances carry the server's error type name in
+    ``remote_type`` (``None`` for purely local failures), so callers
+    can react to specific remote errors without string matching.
+    """
+
+    remote_type: "str | None" = None
+
+
+class ClusterError(ReproError):
+    """A replicated-cluster operation failed (:mod:`repro.cluster`).
+
+    Covers replication-protocol violations (a follower ahead of its
+    primary, a gap in a replicated batch sequence), misconfiguration
+    (replication without a durable session), and follower lifecycle
+    misuse.  The two consistency-visible cases have dedicated
+    subclasses: :class:`NotPrimaryError` and :class:`StaleReadError`.
+    """
+
+
+class NotPrimaryError(ClusterError):
+    """A mutation was sent to a node that is not the primary.
+
+    Followers serve reads only; the error message names the primary
+    address so clients (``repro.cluster.client.ClusterClient``) can
+    redirect the write instead of failing.
+    """
+
+
+class StaleReadError(ClusterError):
+    """A ``read_your_writes`` read could not be served freshly enough.
+
+    Raised when a node's applied offset stays below the client's
+    ``min_offset`` watermark past the staleness timeout.  The read
+    *failed safe*: no view older than the watermark was returned, and
+    the client may retry here or on a more caught-up node.
     """

@@ -1,4 +1,4 @@
-"""Evaluation metrics: accuracy, throughput, and workload balance."""
+"""Evaluation metrics: accuracy, throughput, balance, replication lag."""
 
 from repro.metrics.accuracy import (
     mean,
@@ -6,6 +6,7 @@ from repro.metrics.accuracy import (
     relative_error,
     summarize_errors,
 )
+from repro.metrics.replication import lag_summary
 from repro.metrics.throughput import Stopwatch, throughput_eps
 from repro.metrics.timeseries import (
     TrajectoryPoint,
@@ -23,6 +24,7 @@ __all__ = [
     "percentile",
     "summarize_errors",
     "Stopwatch",
+    "lag_summary",
     "throughput_eps",
     "workload_balance",
 ]

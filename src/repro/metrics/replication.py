@@ -1,0 +1,66 @@
+"""Replication-lag accounting for the replicated serving cluster.
+
+Lag is measured in **elements**, not seconds: a follower that acked
+offset ``a`` while the primary has logged ``p`` elements is ``p - a``
+elements behind, and that number is exactly how much estimate history
+an ``eventual`` read from it may be missing (``docs/replication.md``).
+The primary of :mod:`repro.cluster.primary` reports a
+:func:`lag_summary` under its ``stats`` operation; the replicated-read
+benchmark gates on the same numbers.
+
+>>> summary = lag_summary(100, {"f1": 100, "f2": 93})
+>>> summary["max_lag"], summary["min_acked_offset"]
+(7, 93)
+>>> summary["followers"]["f2"]["lag"]
+7
+>>> lag_summary(5, {})["max_lag"] is None
+True
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Mapping
+
+__all__ = ["lag_summary"]
+
+
+def lag_summary(
+    primary_offset: int,
+    acked_offsets: Mapping[str, int],
+) -> Dict[str, Any]:
+    """Summarise per-follower replication lag against a primary offset.
+
+    Args:
+        primary_offset: elements the primary has logged (its WAL
+            element offset).
+        acked_offsets: last offset each follower acknowledged as
+            applied, keyed by follower id.
+
+    Returns:
+        A dict with ``primary_offset``, per-follower
+        ``{acked_offset, lag}`` under ``followers``, and the
+        aggregates ``max_lag`` / ``mean_lag`` / ``min_acked_offset``
+        (``None`` when no followers are connected).  A follower acked
+        past the primary offset (impossible under the protocol, but
+        stats must never lie by clamping silently) reports negative
+        lag rather than being hidden.
+    """
+    followers = {
+        name: {
+            "acked_offset": acked,
+            "lag": primary_offset - acked,
+        }
+        for name, acked in sorted(acked_offsets.items())
+    }
+    lags = [info["lag"] for info in followers.values()]
+    return {
+        "primary_offset": primary_offset,
+        "followers": followers,
+        "max_lag": max(lags) if lags else None,
+        "mean_lag": (sum(lags) / len(lags)) if lags else None,
+        "min_acked_offset": (
+            min(info["acked_offset"] for info in followers.values())
+            if followers
+            else None
+        ),
+    }

@@ -33,6 +33,7 @@ True
 from __future__ import annotations
 
 import socket
+import time
 from typing import Any, Dict, Iterable, Optional, Tuple, Union
 
 from repro.errors import ServeError
@@ -43,17 +44,64 @@ from repro.serve.protocol import (
 )
 from repro.types import StreamElement
 
-__all__ = ["ServeClient"]
+__all__ = ["ServeClient", "connect_with_backoff"]
+
+
+def connect_with_backoff(
+    address: Tuple[str, int],
+    *,
+    connect_timeout: Optional[float],
+    retries: int = 2,
+    backoff: float = 0.05,
+    backoff_cap: float = 1.0,
+) -> socket.socket:
+    """Connect to ``address``, retrying with exponential backoff.
+
+    A dead or still-starting server surfaces as ``ConnectionRefused``
+    or a connect timeout; both are retried up to ``retries`` extra
+    attempts, sleeping ``backoff`` doubling up to ``backoff_cap``
+    between them.  The final failure wraps into
+    :class:`~repro.errors.ServeError` naming the attempt count, so
+    callers never see a raw socket exception or an indefinite hang.
+    """
+    delay = backoff
+    attempts = retries + 1
+    for attempt in range(attempts):
+        try:
+            return socket.create_connection(
+                address, timeout=connect_timeout
+            )
+        except OSError as exc:
+            if attempt == attempts - 1:
+                raise ServeError(
+                    f"could not connect to {address} after "
+                    f"{attempts} attempt(s): {exc}"
+                ) from exc
+        time.sleep(delay)
+        delay = min(delay * 2.0, backoff_cap)
+    raise AssertionError("unreachable")  # pragma: no cover
 
 
 class ServeClient:
     """One blocking connection to an estimator server.
+
+    Connecting retries with bounded exponential backoff (a server
+    still binding its port answers on a later attempt), and every call
+    runs under the read timeout — a server that accepts but never
+    answers, or a connection dropped mid-response, surfaces as
+    :class:`~repro.errors.ServeError` instead of a hang.
 
     Args:
         host: server host.
         port: server port.
         timeout: per-call socket timeout in seconds (None blocks
             forever).
+        connect_timeout: timeout for each connection attempt; defaults
+            to ``timeout``.
+        connect_retries: extra connection attempts after the first
+            fails (0 disables retrying).
+        backoff: sleep before the first retry, doubling per attempt.
+        backoff_cap: upper bound on the backoff sleep.
     """
 
     def __init__(
@@ -62,9 +110,26 @@ class ServeClient:
         port: int,
         *,
         timeout: Optional[float] = 30.0,
+        connect_timeout: Optional[float] = None,
+        connect_retries: int = 2,
+        backoff: float = 0.05,
+        backoff_cap: float = 1.0,
     ) -> None:
+        if connect_retries < 0:
+            raise ServeError(
+                f"connect_retries must be >= 0, got {connect_retries}"
+            )
         self._address: Tuple[str, int] = (host, port)
-        self._sock = socket.create_connection(self._address, timeout=timeout)
+        self._sock = connect_with_backoff(
+            self._address,
+            connect_timeout=(
+                timeout if connect_timeout is None else connect_timeout
+            ),
+            retries=connect_retries,
+            backoff=backoff,
+            backoff_cap=backoff_cap,
+        )
+        self._sock.settimeout(timeout)
         self._reader = self._sock.makefile("rb")
         self._next_id = 0
 
@@ -82,6 +147,11 @@ class ServeClient:
         try:
             self._sock.sendall(encode_message(request))
             line = self._reader.readline()
+        except socket.timeout as exc:
+            raise ServeError(
+                f"request to {self._address} timed out waiting for a "
+                f"response: {exc}"
+            ) from exc
         except OSError as exc:
             raise ServeError(
                 f"connection to {self._address} failed: {exc}"
@@ -89,6 +159,11 @@ class ServeClient:
         if not line:
             raise ServeError(
                 f"server at {self._address} closed the connection"
+            )
+        if not line.endswith(b"\n"):
+            raise ServeError(
+                f"server at {self._address} dropped the connection "
+                "mid-response"
             )
         response = decode_message(line)
         if response.get("id") != self._next_id:
@@ -99,10 +174,12 @@ class ServeClient:
         if response.get("ok"):
             return response.get("result")
         error = response.get("error") or {}
-        raise ServeError(
+        failure = ServeError(
             f"{error.get('type', 'error')}: "
             f"{error.get('message', 'request failed')}"
         )
+        failure.remote_type = error.get("type")
+        raise failure
 
     # ------------------------------------------------------------------
     # Operations
@@ -111,17 +188,44 @@ class ServeClient:
         """Liveness + protocol version."""
         return self.call("ping")
 
-    def estimate(self) -> Dict[str, Any]:
+    def _read_fields(
+        self, read_mode: Optional[str], min_offset: Optional[int]
+    ) -> Dict[str, Any]:
+        fields: Dict[str, Any] = {}
+        if read_mode is not None:
+            fields["read_mode"] = read_mode
+        if min_offset is not None:
+            fields["min_offset"] = min_offset
+        return fields
+
+    def estimate(
+        self,
+        *,
+        read_mode: Optional[str] = None,
+        min_offset: Optional[int] = None,
+    ) -> Dict[str, Any]:
         """The published view: ``{seq, elements, estimate}``.
 
         Answered from the server's immutable current view — consistent
-        by construction, never blocked by concurrent ingest.
+        by construction, never blocked by concurrent ingest.  Pass
+        ``read_mode="read_your_writes"`` with the ``min_offset``
+        watermark of your last write to refuse (or, on a follower,
+        wait out) views older than that write (``docs/serving.md``).
         """
-        return self.call("estimate")
+        return self.call(
+            "estimate", **self._read_fields(read_mode, min_offset)
+        )
 
-    def stats(self) -> Dict[str, Any]:
+    def stats(
+        self,
+        *,
+        read_mode: Optional[str] = None,
+        min_offset: Optional[int] = None,
+    ) -> Dict[str, Any]:
         """The full view plus server counters and session identity."""
-        return self.call("stats")
+        return self.call(
+            "stats", **self._read_fields(read_mode, min_offset)
+        )
 
     def ingest(
         self,

@@ -48,7 +48,7 @@ from dataclasses import dataclass
 from typing import Any, Dict, Optional, Tuple
 
 from repro.api.session import Session
-from repro.errors import ReproError, ServeError
+from repro.errors import ReproError, ServeError, StaleReadError
 from repro.serve.protocol import (
     MAX_LINE,
     PROTOCOL_VERSION,
@@ -62,6 +62,7 @@ from repro.serve.protocol import (
 __all__ = [
     "BackgroundServer",
     "EstimatorServer",
+    "READ_MODES",
     "ServingView",
     "serve_in_background",
 ]
@@ -71,6 +72,63 @@ READ_OPS = frozenset({"ping", "estimate", "stats"})
 
 #: Operations serialised through the single writer thread.
 WRITE_OPS = frozenset({"ingest", "flush", "snapshot", "checkpoint"})
+
+#: Consistency modes a read request may carry (``docs/serving.md``).
+#: ``eventual`` answers from whatever view is published;
+#: ``read_your_writes`` additionally honours the request's
+#: ``min_offset`` — the element offset of the client's last write —
+#: and refuses (or, on a follower, waits) rather than serve a view
+#: older than it.
+READ_MODES = frozenset({"eventual", "read_your_writes"})
+
+
+class _OversizedLine(Exception):
+    """A request line exceeded MAX_LINE; ``recovered`` says whether the
+    rest of the offending line was drained so the connection can keep
+    serving."""
+
+    def __init__(self, recovered: bool) -> None:
+        super().__init__("request line exceeds the protocol cap")
+        self.recovered = recovered
+
+
+async def _discard_through_newline(reader: asyncio.StreamReader) -> bool:
+    """Consume the remainder of an oversized line, newline included.
+
+    Returns True when the line's terminator was found (the connection
+    is back on a message boundary), False on EOF.  Pipelined requests
+    already buffered behind the newline are preserved.
+    """
+    while True:
+        try:
+            await reader.readuntil(b"\n")
+            return True
+        except asyncio.IncompleteReadError:
+            return False
+        except asyncio.LimitOverrunError as exc:
+            pending = exc.consumed
+            while pending > 0:
+                chunk = await reader.read(min(pending, 1 << 16))
+                if not chunk:
+                    return False
+                pending -= len(chunk)
+
+
+async def _read_line(reader: asyncio.StreamReader) -> bytes:
+    """Read one ``\\n``-terminated protocol line.
+
+    Returns ``b""`` at EOF (and a trailing unterminated fragment as-is,
+    matching ``readline``).  Raises :class:`_OversizedLine` — after
+    draining through the offending line's newline — when the line
+    exceeds the stream's limit, so the caller can answer with a
+    structured error and keep the connection alive.
+    """
+    try:
+        return await reader.readuntil(b"\n")
+    except asyncio.IncompleteReadError as exc:
+        return exc.partial
+    except asyncio.LimitOverrunError:
+        raise _OversizedLine(await _discard_through_newline(reader))
 
 
 @dataclass(frozen=True)
@@ -219,24 +277,22 @@ class EstimatorServer:
         try:
             while True:
                 try:
-                    line = await reader.readline()
-                except (ValueError, asyncio.LimitOverrunError):
+                    line = await _read_line(reader)
+                except _OversizedLine as oversized:
                     writer.write(encode_message(error_response(
                         None,
                         "ServeError",
                         f"request line exceeds {MAX_LINE} bytes",
                     )))
                     await writer.drain()
-                    return
+                    if not oversized.recovered:
+                        return
+                    continue
                 if not line:
                     return
                 if line.strip() == b"":
                     continue
-                response = await self._respond(line)
-                writer.write(encode_message(response))
-                await writer.drain()
-                result = response.get("result")
-                if isinstance(result, dict) and result.get("goodbye"):
+                if not await self._handle_line(line, reader, writer):
                     return
         except (ConnectionResetError, BrokenPipeError):
             return
@@ -247,6 +303,25 @@ class EstimatorServer:
                 await writer.wait_closed()
             except (ConnectionResetError, BrokenPipeError):
                 pass
+
+    async def _handle_line(
+        self,
+        line: bytes,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> bool:
+        """Serve one request line; False ends the connection.
+
+        The request/response cycle lives in this overridable hook so
+        subclasses (the replication primary of
+        :mod:`repro.cluster.primary`) can intercept handshakes that
+        turn the connection into something other than request/response.
+        """
+        response = await self._respond(line)
+        writer.write(encode_message(response))
+        await writer.drain()
+        result = response.get("result")
+        return not (isinstance(result, dict) and result.get("goodbye"))
 
     async def _respond(self, line: bytes) -> Dict[str, Any]:
         request_id: Optional[Any] = None
@@ -269,7 +344,7 @@ class EstimatorServer:
             raise ServeError("request needs a string 'op' field")
         self._counters[op] = self._counters.get(op, 0) + 1
         if op in READ_OPS:
-            return self._read(op)
+            return await self._handle_read(op, request)
         if op == "close":
             return {"goodbye": True}
         if op == "shutdown":
@@ -285,7 +360,53 @@ class EstimatorServer:
             f"{', '.join(sorted(READ_OPS | WRITE_OPS))}, close, shutdown"
         )
 
-    def _read(self, op: str) -> Dict[str, Any]:
+    async def _handle_read(
+        self, op: str, request: Dict[str, Any]
+    ) -> Dict[str, Any]:
+        """Answer one read, honouring the request's consistency mode.
+
+        On a single node ``read_your_writes`` can only fail when the
+        watermark belongs to state this server never had (a client
+        carrying an offset across a failover to a stale node) — then
+        refusing with :class:`~repro.errors.StaleReadError` is the
+        safe answer.  The follower of :mod:`repro.cluster.follower`
+        overrides this to *wait* for replication to apply the offset
+        instead.
+        """
+        self._check_freshness(op, request)
+        return self._read(op, request)
+
+    def _min_offset(self, request: Dict[str, Any]) -> Optional[int]:
+        """The read-your-writes watermark of a request, validated."""
+        mode = request.get("read_mode", "eventual")
+        if mode not in READ_MODES:
+            raise ServeError(
+                f"unknown read_mode {mode!r}; supported: "
+                f"{', '.join(sorted(READ_MODES))}"
+            )
+        if mode != "read_your_writes":
+            return None
+        min_offset = request.get("min_offset")
+        if min_offset is None:
+            return None
+        if not isinstance(min_offset, int) or min_offset < 0:
+            raise ServeError(
+                f"min_offset must be a non-negative element offset, "
+                f"got {min_offset!r}"
+            )
+        return min_offset
+
+    def _check_freshness(self, op: str, request: Dict[str, Any]) -> None:
+        if op == "ping":
+            return
+        min_offset = self._min_offset(request)
+        if min_offset is not None and self._view.elements < min_offset:
+            raise StaleReadError(
+                f"view covers {self._view.elements} elements but the "
+                f"client's last write is at offset {min_offset}"
+            )
+
+    def _read(self, op: str, request: Dict[str, Any]) -> Dict[str, Any]:
         view = self._view  # one atomic reference read — never torn
         if op == "ping":
             return {"pong": True, "version": PROTOCOL_VERSION}
@@ -300,6 +421,7 @@ class EstimatorServer:
             "processing_seconds": view.processing_seconds,
             "spec": spec.to_string() if spec else None,
             "durable": self._session.durable,
+            "durability": self._session.durability,
             "connections": self._connections,
             "operations": dict(self._counters),
         }
@@ -309,15 +431,7 @@ class EstimatorServer:
         session = self._session
         if op == "ingest":
             elements = records_to_elements(request.get("elements"))
-            delta = session.ingest(elements)
-            view = self._publish()
-            return {
-                "accepted": len(elements),
-                "delta": delta,
-                "seq": view.seq,
-                "elements": view.elements,
-                "estimate": view.estimate,
-            }
+            return self._apply_ingest(elements)
         if op == "flush":
             delta = session.flush()
             view = self._publish()
@@ -328,6 +442,24 @@ class EstimatorServer:
         offset = session.checkpoint()
         self._publish()
         return {"offset": offset}
+
+    def _apply_ingest(self, elements: list) -> Dict[str, Any]:
+        """Ingest one decoded batch and publish (writer thread).
+
+        The replication primary overrides this to additionally fan the
+        batch out to its followers after the session applied it.  The
+        result's ``elements`` doubles as the client's read-your-writes
+        watermark: the global element offset its write reached.
+        """
+        delta = self._session.ingest(elements)
+        view = self._publish()
+        return {
+            "accepted": len(elements),
+            "delta": delta,
+            "seq": view.seq,
+            "elements": view.elements,
+            "estimate": view.estimate,
+        }
 
 
 class BackgroundServer:
@@ -376,18 +508,24 @@ def serve_in_background(
     session: Session,
     host: str = "127.0.0.1",
     port: int = 0,
+    *,
+    server_factory: Any = None,
 ) -> BackgroundServer:
     """Start an :class:`EstimatorServer` on a daemon loop thread.
 
     Blocks until the server is bound (so ``.address`` is final), then
     returns a :class:`BackgroundServer` handle.  Stopping the handle
-    closes the session.
+    closes the session.  ``server_factory`` swaps in a subclass — it
+    is called as ``factory(session, host=host, port=port)``, which is
+    how the cluster layer hosts its replication primary and followers
+    on the same daemon-loop machinery.
     """
     started = threading.Event()
     holder: Dict[str, Any] = {}
+    factory = server_factory if server_factory is not None else EstimatorServer
 
     async def _main() -> None:
-        server = EstimatorServer(session, host=host, port=port)
+        server = factory(session, host=host, port=port)
         await server.start()
         holder["server"] = server
         holder["loop"] = asyncio.get_running_loop()

@@ -47,6 +47,7 @@ from dataclasses import dataclass, field
 from typing import (
     Any,
     Dict,
+    Iterator,
     List,
     Optional,
     Sequence,
@@ -171,6 +172,51 @@ class DurableStore:
 
     def _segment_path(self, base: int) -> pathlib.Path:
         return self._dir / f"wal-{base:020d}.log"
+
+    def oldest_offset(self) -> int:
+        """The oldest global element offset the WAL still covers.
+
+        Elements below it were pruned at a checkpoint and can only be
+        reconstructed from a snapshot — replication catch-up uses this
+        as its start-offset negotiation floor.
+        """
+        segments = self.segments()
+        return segments[0][0] if segments else self._offset
+
+    def read_records(
+        self, start: int, end: int
+    ) -> Iterator[StreamElement]:
+        """Yield the logged elements with global offsets in [start, end).
+
+        This is the WAL as a **replication log**: the primary of
+        :mod:`repro.cluster.primary` ships follower catch-up batches
+        straight from these frames.  Callers are responsible for
+        bounding ``end`` at an offset that is already synced to the
+        file (``sync()`` first); ``start`` below :meth:`oldest_offset`
+        raises — those records are gone, bootstrap from a snapshot.
+        """
+        if start < 0 or end < start:
+            raise StoreError(
+                f"invalid WAL read range [{start}, {end})"
+            )
+        if start == end:
+            return
+        segments = self.segments()
+        if not segments or start < segments[0][0]:
+            raise StoreError(
+                f"WAL records from offset {start} were pruned "
+                f"(oldest available: {self.oldest_offset()}); "
+                "catch up from a snapshot instead"
+            )
+        for base, path in segments:
+            if base >= end:
+                break
+            for index, element in enumerate(iter_wal(path)):
+                offset = base + index
+                if offset >= end:
+                    break
+                if offset >= start:
+                    yield element
 
     # ------------------------------------------------------------------
     # Initialization

@@ -110,7 +110,11 @@ def scan_wal(path: PathLike) -> WalScan:
             if len(header) < _FRAME.size:
                 return WalScan(records, valid, False)
             length, crc = _FRAME.unpack(header)
-            if length > _MAX_PAYLOAD:
+            if length == 0 or length > _MAX_PAYLOAD:
+                # No element encodes to an empty payload, so a
+                # zero-length frame is corruption — typically a
+                # zero-filled tail a filesystem left after a crash
+                # (crc32(b"") == 0 makes it checksum-"valid").
                 return WalScan(records, valid, False)
             payload = handle.read(length)
             if len(payload) < length or zlib.crc32(payload) != crc:
@@ -134,7 +138,7 @@ def iter_wal(path: PathLike) -> Iterator[StreamElement]:
             if len(header) < _FRAME.size:
                 return
             length, crc = _FRAME.unpack(header)
-            if length > _MAX_PAYLOAD:
+            if length == 0 or length > _MAX_PAYLOAD:
                 return
             payload = handle.read(length)
             if len(payload) < length or zlib.crc32(payload) != crc:

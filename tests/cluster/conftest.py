@@ -1,0 +1,30 @@
+"""Fixtures for the replicated-cluster suite."""
+
+import pytest
+from cluster_utils import SPEC
+
+from repro.api import open_session
+from repro.cluster import follow_in_background, replicate_in_background
+
+
+@pytest.fixture
+def primary(tmp_path):
+    """A replicating primary over a fresh durable session."""
+    background = replicate_in_background(
+        open_session(SPEC, durable_dir=tmp_path / "primary")
+    )
+    yield background
+    background.stop()
+
+
+@pytest.fixture
+def follower(tmp_path, primary):
+    """One follower bootstrapped from ``primary``."""
+    background = follow_in_background(
+        primary.server.replication_address,
+        tmp_path / "follower",
+        stale_timeout=10.0,
+        reconnect_backoff=0.05,
+    )
+    yield background
+    background.stop()

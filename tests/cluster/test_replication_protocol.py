@@ -1,0 +1,85 @@
+"""The replication wire grammar of ``repro.cluster.protocol``."""
+
+import pytest
+
+from repro.cluster import (
+    ack_message,
+    batch_message,
+    decode_ack,
+    decode_stream_message,
+    handshake_request,
+    heartbeat_message,
+)
+from repro.errors import ClusterError
+from repro.types import deletion, insertion
+
+
+class TestHandshake:
+    def test_minimal_request(self):
+        request = handshake_request("f1", 96)
+        assert request == {
+            "id": 1,
+            "op": "replicate",
+            "follower": "f1",
+            "have_offset": 96,
+        }
+
+    def test_probe_flag_only_when_set(self):
+        assert "probe" not in handshake_request("f1", 0)
+        assert handshake_request("f1", 0, probe=True)["probe"] is True
+
+
+class TestStreamMessages:
+    def test_batch_round_trip(self):
+        elements = [insertion("u1", "v1"), deletion("u2", "v2")]
+        kind, base, decoded = decode_stream_message(
+            batch_message(7, elements)
+        )
+        assert kind == "batch"
+        assert base == 7
+        assert decoded == elements
+
+    def test_heartbeat_round_trip(self):
+        assert decode_stream_message(heartbeat_message(42)) == (
+            "heartbeat",
+            42,
+            [],
+        )
+
+    @pytest.mark.parametrize(
+        "message",
+        [
+            {"stream": "batch", "base": -1, "records": []},
+            {"stream": "batch", "base": "x", "records": []},
+            {"stream": "batch", "base": 0, "records": [["bogus"]]},
+            {"stream": "heartbeat", "offset": -5},
+            {"stream": "heartbeat"},
+            {"stream": "mystery"},
+            {},
+        ],
+        ids=[
+            "negative-base",
+            "string-base",
+            "bad-records",
+            "negative-heartbeat",
+            "missing-offset",
+            "unknown-kind",
+            "empty",
+        ],
+    )
+    def test_malformed_messages_raise(self, message):
+        with pytest.raises(ClusterError):
+            decode_stream_message(message)
+
+
+class TestAcks:
+    def test_round_trip(self):
+        assert decode_ack(ack_message(128)) == 128
+
+    def test_non_ack_chatter_is_none(self):
+        assert decode_ack({"hello": True}) is None
+
+    @pytest.mark.parametrize("offset", [-1, "x", 1.5])
+    def test_malformed_ack_raises(self, offset):
+        with pytest.raises(ClusterError):
+            decode_ack({"ack": offset})

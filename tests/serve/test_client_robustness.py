@@ -1,0 +1,219 @@
+"""``ServeClient`` network robustness: timeouts, backoff, torn reads.
+
+Every failure mode a flaky network hands the client must surface as a
+:class:`~repro.errors.ServeError` with a diagnosable message — never a
+raw socket exception and never an indefinite hang.  The stub servers
+here misbehave on purpose: refuse to exist, accept and go silent, or
+drop the connection halfway through a response line.
+"""
+
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.errors import ServeError
+from repro.serve.client import ServeClient, connect_with_backoff
+
+
+def _refused_port():
+    """A port that nothing listens on (bound, then released)."""
+    with socket.socket() as sock:
+        sock.bind(("127.0.0.1", 0))
+        return sock.getsockname()[1]
+
+
+class _StubServer:
+    """Accept one connection and run ``behavior`` against it."""
+
+    def __init__(self, behavior):
+        self._sock = socket.socket()
+        self._sock.bind(("127.0.0.1", 0))
+        self._sock.listen(1)
+        self.port = self._sock.getsockname()[1]
+        self._thread = threading.Thread(
+            target=self._serve, args=(behavior,), daemon=True
+        )
+        self._thread.start()
+
+    def _serve(self, behavior):
+        try:
+            conn, _ = self._sock.accept()
+        except OSError:
+            return
+        try:
+            behavior(conn)
+        finally:
+            try:
+                conn.close()
+            except OSError:
+                pass
+
+    def close(self):
+        self._sock.close()
+        self._thread.join(timeout=5)
+
+
+class TestConnectRetry:
+    def test_refused_port_fails_after_counted_attempts(
+        self, monkeypatch
+    ):
+        attempts = []
+        real_create = socket.create_connection
+
+        def _counting(address, timeout=None):
+            attempts.append(address)
+            return real_create(address, timeout=timeout)
+
+        monkeypatch.setattr(socket, "create_connection", _counting)
+        port = _refused_port()
+        with pytest.raises(ServeError, match="3 attempt"):
+            ServeClient(
+                "127.0.0.1", port, connect_retries=2, backoff=0.001
+            )
+        assert len(attempts) == 3
+
+    def test_backoff_doubles_up_to_the_cap(self, monkeypatch):
+        sleeps = []
+        monkeypatch.setattr(time, "sleep", sleeps.append)
+
+        def _always_refused(address, timeout=None):
+            raise ConnectionRefusedError("nope")
+
+        monkeypatch.setattr(
+            socket, "create_connection", _always_refused
+        )
+        with pytest.raises(ServeError, match="5 attempt"):
+            connect_with_backoff(
+                ("127.0.0.1", 1),
+                connect_timeout=0.1,
+                retries=4,
+                backoff=0.05,
+                backoff_cap=0.1,
+            )
+        assert sleeps == [0.05, 0.1, 0.1, 0.1]
+
+    def test_server_that_binds_late_answers_on_a_retry(
+        self, monkeypatch
+    ):
+        """The first attempts hit a closed port; a later one lands."""
+        from repro.api import open_session
+        from repro.serve import serve_in_background
+
+        real_create = socket.create_connection
+        failures = iter([ConnectionRefusedError("still binding")] * 2)
+
+        def _flaky(address, timeout=None):
+            for exc in failures:
+                raise exc
+            return real_create(address, timeout=timeout)
+
+        monkeypatch.setattr(socket, "create_connection", _flaky)
+        with serve_in_background(open_session("exact")) as background:
+            with ServeClient(
+                *background.address, connect_retries=2, backoff=0.001
+            ) as client:
+                assert client.ping()["pong"]
+
+    def test_connect_timeout_is_retried_then_wrapped(
+        self, monkeypatch
+    ):
+        """A never-accepting endpoint surfaces as ServeError, not a
+        hang: each attempt times out, the retries run dry, and the
+        final error names the attempt count."""
+        attempts = []
+
+        def _never_accepts(address, timeout=None):
+            attempts.append(timeout)
+            raise socket.timeout("timed out")
+
+        monkeypatch.setattr(
+            socket, "create_connection", _never_accepts
+        )
+        with pytest.raises(ServeError, match="2 attempt"):
+            ServeClient(
+                "127.0.0.1",
+                1,
+                connect_timeout=0.01,
+                connect_retries=1,
+                backoff=0.001,
+            )
+        assert attempts == [0.01, 0.01]
+
+    def test_negative_connect_retries_is_refused(self):
+        with pytest.raises(ServeError, match="connect_retries"):
+            ServeClient("127.0.0.1", 1, connect_retries=-1)
+
+
+class TestReadRobustness:
+    def test_silent_server_times_out(self):
+        """Accepted-but-never-answered surfaces as a read timeout."""
+        release = threading.Event()
+
+        def _accept_and_stall(conn):
+            conn.recv(4096)  # take the request, answer nothing
+            release.wait(timeout=10)
+
+        stub = _StubServer(_accept_and_stall)
+        try:
+            client = ServeClient(
+                "127.0.0.1", stub.port, timeout=0.2, connect_retries=0
+            )
+            with pytest.raises(ServeError, match="timed out"):
+                client.ping()
+            release.set()
+            client._sock.close()
+        finally:
+            stub.close()
+
+    def test_mid_line_drop_is_reported(self):
+        """A connection cut inside a response line is called out."""
+
+        def _drop_mid_response(conn):
+            conn.recv(4096)
+            conn.sendall(b'{"id": 1, "ok": true, "resu')  # no newline
+
+        stub = _StubServer(_drop_mid_response)
+        try:
+            client = ServeClient(
+                "127.0.0.1", stub.port, timeout=2.0, connect_retries=0
+            )
+            with pytest.raises(ServeError, match="mid-response"):
+                client.ping()
+            client._sock.close()
+        finally:
+            stub.close()
+
+    def test_clean_close_before_response_is_reported(self):
+        def _close_without_answering(conn):
+            conn.recv(4096)
+
+        stub = _StubServer(_close_without_answering)
+        try:
+            client = ServeClient(
+                "127.0.0.1", stub.port, timeout=2.0, connect_retries=0
+            )
+            with pytest.raises(
+                ServeError, match="closed the connection"
+            ):
+                client.ping()
+            client._sock.close()
+        finally:
+            stub.close()
+
+    def test_mismatched_response_id_is_refused(self):
+        def _answer_with_wrong_id(conn):
+            conn.recv(4096)
+            conn.sendall(b'{"id": 99, "ok": true, "result": {}}\n')
+
+        stub = _StubServer(_answer_with_wrong_id)
+        try:
+            client = ServeClient(
+                "127.0.0.1", stub.port, timeout=2.0, connect_retries=0
+            )
+            with pytest.raises(ServeError, match="does not match"):
+                client.ping()
+            client._sock.close()
+        finally:
+            stub.close()

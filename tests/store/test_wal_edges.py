@@ -1,0 +1,177 @@
+"""WAL scan hardening: degenerate files and hostile tails.
+
+``tests/store/test_wal.py`` proves the happy paths and the every-byte
+truncation sweep; this file pins the degenerate shapes a crashed
+filesystem actually leaves behind — empty files, half-written magic,
+a frame header whose declared length runs past EOF or past the sanity
+cap, and (the subtle one) a **zero-filled tail**: ``crc32(b"") == 0``
+makes an all-zeros frame header checksum-"valid", so a naive scanner
+would accept an empty record and loop forever on the zeros.  Each
+shape must come back as a clean torn-tail report — never an exception,
+never a bogus record — and recovery over such a file must truncate
+and carry on.
+"""
+
+import struct
+import zlib
+
+import pytest
+
+from repro.api import open_session
+from repro.errors import StoreError
+from repro.store.wal import WAL_MAGIC, WalWriter, iter_wal, scan_wal
+from repro.types import insertion
+
+
+def _wal_with_records(path, count):
+    """A synced WAL holding ``count`` insertions; returns its bytes."""
+    with WalWriter(path) as wal:
+        for i in range(count):
+            wal.append(insertion(f"u{i}", f"v{i}"))
+    return path.read_bytes()
+
+
+def _frame(payload):
+    return struct.pack(
+        "<II", len(payload), zlib.crc32(payload)
+    ) + payload
+
+
+class TestDegenerateFiles:
+    def test_empty_file_scans_as_torn_header(self, tmp_path):
+        path = tmp_path / "wal-0.log"
+        path.write_bytes(b"")
+        scan = scan_wal(path)
+        assert (scan.records, scan.valid_bytes, scan.clean) == (
+            0, 0, False,
+        )
+        assert list(iter_wal(path)) == []
+
+    def test_magic_only_file_is_clean_and_empty(self, tmp_path):
+        path = tmp_path / "wal-0.log"
+        path.write_bytes(WAL_MAGIC)
+        scan = scan_wal(path)
+        assert scan.records == 0
+        assert scan.valid_bytes == len(WAL_MAGIC)
+        assert scan.clean is True
+
+    @pytest.mark.parametrize("cut", range(1, len(WAL_MAGIC)))
+    def test_truncated_magic_is_torn_not_fatal(self, tmp_path, cut):
+        path = tmp_path / "wal-0.log"
+        path.write_bytes(WAL_MAGIC[:cut])
+        scan = scan_wal(path)
+        assert (scan.records, scan.clean) == (0, False)
+        assert list(iter_wal(path)) == []
+
+    def test_foreign_bytes_raise_store_error(self, tmp_path):
+        path = tmp_path / "wal-0.log"
+        path.write_bytes(b"PK\x03\x04 definitely not a WAL")
+        with pytest.raises(StoreError, match="not a repro WAL"):
+            scan_wal(path)
+
+
+class TestHostileTails:
+    def test_declared_length_past_eof_is_torn(self, tmp_path):
+        path = tmp_path / "wal-0.log"
+        data = _wal_with_records(path, 3)
+        # A frame header promising 500 payload bytes, then EOF after 4.
+        path.write_bytes(
+            data + struct.pack("<II", 500, 12345) + b"left"
+        )
+        scan = scan_wal(path)
+        assert scan.records == 3
+        assert scan.valid_bytes == len(data)
+        assert scan.clean is False
+        assert len(list(iter_wal(path))) == 3
+
+    def test_absurd_declared_length_is_not_allocated(self, tmp_path):
+        path = tmp_path / "wal-0.log"
+        data = _wal_with_records(path, 2)
+        path.write_bytes(data + struct.pack("<II", 1 << 30, 0))
+        scan = scan_wal(path)
+        assert (scan.records, scan.valid_bytes) == (2, len(data))
+        assert scan.clean is False
+
+    @pytest.mark.parametrize("zeros", [8, 16, 4096])
+    def test_zero_filled_tail_is_rejected_despite_valid_crc(
+        self, tmp_path, zeros
+    ):
+        """crc32(b"") == 0, so all-zero headers would self-validate as
+        empty records — the length == 0 guard must stop the scan."""
+        path = tmp_path / "wal-0.log"
+        data = _wal_with_records(path, 4)
+        path.write_bytes(data + b"\x00" * zeros)
+        scan = scan_wal(path)
+        assert scan.records == 4
+        assert scan.valid_bytes == len(data)
+        assert scan.clean is False
+        # iter_wal stops at the zeros instead of yielding phantoms.
+        elements = list(iter_wal(path))
+        assert len(elements) == 4
+        assert str(elements[0]) == "(u0, v0, +)"
+
+    def test_zero_length_frame_mid_file_hides_the_rest(self, tmp_path):
+        """Corruption is a *prefix* property: records after a zero
+        frame are unreachable even if individually intact."""
+        path = tmp_path / "wal-0.log"
+        good = _frame(b'["+","a","b"]')
+        path.write_bytes(
+            WAL_MAGIC + good + b"\x00" * 8 + _frame(b'["+","c","d"]')
+        )
+        scan = scan_wal(path)
+        assert scan.records == 1
+        assert scan.valid_bytes == len(WAL_MAGIC) + len(good)
+        assert len(list(iter_wal(path))) == 1
+
+    def test_partial_zero_header_is_a_short_read(self, tmp_path):
+        path = tmp_path / "wal-0.log"
+        data = _wal_with_records(path, 2)
+        path.write_bytes(data + b"\x00" * 3)  # < frame-header size
+        scan = scan_wal(path)
+        assert (scan.records, scan.valid_bytes) == (2, len(data))
+        assert scan.clean is False
+
+
+class TestRecoveryIntegration:
+    def test_recovery_truncates_a_zero_filled_tail_and_resumes(
+        self, tmp_path
+    ):
+        """open_session over a zero-padded segment: the tail goes, the
+        intact prefix replays, and appending afterwards works."""
+        session = open_session(
+            "abacus:budget=32,seed=7", durable_dir=tmp_path
+        )
+        session.ingest(
+            [insertion(f"u{i % 5}", f"v{i}") for i in range(6)]
+        )
+        session.close()
+        segment = sorted(tmp_path.glob("wal-*.log"))[-1]
+        segment.write_bytes(segment.read_bytes() + b"\x00" * 4096)
+
+        recovered = open_session(durable_dir=tmp_path)
+        assert recovered.elements == 6
+        assert scan_wal(segment).clean is True  # tail truncated away
+        recovered.ingest(insertion("u9", "v9"))
+        recovered.close()
+
+        reopened = open_session(durable_dir=tmp_path)
+        assert reopened.elements == 7
+        reopened.close()
+
+    def test_recovery_truncates_an_overlong_declared_length(
+        self, tmp_path
+    ):
+        session = open_session(
+            "abacus:budget=32,seed=7", durable_dir=tmp_path
+        )
+        session.ingest(
+            [insertion(f"u{i % 5}", f"v{i}") for i in range(4)]
+        )
+        session.close()
+        segment = sorted(tmp_path.glob("wal-*.log"))[-1]
+        segment.write_bytes(
+            segment.read_bytes() + struct.pack("<II", 1 << 24, 7)
+        )
+        recovered = open_session(durable_dir=tmp_path)
+        assert recovered.elements == 4
+        recovered.close()

@@ -1,9 +1,10 @@
 """Tier-1 doctest lane for the public API surface.
 
 CI runs the same examples via ``pytest --doctest-modules src/repro/api
-src/repro/shard src/repro/window src/repro/store src/repro/serve``;
-this lane keeps them green inside the ordinary test run, so a broken
-docstring example fails fast everywhere.
+src/repro/shard src/repro/window src/repro/store src/repro/serve
+src/repro/cluster src/repro/metrics``; this lane keeps them green
+inside the ordinary test run, so a broken docstring example fails fast
+everywhere.
 """
 
 import doctest
@@ -13,7 +14,9 @@ import pytest
 import repro.api.docgen
 import repro.api.registry
 import repro.api.session
+import repro.cluster.protocol
 import repro.core.base
+import repro.metrics.replication
 import repro.serve.client
 import repro.serve.protocol
 import repro.serve.server
@@ -31,7 +34,9 @@ MODULES = [
     repro.api.docgen,
     repro.api.registry,
     repro.api.session,
+    repro.cluster.protocol,
     repro.core.base,
+    repro.metrics.replication,
     repro.serve.client,
     repro.serve.protocol,
     repro.serve.server,

@@ -57,6 +57,9 @@ FLOORS: Dict[str, float] = {
     # and estimate-query service under concurrent ingest.
     "recovery_replay_eps": 2_000.0,
     "serve_query_qps": 150.0,
+    # ISSUE 6: aggregate estimate QPS through the ClusterClient fan-out
+    # over a caught-up two-follower cluster.
+    "replicated_read_qps": 150.0,
 }
 
 #: Per-benchmark subprocess timeout (seconds).  Quick mode finishes in
