@@ -1,0 +1,153 @@
+"""Cost of elastic resharding (ISSUE 8 acceptance).
+
+Two headline numbers feed the CI perf gate in
+``tools/bench_runner.py``:
+
+* ``reshard_eps`` — residue-replay throughput (live edges replayed
+  per second) of a live ``ShardedEstimator.reshard``, measured across
+  the split / merge / remix transitions.  The replay is the whole
+  cost of a topology change, so this is the "how long is the write
+  path paused" number — gated by a **floor**.
+* ``autoscale_settle_s`` — wall-clock seconds for a closed loop
+  (ingest → ``Autoscaler.observe`` → ``reshard``) to grow a 1-shard
+  engine to ``max_shards`` under sustained overload.  Settle time is
+  a latency, so it is gated by a **ceiling**.
+
+Identity assertions kept in every mode:
+
+* each reshard replays exactly the live-edge count and preserves the
+  estimate's unbiased merge (the engine stays queryable with a finite
+  estimate on the new topology);
+* the autoscale loop actually reaches ``max_shards`` and every epoch
+  bump is one split (1 -> 2 -> 4).
+"""
+
+import random
+
+from conftest import emit, record_metric
+
+from repro.experiments.report import render_table
+from repro.graph.generators import bipartite_erdos_renyi
+from repro.metrics.throughput import Stopwatch
+from repro.shard.autoscale import Autoscaler
+from repro.shard.engine import ShardedEstimator
+from repro.streams.dynamic import make_fully_dynamic
+
+MAX_SHARDS = 4
+
+#: The measured transitions: (label, starting K, target K).
+TRANSITIONS = (
+    ("split 2 -> 4", 2, 4),
+    ("merge 4 -> 2", 4, 2),
+    ("remix 4 -> 4", 4, 4),
+)
+
+
+def _config(quick):
+    """(budget, n_left/right, n_edges) for the selected mode."""
+    return (2000, 60, 3000) if quick else (6000, 100, 9000)
+
+
+def _stream(n_side, n_edges, seed=17):
+    edges = bipartite_erdos_renyi(n_side, n_side, n_edges, random.Random(seed))
+    return list(
+        make_fully_dynamic(edges, alpha=0.2, rng=random.Random(seed + 1))
+    )
+
+
+def test_reshard_replay_throughput(benchmark, results_dir, quick):
+    budget, n_side, n_edges = _config(quick)
+    spec = f"abacus:budget={budget},seed=11"
+    stream = _stream(n_side, n_edges)
+
+    def run():
+        reports = {}
+        for label, old_k, new_k in TRANSITIONS:
+            engine = ShardedEstimator(spec, shards=old_k)
+            engine.process_batch(stream)
+            live = engine.live_edges
+            report = engine.reshard(new_k)
+            assert report.replayed_edges == live
+            assert engine.num_shards == new_k
+            assert engine.estimate >= 0.0
+            reports[label] = (report, engine.estimate)
+            engine.close()
+        return reports
+
+    reports = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = []
+    best_eps = 0.0
+    for label, (report, estimate) in reports.items():
+        eps = report.replayed_edges / report.seconds
+        best_eps = max(best_eps, eps)
+        rows.append(
+            (
+                label,
+                f"{report.replayed_edges:,}",
+                f"{report.moved_edges:,}",
+                f"{report.seconds * 1000:.1f}",
+                f"{eps:,.0f}",
+                f"{estimate:,.1f}",
+            )
+        )
+    text = render_table(
+        ["transition", "replayed", "moved", "ms", "edges/s", "estimate"],
+        rows,
+        title=(
+            f"Reshard residue replay (k={budget}, "
+            f"{len(stream):,} stream elements)"
+        ),
+    )
+    emit(results_dir, "reshard_replay", text)
+    record_metric("reshard_eps", best_eps)
+
+
+def test_autoscale_settle_time(benchmark, results_dir, quick):
+    budget, n_side, n_edges = _config(quick)
+    spec = f"abacus:budget={budget},seed=11"
+    stream = _stream(n_side, n_edges, seed=19)
+    # Chunks sized so every observation is far out of band: the bench
+    # measures mechanism latency (observe + reshard + replay), not how
+    # long the policy chooses to wait.
+    chunk = max(1, len(stream) // 20)
+    scaler = Autoscaler(
+        max_shards=MAX_SHARDS,
+        high_load=float(chunk) / (2 * MAX_SHARDS),
+        low_load=1.0,
+        dwell=1,
+        settle_elements=0,
+    )
+
+    def run():
+        engine = ShardedEstimator(spec, shards=1)
+        epochs = [0]
+        watch = Stopwatch()
+        with watch:
+            offset = 0
+            while engine.num_shards < MAX_SHARDS and offset < len(stream):
+                engine.process_batch(stream[offset : offset + chunk])
+                offset += chunk
+                decision = scaler.observe(engine)
+                if decision.should_reshard:
+                    engine.reshard(decision.target_shards)
+                    epochs.append(engine.epoch)
+        settled = engine.num_shards
+        engine.close()
+        return watch.elapsed, settled, epochs
+
+    settle_s, settled, epochs = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+    # The loop must actually converge, one doubling per epoch bump.
+    assert settled == MAX_SHARDS, (settled, epochs)
+    assert epochs == list(range(len(epochs)))
+    text = render_table(
+        ["max shards", "reshards", "settle (s)"],
+        [(str(MAX_SHARDS), str(len(epochs) - 1), f"{settle_s:.3f}")],
+        title=(
+            f"Autoscale settle: 1 -> {MAX_SHARDS} shards under "
+            f"sustained overload (k={budget})"
+        ),
+    )
+    emit(results_dir, "autoscale_settle", text)
+    record_metric("autoscale_settle_s", settle_s)

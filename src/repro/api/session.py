@@ -66,6 +66,7 @@ from repro.api.registry import (
 )
 from repro.core.base import ButterflyEstimator
 from repro.errors import EstimatorError, SpecError, StoreError
+from repro.faults import fault_point
 from repro.store import DurableStore
 from repro.types import StreamElement
 
@@ -231,6 +232,45 @@ class Session:
             "offset": self._store.offset,
             "oldest_wal_offset": self._store.oldest_offset(),
             "checkpoints": list(self._store.snapshots.offsets()),
+        }
+
+    def _sharded_engine(self):
+        """The underlying sharded engine, unwrapping a window; or None.
+
+        Imported lazily: the session facade must stay importable
+        before the shard/window engines register themselves.
+        """
+        from repro.shard.engine import ShardedEstimator
+        from repro.window.engine import WindowedEstimator
+
+        estimator = self._estimator
+        if isinstance(estimator, WindowedEstimator):
+            estimator = estimator.inner
+        if isinstance(estimator, ShardedEstimator):
+            return estimator
+        return None
+
+    @property
+    def topology(self) -> Optional[Dict[str, Any]]:
+        """The sharded topology in force; None for unsharded sessions.
+
+        The dict carries the partition count ``shards``, the
+        partitioner ``epoch`` (bumped by every :meth:`reshard`), the
+        ``partitioner`` and ``backend`` names, the count of
+        ``live_edges`` (the reshard replay set), and the per-shard
+        ``load_table``.  The serving layer republishes this under
+        ``stats`` so clients can watch topology changes.
+        """
+        engine = self._sharded_engine()
+        if engine is None:
+            return None
+        return {
+            "shards": engine.num_shards,
+            "epoch": engine.epoch,
+            "partitioner": engine.partitioner.name,
+            "backend": engine.backend_name,
+            "live_edges": engine.live_edges,
+            "load_table": list(engine.partitioner.load_table()),
         }
 
     @property
@@ -544,6 +584,58 @@ class Session:
         """Force WAL-buffered elements to disk (durable sessions)."""
         if self._store is not None:
             self._store.sync()
+
+    # ------------------------------------------------------------------
+    # Elastic resharding
+    # ------------------------------------------------------------------
+    def reshard(
+        self,
+        shards: int,
+        *,
+        backend: Optional[str] = None,
+        partitioner: Optional[str] = None,
+        salt: Optional[int] = None,
+    ):
+        """Live split/merge of a sharded session to ``shards`` shards.
+
+        Delegates to :meth:`repro.shard.engine.ShardedEstimator
+        .reshard` (residue replay under a new partitioner epoch — see
+        ``docs/resharding.md``), then, for durable sessions,
+        **commits the epoch cut**: a checkpoint is written at the
+        current element offset, so the WAL segment boundary is exactly
+        the old-epoch/new-epoch cut and ``DurableStore.recover()``
+        lands on one consistent topology — the old one if the crash
+        beat the checkpoint (the whole reshard then simply never
+        happened), the new one after it.  Elements logged before the
+        cut never replay through the new topology and vice versa.
+
+        Args:
+            shards: target partition count ``K'``.
+            backend: optional backend switch for the new topology.
+            partitioner: optional partitioner switch.
+            salt: optional new partition-map salt.
+
+        Returns:
+            The engine's :class:`~repro.shard.engine.ReshardReport`.
+
+        Raises:
+            EstimatorError: for unsharded or closed sessions.
+        """
+        if self._closed:
+            raise EstimatorError("session is closed")
+        engine = self._sharded_engine()
+        if engine is None:
+            raise EstimatorError(
+                "reshard() needs a sharded session; pass shards=K to "
+                "open_session"
+            )
+        report = engine.reshard(
+            shards, backend=backend, partitioner=partitioner, salt=salt
+        )
+        if self._store is not None:
+            fault_point("reshard.pre_checkpoint")
+            self._store.checkpoint(self.snapshot(), self._elements)
+        return report
 
     # ------------------------------------------------------------------
     # Lifecycle

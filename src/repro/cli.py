@@ -11,6 +11,7 @@ Subcommands map 1:1 onto the paper's tables/figures plus the extras::
     repro stream --estimator SPEC     # run any spec through a session
     repro serve --estimator SPEC      # serve estimate queries over TCP
     repro follow --primary HOST:PORT  # replicate a primary, serve reads
+    repro reshard --durable-dir DIR --shards K   # stored topology change
     repro all                         # everything, in order
 
 ``--estimator`` accepts the registry spec grammar, e.g.
@@ -91,6 +92,7 @@ def build_parser() -> argparse.ArgumentParser:
             "stream",
             "serve",
             "follow",
+            "reshard",
             "all",
         ],
         help="which experiment to run",
@@ -138,8 +140,11 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--backend",
         choices=["serial", "thread", "process"],
-        default="serial",
-        help="shard executor backend for --shards > 1",
+        default=None,
+        help=(
+            "shard executor backend for --shards > 1 (default serial; "
+            "for 'reshard' the default keeps the stored backend)"
+        ),
     )
     parser.add_argument(
         "--partitioner",
@@ -218,6 +223,29 @@ def build_parser() -> argparse.ArgumentParser:
             "experiment (the --replicate-to port, not the serving "
             "port)"
         ),
+    )
+    parser.add_argument(
+        "--autoscale",
+        action="store_true",
+        help=(
+            "autoscale the 'serve' experiment's sharded session: "
+            "split/merge shards live as per-shard load leaves the "
+            "hysteresis bands (docs/resharding.md)"
+        ),
+    )
+    parser.add_argument(
+        "--max-shards",
+        type=int,
+        default=8,
+        metavar="K",
+        help="upper shard bound for --autoscale (default 8)",
+    )
+    parser.add_argument(
+        "--autoscale-interval",
+        type=float,
+        default=2.0,
+        metavar="SECONDS",
+        help="seconds between autoscaler observations (default 2)",
     )
     return parser
 
@@ -336,6 +364,9 @@ def run_serve(
     window: int = 0,
     window_time: float = 0.0,
     replicate_to: Optional[int] = None,
+    autoscale: bool = False,
+    max_shards: int = 8,
+    autoscale_interval: float = 2.0,
 ) -> int:
     """Own a session behind the asyncio query server until interrupted.
 
@@ -344,7 +375,10 @@ def run_serve(
     ``--estimator`` then reopens an existing directory under its
     stored spec.  With ``--replicate-to PORT`` the server is a
     replication **primary**: followers connect to that port and
-    receive the WAL live (``docs/replication.md``).
+    receive the WAL live (``docs/replication.md``).  With
+    ``--autoscale`` a sharded session splits/merges live as per-shard
+    load leaves the autoscaler's hysteresis bands
+    (``docs/resharding.md``).
     """
     import asyncio
 
@@ -357,6 +391,14 @@ def run_serve(
         raise ClusterError(
             "--replicate-to needs --durable-dir: the write-ahead log "
             "is the replication log"
+        )
+    if autoscale and replicate_to is not None:
+        from repro.errors import ClusterError
+
+        raise ClusterError(
+            "--autoscale cannot run on a replication primary yet: "
+            "followers replay through their own fixed topology "
+            "(docs/resharding.md)"
         )
 
     options: dict = {}
@@ -403,7 +445,25 @@ def run_serve(
         )
         server: EstimatorServer = replicating
     else:
-        server = EstimatorServer(session, host=host, port=port)
+        scaler = None
+        if autoscale:
+            from repro.errors import SpecError
+            from repro.shard import Autoscaler
+
+            if session.topology is None:
+                session.close()
+                raise SpecError(
+                    "--autoscale needs a sharded session; pass "
+                    "--shards K (or reopen a sharded --durable-dir)"
+                )
+            scaler = Autoscaler(max_shards=max_shards)
+        server = EstimatorServer(
+            session,
+            host=host,
+            port=port,
+            autoscaler=scaler,
+            autoscale_interval=autoscale_interval,
+        )
 
     async def _serve() -> None:
         await server.start()
@@ -430,6 +490,50 @@ def run_serve(
     except KeyboardInterrupt:
         print("\nshutting down")
     return 0
+
+
+def run_reshard(
+    durable_dir: Optional[str],
+    shards: int,
+    backend: Optional[str] = None,
+) -> str:
+    """Reshard a durable sharded session in place and checkpoint it.
+
+    Opens (recovers) the session living in ``--durable-dir``, replays
+    its live-edge residue into a ``--shards``-way topology at the next
+    partitioner epoch, and commits the cut with a checkpoint — the
+    next ``repro serve --durable-dir`` then recovers straight onto the
+    new topology (``docs/resharding.md``).
+    """
+    from repro.errors import SpecError
+
+    if not durable_dir:
+        raise SpecError(
+            "reshard needs --durable-dir DIR: only a durable session "
+            "outlives the process that reshards it"
+        )
+    if shards < 1:
+        raise SpecError(f"--shards must be >= 1, got {shards}")
+    with open_session(durable_dir=durable_dir) as session:
+        if session.topology is None:
+            raise SpecError(
+                f"the session in {durable_dir!r} is unsharded; "
+                "reshard applies to sessions opened with shards=K"
+            )
+        old = session.topology
+        report = session.reshard(shards, backend=backend)
+        new = session.topology
+        return "\n".join([
+            f"== reshard: {durable_dir} ==",
+            f"  topology          : {old['shards']} -> "
+            f"{new['shards']} shards (epoch {new['epoch']})",
+            f"  backend           : {new['backend']}",
+            f"  residue replayed  : {report.replayed_edges:>10,} edges "
+            f"({report.moved_edges:,} moved)",
+            f"  transition        : {report.seconds:>10.3f} s",
+            f"  checkpoint offset : {session.elements:>10,}",
+            f"  estimate          : {session.estimate:>10,.1f}",
+        ])
 
 
 def _parse_address(text: str) -> "tuple[str, int]":
@@ -600,12 +704,24 @@ def main(argv: Optional[List[str]] = None) -> int:
                 args.port,
                 durable_dir=args.durable_dir,
                 shards=args.shards,
-                backend=args.backend,
+                backend=args.backend or "serial",
                 partitioner=args.partitioner,
                 window=args.window,
                 window_time=args.window_time,
                 replicate_to=args.replicate_to,
+                autoscale=args.autoscale,
+                max_shards=args.max_shards,
+                autoscale_interval=args.autoscale_interval,
             )
+        except ReproError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+    if args.experiment == "reshard":
+        try:
+            print(run_reshard(
+                args.durable_dir, args.shards, backend=args.backend
+            ))
+            return 0
         except ReproError as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 2
@@ -645,7 +761,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             report = run_experiment(
                 name, args.trials, datasets, args.threads, context,
                 chart=args.chart, estimator_spec=args.estimator,
-                shards=args.shards, backend=args.backend,
+                shards=args.shards, backend=args.backend or "serial",
                 partitioner=args.partitioner, window=args.window,
                 window_time=args.window_time,
                 durable_dir=args.durable_dir,

@@ -165,6 +165,42 @@ class ClusterClient:
     def flush(self) -> Dict[str, Any]:
         return self._call_primary("flush")
 
+    def reshard(
+        self,
+        shards: int,
+        *,
+        backend: Optional[str] = None,
+        partitioner: Optional[str] = None,
+        salt: Optional[int] = None,
+    ) -> Dict[str, Any]:
+        """Live-reshard the primary's sharded session (primary only).
+
+        Followers keep replaying the element log through their own
+        engines and are **not** resharded — their estimates agree with
+        the primary's in expectation, not bit-for-bit, until they are
+        rebuilt on the new topology (``docs/resharding.md`` discusses
+        the caveat).  Use :meth:`topology` for the authoritative
+        topology during and after the transition.
+        """
+        fields: Dict[str, Any] = {"shards": shards}
+        if backend is not None:
+            fields["backend"] = backend
+        if partitioner is not None:
+            fields["partitioner"] = partitioner
+        if salt is not None:
+            fields["salt"] = salt
+        return self._call_primary("reshard", **fields)
+
+    def topology(self) -> Optional[Dict[str, Any]]:
+        """The **primary's** current shard topology (None: unsharded).
+
+        Deliberately never read from a follower: followers do not
+        reshard with the primary, so only the primary's published view
+        is authoritative about the topology — reading it anywhere else
+        could surface a stale epoch mid-reshard.
+        """
+        return self._call_primary("stats").get("topology")
+
     def checkpoint(self) -> int:
         return self._call_primary("checkpoint")["offset"]
 

@@ -1,0 +1,159 @@
+"""Fault-injection points for the chaos harness.
+
+Production code marks the crash-critical instants of a multi-step
+operation — the moments where a kill must leave recoverable state —
+with a named :func:`fault_point` call.  In normal operation the call
+is a dictionary-emptiness check and nothing more; the chaos suite
+(``tests/chaos/``) *arms* a point with a handler that raises (or kills
+a worker, or tears a file) exactly there, which is how the matrix
+"every fault point × every reshardable spec" is enumerated instead of
+guessed at.
+
+The registry is deliberately global and process-local: chaos tests run
+the system in-process and simulate the crash by abandoning the live
+objects, then re-opening the durable directory — the same observable
+sequence a real ``kill -9`` produces (PR-5's kill-at-every-byte tests
+cover the torn-file side; fault points cover the torn-*operation*
+side).
+
+Every name callable from production code must be declared in
+:data:`FAULT_POINTS` so the chaos matrix can enumerate the full set
+and fail when a new point appears without coverage.
+
+>>> fired = []
+>>> with armed("reshard.prepared", lambda name: fired.append(name)):
+...     fault_point("reshard.prepared")
+>>> fired
+['reshard.prepared']
+>>> fault_point("reshard.prepared")   # disarmed again: a no-op
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Callable, Dict, Iterator
+
+__all__ = [
+    "FAULT_POINTS",
+    "SimulatedCrash",
+    "arm",
+    "armed",
+    "crash_at",
+    "disarm",
+    "fault_point",
+    "reset",
+]
+
+#: Every fault point the production code declares, with where it sits.
+#: The chaos suite iterates this registry; adding a ``fault_point``
+#: call site without listing it here fails
+#: ``tests/chaos/test_fault_points.py``.
+FAULT_POINTS: Dict[str, str] = {
+    # ShardedEstimator.reshard — the live split/merge.
+    "reshard.prepared": (
+        "shards flushed and the residue ordered, before the new "
+        "topology is built (old topology fully live)"
+    ),
+    "reshard.built": (
+        "new shard estimators built and the residue replayed into "
+        "them, before the engine swaps topologies"
+    ),
+    "reshard.swapped": (
+        "new topology installed and the old backend closed, before "
+        "the caller regains control"
+    ),
+    # Session.reshard — the durable epoch cut.
+    "reshard.pre_checkpoint": (
+        "engine resharded in memory, before the durable checkpoint "
+        "that commits the new epoch to disk"
+    ),
+    # DurableStore.checkpoint — the snapshot/rotate/prune sequence.
+    "checkpoint.synced": (
+        "WAL synced, before the snapshot file is written"
+    ),
+    "checkpoint.snapshotted": (
+        "snapshot written and durable, before the log rotates to a "
+        "fresh segment"
+    ),
+    "checkpoint.rotated": (
+        "log rotated, before old snapshots and their segments are "
+        "pruned"
+    ),
+}
+
+
+class SimulatedCrash(BaseException):
+    """Raised by an armed fault point to simulate ``kill -9``.
+
+    Derives from ``BaseException`` so no production ``except
+    Exception`` handler can swallow it: the crash must unwind exactly
+    like a process death would, leaving only the on-disk state behind.
+    """
+
+    def __init__(self, point: str) -> None:
+        super().__init__(f"simulated crash at fault point {point!r}")
+        self.point = point
+
+
+_handlers: Dict[str, Callable[[str], None]] = {}
+
+
+def fault_point(name: str) -> None:
+    """Fire the handler armed for ``name``; a no-op when unarmed.
+
+    Production call sites must name a key of :data:`FAULT_POINTS`.
+    The emptiness check keeps the disarmed cost to one truthiness
+    test, so fault points may sit on operational (non-per-element)
+    paths freely.
+    """
+    if not _handlers:
+        return
+    handler = _handlers.get(name)
+    if handler is not None:
+        handler(name)
+
+
+def arm(name: str, handler: Callable[[str], None]) -> None:
+    """Arm ``name`` with ``handler`` (chaos tests only).
+
+    Raises:
+        KeyError: for names not declared in :data:`FAULT_POINTS` —
+            a typo here would silently test nothing.
+    """
+    if name not in FAULT_POINTS:
+        raise KeyError(
+            f"unknown fault point {name!r}; declared points: "
+            f"{', '.join(sorted(FAULT_POINTS))}"
+        )
+    _handlers[name] = handler
+
+
+def disarm(name: str) -> None:
+    """Remove the handler for ``name`` (missing is fine)."""
+    _handlers.pop(name, None)
+
+
+def reset() -> None:
+    """Disarm every fault point (chaos-test teardown)."""
+    _handlers.clear()
+
+
+@contextlib.contextmanager
+def armed(name: str, handler: Callable[[str], None]) -> Iterator[None]:
+    """Context manager: arm ``name`` for the block, then disarm."""
+    arm(name, handler)
+    try:
+        yield
+    finally:
+        disarm(name)
+
+
+@contextlib.contextmanager
+def crash_at(name: str) -> Iterator[None]:
+    """Arm ``name`` to raise :class:`SimulatedCrash` for the block."""
+
+    def _crash(point: str) -> None:
+        raise SimulatedCrash(point)
+
+    with armed(name, _crash):
+        yield

@@ -252,6 +252,30 @@ class ServeClient:
         """Durable checkpoint; returns the covered element offset."""
         return self.call("checkpoint")["offset"]
 
+    def reshard(
+        self,
+        shards: int,
+        *,
+        backend: Optional[str] = None,
+        partitioner: Optional[str] = None,
+        salt: Optional[int] = None,
+    ) -> Dict[str, Any]:
+        """Live-reshard the served (sharded) session to ``shards``.
+
+        Runs on the server's writer thread like any other mutation;
+        reads keep answering from the pre-reshard view until the new
+        topology publishes.  Returns the reshard report plus the
+        freshly published ``topology``.
+        """
+        fields: Dict[str, Any] = {"shards": shards}
+        if backend is not None:
+            fields["backend"] = backend
+        if partitioner is not None:
+            fields["partitioner"] = partitioner
+        if salt is not None:
+            fields["salt"] = salt
+        return self.call("reshard", **fields)
+
     def shutdown(self) -> Dict[str, Any]:
         """Ask the server process to wind down."""
         return self.call("shutdown")

@@ -6,9 +6,12 @@ concurrent clients over the line-delimited JSON protocol of
 the ingest hot path and makes torn reads impossible by construction:
 
 * **One writer.**  Every mutating operation (``ingest``, ``flush``,
-  ``snapshot``, ``checkpoint``) is submitted to a single-thread
-  executor, so session state only ever changes in one thread, in
-  request order, while the asyncio loop stays free to answer reads.
+  ``snapshot``, ``checkpoint``, ``reshard``) is submitted to a
+  single-thread executor, so session state only ever changes in one
+  thread, in request order, while the asyncio loop stays free to
+  answer reads.  A bounded semaphore in front of the executor
+  backpressures writers that outrun it — waiting, never dropping —
+  with the stalls surfaced as the ``backpressure`` stats counter.
 * **Immutable views.**  After each mutation the writer thread builds a
   frozen :class:`ServingView` (estimate, element count, memory, a
   monotonically increasing ``seq``) and publishes it with one atomic
@@ -71,7 +74,15 @@ __all__ = [
 READ_OPS = frozenset({"ping", "estimate", "stats"})
 
 #: Operations serialised through the single writer thread.
-WRITE_OPS = frozenset({"ingest", "flush", "snapshot", "checkpoint"})
+WRITE_OPS = frozenset(
+    {"ingest", "flush", "snapshot", "checkpoint", "reshard"}
+)
+
+#: Default bound on write requests queued for the writer thread.
+#: Beyond it new writes *wait* (they are never dropped) and the
+#: ``backpressure`` stats counter increments — the signal that ingest
+#: is outrunning the writer (e.g. during a reshard pause).
+DEFAULT_MAX_PENDING_WRITES = 64
 
 #: Consistency modes a read request may carry (``docs/serving.md``).
 #: ``eventual`` answers from whatever view is published;
@@ -149,6 +160,10 @@ class ServingView:
     estimate: float
     memory_edges: int
     processing_seconds: float
+    #: The sharded topology at publish time (None for unsharded
+    #: sessions).  Built on the writer thread like every other field,
+    #: so a reader can never see a half-switched topology.
+    topology: Optional[Dict[str, Any]] = None
 
     def as_result(self) -> Dict[str, Any]:
         """The view as an ``estimate`` response body."""
@@ -168,6 +183,14 @@ class EstimatorServer:
             protocol only.
         host: interface to bind (default loopback).
         port: TCP port; 0 picks a free one (see :attr:`address`).
+        max_pending_writes: bound on queued writes before new writers
+            wait (see :data:`DEFAULT_MAX_PENDING_WRITES`).
+        autoscaler: optional :class:`~repro.shard.Autoscaler`; when
+            given, the server periodically feeds it the session's
+            sharded engine and applies any split/merge it recommends
+            on the writer thread (``docs/resharding.md``).  Requires a
+            sharded session.
+        autoscale_interval: seconds between autoscaler observations.
     """
 
     def __init__(
@@ -175,7 +198,25 @@ class EstimatorServer:
         session: Session,
         host: str = "127.0.0.1",
         port: int = 0,
+        max_pending_writes: int = DEFAULT_MAX_PENDING_WRITES,
+        autoscaler: Optional[Any] = None,
+        autoscale_interval: float = 2.0,
     ) -> None:
+        if max_pending_writes < 1:
+            raise ServeError(
+                f"max_pending_writes must be >= 1, "
+                f"got {max_pending_writes}"
+            )
+        if autoscale_interval <= 0:
+            raise ServeError(
+                f"autoscale_interval must be > 0, "
+                f"got {autoscale_interval}"
+            )
+        if autoscaler is not None and session.topology is None:
+            raise ServeError(
+                "autoscaling needs a sharded session "
+                "(open it with shards=K)"
+            )
         self._session = session
         self._host = host
         self._port = port
@@ -187,6 +228,13 @@ class EstimatorServer:
         self._closed = False
         self._counters: Dict[str, int] = {}
         self._connections = 0
+        self._max_pending_writes = max_pending_writes
+        self._write_slots = asyncio.Semaphore(max_pending_writes)
+        self._backpressure = 0
+        self._autoscaler = autoscaler
+        self._autoscale_interval = autoscale_interval
+        self._autoscale_task: Optional[asyncio.Task] = None
+        self._autoscale_reshards = 0
         self._view = self._build_view(0)
 
     # ------------------------------------------------------------------
@@ -200,6 +248,7 @@ class EstimatorServer:
             estimate=session.estimate,
             memory_edges=session.memory_edges,
             processing_seconds=session._processing_seconds,
+            topology=session.topology,
         )
 
     def _publish(self) -> ServingView:
@@ -231,6 +280,10 @@ class EstimatorServer:
             limit=MAX_LINE,
         )
         self._port = self._server.sockets[0].getsockname()[1]
+        if self._autoscaler is not None:
+            self._autoscale_task = asyncio.create_task(
+                self._autoscale_loop()
+            )
 
     @property
     def address(self) -> Tuple[str, int]:
@@ -255,6 +308,13 @@ class EstimatorServer:
         if self._closed:
             return
         self._closed = True
+        if self._autoscale_task is not None:
+            self._autoscale_task.cancel()
+            try:
+                await self._autoscale_task
+            except asyncio.CancelledError:
+                pass
+            self._autoscale_task = None
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
@@ -264,6 +324,45 @@ class EstimatorServer:
         loop = asyncio.get_running_loop()
         await loop.run_in_executor(self._writer_pool, self._session.close)
         self._writer_pool.shutdown(wait=True)
+
+    # ------------------------------------------------------------------
+    # Autoscaling
+    # ------------------------------------------------------------------
+    async def _autoscale_loop(self) -> None:
+        """Feed the autoscaler on a timer; reshard when it says so.
+
+        Each observation (and any reshard it triggers) runs on the
+        writer thread under a write slot, so it serialises against
+        ingest exactly like a client-issued ``reshard`` — readers keep
+        the old view until the new topology publishes atomically.
+        Policy errors are swallowed: a failed observation must never
+        take the serving loop down.
+        """
+        while not self._closed:
+            await asyncio.sleep(self._autoscale_interval)
+            try:
+                async with self._write_slots:
+                    loop = asyncio.get_running_loop()
+                    await loop.run_in_executor(
+                        self._writer_pool, self._autoscale_step
+                    )
+            except asyncio.CancelledError:
+                raise
+            except Exception:  # noqa: BLE001 - keep serving
+                continue
+
+    def _autoscale_step(self) -> None:
+        """One autoscaler observation (writer thread)."""
+        if self._autoscaler is None:
+            return
+        engine = self._session._sharded_engine()
+        if engine is None:
+            return
+        decision = self._autoscaler.observe(engine)
+        if decision.should_reshard:
+            self._session.reshard(decision.target_shards)
+            self._autoscale_reshards += 1
+            self._publish()
 
     # ------------------------------------------------------------------
     # Connections
@@ -351,10 +450,17 @@ class EstimatorServer:
             self.request_shutdown()
             return {"stopping": True}
         if op in WRITE_OPS:
-            loop = asyncio.get_running_loop()
-            return await loop.run_in_executor(
-                self._writer_pool, self._write, op, request
-            )
+            # Bounded writer queue: when every slot is taken the new
+            # write *waits* here (never dropped, never rejected) and
+            # the backpressure counter records the stall.  Reads never
+            # touch the semaphore, so they stay unblocked throughout.
+            if self._write_slots.locked():
+                self._backpressure += 1
+            async with self._write_slots:
+                loop = asyncio.get_running_loop()
+                return await loop.run_in_executor(
+                    self._writer_pool, self._write, op, request
+                )
         raise ServeError(
             f"unknown operation {op!r}; supported: "
             f"{', '.join(sorted(READ_OPS | WRITE_OPS))}, close, shutdown"
@@ -419,11 +525,16 @@ class EstimatorServer:
             "estimate": view.estimate,
             "memory_edges": view.memory_edges,
             "processing_seconds": view.processing_seconds,
+            "topology": view.topology,
             "spec": spec.to_string() if spec else None,
             "durable": self._session.durable,
             "durability": self._session.durability,
             "connections": self._connections,
             "operations": dict(self._counters),
+            "backpressure": self._backpressure,
+            "max_pending_writes": self._max_pending_writes,
+            "autoscaling": self._autoscaler is not None,
+            "autoscale_reshards": self._autoscale_reshards,
         }
 
     def _write(self, op: str, request: Dict[str, Any]) -> Dict[str, Any]:
@@ -438,10 +549,48 @@ class EstimatorServer:
             return {"delta": delta, "seq": view.seq}
         if op == "snapshot":
             return {"snapshot": session.snapshot()}
+        if op == "reshard":
+            return self._apply_reshard(request)
         # checkpoint
         offset = session.checkpoint()
         self._publish()
         return {"offset": offset}
+
+    def _apply_reshard(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        """Reshard the session live (writer thread).
+
+        Reads keep answering from the pre-reshard view for the whole
+        transition; the post-reshard view (new topology included)
+        publishes in one atomic assignment afterwards.
+        """
+        shards = request.get("shards")
+        if not isinstance(shards, int) or isinstance(shards, bool):
+            raise ServeError(
+                f"reshard needs an integer 'shards' field, got {shards!r}"
+            )
+        salt = request.get("salt")
+        if salt is not None and (
+            not isinstance(salt, int) or isinstance(salt, bool)
+        ):
+            raise ServeError(f"salt must be an integer, got {salt!r}")
+        report = self._session.reshard(
+            shards,
+            backend=request.get("backend"),
+            partitioner=request.get("partitioner"),
+            salt=salt,
+        )
+        view = self._publish()
+        return {
+            "old_shards": report.old_shards,
+            "shards": report.new_shards,
+            "epoch": report.epoch,
+            "replayed_edges": report.replayed_edges,
+            "moved_edges": report.moved_edges,
+            "backend": report.backend,
+            "seconds": report.seconds,
+            "seq": view.seq,
+            "topology": view.topology,
+        }
 
     def _apply_ingest(self, elements: list) -> Dict[str, Any]:
         """Ingest one decoded batch and publish (writer thread).

@@ -38,7 +38,8 @@ from repro.shard.backends import (
     ShardBackend,
     ThreadBackend,
 )
-from repro.shard.engine import ShardedEstimator
+from repro.shard.autoscale import Autoscaler, AutoscaleDecision
+from repro.shard.engine import ReshardReport, ShardedEstimator
 from repro.shard.partition import (
     PARTITIONER_NAMES,
     BalancedPartitioner,
@@ -52,10 +53,13 @@ from repro.shard.partition import (
 __all__ = [
     "BACKEND_NAMES",
     "PARTITIONER_NAMES",
+    "AutoscaleDecision",
+    "Autoscaler",
     "BalancedPartitioner",
     "HashPartitioner",
     "Partitioner",
     "ProcessBackend",
+    "ReshardReport",
     "SerialBackend",
     "ShardBackend",
     "ShardedEstimator",

@@ -1,0 +1,232 @@
+"""Hysteresis-banded autoscaling policy for elastic resharding.
+
+The :class:`Autoscaler` watches a :class:`~repro.shard.engine
+.ShardedEstimator`'s per-shard load table (the public
+:meth:`~repro.shard.partition.Partitioner.load_table` accessor — the
+same signal ``bench_fig10_load_balance.py`` studies for threads) and
+decides when the topology should split (double ``K``) or merge (halve
+``K``).  It is a pure policy object: it never calls ``reshard``
+itself, so the same instance drives a session loop, the serving
+layer's ``--autoscale`` flag, or a test harness feeding it synthetic
+observations.
+
+Thrash is kept out with three classic guards (``docs/resharding.md``):
+
+* **Hysteresis bands** — mean per-shard load per observation must
+  leave the ``[low_load, high_load]`` band before anything happens;
+  inside the band both dwell counters reset.
+* **Dwell** — the load must stay out of band for ``dwell``
+  *consecutive* observations; one spiky poll never triggers.
+* **Settle** — after a reshard (any epoch change, including manual
+  ones) at least ``settle_elements`` elements must flow before the
+  next split/merge, because the replayed residue makes the first
+  post-reshard observations unrepresentative.
+
+>>> from repro.shard.engine import ShardedEstimator
+>>> from repro.types import insertion
+>>> engine = ShardedEstimator("exact", shards=1, backend="serial")
+>>> scaler = Autoscaler(max_shards=4, high_load=10, low_load=1,
+...                     dwell=2, settle_elements=0)
+>>> scaler.observe(engine).action      # first poll opens the window
+'hold'
+>>> _ = engine.process_batch([insertion(u, f"r{v}")
+...                           for u in range(8) for v in range(4)])
+>>> scaler.observe(engine).action      # out of band once: dwell
+'hold'
+>>> _ = engine.process_batch([insertion(u, f"r{v}")
+...                           for u in range(8) for v in range(4, 8)])
+>>> decision = scaler.observe(engine)  # twice in a row: act
+>>> decision.action, decision.target_shards
+('split', 2)
+>>> engine.close()
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional
+
+from repro.errors import SpecError
+from repro.shard.engine import ShardedEstimator
+
+__all__ = ["AutoscaleDecision", "Autoscaler"]
+
+
+@dataclasses.dataclass(frozen=True)
+class AutoscaleDecision:
+    """One :meth:`Autoscaler.observe` verdict.
+
+    Attributes:
+        action: ``"hold"``, ``"split"``, or ``"merge"``.
+        current_shards: the topology ``K`` at observation time.
+        target_shards: the recommended ``K'`` (equals
+            ``current_shards`` on hold).
+        mean_load: mean per-shard elements routed since the previous
+            observation.
+        reason: one human-readable line explaining the verdict.
+    """
+
+    action: str
+    current_shards: int
+    target_shards: int
+    mean_load: float
+    reason: str
+
+    @property
+    def should_reshard(self) -> bool:
+        return self.action != "hold"
+
+
+class Autoscaler:
+    """Split/merge policy over a sharded engine's load table.
+
+    Args:
+        min_shards: never merge below this ``K``.
+        max_shards: never split above this ``K``.
+        high_load: mean per-shard elements per observation above which
+            the topology is overloaded.
+        low_load: mean per-shard load below which it is over-provisioned
+            (only meaningful when ``K > min_shards``).  Keep
+            ``low_load * 2 < high_load`` or a merge would immediately
+            re-trigger a split at the same traffic.
+        dwell: consecutive out-of-band observations required to act.
+        settle_elements: elements that must flow after an epoch change
+            before the next split/merge is allowed.
+    """
+
+    def __init__(
+        self,
+        *,
+        min_shards: int = 1,
+        max_shards: int = 8,
+        high_load: float = 4096.0,
+        low_load: float = 512.0,
+        dwell: int = 3,
+        settle_elements: int = 1024,
+    ) -> None:
+        if not 1 <= min_shards <= max_shards:
+            raise SpecError(
+                f"need 1 <= min_shards <= max_shards, got "
+                f"{min_shards}..{max_shards}"
+            )
+        if low_load < 0 or high_load <= low_load:
+            raise SpecError(
+                f"need 0 <= low_load < high_load, got "
+                f"low={low_load}, high={high_load}"
+            )
+        if dwell < 1:
+            raise SpecError(f"dwell must be >= 1, got {dwell}")
+        if settle_elements < 0:
+            raise SpecError(
+                f"settle_elements must be >= 0, got {settle_elements}"
+            )
+        self.min_shards = min_shards
+        self.max_shards = max_shards
+        self.high_load = high_load
+        self.low_load = low_load
+        self.dwell = dwell
+        self.settle_elements = settle_elements
+        self._epoch: Optional[int] = None
+        self._last_total = 0
+        self._since_epoch = 0
+        self._high_streak = 0
+        self._low_streak = 0
+
+    def _reset_window(self, epoch: int, total: int) -> None:
+        self._epoch = epoch
+        self._last_total = total
+        self._since_epoch = 0
+        self._high_streak = 0
+        self._low_streak = 0
+
+    def observe(self, engine: ShardedEstimator) -> AutoscaleDecision:
+        """Poll ``engine`` once; return the split/merge/hold verdict.
+
+        Call at a roughly steady cadence — the bands are calibrated in
+        elements per observation interval.
+        """
+        shards = engine.num_shards
+        table = engine.partitioner.load_table()
+        total = sum(table)
+        if self._epoch != engine.epoch:
+            # New topology (ours or a manual reshard): the load table
+            # restarted (seeded with the replayed residue), so start a
+            # fresh window and a fresh settle period.
+            self._reset_window(engine.epoch, total)
+            return self._hold(
+                shards, 0.0, "new epoch: settling after reshard"
+            )
+        delta = total - self._last_total
+        self._last_total = total
+        self._since_epoch += delta
+        mean_load = delta / shards
+
+        if mean_load > self.high_load:
+            self._high_streak += 1
+            self._low_streak = 0
+        elif mean_load < self.low_load:
+            self._low_streak += 1
+            self._high_streak = 0
+        else:
+            self._high_streak = 0
+            self._low_streak = 0
+
+        if self._since_epoch < self.settle_elements:
+            return self._hold(
+                shards,
+                mean_load,
+                f"settling: {self._since_epoch}/{self.settle_elements} "
+                "elements since last epoch",
+            )
+        if self._high_streak >= self.dwell:
+            if shards >= self.max_shards:
+                return self._hold(
+                    shards, mean_load, "overloaded but at max_shards"
+                )
+            target = min(shards * 2, self.max_shards)
+            return AutoscaleDecision(
+                action="split",
+                current_shards=shards,
+                target_shards=target,
+                mean_load=mean_load,
+                reason=(
+                    f"mean load {mean_load:.0f} > {self.high_load:.0f} "
+                    f"for {self._high_streak} observations"
+                ),
+            )
+        if self._low_streak >= self.dwell:
+            if shards <= self.min_shards:
+                return self._hold(
+                    shards, mean_load, "underloaded but at min_shards"
+                )
+            target = max(shards // 2, self.min_shards)
+            return AutoscaleDecision(
+                action="merge",
+                current_shards=shards,
+                target_shards=target,
+                mean_load=mean_load,
+                reason=(
+                    f"mean load {mean_load:.0f} < {self.low_load:.0f} "
+                    f"for {self._low_streak} observations"
+                ),
+            )
+        return self._hold(shards, mean_load, "inside hysteresis band")
+
+    @staticmethod
+    def _hold(
+        shards: int, mean_load: float, reason: str
+    ) -> AutoscaleDecision:
+        return AutoscaleDecision(
+            action="hold",
+            current_shards=shards,
+            target_shards=shards,
+            mean_load=mean_load,
+            reason=reason,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Autoscaler(min={self.min_shards}, max={self.max_shards}, "
+            f"band=[{self.low_load}, {self.high_load}], "
+            f"dwell={self.dwell})"
+        )

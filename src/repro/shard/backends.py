@@ -329,11 +329,24 @@ class ProcessBackend(ShardBackend):
     def num_shards(self) -> int:
         return len(self._processes)
 
+    @property
+    def processes(self) -> Tuple[Any, ...]:
+        """The live worker process handles, indexed by shard.
+
+        Exposed for fault injection (``tests/chaos/``): killing one of
+        these simulates a shard worker dying mid-stream, which must
+        surface as :class:`~repro.errors.EstimatorError` on the next
+        command rather than a hang or a silent wrong answer.
+        """
+        return tuple(self._processes)
+
     @staticmethod
     def _read_reply(connection) -> Any:
         try:
             status, value = connection.recv()
-        except EOFError:
+        except (EOFError, OSError):
+            # EOF for a worker that exited; ECONNRESET for one that
+            # was killed with its pipe still carrying data.
             raise EstimatorError(
                 "shard worker exited unexpectedly (broken pipe)"
             ) from None
@@ -361,28 +374,66 @@ class ProcessBackend(ShardBackend):
             raise failure
         return replies
 
+    def _send(self, shard: int, message: Tuple[Any, ...]) -> bool:
+        """Send to one worker; False when its pipe is already dead.
+
+        A killed worker (chaos, OOM, operator) surfaces here as a
+        broken pipe — callers turn that into a loud
+        :class:`EstimatorError` *after* draining the replies the
+        still-living workers owe, so the surviving pipes never
+        desynchronise.
+        """
+        try:
+            self._connections[shard].send(message)
+            return True
+        except (OSError, ValueError):
+            return False
+
+    def _scatter_gather(self, per_shard) -> List[Any]:
+        """Send ``per_shard[shard]`` (None skips), gather, fail loud."""
+        sent: List[int] = []
+        dead: List[int] = []
+        for shard, message in enumerate(per_shard):
+            if message is None:
+                continue
+            (sent if self._send(shard, message) else dead).append(shard)
+        failure: Optional[EstimatorError] = None
+        replies: List[Any] = [None] * len(per_shard)
+        try:
+            for shard, reply in zip(sent, self._gather(sent)):
+                replies[shard] = reply
+        except EstimatorError as exc:
+            failure = exc
+        if dead:
+            raise EstimatorError(
+                f"shard worker {dead[0]} died (broken pipe); the "
+                "sharded state is no longer trustworthy — recover the "
+                "durable directory or rebuild the engine"
+            )
+        if failure is not None:
+            raise failure
+        return replies
+
     def _broadcast(self, message: Tuple[Any, ...]) -> List[Any]:
         """Send one message to all workers, then gather in shard order."""
         if not self._connections:
             raise EstimatorError("process backend is closed")
-        for connection in self._connections:
-            connection.send(message)
-        return self._gather(range(len(self._connections)))
+        return self._scatter_gather(
+            [message] * len(self._connections)
+        )
 
     def process_batches(
         self, batches: Sequence[Optional[Sequence[StreamElement]]]
     ) -> List[float]:
         if not self._connections:
             raise EstimatorError("process backend is closed")
-        active = []
-        for shard, batch in enumerate(batches):
-            if batch:
-                self._connections[shard].send(("batch", _encode_batch(batch)))
-                active.append(shard)
-        deltas = [0.0] * len(self._processes)
-        for shard, delta in zip(active, self._gather(active)):
-            deltas[shard] = delta
-        return deltas
+        replies = self._scatter_gather([
+            ("batch", _encode_batch(batch)) if batch else None
+            for batch in batches
+        ])
+        return [
+            reply if reply is not None else 0.0 for reply in replies
+        ]
 
     def flush(self) -> List[float]:
         return self._broadcast(("flush",))

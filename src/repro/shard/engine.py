@@ -40,6 +40,8 @@ to sharded ingestion unchanged.
 
 from __future__ import annotations
 
+import dataclasses
+import time
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.api.registry import (
@@ -53,16 +55,43 @@ from repro.api.registry import (
 )
 from repro.core.base import ButterflyEstimator
 from repro.errors import EstimatorError, SpecError
+from repro.faults import fault_point
 from repro.shard.backends import BACKEND_NAMES, ShardBackend, make_backend
 from repro.shard.partition import (
     Partitioner,
+    _as_vertex,
     make_partitioner,
     partitioner_from_state,
     shard_seed,
 )
-from repro.types import StreamElement
+from repro.types import StreamElement, Vertex, insertion
 
-__all__ = ["ShardedEstimator"]
+__all__ = ["ReshardReport", "ShardedEstimator"]
+
+
+@dataclasses.dataclass(frozen=True)
+class ReshardReport:
+    """What one :meth:`ShardedEstimator.reshard` did.
+
+    Attributes:
+        old_shards: partition count before the reshard.
+        new_shards: partition count after it.
+        epoch: the partitioner epoch now in force.
+        replayed_edges: live edges replayed into the new topology
+            (the whole residue — every live edge re-routes, because
+            per-shard sampler state cannot be split or merged).
+        moved_edges: replayed edges whose owning shard index changed.
+        backend: backend name running the new topology.
+        seconds: wall-clock cost of the transition.
+    """
+
+    old_shards: int
+    new_shards: int
+    epoch: int
+    replayed_edges: int
+    moved_edges: int
+    backend: str
+    seconds: float
 
 
 class ShardedEstimator(ButterflyEstimator):
@@ -108,6 +137,8 @@ class ShardedEstimator(ButterflyEstimator):
         seed: Optional[int] = None,
         _restore_states: Optional[Sequence[Dict[str, Any]]] = None,
         _partitioner_state: Optional[Dict[str, Any]] = None,
+        _restore_residue: Optional[Sequence[Sequence[Any]]] = None,
+        _restore_arrival: int = 0,
     ) -> None:
         if shards < 1:
             raise SpecError(f"shards must be >= 1, got {shards}")
@@ -136,29 +167,47 @@ class ShardedEstimator(ButterflyEstimator):
                 )
         else:
             self._partitioner = make_partitioner(partitioner, shards, salt)
-        self._shard_specs = self._derive_shard_specs()
+        self._shard_specs = self._derive_shard_specs(shards)
         self._backend = self._build_backend(_restore_states)
         self._metrics_cache: Optional[List[Tuple[float, int]]] = None
         self._closed = False
+        # The residue: every live edge with its arrival index, the
+        # replay set a reshard re-routes through the next topology
+        # (``docs/resharding.md``).  Restored snapshots written before
+        # residue tracking existed leave it incomplete, which only
+        # forbids resharding — everything else works as before.
+        self._residue: Dict[Tuple[Vertex, Vertex], int] = {}
+        self._arrival = int(_restore_arrival)
+        self._residue_complete = True
+        if _restore_residue is not None:
+            for entry in _restore_residue:
+                u, v, index = entry
+                self._residue[(_as_vertex(u), _as_vertex(v))] = int(index)
+        elif _restore_states is not None:
+            self._residue_complete = False
 
     # ------------------------------------------------------------------
     # Construction helpers
     # ------------------------------------------------------------------
-    def _derive_shard_specs(self) -> List[EstimatorSpec]:
-        """Per-shard specs: the inner spec with independent seeds."""
+    def _derive_shard_specs(self, num_shards: int) -> List[EstimatorSpec]:
+        """Per-shard specs: the inner spec with independent seeds.
+
+        Parameterised by the shard count so a reshard derives the
+        specs for its *target* topology with the same rule.
+        """
         spec = self._inner_spec
         if "seed" not in self._registration.param_names:
-            return [spec] * self._num_shards
+            return [spec] * num_shards
         base = self._seed
         if base is None:
             base = spec.params.get("seed")
         if base is None:
-            return [spec] * self._num_shards
+            return [spec] * num_shards
         return [
             spec.with_overrides(
-                seed=shard_seed(int(base), index, self._num_shards)
+                seed=shard_seed(int(base), index, num_shards)
             )
-            for index in range(self._num_shards)
+            for index in range(num_shards)
         ]
 
     def _build_backend(
@@ -168,20 +217,28 @@ class ShardedEstimator(ButterflyEstimator):
             raise EstimatorError(
                 f"expected {self._num_shards} shard states, got {len(states)}"
             )
+        if states is None:
+            return self._build_fresh_backend(
+                self._shard_specs, self._backend_name
+            )
         if self._backend_name == "process":
-            if states is not None:
-                payloads = [
-                    {"restore": {"name": self._registration.name, "state": s}}
-                    for s in states
-                ]
-            else:
-                payloads = [{"spec": s.to_dict()} for s in self._shard_specs]
+            payloads = [
+                {"restore": {"name": self._registration.name, "state": s}}
+                for s in states
+            ]
             return make_backend("process", payloads=payloads)
-        if states is not None:
-            estimators = [self._registration.restore(s) for s in states]
-        else:
-            estimators = [build_estimator(s) for s in self._shard_specs]
+        estimators = [self._registration.restore(s) for s in states]
         return make_backend(self._backend_name, estimators=estimators)
+
+    def _build_fresh_backend(
+        self, specs: Sequence[EstimatorSpec], backend_name: str
+    ) -> ShardBackend:
+        """Empty estimators from ``specs`` on a new ``backend_name``."""
+        if backend_name == "process":
+            payloads = [{"spec": s.to_dict()} for s in specs]
+            return make_backend("process", payloads=payloads)
+        estimators = [build_estimator(s) for s in specs]
+        return make_backend(backend_name, estimators=estimators)
 
     # ------------------------------------------------------------------
     # Introspection
@@ -197,6 +254,11 @@ class ShardedEstimator(ButterflyEstimator):
         return self._backend
 
     @property
+    def backend_name(self) -> str:
+        """The registry name of the running backend."""
+        return self._backend_name
+
+    @property
     def partitioner(self) -> Partitioner:
         """The element router (shared, stateful for ``balanced``)."""
         return self._partitioner
@@ -210,6 +272,16 @@ class ShardedEstimator(ButterflyEstimator):
     def shard_specs(self) -> Tuple[EstimatorSpec, ...]:
         """The seeded per-shard specs actually built."""
         return tuple(self._shard_specs)
+
+    @property
+    def epoch(self) -> int:
+        """The topology version: 0 at birth, +1 per :meth:`reshard`."""
+        return self._partitioner.epoch
+
+    @property
+    def live_edges(self) -> int:
+        """Edges currently alive (insertions minus their deletions)."""
+        return len(self._residue)
 
     @property
     def correction(self) -> float:
@@ -246,6 +318,18 @@ class ShardedEstimator(ButterflyEstimator):
         if self._closed:
             raise EstimatorError("sharded estimator is closed")
 
+    def _note_element(self, element: StreamElement) -> None:
+        """Track ``element`` in the residue (call only after the
+        backend accepted it, mirroring the session's WAL rollback
+        rule: a refused batch must not desynchronise the replay set).
+        """
+        key = (element.u, element.v)
+        if element.is_insertion:
+            self._residue[key] = self._arrival
+        else:
+            self._residue.pop(key, None)
+        self._arrival += 1
+
     def process(self, element: StreamElement) -> float:
         """Route one element to its shard; return the *corrected* delta."""
         self._check_open()
@@ -256,6 +340,7 @@ class ShardedEstimator(ButterflyEstimator):
         batches[shard] = [element]
         deltas = self._backend.process_batches(batches)
         self._metrics_cache = None
+        self._note_element(element)
         return self.correction * deltas[shard]
 
     def process_batch(self, batch: Sequence[StreamElement]) -> float:
@@ -282,6 +367,8 @@ class ShardedEstimator(ButterflyEstimator):
             bucket.append(element)
         deltas = self._backend.process_batches(batches)
         self._metrics_cache = None
+        for element in batch:
+            self._note_element(element)
         return self.correction * sum(deltas)
 
     def flush(self) -> float:
@@ -296,6 +383,133 @@ class ShardedEstimator(ButterflyEstimator):
         deltas = self._backend.flush()
         self._metrics_cache = None
         return self.correction * sum(deltas)
+
+    # ------------------------------------------------------------------
+    # Elastic resharding
+    # ------------------------------------------------------------------
+    def reshard(
+        self,
+        shards: int,
+        *,
+        backend: Optional[str] = None,
+        partitioner: Optional[str] = None,
+        salt: Optional[int] = None,
+    ) -> ReshardReport:
+        """Live split/merge to a ``shards``-way topology.
+
+        Per-shard sampler state cannot be split or merged without
+        breaking the inner estimator's sampling invariants, so the
+        transition replays the **residue** — every live edge, in
+        arrival order — into freshly seeded estimators behind a new
+        partitioner at epoch ``+1``.  The K-correction identity holds
+        on both sides of the swap: before it the old ``K`` corrects
+        the old shards, after it the new ``K'`` corrects the new ones,
+        and the replay is itself a valid stream (insertions only), so
+        the merged estimate stays unbiased for the same live graph
+        (``docs/resharding.md`` walks through the argument).
+
+        The swap is atomic from the caller's view: until every new
+        shard has absorbed its residue the old topology keeps
+        answering, and any failure while building the new one tears it
+        down and leaves the engine exactly as it was.  ``shards`` may
+        equal the current count — the epoch bump still remixes the
+        partition map, which is the "rebalance in place" case.
+
+        Args:
+            shards: the target partition count ``K'`` (>= 1).
+            backend: optional backend switch for the new topology.
+            partitioner: optional partitioner switch.
+            salt: optional new partition-map salt (the epoch bump
+                already remixes routing; pass a salt only to make the
+                new map reproducible independently of epoch history).
+
+        Returns:
+            A :class:`ReshardReport` describing the transition.
+
+        Raises:
+            EstimatorError: if the engine was restored from a snapshot
+                written before residue tracking existed (the replay
+                set would be incomplete), or is closed.
+        """
+        self._check_open()
+        if shards < 1:
+            raise SpecError(f"shards must be >= 1, got {shards}")
+        if not self._residue_complete:
+            raise EstimatorError(
+                "cannot reshard: this engine was restored from a "
+                "snapshot written before residue tracking existed, so "
+                "the live-edge replay set is incomplete; re-ingest "
+                "through a current snapshot first"
+            )
+        backend_name = (backend or self._backend_name).strip().lower()
+        if backend_name not in BACKEND_NAMES:
+            raise SpecError(
+                f"unknown shard backend {backend!r}; "
+                f"available: {', '.join(BACKEND_NAMES)}"
+            )
+        partitioner_name = partitioner or self._partitioner.name
+        new_salt = self._salt if salt is None else salt
+        started = time.perf_counter()
+
+        # 1. Order the replay set.  The old topology stays fully live
+        #    (and keeps answering queries) until the swap below.
+        ordered = sorted(self._residue.items(), key=lambda item: item[1])
+        fault_point("reshard.prepared")
+
+        # 2. Build the target topology and replay the residue into it.
+        epoch = self._partitioner.epoch + 1
+        new_partitioner = make_partitioner(
+            partitioner_name, shards, new_salt, epoch
+        )
+        new_specs = self._derive_shard_specs(shards)
+        new_backend = self._build_fresh_backend(new_specs, backend_name)
+        try:
+            moved = 0
+            batches: List[Optional[List[StreamElement]]] = [None] * shards
+            for (u, v), _index in ordered:
+                element = insertion(u, v)
+                shard = new_partitioner.assign(element)
+                if shard != self._partitioner.shard_of(u):
+                    moved += 1
+                bucket = batches[shard]
+                if bucket is None:
+                    bucket = batches[shard] = []
+                bucket.append(element)
+            if ordered:
+                new_backend.process_batches(batches)
+            # Drain inner buffers (PARABACUS mini-batches) so the
+            # post-swap state is bit-identical to a fresh engine that
+            # ingested the residue and flushed — the twin the chaos
+            # harness compares against.
+            new_backend.flush()
+            fault_point("reshard.built")
+        except BaseException:
+            # Includes SimulatedCrash: the half-built topology must
+            # not leak workers, and the engine stays on the old one.
+            new_backend.close()
+            raise
+
+        # 3. Atomic swap, then tear down the old topology.
+        old_backend = self._backend
+        old_shards = self._num_shards
+        self._partitioner = new_partitioner
+        self._num_shards = shards
+        self._backend_name = backend_name
+        self._salt = new_salt
+        self._shard_specs = new_specs
+        self._backend = new_backend
+        self._metrics_cache = None
+        old_backend.close()
+        fault_point("reshard.swapped")
+        return ReshardReport(
+            old_shards=old_shards,
+            new_shards=shards,
+            epoch=epoch,
+            replayed_edges=len(ordered),
+            moved_edges=moved,
+            backend=backend_name,
+            seconds=time.perf_counter() - started,
+        )
 
     # ------------------------------------------------------------------
     # StatefulEstimator protocol
@@ -314,7 +528,7 @@ class ShardedEstimator(ButterflyEstimator):
                 "support snapshot/restore, so the sharded engine cannot "
                 "either"
             )
-        return {
+        state: Dict[str, Any] = {
             "inner": self._inner_spec.to_string(),
             "shards": self._num_shards,
             "backend": self._backend_name,
@@ -322,7 +536,17 @@ class ShardedEstimator(ButterflyEstimator):
             "seed": self._seed,
             "partitioner": self._partitioner.state_to_dict(),
             "shard_states": self._backend.states(),
+            "arrival": self._arrival,
         }
+        if self._residue_complete:
+            # Arrival order, so restore + reshard replays identically.
+            state["residue"] = [
+                [u, v, index]
+                for (u, v), index in sorted(
+                    self._residue.items(), key=lambda item: item[1]
+                )
+            ]
+        return state
 
     @classmethod
     def from_state_dict(cls, state: Dict[str, Any]) -> "ShardedEstimator":
@@ -336,6 +560,8 @@ class ShardedEstimator(ButterflyEstimator):
                 seed=state.get("seed"),
                 _restore_states=state["shard_states"],
                 _partitioner_state=state["partitioner"],
+                _restore_residue=state.get("residue"),
+                _restore_arrival=int(state.get("arrival", 0)),
             )
         except KeyError as exc:
             raise EstimatorError(

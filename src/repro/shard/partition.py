@@ -11,16 +11,30 @@ two left vertices collide, which a uniform vertex hash does with
 probability ``1/K`` (see ``docs/architecture.md``).
 
 Partitioners are deterministic and serialisable: the stateless
-:class:`HashPartitioner` reconstructs from ``(num_shards, salt)``, and
-the stateful :class:`BalancedPartitioner` round-trips its assignment
-table through :meth:`Partitioner.state_to_dict`, so a restored session
-routes every future element exactly as the original would have.
+:class:`HashPartitioner` reconstructs from ``(num_shards, salt,
+epoch)``, and the stateful :class:`BalancedPartitioner` round-trips
+its assignment table through :meth:`Partitioner.state_to_dict`, so a
+restored session routes every future element exactly as the original
+would have.
+
+Two facilities added for elastic resharding (``docs/resharding.md``):
+
+* Every partitioner carries an **epoch** — a version counter bumped by
+  each :meth:`repro.shard.engine.ShardedEstimator.reshard`.  Epoch 0
+  routes exactly as the pre-epoch code did (bit-compatible with every
+  existing snapshot); epoch ``e > 0`` folds ``e`` into the routing
+  salt, so even a ``K → K`` reshard draws a fresh independent
+  partition map.
+* Every partitioner counts per-shard routed elements in a public load
+  table (:meth:`Partitioner.load_table`), which the autoscaler's
+  hysteresis bands and the Fig. 10 balance tests read instead of
+  reaching into :class:`BalancedPartitioner` internals.
 """
 
 from __future__ import annotations
 
 import abc
-from typing import Any, Dict, Hashable, List, Type
+from typing import Any, Dict, Hashable, List, Tuple, Type
 
 from repro.errors import SpecError
 from repro.sketch.hashing import mix64
@@ -101,19 +115,40 @@ class Partitioner(abc.ABC):
     #: Registry name ("hash", "balanced").
     name: str = ""
 
-    def __init__(self, num_shards: int, salt: int = 0) -> None:
+    def __init__(
+        self, num_shards: int, salt: int = 0, epoch: int = 0
+    ) -> None:
         if num_shards < 1:
             raise SpecError(f"num_shards must be >= 1, got {num_shards}")
+        if epoch < 0:
+            raise SpecError(f"epoch must be >= 0, got {epoch}")
         self.num_shards = num_shards
         self.salt = salt
+        self.epoch = epoch
+        # Epoch 0 routes with the raw salt — bit-compatible with every
+        # snapshot written before epochs existed; later epochs fold the
+        # counter in so each reshard draws an independent map.
+        self._route_salt = salt if epoch == 0 else mix64(salt, epoch)
+        self.loads: List[int] = [0] * num_shards
 
     @abc.abstractmethod
     def shard_of(self, vertex: Vertex) -> int:
         """The shard owning edges whose left endpoint is ``vertex``."""
 
     def assign(self, element: StreamElement) -> int:
-        """Route one stream element (may update internal load state)."""
-        return self.shard_of(element.u)
+        """Route one stream element, counting it in the load table."""
+        shard = self.shard_of(element.u)
+        self.loads[shard] += 1
+        return shard
+
+    def load_table(self) -> Tuple[int, ...]:
+        """Elements routed to each shard since this partitioner began.
+
+        The counters start at zero when the partitioner is built —
+        including the fresh partitioner a reshard installs — so the
+        table doubles as the autoscaler's per-epoch load window.
+        """
+        return tuple(self.loads)
 
     @property
     def collision_probability(self) -> float:
@@ -130,11 +165,22 @@ class Partitioner(abc.ABC):
             "name": self.name,
             "num_shards": self.num_shards,
             "salt": self.salt,
+            "epoch": self.epoch,
+            "loads": list(self.loads),
         }
 
     @classmethod
     def from_state_dict(cls, state: Dict[str, Any]) -> "Partitioner":
-        return cls(int(state["num_shards"]), int(state["salt"]))
+        # .get defaults keep pre-epoch snapshots restorable.
+        partitioner = cls(
+            int(state["num_shards"]),
+            int(state["salt"]),
+            int(state.get("epoch", 0)),
+        )
+        loads = state.get("loads")
+        if loads is not None:
+            partitioner.loads = [int(x) for x in loads]
+        return partitioner
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"{type(self).__name__}(num_shards={self.num_shards})"
@@ -143,22 +189,30 @@ class Partitioner(abc.ABC):
 class HashPartitioner(Partitioner):
     """Stateless salted-hash partitioner (the default).
 
-    Routes by ``mix64(salt, stable_vertex_key(u)) % num_shards``.
-    Collision probability between distinct left vertices is modelled as
-    ``1/K``; varying ``salt`` draws an independent partition map, which
-    is how the unbiasedness tests average over partitionings.
+    Routes by ``mix64(salt, stable_vertex_key(u)) % num_shards`` (with
+    the reshard epoch folded into the salt for epochs > 0).  Collision
+    probability between distinct left vertices is modelled as ``1/K``;
+    varying ``salt`` — or the epoch — draws an independent partition
+    map, which is how the unbiasedness tests average over
+    partitionings.
 
     >>> p = HashPartitioner(2)
     >>> p.shard_of(0), p.shard_of(1), p.shard_of(2), p.shard_of(3)
     (0, 1, 0, 1)
     >>> p.shard_of(0) == HashPartitioner(2).shard_of(0)   # deterministic
     True
+    >>> q = HashPartitioner(2, epoch=1)      # a reshard's fresh map
+    >>> any(p.shard_of(u) != q.shard_of(u) for u in range(100))
+    True
     """
 
     name = "hash"
 
     def shard_of(self, vertex: Vertex) -> int:
-        return mix64(self.salt, stable_vertex_key(vertex)) % self.num_shards
+        return (
+            mix64(self._route_salt, stable_vertex_key(vertex))
+            % self.num_shards
+        )
 
 
 class BalancedPartitioner(Partitioner):
@@ -184,10 +238,11 @@ class BalancedPartitioner(Partitioner):
 
     name = "balanced"
 
-    def __init__(self, num_shards: int, salt: int = 0) -> None:
-        super().__init__(num_shards, salt)
+    def __init__(
+        self, num_shards: int, salt: int = 0, epoch: int = 0
+    ) -> None:
+        super().__init__(num_shards, salt, epoch)
         self._assignment: Dict[Hashable, int] = {}
-        self.loads: List[int] = [0] * num_shards
 
     def shard_of(self, vertex: Vertex) -> int:
         shard = self._assignment.get(vertex)
@@ -196,11 +251,6 @@ class BalancedPartitioner(Partitioner):
                 range(self.num_shards), key=lambda s: (self.loads[s], s)
             )
             self._assignment[vertex] = shard
-        return shard
-
-    def assign(self, element: StreamElement) -> int:
-        shard = self.shard_of(element.u)
-        self.loads[shard] += 1
         return shard
 
     @property
@@ -212,16 +262,15 @@ class BalancedPartitioner(Partitioner):
         state = super().state_to_dict()
         # Pairs, not a dict: JSON objects would stringify int vertices.
         state["assignment"] = [[v, s] for v, s in self._assignment.items()]
-        state["loads"] = list(self.loads)
         return state
 
     @classmethod
     def from_state_dict(cls, state: Dict[str, Any]) -> "BalancedPartitioner":
-        partitioner = cls(int(state["num_shards"]), int(state["salt"]))
+        partitioner = super().from_state_dict(state)
+        assert isinstance(partitioner, cls)
         partitioner._assignment = {
             _as_vertex(v): int(s) for v, s in state.get("assignment", [])
         }
-        partitioner.loads = [int(x) for x in state["loads"]]
         return partitioner
 
 
@@ -247,7 +296,9 @@ _PARTITIONERS: Dict[str, Type[Partitioner]] = {
 PARTITIONER_NAMES = tuple(sorted(_PARTITIONERS))
 
 
-def make_partitioner(name: str, num_shards: int, salt: int = 0) -> Partitioner:
+def make_partitioner(
+    name: str, num_shards: int, salt: int = 0, epoch: int = 0
+) -> Partitioner:
     """Build a partitioner by registry name.
 
     Raises:
@@ -260,7 +311,7 @@ def make_partitioner(name: str, num_shards: int, salt: int = 0) -> Partitioner:
             f"unknown partitioner {name!r}; "
             f"available: {', '.join(PARTITIONER_NAMES)}"
         ) from None
-    return cls(num_shards, salt)
+    return cls(num_shards, salt, epoch)
 
 
 def partitioner_from_state(state: Dict[str, Any]) -> Partitioner:

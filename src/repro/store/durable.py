@@ -56,6 +56,7 @@ from typing import (
 )
 
 from repro.errors import StoreError
+from repro.faults import fault_point
 from repro.store.snapshots import SnapshotStore, _fsync_directory
 from repro.store.wal import WalWriter, iter_wal, scan_wal
 from repro.types import StreamElement
@@ -417,11 +418,14 @@ class DurableStore:
                 f"logged element count {self._offset}"
             )
         writer.sync()
+        fault_point("checkpoint.synced")
         path = self._snapshots.save(payload, offset)
+        fault_point("checkpoint.snapshotted")
         writer.close()
         self._writer = WalWriter(
             self._segment_path(offset), fsync_every=self._fsync_every
         )
+        fault_point("checkpoint.rotated")
         kept = self._snapshots.offsets()[-keep:]
         self._snapshots.prune(keep=keep)
         self._prune_segments(min(kept))

@@ -1,0 +1,96 @@
+"""The fault-point registry is complete, exact, and cheap when idle.
+
+Every ``fault_point("...")`` call site in production code must name a
+key declared in :data:`repro.faults.FAULT_POINTS` — and every declared
+key must have at least one call site.  A point that exists only in
+code silently escapes the chaos matrix; a point that exists only in
+the registry is dead weight that pretends to be covered.
+"""
+
+import pathlib
+import re
+
+import pytest
+
+from repro import faults
+from repro.faults import (
+    FAULT_POINTS,
+    SimulatedCrash,
+    armed,
+    crash_at,
+    fault_point,
+)
+
+SRC = pathlib.Path(__file__).resolve().parents[2] / "src" / "repro"
+
+_CALL = re.compile(r"""fault_point\(\s*['"]([^'"]+)['"]\s*\)""")
+
+
+def _call_sites():
+    sites = {}
+    for path in sorted(SRC.rglob("*.py")):
+        if path.name == "faults.py":
+            continue  # the registry module itself (docs/examples)
+        for name in _CALL.findall(path.read_text()):
+            sites.setdefault(name, []).append(
+                str(path.relative_to(SRC.parent.parent))
+            )
+    return sites
+
+
+def test_every_call_site_is_declared():
+    undeclared = {
+        name: paths
+        for name, paths in _call_sites().items()
+        if name not in FAULT_POINTS
+    }
+    assert not undeclared, (
+        f"fault_point call sites missing from FAULT_POINTS: {undeclared}"
+    )
+
+
+def test_every_declared_point_has_a_call_site():
+    sites = _call_sites()
+    orphans = sorted(set(FAULT_POINTS) - set(sites))
+    assert not orphans, (
+        f"FAULT_POINTS entries with no production call site: {orphans}"
+    )
+
+
+def test_arming_an_undeclared_name_is_refused():
+    with pytest.raises(KeyError, match="unknown fault point"):
+        faults.arm("reshard.typo", lambda name: None)
+
+
+def test_disarmed_points_are_inert_and_reset_cleans_up():
+    fired = []
+    faults.arm("reshard.prepared", fired.append)
+    try:
+        fault_point("reshard.prepared")
+        fault_point("reshard.built")  # armed dict non-empty, no handler
+        assert fired == ["reshard.prepared"]
+    finally:
+        faults.reset()
+    fault_point("reshard.prepared")  # fully inert again
+    assert fired == ["reshard.prepared"]
+
+
+def test_crash_at_raises_a_baseexception():
+    """SimulatedCrash must not be swallowable by ``except Exception``."""
+    assert not issubclass(SimulatedCrash, Exception)
+    assert issubclass(SimulatedCrash, BaseException)
+    with pytest.raises(SimulatedCrash) as failure:
+        with crash_at("checkpoint.synced"):
+            try:
+                fault_point("checkpoint.synced")
+            except Exception:  # noqa: BLE001 - the point of the test
+                pytest.fail("a production handler could eat the crash")
+    assert failure.value.point == "checkpoint.synced"
+
+
+def test_armed_is_scoped():
+    seen = []
+    with armed("checkpoint.rotated", seen.append):
+        fault_point("checkpoint.rotated")
+    fault_point("checkpoint.rotated")
+    assert seen == ["checkpoint.rotated"]

@@ -1,0 +1,172 @@
+"""Chaos matrix: crash at every fault point during a durable reshard.
+
+For each reshardable spec and each declared fault point, the harness
+crashes ``Session.reshard`` mid-transition and proves recovery lands
+**bit-identically** on exactly one side of the epoch cut:
+
+* crashes before the post-reshard snapshot is durable recover the
+  **pre-reshard** state — same topology, same estimate, same complete
+  estimator state as a run that never attempted the reshard;
+* crashes after it recover the **post-reshard** state — bit-identical
+  to a run whose reshard completed uninterrupted.
+
+There is no third outcome: no torn topology, no half-replayed
+residue, no lost elements.  Continuing to ingest after recovery stays
+bit-identical to the matching uninterrupted run.
+"""
+
+import random
+
+import pytest
+from chaos_utils import (
+    RESHARD_CUT,
+    RESHARD_SPECS,
+    build_durable,
+    crash_reshard,
+    fingerprint,
+    recover_fingerprint,
+    sampled,
+)
+
+from repro.api import open_session
+from repro.faults import FAULT_POINTS
+from repro.graph.generators import bipartite_erdos_renyi
+from repro.streams import make_fully_dynamic
+
+NEW_SHARDS = 4
+
+
+def _stream(seed=3):
+    edges = bipartite_erdos_renyi(12, 12, 50, random.Random(seed))
+    return list(
+        make_fully_dynamic(edges, alpha=0.25, rng=random.Random(seed + 1))
+    )
+
+
+def test_the_cut_table_covers_every_declared_fault_point():
+    """A new fault point must take a stance on the cut semantics."""
+    assert {point for point, _ in RESHARD_CUT} == set(FAULT_POINTS)
+
+
+@pytest.fixture(scope="module")
+def references(tmp_path_factory):
+    """Uninterrupted pre/post-reshard fingerprints per spec."""
+    stream = _stream()
+    landed = {}
+    for name, spec, shards in RESHARD_SPECS:
+        base = tmp_path_factory.mktemp(f"reference-{name}")
+        pre_dir = base / "pre"
+        session = build_durable(
+            pre_dir, spec, stream, shards=shards,
+            checkpoint_at=len(stream) // 2,
+        )
+        session.close()
+        post_dir = base / "post"
+        session = build_durable(
+            post_dir, spec, stream, shards=shards,
+            checkpoint_at=len(stream) // 2,
+        )
+        session.reshard(NEW_SHARDS)
+        session.close()
+        landed[name] = {
+            "pre": recover_fingerprint(pre_dir),
+            "post": recover_fingerprint(post_dir),
+        }
+    return stream, landed
+
+
+@pytest.mark.chaos
+@pytest.mark.parametrize(
+    "name,spec,shards",
+    sampled(RESHARD_SPECS),
+    ids=[name for name, _, _ in sampled(RESHARD_SPECS)],
+)
+@pytest.mark.parametrize(
+    "point,side", RESHARD_CUT, ids=[point for point, _ in RESHARD_CUT]
+)
+def test_crash_lands_on_exactly_one_side_of_the_cut(
+    tmp_path, references, name, spec, shards, point, side
+):
+    stream, landed = references
+    directory = tmp_path / "durable"
+    build_durable(
+        directory, spec, stream, shards=shards,
+        checkpoint_at=len(stream) // 2,
+    )
+    crash_reshard(directory, point, NEW_SHARDS)
+
+    topology, elements, recovered = recover_fingerprint(directory)
+    ref_topology, ref_elements, reference = landed[name][side]
+    assert elements == ref_elements == len(stream)
+    assert topology["shards"] == ref_topology["shards"]
+    assert topology["epoch"] == ref_topology["epoch"]
+    assert topology["shards"] == (
+        NEW_SHARDS if side == "post" else shards
+    )
+    assert recovered == reference, (
+        f"crash at {point} did not recover bit-identically to the "
+        f"{side}-reshard reference"
+    )
+
+
+@pytest.mark.chaos
+@pytest.mark.parametrize(
+    "point,side",
+    sampled(RESHARD_CUT, keep=2) + [("checkpoint.snapshotted", "post")],
+    ids=lambda value: str(value),
+)
+def test_recovered_session_keeps_working(tmp_path, point, side):
+    """After any crash the recovered session ingests, reshards, and
+    checkpoints normally — and stays bit-identical to the matching
+    uninterrupted run doing the same."""
+    from repro.types import insertion
+
+    _, spec, shards = RESHARD_SPECS[0]
+    stream = _stream(seed=9)
+    extra = [insertion(f"cont-u{i % 4}", f"cont-v{i}") for i in range(10)]
+
+    chaos_dir = tmp_path / "chaos"
+    build_durable(chaos_dir, spec, stream, shards=shards)
+    crash_reshard(chaos_dir, point, NEW_SHARDS)
+    recovered = open_session(durable_dir=chaos_dir)
+    recovered.ingest(extra)
+    if side == "pre":  # the reshard never happened: redo it
+        recovered.reshard(NEW_SHARDS)
+    recovered.checkpoint()
+    result = fingerprint(recovered)
+    recovered.close()
+
+    reference_dir = tmp_path / "reference"
+    session = build_durable(reference_dir, spec, stream, shards=shards)
+    if side == "post":
+        session.reshard(NEW_SHARDS)
+        session.ingest(extra)
+    else:
+        session.ingest(extra)
+        session.reshard(NEW_SHARDS)
+    session.checkpoint()
+    expected = fingerprint(session)
+    session.close()
+    assert result == expected
+
+
+@pytest.mark.chaos
+def test_double_crash_same_point(tmp_path):
+    """Crashing the retry too still converges: recovery is idempotent."""
+    _, spec, shards = RESHARD_SPECS[0]
+    stream = _stream(seed=13)
+    directory = tmp_path / "durable"
+    build_durable(directory, spec, stream, shards=shards)
+    for _ in range(2):
+        crash_reshard(directory, "reshard.pre_checkpoint", NEW_SHARDS)
+        topology, elements, _ = recover_fingerprint(directory)
+        assert topology["shards"] == shards  # still pre-reshard
+        assert elements == len(stream)
+    # Third time's the charm, without chaos.
+    session = open_session(durable_dir=directory)
+    session.reshard(NEW_SHARDS)
+    session.close()
+    topology, elements, _ = recover_fingerprint(directory)
+    assert topology["shards"] == NEW_SHARDS
+    assert topology["epoch"] == 1
+    assert elements == len(stream)

@@ -1,0 +1,133 @@
+"""Statistical accuracy survives mid-stream topology changes.
+
+The chaos matrix proves reshards are *crash-safe*; this file proves
+they are *statistically harmless*.  Replaying the residue into fresh
+shard estimators redraws their samples, so a resharded engine is a
+different random variable than an undisturbed one — but it must stay
+an unbiased one (Theorem 1 through the K-correction), and at a single
+shard the replay is literally a fresh ABACUS run over the arrival
+order, so Theorem 2's variance bound applies verbatim.
+
+Trial counts follow the suite convention: a quick sample by default,
+the full population under ``CHAOS_FULL=1``.
+"""
+
+import math
+import random
+
+import pytest
+from chaos_utils import CHAOS_FULL
+
+from repro.core.probabilities import variance_upper_bound
+from repro.experiments.runner import ground_truth_final_count
+from repro.graph.generators import bipartite_erdos_renyi
+from repro.shard.engine import ShardedEstimator
+from repro.streams.dynamic import make_fully_dynamic, stream_from_edges
+
+TRIALS = 300 if CHAOS_FULL else 120
+BUDGET = 100
+
+
+def _dynamic_stream(seed):
+    edges = bipartite_erdos_renyi(40, 30, 400, random.Random(seed))
+    return list(
+        make_fully_dynamic(edges, alpha=0.25, rng=random.Random(seed + 1))
+    )
+
+
+def _mean_and_se(values):
+    n = len(values)
+    mean = sum(values) / n
+    variance = sum((v - mean) ** 2 for v in values) / (n - 1)
+    return mean, math.sqrt(variance / n), variance
+
+
+def _resharded_trials(stream, *, shards, new_shards, trials, seed_base=0):
+    """Final estimates of engines resharded halfway through ``stream``."""
+    cut = len(stream) // 2
+    estimates = []
+    for trial in range(trials):
+        engine = ShardedEstimator(
+            f"abacus:budget={BUDGET}",
+            shards=shards,
+            seed=seed_base + trial,
+            salt=trial,
+        )
+        engine.process_batch(stream[:cut])
+        engine.reshard(new_shards)
+        engine.process_batch(stream[cut:])
+        estimates.append(engine.estimate)
+        engine.close()
+    return estimates
+
+
+@pytest.mark.chaos
+@pytest.mark.parametrize(
+    "shards,new_shards",
+    [(2, 4)] + ([(4, 2), (3, 3)] if CHAOS_FULL else []),
+    ids=lambda value: str(value),
+)
+def test_mid_stream_reshard_is_unbiased(shards, new_shards):
+    """Split, merge, and same-K remix all keep E[estimate] = truth."""
+    stream = _dynamic_stream(seed=21)
+    truth = ground_truth_final_count(stream)
+    assert truth > 0
+    estimates = _resharded_trials(
+        stream, shards=shards, new_shards=new_shards, trials=TRIALS
+    )
+    mean, se, _ = _mean_and_se(estimates)
+    # Within 4 standard errors (false-failure probability ~1e-4),
+    # matching tests/core/test_unbiasedness.py.
+    assert se > 0
+    assert abs(mean - truth) < 4 * se, (mean, truth, se)
+
+
+@pytest.mark.chaos
+def test_reshard_does_not_inflate_variance():
+    """The resharded population's variance stays comparable to the
+    undisturbed topology's — replay redraws samples, it does not
+    degrade them."""
+    stream = _dynamic_stream(seed=23)
+    resharded = _resharded_trials(
+        stream, shards=2, new_shards=4, trials=TRIALS, seed_base=1000
+    )
+    static = []
+    for trial in range(TRIALS):
+        engine = ShardedEstimator(
+            f"abacus:budget={BUDGET}",
+            shards=4,
+            seed=1000 + trial,
+            salt=trial,
+        )
+        engine.process_batch(stream)
+        static.append(engine.estimate)
+        engine.close()
+    _, _, resharded_variance = _mean_and_se(resharded)
+    _, _, static_variance = _mean_and_se(static)
+    assert static_variance > 0
+    # Generous slack for the variance-ratio sampling noise at ~100
+    # trials; a replay bug that double-counts or drops samples blows
+    # far past this.
+    assert resharded_variance < 3.0 * static_variance, (
+        resharded_variance,
+        static_variance,
+    )
+
+
+@pytest.mark.chaos
+def test_single_shard_remix_respects_theorem2():
+    """At K = 1 an insertion-only remix replays the exact arrival
+    order, so the resharded engine *is* a fresh ABACUS run and the
+    paper's Theorem 2 variance bound applies verbatim."""
+    edges = bipartite_erdos_renyi(40, 30, 400, random.Random(25))
+    stream = list(stream_from_edges(edges))
+    truth = ground_truth_final_count(stream)
+    assert truth > 0
+    estimates = _resharded_trials(
+        stream, shards=1, new_shards=1, trials=TRIALS, seed_base=2000
+    )
+    mean, se, sample_variance = _mean_and_se(estimates)
+    assert abs(mean - truth) < 4 * se, (mean, truth, se)
+    bound = variance_upper_bound(float(truth), len(edges), BUDGET)
+    # Same 2x sampling slack as tests/core/test_unbiasedness.py.
+    assert sample_variance < 2.0 * bound, (sample_variance, bound)

@@ -11,6 +11,15 @@ from repro.graph.generators import bipartite_chung_lu, bipartite_erdos_renyi
 from repro.streams.dynamic import make_fully_dynamic, stream_from_edges
 
 
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "chaos: fault-injection chaos tests (tests/chaos/). A quick "
+        "sample runs by default; CHAOS_FULL=1 runs the full matrix "
+        "(the nightly CI job).",
+    )
+
+
 @pytest.fixture
 def butterfly_graph() -> BipartiteGraph:
     """The minimal butterfly: u, x on the left; v, w on the right."""

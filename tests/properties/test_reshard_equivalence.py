@@ -1,0 +1,190 @@
+"""Property tests: reshard equivalence across every sharding inner.
+
+Hypothesis drives random fully-dynamic streams and random ``K -> K'``
+transitions through :meth:`~repro.shard.engine.ShardedEstimator
+.reshard` and checks the contracts that hold for **every** estimator
+the registry marks ``supports_sharding``:
+
+* the residue is conserved — live edges before == replayed == live
+  edges after, and the per-shard load table re-sums to it;
+* the K-correction identity ``estimate = K' * sum(shard estimates)``
+  holds on the new topology;
+* the engine stays fully live across the transition (more ingest,
+  another reshard);
+* snapshot-capable inners (ABACUS, PARABACUS) reshard **bit-
+  identically** from a restored twin — reshard is a pure function of
+  the engine state;
+* the exact inner collapses to the oracle at ``K' = 1``.
+"""
+
+import json
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+import repro.api.builtin  # noqa: F401 - populate the registry
+from repro.api.registry import build_estimator, get_registration
+from repro.api.registry import registered_estimators
+from repro.shard.engine import ShardedEstimator
+from repro.types import Op, deletion, insertion
+
+#: Every inner the registry says can shard, as a small seeded spec.
+SHARDING_SPECS = {
+    "abacus": "abacus:budget=32,seed=9",
+    "abacus_support": "abacus_support:budget=32,seed=9",
+    "cas": "cas:budget=32,seed=9",
+    "ensemble": "ensemble:replicas=3,budget=16,seed=9",
+    "exact": "exact",
+    "fleet": "fleet:budget=32,seed=9",
+    "parabacus": "parabacus:budget=32,seed=9,batch_size=5",
+}
+
+SNAPSHOT_SPECS = {
+    name: spec
+    for name, spec in SHARDING_SPECS.items()
+    if get_registration(name).supports_snapshot
+}
+
+
+def test_the_matrix_is_complete():
+    """A new sharding-capable estimator must join this suite."""
+    sharding = {
+        name
+        for name in registered_estimators()
+        if get_registration(name).supports_sharding
+    }
+    assert sharding == set(SHARDING_SPECS)
+
+
+@st.composite
+def dynamic_streams(draw, reinsert=True):
+    """A valid fully-dynamic stream over disjoint vertex namespaces.
+
+    Deletions only ever target live edges (the ABACUS family refuses
+    blind deletes), built by tracking liveness while drawing.  With
+    ``reinsert=False`` a deleted edge never comes back: the insert-only
+    baselines (FLEET, CAS) ignore deletions, so a delete-then-reinsert
+    stream would hit their duplicate-edge guard — they are *biased*
+    under deletions by design, not re-insert-safe.
+    """
+    pairs = draw(
+        st.lists(
+            st.tuples(
+                st.integers(0, 7),  # left
+                st.integers(1000, 1007),  # right, disjoint namespace
+                st.booleans(),  # try to delete?
+            ),
+            min_size=0,
+            max_size=60,
+        )
+    )
+    live = set()
+    retired = set()
+    stream = []
+    for u, v, try_delete in pairs:
+        if try_delete and (u, v) in live:
+            live.discard((u, v))
+            retired.add((u, v))
+            stream.append(deletion(u, v))
+        elif (u, v) not in live and (reinsert or (u, v) not in retired):
+            live.add((u, v))
+            stream.append(insertion(u, v))
+    return stream
+
+
+transitions = st.tuples(st.integers(1, 4), st.integers(1, 4))
+
+
+def _no_reinserts(stream):
+    """Drop re-inserts of retired edges (and now-dangling deletes)."""
+    live, retired, kept = set(), set(), []
+    for element in stream:
+        pair = (element.u, element.v)
+        if element.op is Op.INSERT:
+            if pair in retired:
+                continue
+            live.add(pair)
+        else:
+            if pair not in live:
+                continue
+            live.discard(pair)
+            retired.add(pair)
+        kept.append(element)
+    return kept
+
+
+@pytest.mark.parametrize("name", sorted(SHARDING_SPECS))
+@settings(max_examples=25, deadline=None)
+@given(stream=dynamic_streams(), ks=transitions, salt=st.integers(0, 3))
+def test_universal_reshard_contract(name, stream, ks, salt):
+    old_k, new_k = ks
+    if not get_registration(name).cls.supports_deletions:
+        # Insert-only baselines ignore deletions, so a retired edge
+        # coming back would trip their duplicate-edge guard.
+        stream = _no_reinserts(stream)
+    engine = ShardedEstimator(
+        SHARDING_SPECS[name], shards=old_k, salt=salt
+    )
+    try:
+        engine.process_batch(stream)
+        live_before = engine.live_edges
+        report = engine.reshard(new_k)
+        # Residue conservation.
+        assert report.replayed_edges == live_before
+        assert engine.live_edges == live_before
+        assert sum(engine.partitioner.load_table()) == live_before
+        # The K-correction identity on the new topology.
+        assert engine.num_shards == new_k
+        assert engine.estimate == pytest.approx(
+            new_k * sum(engine.shard_estimates())
+        )
+        # Still fully live: ingest and reshard again.
+        engine.process_batch([insertion("post-u", "post-v")])
+        assert engine.reshard(old_k).epoch == 2
+        assert engine.live_edges == live_before + 1
+    finally:
+        engine.close()
+
+
+@pytest.mark.parametrize("name", sorted(SNAPSHOT_SPECS))
+@settings(max_examples=25, deadline=None)
+@given(stream=dynamic_streams(), ks=transitions)
+def test_reshard_is_a_pure_function_of_state(name, stream, ks):
+    """restore(snapshot(e)).reshard(K') is bit-identical to e.reshard."""
+    old_k, new_k = ks
+    engine = ShardedEstimator(SNAPSHOT_SPECS[name], shards=old_k, salt=1)
+    twin = None
+    try:
+        engine.process_batch(stream)
+        twin = ShardedEstimator.from_state_dict(engine.state_to_dict())
+        engine.reshard(new_k)
+        twin.reshard(new_k)
+        assert json.dumps(
+            engine.state_to_dict(), sort_keys=True
+        ) == json.dumps(twin.state_to_dict(), sort_keys=True)
+    finally:
+        engine.close()
+        if twin is not None:
+            twin.close()
+
+
+@settings(max_examples=30, deadline=None)
+@given(stream=dynamic_streams(), old_k=st.integers(1, 4))
+def test_exact_collapses_to_the_oracle_at_one_shard(stream, old_k):
+    """K' = 1 with the exact inner is the exact count, exactly."""
+    engine = ShardedEstimator("exact", shards=old_k, salt=2)
+    try:
+        engine.process_batch(stream)
+        engine.reshard(1)
+        live = {}
+        for element in stream:
+            if element.op is Op.INSERT:
+                live[(element.u, element.v)] = True
+            else:
+                live.pop((element.u, element.v), None)
+        oracle = build_estimator("exact")
+        for u, v in live:
+            oracle.process(insertion(u, v))
+        assert engine.estimate == oracle.estimate
+    finally:
+        engine.close()

@@ -1,0 +1,139 @@
+"""Backpressure: a saturated writer slows writers, never readers.
+
+The server bounds its writer queue with a semaphore
+(``max_pending_writes``).  The contract under a write storm:
+
+* **no request is dropped or rejected** — every ingest eventually
+  applies and every element is accounted for;
+* the ``backpressure`` counter records that writers stalled;
+* **reads never block** — ``estimate``/``stats`` answer from the
+  published view while the writer is saturated.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.api import open_session
+from repro.errors import ServeError
+from repro.serve.client import ServeClient
+from repro.serve.server import EstimatorServer, serve_in_background
+from repro.types import insertion
+
+
+def _slow_session(delay=0.03):
+    """An exact session whose ingest sleeps — a writer that can't keep
+    up, without touching server code."""
+    session = open_session("exact")
+    real_ingest = session.ingest
+
+    def slow_ingest(elements):
+        time.sleep(delay)
+        return real_ingest(elements)
+
+    session.ingest = slow_ingest
+    return session
+
+
+def _tight_server(session, host, port):
+    return EstimatorServer(
+        session, host=host, port=port, max_pending_writes=1
+    )
+
+
+def test_storm_drops_nothing_and_counts_stalls():
+    writers = 6
+    per_writer = 3
+    session = _slow_session()
+    results = []
+    errors = []
+
+    def write(index):
+        try:
+            with ServeClient(*background.address) as client:
+                for batch in range(per_writer):
+                    base = index * 1000 + batch * 10
+                    ack = client.ingest(
+                        [insertion(f"u{base + i}", f"v{base + i}")
+                         for i in range(4)]
+                    )
+                    results.append(ack)
+        except ServeError as exc:  # pragma: no cover - the failure mode
+            errors.append(exc)
+
+    with serve_in_background(
+        session, server_factory=_tight_server
+    ) as background:
+        threads = [
+            threading.Thread(target=write, args=(index,))
+            for index in range(writers)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        with ServeClient(*background.address) as client:
+            stats = client.stats()
+
+    assert not errors
+    # Nothing dropped: every batch acked in full, totals add up.
+    assert len(results) == writers * per_writer
+    assert all(ack["accepted"] == 4 for ack in results)
+    assert stats["elements"] == writers * per_writer * 4
+    # The storm actually saturated the single write slot.
+    assert stats["backpressure"] > 0
+    assert stats["max_pending_writes"] == 1
+
+
+def test_reads_answer_while_the_writer_is_saturated():
+    session = _slow_session(delay=0.1)
+    stop = threading.Event()
+
+    def hammer(name):
+        with ServeClient(*background.address) as client:
+            index = 0
+            while not stop.is_set():
+                index += 1
+                client.ingest(
+                    [insertion(f"w{name}-{index}-{i}",
+                               f"x{name}-{index}-{i}")
+                     for i in range(3)]
+                )
+
+    with serve_in_background(
+        session, server_factory=_tight_server
+    ) as background:
+        writers = [
+            threading.Thread(target=hammer, args=(name,), daemon=True)
+            for name in range(3)
+        ]
+        for thread in writers:
+            thread.start()
+        try:
+            time.sleep(0.15)  # let the storm saturate the slot
+            with ServeClient(*background.address) as reader:
+                latencies = []
+                for _ in range(10):
+                    started = time.monotonic()
+                    view = reader.estimate()
+                    latencies.append(time.monotonic() - started)
+                    assert "estimate" in view
+                stats = reader.stats()
+        finally:
+            stop.set()
+            for thread in writers:
+                thread.join(timeout=5.0)
+    assert stats["backpressure"] > 0
+    # Reads answered from the published view: far faster than even a
+    # single queued 100 ms write, let alone the queue behind it.
+    assert min(latencies) < 0.1
+
+
+def test_max_pending_writes_is_validated():
+    session = open_session("exact")
+    try:
+        with pytest.raises(ServeError, match="max_pending_writes"):
+            EstimatorServer(session, max_pending_writes=0)
+    finally:
+        session.close()

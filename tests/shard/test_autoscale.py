@@ -1,0 +1,154 @@
+"""The autoscaling policy: hysteresis, dwell, settle, and bounds.
+
+The :class:`~repro.shard.Autoscaler` is a pure policy object, so the
+tests drive it with a real (tiny) engine and deterministic batch
+sizes — every decision is a function of the observed load deltas.
+"""
+
+import pytest
+
+from repro.errors import SpecError
+from repro.shard import Autoscaler, AutoscaleDecision
+from repro.shard.engine import ShardedEstimator
+from repro.types import insertion
+
+
+def _engine(shards=1):
+    return ShardedEstimator("exact", shards=shards)
+
+
+def _feed(engine, count, start=0):
+    engine.process_batch(
+        [insertion(f"u{start + i}", f"v{start + i}") for i in range(count)]
+    )
+
+
+@pytest.fixture
+def engine():
+    e = _engine()
+    yield e
+    e.close()
+
+
+def _scaler(**overrides):
+    config = dict(
+        max_shards=4, high_load=10, low_load=2, dwell=2, settle_elements=0
+    )
+    config.update(overrides)
+    return Autoscaler(**config)
+
+
+class TestDecisions:
+    def test_should_reshard_property(self):
+        hold = AutoscaleDecision("hold", 2, 2, 0.0, "x")
+        split = AutoscaleDecision("split", 2, 4, 99.0, "x")
+        assert not hold.should_reshard
+        assert split.should_reshard
+
+    def test_first_observation_only_opens_the_window(self, engine):
+        scaler = _scaler()
+        _feed(engine, 100)
+        decision = scaler.observe(engine)
+        assert decision.action == "hold"
+        assert "settling" in decision.reason
+
+    def test_split_needs_dwell_consecutive_breaches(self, engine):
+        scaler = _scaler(dwell=3)
+        scaler.observe(engine)
+        for round_index in range(2):
+            _feed(engine, 50, start=1000 * (round_index + 1))
+            assert scaler.observe(engine).action == "hold"
+        _feed(engine, 50, start=5000)
+        decision = scaler.observe(engine)
+        assert decision.action == "split"
+        assert decision.current_shards == 1
+        assert decision.target_shards == 2
+
+    def test_one_quiet_observation_resets_the_streak(self, engine):
+        scaler = _scaler(dwell=2)
+        scaler.observe(engine)
+        _feed(engine, 50, start=0)
+        assert scaler.observe(engine).action == "hold"
+        # Back inside the band: the streak restarts.
+        _feed(engine, 5, start=1000)
+        assert scaler.observe(engine).action == "hold"
+        _feed(engine, 50, start=2000)
+        assert scaler.observe(engine).action == "hold"
+        _feed(engine, 50, start=3000)
+        assert scaler.observe(engine).action == "split"
+
+    def test_merge_on_sustained_low_load(self):
+        engine = _engine(shards=4)
+        try:
+            scaler = _scaler(dwell=2)
+            _feed(engine, 200)
+            scaler.observe(engine)  # opens the window
+            _feed(engine, 1, start=9000)
+            assert scaler.observe(engine).action == "hold"
+            _feed(engine, 1, start=9100)
+            decision = scaler.observe(engine)
+            assert decision.action == "merge"
+            assert decision.target_shards == 2
+        finally:
+            engine.close()
+
+    def test_bounds_are_respected(self, engine):
+        # At max_shards an overload holds instead of splitting.
+        big = _engine(shards=4)
+        try:
+            scaler = _scaler(max_shards=4, dwell=1)
+            scaler.observe(big)
+            _feed(big, 200, start=100)
+            decision = scaler.observe(big)
+            assert decision.action == "hold"
+            assert "max_shards" in decision.reason
+        finally:
+            big.close()
+        # At min_shards an underload holds instead of merging.
+        scaler = _scaler(dwell=1)
+        scaler.observe(engine)
+        decision = scaler.observe(engine)
+        assert decision.action == "hold"
+        assert "min_shards" in decision.reason
+
+
+class TestSettle:
+    def test_epoch_change_resets_the_window(self, engine):
+        """A reshard (anyone's) starts a fresh settle period."""
+        scaler = _scaler(dwell=1)
+        scaler.observe(engine)
+        engine.reshard(2)
+        _feed(engine, 500, start=100)
+        decision = scaler.observe(engine)
+        assert decision.action == "hold"
+        assert "new epoch" in decision.reason
+        # The next breach acts again (settle_elements=0).
+        _feed(engine, 500, start=5000)
+        assert scaler.observe(engine).action == "split"
+
+    def test_settle_elements_gate(self, engine):
+        scaler = _scaler(dwell=1, settle_elements=100)
+        scaler.observe(engine)
+        _feed(engine, 50)
+        decision = scaler.observe(engine)
+        assert decision.action == "hold"
+        assert "settling" in decision.reason
+        _feed(engine, 60, start=1000)
+        assert scaler.observe(engine).action == "split"
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(min_shards=0),
+            dict(min_shards=5, max_shards=2),
+            dict(low_load=-1),
+            dict(high_load=1.0, low_load=2.0),
+            dict(dwell=0),
+            dict(settle_elements=-1),
+        ],
+    )
+    def test_bad_config_is_rejected(self, kwargs):
+        with pytest.raises(SpecError):
+            Autoscaler(**kwargs)

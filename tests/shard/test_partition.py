@@ -163,6 +163,67 @@ class TestBalancedPartitioner:
         assert routed  # sanity: the prefix actually exercised assignment
 
 
+class TestLoadTable:
+    """The public load accessor the autoscaler observes."""
+
+    @pytest.mark.parametrize("name", ["hash", "balanced"])
+    def test_counts_every_assignment(self, name):
+        partitioner = make_partitioner(name, 3)
+        assert partitioner.load_table() == (0, 0, 0)
+        for i in range(30):
+            partitioner.assign(insertion(f"u{i % 5}", f"v{i}"))
+        table = partitioner.load_table()
+        assert sum(table) == 30
+        assert len(table) == 3
+
+    def test_returns_a_copy_not_a_view(self):
+        partitioner = make_partitioner("hash", 2)
+        partitioner.assign(insertion("u", "v"))
+        table = partitioner.load_table()
+        partitioner.assign(insertion("u2", "v2"))
+        assert sum(table) == 1  # the earlier copy did not mutate
+        assert sum(partitioner.load_table()) == 2
+
+    @pytest.mark.parametrize("name", ["hash", "balanced"])
+    def test_loads_survive_the_state_round_trip(self, name):
+        partitioner = make_partitioner(name, 2, salt=7)
+        for i in range(12):
+            partitioner.assign(insertion(f"u{i}", f"v{i}"))
+        restored = partitioner_from_state(partitioner.state_to_dict())
+        assert restored.load_table() == partitioner.load_table()
+
+
+class TestEpochedRouting:
+    """Epochs remix the hash space without touching the salt."""
+
+    def test_epoch_changes_the_map(self):
+        base = make_partitioner("hash", 4, salt=3)
+        bumped = make_partitioner("hash", 4, salt=3, epoch=1)
+        maps = [
+            [p.shard_of(f"u{i}") for i in range(64)]
+            for p in (base, bumped)
+        ]
+        assert maps[0] != maps[1]
+
+    def test_epoch_zero_is_the_legacy_map(self):
+        """Epoch 0 must route exactly like the pre-epoch code so old
+        snapshots recover onto the identical partition map."""
+        legacy_state = {
+            "name": "hash", "num_shards": 3, "salt": 11
+        }  # no "epoch" key, the pre-reshard snapshot shape
+        restored = partitioner_from_state(legacy_state)
+        fresh = make_partitioner("hash", 3, salt=11, epoch=0)
+        for i in range(50):
+            assert restored.shard_of(f"u{i}") == fresh.shard_of(f"u{i}")
+
+    def test_epoch_round_trips(self):
+        partitioner = make_partitioner("hash", 2, salt=5, epoch=4)
+        restored = partitioner_from_state(partitioner.state_to_dict())
+        assert restored.epoch == 4
+        for i in range(20):
+            assert restored.shard_of(i) == partitioner.shard_of(i)
+
+
 class TestFactory:
     def test_make_partitioner_names(self):
         assert isinstance(make_partitioner("hash", 2), HashPartitioner)

@@ -1,0 +1,256 @@
+"""Live resharding: the residue-replay contract, verified in memory.
+
+The defining semantics (``docs/resharding.md``): ``reshard(K')``
+replays the engine's **live-edge residue** — the surviving insertions,
+in arrival order — into ``K'`` fresh shards under a next-epoch
+partition map, then swaps atomically.  The tests pin:
+
+* the **exact identity** — resharding an exact-inner engine to any
+  ``K'`` reproduces the brute-force collision count under the new
+  map, and ``K' = 1`` reproduces the oracle;
+* **determinism** — reshard is a pure function of (state, target), so
+  restore-then-reshard is bit-identical to reshard;
+* **failure atomicity** — a reshard that dies mid-build leaves the
+  old topology fully live;
+* the **epoch/residue bookkeeping** the durable cut builds on.
+"""
+
+import itertools
+import json
+import random
+
+import pytest
+
+from repro.api.registry import build_estimator
+from repro.errors import EstimatorError, SpecError
+from repro.faults import crash_at, SimulatedCrash
+from repro.graph.bipartite import BipartiteGraph
+from repro.graph.generators import bipartite_erdos_renyi
+from repro.shard.engine import ReshardReport, ShardedEstimator
+from repro.streams.dynamic import make_fully_dynamic
+from repro.types import Op, deletion, insertion
+
+
+def _stream(seed=21, alpha=0.25):
+    edges = bipartite_erdos_renyi(25, 25, 160, random.Random(seed))
+    return list(
+        make_fully_dynamic(edges, alpha=alpha, rng=random.Random(seed + 1))
+    )
+
+
+def _live_graph(stream):
+    graph = BipartiteGraph()
+    for element in stream:
+        if element.op is Op.INSERT:
+            graph.add_edge(element.u, element.v)
+        else:
+            graph.remove_edge(element.u, element.v)
+    return graph
+
+
+def _colliding_butterflies(graph, shard_of):
+    total = 0
+    for u1, u2 in itertools.combinations(sorted(graph.left_vertices()), 2):
+        if shard_of(u1) != shard_of(u2):
+            continue
+        shared = len(graph.neighbors(u1) & graph.neighbors(u2))
+        total += shared * (shared - 1) // 2
+    return total
+
+
+def _state(engine):
+    return json.dumps(engine.state_to_dict(), sort_keys=True)
+
+
+class TestExactIdentityAfterReshard:
+    """The K-correction identity survives any topology change."""
+
+    @pytest.mark.parametrize("old,new", [(1, 3), (2, 4), (3, 2), (4, 1)])
+    def test_collision_count_under_the_new_map(self, old, new):
+        stream = _stream()
+        engine = ShardedEstimator("exact", shards=old, salt=5)
+        engine.process_batch(stream)
+        report = engine.reshard(new)
+        assert isinstance(report, ReshardReport)
+        expected = _colliding_butterflies(
+            _live_graph(stream), engine.partitioner.shard_of
+        )
+        assert sum(engine.shard_estimates()) == expected
+        assert engine.estimate == new * expected
+        engine.close()
+
+    def test_merge_to_one_shard_is_the_oracle(self):
+        stream = _stream(seed=4)
+        engine = ShardedEstimator("exact", shards=3, salt=9)
+        engine.process_batch(stream)
+        engine.reshard(1)
+        oracle = build_estimator("exact")
+        for element in stream:
+            if element.op is Op.INSERT:
+                oracle.process(element)
+        live = {}
+        for element in stream:
+            key = (element.u, element.v)
+            if element.op is Op.INSERT:
+                live[key] = True
+            else:
+                live.pop(key, None)
+        oracle = build_estimator("exact")
+        for u, v in live:
+            oracle.process(insertion(u, v))
+        assert engine.estimate == oracle.estimate
+        engine.close()
+
+
+class TestReshardReport:
+    def test_report_and_epoch_bookkeeping(self):
+        engine = ShardedEstimator("exact", shards=2)
+        engine.process_batch(
+            [insertion(u, 100 + v) for u in range(10) for v in range(4)]
+        )
+        engine.process_batch([deletion(0, 100), deletion(1, 101)])
+        assert engine.epoch == 0
+        assert engine.live_edges == 38
+        report = engine.reshard(4)
+        assert report.old_shards == 2
+        assert report.new_shards == 4
+        assert report.epoch == 1
+        assert report.replayed_edges == 38
+        assert 0 <= report.moved_edges <= report.replayed_edges
+        assert report.seconds >= 0.0
+        assert engine.epoch == 1
+        assert engine.num_shards == 4
+        assert engine.live_edges == 38
+        # A second reshard keeps counting epochs.
+        assert engine.reshard(2).epoch == 2
+        assert engine.epoch == 2
+        engine.close()
+
+    def test_same_k_reshard_remixes_the_map(self):
+        """K -> K is a legal rebalance: the epoch salts the routing."""
+        engine = ShardedEstimator("exact", shards=3, salt=2)
+        engine.process_batch(
+            [insertion(u, 500 + v) for u in range(40) for v in range(3)]
+        )
+        before = [
+            engine.partitioner.shard_of(u) for u in range(40)
+        ]
+        report = engine.reshard(3)
+        after = [
+            engine.partitioner.shard_of(u) for u in range(40)
+        ]
+        assert before != after  # epoch remix moved somebody
+        assert report.moved_edges > 0
+        engine.close()
+
+    def test_invalid_targets_are_rejected(self):
+        engine = ShardedEstimator("exact", shards=2)
+        with pytest.raises(SpecError):
+            engine.reshard(0)
+        with pytest.raises(SpecError):
+            engine.reshard(-3)
+        with pytest.raises(SpecError):
+            engine.reshard(2, backend="no-such-backend")
+        assert engine.epoch == 0  # nothing happened
+        engine.close()
+
+
+class TestDeterminism:
+    """Reshard is a pure function of (engine state, target)."""
+
+    @pytest.mark.parametrize(
+        "spec", ["abacus:budget=64,seed=7", "parabacus:budget=64,seed=7"]
+    )
+    def test_restore_then_reshard_is_bit_identical(self, spec):
+        stream = _stream(seed=13)
+        engine = ShardedEstimator(spec, shards=2, salt=4)
+        engine.process_batch(stream)
+        twin = ShardedEstimator.from_state_dict(engine.state_to_dict())
+        engine.reshard(3)
+        twin.reshard(3)
+        assert _state(engine) == _state(twin)
+        engine.close()
+        twin.close()
+
+    def test_backend_switch_matches_serial(self):
+        """Resharding onto a thread backend lands on the serial state."""
+        stream = _stream(seed=17)
+        serial = ShardedEstimator("abacus:budget=48,seed=3", shards=2)
+        threaded = ShardedEstimator.from_state_dict(serial.state_to_dict())
+        serial.process_batch(stream)
+        threaded.process_batch(stream)
+        serial.reshard(3, backend="serial")
+        threaded.reshard(3, backend="thread")
+        assert threaded.backend_name == "thread"
+        a, b = serial.state_to_dict(), threaded.state_to_dict()
+        assert a.pop("backend") == "serial"
+        assert b.pop("backend") == "thread"
+        assert json.dumps(a, sort_keys=True) == json.dumps(
+            b, sort_keys=True
+        )
+        serial.close()
+        threaded.close()
+
+
+class TestFailureAtomicity:
+    def test_crash_mid_build_keeps_the_old_topology(self):
+        stream = _stream(seed=8)
+        engine = ShardedEstimator("abacus:budget=48,seed=5", shards=2)
+        engine.process_batch(stream)
+        before = _state(engine)
+        with pytest.raises(SimulatedCrash):
+            with crash_at("reshard.built"):
+                engine.reshard(4)
+        assert engine.num_shards == 2
+        assert engine.epoch == 0
+        assert _state(engine) == before
+        # The engine is fully live: it ingests and reshards normally.
+        engine.process_batch([insertion("fresh-u", "fresh-v")])
+        assert engine.reshard(4).new_shards == 4
+        engine.close()
+
+
+class TestResidueBookkeeping:
+    def test_deletions_leave_the_residue(self):
+        engine = ShardedEstimator("exact", shards=2)
+        engine.process_batch(
+            [insertion(u, 10 + v) for u in range(4) for v in range(4)]
+        )
+        engine.process_batch([deletion(0, 10), deletion(3, 13)])
+        assert engine.live_edges == 14
+        assert engine.reshard(3).replayed_edges == 14
+        engine.close()
+
+    def test_pre_residue_snapshots_refuse_to_reshard(self):
+        """A snapshot from before residue tracking restores fine but
+        cannot be resharded — the replay set is unknown."""
+        engine = ShardedEstimator("abacus:budget=32,seed=2", shards=2)
+        engine.process_batch(
+            [insertion(u, 50 + v) for u in range(6) for v in range(3)]
+        )
+        state = engine.state_to_dict()
+        engine.close()
+        del state["residue"]  # what an old snapshot looks like
+        restored = ShardedEstimator.from_state_dict(state)
+        assert restored.estimate == pytest.approx(restored.estimate)
+        with pytest.raises(EstimatorError, match="residue"):
+            restored.reshard(3)
+        # New ingest works; the engine is degraded only for reshard,
+        # and its own snapshots stay honestly residue-free.
+        restored.process_batch([insertion("zz", "yy")])
+        assert "residue" not in restored.state_to_dict()
+        restored.close()
+
+    def test_residue_round_trips_through_snapshots(self):
+        engine = ShardedEstimator("abacus:budget=32,seed=6", shards=2)
+        engine.process_batch(
+            [insertion(u, 30 + v) for u in range(5) for v in range(4)]
+        )
+        engine.process_batch([deletion(2, 31)])
+        restored = ShardedEstimator.from_state_dict(engine.state_to_dict())
+        assert restored.live_edges == engine.live_edges == 19
+        engine.reshard(4)
+        restored.reshard(4)
+        assert _state(engine) == _state(restored)
+        engine.close()
+        restored.close()

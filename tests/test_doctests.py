@@ -2,7 +2,8 @@
 
 CI runs the same examples via ``pytest --doctest-modules src/repro/api
 src/repro/shard src/repro/window src/repro/store src/repro/serve
-src/repro/cluster src/repro/metrics``; this lane keeps them green
+src/repro/cluster src/repro/metrics src/repro/faults.py``; this lane
+keeps them green
 inside the ordinary test run, so a broken docstring example fails fast
 everywhere.
 """
@@ -16,10 +17,12 @@ import repro.api.registry
 import repro.api.session
 import repro.cluster.protocol
 import repro.core.base
+import repro.faults
 import repro.metrics.replication
 import repro.serve.client
 import repro.serve.protocol
 import repro.serve.server
+import repro.shard.autoscale
 import repro.shard.engine
 import repro.shard.partition
 import repro.store.durable
@@ -36,10 +39,12 @@ MODULES = [
     repro.api.session,
     repro.cluster.protocol,
     repro.core.base,
+    repro.faults,
     repro.metrics.replication,
     repro.serve.client,
     repro.serve.protocol,
     repro.serve.server,
+    repro.shard.autoscale,
     repro.shard.engine,
     repro.shard.partition,
     repro.store.durable,

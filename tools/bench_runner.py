@@ -15,8 +15,9 @@ bench reports through ``benchmarks/conftest.py::record_metric`` (the
 snapshot — per-benchmark status/seconds/metrics plus machine info — so
 the uploaded artifacts form a throughput trajectory across commits.
 
-The job *gates*: the run fails when any benchmark errors out, or when a
-throughput metric falls below its floor in :data:`FLOORS`.  Floors are
+The job *gates*: the run fails when any benchmark errors out, when a
+throughput metric falls below its floor in :data:`FLOORS`, or when a
+latency metric rises above its ceiling in :data:`CEILINGS`.  Floors are
 deliberately conservative (far below a warm developer machine, above a
 catastrophic regression) because CI runners are slow and noisy; ratchet
 them upward as the trajectory accumulates.
@@ -60,6 +61,19 @@ FLOORS: Dict[str, float] = {
     # ISSUE 6: aggregate estimate QPS through the ClusterClient fan-out
     # over a caught-up two-follower cluster.
     "replicated_read_qps": 150.0,
+    # ISSUE 8: residue-replay throughput of a live reshard (the write
+    # path is paused for exactly this long per topology change).
+    "reshard_eps": 500.0,
+}
+
+#: Latency ceilings (seconds) — the inverse gate: these metrics must
+#: stay *below* their bound.  Same conservatism as the floors: a warm
+#: machine settles in well under a second; tripping 30s means the
+#: autoscale loop stopped converging, not that the runner was slow.
+CEILINGS: Dict[str, float] = {
+    # ISSUE 8: closed-loop ingest -> observe -> reshard growth from
+    # 1 shard to max_shards under sustained overload.
+    "autoscale_settle_s": 30.0,
 }
 
 #: Per-benchmark subprocess timeout (seconds).  Quick mode finishes in
@@ -188,6 +202,17 @@ def gate(
             violations.append(
                 f"{metric}: {value:,.0f} el/s below floor {floor:,.0f}"
             )
+    for metric, ceiling in sorted(CEILINGS.items()):
+        value = all_metrics.get(metric)
+        if value is None:
+            if require_all_metrics:
+                violations.append(
+                    f"{metric}: never reported (ceiling {ceiling:,.1f})"
+                )
+        elif value > ceiling:
+            violations.append(
+                f"{metric}: {value:,.1f}s above ceiling {ceiling:,.1f}s"
+            )
     return violations
 
 
@@ -253,6 +278,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "mode": "full" if args.full else "quick",
         "machine": _machine_info(),
         "floors": FLOORS,
+        "ceilings": CEILINGS,
         "benchmarks": results,
     }
     output = pathlib.Path(
