@@ -1,0 +1,135 @@
+"""Multi-tenant fan-out: one shared log vs N independent ingests.
+
+The tenancy layer's economic argument (``docs/multitenancy.md``): when
+N tenants subscribe to the *same* stream, a
+:class:`~repro.tenancy.SharedStreamFanout` appends each element to
+**one** write-ahead log and drives all N estimators in a single pass —
+the dominant per-element cost (WAL append + fsync batching) is paid
+once instead of N times.  This bench pits a fan-out of 8 ABACUS-family
+tenants against 8 fully independent durable sessions over the same
+stream and asserts:
+
+* **identity, always** — every tenant's estimate is bit-equal to the
+  same estimator fed the same stream standalone (quick mode included);
+* **speedup, full runs** — the fan-out beats the 8 independent
+  ingests by at least 2x wall-clock.
+
+The headline ``tenant_fanout_eps`` (shared-log elements/sec) feeds the
+``tools/bench_runner.py`` floor gate.
+"""
+
+import random
+
+from conftest import emit, record_metric
+
+from repro.api import open_session
+from repro.experiments.report import render_table
+from repro.graph.generators import bipartite_erdos_renyi
+from repro.metrics.throughput import Stopwatch
+from repro.streams.dynamic import make_fully_dynamic
+from repro.tenancy import SharedStreamFanout
+
+#: Eight tenants, distinct ABACUS-family estimators (budgets/seeds
+#: differ so identity failures cannot cancel out across tenants).
+TENANTS = {
+    f"tenant{i:02d}": f"abacus:budget={32 * (1 + i % 4)},seed={11 + i}"
+    for i in range(8)
+}
+
+
+def _stream(quick):
+    n_side, n_edges = (60, 2500) if quick else (140, 16000)
+    rng = random.Random(97)
+    edges = bipartite_erdos_renyi(n_side, n_side, n_edges, rng)
+    return list(
+        make_fully_dynamic(edges, alpha=0.2, rng=random.Random(98))
+    )
+
+
+def _standalone_estimates(stream):
+    estimates = {}
+    for name, spec in TENANTS.items():
+        session = open_session(spec)
+        session.ingest(stream)
+        estimates[name] = session.estimate
+        session.close()
+    return estimates
+
+
+def _independent_ingest(root, stream):
+    """8 tenants the pre-tenancy way: one durable session each."""
+    watch = Stopwatch()
+    estimates = {}
+    with watch:
+        for name, spec in TENANTS.items():
+            session = open_session(spec, durable_dir=root / name)
+            session.ingest(stream)
+            session.sync()
+            estimates[name] = session.estimate
+            session.close()
+    return estimates, watch.elapsed
+
+
+def _fanout_ingest(root, stream):
+    """The same 8 tenants behind one shared durable log."""
+    fanout = SharedStreamFanout(root / "shared", members=TENANTS)
+    watch = Stopwatch()
+    with watch:
+        fanout.ingest(stream)
+        fanout.sync()
+    estimates = fanout.estimates()
+    fanout.close()
+    return estimates, watch.elapsed
+
+
+def run_multitenant(root, quick):
+    stream = _stream(quick)
+    reference = _standalone_estimates(stream)
+    independent, independent_s = _independent_ingest(root, stream)
+    fanout, fanout_s = _fanout_ingest(root, stream)
+
+    # Identity, always: shared-log tenants match their standalone
+    # runs exactly — fan-out changes the cost, never the answer.
+    for name in TENANTS:
+        assert fanout[name] == reference[name], name
+        assert independent[name] == reference[name], name
+
+    speedup = independent_s / fanout_s
+    eps = len(stream) / fanout_s
+    rows = [
+        [
+            "independent x8",
+            round(independent_s, 3),
+            int(len(stream) / independent_s),
+        ],
+        ["shared fan-out", round(fanout_s, 3), int(eps)],
+    ]
+    text = render_table(
+        ["path", "seconds", "eps"],
+        rows,
+        title=(
+            f"Multi-tenant ingest: {len(TENANTS)} tenants, "
+            f"{len(stream)} elements (speedup {speedup:.2f}x)"
+        ),
+    )
+    return {
+        "text": text,
+        "speedup": speedup,
+        "eps": eps,
+        "elements": len(stream),
+    }
+
+
+def test_multitenant_fanout(benchmark, results_dir, tmp_path, quick):
+    result = benchmark.pedantic(
+        run_multitenant,
+        kwargs={"root": tmp_path, "quick": quick},
+        rounds=1,
+        iterations=1,
+    )
+    emit(results_dir, "multitenant_fanout", result["text"])
+    record_metric("tenant_fanout_eps", result["eps"])
+    if not quick:
+        # The shared log amortises the WAL across all 8 tenants; if
+        # this drops below 2x the fan-out stopped sharing anything.
+        assert result["speedup"] >= 2.0, result["speedup"]

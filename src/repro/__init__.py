@@ -49,6 +49,7 @@ from repro.api import (
 from repro.baselines import CoAffiliationSampling, Fleet
 from repro.serve import ServeClient, serve_in_background
 from repro.store import DurableStore, SnapshotStore, WalWriter
+from repro.tenancy import SharedStreamFanout, TenantCatalog
 from repro.core import (
     Abacus,
     AbacusSupport,
@@ -70,13 +71,15 @@ from repro.types import (
     timed_insertion,
 )
 
-__version__ = "1.4.0"
+__version__ = "1.6.0"
 
 __all__ = [
     "Abacus",
     "DurableStore",
     "ServeClient",
+    "SharedStreamFanout",
     "SnapshotStore",
+    "TenantCatalog",
     "WalWriter",
     "serve_in_background",
     "AbacusSupport",

@@ -552,6 +552,35 @@ class Session:
         with open(path, "w", encoding="utf-8") as handle:
             json.dump(self.snapshot(), handle)
 
+    def fingerprint(self) -> str:
+        """A canonical digest of the session's observable state.
+
+        Two sessions with equal fingerprints hold bit-identical
+        estimator state: the string is the sorted-key JSON of the
+        estimate plus the full ``state_to_dict`` payload (falling
+        back to the element count for snapshot-free estimators).
+        The recovery and tenancy test suites compare fingerprints to
+        prove crash recovery bit-identical per tenant.
+
+        >>> from repro.types import insertion
+        >>> first = open_session("abacus:budget=8,seed=1")
+        >>> second = open_session("abacus:budget=8,seed=1")
+        >>> _ = first.ingest(insertion("u", "v"))
+        >>> _ = second.ingest(insertion("u", "v"))
+        >>> first.fingerprint() == second.fingerprint()
+        True
+        """
+        state_to_dict = getattr(self._estimator, "state_to_dict", None)
+        state: Any
+        if state_to_dict is not None:
+            state = state_to_dict()
+        else:
+            state = {"elements": self._elements}
+        return json.dumps(
+            {"estimate": self.estimate, "state": state},
+            sort_keys=True,
+        )
+
     def checkpoint(self) -> int:
         """Write a durable snapshot to the session's store.
 

@@ -10,6 +10,10 @@ Subcommands map 1:1 onto the paper's tables/figures plus the extras::
     repro estimators                  # the estimator registry
     repro stream --estimator SPEC     # run any spec through a session
     repro serve --estimator SPEC      # serve estimate queries over TCP
+    repro serve --tenant-root DIR     # host a multi-tenant catalog
+    repro tenant create --tenant-root DIR --name NAME --estimator SPEC
+    repro tenant drop --tenant-root DIR --name NAME
+    repro tenant list --tenant-root DIR
     repro follow --primary HOST:PORT  # replicate a primary, serve reads
     repro reshard --durable-dir DIR --shards K   # stored topology change
     repro all                         # everything, in order
@@ -36,6 +40,14 @@ port: the durable session's write-ahead log is shipped live to any
 ``repro follow --primary HOST:PORT --durable-dir DIR`` process, which
 re-logs it locally and serves reads from its replica
 (:mod:`repro.cluster`, ``docs/replication.md``).
+
+``repro serve --tenant-root DIR`` hosts a tenant catalog
+(:mod:`repro.tenancy`): requests naming a ``tenant`` (or ``stream``)
+route to that tenant's durable session through per-tenant fair-share
+write lanes, and ``repro tenant create|drop|list`` administers the
+same catalog offline (``docs/multitenancy.md``).  Combine with
+``--estimator`` to also serve a default single-tenant session;
+``--replicate-to`` is refused (catalogs are primary-only).
 
 Use ``--datasets`` with a comma-separated subset of
 ``movielens_like,livejournal_like,trackers_like,orkut_like`` to trim
@@ -66,9 +78,16 @@ def _split_datasets(value: Optional[str]) -> Optional[List[str]]:
 
 
 def build_parser() -> argparse.ArgumentParser:
+    import repro
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Reproduce the ABACUS/PARABACUS evaluation (ICDE 2024).",
+    )
+    parser.add_argument(
+        "--version",
+        action="version",
+        version=f"%(prog)s {repro.__version__}",
     )
     parser.add_argument(
         "experiment",
@@ -91,11 +110,21 @@ def build_parser() -> argparse.ArgumentParser:
             "estimators",
             "stream",
             "serve",
+            "tenant",
             "follow",
             "reshard",
             "all",
         ],
         help="which experiment to run",
+    )
+    parser.add_argument(
+        "action",
+        nargs="?",
+        default=None,
+        help=(
+            "subcommand for 'tenant': create, drop, or list "
+            "(ignored elsewhere)"
+        ),
     )
     parser.add_argument(
         "--estimator",
@@ -247,6 +276,34 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="SECONDS",
         help="seconds between autoscaler observations (default 2)",
     )
+    parser.add_argument(
+        "--tenant-root",
+        type=str,
+        default=None,
+        metavar="DIR",
+        help=(
+            "tenant-catalog root for 'serve'/'tenant': every tenant "
+            "lives in its own durable directory under it "
+            "(docs/multitenancy.md)"
+        ),
+    )
+    parser.add_argument(
+        "--name",
+        type=str,
+        default=None,
+        metavar="NAME",
+        help="tenant name for 'tenant create'/'tenant drop'",
+    )
+    parser.add_argument(
+        "--quota",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "per-tenant max_pending_writes quota for 'tenant create' "
+            "(default: the catalog default)"
+        ),
+    )
     return parser
 
 
@@ -353,6 +410,67 @@ def run_stream(
     return "\n".join(lines)
 
 
+def run_tenant(
+    action: Optional[str],
+    tenant_root: Optional[str],
+    name: Optional[str],
+    spec_text: Optional[str],
+    quota: Optional[int] = None,
+) -> str:
+    """Administer a tenant catalog offline: create, drop, or list.
+
+    Operates directly on the catalog in ``--tenant-root`` — the same
+    catalog ``repro serve --tenant-root`` hosts (stop the server first;
+    the catalog is single-writer).
+    """
+    from repro.errors import TenancyError
+    from repro.tenancy import TenantCatalog
+
+    if action not in ("create", "drop", "list"):
+        raise TenancyError(
+            f"tenant needs an action: create, drop, or list "
+            f"(got {action!r})"
+        )
+    if not tenant_root:
+        raise TenancyError(
+            "tenant needs --tenant-root DIR: the catalog root every "
+            "tenant lives under"
+        )
+    with TenantCatalog(tenant_root) as catalog:
+        if action == "create":
+            if not name:
+                raise TenancyError("tenant create needs --name NAME")
+            spec = catalog.create(
+                name, spec_text or DEFAULT_SPEC, quota=quota
+            )
+            return (
+                f"created tenant {name!r} ({spec}) in {tenant_root} "
+                f"[quota {catalog.quota(name)}]"
+            )
+        if action == "drop":
+            if not name:
+                raise TenancyError("tenant drop needs --name NAME")
+            catalog.drop(name)
+            remaining = ", ".join(catalog.names()) or "(none)"
+            return f"dropped tenant {name!r}; remaining: {remaining}"
+        # list
+        lines = [f"== tenants in {tenant_root} =="]
+        if not len(catalog):
+            lines.append("  (none)")
+        for tenant in catalog.names():
+            bound = catalog.bound_stream(tenant)
+            stream = f" [stream: {bound}]" if bound else ""
+            lines.append(
+                f"  {tenant:<24} {catalog.spec(tenant)} "
+                f"[quota {catalog.quota(tenant)}]{stream}"
+            )
+        for stream, members in catalog.streams().items():
+            lines.append(
+                f"  stream {stream:<17} -> {', '.join(members)}"
+            )
+        return "\n".join(lines)
+
+
 def run_serve(
     spec_text: Optional[str],
     host: str,
@@ -367,6 +485,7 @@ def run_serve(
     autoscale: bool = False,
     max_shards: int = 8,
     autoscale_interval: float = 2.0,
+    tenant_root: Optional[str] = None,
 ) -> int:
     """Own a session behind the asyncio query server until interrupted.
 
@@ -378,13 +497,24 @@ def run_serve(
     receive the WAL live (``docs/replication.md``).  With
     ``--autoscale`` a sharded session splits/merges live as per-shard
     load leaves the autoscaler's hysteresis bands
-    (``docs/resharding.md``).
+    (``docs/resharding.md``).  With ``--tenant-root DIR`` the server
+    additionally hosts that tenant catalog — alone (no default
+    session) when ``--estimator`` and ``--durable-dir`` are omitted
+    (``docs/multitenancy.md``).
     """
     import asyncio
 
     from repro.serve.server import EstimatorServer
     from repro.store import DurableStore
 
+    if tenant_root is not None and replicate_to is not None:
+        from repro.errors import ClusterError
+
+        raise ClusterError(
+            "--tenant-root cannot be combined with --replicate-to: "
+            "tenant catalogs are primary-only and are not replicated "
+            "(docs/multitenancy.md)"
+        )
     if replicate_to is not None and not durable_dir:
         from repro.errors import ClusterError
 
@@ -401,40 +531,57 @@ def run_serve(
             "(docs/resharding.md)"
         )
 
-    options: dict = {}
-    if shards > 1:
-        options.update(shards=shards, backend=backend, partitioner=partitioner)
-    if window > 0:
-        options["window"] = window
-    if window_time > 0:
-        options["window_time"] = window_time
-    if durable_dir:
-        options["durable_dir"] = durable_dir
-    estimator: Optional[str] = spec_text
-    if estimator is None:
-        reopening = (
-            durable_dir is not None
-            and DurableStore(durable_dir).has_state
-        )
-        if not reopening:
-            estimator = DEFAULT_SPEC
-        else:
-            # The stored spec already carries any shard/window
-            # wrapping, so re-wrapping flags have nothing to apply
-            # to — refuse loudly rather than serve a configuration
-            # the user did not ask for.
-            wrapping = sorted(set(options) - {"durable_dir"})
-            if wrapping:
-                from repro.errors import SpecError
+    catalog = None
+    if tenant_root is not None:
+        from repro.tenancy import TenantCatalog
 
-                raise SpecError(
-                    f"{'/'.join(wrapping)} cannot be combined with "
-                    "reopening an existing --durable-dir (its stored "
-                    "spec fixes the configuration); pass --estimator "
-                    "explicitly to assert the intended spec"
+        catalog = TenantCatalog(tenant_root)
+    session = None
+    try:
+        if catalog is None or spec_text is not None or durable_dir:
+            options: dict = {}
+            if shards > 1:
+                options.update(
+                    shards=shards,
+                    backend=backend,
+                    partitioner=partitioner,
                 )
-            options = {"durable_dir": durable_dir}
-    session = open_session(estimator, **options)
+            if window > 0:
+                options["window"] = window
+            if window_time > 0:
+                options["window_time"] = window_time
+            if durable_dir:
+                options["durable_dir"] = durable_dir
+            estimator: Optional[str] = spec_text
+            if estimator is None:
+                reopening = (
+                    durable_dir is not None
+                    and DurableStore(durable_dir).has_state
+                )
+                if not reopening:
+                    estimator = DEFAULT_SPEC
+                else:
+                    # The stored spec already carries any shard/window
+                    # wrapping, so re-wrapping flags have nothing to
+                    # apply to — refuse loudly rather than serve a
+                    # configuration the user did not ask for.
+                    wrapping = sorted(set(options) - {"durable_dir"})
+                    if wrapping:
+                        from repro.errors import SpecError
+
+                        raise SpecError(
+                            f"{'/'.join(wrapping)} cannot be combined "
+                            "with reopening an existing --durable-dir "
+                            "(its stored spec fixes the "
+                            "configuration); pass --estimator "
+                            "explicitly to assert the intended spec"
+                        )
+                    options = {"durable_dir": durable_dir}
+            session = open_session(estimator, **options)
+    except BaseException:
+        if catalog is not None:
+            catalog.close()
+        raise
     replicating = None
     if replicate_to is not None:
         from repro.cluster import ReplicatingServer
@@ -450,8 +597,11 @@ def run_serve(
             from repro.errors import SpecError
             from repro.shard import Autoscaler
 
-            if session.topology is None:
-                session.close()
+            if session is None or session.topology is None:
+                if session is not None:
+                    session.close()
+                if catalog is not None:
+                    catalog.close()
                 raise SpecError(
                     "--autoscale needs a sharded session; pass "
                     "--shards K (or reopen a sharded --durable-dir)"
@@ -463,22 +613,35 @@ def run_serve(
             port=port,
             autoscaler=scaler,
             autoscale_interval=autoscale_interval,
+            catalog=catalog,
         )
 
     async def _serve() -> None:
         await server.start()
         bound_host, bound_port = server.address
-        spec = session.spec.to_string() if session.spec else "?"
+        if session is not None:
+            spec = session.spec.to_string() if session.spec else "?"
+            recovered = (
+                f"  {session.elements:,} elements recovered, estimate "
+                f"{session.estimate:,.1f}\n"
+            )
+        else:
+            spec = "(tenant catalog only)"
+            recovered = ""
         durability = f" [durable: {durable_dir}]" if durable_dir else ""
+        tenancy = ""
+        if catalog is not None:
+            tenancy = (
+                f" [tenants: {len(catalog)} in {tenant_root}]"
+            )
         replication = ""
         if replicating is not None:
             _, repl_port = replicating.replication_address
             replication = f" [replicating on :{repl_port}]"
         print(
             f"serving {spec} on {bound_host}:{bound_port}"
-            f"{durability}{replication}\n"
-            f"  {session.elements:,} elements recovered, estimate "
-            f"{session.estimate:,.1f}\n"
+            f"{durability}{tenancy}{replication}\n"
+            f"{recovered}"
             "  protocol: line-delimited JSON (docs/serving.md); "
             "stop with Ctrl-C",
             flush=True,
@@ -712,7 +875,21 @@ def main(argv: Optional[List[str]] = None) -> int:
                 autoscale=args.autoscale,
                 max_shards=args.max_shards,
                 autoscale_interval=args.autoscale_interval,
+                tenant_root=args.tenant_root,
             )
+        except ReproError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+    if args.experiment == "tenant":
+        try:
+            print(run_tenant(
+                args.action,
+                args.tenant_root,
+                args.name,
+                args.estimator,
+                quota=args.quota,
+            ))
+            return 0
         except ReproError as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 2

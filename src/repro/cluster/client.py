@@ -208,6 +208,33 @@ class ClusterClient:
         return self._call_primary("snapshot")["snapshot"]
 
     # ------------------------------------------------------------------
+    # Tenant catalog: primary only (docs/multitenancy.md)
+    # ------------------------------------------------------------------
+    def create_tenant(
+        self,
+        name: str,
+        spec: str,
+        *,
+        quota: Optional[int] = None,
+    ) -> Dict[str, Any]:
+        """Create a tenant in the primary's hosted catalog.
+
+        Tenant catalogs are primary-only state — followers replicate
+        one session's WAL, not a catalog, and refuse every tenant
+        operation with ``NotPrimaryError``.
+        """
+        fields: Dict[str, Any] = {"name": name, "spec": spec}
+        if quota is not None:
+            fields["quota"] = quota
+        return self._call_primary("create_tenant", **fields)
+
+    def drop_tenant(self, name: str) -> Dict[str, Any]:
+        return self._call_primary("drop_tenant", name=name)
+
+    def list_tenants(self) -> Dict[str, Any]:
+        return self._call_primary("list_tenants")
+
+    # ------------------------------------------------------------------
     # Reads: follower rotation, primary fallback
     # ------------------------------------------------------------------
     def _read_targets(self) -> List[Address]:

@@ -59,6 +59,7 @@ from repro.serve.protocol import decode_message, encode_message
 from repro.serve.server import (
     BackgroundServer,
     EstimatorServer,
+    TENANT_ADMIN_OPS,
     _read_line,
     serve_in_background,
 )
@@ -517,10 +518,15 @@ class FollowerServer(EstimatorServer):
         if op == "promote":
             self._counters[op] = self._counters.get(op, 0) + 1
             return await self._promote()
-        if (
-            self._role == "follower"
-            and op in ("ingest", "flush", "snapshot", "checkpoint")
+        if self._role == "follower" and (
+            op in ("ingest", "flush", "snapshot", "checkpoint")
+            or op in TENANT_ADMIN_OPS
+            or request.get("tenant") is not None
+            or request.get("stream") is not None
         ):
+            # Tenant-catalog operations — admin ops and anything
+            # tenant- or stream-scoped — are primary-only: a follower
+            # replicates one session's WAL, not a catalog.
             self._counters[op] = self._counters.get(op, 0) + 1
             host, port = self._primary
             raise NotPrimaryError(

@@ -94,6 +94,16 @@ class ServeError(ReproError):
     remote_type: "str | None" = None
 
 
+class TenancyError(ReproError):
+    """A tenant-catalog operation failed (:mod:`repro.tenancy`).
+
+    Raised for invalid tenant names, unknown or duplicate tenants,
+    dropping a tenant still bound to a shared stream, shared-stream
+    membership mismatches on reopen, and further ingestion into a
+    fan-out that refused a batch (``docs/multitenancy.md``).
+    """
+
+
 class ClusterError(ReproError):
     """A replicated-cluster operation failed (:mod:`repro.cluster`).
 

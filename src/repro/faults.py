@@ -67,6 +67,16 @@ FAULT_POINTS: Dict[str, str] = {
         "engine resharded in memory, before the durable checkpoint "
         "that commits the new epoch to disk"
     ),
+    # TenantCatalog.create / TenantCatalog.drop — the catalog.json
+    # commit is the atomic instant of both operations.
+    "tenant.create_committed": (
+        "catalog.json committed with the new tenant, before its "
+        "durable directory is materialised"
+    ),
+    "tenant.drop_committed": (
+        "catalog.json committed without the tenant, before its "
+        "durable directory is removed"
+    ),
     # DurableStore.checkpoint — the snapshot/rotate/prune sequence.
     "checkpoint.synced": (
         "WAL synced, before the snapshot file is written"

@@ -1,4 +1,5 @@
-"""Evaluation metrics: accuracy, throughput, balance, replication lag."""
+"""Evaluation metrics: accuracy, throughput, balance, replication
+lag, and multi-tenant fair-share summaries."""
 
 from repro.metrics.accuracy import (
     mean,
@@ -7,6 +8,7 @@ from repro.metrics.accuracy import (
     summarize_errors,
 )
 from repro.metrics.replication import lag_summary
+from repro.metrics.tenancy import FairShareSummary, fair_share
 from repro.metrics.throughput import Stopwatch, throughput_eps
 from repro.metrics.timeseries import (
     TrajectoryPoint,
@@ -16,6 +18,7 @@ from repro.metrics.timeseries import (
 from repro.metrics.workload import workload_balance
 
 __all__ = [
+    "FairShareSummary",
     "TrajectoryPoint",
     "TrajectoryTracker",
     "track_against_oracle",
@@ -24,6 +27,7 @@ __all__ = [
     "percentile",
     "summarize_errors",
     "Stopwatch",
+    "fair_share",
     "lag_summary",
     "throughput_eps",
     "workload_balance",

@@ -1,0 +1,86 @@
+"""Fair-share metrics for multi-tenant write scheduling.
+
+The serving layer's round-robin tenant lanes (``docs/multitenancy.md``)
+promise that one hot tenant cannot starve the rest.  This module
+quantifies how well a served workload kept that promise, using Jain's
+fairness index over per-tenant write counts:
+
+    J(x) = (sum x_i)^2 / (n * sum x_i^2)
+
+J is 1.0 when every tenant got an equal share and approaches ``1/n``
+as one tenant monopolises the writer.  The serving layer reports this
+summary under ``stats.tenants`` so operators can watch fairness live.
+
+>>> summary = fair_share({"alice": 10, "bob": 10})
+>>> summary.jain_index
+1.0
+>>> skewed = fair_share({"hot": 99, "cold": 1})
+>>> skewed.jain_index < 0.6
+True
+>>> skewed.max_share
+0.99
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping
+
+__all__ = ["FairShareSummary", "fair_share"]
+
+
+@dataclass(frozen=True)
+class FairShareSummary:
+    """How evenly the writer thread was shared across tenants.
+
+    Attributes:
+        tenants: number of tenants observed.
+        writes: total writes applied across all tenants.
+        min_share: smallest per-tenant fraction of the writes.
+        max_share: largest per-tenant fraction of the writes.
+        jain_index: Jain's fairness index in ``(0, 1]``; 1.0 is a
+            perfectly even split, ``1/tenants`` is total monopoly.
+    """
+
+    tenants: int
+    writes: int
+    min_share: float
+    max_share: float
+    jain_index: float
+
+    def as_dict(self) -> Dict[str, float]:
+        """JSON-ready form for stats surfaces."""
+        return {
+            "tenants": self.tenants,
+            "writes": self.writes,
+            "min_share": self.min_share,
+            "max_share": self.max_share,
+            "jain_index": self.jain_index,
+        }
+
+
+def fair_share(writes: Mapping[str, int]) -> FairShareSummary:
+    """Summarise per-tenant write counts into a fairness report.
+
+    Tenants with zero writes still count toward ``tenants`` (an idle
+    tenant is not unfairness); an empty or all-zero mapping reports a
+    perfect index of 1.0 — nothing was contended.
+    """
+    counts = [max(0, int(count)) for count in writes.values()]
+    total = sum(counts)
+    if not counts or total == 0:
+        return FairShareSummary(
+            tenants=len(counts),
+            writes=0,
+            min_share=0.0,
+            max_share=0.0,
+            jain_index=1.0,
+        )
+    squares = sum(count * count for count in counts)
+    return FairShareSummary(
+        tenants=len(counts),
+        writes=total,
+        min_share=min(counts) / total,
+        max_share=max(counts) / total,
+        jain_index=(total * total) / (len(counts) * squares),
+    )

@@ -198,11 +198,24 @@ class ServeClient:
             fields["min_offset"] = min_offset
         return fields
 
+    @staticmethod
+    def _target_fields(
+        tenant: Optional[str], stream: Optional[str]
+    ) -> Dict[str, Any]:
+        fields: Dict[str, Any] = {}
+        if tenant is not None:
+            fields["tenant"] = tenant
+        if stream is not None:
+            fields["stream"] = stream
+        return fields
+
     def estimate(
         self,
         *,
         read_mode: Optional[str] = None,
         min_offset: Optional[int] = None,
+        tenant: Optional[str] = None,
+        stream: Optional[str] = None,
     ) -> Dict[str, Any]:
         """The published view: ``{seq, elements, estimate}``.
 
@@ -211,9 +224,14 @@ class ServeClient:
         ``read_mode="read_your_writes"`` with the ``min_offset``
         watermark of your last write to refuse (or, on a follower,
         wait out) views older than that write (``docs/serving.md``).
+        On a multi-tenant server, ``tenant`` reads one tenant's view
+        and ``stream`` reads a shared fan-out's per-member estimates
+        (``docs/multitenancy.md``).
         """
         return self.call(
-            "estimate", **self._read_fields(read_mode, min_offset)
+            "estimate",
+            **self._read_fields(read_mode, min_offset),
+            **self._target_fields(tenant, stream),
         )
 
     def stats(
@@ -221,36 +239,105 @@ class ServeClient:
         *,
         read_mode: Optional[str] = None,
         min_offset: Optional[int] = None,
+        tenant: Optional[str] = None,
+        stream: Optional[str] = None,
     ) -> Dict[str, Any]:
         """The full view plus server counters and session identity."""
         return self.call(
-            "stats", **self._read_fields(read_mode, min_offset)
+            "stats",
+            **self._read_fields(read_mode, min_offset),
+            **self._target_fields(tenant, stream),
         )
 
     def ingest(
         self,
         elements: Union[StreamElement, Iterable[StreamElement]],
+        *,
+        tenant: Optional[str] = None,
+        stream: Optional[str] = None,
     ) -> Dict[str, Any]:
         """Ingest one element or an iterable of them.
 
         Returns the server's ``{accepted, delta, seq, elements,
-        estimate}`` summary after the whole batch applied.
+        estimate}`` summary after the whole batch applied.  ``tenant``
+        routes the batch to that tenant's session through its
+        fair-share lane; ``stream`` drives a shared fan-out (all bound
+        tenants in one pass).
         """
         if isinstance(elements, StreamElement):
             elements = [elements]
-        return self.call("ingest", elements=elements_to_records(elements))
+        return self.call(
+            "ingest",
+            elements=elements_to_records(elements),
+            **self._target_fields(tenant, stream),
+        )
 
-    def flush(self) -> Dict[str, Any]:
+    def flush(
+        self,
+        *,
+        tenant: Optional[str] = None,
+        stream: Optional[str] = None,
+    ) -> Dict[str, Any]:
         """Flush estimator-buffered work (PARABACUS mini-batches)."""
-        return self.call("flush")
+        return self.call(
+            "flush", **self._target_fields(tenant, stream)
+        )
 
-    def snapshot(self) -> Dict[str, Any]:
+    def snapshot(
+        self, *, tenant: Optional[str] = None
+    ) -> Dict[str, Any]:
         """The session's full snapshot envelope (consistent)."""
-        return self.call("snapshot")["snapshot"]
+        return self.call(
+            "snapshot", **self._target_fields(tenant, None)
+        )["snapshot"]
 
-    def checkpoint(self) -> int:
+    def checkpoint(
+        self,
+        *,
+        tenant: Optional[str] = None,
+        stream: Optional[str] = None,
+    ) -> int:
         """Durable checkpoint; returns the covered element offset."""
-        return self.call("checkpoint")["offset"]
+        return self.call(
+            "checkpoint", **self._target_fields(tenant, stream)
+        )["offset"]
+
+    # ------------------------------------------------------------------
+    # Tenant catalog administration (docs/multitenancy.md)
+    # ------------------------------------------------------------------
+    def create_tenant(
+        self,
+        name: str,
+        spec: str,
+        *,
+        quota: Optional[int] = None,
+    ) -> Dict[str, Any]:
+        """Create a named tenant in the hosted catalog."""
+        fields: Dict[str, Any] = {"name": name, "spec": spec}
+        if quota is not None:
+            fields["quota"] = quota
+        return self.call("create_tenant", **fields)
+
+    def drop_tenant(self, name: str) -> Dict[str, Any]:
+        """Drop a tenant and its durable directory, atomically."""
+        return self.call("drop_tenant", name=name)
+
+    def list_tenants(self) -> Dict[str, Any]:
+        """Every tenant (name, spec, quota, stream) plus stream
+        bindings."""
+        return self.call("list_tenants")
+
+    def bind_stream(
+        self, stream: str, tenants: Iterable[str]
+    ) -> Dict[str, Any]:
+        """Bind tenants to one shared stream (single-pass ingest)."""
+        return self.call(
+            "bind_stream", name=stream, tenants=list(tenants)
+        )
+
+    def drop_stream(self, stream: str) -> Dict[str, Any]:
+        """Unbind a shared stream and discard its shared log."""
+        return self.call("drop_stream", name=stream)
 
     def reshard(
         self,

@@ -47,11 +47,26 @@ from __future__ import annotations
 import asyncio
 import concurrent.futures
 import threading
+from collections import deque
 from dataclasses import dataclass
-from typing import Any, Dict, Optional, Tuple
+from typing import (
+    Any,
+    Callable,
+    Deque,
+    Dict,
+    List,
+    Optional,
+    Tuple,
+)
 
 from repro.api.session import Session
-from repro.errors import ReproError, ServeError, StaleReadError
+from repro.errors import (
+    ReproError,
+    ServeError,
+    StaleReadError,
+    TenancyError,
+)
+from repro.metrics.tenancy import fair_share
 from repro.serve.protocol import (
     MAX_LINE,
     PROTOCOL_VERSION,
@@ -61,12 +76,14 @@ from repro.serve.protocol import (
     records_to_elements,
     result_response,
 )
+from repro.tenancy.catalog import DEFAULT_TENANT_QUOTA, TenantCatalog
 
 __all__ = [
     "BackgroundServer",
     "EstimatorServer",
     "READ_MODES",
     "ServingView",
+    "TENANT_ADMIN_OPS",
     "serve_in_background",
 ]
 
@@ -91,6 +108,20 @@ DEFAULT_MAX_PENDING_WRITES = 64
 #: and refuses (or, on a follower, waits) rather than serve a view
 #: older than it.
 READ_MODES = frozenset({"eventual", "read_your_writes"})
+
+#: Catalog-administration operations, available when the server hosts
+#: a :class:`~repro.tenancy.catalog.TenantCatalog`.  They mutate the
+#: catalog on the writer thread (so they serialise against every
+#: tenant write) and are primary-only under replication.
+TENANT_ADMIN_OPS = frozenset(
+    {
+        "create_tenant",
+        "drop_tenant",
+        "list_tenants",
+        "bind_stream",
+        "drop_stream",
+    }
+)
 
 
 class _OversizedLine(Exception):
@@ -174,13 +205,40 @@ class ServingView:
         }
 
 
+class _TenantLane:
+    """One tenant's (or shared stream's) fair-share write lane.
+
+    A bounded semaphore enforces the lane's ``max_pending_writes``
+    quota — excess writers *wait* (never dropped) and the lane's
+    backpressure counter records the stall — while a FIFO queue holds
+    admitted writes until the round-robin drainer feeds them, one per
+    lane per cycle, to the single writer thread.
+    """
+
+    __slots__ = (
+        "key", "quota", "slots", "queue", "writes", "backpressure"
+    )
+
+    def __init__(self, key: Tuple[str, str], quota: int) -> None:
+        self.key = key
+        self.quota = quota
+        self.slots = asyncio.Semaphore(quota)
+        self.queue: Deque[
+            Tuple[Callable[[], Dict[str, Any]], "asyncio.Future[Any]"]
+        ] = deque()
+        self.writes = 0
+        self.backpressure = 0
+
+
 class EstimatorServer:
     """Serve one session's estimates over line-delimited JSON.
 
     Args:
-        session: the session to own.  The server becomes the only
-            writer: after :meth:`start`, touch the session through the
-            protocol only.
+        session: the session to own (the single-tenant surface).  The
+            server becomes the only writer: after :meth:`start`, touch
+            the session through the protocol only.  May be None on a
+            catalog-only server — then every ingest/estimate/stats
+            request must name a tenant or stream.
         host: interface to bind (default loopback).
         port: TCP port; 0 picks a free one (see :attr:`address`).
         max_pending_writes: bound on queued writes before new writers
@@ -191,28 +249,51 @@ class EstimatorServer:
             on the writer thread (``docs/resharding.md``).  Requires a
             sharded session.
         autoscale_interval: seconds between autoscaler observations.
+        catalog: optional :class:`~repro.tenancy.catalog.TenantCatalog`
+            to host.  Requests carrying a ``tenant`` (or ``stream``)
+            field route to that tenant's durable session (or shared
+            fan-out) through its fair-share lane, and the
+            :data:`TENANT_ADMIN_OPS` become available.  Requests with
+            no tenant field keep today's single-tenant protocol
+            untouched (``docs/multitenancy.md``).
+        tenant_quota: default per-tenant ``max_pending_writes`` for
+            tenants that declared none at ``create`` time (and for
+            shared-stream lanes).  Defaults to the catalog default.
     """
 
     def __init__(
         self,
-        session: Session,
+        session: Optional[Session] = None,
         host: str = "127.0.0.1",
         port: int = 0,
         max_pending_writes: int = DEFAULT_MAX_PENDING_WRITES,
         autoscaler: Optional[Any] = None,
         autoscale_interval: float = 2.0,
+        *,
+        catalog: Optional[TenantCatalog] = None,
+        tenant_quota: Optional[int] = None,
     ) -> None:
+        if session is None and catalog is None:
+            raise ServeError(
+                "a server needs a session, a tenant catalog, or both"
+            )
         if max_pending_writes < 1:
             raise ServeError(
                 f"max_pending_writes must be >= 1, "
                 f"got {max_pending_writes}"
+            )
+        if tenant_quota is not None and tenant_quota < 1:
+            raise ServeError(
+                f"tenant_quota must be >= 1, got {tenant_quota}"
             )
         if autoscale_interval <= 0:
             raise ServeError(
                 f"autoscale_interval must be > 0, "
                 f"got {autoscale_interval}"
             )
-        if autoscaler is not None and session.topology is None:
+        if autoscaler is not None and (
+            session is None or session.topology is None
+        ):
             raise ServeError(
                 "autoscaling needs a sharded session "
                 "(open it with shards=K)"
@@ -235,13 +316,34 @@ class EstimatorServer:
         self._autoscale_interval = autoscale_interval
         self._autoscale_task: Optional[asyncio.Task] = None
         self._autoscale_reshards = 0
-        self._view = self._build_view(0)
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._catalog = catalog
+        self._tenant_quota = (
+            tenant_quota
+            if tenant_quota is not None
+            else DEFAULT_TENANT_QUOTA
+        )
+        self._lanes: Dict[Tuple[str, str], _TenantLane] = {}
+        self._lane_wake = asyncio.Event()
+        self._drain_task: Optional[asyncio.Task] = None
+        #: Order the drainer dispatched lane writes, for fairness
+        #: tests/telemetry; entries are ``(kind, name)`` lane keys.
+        self._fair_trace: List[Tuple[str, str]] = []
+        self._tenant_views: Dict[str, ServingView] = {}
+        self._stream_views: Dict[str, Dict[str, Any]] = {}
+        self._catalog_view: Optional[Dict[str, Any]] = (
+            self._build_catalog_view() if catalog is not None else None
+        )
+        self._view: Optional[ServingView] = (
+            self._build_view(0) if session is not None else None
+        )
 
     # ------------------------------------------------------------------
     # The published view
     # ------------------------------------------------------------------
     def _build_view(self, seq: int) -> ServingView:
         session = self._session
+        assert session is not None
         return ServingView(
             seq=seq,
             elements=session.elements,
@@ -258,13 +360,189 @@ class EstimatorServer:
         return view
 
     @property
-    def view(self) -> ServingView:
-        """The currently published view."""
+    def view(self) -> Optional[ServingView]:
+        """The currently published view (None on a catalog-only
+        server)."""
         return self._view
 
     @property
-    def session(self) -> Session:
+    def session(self) -> Optional[Session]:
         return self._session
+
+    @property
+    def catalog(self) -> Optional[TenantCatalog]:
+        return self._catalog
+
+    # ------------------------------------------------------------------
+    # Tenancy: views, lanes, and the round-robin drainer
+    # ------------------------------------------------------------------
+    def _build_catalog_view(self) -> Dict[str, Any]:
+        """An immutable catalog summary for reads (writer thread)."""
+        catalog = self._catalog
+        assert catalog is not None
+        return {
+            "root": str(catalog.root),
+            "tenants": {
+                name: {
+                    "spec": catalog.spec(name),
+                    "quota": catalog.quota(name),
+                    "stream": catalog.bound_stream(name),
+                }
+                for name in catalog.names()
+            },
+            "streams": {
+                stream: list(members)
+                for stream, members in catalog.streams().items()
+            },
+        }
+
+    def _publish_tenant(self, name: str, session: Session) -> ServingView:
+        """Publish one tenant's fresh view (writer thread)."""
+        old = self._tenant_views.get(name)
+        view = ServingView(
+            seq=old.seq + 1 if old is not None else 1,
+            elements=session.elements,
+            estimate=session.estimate,
+            memory_edges=session.memory_edges,
+            processing_seconds=session._processing_seconds,
+            topology=session.topology,
+        )
+        self._tenant_views[name] = view
+        return view
+
+    def _publish_stream(self, name: str, fanout: Any) -> Dict[str, Any]:
+        """Publish one shared stream's frozen stats (writer thread)."""
+        old = self._stream_views.get(name)
+        view = dict(fanout.stats())
+        view["seq"] = old["seq"] + 1 if old is not None else 1
+        self._stream_views[name] = view
+        for member in fanout.members:
+            self._publish_tenant(member, fanout.session(member))
+        return view
+
+    def _require_catalog(self, op: str) -> TenantCatalog:
+        if self._catalog is None:
+            raise ServeError(
+                f"{op!r} needs a tenant catalog but this server hosts "
+                "none (start it with repro serve --tenant-root)"
+            )
+        return self._catalog
+
+    def _target(
+        self, request: Dict[str, Any]
+    ) -> Optional[Tuple[str, str]]:
+        """The request's tenant/stream routing key, validated."""
+        tenant = request.get("tenant")
+        stream = request.get("stream")
+        if tenant is None and stream is None:
+            return None
+        if tenant is not None and stream is not None:
+            raise ServeError(
+                "a request may name a tenant or a stream, not both"
+            )
+        kind, name = (
+            ("tenant", tenant) if tenant is not None else ("stream", stream)
+        )
+        if not isinstance(name, str) or not name:
+            raise ServeError(
+                f"{kind} must be a non-empty string, got {name!r}"
+            )
+        self._require_catalog(f"{kind}-scoped request")
+        return (kind, name)
+
+    def _lane(self, key: Tuple[str, str]) -> _TenantLane:
+        """The target's lane, created on first use with its quota."""
+        lane = self._lanes.get(key)
+        if lane is not None:
+            return lane
+        catalog = self._catalog
+        assert catalog is not None
+        kind, name = key
+        if kind == "tenant":
+            declared = catalog.declared_quota(name)  # raises if unknown
+            quota = declared if declared is not None else self._tenant_quota
+        else:
+            if name not in catalog.streams():
+                raise TenancyError(
+                    f"unknown stream {name!r}; bound: "
+                    f"{', '.join(sorted(catalog.streams())) or '(none)'}"
+                )
+            quota = self._tenant_quota
+        lane = _TenantLane(key, quota)
+        self._lanes[key] = lane
+        return lane
+
+    def _retire_lane(self, key: Tuple[str, str]) -> None:
+        """Drop a lane, failing whatever it still queued (loop
+        thread)."""
+        lane = self._lanes.pop(key, None)
+        if lane is None:
+            return
+        kind, name = key
+        while lane.queue:
+            _fn, future = lane.queue.popleft()
+            if not future.done():
+                future.set_exception(TenancyError(
+                    f"{kind} {name!r} was dropped before this write ran"
+                ))
+
+    async def _lane_submit(
+        self, key: Tuple[str, str], fn: Callable[[], Dict[str, Any]]
+    ) -> Dict[str, Any]:
+        """Queue one write on the target's lane and await its result.
+
+        The lane's semaphore is the tenant's ``max_pending_writes``
+        quota: a tenant at quota waits here — counted as that lane's
+        backpressure — without taking a slot from any other tenant.
+        """
+        lane = self._lane(key)
+        if lane.slots.locked():
+            lane.backpressure += 1
+        async with lane.slots:
+            loop = asyncio.get_running_loop()
+            future: "asyncio.Future[Dict[str, Any]]" = loop.create_future()
+            lane.queue.append((fn, future))
+            self._lane_wake.set()
+            return await future
+
+    async def _drain_lanes(self) -> None:
+        """Feed queued lane writes to the writer thread, round-robin.
+
+        Each cycle serves at most one write from every non-empty lane
+        (in sorted key order), so a tenant flooding its own lane cannot
+        delay another tenant by more than one in-flight write.
+        """
+        loop = asyncio.get_running_loop()
+        while True:
+            await self._lane_wake.wait()
+            self._lane_wake.clear()
+            while True:
+                busy = [
+                    key
+                    for key in sorted(self._lanes)
+                    if self._lanes[key].queue
+                ]
+                if not busy:
+                    break
+                for key in busy:
+                    lane = self._lanes.get(key)
+                    if lane is None or not lane.queue:
+                        continue
+                    fn, future = lane.queue.popleft()
+                    self._fair_trace.append(key)
+                    if len(self._fair_trace) > 8192:
+                        del self._fair_trace[:4096]
+                    lane.writes += 1
+                    try:
+                        result = await loop.run_in_executor(
+                            self._writer_pool, fn
+                        )
+                    except Exception as exc:  # noqa: BLE001
+                        if not future.done():
+                            future.set_exception(exc)
+                    else:
+                        if not future.done():
+                            future.set_result(result)
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -280,6 +558,9 @@ class EstimatorServer:
             limit=MAX_LINE,
         )
         self._port = self._server.sockets[0].getsockname()[1]
+        self._loop = asyncio.get_running_loop()
+        if self._catalog is not None:
+            self._drain_task = asyncio.create_task(self._drain_lanes())
         if self._autoscaler is not None:
             self._autoscale_task = asyncio.create_task(
                 self._autoscale_loop()
@@ -315,15 +596,32 @@ class EstimatorServer:
             except asyncio.CancelledError:
                 pass
             self._autoscale_task = None
+        if self._drain_task is not None:
+            self._drain_task.cancel()
+            try:
+                await self._drain_task
+            except asyncio.CancelledError:
+                pass
+            self._drain_task = None
+        for key in list(self._lanes):
+            self._retire_lane(key)
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
             self._server = None
         # Run the (possibly busy) writer dry, then close the session
-        # on it so buffered estimator work lands before we return.
+        # and catalog on it so buffered estimator work lands before we
+        # return.
         loop = asyncio.get_running_loop()
-        await loop.run_in_executor(self._writer_pool, self._session.close)
+        await loop.run_in_executor(self._writer_pool, self._close_owned)
         self._writer_pool.shutdown(wait=True)
+
+    def _close_owned(self) -> None:
+        """Close the owned session and catalog (writer thread)."""
+        if self._session is not None:
+            self._session.close()
+        if self._catalog is not None:
+            self._catalog.close()
 
     # ------------------------------------------------------------------
     # Autoscaling
@@ -442,7 +740,17 @@ class EstimatorServer:
         if not isinstance(op, str):
             raise ServeError("request needs a string 'op' field")
         self._counters[op] = self._counters.get(op, 0) + 1
+        target = self._target(request)
+        if op in TENANT_ADMIN_OPS:
+            self._require_catalog(op)
+            async with self._write_slots:
+                loop = asyncio.get_running_loop()
+                return await loop.run_in_executor(
+                    self._writer_pool, self._tenant_admin, op, request
+                )
         if op in READ_OPS:
+            if target is not None and op != "ping":
+                return await self._scoped_read(op, target, request)
             return await self._handle_read(op, request)
         if op == "close":
             return {"goodbye": True}
@@ -450,6 +758,13 @@ class EstimatorServer:
             self.request_shutdown()
             return {"stopping": True}
         if op in WRITE_OPS:
+            if target is not None:
+                return await self._scoped_write(op, target, request)
+            if self._session is None:
+                raise ServeError(
+                    f"this server hosts a tenant catalog only; name a "
+                    f"tenant (or stream) on the {op!r} request"
+                )
             # Bounded writer queue: when every slot is taken the new
             # write *waits* here (never dropped, never rejected) and
             # the backpressure counter records the stall.  Reads never
@@ -463,7 +778,8 @@ class EstimatorServer:
                 )
         raise ServeError(
             f"unknown operation {op!r}; supported: "
-            f"{', '.join(sorted(READ_OPS | WRITE_OPS))}, close, shutdown"
+            f"{', '.join(sorted(READ_OPS | WRITE_OPS | TENANT_ADMIN_OPS))}"
+            ", close, shutdown"
         )
 
     async def _handle_read(
@@ -506,9 +822,10 @@ class EstimatorServer:
         if op == "ping":
             return
         min_offset = self._min_offset(request)
-        if min_offset is not None and self._view.elements < min_offset:
+        elements = self._view.elements if self._view is not None else 0
+        if min_offset is not None and elements < min_offset:
             raise StaleReadError(
-                f"view covers {self._view.elements} elements but the "
+                f"view covers {elements} elements but the "
                 f"client's last write is at offset {min_offset}"
             )
 
@@ -517,18 +834,28 @@ class EstimatorServer:
         if op == "ping":
             return {"pong": True, "version": PROTOCOL_VERSION}
         if op == "estimate":
+            if view is None:
+                raise ServeError(
+                    "this server hosts a tenant catalog only; name a "
+                    "tenant (or stream) on the 'estimate' request"
+                )
             return view.as_result()
-        spec = self._session.spec
-        return {
-            "seq": view.seq,
-            "elements": view.elements,
-            "estimate": view.estimate,
-            "memory_edges": view.memory_edges,
-            "processing_seconds": view.processing_seconds,
-            "topology": view.topology,
+        session = self._session
+        spec = session.spec if session is not None else None
+        result = {
+            "seq": view.seq if view is not None else 0,
+            "elements": view.elements if view is not None else 0,
+            "estimate": view.estimate if view is not None else None,
+            "memory_edges": view.memory_edges if view is not None else 0,
+            "processing_seconds": (
+                view.processing_seconds if view is not None else 0.0
+            ),
+            "topology": view.topology if view is not None else None,
             "spec": spec.to_string() if spec else None,
-            "durable": self._session.durable,
-            "durability": self._session.durability,
+            "durable": session.durable if session is not None else False,
+            "durability": (
+                session.durability if session is not None else None
+            ),
             "connections": self._connections,
             "operations": dict(self._counters),
             "backpressure": self._backpressure,
@@ -536,6 +863,329 @@ class EstimatorServer:
             "autoscaling": self._autoscaler is not None,
             "autoscale_reshards": self._autoscale_reshards,
         }
+        if self._catalog is not None:
+            result.update(self._catalog_stats())
+        return result
+
+    def _catalog_stats(self) -> Dict[str, Any]:
+        """The multi-tenant additions to an untenanted ``stats`` read.
+
+        Only present when a catalog is hosted, so tenant-less servers
+        keep the exact pre-tenancy response shape.
+        """
+        catalog_view = self._catalog_view or {
+            "root": None, "tenants": {}, "streams": {},
+        }
+        tenants: Dict[str, Any] = {}
+        for name, entry in catalog_view["tenants"].items():
+            lane = self._lanes.get(("tenant", name))
+            tenants[name] = {
+                "spec": entry["spec"],
+                "stream": entry["stream"],
+                "writes": lane.writes if lane is not None else 0,
+                "backpressure": (
+                    lane.backpressure if lane is not None else 0
+                ),
+                "max_pending_writes": (
+                    lane.quota if lane is not None else entry["quota"]
+                ),
+            }
+        streams: Dict[str, Any] = {}
+        for name, members in catalog_view["streams"].items():
+            lane = self._lanes.get(("stream", name))
+            streams[name] = {
+                "members": list(members),
+                "writes": lane.writes if lane is not None else 0,
+                "backpressure": (
+                    lane.backpressure if lane is not None else 0
+                ),
+                "max_pending_writes": (
+                    lane.quota
+                    if lane is not None
+                    else self._tenant_quota
+                ),
+            }
+        shares = {
+            name: entry["writes"] for name, entry in tenants.items()
+        }
+        shares.update({
+            f"stream:{name}": entry["writes"]
+            for name, entry in streams.items()
+        })
+        return {
+            "catalog": catalog_view,
+            "tenants": tenants,
+            "streams": streams,
+            "fairness": fair_share(shares).as_dict(),
+        }
+
+    # ------------------------------------------------------------------
+    # Tenant-scoped requests
+    # ------------------------------------------------------------------
+    async def _scoped_read(
+        self, op: str, target: Tuple[str, str], request: Dict[str, Any]
+    ) -> Dict[str, Any]:
+        """Answer a tenant/stream read from its published view.
+
+        A target that was never written through this server has no
+        view yet; the first read pays one lane round-trip to open it
+        on the writer thread and publish its recovered state.
+        """
+        kind, name = target
+        if (
+            name not in self._tenant_views
+            if kind == "tenant"
+            else name not in self._stream_views
+        ):
+            await self._lane_submit(
+                target, lambda: self._touch_target(target)
+            )
+        min_offset = self._min_offset(request)
+        if kind == "stream":
+            view = self._stream_views.get(name)
+            if view is None:
+                raise TenancyError(
+                    f"stream {name!r} disappeared while reading it"
+                )
+            if min_offset is not None and view["elements"] < min_offset:
+                raise StaleReadError(
+                    f"stream {name!r} view covers {view['elements']} "
+                    f"elements but the client's last write is at "
+                    f"offset {min_offset}"
+                )
+            if op == "estimate":
+                return {
+                    "stream": name,
+                    "seq": view["seq"],
+                    "elements": view["elements"],
+                    "estimates": {
+                        member: entry["estimate"]
+                        for member, entry in view["members"].items()
+                    },
+                }
+            result = dict(view)
+            result["stream"] = name
+            lane = self._lanes.get(target)
+            if lane is not None:
+                result["writes"] = lane.writes
+                result["backpressure"] = lane.backpressure
+                result["max_pending_writes"] = lane.quota
+            return result
+        tenant_view = self._tenant_views.get(name)
+        if tenant_view is None:
+            raise TenancyError(
+                f"tenant {name!r} disappeared while reading it"
+            )
+        if (
+            min_offset is not None
+            and tenant_view.elements < min_offset
+        ):
+            raise StaleReadError(
+                f"tenant {name!r} view covers {tenant_view.elements} "
+                f"elements but the client's last write is at offset "
+                f"{min_offset}"
+            )
+        if op == "estimate":
+            result = tenant_view.as_result()
+            result["tenant"] = name
+            return result
+        catalog_view = self._catalog_view or {"tenants": {}}
+        entry = catalog_view["tenants"].get(name, {})
+        lane = self._lanes.get(target)
+        return {
+            "tenant": name,
+            "seq": tenant_view.seq,
+            "elements": tenant_view.elements,
+            "estimate": tenant_view.estimate,
+            "memory_edges": tenant_view.memory_edges,
+            "processing_seconds": tenant_view.processing_seconds,
+            "spec": entry.get("spec"),
+            "stream": entry.get("stream"),
+            "writes": lane.writes if lane is not None else 0,
+            "backpressure": lane.backpressure if lane is not None else 0,
+            "max_pending_writes": (
+                lane.quota if lane is not None else entry.get("quota")
+            ),
+        }
+
+    async def _scoped_write(
+        self, op: str, target: Tuple[str, str], request: Dict[str, Any]
+    ) -> Dict[str, Any]:
+        """Route a tenant/stream write through its fair-share lane."""
+        kind, name = target
+        if op == "reshard":
+            raise ServeError(
+                "reshard is not supported per tenant; reshard the "
+                "server's own session instead"
+            )
+        if kind == "tenant":
+            return await self._lane_submit(
+                target, lambda: self._tenant_write(op, name, request)
+            )
+        return await self._lane_submit(
+            target, lambda: self._stream_write(op, name, request)
+        )
+
+    def _touch_target(self, target: Tuple[str, str]) -> Dict[str, Any]:
+        """Open a never-yet-served target and publish its view
+        (writer thread)."""
+        catalog = self._catalog
+        assert catalog is not None
+        kind, name = target
+        if kind == "stream":
+            view = self._publish_stream(name, catalog.open_stream(name))
+            return {"stream": name, "elements": view["elements"]}
+        bound = catalog.bound_stream(name)
+        if bound is not None:
+            fanout = catalog.open_stream(bound)
+            view = self._publish_tenant(name, fanout.session(name))
+        else:
+            view = self._publish_tenant(name, catalog.session(name))
+        return {"tenant": name, "elements": view.elements}
+
+    def _tenant_write(
+        self, op: str, name: str, request: Dict[str, Any]
+    ) -> Dict[str, Any]:
+        """Apply one tenant-scoped mutation (writer thread)."""
+        catalog = self._catalog
+        assert catalog is not None
+        session = catalog.session(name)
+        if op == "ingest":
+            elements = records_to_elements(request.get("elements"))
+            delta = session.ingest(elements)
+            view = self._publish_tenant(name, session)
+            return {
+                "tenant": name,
+                "accepted": len(elements),
+                "delta": delta,
+                "seq": view.seq,
+                "elements": view.elements,
+                "estimate": view.estimate,
+            }
+        if op == "flush":
+            delta = session.flush()
+            view = self._publish_tenant(name, session)
+            return {"tenant": name, "delta": delta, "seq": view.seq}
+        if op == "snapshot":
+            return {"tenant": name, "snapshot": session.snapshot()}
+        # checkpoint
+        offset = session.checkpoint()
+        self._publish_tenant(name, session)
+        return {"tenant": name, "offset": offset}
+
+    def _stream_write(
+        self, op: str, name: str, request: Dict[str, Any]
+    ) -> Dict[str, Any]:
+        """Apply one shared-stream mutation (writer thread)."""
+        catalog = self._catalog
+        assert catalog is not None
+        fanout = catalog.open_stream(name)
+        if op == "ingest":
+            elements = records_to_elements(request.get("elements"))
+            fanout.ingest(elements)
+            view = self._publish_stream(name, fanout)
+            return {
+                "stream": name,
+                "accepted": len(elements),
+                "seq": view["seq"],
+                "elements": view["elements"],
+                "estimates": {
+                    member: entry["estimate"]
+                    for member, entry in view["members"].items()
+                },
+            }
+        if op == "flush":
+            fanout.flush()
+            view = self._publish_stream(name, fanout)
+            return {"stream": name, "seq": view["seq"]}
+        if op == "snapshot":
+            raise ServeError(
+                "snapshot is not supported per stream; checkpoint the "
+                "stream instead (one envelope covers every member)"
+            )
+        # checkpoint
+        offset = fanout.checkpoint()
+        self._publish_stream(name, fanout)
+        return {"stream": name, "offset": offset}
+
+    def _tenant_admin(
+        self, op: str, request: Dict[str, Any]
+    ) -> Dict[str, Any]:
+        """Apply one catalog-administration op (writer thread)."""
+        catalog = self._catalog
+        assert catalog is not None
+        if op == "list_tenants":
+            view = self._build_catalog_view()
+            self._catalog_view = view
+            return {
+                "tenants": [
+                    {"name": name, **entry}
+                    for name, entry in view["tenants"].items()
+                ],
+                "streams": view["streams"],
+            }
+        if op == "create_tenant":
+            name = self._required_str(request, "name")
+            spec = self._required_str(request, "spec")
+            quota = request.get("quota")
+            catalog.create(name, spec, quota=quota)
+            self._catalog_view = self._build_catalog_view()
+            return {
+                "tenant": name,
+                "spec": catalog.spec(name),
+                "quota": catalog.quota(name),
+            }
+        if op == "drop_tenant":
+            name = self._required_str(request, "name")
+            catalog.drop(name)
+            self._tenant_views.pop(name, None)
+            self._retire_lane_threadsafe(("tenant", name))
+            self._catalog_view = self._build_catalog_view()
+            return {"dropped": name, "tenants": list(catalog.names())}
+        if op == "bind_stream":
+            stream = self._required_str(request, "name")
+            tenants = request.get("tenants")
+            if not isinstance(tenants, list) or not all(
+                isinstance(member, str) for member in tenants
+            ):
+                raise ServeError(
+                    "bind_stream needs a 'tenants' list of tenant "
+                    f"names, got {tenants!r}"
+                )
+            fanout = catalog.bind_stream(stream, tenants)
+            self._publish_stream(stream, fanout)
+            self._catalog_view = self._build_catalog_view()
+            return {"stream": stream, "members": sorted(fanout.members)}
+        # drop_stream
+        stream = self._required_str(request, "name")
+        catalog.drop_stream(stream)
+        self._stream_views.pop(stream, None)
+        self._retire_lane_threadsafe(("stream", stream))
+        self._catalog_view = self._build_catalog_view()
+        return {"dropped": stream, "streams": list(catalog.streams())}
+
+    def _retire_lane_threadsafe(self, key: Tuple[str, str]) -> None:
+        """Schedule a lane retirement onto the event loop.
+
+        Admin ops run on the writer thread, but lanes (their queues
+        and futures) belong to the loop thread — mutating them here
+        would race the drainer.
+        """
+        loop = getattr(self, "_loop", None)
+        if loop is None:
+            self._retire_lane(key)
+            return
+        loop.call_soon_threadsafe(self._retire_lane, key)
+
+    @staticmethod
+    def _required_str(request: Dict[str, Any], field: str) -> str:
+        value = request.get(field)
+        if not isinstance(value, str) or not value:
+            raise ServeError(
+                f"this operation needs a non-empty string {field!r} "
+                f"field, got {value!r}"
+            )
+        return value
 
     def _write(self, op: str, request: Dict[str, Any]) -> Dict[str, Any]:
         """Apply one mutating operation (single writer thread)."""
@@ -654,7 +1304,7 @@ class BackgroundServer:
 
 
 def serve_in_background(
-    session: Session,
+    session: Optional[Session],
     host: str = "127.0.0.1",
     port: int = 0,
     *,
@@ -667,7 +1317,9 @@ def serve_in_background(
     closes the session.  ``server_factory`` swaps in a subclass — it
     is called as ``factory(session, host=host, port=port)``, which is
     how the cluster layer hosts its replication primary and followers
-    on the same daemon-loop machinery.
+    on the same daemon-loop machinery, and how the CLI hosts a tenant
+    catalog (``session`` may be None when the factory supplies a
+    catalog instead).
     """
     started = threading.Event()
     holder: Dict[str, Any] = {}

@@ -1,0 +1,593 @@
+"""``TenantCatalog`` — named durable tenants under one root.
+
+A catalog turns one directory into a multi-tenant estimator home::
+
+    <root>/catalog.json        the authoritative tenant map (fsynced)
+    <root>/<tenant>/           one durable session dir per tenant
+    <root>/.streams/<name>/    shared-stream fan-out logs
+    <root>/.trash-*/           crashed drops, swept on open
+    <root>/.tmp-*              torn catalog commits, swept on open
+
+``catalog.json`` is the single source of truth: every create, drop,
+and stream binding is committed by atomically replacing the file
+(write to a temporary, fsync, rename, fsync the directory) — the same
+discipline as ``meta.json`` in :mod:`repro.store.durable`.  A crash on
+either side of the commit therefore leaves a catalog in which each
+tenant is *fully present or fully absent*:
+
+* **create** commits the catalog first, then materialises the tenant
+  directory.  A crash in between leaves a listed tenant whose
+  directory simply materialises lazily on first use.
+* **drop** commits the catalog first, then renames the directory to a
+  ``.trash-*`` name and removes it.  A crash in between leaves an
+  unlisted directory, which the next open sweeps.
+
+Tenant sessions open lazily through :meth:`TenantCatalog.session` and
+are plain durable :class:`~repro.api.session.Session` objects — the
+catalog adds naming, lifecycle, and the shared-stream fan-out of
+:mod:`repro.tenancy.fanout`; it changes nothing about how a single
+tenant ingests, checkpoints, or recovers.
+
+>>> import tempfile
+>>> from repro.types import insertion
+>>> catalog = TenantCatalog(tempfile.mkdtemp())
+>>> catalog.create("alice", "exact")
+'exact'
+>>> catalog.create("bob", "abacus:budget=64,seed=7")
+'abacus:budget=64,seed=7'
+>>> catalog.names()
+('alice', 'bob')
+>>> session = catalog.session("alice")
+>>> _ = session.ingest([insertion(u, v)
+...                     for u in ("u1", "u2") for v in ("v1", "v2")])
+>>> session.estimate
+1.0
+>>> catalog.drop("bob")
+>>> catalog.names()
+('alice',)
+>>> catalog.close()
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import re
+import shutil
+from typing import Any, Dict, List, Mapping, Optional, Tuple, Union
+
+from repro.api.registry import get_registration, parse_spec
+from repro.api.session import Session, open_session
+from repro.errors import StoreError, TenancyError
+from repro.faults import fault_point
+from repro.store import DurableStore
+
+__all__ = [
+    "CATALOG_FILE",
+    "CATALOG_FORMAT",
+    "DEFAULT_TENANT_QUOTA",
+    "TenantCatalog",
+]
+
+#: The authoritative tenant map inside the catalog root.
+CATALOG_FILE = "catalog.json"
+
+#: On-disk catalog format version.
+CATALOG_FORMAT = 1
+
+#: Per-tenant bound on queued writes in the serving layer when a
+#: tenant declares no explicit quota (``docs/multitenancy.md``).
+DEFAULT_TENANT_QUOTA = 8
+
+#: Tenant and stream names become path components, so they are
+#: restricted to a conservative portable alphabet; a leading dot is
+#: reserved for catalog-internal entries.
+_NAME = re.compile(r"^[A-Za-z0-9][A-Za-z0-9_.\-]{0,63}$")
+
+_STREAMS_DIR = ".streams"
+
+
+def _valid_name(name: Any, kind: str) -> str:
+    if not isinstance(name, str) or not _NAME.match(name):
+        raise TenancyError(
+            f"invalid {kind} name {name!r}: use 1-64 characters of "
+            "[A-Za-z0-9_.-], not starting with a dot"
+        )
+    return name
+
+
+class TenantCatalog:
+    """Named tenants (and shared streams) under one durable root.
+
+    Args:
+        root: the catalog directory; created when missing.  Opening an
+            existing root loads ``catalog.json`` and sweeps the debris
+            of crashed operations (``.tmp-*`` files, ``.trash-*``
+            directories, tenant directories no longer listed).
+
+    Raises:
+        TenancyError: when the root holds files the catalog does not
+            own — refusing to adopt (or later sweep) foreign data.
+    """
+
+    def __init__(self, root: Union[str, os.PathLike]) -> None:
+        self._root = pathlib.Path(root)
+        self._root.mkdir(parents=True, exist_ok=True)
+        self._tenants: Dict[str, Dict[str, Any]] = {}
+        self._streams: Dict[str, List[str]] = {}
+        self._sessions: Dict[str, Session] = {}
+        self._fanouts: Dict[str, Any] = {}
+        self._closed = False
+        self._load()
+        self._sweep()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def root(self) -> pathlib.Path:
+        return self._root
+
+    def names(self) -> Tuple[str, ...]:
+        """All tenant names, sorted."""
+        return tuple(sorted(self._tenants))
+
+    def streams(self) -> Dict[str, Tuple[str, ...]]:
+        """Stream name -> bound tenant names, sorted."""
+        return {
+            name: tuple(members)
+            for name, members in sorted(self._streams.items())
+        }
+
+    def __len__(self) -> int:
+        return len(self._tenants)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._tenants
+
+    def spec(self, name: str) -> str:
+        """The canonical spec string ``name`` was created with."""
+        return str(self._entry(name)["spec"])
+
+    def quota(self, name: str) -> int:
+        """The tenant's ``max_pending_writes`` quota for fair-share
+        scheduling (``docs/multitenancy.md``)."""
+        return int(self._entry(name).get("quota", DEFAULT_TENANT_QUOTA))
+
+    def declared_quota(self, name: str) -> Optional[int]:
+        """The quota ``create`` explicitly declared, or None when the
+        tenant rides the catalog default (so a hosting server may
+        substitute its own)."""
+        value = self._entry(name).get("quota")
+        return None if value is None else int(value)
+
+    def bound_stream(self, name: str) -> Optional[str]:
+        """The shared stream ``name`` subscribes to, or None."""
+        self._entry(name)
+        for stream, members in self._streams.items():
+            if name in members:
+                return stream
+        return None
+
+    def directory(self, name: str) -> pathlib.Path:
+        """The tenant's durable session directory."""
+        self._entry(name)
+        return self._root / name
+
+    def stream_directory(self, stream: str) -> pathlib.Path:
+        if stream not in self._streams:
+            raise TenancyError(
+                f"unknown stream {stream!r}; bound: "
+                f"{', '.join(sorted(self._streams)) or '(none)'}"
+            )
+        return self._root / _STREAMS_DIR / stream
+
+    def _entry(self, name: str) -> Dict[str, Any]:
+        entry = self._tenants.get(name)
+        if entry is None:
+            raise TenancyError(
+                f"unknown tenant {name!r}; catalog holds: "
+                f"{', '.join(self.names()) or '(none)'}"
+            )
+        return entry
+
+    # ------------------------------------------------------------------
+    # Create / drop
+    # ------------------------------------------------------------------
+    def create(
+        self,
+        name: str,
+        spec: str,
+        *,
+        quota: Optional[int] = None,
+    ) -> str:
+        """Create tenant ``name`` with estimator ``spec``; atomic.
+
+        The spec is parsed (and canonicalised) and its estimator name
+        and parameters validated against the registry first, so a
+        malformed or unknown spec commits nothing.  The
+        ``catalog.json`` commit *is* the create; the tenant's durable
+        directory is materialised right after (and lazily on first use
+        if a crash beats that).
+
+        Returns:
+            The canonical spec string recorded in the catalog.
+
+        Raises:
+            TenancyError: invalid name, duplicate tenant, bad quota.
+            SpecError: the spec does not parse, names an unknown
+                estimator, or carries undeclared/ill-typed parameters.
+        """
+        self._require_open()
+        _valid_name(name, "tenant")
+        if name in self._tenants:
+            raise TenancyError(f"tenant {name!r} already exists")
+        if quota is not None and (
+            not isinstance(quota, int)
+            or isinstance(quota, bool)
+            or quota < 1
+        ):
+            raise TenancyError(
+                f"quota must be a positive integer, got {quota!r}"
+            )
+        parsed = parse_spec(spec)
+        get_registration(parsed.name).validate(parsed.params)
+        canonical = parsed.to_string()
+        entry: Dict[str, Any] = {"spec": canonical}
+        if quota is not None:
+            entry["quota"] = quota
+        self._tenants = {**self._tenants, name: entry}
+        self._commit()
+        fault_point("tenant.create_committed")
+        self._materialize(name)
+        return canonical
+
+    def _materialize(self, name: str) -> None:
+        """Write the tenant dir's ``meta.json`` without building the
+        estimator (first-class durable dir from the moment of
+        creation)."""
+        directory = self._root / name
+        store = DurableStore(directory)
+        try:
+            if not store.has_state:
+                store.initialize(self.spec(name))
+        finally:
+            store.close()
+
+    def drop(self, name: str) -> None:
+        """Drop tenant ``name`` and delete its durable state; atomic.
+
+        The ``catalog.json`` commit is the point of no return: a crash
+        before it leaves the tenant fully present, a crash after it
+        leaves (at worst) an unlisted directory that the next
+        :class:`TenantCatalog` open sweeps — never a half-tenant.
+
+        Raises:
+            TenancyError: unknown tenant, or one still bound to a
+                shared stream (drop the stream first).
+        """
+        self._require_open()
+        self._entry(name)
+        stream = self.bound_stream(name)
+        if stream is not None:
+            raise TenancyError(
+                f"tenant {name!r} is bound to stream {stream!r}; "
+                "drop_stream() it before dropping the tenant"
+            )
+        session = self._sessions.pop(name, None)
+        if session is not None:
+            session.close()
+        remaining = dict(self._tenants)
+        del remaining[name]
+        self._tenants = remaining
+        self._commit()
+        fault_point("tenant.drop_committed")
+        self._remove_dir(self._root / name)
+
+    def _remove_dir(self, directory: pathlib.Path) -> None:
+        """Remove a directory via an atomic trash rename.
+
+        The rename makes the directory invisible to tenant/stream
+        namespaces in one step; a crash mid-``rmtree`` leaves only a
+        ``.trash-*`` entry for the next open to sweep.
+        """
+        if not directory.exists():
+            return
+        trash = directory.with_name(f".trash-{directory.name}")
+        suffix = 0
+        while trash.exists():
+            suffix += 1
+            trash = directory.with_name(
+                f".trash-{directory.name}.{suffix}"
+            )
+        os.replace(directory, trash)
+        shutil.rmtree(trash)
+
+    # ------------------------------------------------------------------
+    # Sessions
+    # ------------------------------------------------------------------
+    def session(self, name: str) -> Session:
+        """The tenant's durable session, opened (recovered) lazily.
+
+        Sessions are cached: repeated calls return the same object
+        until :meth:`drop` or :meth:`close`.  Tenants bound to a
+        shared stream have no standalone session — their state lives
+        in the stream's fan-out (:meth:`open_stream`).
+        """
+        self._require_open()
+        spec = self.spec(name)
+        stream = self.bound_stream(name)
+        if stream is not None:
+            raise TenancyError(
+                f"tenant {name!r} is bound to stream {stream!r}; "
+                "open_stream() and use its member sessions"
+            )
+        session = self._sessions.get(name)
+        if session is None or session.closed:
+            session = open_session(
+                spec, durable_dir=self._root / name
+            )
+            self._sessions[name] = session
+        return session
+
+    # ------------------------------------------------------------------
+    # Shared streams
+    # ------------------------------------------------------------------
+    def bind_stream(self, stream: str, tenants: List[str]):
+        """Bind ``tenants`` to one shared stream; returns its fan-out.
+
+        All bound tenants are driven by single shared-log ingest
+        batches from then on (:mod:`repro.tenancy.fanout`); their
+        standalone directories stay untouched but must still be empty
+        — binding a tenant that already ingested standalone would
+        shadow that state.
+
+        Raises:
+            TenancyError: unknown/duplicate tenants, a tenant already
+                bound to a stream, or one with standalone elements.
+        """
+        self._require_open()
+        _valid_name(stream, "stream")
+        if stream in self._streams:
+            raise TenancyError(f"stream {stream!r} already exists")
+        if not tenants:
+            raise TenancyError("bind_stream needs at least one tenant")
+        if len(set(tenants)) != len(tenants):
+            raise TenancyError(
+                f"duplicate tenants in stream binding: {tenants!r}"
+            )
+        for name in tenants:
+            self._entry(name)
+            bound = self.bound_stream(name)
+            if bound is not None:
+                raise TenancyError(
+                    f"tenant {name!r} is already bound to stream "
+                    f"{bound!r}"
+                )
+            if self._standalone_offset(name) > 0:
+                raise TenancyError(
+                    f"tenant {name!r} has standalone durable "
+                    "elements; binding it to a stream would shadow "
+                    "them"
+                )
+            session = self._sessions.pop(name, None)
+            if session is not None:
+                session.close()
+        self._streams = {
+            **self._streams, stream: sorted(tenants)
+        }
+        self._commit()
+        return self.open_stream(stream)
+
+    def open_stream(self, stream: str):
+        """The stream's :class:`~repro.tenancy.fanout
+        .SharedStreamFanout`, opened (recovered) lazily and cached."""
+        self._require_open()
+        members = {
+            name: self.spec(name)
+            for name in self._streams.get(stream, ())
+        }
+        if not members:
+            raise TenancyError(
+                f"unknown stream {stream!r}; bound: "
+                f"{', '.join(sorted(self._streams)) or '(none)'}"
+            )
+        fanout = self._fanouts.get(stream)
+        if fanout is None or fanout.closed:
+            from repro.tenancy.fanout import SharedStreamFanout
+
+            fanout = SharedStreamFanout(
+                self.stream_directory(stream), members=members
+            )
+            self._fanouts[stream] = fanout
+        return fanout
+
+    def drop_stream(self, stream: str) -> None:
+        """Unbind the stream's tenants and delete its shared log.
+
+        The stream's durable state (the shared WAL and checkpoints)
+        is discarded; the member tenants remain in the catalog, free
+        to ingest standalone or join another stream.
+        """
+        self._require_open()
+        if stream not in self._streams:
+            raise TenancyError(
+                f"unknown stream {stream!r}; bound: "
+                f"{', '.join(sorted(self._streams)) or '(none)'}"
+            )
+        fanout = self._fanouts.pop(stream, None)
+        if fanout is not None:
+            fanout.close()
+        directory = self.stream_directory(stream)
+        remaining = dict(self._streams)
+        del remaining[stream]
+        self._streams = remaining
+        self._commit()
+        fault_point("tenant.drop_committed")
+        self._remove_dir(directory)
+
+    def _standalone_offset(self, name: str) -> int:
+        """Durably logged element count of the tenant's own dir."""
+        directory = self._root / name
+        if not directory.exists():
+            return 0
+        store = DurableStore(directory)
+        try:
+            if not store.has_state:
+                return 0
+            return store.recover().offset
+        finally:
+            store.close()
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def _catalog_path(self) -> pathlib.Path:
+        return self._root / CATALOG_FILE
+
+    def _commit(self) -> None:
+        """Atomically replace ``catalog.json`` (tmp, fsync, rename)."""
+        payload = {
+            "format": CATALOG_FORMAT,
+            "tenants": {
+                name: self._tenants[name]
+                for name in sorted(self._tenants)
+            },
+            "streams": {
+                name: self._streams[name]
+                for name in sorted(self._streams)
+            },
+        }
+        temporary = self._root / f".tmp-{CATALOG_FILE}"
+        with open(temporary, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(temporary, self._catalog_path())
+        directory_fd = os.open(self._root, os.O_RDONLY)
+        try:
+            os.fsync(directory_fd)
+        finally:
+            os.close(directory_fd)
+
+    def _load(self) -> None:
+        path = self._catalog_path()
+        if not path.exists():
+            return
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+            tenants = payload["tenants"]
+            streams = payload.get("streams", {})
+        except (OSError, json.JSONDecodeError, KeyError) as exc:
+            raise StoreError(
+                f"unreadable tenant catalog {path}: {exc}"
+            ) from exc
+        if payload.get("format") != CATALOG_FORMAT:
+            raise StoreError(
+                f"unsupported tenant catalog format "
+                f"{payload.get('format')!r} in {path} "
+                f"(expected {CATALOG_FORMAT})"
+            )
+        if not isinstance(tenants, Mapping):
+            raise StoreError(
+                f"tenant catalog {path} has a malformed tenant map"
+            )
+        self._tenants = {
+            _valid_name(name, "tenant"): dict(entry)
+            for name, entry in tenants.items()
+        }
+        self._streams = {
+            _valid_name(name, "stream"): [str(m) for m in members]
+            for name, members in streams.items()
+        }
+
+    def _sweep(self) -> None:
+        """Remove the debris of crashed operations from the root.
+
+        Anything else the catalog does not recognise raises — the
+        sweep must never eat data the catalog does not own.
+        """
+        for entry in sorted(self._root.iterdir()):
+            name = entry.name
+            if name == CATALOG_FILE:
+                continue
+            if name.startswith(".tmp-") and entry.is_file():
+                entry.unlink()  # torn catalog/meta commit
+                continue
+            if name.startswith(".trash-") and entry.is_dir():
+                shutil.rmtree(entry)  # crashed drop
+                continue
+            if name == _STREAMS_DIR and entry.is_dir():
+                self._sweep_streams(entry)
+                continue
+            if entry.is_dir() and name in self._tenants:
+                continue
+            if entry.is_dir() and self._looks_like_tenant_dir(entry):
+                shutil.rmtree(entry)  # dropped before dir removal
+                continue
+            raise TenancyError(
+                f"catalog root {self._root} holds unrecognised entry "
+                f"{name!r}; refusing to adopt foreign data"
+            )
+
+    def _sweep_streams(self, streams_dir: pathlib.Path) -> None:
+        for entry in sorted(streams_dir.iterdir()):
+            name = entry.name
+            if name.startswith(".trash-") and entry.is_dir():
+                shutil.rmtree(entry)
+                continue
+            if entry.is_dir() and name in self._streams:
+                continue
+            if entry.is_dir() and self._looks_like_tenant_dir(entry):
+                shutil.rmtree(entry)  # dropped stream's log
+                continue
+            raise TenancyError(
+                f"stream directory {streams_dir} holds unrecognised "
+                f"entry {name!r}; refusing to adopt foreign data"
+            )
+
+    @staticmethod
+    def _looks_like_tenant_dir(directory: pathlib.Path) -> bool:
+        """Empty, or shaped like a durable session dir — safe to
+        sweep as the leftover of a crashed drop."""
+        entries = list(directory.iterdir())
+        return not entries or (directory / "meta.json").exists()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def _require_open(self) -> None:
+        if self._closed:
+            raise TenancyError("tenant catalog is closed")
+
+    def close(self) -> None:
+        """Close every cached session and fan-out."""
+        if self._closed:
+            return
+        self._closed = True
+        for session in self._sessions.values():
+            session.close()
+        self._sessions.clear()
+        for fanout in self._fanouts.values():
+            fanout.close()
+        self._fanouts.clear()
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def __enter__(self) -> "TenantCatalog":
+        return self
+
+    def __exit__(self, *_exc: object) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"TenantCatalog({str(self._root)!r}, "
+            f"tenants={len(self._tenants)}, "
+            f"streams={len(self._streams)})"
+        )

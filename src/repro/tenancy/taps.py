@@ -1,0 +1,229 @@
+"""Stream taps — volatile dashboard observers for shared streams.
+
+A *tap* rides along a :class:`~repro.tenancy.fanout
+.SharedStreamFanout`: it observes every element of the one shared
+ingest pass and maintains a compact summary next to the tenants'
+butterfly estimates, composing the :mod:`repro.sketch` and
+:mod:`repro.triangles` substrates into the fan-out so one stream
+answers a whole dashboard — distinct counts, heavy hitters, deletion
+rate, triangle estimates, butterflies — from a single pass.
+
+Taps are deliberately **volatile**: they are monitoring instruments,
+not the system of record, so they are *not* checkpointed and reset on
+recovery.  The fan-out reports the offset a tap has observed from as
+``since_offset`` in its stats, which is 0 for a fresh fan-out and the
+recovery offset after a crash — consumers that need full-stream
+summaries read them before restarting, or rebuild from the log.
+
+>>> from repro.types import insertion, deletion
+>>> tap = CardinalityTap()
+>>> tap.observe(insertion("u1", "v1"))
+>>> tap.observe(insertion("u1", "v2"))
+>>> summary = tap.summary()
+>>> sorted(summary) == ['distinct_edges', 'distinct_left',
+...                     'distinct_right', 'elements']
+True
+>>> summary['elements']
+2
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Dict
+
+from repro.sketch import (
+    DeletionRateMonitor,
+    HeavyHitterTracker,
+    StreamCardinalityTracker,
+)
+from repro.triangles import ThinkD, TriestFD
+from repro.types import StreamElement
+
+__all__ = [
+    "CardinalityTap",
+    "DeletionRateTap",
+    "HeavyHitterTap",
+    "StreamTap",
+    "TriangleTap",
+]
+
+
+class StreamTap:
+    """Base class: observe elements, summarise on demand.
+
+    Subclasses override :meth:`observe` and :meth:`summary`;
+    :attr:`name` keys the tap inside fan-out stats and must be unique
+    within one fan-out.
+    """
+
+    name = "tap"
+
+    def observe(self, element: StreamElement) -> None:
+        raise NotImplementedError
+
+    def summary(self) -> Dict[str, Any]:
+        raise NotImplementedError
+
+
+class CardinalityTap(StreamTap):
+    """HyperLogLog distinct counts: |L|, |R|, |E| of the stream.
+
+    Wraps :class:`~repro.sketch.hyperloglog
+    .StreamCardinalityTracker` — one-pass dataset characterisation of
+    whatever the tenants are subscribed to.
+    """
+
+    name = "cardinality"
+
+    def __init__(self, precision: int = 12, seed: int = 42) -> None:
+        self._tracker = StreamCardinalityTracker(
+            precision=precision, rng=random.Random(seed)
+        )
+        self._elements = 0
+
+    def observe(self, element: StreamElement) -> None:
+        self._tracker.observe(element)
+        self._elements += 1
+
+    def summary(self) -> Dict[str, Any]:
+        return {
+            "elements": self._elements,
+            "distinct_left": round(self._tracker.distinct_left()),
+            "distinct_right": round(self._tracker.distinct_right()),
+            "distinct_edges": round(self._tracker.distinct_edges()),
+        }
+
+
+class HeavyHitterTap(StreamTap):
+    """Count-Min heavy hitters over one side's vertex degrees.
+
+    High-degree vertices are the load-balance hazard of the sharded
+    engine (``docs/architecture.md``); watching them per stream tells
+    operators *which* tenant workloads carry skew.
+    """
+
+    name = "heavy_hitters"
+
+    def __init__(
+        self,
+        side: str = "left",
+        *,
+        threshold_fraction: float = 0.01,
+        width: int = 512,
+        depth: int = 4,
+        seed: int = 42,
+    ) -> None:
+        if side not in ("left", "right"):
+            raise ValueError(
+                f"side must be 'left' or 'right', got {side!r}"
+            )
+        self._side = side
+        self._tracker = HeavyHitterTracker(
+            threshold_fraction=threshold_fraction,
+            width=width,
+            depth=depth,
+            rng=random.Random(seed),
+        )
+
+    def observe(self, element: StreamElement) -> None:
+        vertex = element.u if self._side == "left" else element.v
+        self._tracker.update(vertex)
+
+    def summary(self) -> Dict[str, Any]:
+        return {
+            "side": self._side,
+            "total": self._tracker.total,
+            "heavy_hitters": [
+                [str(key), count]
+                for key, count in self._tracker.heavy_hitters()
+            ],
+        }
+
+
+class DeletionRateTap(StreamTap):
+    """DGIM sliding-window deletion-rate estimate.
+
+    The deletion ratio drives ABACUS's accuracy profile (paper §VI);
+    a live per-stream estimate makes regime changes visible while the
+    stream runs.
+    """
+
+    name = "deletion_rate"
+
+    def __init__(self, window: int = 4096) -> None:
+        self._monitor = DeletionRateMonitor(window)
+
+    def observe(self, element: StreamElement) -> None:
+        self._monitor.observe(element)
+
+    def summary(self) -> Dict[str, Any]:
+        return {
+            "recent_deletions": self._monitor.recent_deletions(),
+            "deletion_ratio": self._monitor.deletion_ratio(),
+        }
+
+
+class TriangleTap(StreamTap):
+    """Triangle estimates over the stream, via ThinkD or TRIEST-FD.
+
+    Treats each element as an undirected edge event — the natural
+    reading for unipartite streams.  On a strictly bipartite stream
+    (disjoint vertex namespaces) the triangle count is exactly 0,
+    which the tap reports honestly; it earns its keep on streams
+    whose endpoints share a namespace.
+    """
+
+    name = "triangles"
+
+    def __init__(
+        self,
+        budget: int = 2048,
+        seed: int = 42,
+        *,
+        algorithm: str = "thinkd",
+    ) -> None:
+        if algorithm == "thinkd":
+            self._estimator: Any = ThinkD(budget=budget, seed=seed)
+        elif algorithm == "triest":
+            self._estimator = TriestFD(budget=budget, seed=seed)
+        else:
+            raise ValueError(
+                f"algorithm must be 'thinkd' or 'triest', "
+                f"got {algorithm!r}"
+            )
+        self._algorithm = algorithm
+        self._skipped = 0
+
+    def observe(self, element: StreamElement) -> None:
+        try:
+            self._estimator.process(element)
+        except Exception:
+            # A deletion of a never-inserted edge (e.g. the stream's
+            # window expired it) must not poison the dashboard.
+            self._skipped += 1
+
+    def summary(self) -> Dict[str, Any]:
+        return {
+            "algorithm": self._algorithm,
+            "estimate": self._estimator.estimate,
+            "memory_edges": self._estimator.memory_edges,
+            "skipped": self._skipped,
+        }
+
+
+def default_taps() -> list:
+    """The standard dashboard: cardinality + heavy hitters +
+    deletion rate (triangles opt-in — see :class:`TriangleTap`)."""
+    return [CardinalityTap(), HeavyHitterTap(), DeletionRateTap()]
+
+
+def taps_by_name(taps) -> Dict[str, StreamTap]:
+    named: Dict[str, StreamTap] = {}
+    for tap in taps:
+        if tap.name in named:
+            raise ValueError(
+                f"duplicate tap name {tap.name!r} in one fan-out"
+            )
+        named[tap.name] = tap
+    return named

@@ -1,0 +1,72 @@
+"""Tenant-catalog operations are primary-only in a cluster.
+
+A follower replicates one session's WAL, not a catalog
+(``docs/multitenancy.md``): every tenant admin op and every
+tenant-/stream-scoped request is refused with ``NotPrimaryError``,
+pointing the client back at the primary.
+"""
+
+import pytest
+
+from repro.cluster import ClusterClient
+from repro.errors import NotPrimaryError, ServeError
+from repro.serve import ServeClient
+from repro.serve.server import TENANT_ADMIN_OPS
+
+
+class TestFollowerRefusal:
+    def test_follower_refuses_every_tenant_admin_op(
+        self, primary, follower
+    ):
+        with ServeClient(*follower.address) as client:
+            for op in sorted(TENANT_ADMIN_OPS):
+                with pytest.raises(ServeError) as excinfo:
+                    client.call(op, name="alice", spec="exact")
+                assert (
+                    excinfo.value.remote_type == "NotPrimaryError"
+                ), op
+            assert client.ping()["pong"]
+
+    def test_follower_refuses_scoped_requests(self, primary, follower):
+        with ServeClient(*follower.address) as client:
+            with pytest.raises(ServeError) as excinfo:
+                client.estimate(tenant="alice")
+            assert excinfo.value.remote_type == "NotPrimaryError"
+            with pytest.raises(ServeError) as excinfo:
+                client.stats(stream="shared")
+            assert excinfo.value.remote_type == "NotPrimaryError"
+
+
+class TestClusterClientRouting:
+    def test_tenant_ops_raise_not_primary_via_cluster_client(
+        self, primary, follower
+    ):
+        """Pointing the cluster client's *write* path at a follower
+        surfaces the follower's refusal as NotPrimaryError, the
+        signal to re-point and retry."""
+        client = ClusterClient(follower.address)
+        try:
+            with pytest.raises(NotPrimaryError):
+                client.create_tenant("alice", "exact")
+            with pytest.raises(NotPrimaryError):
+                client.drop_tenant("alice")
+            with pytest.raises(NotPrimaryError):
+                client.list_tenants()
+        finally:
+            client.close()
+
+    def test_tenant_ops_reach_a_catalog_free_primary_cleanly(
+        self, primary
+    ):
+        """Against a primary without a hosted catalog the op arrives
+        (not NotPrimaryError) and is refused naming the missing
+        catalog."""
+        from repro.errors import ClusterError
+
+        client = ClusterClient(primary.address)
+        try:
+            with pytest.raises(ClusterError, match="catalog") as excinfo:
+                client.list_tenants()
+            assert not isinstance(excinfo.value, NotPrimaryError)
+        finally:
+            client.close()

@@ -1,0 +1,47 @@
+"""Jain's fairness index over per-tenant write counts."""
+
+import pytest
+
+from repro.metrics import FairShareSummary, fair_share
+
+
+class TestFairShare:
+    def test_perfect_fairness_is_one(self):
+        summary = fair_share({"a": 10, "b": 10, "c": 10})
+        assert summary.jain_index == pytest.approx(1.0)
+        assert summary.min_share == pytest.approx(1 / 3)
+        assert summary.max_share == pytest.approx(1 / 3)
+        assert summary.tenants == 3
+
+    def test_total_starvation_is_one_over_n(self):
+        summary = fair_share({"a": 30, "b": 0, "c": 0})
+        assert summary.jain_index == pytest.approx(1 / 3)
+        assert summary.min_share == 0.0
+        assert summary.max_share == pytest.approx(1.0)
+
+    def test_known_intermediate_value(self):
+        # Jain: (sum x)^2 / (n * sum x^2) = 9^2 / (3 * 29)
+        summary = fair_share({"a": 4, "b": 3, "c": 2})
+        assert summary.jain_index == pytest.approx(81 / 87)
+
+    def test_empty_and_all_zero_are_vacuously_fair(self):
+        assert fair_share({}).jain_index == 1.0
+        assert fair_share({"a": 0, "b": 0}).jain_index == 1.0
+
+    def test_index_is_scale_invariant(self):
+        small = fair_share({"a": 1, "b": 2, "c": 3})
+        large = fair_share({"a": 100, "b": 200, "c": 300})
+        assert small.jain_index == pytest.approx(large.jain_index)
+
+    def test_as_dict_round_trips_the_summary(self):
+        summary = fair_share({"a": 4, "b": 2})
+        payload = summary.as_dict()
+        assert payload["tenants"] == 2
+        assert payload["writes"] == 6
+        assert payload["jain_index"] == summary.jain_index
+        assert isinstance(summary, FairShareSummary)
+
+    def test_negative_writes_clamp_to_zero(self):
+        summary = fair_share({"a": -5, "b": 10})
+        assert summary.writes == 10
+        assert summary.min_share == 0.0

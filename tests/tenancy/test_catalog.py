@@ -1,0 +1,239 @@
+"""TenantCatalog: atomic create/drop/list over one durable root.
+
+The catalog's contract (``docs/multitenancy.md``): ``catalog.json``
+is the single atomic source of truth — a tenant exists exactly when
+it is listed — and every side effect (the tenant's durable directory,
+crash debris from a torn commit) converges on reopen.
+"""
+
+import json
+
+import pytest
+
+from repro.api import open_session
+from repro.errors import SpecError, StoreError, TenancyError
+from repro.tenancy import (
+    CATALOG_FILE,
+    DEFAULT_TENANT_QUOTA,
+    TenantCatalog,
+)
+from repro.types import insertion
+
+
+def _batch(n, base=0):
+    return [insertion(f"u{base + i}", f"v{base + i}") for i in range(n)]
+
+
+class TestCreateDropList:
+    def test_create_lists_and_canonicalises_the_spec(self, tmp_path):
+        catalog = TenantCatalog(tmp_path)
+        spec = catalog.create("alice", "abacus:budget=64, seed=1")
+        assert spec == "abacus:budget=64,seed=1"
+        assert catalog.names() == ("alice",)
+        assert "alice" in catalog
+        assert catalog.spec("alice") == spec
+        catalog.close()
+
+    def test_create_rejects_bad_specs_without_committing(self, tmp_path):
+        catalog = TenantCatalog(tmp_path)
+        with pytest.raises(SpecError):
+            catalog.create("alice", "abacus:budget")
+        assert catalog.names() == ()
+        assert not (tmp_path / "alice").exists()
+        catalog.close()
+
+    def test_create_rejects_unknown_estimators_and_params(self, tmp_path):
+        """Typos fail at create time, not at first session build."""
+        catalog = TenantCatalog(tmp_path)
+        with pytest.raises(SpecError, match="unknown estimator"):
+            catalog.create("alice", "abacuss:budget=64")
+        with pytest.raises(SpecError, match="does not accept"):
+            catalog.create("alice", "abacus:budget=64,bogus=1")
+        assert catalog.names() == ()
+        assert not (tmp_path / "alice").exists()
+        catalog.close()
+
+    def test_duplicate_tenant_is_refused(self, tmp_path):
+        catalog = TenantCatalog(tmp_path)
+        catalog.create("alice", "exact")
+        with pytest.raises(TenancyError, match="alice"):
+            catalog.create("alice", "exact")
+        catalog.close()
+
+    @pytest.mark.parametrize(
+        "name",
+        ["", ".hidden", "a/b", "a b", "-lead", "x" * 65, "ümlaut"],
+    )
+    def test_invalid_names_are_refused(self, tmp_path, name):
+        catalog = TenantCatalog(tmp_path)
+        with pytest.raises(TenancyError):
+            catalog.create(name, "exact")
+        catalog.close()
+
+    def test_drop_removes_tenant_and_directory(self, tmp_path):
+        catalog = TenantCatalog(tmp_path)
+        catalog.create("alice", "exact")
+        catalog.create("bob", "abacus:budget=32,seed=2")
+        catalog.session("bob").ingest(_batch(5))
+        catalog.drop("bob")
+        assert catalog.names() == ("alice",)
+        assert not (tmp_path / "bob").exists()
+        with pytest.raises(TenancyError, match="unknown tenant"):
+            catalog.session("bob")
+        catalog.close()
+
+    def test_quota_defaults_and_declared(self, tmp_path):
+        catalog = TenantCatalog(tmp_path)
+        catalog.create("alice", "exact")
+        catalog.create("bob", "exact", quota=3)
+        assert catalog.quota("alice") == DEFAULT_TENANT_QUOTA
+        assert catalog.declared_quota("alice") is None
+        assert catalog.quota("bob") == 3
+        assert catalog.declared_quota("bob") == 3
+        with pytest.raises(TenancyError, match="quota"):
+            catalog.create("carol", "exact", quota=0)
+        catalog.close()
+
+
+class TestDurability:
+    def test_catalog_survives_reopen(self, tmp_path):
+        with TenantCatalog(tmp_path) as catalog:
+            catalog.create("alice", "abacus:budget=32,seed=7", quota=5)
+            catalog.create("bob", "exact")
+            catalog.session("alice").ingest(_batch(10))
+        with TenantCatalog(tmp_path) as catalog:
+            assert catalog.names() == ("alice", "bob")
+            assert catalog.quota("alice") == 5
+            assert catalog.session("alice").elements == 10
+
+    def test_tenant_sessions_are_independent(self, tmp_path):
+        with TenantCatalog(tmp_path) as catalog:
+            catalog.create("alice", "exact")
+            catalog.create("bob", "exact")
+            catalog.session("alice").ingest(
+                [insertion(u, v)
+                 for u in ("u1", "u2") for v in ("v1", "v2")]
+            )
+            assert catalog.session("alice").estimate == 1.0
+            assert catalog.session("bob").elements == 0
+            assert catalog.session("bob").estimate == 0.0
+
+    def test_tenant_dir_matches_plain_durable_session(self, tmp_path):
+        """A catalog tenant is an ordinary durable directory."""
+        with TenantCatalog(tmp_path) as catalog:
+            catalog.create("alice", "abacus:budget=48,seed=3")
+            catalog.session("alice").ingest(_batch(20))
+        session = open_session(durable_dir=tmp_path / "alice")
+        assert session.elements == 20
+        session.close()
+
+
+class TestSweep:
+    def test_torn_tmp_catalog_is_swept(self, tmp_path):
+        with TenantCatalog(tmp_path) as catalog:
+            catalog.create("alice", "exact")
+        torn = tmp_path / ".tmp-catalog.json"
+        torn.write_bytes(b'{"format": 1, "tenants": {"al')
+        with TenantCatalog(tmp_path) as catalog:
+            assert catalog.names() == ("alice",)
+        assert not torn.exists()
+
+    def test_trash_dirs_are_swept(self, tmp_path):
+        with TenantCatalog(tmp_path) as catalog:
+            catalog.create("alice", "exact")
+        trash = tmp_path / ".trash-bob"
+        trash.mkdir()
+        (trash / "junk").write_text("x")
+        with TenantCatalog(tmp_path) as catalog:
+            assert catalog.names() == ("alice",)
+        assert not trash.exists()
+
+    def test_orphan_tenant_dir_is_swept(self, tmp_path):
+        """A directory with store state but no catalog entry — the
+        half of a crashed drop — is removed on reopen."""
+        with TenantCatalog(tmp_path) as catalog:
+            catalog.create("alice", "exact")
+            catalog.create("bob", "exact")
+            catalog.session("bob").ingest(_batch(3))
+        # Forge the crash: rewrite catalog.json without bob while his
+        # directory is still fully present.
+        payload = json.loads((tmp_path / CATALOG_FILE).read_text())
+        del payload["tenants"]["bob"]
+        (tmp_path / CATALOG_FILE).write_text(json.dumps(payload))
+        assert (tmp_path / "bob").exists()
+        with TenantCatalog(tmp_path) as catalog:
+            assert catalog.names() == ("alice",)
+        assert not (tmp_path / "bob").exists()
+
+    def test_foreign_directory_is_refused_not_deleted(self, tmp_path):
+        """An unlisted directory that does not look like a tenant's
+        durable store must never be silently destroyed."""
+        with TenantCatalog(tmp_path):
+            pass
+        foreign = tmp_path / "precious"
+        foreign.mkdir()
+        (foreign / "thesis.txt").write_text("do not delete")
+        with pytest.raises(TenancyError, match="foreign"):
+            TenantCatalog(tmp_path)
+        assert (foreign / "thesis.txt").exists()
+
+    def test_corrupt_catalog_json_is_an_error(self, tmp_path):
+        with TenantCatalog(tmp_path) as catalog:
+            catalog.create("alice", "exact")
+        (tmp_path / CATALOG_FILE).write_text("{not json")
+        with pytest.raises(StoreError):
+            TenantCatalog(tmp_path)
+
+
+class TestStreamBindings:
+    def test_bind_and_drop_stream(self, tmp_path):
+        with TenantCatalog(tmp_path) as catalog:
+            catalog.create("a", "abacus:budget=32,seed=1")
+            catalog.create("b", "abacus:budget=32,seed=2")
+            fanout = catalog.bind_stream("dash", ["a", "b"])
+            assert sorted(fanout.members) == ["a", "b"]
+            assert catalog.streams() == {"dash": ("a", "b")}
+            assert catalog.bound_stream("a") == "dash"
+            fanout.ingest(_batch(6))
+            catalog.drop_stream("dash")
+            assert catalog.streams() == {}
+            # Tenants stay in the catalog after the stream is gone.
+            assert catalog.names() == ("a", "b")
+
+    def test_bound_tenant_has_no_standalone_session(self, tmp_path):
+        with TenantCatalog(tmp_path) as catalog:
+            catalog.create("a", "exact")
+            catalog.create("b", "exact")
+            catalog.bind_stream("dash", ["a", "b"])
+            with pytest.raises(TenancyError, match="dash"):
+                catalog.session("a")
+
+    def test_bound_tenant_cannot_be_dropped(self, tmp_path):
+        with TenantCatalog(tmp_path) as catalog:
+            catalog.create("a", "exact")
+            catalog.create("b", "exact")
+            catalog.bind_stream("dash", ["a", "b"])
+            with pytest.raises(TenancyError, match="dash"):
+                catalog.drop("a")
+
+    def test_binding_requires_fresh_tenants(self, tmp_path):
+        """Binding a tenant that already ingested standalone would
+        shadow its durable state — refused."""
+        with TenantCatalog(tmp_path) as catalog:
+            catalog.create("a", "exact")
+            catalog.create("b", "exact")
+            catalog.session("a").ingest(_batch(2))
+            catalog.session("a").sync()
+            with pytest.raises(TenancyError):
+                catalog.bind_stream("dash", ["a", "b"])
+
+    def test_bindings_survive_reopen(self, tmp_path):
+        with TenantCatalog(tmp_path) as catalog:
+            catalog.create("a", "abacus:budget=32,seed=1")
+            catalog.create("b", "abacus:budget=32,seed=2")
+            catalog.bind_stream("dash", ["a", "b"])
+            catalog.open_stream("dash").ingest(_batch(8))
+        with TenantCatalog(tmp_path) as catalog:
+            assert catalog.streams() == {"dash": ("a", "b")}
+            fanout = catalog.open_stream("dash")
+            assert fanout.elements == 8

@@ -1,0 +1,120 @@
+"""``repro tenant`` and the tenancy-facing CLI surface."""
+
+import pytest
+
+from repro.cli import build_parser, main, run_tenant
+from repro.errors import ClusterError, TenancyError
+from repro.tenancy import TenantCatalog
+
+
+class TestRunTenant:
+    def test_create_list_drop_round_trip(self, tmp_path):
+        root = str(tmp_path)
+        created = run_tenant(
+            "create", root, "alice", "abacus:budget=32,seed=5", quota=4
+        )
+        assert "alice" in created
+        assert "quota 4" in created
+        run_tenant("create", root, "bob", None)
+        listing = run_tenant("list", root, None, None)
+        assert "alice" in listing
+        assert "bob" in listing
+        dropped = run_tenant("drop", root, "bob", None)
+        assert "dropped tenant 'bob'" in dropped
+        assert "alice" in dropped
+        # The CLI wrote a real catalog.
+        with TenantCatalog(tmp_path) as catalog:
+            assert catalog.names() == ("alice",)
+            assert catalog.quota("alice") == 4
+
+    def test_list_empty_catalog(self, tmp_path):
+        listing = run_tenant("list", str(tmp_path), None, None)
+        assert "(none)" in listing
+
+    def test_missing_action_is_refused(self, tmp_path):
+        with pytest.raises(TenancyError, match="action"):
+            run_tenant(None, str(tmp_path), None, None)
+
+    def test_missing_root_is_refused(self):
+        with pytest.raises(TenancyError, match="--tenant-root"):
+            run_tenant("list", None, None, None)
+
+    @pytest.mark.parametrize("action", ["create", "drop"])
+    def test_missing_name_is_refused(self, tmp_path, action):
+        with pytest.raises(TenancyError, match="--name"):
+            run_tenant(action, str(tmp_path), None, None)
+
+
+class TestParser:
+    def test_tenant_arguments_parse(self):
+        parser = build_parser()
+        args = parser.parse_args(
+            [
+                "tenant",
+                "create",
+                "--tenant-root",
+                "/tmp/x",
+                "--name",
+                "alice",
+                "--estimator",
+                "exact",
+                "--quota",
+                "4",
+            ]
+        )
+        assert args.experiment == "tenant"
+        assert args.action == "create"
+        assert args.tenant_root == "/tmp/x"
+        assert args.name == "alice"
+        assert args.quota == 4
+
+    def test_version_flag(self, capsys):
+        import repro
+
+        parser = build_parser()
+        with pytest.raises(SystemExit) as excinfo:
+            parser.parse_args(["--version"])
+        assert excinfo.value.code == 0
+        assert repro.__version__ in capsys.readouterr().out
+
+    def test_serve_accepts_tenant_root(self):
+        parser = build_parser()
+        args = parser.parse_args(
+            ["serve", "--tenant-root", "/tmp/x"]
+        )
+        assert args.tenant_root == "/tmp/x"
+
+
+class TestMainDispatch:
+    def test_main_runs_tenant_commands(self, tmp_path, capsys):
+        root = str(tmp_path)
+        main(
+            [
+                "tenant",
+                "create",
+                "--tenant-root",
+                root,
+                "--name",
+                "alice",
+                "--estimator",
+                "exact",
+            ]
+        )
+        main(["tenant", "list", "--tenant-root", root])
+        out = capsys.readouterr().out
+        assert "created tenant 'alice'" in out
+        assert "== tenants in" in out
+
+
+class TestServeValidation:
+    def test_tenant_root_with_replication_is_refused(self, tmp_path):
+        from repro.cli import run_serve
+
+        with pytest.raises(ClusterError, match="tenant"):
+            run_serve(
+                None,
+                "127.0.0.1",
+                0,
+                replicate_to=1,
+                tenant_root=str(tmp_path),
+            )

@@ -1,0 +1,230 @@
+"""SharedStreamFanout: one durable log driving N estimators.
+
+The fan-out contract (``docs/multitenancy.md``): every member
+observes exactly the shared stream — each member's estimate is
+bit-identical to the same estimator fed the same elements standalone
+— and recovery replays the one log through all members.
+"""
+
+import pytest
+
+from repro.api import open_session
+from repro.errors import StoreError, TenancyError
+from repro.tenancy import (
+    FANOUT_FORMAT,
+    CardinalityTap,
+    DeletionRateTap,
+    SharedStreamFanout,
+    TenantCatalog,
+    default_taps,
+)
+from repro.types import deletion, insertion
+
+MEMBERS = {
+    "alice": "abacus:budget=64,seed=11",
+    "bob": "abacus:budget=32,seed=22",
+    "carol": "exact",
+}
+
+
+def _stream(n):
+    elements = []
+    for i in range(n):
+        elements.append(insertion(f"u{i % 17}", f"v{i % 13}"))
+        if i % 7 == 3:
+            elements.append(
+                deletion(f"u{(i - 2) % 17}", f"v{(i - 2) % 13}")
+            )
+    # Deduplicate illegal re-insertions/no-op deletions the cheap way:
+    # keep only transitions the estimator would accept.
+    live, cleaned = set(), []
+    for element in elements:
+        edge = element.edge
+        if element.is_insertion:
+            if edge in live:
+                continue
+            live.add(edge)
+        else:
+            if edge not in live:
+                continue
+            live.remove(edge)
+        cleaned.append(element)
+    return cleaned
+
+
+def _fingerprints(fanout):
+    return {
+        name: fanout.session(name).fingerprint()
+        for name in fanout.members
+    }
+
+
+class TestIdentity:
+    def test_members_match_standalone_sessions(self, tmp_path):
+        stream = _stream(300)
+        fanout = SharedStreamFanout(tmp_path / "s", members=MEMBERS)
+        fanout.ingest(stream)
+        for name, spec in MEMBERS.items():
+            standalone = open_session(spec)
+            standalone.ingest(stream)
+            assert (
+                fanout.session(name).fingerprint()
+                == standalone.fingerprint()
+            ), name
+            standalone.close()
+        assert fanout.elements == len(stream)
+        fanout.close()
+
+    def test_estimates_and_stats_shape(self, tmp_path):
+        fanout = SharedStreamFanout(tmp_path / "s", members=MEMBERS)
+        fanout.ingest(_stream(60))
+        estimates = fanout.estimates()
+        assert set(estimates) == set(MEMBERS)
+        stats = fanout.stats()
+        assert stats["elements"] == fanout.elements
+        for name in MEMBERS:
+            member = stats["members"][name]
+            assert member["spec"]
+            assert member["estimate"] == estimates[name]
+        fanout.close()
+
+    def test_empty_batch_is_a_noop(self, tmp_path):
+        fanout = SharedStreamFanout(tmp_path / "s", members=MEMBERS)
+        before = _fingerprints(fanout)
+        fanout.ingest([])
+        assert fanout.elements == 0
+        assert _fingerprints(fanout) == before
+        fanout.close()
+
+
+class TestRecovery:
+    def test_tail_replay_is_bit_identical(self, tmp_path):
+        stream = _stream(200)
+        # Checkpointing snapshots every member, so all members must be
+        # snapshot-capable ('exact' is deliberately not).
+        members = {
+            "alice": "abacus:budget=64,seed=11",
+            "bob": "abacus:budget=32,seed=22",
+            "carol": "abacus:budget=128,seed=33",
+        }
+        fanout = SharedStreamFanout(tmp_path / "s", members=members)
+        fanout.ingest(stream[:120])
+        fanout.checkpoint()
+        fanout.ingest(stream[120:])
+        fanout.sync()
+        expected = _fingerprints(fanout)
+        fanout.close()
+
+        reopened = SharedStreamFanout(tmp_path / "s")
+        assert reopened.members == fanout.members
+        assert reopened.elements == len(stream)
+        assert _fingerprints(reopened) == expected
+        reopened.close()
+
+    def test_reopen_without_checkpoint(self, tmp_path):
+        stream = _stream(80)
+        fanout = SharedStreamFanout(tmp_path / "s", members=MEMBERS)
+        fanout.ingest(stream)
+        fanout.sync()
+        expected = _fingerprints(fanout)
+        fanout.close()
+        reopened = SharedStreamFanout(tmp_path / "s")
+        assert _fingerprints(reopened) == expected
+        reopened.close()
+
+    def test_member_map_mismatch_is_refused(self, tmp_path):
+        fanout = SharedStreamFanout(tmp_path / "s", members=MEMBERS)
+        fanout.ingest(_stream(10))
+        fanout.sync()
+        fanout.close()
+        different = {**MEMBERS, "dave": "exact"}
+        with pytest.raises((TenancyError, StoreError)):
+            SharedStreamFanout(tmp_path / "s", members=different)
+
+    def test_format_constant_is_pinned(self):
+        # Recovery refuses envelopes from a future format; the pin is
+        # part of the on-disk contract.
+        assert FANOUT_FORMAT == 1
+
+
+class TestPoison:
+    def test_member_refusal_rolls_back_and_poisons(self, tmp_path):
+        fanout = SharedStreamFanout(
+            tmp_path / "s", members={"a": "exact", "b": "exact"}
+        )
+        good = [insertion("u1", "v1"), insertion("u2", "v2")]
+        fanout.ingest(good)
+        fanout.sync()
+        expected = _fingerprints(fanout)
+        # A duplicate insertion is invalid stream input: the batch
+        # must roll back the shared log and poison the fan-out.
+        with pytest.raises(Exception):
+            fanout.ingest([insertion("u9", "v9"), insertion("u1", "v1")])
+        assert fanout.poisoned
+        with pytest.raises(TenancyError, match="poisoned"):
+            fanout.ingest([insertion("u3", "v3")])
+        fanout.close()
+
+        # Recovery lands every member at the pre-batch state.
+        reopened = SharedStreamFanout(tmp_path / "s")
+        assert reopened.elements == len(good)
+        assert _fingerprints(reopened) == expected
+        reopened.close()
+
+
+class TestTaps:
+    def test_default_taps_summarise_the_shared_stream(self, tmp_path):
+        stream = _stream(150)
+        fanout = SharedStreamFanout(
+            tmp_path / "s", members=MEMBERS, taps=default_taps()
+        )
+        fanout.ingest(stream)
+        stats = fanout.stats()
+        assert stats["taps_since_offset"] == 0
+        taps = stats["taps"]
+        assert taps["cardinality"]["distinct_edges"] > 0
+        assert 0.0 <= taps["deletion_rate"]["deletion_ratio"] <= 1.0
+        fanout.close()
+
+    def test_taps_survive_recovery_of_the_tail(self, tmp_path):
+        stream = _stream(100)
+        taps = (CardinalityTap(), DeletionRateTap())
+        fanout = SharedStreamFanout(
+            tmp_path / "s", members=MEMBERS, taps=taps
+        )
+        fanout.ingest(stream)
+        fanout.sync()
+        expected = fanout.stats()["taps"]
+        fanout.close()
+        # Fresh tap instances replay whatever the checkpoint did not
+        # cover; with no checkpoint, that is the whole stream.
+        reopened = SharedStreamFanout(
+            tmp_path / "s",
+            taps=(CardinalityTap(), DeletionRateTap()),
+        )
+        assert reopened.taps_since_offset == 0
+        assert reopened.stats()["taps"] == expected
+        reopened.close()
+
+
+class TestLifecycle:
+    def test_closed_fanout_refuses_work(self, tmp_path):
+        fanout = SharedStreamFanout(
+            tmp_path / "s", members={"a": "exact"}
+        )
+        fanout.close()
+        with pytest.raises(TenancyError):
+            fanout.ingest([insertion("u", "v")])
+
+    def test_catalog_bound_stream_round_trip(self, tmp_path):
+        stream = _stream(120)
+        with TenantCatalog(tmp_path) as catalog:
+            for name, spec in MEMBERS.items():
+                catalog.create(name, spec)
+            fanout = catalog.bind_stream("shared", list(MEMBERS))
+            fanout.ingest(stream)
+            fanout.sync()
+            expected = _fingerprints(fanout)
+        with TenantCatalog(tmp_path) as catalog:
+            reopened = catalog.open_stream("shared")
+            assert _fingerprints(reopened) == expected

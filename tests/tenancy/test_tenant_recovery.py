@@ -1,0 +1,267 @@
+"""Catalog crash recovery: kill-at-every-byte, per tenant.
+
+Extends the store's kill-at-every-offset contract
+(``tests/store/test_recovery.py``) to a catalog of three tenants:
+cutting one tenant's WAL at **any** byte and reopening the catalog
+must land that tenant bit-identical to an uninterrupted run over the
+surviving prefix — and must leave every *other* tenant bit-identical
+to its own full run.  ``catalog.json`` itself commits via
+tmp+fsync+rename, so the torn-write probes cut the *temp* file at
+every byte and assert the old catalog stays authoritative.
+
+Admin crashes use the fault-point registry (``repro.faults``):
+``tenant.create_committed`` / ``tenant.drop_committed`` fire between
+the atomic commit and the directory side effect, and
+``checkpoint.*`` fires inside a tenant's checkpoint — after any of
+them, reopen must converge (dropped directory fully present or fully
+gone, survivors bit-identical).
+"""
+
+import json
+import random
+import struct
+
+import pytest
+
+from repro.api import open_session
+from repro.errors import TenancyError
+from repro.faults import SimulatedCrash, crash_at
+from repro.graph.generators import bipartite_erdos_renyi
+from repro.store.wal import WAL_MAGIC
+from repro.streams import make_fully_dynamic
+from repro.tenancy import CATALOG_FILE, TenantCatalog
+
+_FRAME = struct.Struct("<II")
+
+#: The catalog under test: three tenants, distinct estimators.
+TENANTS = {
+    "alice": "abacus:budget=48,seed=11",
+    "bob": "abacus:budget=32,seed=22",
+    "carol": "parabacus:budget=64,seed=33,batch_size=7",
+}
+VICTIM = "alice"
+
+
+def _stream(seed):
+    edges = bipartite_erdos_renyi(8, 8, 20, random.Random(seed))
+    return list(
+        make_fully_dynamic(edges, alpha=0.25, rng=random.Random(seed + 1))
+    )
+
+
+def _streams():
+    return {
+        name: _stream(seed)
+        for seed, name in enumerate(sorted(TENANTS), start=3)
+    }
+
+
+def _reference_fingerprints(spec, stream):
+    """Fingerprint after every prefix of an uninterrupted run."""
+    session = open_session(spec)
+    fingerprints = [session.fingerprint()]
+    for element in stream:
+        session.ingest(element)
+        fingerprints.append(session.fingerprint())
+    return fingerprints
+
+
+def _build_catalog(root, streams, checkpoint_victim_at=None):
+    with TenantCatalog(root) as catalog:
+        for name, spec in TENANTS.items():
+            catalog.create(name, spec)
+        for name, stream in streams.items():
+            session = catalog.session(name)
+            if name == VICTIM and checkpoint_victim_at is not None:
+                session.ingest(stream[:checkpoint_victim_at])
+                assert session.checkpoint() == checkpoint_victim_at
+                session.ingest(stream[checkpoint_victim_at:])
+            else:
+                session.ingest(stream)
+            session.sync()
+
+
+def _last_segment(directory):
+    segments = sorted(
+        path
+        for path in directory.iterdir()
+        if path.name.startswith("wal-")
+    )
+    assert segments
+    return segments[-1]
+
+
+def _frame_boundaries(data):
+    boundaries = [min(len(data), len(WAL_MAGIC))]
+    position = len(WAL_MAGIC)
+    while position + _FRAME.size <= len(data):
+        length, _ = _FRAME.unpack(data[position : position + _FRAME.size])
+        nxt = position + _FRAME.size + length
+        if nxt > len(data):
+            break
+        position = nxt
+        boundaries.append(position)
+    return boundaries
+
+
+class TestKillAtEveryByte:
+    def _run_matrix(self, tmp_path, checkpoint_victim_at):
+        streams = _streams()
+        references = {
+            name: _reference_fingerprints(spec, streams[name])
+            for name, spec in TENANTS.items()
+        }
+        full = {
+            name: references[name][len(streams[name])]
+            for name in TENANTS
+        }
+        _build_catalog(
+            tmp_path, streams, checkpoint_victim_at=checkpoint_victim_at
+        )
+        segment = _last_segment(tmp_path / VICTIM)
+        data = segment.read_bytes()
+        floor = checkpoint_victim_at or 0
+        recovered_counts = set()
+        for cut in range(len(data) + 1):
+            segment.write_bytes(data[:cut])
+            with TenantCatalog(tmp_path) as catalog:
+                assert catalog.names() == tuple(sorted(TENANTS))
+                victim = catalog.session(VICTIM)
+                count = victim.elements
+                assert count >= floor, (cut, count)
+                assert victim.fingerprint() == references[VICTIM][count], (
+                    f"{VICTIM} recovered at byte {cut} "
+                    f"(= {count} elements) is not bit-identical to "
+                    "the uninterrupted run"
+                )
+                recovered_counts.add(count)
+                for name in TENANTS:
+                    if name == VICTIM:
+                        continue
+                    assert (
+                        catalog.session(name).fingerprint() == full[name]
+                    ), f"{name} must be untouched by {VICTIM}'s crash"
+        assert min(recovered_counts) == floor
+        assert max(recovered_counts) == len(streams[VICTIM])
+        assert len(recovered_counts) > 2
+
+    def test_without_checkpoint(self, tmp_path):
+        self._run_matrix(tmp_path, checkpoint_victim_at=None)
+
+    def test_with_mid_stream_checkpoint(self, tmp_path):
+        self._run_matrix(tmp_path, checkpoint_victim_at=10)
+
+
+class TestTornCatalogCommit:
+    def test_torn_tmp_write_leaves_old_catalog_authoritative(
+        self, tmp_path
+    ):
+        """Cut the tmp+rename commit at every byte of the temp file.
+
+        The rename is the commit point; any prefix of the temp file on
+        disk next to an intact ``catalog.json`` must reopen as the
+        *old* catalog with the debris swept.
+        """
+        streams = _streams()
+        _build_catalog(tmp_path, streams)
+        old = (tmp_path / CATALOG_FILE).read_bytes()
+        # The payload the next commit would have written: the old
+        # catalog plus one more tenant.
+        payload = json.loads(old)
+        payload["tenants"]["dana"] = {"spec": "exact"}
+        new = json.dumps(payload, indent=2, sort_keys=True).encode()
+        torn = tmp_path / ".tmp-catalog.json"
+        for cut in range(len(new) + 1):
+            torn.write_bytes(new[:cut])
+            with TenantCatalog(tmp_path) as catalog:
+                assert catalog.names() == tuple(sorted(TENANTS))
+                assert "dana" not in catalog
+            assert not torn.exists(), cut
+            assert (tmp_path / CATALOG_FILE).read_bytes() == old
+
+    def test_renamed_catalog_is_the_commit(self, tmp_path):
+        """Once the rename lands, the new tenant exists — even though
+        its directory was never materialised."""
+        streams = _streams()
+        _build_catalog(tmp_path, streams)
+        payload = json.loads((tmp_path / CATALOG_FILE).read_bytes())
+        payload["tenants"]["dana"] = {"spec": "abacus:budget=16,seed=9"}
+        (tmp_path / CATALOG_FILE).write_text(
+            json.dumps(payload, indent=2, sort_keys=True)
+        )
+        with TenantCatalog(tmp_path) as catalog:
+            assert "dana" in catalog
+            session = catalog.session("dana")  # lazily materialised
+            assert session.elements == 0
+
+
+class TestAdminCrashPoints:
+    def test_crash_after_create_commit(self, tmp_path):
+        _build_catalog(tmp_path, _streams())
+        catalog = TenantCatalog(tmp_path)
+        with pytest.raises(SimulatedCrash):
+            with crash_at("tenant.create_committed"):
+                catalog.create("dana", "abacus:budget=16,seed=9")
+        # Crashed catalog is abandoned, never closed — like kill -9.
+        reopened = TenantCatalog(tmp_path)
+        assert "dana" in reopened
+        assert reopened.session("dana").elements == 0
+        reopened.close()
+
+    def test_crash_after_drop_commit(self, tmp_path):
+        streams = _streams()
+        _build_catalog(tmp_path, streams)
+        full = {
+            name: _reference_fingerprints(spec, streams[name])[-1]
+            for name, spec in TENANTS.items()
+        }
+        catalog = TenantCatalog(tmp_path)
+        with pytest.raises(SimulatedCrash):
+            with crash_at("tenant.drop_committed"):
+                catalog.drop("bob")
+        # The directory may be fully present (commit beat the crash,
+        # removal did not start) — never half-deleted garbage that a
+        # reopen would trip over.
+        reopened = TenantCatalog(tmp_path)
+        assert "bob" not in reopened
+        assert not (tmp_path / "bob").exists()
+        with pytest.raises(TenancyError):
+            reopened.session("bob")
+        for name in ("alice", "carol"):
+            assert reopened.session(name).fingerprint() == full[name]
+        reopened.close()
+
+    @pytest.mark.parametrize(
+        "point",
+        ["checkpoint.synced", "checkpoint.snapshotted",
+         "checkpoint.rotated"],
+    )
+    def test_drop_tenant_mid_checkpoint(self, tmp_path, point):
+        """A tenant's checkpoint crashes mid-way; another tenant is
+        then dropped.  Reopen: the checkpointing tenant recovers
+        bit-identically, the dropped one is fully gone."""
+        streams = _streams()
+        _build_catalog(tmp_path, streams)
+        full = {
+            name: _reference_fingerprints(spec, streams[name])[-1]
+            for name, spec in TENANTS.items()
+        }
+        catalog = TenantCatalog(tmp_path)
+        with pytest.raises(SimulatedCrash):
+            with crash_at(point):
+                catalog.session("alice").checkpoint()
+        # The server process survived the torn checkpoint (it is a
+        # background failure, not a wedge) and drops another tenant.
+        survivor = TenantCatalog(tmp_path)
+        survivor.drop("carol")
+        survivor.close()
+
+        reopened = TenantCatalog(tmp_path)
+        assert reopened.names() == ("alice", "bob")
+        assert not (tmp_path / "carol").exists()
+        for name in ("alice", "bob"):
+            assert reopened.session(name).fingerprint() == full[name], (
+                point,
+                name,
+            )
+        reopened.close()

@@ -2,8 +2,8 @@
 
 CI runs the same examples via ``pytest --doctest-modules src/repro/api
 src/repro/shard src/repro/window src/repro/store src/repro/serve
-src/repro/cluster src/repro/metrics src/repro/faults.py``; this lane
-keeps them green
+src/repro/cluster src/repro/metrics src/repro/tenancy
+src/repro/faults.py``; this lane keeps them green
 inside the ordinary test run, so a broken docstring example fails fast
 everywhere.
 """
@@ -19,6 +19,7 @@ import repro.cluster.protocol
 import repro.core.base
 import repro.faults
 import repro.metrics.replication
+import repro.metrics.tenancy
 import repro.serve.client
 import repro.serve.protocol
 import repro.serve.server
@@ -28,6 +29,9 @@ import repro.shard.partition
 import repro.store.durable
 import repro.store.snapshots
 import repro.store.wal
+import repro.tenancy.catalog
+import repro.tenancy.fanout
+import repro.tenancy.taps
 import repro.types
 import repro.window.engine
 import repro.window.expiry
@@ -41,6 +45,7 @@ MODULES = [
     repro.core.base,
     repro.faults,
     repro.metrics.replication,
+    repro.metrics.tenancy,
     repro.serve.client,
     repro.serve.protocol,
     repro.serve.server,
@@ -50,6 +55,9 @@ MODULES = [
     repro.store.durable,
     repro.store.snapshots,
     repro.store.wal,
+    repro.tenancy.catalog,
+    repro.tenancy.fanout,
+    repro.tenancy.taps,
     repro.types,
     repro.window.engine,
     repro.window.expiry,
