@@ -1,0 +1,210 @@
+"""Packed codec throughput: encode/decode and WAL v1-vs-v2 speedups.
+
+Measures the format-2 record codec of ``repro/store/codec.py``
+(ISSUE 10) on three layers:
+
+* **codec only** — elements/sec through ``encode_element`` /
+  ``decode_element`` versus the format-1 JSON path
+  (``json.dumps(to_record)`` / ``from_record(json.loads)``),
+* **WAL layer** — ``WalWriter`` ingest (CRC framing + fsync-batched
+  appends) and ``iter_wal`` replay over a format-1 versus a format-2
+  segment holding the same stream,
+* **durable sessions** — end-to-end ``open_session(durable_dir=...)``
+  ingest + cold recovery over v1 and v2 directories; this layer is
+  estimator-bound, so it carries the *identity* assertions rather
+  than the speedup bar.
+
+Identity is asserted in every mode: both WAL segments must replay to
+the exact same elements, and the v1 and v2 durable sessions — and
+both cold recoveries — must be bit-identical (estimate + complete
+``state_to_dict``) to the plain in-memory run.  Full (non ``--quick``)
+runs additionally hold the ISSUE 10 acceptance bar: format-2 WAL
+ingest *and* replay at least **1.5x** the format-1 elements/sec.
+
+``codec_encode_eps`` and ``wal_v2_replay_eps`` feed the
+``tools/bench_runner.py`` floor gate.
+"""
+
+import json
+import random
+import shutil
+
+from conftest import emit, record_metric
+
+from repro.api import open_session
+from repro.experiments.report import render_table
+from repro.graph.generators import bipartite_erdos_renyi
+from repro.metrics.throughput import Stopwatch
+from repro.store import codec
+from repro.store.wal import WalWriter, iter_wal
+from repro.streams.dynamic import make_fully_dynamic
+from repro.types import StreamElement
+
+SPEC = "abacus:budget=1000,seed=17"
+
+
+def _config(quick):
+    """(n_side, n_edges) for the selected mode."""
+    return (70, 4000) if quick else (140, 16000)
+
+
+def _fingerprint(session):
+    snapshot = session.snapshot()
+    return json.dumps(
+        {"estimate": session.estimate, "state": snapshot["state"]},
+        sort_keys=True,
+    )
+
+
+def _codec_only(stream):
+    """(encode_eps, decode_eps, json_encode_eps, json_decode_eps)."""
+    watch = Stopwatch()
+    with watch:
+        packed = [codec.encode_element(element) for element in stream]
+    encode_eps = len(stream) / watch.elapsed
+    with watch:
+        decoded = [codec.decode_element(payload) for payload in packed]
+    decode_eps = len(stream) / watch.elapsed
+    assert decoded == stream
+
+    with watch:
+        texts = [
+            json.dumps(element.to_record(), separators=(",", ":"))
+            for element in stream
+        ]
+    json_encode_eps = len(stream) / watch.elapsed
+    with watch:
+        via_json = [
+            StreamElement.from_record(json.loads(text)) for text in texts
+        ]
+    json_decode_eps = len(stream) / watch.elapsed
+    assert via_json == stream
+    return encode_eps, decode_eps, json_encode_eps, json_decode_eps
+
+
+def _wal_layer(path, stream, wal_format):
+    """(ingest_eps, replay_eps) through the raw WAL for one format."""
+    watch = Stopwatch()
+    with watch:
+        with WalWriter(path, format=wal_format) as wal:
+            wal.append_batch(stream)
+    ingest_eps = len(stream) / watch.elapsed
+    with watch:
+        replayed = list(iter_wal(path))
+    replay_eps = len(stream) / watch.elapsed
+    assert replayed == stream, (
+        f"format-{wal_format} WAL replay diverged from the input"
+    )
+    return ingest_eps, replay_eps
+
+
+def _durable_ingest(directory, stream, wal_format):
+    session = open_session(
+        SPEC, durable_dir=directory, wal_format=wal_format
+    )
+    watch = Stopwatch()
+    with watch:
+        session.ingest(stream)
+        session.sync()
+    fingerprint = _fingerprint(session)
+    session.close()
+    return fingerprint, len(stream) / watch.elapsed
+
+
+def _recover(directory, expected_fingerprint, expected_elements):
+    watch = Stopwatch()
+    with watch:
+        session = open_session(durable_dir=directory)
+    assert session.elements == expected_elements
+    assert _fingerprint(session) == expected_fingerprint, (
+        "recovered state is not bit-identical to the logged run"
+    )
+    session.close()
+    return expected_elements / watch.elapsed
+
+
+def test_codec_throughput(benchmark, results_dir, quick, tmp_path):
+    n_side, n_edges = _config(quick)
+    edges = bipartite_erdos_renyi(n_side, n_side, n_edges, random.Random(23))
+    stream = list(make_fully_dynamic(edges, alpha=0.2, rng=random.Random(29)))
+
+    def run():
+        results = {}
+
+        encode, decode, json_encode, json_decode = _codec_only(stream)
+        results["codec: packed encode"] = encode
+        results["codec: packed decode"] = decode
+        results["codec: JSON encode"] = json_encode
+        results["codec: JSON decode"] = json_decode
+
+        v1_ingest, v1_replay = _wal_layer(
+            tmp_path / "seg-v1.log", stream, 1
+        )
+        v2_ingest, v2_replay = _wal_layer(
+            tmp_path / "seg-v2.log", stream, 2
+        )
+        results["WAL ingest: format 1 (JSON)"] = v1_ingest
+        results["WAL ingest: format 2 (packed)"] = v2_ingest
+        results["WAL replay: format 1 (JSON)"] = v1_replay
+        results["WAL replay: format 2 (packed)"] = v2_replay
+
+        plain = open_session(SPEC)
+        plain.ingest(stream)
+        reference = _fingerprint(plain)
+
+        v1_dir, v2_dir = tmp_path / "wal-v1", tmp_path / "wal-v2"
+        v1_print, v1_session = _durable_ingest(v1_dir, stream, 1)
+        v2_print, v2_session = _durable_ingest(v2_dir, stream, 2)
+        assert v1_print == v2_print == reference, (
+            "durable ingest diverged between WAL formats"
+        )
+        results["session ingest: v1 dir"] = v1_session
+        results["session ingest: v2 dir"] = v2_session
+        results["session recovery: v1 dir"] = _recover(
+            v1_dir, reference, len(stream)
+        )
+        results["session recovery: v2 dir"] = _recover(
+            v2_dir, reference, len(stream)
+        )
+
+        shutil.rmtree(v1_dir)
+        shutil.rmtree(v2_dir)
+        return results
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [
+        (label, f"{eps:,.0f}") for label, eps in results.items()
+    ]
+    text = render_table(
+        ["configuration", "el/s"],
+        rows,
+        title=(
+            f"Packed codec throughput ({len(stream):,} elements, "
+            f"spec {SPEC})"
+        ),
+    )
+    emit(results_dir, "codec", text)
+
+    record_metric("codec_encode_eps", results["codec: packed encode"])
+    record_metric("wal_v2_replay_eps", results["WAL replay: format 2 (packed)"])
+    if quick:
+        return
+    # ISSUE 10 acceptance: the packed format must beat JSON by >= 1.5x
+    # on both sides of the log, with recovery bit-identical (asserted
+    # above for every mode).
+    for side in ("ingest", "replay"):
+        ratio = (
+            results[f"WAL {side}: format 2 (packed)"]
+            / results[f"WAL {side}: format 1 (JSON)"]
+        )
+        assert ratio >= 1.5, (
+            f"packed WAL {side} is only {ratio:.2f}x the JSON format "
+            "(required >= 1.5x)"
+        )
+    encode_ratio = (
+        results["codec: packed encode"] / results["codec: JSON encode"]
+    )
+    assert encode_ratio >= 1.5, (
+        f"packed encode is only {encode_ratio:.2f}x the JSON encoder "
+        "(required >= 1.5x)"
+    )

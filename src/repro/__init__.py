@@ -71,7 +71,7 @@ from repro.types import (
     timed_insertion,
 )
 
-__version__ = "1.6.0"
+__version__ = "1.7.0"
 
 __all__ = [
     "Abacus",

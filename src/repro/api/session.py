@@ -716,6 +716,7 @@ def open_session(
     window_time: Optional[float] = None,
     window_strict: Optional[bool] = None,
     durable_dir: Optional[Union[str, os.PathLike]] = None,
+    wal_format: Optional[int] = None,
     **overrides: Any,
 ) -> Session:
     """Open a session from a spec (string/dict/object) or an instance.
@@ -764,6 +765,11 @@ def open_session(
             ``docs/persistence.md``).  Durable sessions want pinned
             seeds — recovery of a snapshot-free estimator replays the
             log through a freshly built one.
+        wal_format: payload format for **new** WAL segments of a
+            durable session (1 = JSON, 2 = packed; default
+            :data:`~repro.store.wal.DEFAULT_WAL_FORMAT`).  Existing
+            segments keep the format in their header regardless;
+            requires ``durable_dir``.
         overrides: spec parameter overrides, applied to the (inner)
             spec before any shard/window wrapping (ignored-with-error
             for instances — wrap specs, not objects, to reconfigure).
@@ -825,6 +831,11 @@ def open_session(
             f"{'/'.join(sorted(options))} only applies to sharded "
             "sessions; pass shards=K alongside it"
         )
+    if wal_format is not None and durable_dir is None:
+        raise SpecError(
+            "wal_format only applies to durable sessions; pass "
+            "durable_dir= alongside it"
+        )
     sharding = {"shards": shards, **options} if shards is not None else {}
     windowing: Dict[str, Any] = {}
     if window is not None:
@@ -880,7 +891,7 @@ def open_session(
                 "windowed", {"inner": spec.to_string(), **windowing}
             )
     if durable_dir is not None:
-        return _open_durable(spec, durable_dir)
+        return _open_durable(spec, durable_dir, wal_format)
     built = build_estimator(spec)
     return Session(built, spec=spec)
 
@@ -888,9 +899,10 @@ def open_session(
 def _open_durable(
     spec: Optional[EstimatorSpec],
     durable_dir: Union[str, os.PathLike],
+    wal_format: Optional[int] = None,
 ) -> Session:
     """Start or recover the durable session living in ``durable_dir``."""
-    store = DurableStore(durable_dir)
+    store = DurableStore(durable_dir, wal_format=wal_format)
     try:
         if not store.has_state:
             if spec is None:

@@ -240,6 +240,11 @@ class FollowerServer(EstimatorServer):
             :class:`~repro.errors.StaleReadError`.
         reconnect_backoff: pause between reconnect attempts after the
             primary drops.
+        binary: opt in to the packed binary batch payload
+            (``docs/replication.md``).  The handshake advertises
+            codec 2; a primary that supports it ships packed batches,
+            one that does not simply keeps sending JSON records —
+            the stream decode accepts either shape regardless.
     """
 
     def __init__(
@@ -252,6 +257,7 @@ class FollowerServer(EstimatorServer):
         follower_id: Optional[str] = None,
         stale_timeout: float = 5.0,
         reconnect_backoff: float = 0.2,
+        binary: bool = False,
     ) -> None:
         if not session.durable:
             raise ClusterError(
@@ -267,6 +273,7 @@ class FollowerServer(EstimatorServer):
         )
         self._stale_timeout = stale_timeout
         self._reconnect_backoff = reconnect_backoff
+        self._codec = 2 if binary else None
         self._role = "follower"
         self._connected = False
         self._last_error: Optional[str] = None
@@ -339,7 +346,9 @@ class FollowerServer(EstimatorServer):
         )
         try:
             writer.write(encode_message(handshake_request(
-                self._follower_id, self._session.elements
+                self._follower_id,
+                self._session.elements,
+                codec=self._codec,
             )))
             await writer.drain()
             line = await _read_line(reader)
@@ -585,6 +594,7 @@ def follow_in_background(
     stale_timeout: float = 5.0,
     reconnect_backoff: float = 0.2,
     connect_timeout: float = 10.0,
+    binary: bool = False,
 ) -> BackgroundServer:
     """Bootstrap from ``primary`` and serve reads on a daemon thread.
 
@@ -611,6 +621,7 @@ def follow_in_background(
                 follower_id=follower_id,
                 stale_timeout=stale_timeout,
                 reconnect_backoff=reconnect_backoff,
+                binary=binary,
             ),
         )
     except Exception:

@@ -69,13 +69,23 @@ __all__ = ["ReplicatingServer", "replicate_in_background"]
 class _FollowerHandle:
     """One registered follower: its live queue and acked offset."""
 
-    __slots__ = ("follower_id", "queue", "acked_offset", "connected")
+    __slots__ = (
+        "follower_id",
+        "queue",
+        "acked_offset",
+        "connected",
+        "codec",
+    )
 
-    def __init__(self, follower_id: str) -> None:
+    def __init__(
+        self, follower_id: str, codec: Optional[int] = None
+    ) -> None:
         self.follower_id = follower_id
         self.queue: "asyncio.Queue[Dict[str, Any]]" = asyncio.Queue()
         self.acked_offset = 0
         self.connected = True
+        #: negotiated batch codec (2 = packed payload, None = records).
+        self.codec = codec
 
 
 class ReplicatingServer(EstimatorServer):
@@ -161,13 +171,23 @@ class ReplicatingServer(EstimatorServer):
         base = self._session.elements
         result = super()._apply_ingest(elements)
         if elements and self._followers and self._loop is not None:
-            # Encode once; every follower queue gets the same message.
-            message = batch_message(base, elements)
-            self._loop.call_soon_threadsafe(self._fanout, message)
+            self._loop.call_soon_threadsafe(
+                self._fanout, base, list(elements)
+            )
         return result
 
-    def _fanout(self, message: Dict[str, Any]) -> None:
+    def _fanout(self, base: int, elements: List[StreamElement]) -> None:
+        # Encode once per negotiated codec — every follower that
+        # speaks the same codec shares the identical message object,
+        # so a mixed fleet costs one JSON and one packed encoding,
+        # never one per follower.
+        messages: Dict[Optional[int], Dict[str, Any]] = {}
         for handle in list(self._followers.values()):
+            message = messages.get(handle.codec)
+            if message is None:
+                message = messages[handle.codec] = batch_message(
+                    base, elements, codec=handle.codec
+                )
             handle.queue.put_nowait(message)
 
     # ------------------------------------------------------------------
@@ -204,6 +224,10 @@ class ReplicatingServer(EstimatorServer):
             "offset": cut,
             "spec": spec.to_string() if spec else None,
         }
+        if handle is not None and handle.codec is not None:
+            # Echo the accepted batch codec so the follower knows the
+            # opt-in took (docs/replication.md).
+            info["codec"] = handle.codec
         if have_offset >= store.oldest_offset():
             info["mode"] = "stream"
             info["start"] = have_offset
@@ -303,7 +327,14 @@ class ReplicatingServer(EstimatorServer):
                     f"integer 'have_offset', got {have_offset!r}"
                 )
             probe = bool(request.get("probe"))
-            handle = None if probe else _FollowerHandle(follower_id)
+            # Batch-codec opt-in: only the packed format is accepted;
+            # any other value falls back to JSON records, so a newer
+            # follower degrades gracefully against this primary.
+            codec = request.get("codec")
+            codec = 2 if codec == 2 else None
+            handle = (
+                None if probe else _FollowerHandle(follower_id, codec)
+            )
             cut, info = await loop.run_in_executor(
                 self._writer_pool,
                 self._negotiate,
@@ -333,7 +364,7 @@ class ReplicatingServer(EstimatorServer):
                 None, self._read_catchup_chunk, chunk_start, chunk_end
             )
             writer.write(encode_message(
-                batch_message(chunk_start, elements)
+                batch_message(chunk_start, elements, codec=handle.codec)
             ))
             await writer.drain()
         await self._stream_live(handle, reader, writer)

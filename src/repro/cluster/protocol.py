@@ -41,12 +41,24 @@ Acks (follower -> primary)::
 Element records are the shared grammar of
 :meth:`repro.types.StreamElement.to_record` — the same frames the
 write-ahead log stores, which is what makes the WAL a replication log
-(``docs/replication.md``).
+(``docs/replication.md``).  A follower may opt in to the **packed
+binary batch payload** (:mod:`repro.store.codec`) by adding
+``"codec": 2`` to its handshake; a primary that supports it echoes
+``"codec": 2`` in the handshake result and ships batches as
+``{"stream": "batch", "base": ..., "codec": 2, "payload": "<base64>"}``
+instead of ``"records"`` — the exact payload bytes a packed WAL frame
+batch holds, so the primary never re-encodes elements per follower.
+A handshake without the field keeps today's wire byte-compatible.
 
 >>> message = batch_message(7, [insertion("alice", "matrix")])
 >>> kind, base, elements = decode_stream_message(message)
 >>> kind, base, [str(e) for e in elements]
 ('batch', 7, ['(alice, matrix, +)'])
+>>> packed = batch_message(7, [insertion(3, 5)], codec=2)
+>>> sorted(packed)
+['base', 'codec', 'payload', 'stream']
+>>> [str(e) for e in decode_stream_message(packed)[2]]
+['(3, 5, +)']
 >>> decode_stream_message(heartbeat_message(42))
 ('heartbeat', 42, [])
 >>> decode_ack({"ack": 128})
@@ -57,8 +69,13 @@ from __future__ import annotations
 
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
-from repro.errors import ClusterError
-from repro.serve.protocol import elements_to_records, records_to_elements
+from repro.errors import ClusterError, ServeError
+from repro.serve.protocol import (
+    decode_payload,
+    elements_to_records,
+    payload_fields,
+    records_to_elements,
+)
 from repro.types import StreamElement, insertion  # noqa: F401 (doctest)
 
 __all__ = [
@@ -96,8 +113,13 @@ def handshake_request(
     *,
     probe: bool = False,
     request_id: int = 1,
+    codec: Optional[int] = None,
 ) -> Dict[str, Any]:
-    """The request a follower opens a replication connection with."""
+    """The request a follower opens a replication connection with.
+
+    ``codec=2`` asks the primary to ship packed binary batch payloads;
+    omitted, the wire stays the JSON record grammar it always was.
+    """
     request: Dict[str, Any] = {
         "id": request_id,
         "op": "replicate",
@@ -106,13 +128,25 @@ def handshake_request(
     }
     if probe:
         request["probe"] = True
+    if codec is not None:
+        request["codec"] = codec
     return request
 
 
 def batch_message(
-    base: int, elements: Sequence[StreamElement]
+    base: int,
+    elements: Sequence[StreamElement],
+    *,
+    codec: Optional[int] = None,
 ) -> Dict[str, Any]:
-    """One pushed replication batch starting at global offset ``base``."""
+    """One pushed replication batch starting at global offset ``base``.
+
+    With ``codec=2`` the elements travel as one packed binary payload
+    (base64) instead of a JSON record list — negotiated per follower
+    at handshake, never assumed.
+    """
+    if codec == 2:
+        return {"stream": "batch", "base": base, **payload_fields(elements)}
     return {
         "stream": "batch",
         "base": base,
@@ -159,7 +193,12 @@ def decode_stream_message(
                 f"replication batch with a malformed base: {message!r}"
             )
         try:
-            elements = records_to_elements(message.get("records"))
+            if "payload" in message:
+                elements = decode_payload(
+                    message.get("codec"), message["payload"]
+                )
+            else:
+                elements = records_to_elements(message.get("records"))
         except Exception as exc:
             raise ClusterError(
                 f"replication batch at offset {base} carries "

@@ -69,6 +69,18 @@ class ExperimentError(ReproError):
     """The experiment harness was asked for an unknown dataset/figure."""
 
 
+class CodecError(ReproError):
+    """A packed record failed to encode or decode (:mod:`repro.store.codec`).
+
+    Raised when an element cannot be represented in the packed binary
+    format (a vertex key that is not JSON-representable, a ``NaN`` or
+    ``inf`` timestamp — refused loudly in both directions) and when a
+    packed payload is malformed (truncated varint, a key length past
+    the cap, reserved flag bits, trailing bytes).  The store and wire
+    layers wrap it into their own errors at their boundaries.
+    """
+
+
 class StoreError(ReproError):
     """The durable store (:mod:`repro.store`) hit unusable on-disk state.
 

@@ -20,7 +20,11 @@ protocol and consistency contract live in ``docs/serving.md``.
 """
 
 from repro.serve.client import ServeClient
-from repro.serve.protocol import MAX_LINE, PROTOCOL_VERSION
+from repro.serve.protocol import (
+    MAX_LINE,
+    PROTOCOL_VERSION,
+    SUPPORTED_CODECS,
+)
 from repro.serve.server import (
     BackgroundServer,
     EstimatorServer,
@@ -33,6 +37,7 @@ __all__ = [
     "EstimatorServer",
     "MAX_LINE",
     "PROTOCOL_VERSION",
+    "SUPPORTED_CODECS",
     "ServeClient",
     "ServingView",
     "serve_in_background",

@@ -41,7 +41,9 @@ from repro.serve.protocol import (
     decode_message,
     elements_to_records,
     encode_message,
+    payload_fields,
 )
+from repro.store.codec import PACKED_FORMAT
 from repro.types import StreamElement
 
 __all__ = ["ServeClient", "connect_with_backoff"]
@@ -102,6 +104,12 @@ class ServeClient:
             fails (0 disables retrying).
         backoff: sleep before the first retry, doubling per attempt.
         backoff_cap: upper bound on the backoff sleep.
+        binary: opt in to the packed binary batch payload for ingest
+            (``docs/serving.md``).  The first binary-eligible ingest
+            pings the server once and checks its advertised
+            ``"codecs"``; a server that never heard of codec 2 keeps
+            receiving the JSON record lists it always did, so the
+            option is safe against any server version.
     """
 
     def __init__(
@@ -114,6 +122,7 @@ class ServeClient:
         connect_retries: int = 2,
         backoff: float = 0.05,
         backoff_cap: float = 1.0,
+        binary: bool = False,
     ) -> None:
         if connect_retries < 0:
             raise ServeError(
@@ -132,6 +141,9 @@ class ServeClient:
         self._sock.settimeout(timeout)
         self._reader = self._sock.makefile("rb")
         self._next_id = 0
+        self._binary = binary
+        # None until the first binary ingest negotiates via ping.
+        self._peer_packs: Optional[bool] = None
 
     @property
     def address(self) -> Tuple[str, int]:
@@ -268,9 +280,26 @@ class ServeClient:
             elements = [elements]
         return self.call(
             "ingest",
-            elements=elements_to_records(elements),
+            **self._batch_fields(elements),
             **self._target_fields(tenant, stream),
         )
+
+    def _batch_fields(
+        self, elements: Iterable[StreamElement]
+    ) -> Dict[str, Any]:
+        """The batch body: packed payload when negotiated, else records.
+
+        Negotiation is lazy and happens at most once per connection:
+        the first binary ingest pings and remembers whether the
+        server's ``"codecs"`` include the packed format.
+        """
+        if self._binary:
+            if self._peer_packs is None:
+                codecs = self.call("ping").get("codecs") or []
+                self._peer_packs = PACKED_FORMAT in codecs
+            if self._peer_packs:
+                return payload_fields(list(elements))
+        return {"elements": elements_to_records(elements)}
 
     def flush(
         self,

@@ -15,38 +15,63 @@ responses).  A response is either ``{"ok": true, "result": ...}`` or
 Stream elements travel as the shared record grammar of
 :meth:`repro.types.StreamElement.to_record` — ``[op, u, v]`` with an
 optional fourth timestamp field — so the wire, the write-ahead log,
-and the snapshot files all speak the same element encoding.
+and the snapshot files all speak the same element encoding.  Peers
+that both support it may instead ship a batch as the **packed binary
+payload** of :mod:`repro.store.codec` (base64 inside the JSON line):
+the server's ``ping`` response advertises ``"codecs"``, a client that
+saw codec 2 there sends ``{"codec": 2, "payload": "<base64>"}`` in
+place of ``"elements"``, and a peer that never negotiated sees the
+byte-identical protocol it always spoke.
 
 >>> request = decode_message(
 ...     encode_message({"id": 1, "op": "ingest",
 ...                     "elements": [["+", "alice", "matrix"]]}))
->>> [str(e) for e in records_to_elements(request["elements"])]
+>>> [str(e) for e in elements_from_request(request)]
 ['(alice, matrix, +)']
+>>> from repro.types import insertion
+>>> packed = {"op": "ingest", **payload_fields([insertion(3, 7)])}
+>>> sorted(packed)
+['codec', 'op', 'payload']
+>>> [str(e) for e in elements_from_request(packed)]
+['(3, 7, +)']
 >>> error_response(1, "SpecError", "no such estimator")["error"]["type"]
 'SpecError'
 """
 
 from __future__ import annotations
 
+import base64
+import binascii
 import json
-from typing import Any, Dict, Iterable, List, Optional
+from typing import Any, Dict, Iterable, List, Optional, Sequence
 
-from repro.errors import ServeError
+from repro.errors import CodecError, ServeError
+from repro.store import codec
 from repro.types import StreamElement
 
 __all__ = [
     "MAX_LINE",
     "PROTOCOL_VERSION",
+    "SUPPORTED_CODECS",
     "decode_message",
+    "decode_payload",
+    "elements_from_request",
     "elements_to_records",
     "encode_message",
     "error_response",
+    "payload_fields",
     "records_to_elements",
     "result_response",
 ]
 
 #: Wire protocol version, echoed by the ``ping`` operation.
 PROTOCOL_VERSION = 1
+
+#: Batch encodings this build can decode, newest first.  Codec 1 is
+#: the JSON record grammar (``"elements"``), codec 2 the packed binary
+#: payload (``"codec"``/``"payload"``).  ``ping`` advertises the tuple
+#: so clients negotiate without a dedicated handshake round-trip.
+SUPPORTED_CODECS = (2, 1)
 
 #: Upper bound on one protocol line (requests *and* responses).  Ingest
 #: batches larger than this must be split client-side; the server
@@ -96,6 +121,62 @@ def records_to_elements(records: Any) -> List[StreamElement]:
         except ValueError as exc:
             raise ServeError(str(exc)) from exc
     return elements
+
+
+def payload_fields(
+    elements: Sequence[StreamElement],
+) -> Dict[str, Any]:
+    """The packed-batch request fields: ``{"codec": 2, "payload": ...}``.
+
+    The payload is the :func:`repro.store.codec.encode_batch` bytes,
+    base64-encoded so it embeds in the line-delimited JSON transport.
+    Merge the fields into an ``ingest``-family request in place of
+    ``"elements"`` — only after the peer advertised codec 2.
+    """
+    batch = codec.encode_batch(elements)
+    return {
+        "codec": codec.PACKED_FORMAT,
+        "payload": base64.b64encode(batch).decode("ascii"),
+    }
+
+
+def decode_payload(codec_id: Any, payload: Any) -> List[StreamElement]:
+    """Decode a ``"codec"``/``"payload"`` pair back into elements."""
+    if codec_id != codec.PACKED_FORMAT:
+        raise ServeError(
+            f"unsupported batch codec {codec_id!r} "
+            f"(supported: {list(SUPPORTED_CODECS)})"
+        )
+    if not isinstance(payload, str):
+        raise ServeError(
+            f"'payload' must be a base64 string, got {payload!r}"
+        )
+    try:
+        raw = base64.b64decode(payload, validate=True)
+    except (binascii.Error, ValueError) as exc:
+        raise ServeError(f"'payload' is not valid base64: {exc}") from exc
+    try:
+        return codec.decode_batch(raw)
+    except CodecError as exc:
+        raise ServeError(f"packed batch failed to decode: {exc}") from exc
+
+
+def elements_from_request(request: Dict[str, Any]) -> List[StreamElement]:
+    """The stream elements of an ``ingest``-family request body.
+
+    Dispatches on the request shape: a ``"payload"`` field is a packed
+    batch (with its ``"codec"`` tag), anything else is the JSON record
+    list in ``"elements"``.  A request carrying *both* is ambiguous
+    and refused — a batch must have exactly one source of truth.
+    """
+    if "payload" in request:
+        if "elements" in request:
+            raise ServeError(
+                "request carries both 'elements' and 'payload'; "
+                "send exactly one batch encoding"
+            )
+        return decode_payload(request.get("codec"), request["payload"])
+    return records_to_elements(request.get("elements"))
 
 
 def result_response(

@@ -70,10 +70,11 @@ from repro.metrics.tenancy import fair_share
 from repro.serve.protocol import (
     MAX_LINE,
     PROTOCOL_VERSION,
+    SUPPORTED_CODECS,
     decode_message,
+    elements_from_request,
     encode_message,
     error_response,
-    records_to_elements,
     result_response,
 )
 from repro.tenancy.catalog import DEFAULT_TENANT_QUOTA, TenantCatalog
@@ -832,7 +833,11 @@ class EstimatorServer:
     def _read(self, op: str, request: Dict[str, Any]) -> Dict[str, Any]:
         view = self._view  # one atomic reference read — never torn
         if op == "ping":
-            return {"pong": True, "version": PROTOCOL_VERSION}
+            return {
+                "pong": True,
+                "version": PROTOCOL_VERSION,
+                "codecs": list(SUPPORTED_CODECS),
+            }
         if op == "estimate":
             if view is None:
                 raise ServeError(
@@ -1051,7 +1056,7 @@ class EstimatorServer:
         assert catalog is not None
         session = catalog.session(name)
         if op == "ingest":
-            elements = records_to_elements(request.get("elements"))
+            elements = elements_from_request(request)
             delta = session.ingest(elements)
             view = self._publish_tenant(name, session)
             return {
@@ -1081,7 +1086,7 @@ class EstimatorServer:
         assert catalog is not None
         fanout = catalog.open_stream(name)
         if op == "ingest":
-            elements = records_to_elements(request.get("elements"))
+            elements = elements_from_request(request)
             fanout.ingest(elements)
             view = self._publish_stream(name, fanout)
             return {
@@ -1191,7 +1196,7 @@ class EstimatorServer:
         """Apply one mutating operation (single writer thread)."""
         session = self._session
         if op == "ingest":
-            elements = records_to_elements(request.get("elements"))
+            elements = elements_from_request(request)
             return self._apply_ingest(elements)
         if op == "flush":
             delta = session.flush()

@@ -6,6 +6,13 @@ Everything an estimate needs to survive a process death lives here:
   log** of stream elements (:class:`WalWriter`, :func:`iter_wal`,
   :func:`scan_wal`).  Every element a durable session ingests is
   framed and appended *before* the estimator processes it.
+* :mod:`repro.store.codec` — the **packed binary record codec**
+  (format 2): the payload grammar of new WAL segments and of the
+  opt-in binary batch payloads on the serve and replication wires
+  (:func:`encode_element`, :func:`decode_element`,
+  :func:`encode_batch`, :func:`decode_batch`).  Format-1 JSON
+  segments stay readable forever; ``tests/store/wire_corpus/`` pins
+  both grammars byte-for-byte.
 * :mod:`repro.store.snapshots` — a :class:`SnapshotStore` of durable
   session snapshots (the :meth:`repro.api.session.Session.snapshot`
   JSON envelope), written atomically (tmp + fsync + rename).
@@ -20,21 +27,44 @@ The user-facing entry point is
 :mod:`repro.api.session`; this package is the machinery underneath.
 """
 
+from repro.store.codec import (
+    MAX_KEY_BYTES,
+    PACKED_FORMAT,
+    decode_batch,
+    decode_element,
+    encode_batch,
+    encode_element,
+)
 from repro.store.durable import (
     DEFAULT_FSYNC_EVERY,
     DurableStore,
     RecoveredState,
 )
 from repro.store.snapshots import SnapshotStore
-from repro.store.wal import WalScan, WalWriter, iter_wal, scan_wal
+from repro.store.wal import (
+    DEFAULT_WAL_FORMAT,
+    WalScan,
+    WalWriter,
+    iter_wal,
+    scan_wal,
+    wal_magic,
+)
 
 __all__ = [
     "DEFAULT_FSYNC_EVERY",
+    "DEFAULT_WAL_FORMAT",
     "DurableStore",
+    "MAX_KEY_BYTES",
+    "PACKED_FORMAT",
     "RecoveredState",
     "SnapshotStore",
     "WalScan",
     "WalWriter",
+    "decode_batch",
+    "decode_element",
+    "encode_batch",
+    "encode_element",
     "iter_wal",
     "scan_wal",
+    "wal_magic",
 ]

@@ -1,0 +1,388 @@
+"""The packed binary record codec shared by the WAL and the wires.
+
+One ``StreamElement``/``TimedEdge`` encodes to one compact byte string
+— **format 2**, the payload grammar of WAL format-2 segments
+(:mod:`repro.store.wal`) and of the opt-in binary batch payloads on the
+serving and replication wires (:mod:`repro.serve.protocol`,
+:mod:`repro.cluster.protocol`).  The JSON record grammar of
+:meth:`repro.types.StreamElement.to_record` remains format 1; the two
+are **losslessly interchangeable** for every element the JSON path
+accepts (``tests/store/test_codec_conformance.py`` proves the
+differential, ``tests/properties/test_codec_fuzz.py`` fuzzes it).
+
+Element layout (all integers little-endian)::
+
+    element := <flags:u8> <key(u)> <key(v)> [<time:f64>]
+    flags   := bit 0: op (1 = insert, 0 = delete)
+               bit 1: has time (the element is a TimedEdge)
+               bits 2-3: kind of u   bits 4-5: kind of v
+               bit 6: reserved, must be 0
+               bit 7: JSON escape (see below; all other bits 0)
+    key     := kind 0: <i64>                        (common int fast path)
+               kind 1: <varint byte-length> <UTF-8 bytes>
+               kind 2: <varint byte-length> <signed LE bytes>  (big int)
+
+``varint`` is unsigned LEB128.  A key longer than :data:`MAX_KEY_BYTES`
+on the wire is refused at decode (corruption guard); the encoder routes
+such records — and any JSON-representable vertex that is not an
+``int``/``str`` — through the **JSON escape**: ``flags == 0x80``
+followed by the UTF-8 JSON of ``to_record()``.  The escape keeps
+format 2 exactly as expressive as format 1; only genuinely
+unserialisable records fail.
+
+**Timestamps must be finite.**  ``NaN``/``inf`` times are refused
+loudly in *both* directions (:class:`~repro.errors.CodecError`) — a
+non-finite window clock is stream corruption, and Python's JSON
+encoder would otherwise smuggle it through as a non-standard token.
+
+Batches (the wire unit) concatenate length-prefixed elements so a
+decoder can walk a single ``memoryview`` without re-framing::
+
+    batch := <varint count> ( <varint byte-length> <element> )*
+
+>>> from repro.types import insertion, timed_deletion
+>>> decode_element(encode_element(insertion("alice", "matrix")))
+StreamElement(u='alice', v='matrix', op=<Op.INSERT: '+'>)
+>>> payload = encode_element(timed_deletion(3, 7, 2.5))
+>>> element = decode_element(payload)
+>>> type(element).__name__, element.time, len(payload)
+('TimedEdge', 2.5, 25)
+>>> batch = encode_batch([insertion(1, 2), timed_deletion(3, 7, 2.5)])
+>>> [str(e) for e in decode_batch(batch)]
+['(1, 2, +)', '(3, 7, -, t=2.5)']
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import struct
+from typing import Any, Iterable, List, Sequence, Tuple, Union
+
+from repro.errors import CodecError
+from repro.types import Op, StreamElement, TimedEdge
+
+__all__ = [
+    "MAX_KEY_BYTES",
+    "PACKED_FORMAT",
+    "decode_batch",
+    "decode_element",
+    "encode_batch",
+    "encode_element",
+]
+
+#: The format number of this packed encoding — the WAL magic's format
+#: byte for packed segments and the ``codec`` capability value on the
+#: wires.  Format 1 is the JSON record grammar.
+PACKED_FORMAT = 2
+
+#: Upper bound on one encoded vertex key (64 KiB).  Longer keys are
+#: *encoded* via the JSON escape but *refused at decode* in packed
+#: form — a declared key length past this cap is corruption, not data.
+MAX_KEY_BYTES = 1 << 16
+
+_FLAG_INSERT = 0x01
+_FLAG_TIME = 0x02
+_FLAG_ESCAPE = 0x80
+
+_KIND_I64 = 0
+_KIND_STR = 1
+_KIND_BIG = 2
+
+_I64_MIN = -(1 << 63)
+_I64_MAX = (1 << 63) - 1
+
+# Fast-path structs: the overwhelmingly common (int64, int64) shapes
+# pack/unpack in one C call each.
+_S_II = struct.Struct("<Bqq")
+_S_IIT = struct.Struct("<Bqqd")
+_QQ = struct.Struct("<qq")
+_QQD = struct.Struct("<qqd")
+_Q = struct.Struct("<q")
+_D = struct.Struct("<d")
+
+Buffer = Union[bytes, bytearray, memoryview]
+
+
+def _pack_varint(value: int) -> bytes:
+    out = bytearray()
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(byte | 0x80)
+        else:
+            out.append(byte)
+            return bytes(out)
+
+
+def _read_varint(buf: Buffer, offset: int, end: int) -> Tuple[int, int]:
+    """Decode one LEB128 varint at ``offset``; returns (value, next)."""
+    result = 0
+    shift = 0
+    while True:
+        if offset >= end:
+            raise CodecError("packed record ends inside a varint")
+        byte = buf[offset]
+        offset += 1
+        result |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return result, offset
+        shift += 7
+        if shift > 35:  # > 5 bytes cannot be a sane length
+            raise CodecError("packed record varint is too long")
+
+
+def _encode_key(key: Any) -> Tuple[int, bytes]:
+    """``(kind, encoded bytes)`` for one vertex key, or raise KeyError-ish.
+
+    Raises :class:`TypeError` for keys the packed kinds cannot carry —
+    the caller falls back to the JSON escape for those.
+    """
+    if type(key) is int:
+        if _I64_MIN <= key <= _I64_MAX:
+            return _KIND_I64, _Q.pack(key)
+        raw = key.to_bytes(
+            key.bit_length() // 8 + 1, "little", signed=True
+        )
+        if len(raw) > MAX_KEY_BYTES:
+            raise TypeError("integer key exceeds the packed key cap")
+        return _KIND_BIG, _pack_varint(len(raw)) + raw
+    if type(key) is str:
+        raw = key.encode("utf-8")
+        if len(raw) > MAX_KEY_BYTES:
+            raise TypeError("string key exceeds the packed key cap")
+        return _KIND_STR, _pack_varint(len(raw)) + raw
+    raise TypeError(f"vertex key {key!r} has no packed kind")
+
+
+def _escape(element: StreamElement) -> bytes:
+    """The JSON-escape encoding: 0x80 + UTF-8 ``to_record()`` JSON."""
+    try:
+        payload = json.dumps(
+            element.to_record(), separators=(",", ":"), allow_nan=False
+        ).encode("utf-8")
+    except (TypeError, ValueError) as exc:
+        raise CodecError(
+            f"element {element!s} cannot be encoded: vertices must be "
+            f"JSON-representable (int/str): {exc}"
+        ) from exc
+    return bytes((_FLAG_ESCAPE,)) + payload
+
+
+def encode_element(element: StreamElement) -> bytes:
+    """Encode one element as a format-2 packed payload.
+
+    Raises:
+        CodecError: for a non-finite (``NaN``/``inf``) timestamp, or a
+            vertex key that is not JSON-representable.
+    """
+    op_bit = _FLAG_INSERT if element.op is Op.INSERT else 0
+    u = element.u
+    v = element.v
+    if isinstance(element, TimedEdge):
+        time = element.time
+        if not math.isfinite(time):
+            raise CodecError(
+                f"refusing to encode non-finite timestamp {time!r} "
+                f"for element ({u!r}, {v!r})"
+            )
+        if (
+            type(u) is int
+            and type(v) is int
+            and _I64_MIN <= u <= _I64_MAX
+            and _I64_MIN <= v <= _I64_MAX
+        ):
+            return _S_IIT.pack(op_bit | _FLAG_TIME, u, v, time)
+        try:
+            u_kind, u_bytes = _encode_key(u)
+            v_kind, v_bytes = _encode_key(v)
+        except TypeError:
+            return _escape(element)
+        flags = op_bit | _FLAG_TIME | (u_kind << 2) | (v_kind << 4)
+        return (
+            bytes((flags,)) + u_bytes + v_bytes + _D.pack(time)
+        )
+    if (
+        type(u) is int
+        and type(v) is int
+        and _I64_MIN <= u <= _I64_MAX
+        and _I64_MIN <= v <= _I64_MAX
+    ):
+        return _S_II.pack(op_bit, u, v)
+    try:
+        u_kind, u_bytes = _encode_key(u)
+        v_kind, v_bytes = _encode_key(v)
+    except TypeError:
+        return _escape(element)
+    flags = op_bit | (u_kind << 2) | (v_kind << 4)
+    return bytes((flags,)) + u_bytes + v_bytes
+
+
+def _decode_key(
+    buf: Buffer, offset: int, end: int, kind: int
+) -> Tuple[Any, int]:
+    if kind == _KIND_I64:
+        if offset + 8 > end:
+            raise CodecError("packed record ends inside an int64 key")
+        return _Q.unpack_from(buf, offset)[0], offset + 8
+    length, offset = _read_varint(buf, offset, end)
+    if length > MAX_KEY_BYTES:
+        raise CodecError(
+            f"packed key declares {length} bytes, over the "
+            f"{MAX_KEY_BYTES}-byte cap"
+        )
+    if offset + length > end:
+        raise CodecError("packed record ends inside a key")
+    raw = bytes(buf[offset : offset + length])
+    offset += length
+    if kind == _KIND_STR:
+        try:
+            return raw.decode("utf-8"), offset
+        except UnicodeDecodeError as exc:
+            raise CodecError(
+                f"packed string key is not valid UTF-8: {exc}"
+            ) from exc
+    # _KIND_BIG
+    if length == 0:
+        raise CodecError("packed big-int key is empty")
+    return int.from_bytes(raw, "little", signed=True), offset
+
+
+def decode_element(buf: Buffer) -> StreamElement:
+    """Decode one format-2 packed payload back into an element.
+
+    Accepts ``bytes`` or a ``memoryview`` (zero-copy batch walks).
+    Every malformation — truncated keys, trailing garbage, reserved
+    flag bits, an invalid key kind, a non-finite timestamp — raises
+    :class:`~repro.errors.CodecError`; a CRC-valid frame that fails
+    here is corruption the checksum missed, never a wrong element.
+    """
+    end = len(buf)
+    if end == 0:
+        raise CodecError("packed record is empty")
+    flags = buf[0]
+    if flags & _FLAG_ESCAPE:
+        if flags != _FLAG_ESCAPE:
+            raise CodecError(
+                f"packed escape byte carries extra flag bits: "
+                f"0x{flags:02x}"
+            )
+        try:
+            record = json.loads(bytes(buf[1:end]))
+            element = StreamElement.from_record(record)
+        except (ValueError, UnicodeDecodeError) as exc:
+            raise CodecError(
+                f"JSON-escaped record failed to decode: {exc}"
+            ) from exc
+        if isinstance(element, TimedEdge) and not math.isfinite(
+            element.time
+        ):
+            raise CodecError(
+                f"refusing non-finite timestamp {element.time!r}"
+            )
+        return element
+    if flags & 0x40:
+        raise CodecError(
+            f"packed record sets reserved flag bit: 0x{flags:02x}"
+        )
+    op = Op.INSERT if flags & _FLAG_INSERT else Op.DELETE
+    u_kind = (flags >> 2) & 3
+    v_kind = (flags >> 4) & 3
+    if flags & _FLAG_TIME:
+        if u_kind == _KIND_I64 and v_kind == _KIND_I64:
+            if end != 25:
+                raise CodecError(
+                    f"packed timed int-pair record must be 25 bytes, "
+                    f"got {end}"
+                )
+            u, v, time = _QQD.unpack_from(buf, 1)
+        else:
+            u, v, time, extra = _decode_keys_and_time(
+                buf, end, u_kind, v_kind
+            )
+            if extra != end:
+                raise CodecError(
+                    f"packed record carries {end - extra} trailing "
+                    "byte(s)"
+                )
+        if not math.isfinite(time):
+            raise CodecError(
+                f"refusing non-finite timestamp {time!r}"
+            )
+        return TimedEdge(u, v, op, time)
+    if u_kind == _KIND_I64 and v_kind == _KIND_I64:
+        if end != 17:
+            raise CodecError(
+                f"packed int-pair record must be 17 bytes, got {end}"
+            )
+        u, v = _QQ.unpack_from(buf, 1)
+        return StreamElement(u, v, op)
+    if u_kind == 3 or v_kind == 3:
+        raise CodecError(f"packed record uses invalid key kind 3")
+    u, offset = _decode_key(buf, 1, end, u_kind)
+    v, offset = _decode_key(buf, offset, end, v_kind)
+    if offset != end:
+        raise CodecError(
+            f"packed record carries {end - offset} trailing byte(s)"
+        )
+    return StreamElement(u, v, op)
+
+
+def _decode_keys_and_time(
+    buf: Buffer, end: int, u_kind: int, v_kind: int
+) -> Tuple[Any, Any, float, int]:
+    if u_kind == 3 or v_kind == 3:
+        raise CodecError(f"packed record uses invalid key kind 3")
+    u, offset = _decode_key(buf, 1, end, u_kind)
+    v, offset = _decode_key(buf, offset, end, v_kind)
+    if offset + 8 > end:
+        raise CodecError("packed record ends inside its timestamp")
+    time = _D.unpack_from(buf, offset)[0]
+    return u, v, time, offset + 8
+
+
+def encode_batch(elements: Iterable[StreamElement]) -> bytes:
+    """Encode a batch as ``<varint count> (<varint len> <element>)*``.
+
+    The per-element payloads are byte-identical to WAL format-2 frame
+    payloads, so a server holding packed frames can assemble a wire
+    batch without re-encoding a single element.
+    """
+    if not isinstance(elements, Sequence):
+        elements = list(elements)
+    pieces: List[bytes] = [_pack_varint(len(elements))]
+    for element in elements:
+        payload = encode_element(element)
+        pieces.append(_pack_varint(len(payload)))
+        pieces.append(payload)
+    return b"".join(pieces)
+
+
+def decode_batch(buf: Buffer) -> List[StreamElement]:
+    """Decode a batch payload; the exact inverse of :func:`encode_batch`.
+
+    Walks one :class:`memoryview` over the buffer — elements are
+    decoded in place, no per-element copies or re-framing.  Raises
+    :class:`~repro.errors.CodecError` for truncated payloads, count
+    mismatches, and trailing bytes.
+    """
+    view = memoryview(buf)
+    end = len(view)
+    count, offset = _read_varint(view, 0, end)
+    elements: List[StreamElement] = []
+    for _ in range(count):
+        length, offset = _read_varint(view, offset, end)
+        if offset + length > end:
+            raise CodecError(
+                f"batch payload ends inside element "
+                f"{len(elements)} of {count}"
+            )
+        elements.append(decode_element(view[offset : offset + length]))
+        offset += length
+    if offset != end:
+        raise CodecError(
+            f"batch payload carries {end - offset} trailing byte(s) "
+            f"after {count} element(s)"
+        )
+    return elements

@@ -110,6 +110,11 @@ class DurableStore:
         directory: the session directory (created when missing).
         fsync_every: WAL fsync batch size (see
             :class:`~repro.store.wal.WalWriter`).
+        wal_format: payload format for **new** WAL segments (default
+            :data:`~repro.store.wal.DEFAULT_WAL_FORMAT`).  Existing
+            segments keep the format in their header regardless — a
+            directory may mix formats across its segment history, and
+            recovery reads all of them.
     """
 
     def __init__(
@@ -117,10 +122,12 @@ class DurableStore:
         directory: Union[str, os.PathLike],
         *,
         fsync_every: int = DEFAULT_FSYNC_EVERY,
+        wal_format: Optional[int] = None,
     ) -> None:
         self._dir = pathlib.Path(directory)
         self._dir.mkdir(parents=True, exist_ok=True)
         self._fsync_every = fsync_every
+        self._wal_format = wal_format
         self._snapshots = SnapshotStore(self._dir)
         self._writer: Optional[WalWriter] = None
         self._offset = 0
@@ -344,7 +351,11 @@ class DurableStore:
                 for _, path in segments:
                     path.unlink(missing_ok=True)
             target = self._segment_path(offset)
-        self._writer = WalWriter(target, fsync_every=self._fsync_every)
+        self._writer = WalWriter(
+            target,
+            fsync_every=self._fsync_every,
+            format=self._wal_format,
+        )
         self._offset = offset
 
     # ------------------------------------------------------------------
@@ -423,7 +434,9 @@ class DurableStore:
         fault_point("checkpoint.snapshotted")
         writer.close()
         self._writer = WalWriter(
-            self._segment_path(offset), fsync_every=self._fsync_every
+            self._segment_path(offset),
+            fsync_every=self._fsync_every,
+            format=self._wal_format,
         )
         fault_point("checkpoint.rotated")
         kept = self._snapshots.offsets()[-keep:]

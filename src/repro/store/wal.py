@@ -4,14 +4,27 @@ A WAL file is an 8-byte magic header followed by framed records::
 
     header  := b"RWAL" <format:u8> b"\\x00\\x00\\x00"
     record  := <payload_len:u32 LE> <crc32(payload):u32 LE> <payload>
-    payload := UTF-8 JSON of StreamElement.to_record()
-               ([op, u, v] or [op, u, v, time])
+    payload := format 1: UTF-8 JSON of StreamElement.to_record()
+                         ([op, u, v] or [op, u, v, time])
+               format 2: the packed binary element encoding of
+                         :mod:`repro.store.codec`
+
+The **format byte** in the magic selects the payload grammar for the
+whole segment.  New segments are written in :data:`DEFAULT_WAL_FORMAT`
+(packed, format 2); format-1 segments written by earlier versions stay
+readable forever — :func:`scan_wal` and :func:`iter_wal` dispatch per
+segment on the header, so a durable directory may mix formats across
+its segment history (``docs/persistence.md`` pins this promise).
 
 Records are framed individually so a crash can only tear the **tail**:
 :func:`scan_wal` walks frames until the first short read or CRC
 mismatch and reports the prefix that is intact — everything before a
 torn frame is trusted, everything from it on is discarded (recovery
-truncates the file there before appending again).
+truncates the file there before appending again).  The corruption
+model is format-independent: the CRC guards the payload bytes, so a
+bit flip inside a packed record is caught exactly like one inside a
+JSON record (``tests/store/test_wal_edges.py`` flips every byte of
+both to prove it).
 
 :class:`WalWriter` appends through a buffered file handle and batches
 ``fsync``: the default :data:`~repro.store.durable.DEFAULT_FSYNC_EVERY`
@@ -27,8 +40,8 @@ one (snapshots do).
 ...     wal.append(timed_deletion(3, 7, 2.5))
 >>> [str(element) for element in iter_wal(path)]
 ['(alice, matrix, +)', '(3, 7, -, t=2.5)']
->>> scan_wal(path).records, scan_wal(path).clean
-(2, True)
+>>> scan_wal(path).records, scan_wal(path).clean, scan_wal(path).format
+(2, True, 2)
 """
 
 from __future__ import annotations
@@ -38,15 +51,35 @@ import os
 import struct
 import zlib
 from dataclasses import dataclass
-from typing import Iterable, Iterator, Union
+from typing import Iterable, Iterator, Optional, Union
 
-from repro.errors import StoreError
+from repro.errors import CodecError, StoreError
+from repro.store import codec
 from repro.types import StreamElement
 
-__all__ = ["WAL_MAGIC", "WalScan", "WalWriter", "iter_wal", "scan_wal"]
+__all__ = [
+    "DEFAULT_WAL_FORMAT",
+    "WAL_MAGIC",
+    "WAL_MAGIC_V2",
+    "WalScan",
+    "WalWriter",
+    "iter_wal",
+    "scan_wal",
+    "wal_magic",
+]
 
-#: File magic: identifies a repro WAL and pins its format version.
+#: File magic of a format-1 (JSON payload) WAL segment.
 WAL_MAGIC = b"RWAL\x01\x00\x00\x00"
+
+#: File magic of a format-2 (packed payload) WAL segment.
+WAL_MAGIC_V2 = b"RWAL\x02\x00\x00\x00"
+
+#: Format for segments created without an explicit ``format=``.
+#: Module-level so tests can pin it back to 1 and build v1 directories
+#: through the unmodified session/serve paths.
+DEFAULT_WAL_FORMAT = 2
+
+_MAGICS = {1: WAL_MAGIC, 2: WAL_MAGIC_V2}
 
 #: Frame header: little-endian payload length + CRC32 of the payload.
 _FRAME = struct.Struct("<II")
@@ -58,11 +91,36 @@ _MAX_PAYLOAD = 1 << 20
 PathLike = Union[str, os.PathLike]
 
 
-def _encode(element: StreamElement) -> bytes:
-    payload = json.dumps(
-        element.to_record(), separators=(",", ":")
-    ).encode("utf-8")
+def wal_magic(format: int) -> bytes:
+    """The 8-byte header for a WAL segment of ``format`` (1 or 2)."""
+    try:
+        return _MAGICS[format]
+    except KeyError:
+        raise StoreError(
+            f"unknown WAL format {format!r} (supported: 1, 2)"
+        ) from None
+
+
+def _encode(element: StreamElement, format: int) -> bytes:
+    if format == 2:
+        payload = codec.encode_element(element)
+    else:
+        payload = json.dumps(
+            element.to_record(), separators=(",", ":")
+        ).encode("utf-8")
     return _FRAME.pack(len(payload), zlib.crc32(payload)) + payload
+
+
+def _decode(payload: bytes, format: int, path: PathLike) -> StreamElement:
+    try:
+        if format == 2:
+            return codec.decode_element(payload)
+        return StreamElement.from_record(json.loads(payload))
+    except (json.JSONDecodeError, ValueError, CodecError) as exc:
+        raise StoreError(
+            f"WAL record with a valid checksum failed to "
+            f"decode in {os.fspath(path)!r}: {exc}"
+        ) from exc
 
 
 @dataclass(frozen=True)
@@ -75,24 +133,30 @@ class WalScan:
             included) — recovery truncates the file here.
         clean: True when the file ends exactly on a frame boundary
             (no torn tail).
+        format: the segment's payload format from its magic header
+            (1 = JSON, 2 = packed); 0 for a torn header.
     """
 
     records: int
     valid_bytes: int
     clean: bool
+    format: int = 1
 
 
-def _check_header(head: bytes, path: PathLike) -> bool:
-    """True when ``head`` is the full magic; False for a torn prefix.
+def _check_header(head: bytes, path: PathLike) -> Optional[int]:
+    """The header's format number, or None for a torn magic prefix.
 
-    A file shorter than the magic whose bytes *are* a magic prefix is
-    a crash during file creation — recoverable (0 records).  Anything
-    else is not a repro WAL and raises.
+    A file shorter than the magic whose bytes *are* a prefix of some
+    supported magic is a crash during file creation — recoverable
+    (0 records).  Anything else is not a repro WAL and raises.
     """
-    if head == WAL_MAGIC:
-        return True
-    if len(head) < len(WAL_MAGIC) and WAL_MAGIC.startswith(head):
-        return False
+    for format, magic in _MAGICS.items():
+        if head == magic:
+            return format
+    if len(head) < 8 and any(
+        magic.startswith(head) for magic in _MAGICS.values()
+    ):
+        return None
     raise StoreError(f"{os.fspath(path)!r} is not a repro WAL file")
 
 
@@ -100,25 +164,27 @@ def scan_wal(path: PathLike) -> WalScan:
     """Walk a WAL's frames; report the intact prefix and tail state."""
     records = 0
     with open(path, "rb") as handle:
-        if not _check_header(handle.read(len(WAL_MAGIC)), path):
-            return WalScan(0, 0, False)
-        valid = len(WAL_MAGIC)
+        format = _check_header(handle.read(8), path)
+        if format is None:
+            return WalScan(0, 0, False, 0)
+        valid = 8
         while True:
             header = handle.read(_FRAME.size)
             if not header:
-                return WalScan(records, valid, True)
+                return WalScan(records, valid, True, format)
             if len(header) < _FRAME.size:
-                return WalScan(records, valid, False)
+                return WalScan(records, valid, False, format)
             length, crc = _FRAME.unpack(header)
             if length == 0 or length > _MAX_PAYLOAD:
-                # No element encodes to an empty payload, so a
-                # zero-length frame is corruption — typically a
-                # zero-filled tail a filesystem left after a crash
-                # (crc32(b"") == 0 makes it checksum-"valid").
-                return WalScan(records, valid, False)
+                # No element encodes to an empty payload in either
+                # format, so a zero-length frame is corruption —
+                # typically a zero-filled tail a filesystem left
+                # after a crash (crc32(b"") == 0 makes it
+                # checksum-"valid").
+                return WalScan(records, valid, False, format)
             payload = handle.read(length)
             if len(payload) < length or zlib.crc32(payload) != crc:
-                return WalScan(records, valid, False)
+                return WalScan(records, valid, False, format)
             records += 1
             valid += _FRAME.size + length
 
@@ -128,10 +194,12 @@ def iter_wal(path: PathLike) -> Iterator[StreamElement]:
 
     Stops silently at a torn tail (use :func:`scan_wal` to learn
     whether one exists); raises :class:`~repro.errors.StoreError` for
-    a record whose intact payload is not a valid element record.
+    a record whose intact payload is not a valid element record in
+    the segment's format.
     """
     with open(path, "rb") as handle:
-        if not _check_header(handle.read(len(WAL_MAGIC)), path):
+        format = _check_header(handle.read(8), path)
+        if format is None:
             return
         while True:
             header = handle.read(_FRAME.size)
@@ -143,13 +211,7 @@ def iter_wal(path: PathLike) -> Iterator[StreamElement]:
             payload = handle.read(length)
             if len(payload) < length or zlib.crc32(payload) != crc:
                 return
-            try:
-                yield StreamElement.from_record(json.loads(payload))
-            except (json.JSONDecodeError, ValueError) as exc:
-                raise StoreError(
-                    f"WAL record with a valid checksum failed to "
-                    f"decode in {os.fspath(path)!r}: {exc}"
-                ) from exc
+            yield _decode(payload, format, path)
 
 
 class WalWriter:
@@ -157,15 +219,26 @@ class WalWriter:
 
     Args:
         path: segment file.  A missing or empty file gets the magic
-            header; an existing file must start with it (recovery
+            header; an existing file must start with one (recovery
             truncates torn state *before* constructing a writer).
         fsync_every: force ``fsync`` after this many appended records.
             Appends between barriers live in OS/file buffers — a crash
             may tear them, which is exactly the tail :func:`scan_wal`
             discards.  ``sync()``/``close()`` always force a barrier.
+        format: payload format for a **new** segment (default
+            :data:`DEFAULT_WAL_FORMAT`).  An existing non-empty file
+            keeps the format in its header — a segment is
+            single-format by construction, so appends *adopt* it and
+            ``format=`` is ignored there.
     """
 
-    def __init__(self, path: PathLike, *, fsync_every: int = 256) -> None:
+    def __init__(
+        self,
+        path: PathLike,
+        *,
+        fsync_every: int = 256,
+        format: Optional[int] = None,
+    ) -> None:
         if fsync_every <= 0:
             raise StoreError(
                 f"fsync_every must be positive, got {fsync_every}"
@@ -177,19 +250,31 @@ class WalWriter:
         size = os.path.getsize(path) if os.path.exists(path) else 0
         if size:
             with open(path, "rb") as handle:
-                if not _check_header(handle.read(len(WAL_MAGIC)), path):
+                existing = _check_header(handle.read(8), path)
+                if existing is None:
                     raise StoreError(
                         f"cannot append to {os.fspath(path)!r}: torn "
                         "header (run recovery first)"
                     )
+            self._format = existing
+        else:
+            self._format = (
+                format if format is not None else DEFAULT_WAL_FORMAT
+            )
+        magic = wal_magic(self._format)
         self._handle = open(path, "ab")
         if size == 0:
-            self._handle.write(WAL_MAGIC)
+            self._handle.write(magic)
             self._barrier()
 
     @property
     def path(self) -> PathLike:
         return self._path
+
+    @property
+    def format(self) -> int:
+        """The segment's payload format (1 = JSON, 2 = packed)."""
+        return self._format
 
     @property
     def appended(self) -> int:
@@ -226,7 +311,7 @@ class WalWriter:
 
     def append(self, element: StreamElement) -> None:
         """Frame and append one element; fsync when the batch fills."""
-        self._handle.write(_encode(element))
+        self._handle.write(_encode(element, self._format))
         self._appended += 1
         self._pending += 1
         if self._pending >= self._fsync_every:
@@ -236,8 +321,9 @@ class WalWriter:
         """Append a run of elements; returns how many were appended."""
         count = 0
         write = self._handle.write
+        format = self._format
         for element in elements:
-            write(_encode(element))
+            write(_encode(element, format))
             count += 1
         self._appended += count
         self._pending += count
@@ -269,5 +355,5 @@ class WalWriter:
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
             f"WalWriter({os.fspath(self._path)!r}, "
-            f"appended={self._appended})"
+            f"format={self._format}, appended={self._appended})"
         )

@@ -100,7 +100,11 @@ class StreamElement:
         Durability restricts vertices to the JSON-representable
         identifiers (``int``/``str``) that the snapshot protocol
         already requires; :meth:`from_record` rebuilds the exact
-        element, :class:`TimedEdge` subclass included.
+        element, :class:`TimedEdge` subclass included.  The packed
+        binary codec (:mod:`repro.store.codec`, WAL format 2 and the
+        opt-in wire batch payload) is a lossless re-encoding of this
+        same grammar — ``tests/store/test_codec_conformance.py``
+        proves the two interchangeable for every record shape.
 
         >>> insertion("alice", "matrix").to_record()
         ['+', 'alice', 'matrix']

@@ -1,0 +1,172 @@
+"""Hypothesis round-trip fuzz for the packed record codec.
+
+The randomized half of the codec conformance story
+(``tests/store/test_codec_conformance.py`` is the deterministic
+half).  Three properties, fuzzed over arbitrary unicode/int vertex
+keys, huge keys brushing the length cap, and hostile timestamps:
+
+1. **Identity**: ``decode_element(encode_element(e)) == e`` with the
+   exact subclass and timestamp bits preserved.
+2. **Differential**: the packed round trip agrees with the JSON path
+   ``from_record(loads(dumps(to_record(e))))`` — the two grammars are
+   interchangeable for every element either accepts.
+3. **Refusal**: non-finite timestamps raise
+   :class:`~repro.errors.CodecError` loudly; mutated payload bytes
+   either decode to *some* element or raise ``CodecError`` — never an
+   unrelated crash (the WAL's CRC framing means a mutated payload that
+   reaches the codec at all is a checksum collision, so "raise or
+   decode cleanly" is the whole safety contract at this layer).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import struct
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import CodecError
+from repro.store import codec
+from repro.types import Op, StreamElement, TimedEdge
+
+# Vertex keys: any unicode string (surrogates excluded — they are not
+# UTF-8 encodable, and json.dumps refuses them too), any int from tiny
+# through far past the i64 boundary, with boundary values spotlighted.
+_strings = st.text(
+    alphabet=st.characters(codec="utf-8"), max_size=64
+)
+_huge_strings = st.integers(
+    min_value=codec.MAX_KEY_BYTES - 2, max_value=codec.MAX_KEY_BYTES + 2
+).map(lambda n: "k" * n)
+_ints = st.one_of(
+    st.integers(),
+    st.sampled_from(
+        [
+            0,
+            -1,
+            (1 << 63) - 1,
+            -(1 << 63),
+            1 << 63,
+            -(1 << 63) - 1,
+            1 << 200,
+            -(1 << 200),
+        ]
+    ),
+)
+_keys = st.one_of(_ints, _strings, _huge_strings)
+_ops = st.sampled_from([Op.INSERT, Op.DELETE])
+_finite_times = st.floats(allow_nan=False, allow_infinity=False)
+
+_plain = st.builds(StreamElement, _keys, _keys, _ops)
+_timed = st.builds(TimedEdge, _keys, _keys, _ops, _finite_times)
+_elements = st.one_of(_plain, _timed)
+
+
+@given(_elements)
+@settings(max_examples=300, deadline=None)
+def test_round_trip_is_identity(element):
+    decoded = codec.decode_element(codec.encode_element(element))
+    assert decoded == element
+    assert type(decoded) is type(element)
+    if isinstance(element, TimedEdge):
+        assert struct.pack("<d", decoded.time) == struct.pack(
+            "<d", element.time
+        )
+
+
+@given(_elements)
+@settings(max_examples=300, deadline=None)
+def test_packed_path_agrees_with_the_json_path(element):
+    via_json = StreamElement.from_record(
+        json.loads(json.dumps(element.to_record(), separators=(",", ":")))
+    )
+    via_packed = codec.decode_element(codec.encode_element(element))
+    assert via_packed == via_json
+    assert type(via_packed) is type(via_json)
+
+
+@given(st.lists(_elements, max_size=20))
+@settings(max_examples=150, deadline=None)
+def test_batch_round_trip(elements):
+    decoded = codec.decode_batch(codec.encode_batch(elements))
+    assert decoded == elements
+    assert [type(e) for e in decoded] == [type(e) for e in elements]
+
+
+@given(_keys, _keys, _ops)
+@settings(max_examples=100, deadline=None)
+def test_nan_and_inf_timestamps_are_refused_loudly(u, v, op):
+    for hostile in (float("nan"), float("inf"), float("-inf")):
+        with pytest.raises(CodecError, match="non-finite"):
+            codec.encode_element(TimedEdge(u, v, op, hostile))
+
+
+@given(
+    _elements,
+    st.integers(min_value=0, max_value=10_000),
+    st.integers(min_value=0, max_value=255),
+)
+@settings(max_examples=400, deadline=None)
+def test_mutated_payloads_never_crash_unexpectedly(element, where, xor):
+    """Flip one byte anywhere: decode cleanly or raise CodecError."""
+    payload = bytearray(codec.encode_element(element))
+    index = where % len(payload)
+    payload[index] ^= xor
+    try:
+        decoded = codec.decode_element(bytes(payload))
+    except CodecError:
+        return
+    # A harmless mutation (e.g. xor == 0) may still decode; whatever
+    # comes back must be a real element with a finite clock.
+    assert isinstance(decoded, StreamElement)
+    if isinstance(decoded, TimedEdge):
+        assert math.isfinite(decoded.time)
+
+
+@given(
+    _elements,
+    st.integers(min_value=1, max_value=10_000),
+)
+@settings(max_examples=300, deadline=None)
+def test_truncated_payloads_never_crash_unexpectedly(element, cut):
+    payload = codec.encode_element(element)
+    prefix = payload[: cut % len(payload)]  # strictly shorter
+    try:
+        decoded = codec.decode_element(prefix)
+    except CodecError:
+        return
+    # The one benign prefix family: a JSON-escape payload whose JSON
+    # happens to still parse (JSON is not length-prefixed).  Anything
+    # packed is length-checked and cannot decode short.
+    assert payload[0] == 0x80
+    assert isinstance(decoded, StreamElement)
+
+
+@given(st.binary(max_size=64))
+@settings(max_examples=300, deadline=None)
+def test_random_bytes_never_crash_unexpectedly(blob):
+    try:
+        decoded = codec.decode_element(blob)
+    except CodecError:
+        return
+    assert isinstance(decoded, StreamElement)
+
+
+@given(st.integers(min_value=0, max_value=255))
+@settings(max_examples=256, deadline=None)
+def test_op_byte_exhaustion(flags):
+    """All 256 first-byte values: decode cleanly or refuse cleanly."""
+    for suffix in (
+        struct.pack("<qq", 1, 2),
+        struct.pack("<qqd", 1, 2, 1.5),
+        b"",
+        b'["+",1,2]',
+    ):
+        try:
+            decoded = codec.decode_element(bytes([flags]) + suffix)
+        except CodecError:
+            continue
+        assert isinstance(decoded, StreamElement)

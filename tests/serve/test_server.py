@@ -11,6 +11,7 @@ from repro.errors import ServeError
 from repro.serve import (
     MAX_LINE,
     PROTOCOL_VERSION,
+    SUPPORTED_CODECS,
     ServeClient,
     serve_in_background,
 )
@@ -41,7 +42,11 @@ class TestOperations:
     def test_ping(self, exact_server):
         with ServeClient(*exact_server.address) as client:
             result = client.ping()
-        assert result == {"pong": True, "version": PROTOCOL_VERSION}
+        assert result == {
+            "pong": True,
+            "version": PROTOCOL_VERSION,
+            "codecs": list(SUPPORTED_CODECS),
+        }
 
     def test_estimate_starts_at_zero(self, exact_server):
         with ServeClient(*exact_server.address) as client:

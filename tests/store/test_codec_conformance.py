@@ -1,0 +1,302 @@
+"""Differential conformance: the packed codec vs the JSON record path.
+
+The packed encoding (:mod:`repro.store.codec`, format 2) is only
+shippable as the default WAL format because it is **provably
+lossless** against the JSON record grammar that format 1, the serve
+wire, and the snapshot files all speak.  This suite is that proof's
+deterministic half (``tests/properties/test_codec_fuzz.py`` is the
+randomized half): for every element shape the record grammar admits,
+``decode(encode(e))`` must equal the element *and* agree with
+``from_record(to_record(e))`` — same value, same subclass, same
+timestamp bits.  The rest of the file pins the decoder's refusal
+behavior: every malformed payload must raise
+:class:`~repro.errors.CodecError`, never return a wrong element.
+"""
+
+import json
+import math
+import struct
+
+import pytest
+
+from repro.errors import CodecError
+from repro.store import codec
+from repro.types import (
+    Op,
+    StreamElement,
+    TimedEdge,
+    insertion,
+    timed_insertion,
+)
+
+# Every deterministic element shape: (label, element).
+SHAPES = [
+    ("int-insert", StreamElement(1, 2, Op.INSERT)),
+    ("int-delete", StreamElement(3, 4, Op.DELETE)),
+    ("int-zero", StreamElement(0, 0, Op.INSERT)),
+    ("int-negative", StreamElement(-5, -6, Op.DELETE)),
+    (
+        "int64-boundaries",
+        StreamElement(-(1 << 63), (1 << 63) - 1, Op.INSERT),
+    ),
+    ("big-int", StreamElement(1 << 80, -(1 << 80), Op.INSERT)),
+    ("big-int-edge", StreamElement((1 << 63), -(1 << 63) - 1, Op.DELETE)),
+    ("str-ascii", StreamElement("alice", "matrix", Op.INSERT)),
+    ("str-empty", StreamElement("", "", Op.DELETE)),
+    ("str-unicode", StreamElement("héllo", "wörld", Op.INSERT)),
+    ("str-cjk", StreamElement("蝶", "数", Op.DELETE)),
+    ("str-emoji", StreamElement("\U0001f98b", "\U0001f9ee", Op.INSERT)),
+    ("str-newline", StreamElement("a\nb", 'c"d', Op.INSERT)),
+    ("mixed-int-str", StreamElement(7, "x", Op.INSERT)),
+    ("mixed-str-int", StreamElement("x", -7, Op.DELETE)),
+    ("long-key", StreamElement("k" * 1000, "v" * 1000, Op.INSERT)),
+    (
+        "key-at-cap",
+        StreamElement("a" * codec.MAX_KEY_BYTES, 1, Op.INSERT),
+    ),
+    ("timed-zero", TimedEdge(1, 2, Op.INSERT, 0.0)),
+    ("timed-negative", TimedEdge(3, 4, Op.DELETE, -1.5)),
+    ("timed-negzero", TimedEdge(5, 6, Op.INSERT, -0.0)),
+    ("timed-huge", TimedEdge(7, 8, Op.INSERT, 1e300)),
+    ("timed-tiny", TimedEdge(9, 10, Op.DELETE, 5e-324)),
+    ("timed-str", TimedEdge("u", "v", Op.INSERT, 1.25)),
+    ("timed-big-int", TimedEdge(1 << 70, 2, Op.INSERT, 3.5)),
+    ("timed-long-key", TimedEdge("k" * 999, 1, Op.DELETE, 7.0)),
+    # Bool vertices have no packed kind but survive the JSON record
+    # path (bool is JSON-representable), so they must round-trip via
+    # the escape.
+    ("escape-bool", StreamElement(True, False, Op.INSERT)),
+    ("escape-timed-bool", TimedEdge(True, 2, Op.DELETE, 1.0)),
+    (
+        "escape-over-cap",
+        StreamElement("a" * (codec.MAX_KEY_BYTES + 1), 1, Op.INSERT),
+    ),
+]
+IDS = [label for label, _ in SHAPES]
+ELEMENTS = [element for _, element in SHAPES]
+
+
+class TestDifferentialRoundTrip:
+    """Packed decode(encode(e)) must match the JSON path exactly."""
+
+    @pytest.mark.parametrize("element", ELEMENTS, ids=IDS)
+    def test_packed_round_trip_is_identity(self, element):
+        decoded = codec.decode_element(codec.encode_element(element))
+        assert decoded == element
+        assert type(decoded) is type(element)
+
+    @pytest.mark.parametrize("element", ELEMENTS, ids=IDS)
+    def test_packed_agrees_with_the_json_path(self, element):
+        via_json = StreamElement.from_record(
+            json.loads(
+                json.dumps(element.to_record(), separators=(",", ":"))
+            )
+        )
+        via_packed = codec.decode_element(codec.encode_element(element))
+        assert via_packed == via_json
+        assert type(via_packed) is type(via_json)
+
+    @pytest.mark.parametrize(
+        "element",
+        [e for e in ELEMENTS if isinstance(e, TimedEdge)],
+        ids=[label for label, e in SHAPES if isinstance(e, TimedEdge)],
+    )
+    def test_timestamp_bits_survive_exactly(self, element):
+        decoded = codec.decode_element(codec.encode_element(element))
+        assert isinstance(decoded, TimedEdge)
+        assert struct.pack("<d", decoded.time) == struct.pack(
+            "<d", element.time
+        )
+
+    @pytest.mark.parametrize("element", ELEMENTS, ids=IDS)
+    def test_memoryview_decode_matches_bytes_decode(self, element):
+        payload = codec.encode_element(element)
+        assert codec.decode_element(memoryview(payload)) == (
+            codec.decode_element(payload)
+        )
+
+    def test_batch_round_trip_preserves_order_and_types(self):
+        batch = codec.encode_batch(ELEMENTS)
+        decoded = codec.decode_batch(batch)
+        assert decoded == ELEMENTS
+        assert [type(e) for e in decoded] == [type(e) for e in ELEMENTS]
+
+    def test_empty_batch_round_trips(self):
+        assert codec.decode_batch(codec.encode_batch([])) == []
+
+    def test_batch_accepts_any_iterable(self):
+        batch = codec.encode_batch(iter(ELEMENTS[:3]))
+        assert codec.decode_batch(batch) == ELEMENTS[:3]
+
+    def test_int_fast_path_is_a_fixed_width_record(self):
+        assert len(codec.encode_element(insertion(1, 2))) == 17
+        assert len(codec.encode_element(timed_insertion(1, 2, 3.0))) == 25
+
+
+class TestNonFiniteTimestampsRefused:
+    """NaN/inf clocks are stream corruption: loud in both directions."""
+
+    @pytest.mark.parametrize(
+        "time", [float("nan"), float("inf"), float("-inf")]
+    )
+    def test_encode_refuses(self, time):
+        with pytest.raises(CodecError, match="non-finite"):
+            codec.encode_element(TimedEdge(1, 2, Op.INSERT, time))
+
+    @pytest.mark.parametrize(
+        "bits",
+        [
+            struct.pack("<d", float("nan")),
+            struct.pack("<d", float("inf")),
+            struct.pack("<d", float("-inf")),
+        ],
+    )
+    def test_decode_refuses_crafted_payloads(self, bits):
+        crafted = bytes([0x03]) + struct.pack("<qq", 1, 2) + bits
+        with pytest.raises(CodecError, match="non-finite"):
+            codec.decode_element(crafted)
+
+    def test_decode_refuses_escaped_nonfinite(self):
+        crafted = bytes([0x80]) + b'["+",1,2,Infinity]'
+        with pytest.raises(CodecError, match="non-finite"):
+            codec.decode_element(crafted)
+
+
+class TestMalformedPayloadsRefused:
+    """A malformed packed payload raises, never decodes wrong."""
+
+    def test_empty_payload(self):
+        with pytest.raises(CodecError, match="empty"):
+            codec.decode_element(b"")
+
+    def test_reserved_flag_bit(self):
+        payload = bytearray(codec.encode_element(insertion(1, 2)))
+        payload[0] |= 0x40
+        with pytest.raises(CodecError, match="reserved"):
+            codec.decode_element(bytes(payload))
+
+    def test_escape_byte_with_extra_flags(self):
+        with pytest.raises(CodecError, match="extra flag"):
+            codec.decode_element(bytes([0x81]) + b'["+",1,2]')
+
+    def test_escape_with_garbage_json(self):
+        with pytest.raises(CodecError, match="failed to decode"):
+            codec.decode_element(bytes([0x80]) + b"not json")
+
+    def test_escape_with_malformed_record(self):
+        with pytest.raises(CodecError, match="failed to decode"):
+            codec.decode_element(bytes([0x80]) + b'["+",1]')
+
+    def test_invalid_key_kind(self):
+        # kind 3 for u (bits 2-3 set) on a string-shaped payload.
+        with pytest.raises(CodecError, match="kind 3"):
+            codec.decode_element(bytes([0x0C, 0x01, 0x61, 0x00]))
+
+    def test_int_pair_with_wrong_length(self):
+        payload = codec.encode_element(insertion(1, 2))
+        with pytest.raises(CodecError, match="17 bytes"):
+            codec.decode_element(payload + b"\x00")
+        with pytest.raises(CodecError, match="17 bytes"):
+            codec.decode_element(payload[:-1])
+
+    def test_timed_int_pair_with_wrong_length(self):
+        payload = codec.encode_element(timed_insertion(1, 2, 3.0))
+        with pytest.raises(CodecError, match="25 bytes"):
+            codec.decode_element(payload[:-1])
+
+    def test_string_key_truncated(self):
+        payload = codec.encode_element(insertion("alice", "bob"))
+        with pytest.raises(CodecError):
+            codec.decode_element(payload[:-1])
+
+    def test_string_key_with_trailing_garbage(self):
+        payload = codec.encode_element(insertion("alice", "bob"))
+        with pytest.raises(CodecError, match="trailing"):
+            codec.decode_element(payload + b"\x00")
+
+    def test_string_key_bad_utf8(self):
+        crafted = bytes([0x04, 0x02, 0xFF, 0xFE]) + struct.pack("<q", 1)
+        with pytest.raises(CodecError, match="UTF-8"):
+            codec.decode_element(crafted)
+
+    def test_key_length_over_cap(self):
+        # kind-1 u key declaring a length past MAX_KEY_BYTES.
+        declared = codec.MAX_KEY_BYTES + 1
+        varint = bytes([declared & 0x7F | 0x80, (declared >> 7) & 0x7F | 0x80, declared >> 14])
+        with pytest.raises(CodecError, match="cap"):
+            codec.decode_element(bytes([0x04]) + varint + b"a" * 10)
+
+    def test_varint_truncated(self):
+        with pytest.raises(CodecError, match="varint"):
+            codec.decode_element(bytes([0x04, 0x80]))
+
+    def test_varint_too_long(self):
+        with pytest.raises(CodecError, match="too long"):
+            codec.decode_element(
+                bytes([0x04]) + b"\x80\x80\x80\x80\x80\x80" + b"\x01"
+            )
+
+    def test_empty_bigint_key(self):
+        crafted = bytes([0x08, 0x00]) + struct.pack("<q", 1)
+        with pytest.raises(CodecError, match="empty"):
+            codec.decode_element(crafted)
+
+    def test_timed_record_missing_timestamp(self):
+        # str-keyed timed record cut off before its 8 time bytes.
+        payload = codec.encode_element(TimedEdge("u", "v", Op.INSERT, 1.0))
+        with pytest.raises(CodecError):
+            codec.decode_element(payload[:-8])
+
+    def test_timed_record_with_trailing_garbage(self):
+        payload = codec.encode_element(TimedEdge("u", "v", Op.INSERT, 1.0))
+        with pytest.raises(CodecError, match="trailing"):
+            codec.decode_element(payload + b"\x00")
+
+    def test_batch_truncated_inside_an_element(self):
+        batch = codec.encode_batch([insertion(1, 2), insertion(3, 4)])
+        with pytest.raises(CodecError, match="ends inside"):
+            codec.decode_batch(batch[:-3])
+
+    def test_batch_with_trailing_bytes(self):
+        batch = codec.encode_batch([insertion(1, 2)])
+        with pytest.raises(CodecError, match="trailing"):
+            codec.decode_batch(batch + b"\x00")
+
+    def test_batch_count_overstates_elements(self):
+        batch = bytearray(codec.encode_batch([insertion(1, 2)]))
+        batch[0] = 2  # claims two elements, carries one
+        with pytest.raises(CodecError):
+            codec.decode_batch(bytes(batch))
+
+    def test_unencodable_vertex_refused(self):
+        # A bytes vertex is not JSON-representable: no packed kind
+        # AND no escape — the codec must refuse, not crash oddly.
+        with pytest.raises(CodecError, match="JSON-representable"):
+            codec.encode_element(StreamElement(b"raw", 3, Op.INSERT))
+
+
+class TestOpByteExhaustion:
+    """Both ops x both shapes x first-byte flag sweep."""
+
+    @pytest.mark.parametrize("op", [Op.INSERT, Op.DELETE])
+    def test_op_survives_all_kind_combinations(self, op):
+        keys = [0, "s", 1 << 70]
+        for u in keys:
+            for v in keys:
+                element = StreamElement(u, v, op)
+                assert codec.decode_element(
+                    codec.encode_element(element)
+                ) == element
+                timed = TimedEdge(u, v, op, 1.5)
+                assert codec.decode_element(
+                    codec.encode_element(timed)
+                ) == timed
+
+    def test_every_first_byte_value_decodes_or_refuses(self):
+        """No first-byte value may crash with a non-CodecError."""
+        suffix = struct.pack("<qq", 1, 2)
+        for flags in range(256):
+            try:
+                codec.decode_element(bytes([flags]) + suffix)
+            except CodecError:
+                pass

@@ -176,6 +176,49 @@ class TestKillAtEveryOffset:
         )
 
 
+class TestKillAtEveryOffsetV1:
+    """The same byte-granularity matrix over a format-1 durable dir.
+
+    New segments default to the packed format 2 (so the SPECS matrix
+    above already runs over v2 directories); pinning
+    ``DEFAULT_WAL_FORMAT`` back to 1 re-runs the same contract over
+    the JSON format — v1 directories must keep recovering
+    bit-identically forever, not merely stay readable.
+    """
+
+    @pytest.mark.parametrize("checkpoint_at", [None, "half"])
+    def test_v1_byte_matrix(self, tmp_path, monkeypatch, checkpoint_at):
+        import repro.store.wal as wal_module
+
+        monkeypatch.setattr(wal_module, "DEFAULT_WAL_FORMAT", 1)
+        spec = "abacus:budget=48,seed=11"
+        stream = _stream()
+        if checkpoint_at == "half":
+            checkpoint_at = len(stream) // 2
+        references = _reference_fingerprints(spec, stream)
+        directory = tmp_path / "durable"
+        _build_durable_dir(
+            directory, spec, stream, checkpoint_at=checkpoint_at
+        )
+        segment = _last_segment(directory)
+        assert segment.read_bytes()[:8] == WAL_MAGIC  # really v1
+        data = segment.read_bytes()
+        floor = checkpoint_at or 0
+        recovered_counts = set()
+        for cut in _kill_points(data, "byte"):
+            segment.write_bytes(data[:cut])
+            session = open_session(durable_dir=directory)
+            count = session.elements
+            assert count >= floor, (cut, count)
+            assert _fingerprint(session) == references[count], (
+                f"v1 recovery at byte {cut} is not bit-identical"
+            )
+            session.close()
+            recovered_counts.add(count)
+        assert min(recovered_counts) == floor
+        assert max(recovered_counts) == len(stream)
+
+
 @pytest.mark.parametrize(
     "spec",
     [spec for _, spec, _ in SPECS],
@@ -201,6 +244,115 @@ def test_recovery_then_continuation_matches_uninterrupted(
         assert session.elements == len(stream)
         assert _fingerprint(session) == references[len(stream)]
         session.close()
+
+
+class TestMixedFormatHistory:
+    """A directory whose segment history spans WAL formats.
+
+    The upgrade story ``docs/persistence.md`` promises: a directory
+    written entirely under format 1 is recovered by a format-2 binary,
+    its next checkpoint rotates onto a packed segment (new segments
+    always use the running default), and from then on v1 and v2
+    segments coexist in one contiguous log.  Recovery must replay
+    across the format boundary bit-identically, and serving over the
+    mixed directory must just work.
+    """
+
+    def _build_mixed_dir(self, directory, spec, stream, monkeypatch):
+        """v1 era (checkpoint early so its segment survives pruning),
+        then recover + checkpoint + continue under the v2 default.
+        Returns (quarter, half) checkpoint offsets."""
+        import repro.store.wal as wal_module
+
+        quarter, half = len(stream) // 4, len(stream) // 2
+        with monkeypatch.context() as patch:
+            patch.setattr(wal_module, "DEFAULT_WAL_FORMAT", 1)
+            session = open_session(spec, durable_dir=directory)
+            session.ingest(stream[:quarter])
+            assert session.checkpoint() == quarter
+            session.ingest(stream[quarter:half])
+            session.close()
+        # The v2 era: the running default is back to the packed format.
+        session = open_session(durable_dir=directory)
+        assert session.elements == half
+        assert session.checkpoint() == half  # rotates onto a v2 segment
+        session.ingest(stream[half:])
+        session.close()
+        return quarter, half
+
+    def test_recovery_is_bit_identical_across_the_format_boundary(
+        self, tmp_path, monkeypatch
+    ):
+        from repro.store.wal import scan_wal
+
+        spec = "abacus:budget=48,seed=11"
+        stream = _stream()
+        references = _reference_fingerprints(spec, stream)
+        directory = tmp_path / "durable"
+        self._build_mixed_dir(directory, spec, stream, monkeypatch)
+        # Both formats genuinely coexist on disk.
+        formats = {
+            scan_wal(path).format
+            for path in sorted(directory.glob("wal-*.log"))
+        }
+        assert formats == {1, 2}
+        recovered = open_session(durable_dir=directory)
+        assert recovered.elements == len(stream)
+        assert _fingerprint(recovered) == references[len(stream)]
+        recovered.close()
+
+    def test_kill_matrix_over_the_packed_tail_segment(
+        self, tmp_path, monkeypatch
+    ):
+        """Every-byte kills in the v2 tail recover over the v1 base."""
+        from repro.store.wal import WAL_MAGIC_V2, scan_wal
+
+        spec = "abacus:budget=48,seed=11"
+        stream = _stream()
+        references = _reference_fingerprints(spec, stream)
+        directory = tmp_path / "durable"
+        _, half = self._build_mixed_dir(
+            directory, spec, stream, monkeypatch
+        )
+        segment = _last_segment(directory)
+        data = segment.read_bytes()
+        assert data[:8] == WAL_MAGIC_V2
+        recovered_counts = set()
+        for cut in _kill_points(data, "byte"):
+            segment.write_bytes(data[:cut])
+            session = open_session(durable_dir=directory)
+            count = session.elements
+            assert count >= half, (cut, count)
+            assert _fingerprint(session) == references[count], (
+                f"mixed-format recovery at byte {cut} is not "
+                "bit-identical"
+            )
+            session.close()
+            recovered_counts.add(count)
+        assert min(recovered_counts) == half
+        assert max(recovered_counts) == len(stream)
+
+    def test_serving_over_a_mixed_format_directory_works(
+        self, tmp_path, monkeypatch
+    ):
+        from repro.serve import ServeClient, serve_in_background
+        from repro.types import insertion
+
+        spec = "abacus:budget=48,seed=11"
+        stream = _stream()
+        directory = tmp_path / "durable"
+        self._build_mixed_dir(directory, spec, stream, monkeypatch)
+        session = open_session(durable_dir=directory)
+        expected = session.estimate
+        with serve_in_background(session) as background:
+            with ServeClient(*background.address, binary=True) as client:
+                assert client.estimate()["estimate"] == expected
+                result = client.ingest(
+                    [insertion("mix-u", "mix-v")]
+                )
+                assert result["accepted"] == 1
+                snapshot = client.snapshot()
+        assert snapshot["session"]["elements"] == len(stream) + 1
 
 
 def test_timed_edges_survive_the_log(tmp_path):

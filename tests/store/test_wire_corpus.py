@@ -1,0 +1,154 @@
+"""The golden-corpus guard: pinned encodings must never drift.
+
+``tests/store/wire_corpus/`` commits both element encodings for a
+fixed record set — the format-1 JSON payloads, the format-2 packed
+payloads, one full WAL segment per format, and one packed wire batch.
+These files are the compatibility promise of ``docs/persistence.md``:
+every future version must keep decoding them byte-for-byte, and must
+keep *producing* the same bytes for the pinned inputs (the docgen
+byte-identity pattern, applied to the wire).  A failure here means a
+format change shipped without a version bump — fix the code, don't
+regenerate the fixtures.
+"""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.store import codec
+from repro.store.wal import iter_wal, scan_wal
+from repro.types import StreamElement
+
+CORPUS_DIR = (
+    pathlib.Path(__file__).resolve().parent / "wire_corpus"
+)
+GENERATOR = CORPUS_DIR / "generate.py"
+
+
+def _load_manifest():
+    return json.loads(
+        (CORPUS_DIR / "manifest.json").read_text(encoding="utf-8")
+    )
+
+
+def _load_cases():
+    return _load_manifest()["cases"]
+
+
+def _build_fixtures():
+    """Re-derive every fixture from the generator's pinned records."""
+    import importlib.util
+
+    spec = importlib.util.spec_from_file_location(
+        "wire_corpus_generate", GENERATOR
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module.build_fixtures()
+
+
+class TestCommittedFixturesDecode:
+    """Every committed fixture must keep decoding, forever."""
+
+    @pytest.mark.parametrize(
+        "case", _load_cases(), ids=lambda c: c["v2_hex"][:16]
+    )
+    def test_packed_payload_decodes_to_the_pinned_record(self, case):
+        element = codec.decode_element(bytes.fromhex(case["v2_hex"]))
+        assert element == StreamElement.from_record(case["record"])
+
+    @pytest.mark.parametrize(
+        "case", _load_cases(), ids=lambda c: c["v1_hex"][:16]
+    )
+    def test_json_payload_decodes_to_the_pinned_record(self, case):
+        element = StreamElement.from_record(
+            json.loads(bytes.fromhex(case["v1_hex"]))
+        )
+        assert element == StreamElement.from_record(case["record"])
+
+    @pytest.mark.parametrize("name", ["segment-v1.wal", "segment-v2.wal"])
+    def test_committed_segments_scan_clean(self, name):
+        scan = scan_wal(CORPUS_DIR / name)
+        assert scan.clean
+        assert scan.records == len(_load_cases())
+        assert scan.format == (1 if "v1" in name else 2)
+
+    def test_both_segments_decode_to_identical_elements(self):
+        v1 = list(iter_wal(CORPUS_DIR / "segment-v1.wal"))
+        v2 = list(iter_wal(CORPUS_DIR / "segment-v2.wal"))
+        assert v1 == v2
+        expected = [
+            StreamElement.from_record(case["record"])
+            for case in _load_cases()
+        ]
+        assert v2 == expected
+        # Subclass identity too: a timed record must recover as a
+        # TimedEdge in both formats, not merely compare equal.
+        for a, b in zip(v1, v2):
+            assert type(a) is type(b)
+
+    def test_committed_batch_decodes_to_the_corpus(self):
+        batch = (CORPUS_DIR / "batch-v2.bin").read_bytes()
+        expected = [
+            StreamElement.from_record(case["record"])
+            for case in _load_cases()
+        ]
+        assert codec.decode_batch(batch) == expected
+
+
+class TestPinnedInputsStillEncodeIdentically:
+    """Encoding the pinned inputs must reproduce the committed bytes."""
+
+    @pytest.mark.parametrize(
+        "case", _load_cases(), ids=lambda c: c["v2_hex"][:16]
+    )
+    def test_packed_encoding_has_not_drifted(self, case):
+        element = StreamElement.from_record(case["record"])
+        assert codec.encode_element(element).hex() == case["v2_hex"]
+
+    @pytest.mark.parametrize(
+        "case", _load_cases(), ids=lambda c: c["v1_hex"][:16]
+    )
+    def test_json_encoding_has_not_drifted(self, case):
+        element = StreamElement.from_record(case["record"])
+        payload = json.dumps(
+            element.to_record(), separators=(",", ":")
+        ).encode("utf-8")
+        assert payload.hex() == case["v1_hex"]
+
+    def test_every_fixture_file_is_byte_identical_to_a_regeneration(self):
+        fixtures = _build_fixtures()
+        manifest = fixtures.pop("manifest")
+        committed = _load_manifest()
+        assert manifest == committed, (
+            "manifest.json drifted from the generator's pinned "
+            "records; this is a format change — bump the codec "
+            "version instead of regenerating"
+        )
+        for name, payload in fixtures.items():
+            assert (CORPUS_DIR / name).read_bytes() == payload, (
+                f"{name} is no longer byte-identical to a "
+                "regeneration from the pinned records"
+            )
+
+    def test_corpus_covers_the_interesting_shapes(self):
+        """The corpus must keep exercising every encoding branch."""
+        kinds = {"fast": 0, "str": 0, "big": 0, "escape": 0, "timed": 0}
+        for case in _load_cases():
+            payload = bytes.fromhex(case["v2_hex"])
+            flags = payload[0]
+            if flags == 0x80:
+                kinds["escape"] += 1
+                continue
+            if flags & 0x02:
+                kinds["timed"] += 1
+            u_kind = (flags >> 2) & 3
+            v_kind = (flags >> 4) & 3
+            if u_kind == v_kind == 0:
+                kinds["fast"] += 1
+            if 1 in (u_kind, v_kind):
+                kinds["str"] += 1
+            if 2 in (u_kind, v_kind):
+                kinds["big"] += 1
+        assert all(count > 0 for count in kinds.values()), kinds

@@ -1,0 +1,116 @@
+#!/usr/bin/env python
+"""Regenerate the committed wire-corpus fixtures.
+
+The corpus pins both element encodings byte-for-byte:
+
+* ``manifest.json`` — one entry per pinned record: the JSON record,
+  the format-1 payload (the canonical ``json.dumps`` bytes) and the
+  format-2 packed payload, both hex-encoded.
+* ``segment-v1.wal`` / ``segment-v2.wal`` — one complete WAL segment
+  per format holding every corpus record as a CRC frame, exactly as
+  :class:`repro.store.wal.WalWriter` lays it out.
+* ``batch-v2.bin`` — every corpus element as one packed wire batch
+  (:func:`repro.store.codec.encode_batch`), the payload the binary
+  serve/replication opt-in ships (before base64).
+
+``tests/store/test_wire_corpus.py`` re-derives every fixture from the
+manifest records and fails when a byte drifts — the fixtures are the
+compatibility promise, so regenerating them is a **format change** and
+needs the corresponding version bump in ``repro.store.codec`` /
+``repro.store.wal``, never a silent refresh.  Run from the repo root::
+
+    PYTHONPATH=src python tests/store/wire_corpus/generate.py
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import struct
+import sys
+import zlib
+
+CORPUS_DIR = pathlib.Path(__file__).resolve().parent
+
+#: The pinned records, exercising every element shape the record
+#: grammar admits: both ops, int64/boundary/negative/big ints, ascii
+#: and unicode strings, empty and long keys, mixed kinds, timestamps
+#: (zero, negative, huge, integer-typed), and the JSON-escape fallback
+#: (bool vertices have no packed kind).
+RECORDS = [
+    ["+", 1, 2],
+    ["-", 3, 4],
+    ["+", 0, -1],
+    ["+", -9223372036854775808, 9223372036854775807],
+    ["+", "alice", "matrix"],
+    ["-", "", ""],
+    ["+", "héllo", "wörld"],
+    ["+", "蝶", "数"],
+    ["-", "\U0001f98b", "\U0001f9ee"],
+    ["+", 1, "mixed"],
+    ["-", "mixed", -7],
+    ["+", 1208925819614629174706176, -1208925819614629174706177],
+    ["+", "a" * 300, "b" * 300],
+    ["+", 5, 6, 0.0],
+    ["-", 7, 8, -1.5],
+    ["+", "u", "v", 1.25],
+    ["+", 9, 10, -0.0],
+    ["+", 11, 12, 1e300],
+    ["-", 13, 14, 2],
+    ["+", True, False],
+]
+
+_FRAME = struct.Struct("<II")
+
+
+def _frame(payload: bytes) -> bytes:
+    return _FRAME.pack(len(payload), zlib.crc32(payload)) + payload
+
+
+def build_fixtures() -> dict:
+    """Derive every fixture's bytes from :data:`RECORDS`."""
+    from repro.store import codec
+    from repro.store.wal import WAL_MAGIC, WAL_MAGIC_V2
+    from repro.types import StreamElement
+
+    elements = [StreamElement.from_record(r) for r in RECORDS]
+    cases = []
+    v1_frames = [WAL_MAGIC]
+    v2_frames = [WAL_MAGIC_V2]
+    for record, element in zip(RECORDS, elements):
+        v1 = json.dumps(
+            element.to_record(), separators=(",", ":")
+        ).encode("utf-8")
+        v2 = codec.encode_element(element)
+        cases.append(
+            {
+                "record": record,
+                "v1_hex": v1.hex(),
+                "v2_hex": v2.hex(),
+            }
+        )
+        v1_frames.append(_frame(v1))
+        v2_frames.append(_frame(v2))
+    return {
+        "manifest": {"corpus_version": 1, "cases": cases},
+        "segment-v1.wal": b"".join(v1_frames),
+        "segment-v2.wal": b"".join(v2_frames),
+        "batch-v2.bin": codec.encode_batch(elements),
+    }
+
+
+def main() -> int:
+    fixtures = build_fixtures()
+    manifest = fixtures.pop("manifest")
+    (CORPUS_DIR / "manifest.json").write_text(
+        json.dumps(manifest, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+    for name, payload in fixtures.items():
+        (CORPUS_DIR / name).write_bytes(payload)
+    print(f"wrote {len(manifest['cases'])} cases to {CORPUS_DIR}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

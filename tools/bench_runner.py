@@ -67,6 +67,11 @@ FLOORS: Dict[str, float] = {
     # ISSUE 9: shared-log fan-out of 8 tenants (one WAL append per
     # element, all estimators driven in a single pass).
     "tenant_fanout_eps": 5_000.0,
+    # ISSUE 10: the packed record codec (encode_element) and format-2
+    # WAL replay (iter_wal over a packed segment).  Warm machines
+    # measure ~1-2M and ~300k el/s respectively.
+    "codec_encode_eps": 100_000.0,
+    "wal_v2_replay_eps": 20_000.0,
 }
 
 #: Latency ceilings (seconds) — the inverse gate: these metrics must
